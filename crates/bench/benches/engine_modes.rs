@@ -1,0 +1,43 @@
+//! Whole-engine benchmarks, one per paper-figure family: exhaustive
+//! exploration of small workload instances under the three merge modes.
+//! These are the Criterion companions to the `fig5`/`fig9` harness
+//! binaries (which sweep larger sizes and print the paper's series).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use symmerge_bench::{config_for, RunOpts, Setup};
+use symmerge_core::Engine;
+use symmerge_workloads::{by_name, InputConfig};
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+
+    for (tool, cfg) in [
+        ("echo", InputConfig::args(2, 2)),
+        ("link", InputConfig::args(2, 2)),
+        ("basename", InputConfig::args(1, 3)),
+        ("wc", InputConfig::stdin(3)),
+    ] {
+        for setup in [Setup::Baseline, Setup::SsmQce, Setup::DsmQce] {
+            group.bench_function(format!("{tool}_{}", setup.label()), |bch| {
+                let w = by_name(tool).unwrap();
+                bch.iter_batched(
+                    || w.program(&cfg),
+                    |program| {
+                        let mut engine = Engine::builder(program)
+                            .config(config_for(setup, &RunOpts::default()))
+                            .build()
+                            .unwrap();
+                        black_box(engine.run())
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

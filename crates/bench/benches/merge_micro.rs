@@ -1,0 +1,96 @@
+//! Merge-operation microbenchmarks: the cost of `merge_states` (with and
+//! without common-prefix factoring — a DESIGN.md ablation) and of the
+//! hash-based similarity signature DSM computes per state.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use symmerge_core::merge::{merge_signature, merge_states, similar_qce};
+use symmerge_core::qce::HotSet;
+use symmerge_core::state::{Slot, State, StateId};
+use symmerge_core::MergeConfig;
+use symmerge_expr::ExprPool;
+use symmerge_ir::minic;
+
+/// Two sibling states with a long shared pc prefix, one divergent conjunct
+/// and a store that differs in a few slots.
+fn sibling_states(pool: &mut ExprPool, prefix_len: usize) -> (State, State) {
+    let program = minic::compile(
+        "fn main() { let a = 0; let b = 0; let c = 0; let d = 0; let e = 0;
+                     let f = 0; let g = 0; let h = 0; }",
+    )
+    .unwrap();
+    let base = State::initial(&program, pool, StateId(0));
+    let mut pc = Vec::new();
+    for i in 0..prefix_len {
+        let x = pool.input(&format!("p{i}"), 32);
+        let k = pool.bv_const(100 + i as u64, 32);
+        pc.push(pool.ult(x, k));
+    }
+    let cond_src = pool.input("c_src", 32);
+    let zero = pool.bv_const(0, 32);
+    let cond = pool.eq(cond_src, zero);
+    let mut a = base.clone();
+    a.pc = pc.clone();
+    a.pc.push(cond);
+    let mut b = base;
+    b.id = StateId(1);
+    b.pc = pc;
+    let ncond = pool.not(cond);
+    b.pc.push(ncond);
+    for i in 0..4 {
+        a.frames[0].locals[i] = Slot::Int(pool.bv_const(i as u64, 32));
+        b.frames[0].locals[i] = Slot::Int(pool.bv_const(i as u64 + 10, 32));
+    }
+    (a, b)
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge");
+    group.sample_size(30);
+
+    for (label, factored) in [("prefix_factored", true), ("prefix_unfactored", false)] {
+        group.bench_function(format!("merge_states_{label}"), |bch| {
+            bch.iter_batched(
+                || {
+                    let mut pool = ExprPool::new(32);
+                    let (a, b) = sibling_states(&mut pool, 24);
+                    (pool, a, b)
+                },
+                |(mut pool, a, b)| {
+                    let cfg = MergeConfig { factor_common_prefix: factored };
+                    black_box(merge_states(&mut pool, cfg, &a, &b, StateId(2)))
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+
+    group.bench_function("merge_signature", |bch| {
+        let mut pool = ExprPool::new(32);
+        let (a, _) = sibling_states(&mut pool, 24);
+        let hot = HotSet {
+            frame_locals: vec![(0..8)
+                .map(|i| symmerge_core::VarKey::Local(symmerge_ir::LocalId(i)))
+                .collect()],
+            globals: vec![],
+        };
+        bch.iter(|| black_box(merge_signature(&pool, &hot, &a)))
+    });
+
+    group.bench_function("similar_qce_check", |bch| {
+        let mut pool = ExprPool::new(32);
+        let (a, b) = sibling_states(&mut pool, 24);
+        let hot = HotSet {
+            frame_locals: vec![(4..8)
+                .map(|i| symmerge_core::VarKey::Local(symmerge_ir::LocalId(i)))
+                .collect()],
+            globals: vec![],
+        };
+        bch.iter(|| black_box(similar_qce(&pool, &hot, &a, &b)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Static-analysis benchmarks: the cost of the QCE pre-pass (paper §3.2 —
+//! it must be cheap relative to exploration) across the workload suite and
+//! κ values.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use symmerge_core::{QceAnalysis, QceConfig};
+use symmerge_workloads::{all, by_name, InputConfig};
+
+fn bench_qce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qce");
+    group.sample_size(20);
+
+    group.bench_function("whole_suite_default", |bch| {
+        let programs: Vec<_> = all().iter().map(|w| w.program(&w.default_config())).collect();
+        bch.iter(|| {
+            for p in &programs {
+                black_box(QceAnalysis::run(p, QceConfig::default()));
+            }
+        })
+    });
+
+    for kappa in [1, 10] {
+        group.bench_function(format!("echo_kappa{kappa}"), |bch| {
+            let p = by_name("echo").unwrap().program(&InputConfig::args(2, 3));
+            bch.iter(|| {
+                black_box(QceAnalysis::run(&p, QceConfig { kappa, ..Default::default() }))
+            })
+        });
+    }
+
+    group.bench_function("hot_set_lookup", |bch| {
+        let p = by_name("echo").unwrap().program(&InputConfig::args(2, 3));
+        let qce = QceAnalysis::run(&p, QceConfig::default());
+        let run = p.function_by_name("run").unwrap();
+        let stack = vec![(p.entry, symmerge_ir::BlockId(0)), (run, symmerge_ir::BlockId(2))];
+        bch.iter(|| black_box(qce.hot_set(&p, &stack)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_qce);
+criterion_main!(benches);

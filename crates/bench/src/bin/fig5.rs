@@ -1,0 +1,59 @@
+//! **Figure 5** — speedup of SSM+QCE over the plain engine for exhaustive
+//! exploration, as a function of symbolic input size, for three
+//! representative tools: `link` (largest speedup in the paper), `nice`
+//! (medium) and `basename` (lowest).
+//!
+//! Expected shape: the `link` curve grows roughly exponentially with the
+//! number of symbolic bytes; `basename` stays near 1.
+
+use std::time::Instant;
+use symmerge_bench::harness::{CsvOut, HarnessOpts};
+use symmerge_bench::{run_workload, RunOpts, Setup};
+use symmerge_workloads::{by_name, InputConfig};
+
+fn main() {
+    let opts = HarnessOpts::parse(30_000);
+    let max_l = if opts.quick { 3 } else { 5 };
+    let tools: Vec<(&str, Vec<InputConfig>)> = vec![
+        ("link", (1..=max_l).map(|l| InputConfig::args(2, l)).collect()),
+        ("nice", (1..=max_l).map(|l| InputConfig::args(2, l)).collect()),
+        ("basename", (1..=max_l + 1).map(|l| InputConfig::args(1, l)).collect()),
+    ];
+    let mut csv = CsvOut::create("fig5", "tool,symbolic_bytes,t_baseline_ms,t_ssm_ms,speedup");
+    println!("# Figure 5: exhaustive-exploration speedup T_baseline / T_SSM+QCE vs input size");
+    println!(
+        "{:10} {:>6} {:>14} {:>12} {:>10}",
+        "tool", "bytes", "t_baseline", "t_ssm", "speedup"
+    );
+    for (tool, cfgs) in tools {
+        let w = by_name(tool).unwrap();
+        for cfg in cfgs {
+            let run_opts = RunOpts { budget: Some(opts.budget), seed: opts.seed, alpha: opts.alpha, ..Default::default() };
+            let t0 = Instant::now();
+            let base = run_workload(&w, &cfg, Setup::Baseline, &run_opts);
+            let t_base = t0.elapsed();
+            let t1 = Instant::now();
+            let ssm = run_workload(&w, &cfg, Setup::SsmQce, &run_opts);
+            let t_ssm = t1.elapsed();
+            let marker = if base.hit_budget { ">=" } else { "  " };
+            let speedup = t_base.as_secs_f64() / t_ssm.as_secs_f64().max(1e-9);
+            println!(
+                "{tool:10} {:>6} {marker}{:>12.2?} {:>12.2?} {marker}{:>8.2}x{}",
+                cfg.symbolic_bytes(),
+                t_base,
+                t_ssm,
+                speedup,
+                if ssm.hit_budget { " (ssm timed out too)" } else { "" },
+            );
+            csv.row(&format!(
+                "{tool},{},{:.3},{:.3},{:.3}",
+                cfg.symbolic_bytes(),
+                t_base.as_secs_f64() * 1e3,
+                t_ssm.as_secs_f64() * 1e3,
+                speedup
+            ));
+        }
+    }
+    println!("# '>=': baseline hit the budget — the speedup shown is a lower bound");
+    println!("# csv: {}", csv.path.display());
+}

@@ -1,0 +1,69 @@
+//! **Figure 6** — scatter plot of SSM+QCE completion time vs baseline
+//! completion time for exhaustive exploration, across all workloads and
+//! input sizes; timeouts (the paper's triangles) are reported as
+//! lower-bound points.
+//!
+//! Expected shape: the vast majority of points below the `T_SSM = T_base`
+//! diagonal, with larger inputs further below.
+
+use std::time::Instant;
+use symmerge_bench::harness::{CsvOut, HarnessOpts};
+use symmerge_bench::{run_workload, RunOpts, Setup};
+use symmerge_workloads::{all, InputConfig, InputKind};
+
+fn sweep(kind: InputKind, quick: bool) -> Vec<InputConfig> {
+    let hi = if quick { 2 } else { 3 };
+    match kind {
+        InputKind::Args => (1..=hi).map(|l| InputConfig::args(2, l)).collect(),
+        InputKind::Stdin => (2..=2 * hi).step_by(2).map(InputConfig::stdin).collect(),
+        InputKind::Both => (1..=hi)
+            .map(|l| InputConfig { n_args: 1, arg_len: l, stdin_len: 2 * l })
+            .collect(),
+    }
+}
+
+fn main() {
+    let opts = HarnessOpts::parse(10_000);
+    let mut csv =
+        CsvOut::create("fig6", "tool,symbolic_bytes,t_baseline_ms,t_ssm_ms,baseline_timeout");
+    println!("# Figure 6: T_SSM+QCE vs T_baseline scatter (exhaustive; budget {:?})", opts.budget);
+    println!(
+        "{:10} {:>6} {:>14} {:>12}  {}",
+        "tool", "bytes", "t_baseline", "t_ssm", "note"
+    );
+    let mut below = 0usize;
+    let mut total = 0usize;
+    for w in all() {
+        for cfg in sweep(w.kind, opts.quick) {
+            let run_opts = RunOpts { budget: Some(opts.budget), seed: opts.seed, alpha: opts.alpha, ..Default::default() };
+            let t0 = Instant::now();
+            let base = run_workload(&w, &cfg, Setup::Baseline, &run_opts);
+            let t_base = t0.elapsed();
+            let t1 = Instant::now();
+            let _ssm_report = run_workload(&w, &cfg, Setup::SsmQce, &run_opts);
+            let t_ssm = t1.elapsed();
+            let note = if base.hit_budget { "baseline TIMEOUT (lower bound)" } else { "" };
+            println!(
+                "{:10} {:>6} {:>14.2?} {:>12.2?}  {note}",
+                w.name,
+                cfg.symbolic_bytes(),
+                t_base,
+                t_ssm
+            );
+            csv.row(&format!(
+                "{},{},{:.3},{:.3},{}",
+                w.name,
+                cfg.symbolic_bytes(),
+                t_base.as_secs_f64() * 1e3,
+                t_ssm.as_secs_f64() * 1e3,
+                base.hit_budget
+            ));
+            total += 1;
+            if t_ssm < t_base {
+                below += 1;
+            }
+        }
+    }
+    println!("# {below}/{total} points below the diagonal (SSM+QCE faster)");
+    println!("# csv: {}", csv.path.display());
+}

@@ -1,0 +1,971 @@
+//! The symbolic execution engine — the paper's Algorithm 1, parameterized
+//! by `pickNext` (a [`Strategy`]), `follow` (solver feasibility checks) and
+//! `∼` (the QCE similarity relation), with static or dynamic state merging
+//! layered on top.
+
+use crate::dsm::{DsmConfig, DsmStats, DsmStrategy};
+use crate::exec::{AssertFailure, Completion, ExecCtx};
+use crate::merge::{classify_pair, merge_signature, merge_states, similar_qce, MergeConfig};
+use crate::qce::{HotSet, QceAnalysis, QceConfig};
+use crate::state::{State, StateId};
+use crate::strategy::{make_strategy, Oracle, StateMeta, Strategy, StrategyKind};
+use crate::testgen::{TestCase, TestKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+use symmerge_expr::ExprPool;
+use symmerge_ir::cfg::CfgInfo;
+use symmerge_ir::{BlockId, FuncId, Instr, Program, ValidateError};
+use symmerge_solver::{SatResult, Solver, SolverConfig, SolverStats};
+
+/// When and whether to merge states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeMode {
+    /// Never merge (plain search-based symbolic execution — the baseline).
+    None,
+    /// Static state merging: topological exploration, merge at matching
+    /// locations (paper §5.4's SSM).
+    Static,
+    /// Dynamic state merging: Algorithm 2 over the configured driving
+    /// strategy.
+    Dynamic,
+}
+
+/// Exploration budgets; exploration stops at whichever hits first.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Budgets {
+    /// Wall-clock limit.
+    pub max_time: Option<Duration>,
+    /// Limit on executed instructions.
+    pub max_steps: Option<u64>,
+    /// Limit on completed paths (merged states count once).
+    pub max_completed: Option<u64>,
+    /// Limit on picked states.
+    pub max_picks: Option<u64>,
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Merging mode.
+    pub merge_mode: MergeMode,
+    /// The (driving) search strategy.
+    pub strategy: StrategyKind,
+    /// QCE parameters (α, β, κ).
+    pub qce: QceConfig,
+    /// DSM parameters (δ).
+    pub dsm: DsmConfig,
+    /// Merge-operation options.
+    pub merge: MergeConfig,
+    /// Solver options.
+    pub solver: SolverConfig,
+    /// Exploration budgets.
+    pub budgets: Budgets,
+    /// Whether to solve for and record concrete test cases.
+    pub generate_tests: bool,
+    /// RNG seed (strategies, tie-breaking) — runs are deterministic per
+    /// seed.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            merge_mode: MergeMode::None,
+            strategy: StrategyKind::CoverageOptimized,
+            qce: QceConfig::default(),
+            dsm: DsmConfig::default(),
+            merge: MergeConfig::default(),
+            solver: SolverConfig::default(),
+            budgets: Budgets::default(),
+            generate_tests: true,
+            seed: 0,
+        }
+    }
+}
+
+/// Builder for [`Engine`].
+#[derive(Debug)]
+pub struct EngineBuilder {
+    program: Program,
+    config: EngineConfig,
+    strategy_set: bool,
+}
+
+impl EngineBuilder {
+    /// Selects the merging mode. Choosing [`MergeMode::Static`] also
+    /// switches the default strategy to topological order (the order SSM
+    /// requires) unless a strategy was set explicitly.
+    pub fn merging(mut self, mode: MergeMode) -> Self {
+        self.config.merge_mode = mode;
+        if mode == MergeMode::Static && !self.strategy_set {
+            self.config.strategy = StrategyKind::Topological;
+        }
+        self
+    }
+
+    /// Selects the (driving) search strategy.
+    pub fn strategy(mut self, kind: StrategyKind) -> Self {
+        self.config.strategy = kind;
+        self.strategy_set = true;
+        self
+    }
+
+    /// Sets the QCE parameters.
+    pub fn qce(mut self, qce: QceConfig) -> Self {
+        self.config.qce = qce;
+        self
+    }
+
+    /// Sets the DSM parameters.
+    pub fn dsm(mut self, dsm: DsmConfig) -> Self {
+        self.config.dsm = dsm;
+        self
+    }
+
+    /// Sets the merge-operation options.
+    pub fn merge_config(mut self, merge: MergeConfig) -> Self {
+        self.config.merge = merge;
+        self
+    }
+
+    /// Sets the solver options.
+    pub fn solver(mut self, solver: SolverConfig) -> Self {
+        self.config.solver = solver;
+        self
+    }
+
+    /// Sets the exploration budgets.
+    pub fn budgets(mut self, budgets: Budgets) -> Self {
+        self.config.budgets = budgets;
+        self
+    }
+
+    /// Convenience: wall-clock budget only.
+    pub fn max_time(mut self, d: Duration) -> Self {
+        self.config.budgets.max_time = Some(d);
+        self
+    }
+
+    /// Convenience: instruction budget only.
+    pub fn max_steps(mut self, n: u64) -> Self {
+        self.config.budgets.max_steps = Some(n);
+        self
+    }
+
+    /// Whether to generate test cases for completed paths.
+    pub fn generate_tests(mut self, yes: bool) -> Self {
+        self.config.generate_tests = yes;
+        self
+    }
+
+    /// Seeds the engine's RNG.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Replaces the entire configuration.
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.strategy_set = true;
+        self.config = config;
+        self
+    }
+
+    /// Validates the program, runs the QCE static analysis, and constructs
+    /// the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns the program's structural [`ValidateError`], if any.
+    pub fn build(self) -> Result<Engine, ValidateError> {
+        self.program.validate()?;
+        Ok(Engine::from_parts(self.program, self.config))
+    }
+}
+
+/// Aggregate results of one exploration run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Completed feasible paths (merged states count once).
+    pub completed_paths: u64,
+    /// Sum of completed-state multiplicities — the paper's §5.2 path-count
+    /// proxy under merging (equals `completed_paths` without merging).
+    pub completed_multiplicity: f64,
+    /// Paths killed by `assume`.
+    pub pruned_by_assume: u64,
+    /// Assertion failures discovered.
+    pub assert_failures: Vec<AssertFailure>,
+    /// Generated test cases (including assertion-failure reproducers).
+    pub tests: Vec<TestCase>,
+    /// States picked from the worklist.
+    pub picks: u64,
+    /// Instructions executed.
+    pub steps: u64,
+    /// Successful merges.
+    pub merges: u64,
+    /// Similarity checks that failed (pairs considered but not merged).
+    pub merge_rejects: u64,
+    /// Largest worklist size observed.
+    pub max_worklist: usize,
+    /// States remaining unexplored when the run stopped.
+    pub leftover_states: usize,
+    /// Covered basic blocks.
+    pub covered_blocks: usize,
+    /// Total basic blocks in the program.
+    pub total_blocks: usize,
+    /// Fast-forwarding picks that subsequently merged (paper §5.5).
+    pub ff_merged: u64,
+    /// DSM scheduling counters.
+    pub dsm: DsmStats,
+    /// Solver counters.
+    pub solver: SolverStats,
+    /// Wall-clock duration of the run.
+    pub wall_time: Duration,
+    /// Whether a budget stopped the run before exhaustion.
+    pub hit_budget: bool,
+}
+
+impl RunReport {
+    /// Statement (block) coverage in `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        if self.total_blocks == 0 {
+            return 0.0;
+        }
+        self.covered_blocks as f64 / self.total_blocks as f64
+    }
+
+    /// The §5.5 fast-forwarding success rate, if DSM ran.
+    pub fn ff_success_rate(&self) -> Option<f64> {
+        if self.dsm.ff_picks == 0 {
+            return None;
+        }
+        Some(self.ff_merged as f64 / self.dsm.ff_picks as f64)
+    }
+}
+
+enum Scheduler {
+    Plain(Box<dyn Strategy>),
+    Dsm(DsmStrategy),
+}
+
+impl Scheduler {
+    fn remove(&mut self, id: StateId) -> bool {
+        match self {
+            Scheduler::Plain(s) => s.remove(id),
+            Scheduler::Dsm(d) => d.remove(id),
+        }
+    }
+}
+
+/// The symbolic execution engine.
+pub struct Engine {
+    program: Program,
+    pool: ExprPool,
+    solver: Solver,
+    qce: QceAnalysis,
+    cfgs: Vec<CfgInfo>,
+    config: EngineConfig,
+    scheduler: Scheduler,
+    states: HashMap<StateId, State>,
+    by_control: HashMap<u64, Vec<StateId>>,
+    /// DSM: per-live-state inherited histories.
+    histories: HashMap<StateId, VecDeque<u64>>,
+    /// States currently being fast-forwarded (for the §5.5 counter).
+    ff_active: HashSet<StateId>,
+    hot_cache: HashMap<u64, Rc<HotSet>>,
+    covered: HashSet<(FuncId, BlockId)>,
+    dist_cache: Option<HashMap<(FuncId, BlockId), u32>>,
+    rng: StdRng,
+    next_id: u64,
+    // Run accumulators.
+    completed_paths: u64,
+    completed_multiplicity: f64,
+    pruned_by_assume: u64,
+    assert_failures: Vec<AssertFailure>,
+    tests: Vec<TestCase>,
+    picks: u64,
+    steps: u64,
+    merges: u64,
+    merge_rejects: u64,
+    max_worklist: usize,
+    ff_merged: u64,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("config", &self.config)
+            .field("worklist", &self.states.len())
+            .field("picks", &self.picks)
+            .finish()
+    }
+}
+
+struct OracleImpl<'a> {
+    program: &'a Program,
+    cfgs: &'a [CfgInfo],
+    covered: &'a HashSet<(FuncId, BlockId)>,
+    dist_cache: &'a mut Option<HashMap<(FuncId, BlockId), u32>>,
+    rng: &'a mut StdRng,
+}
+
+impl Oracle for OracleImpl<'_> {
+    fn distance_to_uncovered(&mut self, func: FuncId, block: BlockId) -> Option<u32> {
+        if self.dist_cache.is_none() {
+            *self.dist_cache = Some(compute_distances(self.program, self.cfgs, self.covered));
+        }
+        self.dist_cache.as_ref().unwrap().get(&(func, block)).copied()
+    }
+
+    fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+/// Distance (in blocks, descending into calls) to the nearest uncovered
+/// block, via a Bellman-Ford-style fixpoint over all `(func, block)` nodes.
+fn compute_distances(
+    program: &Program,
+    cfgs: &[CfgInfo],
+    covered: &HashSet<(FuncId, BlockId)>,
+) -> HashMap<(FuncId, BlockId), u32> {
+    const INF: u32 = u32::MAX / 4;
+    let mut dist: HashMap<(FuncId, BlockId), u32> = HashMap::new();
+    for (fi, f) in program.functions.iter().enumerate() {
+        for bi in 0..f.blocks.len() {
+            let key = (FuncId(fi as u32), BlockId(bi as u32));
+            dist.insert(key, if covered.contains(&key) { INF } else { 0 });
+        }
+    }
+    let _ = cfgs;
+    let mut changed = true;
+    let mut rounds = 0;
+    while changed && rounds < 64 {
+        changed = false;
+        rounds += 1;
+        for (fi, f) in program.functions.iter().enumerate() {
+            for (bi, b) in f.blocks.iter().enumerate() {
+                let key = (FuncId(fi as u32), BlockId(bi as u32));
+                let mut best = dist[&key];
+                for s in b.terminator.successors() {
+                    let d = dist[&(FuncId(fi as u32), s)];
+                    best = best.min(d.saturating_add(1));
+                }
+                for instr in &b.instrs {
+                    if let Instr::Call { func, .. } = instr {
+                        let d = dist[&(*func, BlockId(0))];
+                        best = best.min(d.saturating_add(1));
+                    }
+                }
+                if best < dist[&key] {
+                    dist.insert(key, best);
+                    changed = true;
+                }
+            }
+        }
+    }
+    dist.retain(|_, &mut d| d < INF);
+    dist
+}
+
+impl Engine {
+    /// Starts building an engine for a program.
+    pub fn builder(program: Program) -> EngineBuilder {
+        EngineBuilder { program, config: EngineConfig::default(), strategy_set: false }
+    }
+
+    fn from_parts(program: Program, config: EngineConfig) -> Engine {
+        let qce = QceAnalysis::run(&program, config.qce);
+        let cfgs: Vec<CfgInfo> = program.functions.iter().map(CfgInfo::analyze).collect();
+        let scheduler = match config.merge_mode {
+            MergeMode::Dynamic => {
+                Scheduler::Dsm(DsmStrategy::new(make_strategy(config.strategy), config.dsm))
+            }
+            _ => Scheduler::Plain(make_strategy(config.strategy)),
+        };
+        let pool = ExprPool::new(program.width);
+        let solver = Solver::new(config.solver.clone());
+        let rng = StdRng::seed_from_u64(config.seed);
+        Engine {
+            program,
+            pool,
+            solver,
+            qce,
+            cfgs,
+            scheduler,
+            states: HashMap::new(),
+            by_control: HashMap::new(),
+            histories: HashMap::new(),
+            ff_active: HashSet::new(),
+            hot_cache: HashMap::new(),
+            covered: HashSet::new(),
+            dist_cache: None,
+            rng,
+            next_id: 0,
+            completed_paths: 0,
+            completed_multiplicity: 0.0,
+            pruned_by_assume: 0,
+            assert_failures: Vec::new(),
+            tests: Vec::new(),
+            picks: 0,
+            steps: 0,
+            merges: 0,
+            merge_rejects: 0,
+            max_worklist: 0,
+            ff_merged: 0,
+            config,
+        }
+    }
+
+    /// The expression pool (for inspecting report expressions).
+    pub fn pool(&self) -> &ExprPool {
+        &self.pool
+    }
+
+    /// The program under execution.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The QCE analysis computed at build time.
+    pub fn qce(&self) -> &QceAnalysis {
+        &self.qce
+    }
+
+    fn fresh_id(&mut self) -> StateId {
+        let id = StateId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    fn meta_for(&self, state: &State) -> StateMeta {
+        let (func, block, _) = state.loc();
+        let topo = state
+            .frames
+            .iter()
+            .map(|f| {
+                // Loop-aware topological position: a loop's body orders
+                // before its exits, so SSM finishes loops before join
+                // points beyond them (plain RPO would do the opposite).
+                let pos = self.cfgs[f.func.index()].topo_index[f.block.index()];
+                (pos, f.instr)
+            })
+            .collect();
+        StateMeta { func, block, topo, steps: state.steps }
+    }
+
+    fn hot_set_for(&mut self, state: &State) -> Rc<HotSet> {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for (f, b) in state.stack_blocks() {
+            (f.0, b.0).hash(&mut h);
+        }
+        let key = h.finish();
+        if let Some(hot) = self.hot_cache.get(&key) {
+            return hot.clone();
+        }
+        let hot = Rc::new(self.qce.hot_set(&self.program, &state.stack_blocks()));
+        self.hot_cache.insert(key, hot.clone());
+        hot
+    }
+
+    fn mark_covered(&mut self, state: &State) {
+        let (func, block, _) = state.loc();
+        if self.covered.insert((func, block)) {
+            self.dist_cache = None;
+        }
+    }
+
+    /// Inserts a new state into the worklist, first attempting to merge it
+    /// with a matching state (Algorithm 1, lines 17–22).
+    fn integrate(&mut self, mut state: State, mut history: VecDeque<u64>, ff: bool) {
+        self.mark_covered(&state);
+        if self.config.merge_mode != MergeMode::None {
+            let ck = state.control_key();
+            let hot = self.hot_set_for(&state);
+            let candidates: Vec<StateId> =
+                self.by_control.get(&ck).cloned().unwrap_or_default();
+            for cand_id in candidates {
+                let id = self.fresh_id();
+                let cand = &self.states[&cand_id];
+                // Output traces merge element-wise, so lengths must match.
+                if cand.outputs.len() != state.outputs.len() {
+                    continue;
+                }
+                let similar = match self.config.qce.zeta {
+                    // The prototype criterion (Eq. 1): hot-variable set.
+                    None => similar_qce(&self.pool, &hot, &state, cand),
+                    // The full §3.3 criterion (Eq. 7) pricing introduced ites.
+                    Some(zeta) => self.qce.similar_full(
+                        &self.program,
+                        &state.stack_blocks(),
+                        zeta,
+                        |fi, key| classify_pair(&self.pool, &state, cand, fi, key),
+                    ),
+                };
+                if similar {
+                    let merged =
+                        merge_states(&mut self.pool, self.config.merge, &state, cand, id);
+                    self.merges += 1;
+                    if ff || self.ff_active.contains(&cand_id) {
+                        self.ff_merged += 1;
+                    }
+                    self.remove_from_worklist(cand_id);
+                    // A merged state starts a fresh history: its signature
+                    // changed discontinuously.
+                    state = merged;
+                    history = VecDeque::new();
+                    // Try to cascade with further candidates.
+                    return self.integrate(state, history, false);
+                }
+                self.merge_rejects += 1;
+            }
+        }
+        let id = state.id;
+        let meta = self.meta_for(&state);
+        let ck = state.control_key();
+        match &mut self.scheduler {
+            Scheduler::Plain(s) => s.add(id, meta),
+            Scheduler::Dsm(d) => {
+                let hot = self.qce.hot_set(&self.program, &state.stack_blocks());
+                let sig = merge_signature(&self.pool, &hot, &state);
+                d.add_with_sig(id, meta, sig, history.clone());
+            }
+        }
+        self.histories.insert(id, history);
+        if ff {
+            self.ff_active.insert(id);
+        }
+        self.by_control.entry(ck).or_default().push(id);
+        self.states.insert(id, state);
+        self.max_worklist = self.max_worklist.max(self.states.len());
+    }
+
+    fn remove_from_worklist(&mut self, id: StateId) -> Option<State> {
+        let state = self.states.remove(&id)?;
+        let ck = state.control_key();
+        if let Some(v) = self.by_control.get_mut(&ck) {
+            v.retain(|&x| x != id);
+            if v.is_empty() {
+                self.by_control.remove(&ck);
+            }
+        }
+        self.scheduler.remove(id);
+        self.histories.remove(&id);
+        self.ff_active.remove(&id);
+        Some(state)
+    }
+
+    fn record_completion(&mut self, state: State, completion: Completion) {
+        match completion {
+            Completion::AssumeViolated => {
+                self.pruned_by_assume += 1;
+                return;
+            }
+            Completion::Halted | Completion::Returned => {}
+        }
+        self.completed_paths += 1;
+        self.completed_multiplicity += state.multiplicity;
+        if self.config.generate_tests {
+            let kind = match completion {
+                Completion::Halted => TestKind::Halted,
+                Completion::Returned => TestKind::Returned,
+                Completion::AssumeViolated => unreachable!(),
+            };
+            if let SatResult::Sat(model) = self.solver.check(&self.pool, &state.pc) {
+                self.tests.push(TestCase::from_model(
+                    &self.pool,
+                    &model,
+                    &state.pc,
+                    &state.outputs,
+                    kind,
+                ));
+            }
+        }
+    }
+
+    fn record_failure(&mut self, failure: AssertFailure, outputs: &[symmerge_expr::ExprId]) {
+        if self.config.generate_tests {
+            if let SatResult::Sat(model) = self.solver.check(&self.pool, &failure.pc) {
+                self.tests.push(TestCase::from_model(
+                    &self.pool,
+                    &model,
+                    &failure.pc,
+                    outputs,
+                    TestKind::AssertFailure { msg: failure.msg.clone() },
+                ));
+            }
+        }
+        self.assert_failures.push(failure);
+    }
+
+    /// Runs the exploration to exhaustion or until a budget trips.
+    pub fn run(&mut self) -> RunReport {
+        let start = Instant::now();
+        let initial_id = self.fresh_id();
+        let initial = State::initial(&self.program, &mut self.pool, initial_id);
+        self.integrate(initial, VecDeque::new(), false);
+
+        let mut hit_budget = false;
+        loop {
+            let b = self.config.budgets;
+            if b.max_time.is_some_and(|t| start.elapsed() >= t)
+                || b.max_steps.is_some_and(|s| self.steps >= s)
+                || b.max_completed.is_some_and(|c| self.completed_paths >= c)
+                || b.max_picks.is_some_and(|p| self.picks >= p)
+            {
+                hit_budget = !self.states.is_empty();
+                break;
+            }
+            // Pick the next state (Algorithm 1 line 3 / Algorithm 2).
+            let picked = {
+                let mut oracle = OracleImpl {
+                    program: &self.program,
+                    cfgs: &self.cfgs,
+                    covered: &self.covered,
+                    dist_cache: &mut self.dist_cache,
+                    rng: &mut self.rng,
+                };
+                match &mut self.scheduler {
+                    Scheduler::Plain(s) => s.pick(&mut oracle),
+                    Scheduler::Dsm(d) => d.pick(&mut oracle),
+                }
+            };
+            let Some(id) = picked else { break };
+            self.picks += 1;
+            // DSM bookkeeping must survive the state's exit from the
+            // worklist: grab history and ff-ness first.
+            let parent_hist = self.histories.remove(&id).unwrap_or_default();
+            let mut parent_ff = self.ff_active.remove(&id);
+            if let Scheduler::Dsm(d) = &self.scheduler {
+                parent_ff |= d.picked_was_ff(id);
+            }
+            let parent_sig = match &self.scheduler {
+                // The state's live bookkeeping was torn down inside pick();
+                // the strategy stashes the signature for exactly this query.
+                Scheduler::Dsm(d) => d.picked_sig(id),
+                Scheduler::Plain(_) => None,
+            };
+            let Some(state) = self.remove_from_worklist_after_pick(id) else { continue };
+            let child_hist = match parent_sig {
+                Some(sig) => {
+                    let delta = self.config.dsm.delta;
+                    let mut h = parent_hist.clone();
+                    h.push_back(sig);
+                    while h.len() > delta {
+                        h.pop_front();
+                    }
+                    h
+                }
+                None => parent_hist,
+            };
+
+            let result = {
+                let mut ctx = ExecCtx {
+                    program: &self.program,
+                    pool: &mut self.pool,
+                    solver: &mut self.solver,
+                    next_id: &mut self.next_id,
+                };
+                ctx.step(state)
+            };
+            self.steps += 1;
+            if let Some(failure) = result.failure {
+                let outputs: Vec<symmerge_expr::ExprId> = result
+                    .successors
+                    .first()
+                    .map(|s| s.outputs.clone())
+                    .unwrap_or_default();
+                self.record_failure(failure, &outputs);
+            }
+            if let Some((s, completion)) = result.completed {
+                self.record_completion(s, completion);
+            }
+            for succ in result.successors {
+                self.integrate(succ, child_hist.clone(), parent_ff);
+            }
+        }
+
+        RunReport {
+            completed_paths: self.completed_paths,
+            completed_multiplicity: self.completed_multiplicity,
+            pruned_by_assume: self.pruned_by_assume,
+            assert_failures: self.assert_failures.clone(),
+            tests: self.tests.clone(),
+            picks: self.picks,
+            steps: self.steps,
+            merges: self.merges,
+            merge_rejects: self.merge_rejects,
+            max_worklist: self.max_worklist,
+            leftover_states: self.states.len(),
+            covered_blocks: self.covered.len(),
+            total_blocks: self.program.num_blocks(),
+            ff_merged: self.ff_merged,
+            dsm: match &self.scheduler {
+                Scheduler::Dsm(d) => d.stats(),
+                Scheduler::Plain(_) => DsmStats::default(),
+            },
+            solver: *self.solver.stats(),
+            wall_time: start.elapsed(),
+            hit_budget,
+        }
+    }
+
+    /// Like [`Engine::remove_from_worklist`] but the scheduler has already
+    /// dropped the id during `pick`.
+    fn remove_from_worklist_after_pick(&mut self, id: StateId) -> Option<State> {
+        let state = self.states.remove(&id)?;
+        let ck = state.control_key();
+        if let Some(v) = self.by_control.get_mut(&ck) {
+            v.retain(|&x| x != id);
+            if v.is_empty() {
+                self.by_control.remove(&ck);
+            }
+        }
+        Some(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symmerge_ir::minic;
+
+    fn engine_for(src: &str, f: impl FnOnce(EngineBuilder) -> EngineBuilder) -> Engine {
+        let program = minic::compile_with_width(src, 8).unwrap();
+        f(Engine::builder(program)).build().unwrap()
+    }
+
+    // `y` feeds the second branch condition, so QCE sees future queries
+    // for it (it is *hot* at the first join for small α).
+    const TWO_BRANCH: &str = r#"
+        fn main() {
+            let x = sym_int("x");
+            let y = 0;
+            if (x > 10) { y = 1; } else { y = 2; }
+            if (x + y > 100) { putchar(y); } else { putchar(y + 1); }
+        }
+    "#;
+
+    #[test]
+    fn plain_exploration_counts_paths() {
+        let mut e = engine_for(TWO_BRANCH, |b| b.merging(MergeMode::None));
+        let report = e.run();
+        // x>10/x>100 give 3 feasible combinations (x>100 ⊆ x>10 at 8 bits
+        // signed: x>100 implies x>10).
+        assert_eq!(report.completed_paths, 3);
+        assert_eq!(report.completed_multiplicity, 3.0);
+        assert!(report.merges == 0);
+        assert_eq!(report.tests.len(), 3);
+        assert!(!report.hit_budget);
+    }
+
+    #[test]
+    fn tests_replay_correctly() {
+        let mut e = engine_for(TWO_BRANCH, |b| b.merging(MergeMode::None));
+        let report = e.run();
+        for t in &report.tests {
+            t.validate(e.program()).unwrap();
+        }
+    }
+
+    #[test]
+    fn static_merging_reduces_paths_but_preserves_tests() {
+        // Merge-everything (α = ∞): y is merged at the join point, so the
+        // second branch runs once instead of twice.
+        let mut e = engine_for(TWO_BRANCH, |b| {
+            b.merging(MergeMode::Static)
+                .qce(QceConfig { alpha: f64::INFINITY, ..Default::default() })
+        });
+        let report = e.run();
+        assert!(report.merges >= 1, "expected at least one merge");
+        assert!(
+            report.completed_paths < 3,
+            "merging must reduce completed states ({} >= 3)",
+            report.completed_paths
+        );
+        // Multiplicity still accounts for all represented paths.
+        assert!(report.completed_multiplicity >= 3.0);
+        for t in &report.tests {
+            t.validate(e.program()).unwrap();
+        }
+    }
+
+    #[test]
+    fn merging_never_loses_assertion_failures() {
+        let src = r#"
+            fn main() {
+                let x = sym_int("x");
+                let y = 0;
+                if (x > 10) { y = 1; } else { y = 2; }
+                assert(y + x != 43, "boom");
+            }
+        "#;
+        for mode in [MergeMode::None, MergeMode::Static, MergeMode::Dynamic] {
+            let mut e = engine_for(src, |b| {
+                b.merging(mode).qce(QceConfig { alpha: f64::INFINITY, ..Default::default() })
+            });
+            let report = e.run();
+            assert!(
+                !report.assert_failures.is_empty(),
+                "{mode:?} lost the assertion failure"
+            );
+            // The reproducer test must actually trigger the assert.
+            let repro = report
+                .tests
+                .iter()
+                .find(|t| matches!(t.kind, TestKind::AssertFailure { .. }))
+                .expect("failure test generated");
+            repro.validate(e.program()).unwrap();
+        }
+    }
+
+    #[test]
+    fn dynamic_merging_merges_under_bfs() {
+        // BFS interleaves the two branch sides, so the slower one becomes a
+        // laggard (its signature appears in the faster one's history) and
+        // is fast-forwarded into the join-point merge.
+        let mut e = engine_for(TWO_BRANCH, |b| {
+            b.merging(MergeMode::Dynamic)
+                .strategy(StrategyKind::Bfs)
+                .qce(QceConfig { alpha: f64::INFINITY, ..Default::default() })
+        });
+        let report = e.run();
+        assert!(report.merges >= 1, "DSM should find the join-point merge");
+        assert!(report.completed_multiplicity >= 3.0);
+    }
+
+    #[test]
+    fn dsm_under_pure_dfs_finds_no_coexisting_states() {
+        // Depth-first runs each lineage to completion before starting its
+        // sibling, so merge partners never coexist — documenting why DSM
+        // needs interleaving strategies to shine (paper §4.1).
+        let mut e = engine_for(TWO_BRANCH, |b| {
+            b.merging(MergeMode::Dynamic)
+                .strategy(StrategyKind::Dfs)
+                .qce(QceConfig { alpha: f64::INFINITY, ..Default::default() })
+        });
+        let report = e.run();
+        assert_eq!(report.completed_multiplicity, 3.0);
+    }
+
+    #[test]
+    fn alpha_zero_blocks_merging_while_variables_live() {
+        let mut strict = engine_for(TWO_BRANCH, |b| {
+            b.merging(MergeMode::Static).qce(QceConfig { alpha: 0.0, ..Default::default() })
+        });
+        let strict_report = strict.run();
+        // y differs concretely (1 vs 2) and is still read by the second
+        // branch, so the first join must NOT merge: the similarity check
+        // rejects at least once, and all 3 paths stay represented.
+        assert!(strict_report.merge_rejects >= 1, "live-y join must be rejected");
+        assert_eq!(strict_report.completed_multiplicity, 3.0);
+        // Merging where y is dead (after its last read) is still allowed —
+        // that is QCE subsuming RWset-style pruning (paper §6) — so we only
+        // require α = 0 to merge strictly less than α = ∞.
+        let mut lax = engine_for(TWO_BRANCH, |b| {
+            b.merging(MergeMode::Static)
+                .qce(QceConfig { alpha: f64::INFINITY, ..Default::default() })
+        });
+        let lax_report = lax.run();
+        assert!(lax_report.merges > 0);
+        assert!(strict_report.merge_rejects > lax_report.merge_rejects);
+    }
+
+    #[test]
+    fn full_criterion_zeta_prices_symbolic_merges() {
+        // With an enormous ζ, merging states whose differing hot variable
+        // is symbolic becomes unprofitable under Eq. 7: the engine must
+        // reject merge opportunities the prototype criterion accepts.
+        let src = r#"
+            fn main() {
+                let x = sym_int("x");
+                let y = 0;
+                if (x > 10) { y = x + 1; } else { y = x + 2; }   // y symbolic, differing
+                if (x + y > 100) { putchar(y); } else { putchar(y + 1); }
+            }
+        "#;
+        let run = |zeta: Option<f64>| {
+            let mut e = engine_for(src, |b| {
+                b.merging(MergeMode::Static)
+                    .qce(QceConfig { alpha: 1e-12, zeta, ..Default::default() })
+            });
+            e.run()
+        };
+        let prototype = run(None);
+        let priced = run(Some(1e18));
+        assert!(prototype.merges >= 1, "prototype criterion should merge");
+        assert!(
+            priced.merge_rejects > prototype.merge_rejects,
+            "huge zeta must reject symbolic-differ merges the prototype accepts \
+             ({} <= {})",
+            priced.merge_rejects,
+            prototype.merge_rejects
+        );
+        // Soundness is mode-independent either way.
+        assert_eq!(priced.covered_blocks, prototype.covered_blocks);
+    }
+
+    #[test]
+    fn budgets_stop_the_run() {
+        let src = r#"
+            fn main() {
+                let n = sym_int("n");
+                let s = 0;
+                for (let i = 0; i < n; i = i + 1) { s = s + i; }
+                putchar(s);
+            }
+        "#;
+        let mut e = engine_for(src, |b| b.merging(MergeMode::None).max_steps(50));
+        let report = e.run();
+        assert!(report.hit_budget);
+        assert!(report.steps <= 51);
+        assert!(report.leftover_states > 0);
+    }
+
+    #[test]
+    fn coverage_is_tracked() {
+        let mut e = engine_for(TWO_BRANCH, |b| b.merging(MergeMode::None));
+        let report = e.run();
+        assert!(report.covered_blocks > 0);
+        assert!(report.coverage() > 0.5, "simple program should be mostly covered");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut e = engine_for(TWO_BRANCH, |b| {
+                b.merging(MergeMode::None).strategy(StrategyKind::Random).seed(seed)
+            });
+            let r = e.run();
+            (r.completed_paths, r.steps, r.picks)
+        };
+        assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    fn multiplicity_equals_paths_of_unmerged_run() {
+        // Merged multiplicity must equal the plain run's path count
+        // (soundness invariant 3 of DESIGN.md).
+        let src = r#"
+            fn main() {
+                let a = sym_int("a");
+                let b = sym_int("b");
+                let x = 0;
+                if (a > 0) { x = 1; } else { x = 2; }
+                if (b > 0) { putchar(x); } else { putchar(x + 1); }
+            }
+        "#;
+        let mut plain = engine_for(src, |b| b.merging(MergeMode::None));
+        let plain_paths = plain.run().completed_paths as f64;
+        let mut merged = engine_for(src, |b| {
+            b.merging(MergeMode::Static)
+                .qce(QceConfig { alpha: f64::INFINITY, ..Default::default() })
+        });
+        let m = merged.run();
+        assert_eq!(m.completed_multiplicity, plain_paths);
+    }
+}

@@ -1,0 +1,66 @@
+//! # symmerge-core — efficient state merging in symbolic execution
+//!
+//! The paper's primary contribution (*Efficient State Merging in Symbolic
+//! Execution*, Kuznetsov, Kinder, Bucur, Candea; PLDI 2012), implemented
+//! over the `symmerge` substrates:
+//!
+//! * [`engine`] — the generic exploration loop (the paper's Algorithm 1),
+//!   parameterized by `pickNext` (a [`Strategy`]), `follow` (solver
+//!   feasibility checks) and the similarity relation `∼`;
+//! * [`qce`] — **query count estimation** (§3): a static analysis
+//!   estimating, for every location and variable, how many future solver
+//!   queries the variable will participate in; defines the *hot variables*
+//!   whose concrete inequality blocks a merge;
+//! * [`merge`] — the precise merge operation (`pc₁ ∨ pc₂`,
+//!   `ite(pc₁, s₁[v], s₂[v])`) with common-prefix factoring, plus the
+//!   `∼qce` similarity relation (Eq. 1) and its hash-based approximation;
+//! * [`dsm`] — **dynamic state merging** (§4, Algorithm 2): a scheduling
+//!   layer that fast-forwards states lagging at most `δ` steps behind a
+//!   similar state, while an arbitrary *driving* strategy keeps control;
+//! * [`strategy`] — DFS/BFS/random/coverage-optimized/topological search;
+//! * [`testgen`] — test-case generation from path conditions and replay
+//!   validation against the concrete interpreter.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use symmerge_core::{Engine, MergeMode, QceConfig, StrategyKind};
+//! use symmerge_ir::minic;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = minic::compile(r#"
+//!     fn main() {
+//!         let x = sym_int("x");
+//!         let r = 0;
+//!         if (x == '-') { r = 1; }
+//!         if (r == 1) { putchar('n'); } else { putchar('y'); }
+//!     }
+//! "#)?;
+//! let report = Engine::builder(program)
+//!     .merging(MergeMode::Dynamic)
+//!     .strategy(StrategyKind::CoverageOptimized)
+//!     .build()?
+//!     .run();
+//! assert_eq!(report.completed_multiplicity, 2.0);
+//! assert!(report.assert_failures.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod dsm;
+pub mod engine;
+pub mod exec;
+pub mod merge;
+pub mod qce;
+pub mod state;
+pub mod strategy;
+pub mod testgen;
+
+pub use dsm::{DsmConfig, DsmStats};
+pub use engine::{Budgets, Engine, EngineBuilder, EngineConfig, MergeMode, RunReport};
+pub use exec::{AssertFailure, Completion};
+pub use merge::MergeConfig;
+pub use qce::{QceAnalysis, QceConfig, VarKey};
+pub use state::{State, StateId};
+pub use strategy::{Strategy, StrategyKind};
+pub use testgen::{TestCase, TestKind};

@@ -1,0 +1,441 @@
+//! Search strategies — the `pickNext` of Algorithm 1.
+//!
+//! The engine is strategy-agnostic, exactly as the paper requires: static
+//! state merging plugs in [`Topological`] order (explore everything leading
+//! to a join point first), test generation plugs in coverage-optimized or
+//! random search, and dynamic state merging (in [`crate::dsm`]) wraps any
+//! of them as the *driving* heuristic.
+
+use crate::state::StateId;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::cmp::Ordering;
+use std::collections::{HashMap, HashSet, VecDeque};
+use symmerge_ir::{BlockId, FuncId};
+
+/// Which strategy to instantiate (the public configuration surface).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// Depth-first: newest state first.
+    Dfs,
+    /// Breadth-first: oldest state first.
+    Bfs,
+    /// Uniform random choice (KLEE's random search; used by the paper for
+    /// complete explorations).
+    Random,
+    /// KLEE-style coverage-optimized search: prefer states closest to
+    /// uncovered code, interleaved with random picks.
+    CoverageOptimized,
+    /// CFG topological order — the order static state merging needs.
+    Topological,
+}
+
+/// Per-state ordering metadata computed by the engine when a state enters
+/// the worklist.
+#[derive(Debug, Clone)]
+pub struct StateMeta {
+    /// Current function.
+    pub func: FuncId,
+    /// Current block.
+    pub block: BlockId,
+    /// Topological position: one `(rpo index, instr index)` per stack
+    /// frame, outermost first.
+    pub topo: Vec<(u32, u32)>,
+    /// Instructions executed so far (tie-breaking).
+    pub steps: u64,
+}
+
+/// Compares topological positions: lexicographic per frame; when one stack
+/// is a prefix of the other, the *deeper* state is earlier (it must finish
+/// its call before the shallower state's join point is reachable).
+pub fn topo_cmp(a: &StateMeta, b: &StateMeta) -> Ordering {
+    let n = a.topo.len().min(b.topo.len());
+    for i in 0..n {
+        match a.topo[i].cmp(&b.topo[i]) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    // Prefix-equal: deeper stack first.
+    b.topo.len().cmp(&a.topo.len())
+}
+
+/// Feedback the engine offers to strategies at pick time.
+pub trait Oracle {
+    /// Distance (in CFG edges, descending into calls) from a block to the
+    /// nearest uncovered block; `None` when no uncovered code is reachable.
+    fn distance_to_uncovered(&mut self, func: FuncId, block: BlockId) -> Option<u32>;
+    /// The engine's deterministic RNG.
+    fn rng(&mut self) -> &mut StdRng;
+}
+
+/// A worklist scheduling policy. The engine calls `add` when a state enters
+/// the worklist, `remove` when it leaves for any reason (merged away,
+/// picked by an outer layer), and `pick` to select and remove the next
+/// state to execute.
+pub trait Strategy {
+    /// Registers a state.
+    fn add(&mut self, id: StateId, meta: StateMeta);
+    /// Unregisters a state; returns whether it was known.
+    fn remove(&mut self, id: StateId) -> bool;
+    /// Selects, removes and returns the next state.
+    fn pick(&mut self, oracle: &mut dyn Oracle) -> Option<StateId>;
+    /// Number of registered states.
+    fn len(&self) -> usize;
+    /// Whether no states are registered.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Instantiates a boxed strategy from its kind.
+pub fn make_strategy(kind: StrategyKind) -> Box<dyn Strategy> {
+    match kind {
+        StrategyKind::Dfs => Box::new(Dfs::default()),
+        StrategyKind::Bfs => Box::new(Bfs::default()),
+        StrategyKind::Random => Box::new(RandomSearch::default()),
+        StrategyKind::CoverageOptimized => Box::new(CoverageOptimized::default()),
+        StrategyKind::Topological => Box::new(Topological::default()),
+    }
+}
+
+/// Depth-first search.
+#[derive(Debug, Default)]
+pub struct Dfs {
+    stack: Vec<StateId>,
+    live: HashSet<StateId>,
+}
+
+impl Strategy for Dfs {
+    fn add(&mut self, id: StateId, _meta: StateMeta) {
+        self.stack.push(id);
+        self.live.insert(id);
+    }
+
+    fn remove(&mut self, id: StateId) -> bool {
+        self.live.remove(&id)
+    }
+
+    fn pick(&mut self, _oracle: &mut dyn Oracle) -> Option<StateId> {
+        while let Some(id) = self.stack.pop() {
+            if self.live.remove(&id) {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    fn len(&self) -> usize {
+        self.live.len()
+    }
+}
+
+/// Breadth-first search.
+#[derive(Debug, Default)]
+pub struct Bfs {
+    queue: VecDeque<StateId>,
+    live: HashSet<StateId>,
+}
+
+impl Strategy for Bfs {
+    fn add(&mut self, id: StateId, _meta: StateMeta) {
+        self.queue.push_back(id);
+        self.live.insert(id);
+    }
+
+    fn remove(&mut self, id: StateId) -> bool {
+        self.live.remove(&id)
+    }
+
+    fn pick(&mut self, _oracle: &mut dyn Oracle) -> Option<StateId> {
+        while let Some(id) = self.queue.pop_front() {
+            if self.live.remove(&id) {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    fn len(&self) -> usize {
+        self.live.len()
+    }
+}
+
+/// Uniform random search.
+#[derive(Debug, Default)]
+pub struct RandomSearch {
+    states: Vec<StateId>,
+    pos: HashMap<StateId, usize>,
+}
+
+impl RandomSearch {
+    fn swap_remove_at(&mut self, i: usize) -> StateId {
+        let id = self.states.swap_remove(i);
+        self.pos.remove(&id);
+        if let Some(&moved) = self.states.get(i) {
+            self.pos.insert(moved, i);
+        }
+        id
+    }
+}
+
+impl Strategy for RandomSearch {
+    fn add(&mut self, id: StateId, _meta: StateMeta) {
+        self.pos.insert(id, self.states.len());
+        self.states.push(id);
+    }
+
+    fn remove(&mut self, id: StateId) -> bool {
+        match self.pos.get(&id).copied() {
+            Some(i) => {
+                self.swap_remove_at(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn pick(&mut self, oracle: &mut dyn Oracle) -> Option<StateId> {
+        if self.states.is_empty() {
+            return None;
+        }
+        let i = oracle.rng().gen_range(0..self.states.len());
+        Some(self.swap_remove_at(i))
+    }
+
+    fn len(&self) -> usize {
+        self.states.len()
+    }
+}
+
+/// Coverage-optimized search (the paper's `[6]` reference): pick the state
+/// whose location is closest to uncovered code, breaking ties toward
+/// *deeper* states (CFG distance cannot see loop progress, so depth is the
+/// better proxy for "about to reach the gated block") and interleaving an
+/// ε-fraction of uniformly random picks, like KLEE's interleaved
+/// searchers.
+#[derive(Debug)]
+pub struct CoverageOptimized {
+    metas: HashMap<StateId, StateMeta>,
+    /// Insertion-ordered ids for deterministic random sampling
+    /// (HashMap iteration order would not be reproducible).
+    order: Vec<StateId>,
+    pos: HashMap<StateId, usize>,
+    /// Probability of a random pick.
+    epsilon: f64,
+}
+
+impl Default for CoverageOptimized {
+    fn default() -> Self {
+        CoverageOptimized {
+            metas: HashMap::new(),
+            order: Vec::new(),
+            pos: HashMap::new(),
+            epsilon: 0.25,
+        }
+    }
+}
+
+impl CoverageOptimized {
+    fn drop_from_order(&mut self, id: StateId) {
+        if let Some(i) = self.pos.remove(&id) {
+            self.order.swap_remove(i);
+            if let Some(&moved) = self.order.get(i) {
+                self.pos.insert(moved, i);
+            }
+        }
+    }
+}
+
+impl Strategy for CoverageOptimized {
+    fn add(&mut self, id: StateId, meta: StateMeta) {
+        self.metas.insert(id, meta);
+        self.pos.insert(id, self.order.len());
+        self.order.push(id);
+    }
+
+    fn remove(&mut self, id: StateId) -> bool {
+        self.drop_from_order(id);
+        self.metas.remove(&id).is_some()
+    }
+
+    fn pick(&mut self, oracle: &mut dyn Oracle) -> Option<StateId> {
+        if self.metas.is_empty() {
+            return None;
+        }
+        let random_pick = oracle.rng().gen_bool(self.epsilon);
+        let chosen = if random_pick {
+            let k = oracle.rng().gen_range(0..self.order.len());
+            self.order[k]
+        } else {
+            let mut best: Option<(u64, u64, StateId)> = None;
+            for (&id, meta) in &self.metas {
+                let dist = oracle
+                    .distance_to_uncovered(meta.func, meta.block)
+                    .map(u64::from)
+                    .unwrap_or(u64::MAX / 2);
+                let key = (dist, u64::MAX - meta.steps, id);
+                if best.map_or(true, |b| key < (b.0, b.1, b.2)) {
+                    best = Some(key);
+                }
+            }
+            best.expect("non-empty").2
+        };
+        self.drop_from_order(chosen);
+        self.metas.remove(&chosen);
+        Some(chosen)
+    }
+
+    fn len(&self) -> usize {
+        self.metas.len()
+    }
+}
+
+/// CFG topological order (for static state merging): always pick the state
+/// earliest in [`topo_cmp`] order, so every path reaching a join point is
+/// explored before the join point itself is stepped past.
+#[derive(Debug, Default)]
+pub struct Topological {
+    metas: HashMap<StateId, StateMeta>,
+}
+
+impl Strategy for Topological {
+    fn add(&mut self, id: StateId, meta: StateMeta) {
+        self.metas.insert(id, meta);
+    }
+
+    fn remove(&mut self, id: StateId) -> bool {
+        self.metas.remove(&id).is_some()
+    }
+
+    fn pick(&mut self, _oracle: &mut dyn Oracle) -> Option<StateId> {
+        let best = self
+            .metas
+            .iter()
+            .min_by(|(ia, a), (ib, b)| topo_cmp(a, b).then(ia.cmp(ib)))
+            .map(|(&id, _)| id)?;
+        self.metas.remove(&best);
+        Some(best)
+    }
+
+    fn len(&self) -> usize {
+        self.metas.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    struct TestOracle {
+        rng: StdRng,
+        distances: HashMap<(FuncId, BlockId), u32>,
+    }
+
+    impl TestOracle {
+        fn new() -> Self {
+            TestOracle { rng: StdRng::seed_from_u64(7), distances: HashMap::new() }
+        }
+    }
+
+    impl Oracle for TestOracle {
+        fn distance_to_uncovered(&mut self, func: FuncId, block: BlockId) -> Option<u32> {
+            self.distances.get(&(func, block)).copied()
+        }
+
+        fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+    }
+
+    fn meta(block: u32, rpo: u32, steps: u64) -> StateMeta {
+        StateMeta {
+            func: FuncId(0),
+            block: BlockId(block),
+            topo: vec![(rpo, 0)],
+            steps,
+        }
+    }
+
+    #[test]
+    fn dfs_is_lifo_bfs_is_fifo() {
+        let mut oracle = TestOracle::new();
+        let mut dfs = Dfs::default();
+        let mut bfs = Bfs::default();
+        for i in 0..3 {
+            dfs.add(StateId(i), meta(0, 0, 0));
+            bfs.add(StateId(i), meta(0, 0, 0));
+        }
+        assert_eq!(dfs.pick(&mut oracle), Some(StateId(2)));
+        assert_eq!(bfs.pick(&mut oracle), Some(StateId(0)));
+    }
+
+    #[test]
+    fn removed_states_are_never_picked() {
+        let mut oracle = TestOracle::new();
+        for kind in [
+            StrategyKind::Dfs,
+            StrategyKind::Bfs,
+            StrategyKind::Random,
+            StrategyKind::CoverageOptimized,
+            StrategyKind::Topological,
+        ] {
+            let mut s = make_strategy(kind);
+            s.add(StateId(1), meta(0, 0, 0));
+            s.add(StateId(2), meta(1, 1, 0));
+            assert!(s.remove(StateId(1)));
+            assert!(!s.remove(StateId(1)), "double-remove reports false");
+            assert_eq!(s.pick(&mut oracle), Some(StateId(2)), "{kind:?}");
+            assert_eq!(s.pick(&mut oracle), None, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn topological_prefers_earlier_rpo_and_deeper_stacks() {
+        let mut oracle = TestOracle::new();
+        let mut topo = Topological::default();
+        topo.add(StateId(1), meta(5, 5, 0));
+        topo.add(StateId(2), meta(2, 2, 0));
+        assert_eq!(topo.pick(&mut oracle), Some(StateId(2)));
+        // Deeper stack with equal prefix comes first.
+        let shallow = StateMeta { func: FuncId(0), block: BlockId(0), topo: vec![(1, 3)], steps: 0 };
+        let deep = StateMeta {
+            func: FuncId(0),
+            block: BlockId(0),
+            topo: vec![(1, 3), (0, 0)],
+            steps: 0,
+        };
+        assert_eq!(topo_cmp(&deep, &shallow), Ordering::Less);
+    }
+
+    #[test]
+    fn coverage_strategy_prefers_small_distance() {
+        let mut oracle = TestOracle::new();
+        oracle.distances.insert((FuncId(0), BlockId(0)), 9);
+        oracle.distances.insert((FuncId(0), BlockId(1)), 1);
+        // ε = 0 for determinism.
+        let mut cov = CoverageOptimized { epsilon: 0.0, ..Default::default() };
+        cov.add(StateId(1), meta(0, 0, 0));
+        cov.add(StateId(2), meta(1, 1, 0));
+        assert_eq!(cov.pick(&mut oracle), Some(StateId(2)));
+    }
+
+    #[test]
+    fn random_strategy_is_seed_deterministic() {
+        let picks = |seed: u64| {
+            let mut oracle = TestOracle { rng: StdRng::seed_from_u64(seed), distances: HashMap::new() };
+            let mut r = RandomSearch::default();
+            for i in 0..10 {
+                r.add(StateId(i), meta(0, 0, 0));
+            }
+            let mut out = Vec::new();
+            while let Some(id) = r.pick(&mut oracle) {
+                out.push(id);
+            }
+            out
+        };
+        assert_eq!(picks(3), picks(3));
+        assert_ne!(picks(3), picks(4));
+    }
+}

@@ -1,0 +1,160 @@
+//! Test-case generation and replay validation.
+//!
+//! Every completed path's condition is handed to the solver; the model
+//! becomes a concrete input vector (KLEE's core use case). Replaying the
+//! inputs on the concrete interpreter and comparing observable behaviour
+//! against the symbolic prediction is the strongest end-to-end soundness
+//! check in the repository: it exercises expressions, the solver, the
+//! engine *and* merging at once.
+
+use symmerge_expr::{ExprId, ExprPool};
+use symmerge_ir::interp::{ExecOutcome, ExecResult, InputMap, Interp};
+use symmerge_ir::Program;
+use symmerge_solver::Model;
+
+/// How the generating path ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestKind {
+    /// Reached `halt`.
+    Halted,
+    /// Returned from `main`.
+    Returned,
+    /// Triggers the named assertion.
+    AssertFailure {
+        /// The assertion message.
+        msg: String,
+    },
+}
+
+/// A concrete test input with its predicted observable behaviour.
+#[derive(Debug, Clone)]
+pub struct TestCase {
+    /// Input symbol assignments (symbol label → value).
+    pub inputs: Vec<(String, u64)>,
+    /// The outputs the symbolic path predicts for these inputs.
+    pub predicted_outputs: Vec<u64>,
+    /// How the path ends.
+    pub kind: TestKind,
+}
+
+impl TestCase {
+    /// Builds a test case from a satisfiable path condition.
+    pub(crate) fn from_model(
+        pool: &ExprPool,
+        model: &Model,
+        pc: &[ExprId],
+        outputs: &[ExprId],
+        kind: TestKind,
+    ) -> TestCase {
+        let mut syms = pool.collect_inputs_many(pc);
+        syms.extend(pool.collect_inputs_many(outputs));
+        syms.sort_unstable();
+        syms.dedup();
+        let inputs = syms
+            .iter()
+            .map(|&s| (pool.symbol_name(s).to_owned(), model.value(s)))
+            .collect();
+        let predicted_outputs = outputs
+            .iter()
+            .map(|&o| pool.eval(o, &|s| model.value(s)).as_bv())
+            .collect();
+        TestCase { inputs, predicted_outputs, kind }
+    }
+
+    /// The inputs as an interpreter [`InputMap`].
+    pub fn input_map(&self) -> InputMap {
+        self.inputs.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// Replays the test on the concrete interpreter.
+    pub fn replay(&self, program: &Program) -> ExecResult {
+        Interp::new(program, self.input_map()).run()
+    }
+
+    /// Replays and checks that the concrete run matches the prediction:
+    /// same outputs, and the expected termination class.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first divergence.
+    pub fn validate(&self, program: &Program) -> Result<(), String> {
+        let result = self.replay(program);
+        match (&self.kind, &result.outcome) {
+            (TestKind::AssertFailure { msg }, ExecOutcome::AssertFailed { msg: got }) => {
+                if msg != got {
+                    return Err(format!("expected assert '{msg}', got '{got}'"));
+                }
+                // Outputs up to the failure point must still match.
+            }
+            (TestKind::AssertFailure { msg }, other) => {
+                return Err(format!("expected assert '{msg}', got {other:?}"));
+            }
+            (TestKind::Halted, ExecOutcome::Halted) => {}
+            (TestKind::Returned, ExecOutcome::Returned) => {}
+            (expected, got) => {
+                return Err(format!("expected {expected:?}, concrete run ended {got:?}"));
+            }
+        }
+        if result.outputs != self.predicted_outputs {
+            return Err(format!(
+                "output mismatch: predicted {:?}, observed {:?}",
+                self.predicted_outputs, result.outputs
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symmerge_ir::minic;
+
+    #[test]
+    fn test_case_round_trips_through_interpreter() {
+        let program = minic::compile(
+            r#"fn main() { let x = sym_int("x"); assume(x == 7); putchar(x + 1); }"#,
+        )
+        .unwrap();
+        let tc = TestCase {
+            inputs: vec![("x".into(), 7)],
+            predicted_outputs: vec![8],
+            kind: TestKind::Returned,
+        };
+        tc.validate(&program).unwrap();
+    }
+
+    #[test]
+    fn validation_detects_wrong_prediction() {
+        let program = minic::compile(
+            r#"fn main() { let x = sym_int("x"); putchar(x); }"#,
+        )
+        .unwrap();
+        let tc = TestCase {
+            inputs: vec![("x".into(), 7)],
+            predicted_outputs: vec![9],
+            kind: TestKind::Returned,
+        };
+        assert!(tc.validate(&program).is_err());
+    }
+
+    #[test]
+    fn assert_failure_test_kind_checked() {
+        let program = minic::compile(
+            r#"fn main() { let x = sym_int("x"); assert(x != 3, "boom"); }"#,
+        )
+        .unwrap();
+        let tc = TestCase {
+            inputs: vec![("x".into(), 3)],
+            predicted_outputs: vec![],
+            kind: TestKind::AssertFailure { msg: "boom".into() },
+        };
+        tc.validate(&program).unwrap();
+        let wrong = TestCase {
+            inputs: vec![("x".into(), 4)],
+            predicted_outputs: vec![],
+            kind: TestKind::AssertFailure { msg: "boom".into() },
+        };
+        assert!(wrong.validate(&program).is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! Concrete evaluation of expressions under an input assignment.
+
+use crate::kind::ExprKind;
+use crate::pool::{eval_bv_binop, eval_cmp, ExprId, ExprPool, SymbolId};
+use crate::sort::mask;
+use std::collections::HashMap;
+
+/// A concrete value: either a bitvector (masked to its width) or a boolean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// A bitvector value (already masked to the expression's width).
+    Bv(u64),
+    /// A boolean value.
+    Bool(bool),
+}
+
+impl Value {
+    /// Extracts the bitvector payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is a boolean.
+    pub fn as_bv(self) -> u64 {
+        match self {
+            Value::Bv(v) => v,
+            Value::Bool(b) => panic!("expected bitvector value, got bool {b}"),
+        }
+    }
+
+    /// Extracts the boolean payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is a bitvector.
+    pub fn as_bool(self) -> bool {
+        match self {
+            Value::Bool(b) => b,
+            Value::Bv(v) => panic!("expected boolean value, got bv {v}"),
+        }
+    }
+}
+
+impl ExprPool {
+    /// Evaluates `root` under the input assignment `env` (mapping each
+    /// [`SymbolId`] to a raw `u64`, masked to the input's declared width).
+    ///
+    /// Evaluation is iterative (no recursion) and memoizes shared subgraphs,
+    /// so it is linear in the DAG size of `root`.
+    ///
+    /// ```
+    /// use symmerge_expr::{ExprPool, Value};
+    /// let mut p = ExprPool::new(8);
+    /// let x = p.input("x", 8);
+    /// let e = p.add(x, x);
+    /// assert_eq!(p.eval(e, &|_| 200), Value::Bv(144)); // wraps at 8 bits
+    /// ```
+    pub fn eval(&self, root: ExprId, env: &dyn Fn(SymbolId) -> u64) -> Value {
+        let mut memo: HashMap<ExprId, Value> = HashMap::new();
+        let mut stack = vec![(root, false)];
+        while let Some((id, expanded)) = stack.pop() {
+            if memo.contains_key(&id) {
+                continue;
+            }
+            let kind = self.kind(id);
+            if !expanded {
+                stack.push((id, true));
+                match kind {
+                    ExprKind::Bv { lhs, rhs, .. }
+                    | ExprKind::Cmp { lhs, rhs, .. }
+                    | ExprKind::Bool { lhs, rhs, .. } => {
+                        stack.push((lhs, false));
+                        stack.push((rhs, false));
+                    }
+                    ExprKind::Not(e) => stack.push((e, false)),
+                    ExprKind::Ite { cond, then, els } => {
+                        stack.push((cond, false));
+                        stack.push((then, false));
+                        stack.push((els, false));
+                    }
+                    _ => {}
+                }
+                continue;
+            }
+            let value = match kind {
+                ExprKind::BvConst { value, .. } => Value::Bv(value),
+                ExprKind::BoolConst(b) => Value::Bool(b),
+                ExprKind::Input { sym, width } => Value::Bv(mask(env(sym), width)),
+                ExprKind::Bv { op, lhs, rhs } => {
+                    let a = memo[&lhs].as_bv();
+                    let b = memo[&rhs].as_bv();
+                    Value::Bv(eval_bv_binop(op, a, b, self.width(id)))
+                }
+                ExprKind::Cmp { op, lhs, rhs } => {
+                    let a = memo[&lhs].as_bv();
+                    let b = memo[&rhs].as_bv();
+                    Value::Bool(eval_cmp(op, a, b, self.width(lhs)))
+                }
+                ExprKind::Not(e) => Value::Bool(!memo[&e].as_bool()),
+                ExprKind::Bool { op, lhs, rhs } => {
+                    let a = memo[&lhs].as_bool();
+                    let b = memo[&rhs].as_bool();
+                    Value::Bool(match op {
+                        crate::kind::BoolBinOp::And => a && b,
+                        crate::kind::BoolBinOp::Or => a || b,
+                        crate::kind::BoolBinOp::Xor => a ^ b,
+                    })
+                }
+                ExprKind::Ite { cond, then, els } => {
+                    if memo[&cond].as_bool() {
+                        memo[&then]
+                    } else {
+                        memo[&els]
+                    }
+                }
+            };
+            memo.insert(id, value);
+        }
+        memo[&root]
+    }
+
+    /// Evaluates a boolean expression, returning its truth value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is bitvector-sorted.
+    pub fn eval_bool(&self, root: ExprId, env: &dyn Fn(SymbolId) -> u64) -> bool {
+        self.eval(root, env).as_bool()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_arithmetic_dag() {
+        let mut p = ExprPool::new(32);
+        let x = p.input("x", 32);
+        let y = p.input("y", 32);
+        let sum = p.add(x, y);
+        let prod = p.mul(sum, sum); // shared subgraph
+        let env = |s: SymbolId| if p.symbol_name(s) == "x" { 3 } else { 4 };
+        assert_eq!(p.eval(prod, &env), Value::Bv(49));
+    }
+
+    #[test]
+    fn eval_ite_and_bools() {
+        let mut p = ExprPool::new(8);
+        let x = p.input("x", 8);
+        let ten = p.bv_const(10, 8);
+        let one = p.bv_const(1, 8);
+        let two = p.bv_const(2, 8);
+        let c = p.ult(x, ten);
+        let e = p.ite(c, one, two);
+        assert_eq!(p.eval(e, &|_| 5), Value::Bv(1));
+        assert_eq!(p.eval(e, &|_| 200), Value::Bv(2));
+        let nc = p.not(c);
+        assert_eq!(p.eval(nc, &|_| 5), Value::Bool(false));
+    }
+
+    #[test]
+    fn eval_masks_env_values() {
+        let mut p = ExprPool::new(8);
+        let x = p.input("x", 8);
+        // env returns an over-wide value; it must be masked to 8 bits
+        assert_eq!(p.eval(x, &|_| 0x1ff), Value::Bv(0xff));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected boolean")]
+    fn eval_bool_on_bv_panics() {
+        let mut p = ExprPool::new(8);
+        let x = p.input("x", 8);
+        let _ = p.eval_bool(x, &|_| 0);
+    }
+}

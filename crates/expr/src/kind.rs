@@ -1,0 +1,191 @@
+//! Expression node kinds and operator enums.
+
+use crate::pool::{ExprId, SymbolId};
+use std::fmt;
+
+/// Binary bitvector operators (`bv × bv → bv`).
+///
+/// Division and remainder follow SMT-LIB total semantics:
+/// `udiv(x, 0) = all-ones`, `urem(x, 0) = x`, `sdiv(x, 0) = ite(x < 0, 1, -1)`,
+/// `srem(x, 0) = x`, and `sdiv(INT_MIN, -1) = INT_MIN` (wrapping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BvBinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned division (total; see type-level docs).
+    UDiv,
+    /// Unsigned remainder (total).
+    URem,
+    /// Signed division (total, truncating).
+    SDiv,
+    /// Signed remainder (total, sign follows dividend).
+    SRem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (shift ≥ width yields 0).
+    Shl,
+    /// Logical shift right (shift ≥ width yields 0).
+    LShr,
+    /// Arithmetic shift right (shift ≥ width yields the sign fill).
+    AShr,
+}
+
+impl BvBinOp {
+    /// Whether `op(x, y) == op(y, x)` for all x, y.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            BvBinOp::Add | BvBinOp::Mul | BvBinOp::And | BvBinOp::Or | BvBinOp::Xor
+        )
+    }
+
+    /// The operator's conventional mnemonic (SMT-LIB style).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BvBinOp::Add => "bvadd",
+            BvBinOp::Sub => "bvsub",
+            BvBinOp::Mul => "bvmul",
+            BvBinOp::UDiv => "bvudiv",
+            BvBinOp::URem => "bvurem",
+            BvBinOp::SDiv => "bvsdiv",
+            BvBinOp::SRem => "bvsrem",
+            BvBinOp::And => "bvand",
+            BvBinOp::Or => "bvor",
+            BvBinOp::Xor => "bvxor",
+            BvBinOp::Shl => "bvshl",
+            BvBinOp::LShr => "bvlshr",
+            BvBinOp::AShr => "bvashr",
+        }
+    }
+}
+
+impl fmt::Display for BvBinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Comparison operators (`bv × bv → bool`).
+///
+/// Only the "canonical" five are represented; `ne`, `ugt`, `uge`, `sgt`,
+/// `sge` are provided as smart constructors on
+/// [`ExprPool`](crate::ExprPool) that rewrite into these plus negation /
+/// argument swaps, improving hash-consing hit rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CmpOp {
+    /// Equality.
+    Eq,
+    /// Unsigned less-than.
+    Ult,
+    /// Unsigned less-or-equal.
+    Ule,
+    /// Signed less-than.
+    Slt,
+    /// Signed less-or-equal.
+    Sle,
+}
+
+impl CmpOp {
+    /// The operator's conventional mnemonic (SMT-LIB style).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ult => "bvult",
+            CmpOp::Ule => "bvule",
+            CmpOp::Slt => "bvslt",
+            CmpOp::Sle => "bvsle",
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Binary boolean connectives (`bool × bool → bool`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BoolBinOp {
+    /// Conjunction.
+    And,
+    /// Disjunction.
+    Or,
+    /// Exclusive or.
+    Xor,
+}
+
+impl BoolBinOp {
+    /// The operator's conventional mnemonic (SMT-LIB style).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BoolBinOp::And => "and",
+            BoolBinOp::Or => "or",
+            BoolBinOp::Xor => "xor",
+        }
+    }
+}
+
+impl fmt::Display for BoolBinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// The shape of one node in the hash-consed expression DAG.
+///
+/// Construct these only through the [`ExprPool`](crate::ExprPool) smart
+/// constructors, which canonicalize and simplify; the `ExprKind` stored in
+/// the pool is the *post-simplification* shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExprKind {
+    /// A bitvector constant (value stored masked to the node's width).
+    BvConst { value: u64, width: u32 },
+    /// A boolean constant.
+    BoolConst(bool),
+    /// A symbolic input variable of the given width.
+    Input { sym: SymbolId, width: u32 },
+    /// A binary bitvector operation.
+    Bv { op: BvBinOp, lhs: ExprId, rhs: ExprId },
+    /// A comparison producing a boolean.
+    Cmp { op: CmpOp, lhs: ExprId, rhs: ExprId },
+    /// Boolean negation.
+    Not(ExprId),
+    /// A binary boolean connective.
+    Bool { op: BoolBinOp, lhs: ExprId, rhs: ExprId },
+    /// If-then-else over either sort: `then` and `els` share a sort.
+    Ite { cond: ExprId, then: ExprId, els: ExprId },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commutativity_table() {
+        assert!(BvBinOp::Add.is_commutative());
+        assert!(BvBinOp::Mul.is_commutative());
+        assert!(BvBinOp::And.is_commutative());
+        assert!(BvBinOp::Or.is_commutative());
+        assert!(BvBinOp::Xor.is_commutative());
+        assert!(!BvBinOp::Sub.is_commutative());
+        assert!(!BvBinOp::Shl.is_commutative());
+        assert!(!BvBinOp::UDiv.is_commutative());
+    }
+
+    #[test]
+    fn mnemonics_are_stable() {
+        assert_eq!(BvBinOp::Add.to_string(), "bvadd");
+        assert_eq!(CmpOp::Eq.to_string(), "=");
+        assert_eq!(CmpOp::Slt.to_string(), "bvslt");
+        assert_eq!(BoolBinOp::Or.to_string(), "or");
+    }
+}

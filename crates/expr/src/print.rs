@@ -1,0 +1,142 @@
+//! Human-readable rendering of expressions.
+
+use crate::kind::ExprKind;
+use crate::pool::{ExprId, ExprPool};
+use std::fmt;
+
+/// A bounded pretty-printer for an expression, produced by
+/// [`ExprPool::display`]. Rendering stops (with an ellipsis) after a node
+/// budget so that printing a pathological DAG can never blow up
+/// exponentially.
+#[derive(Debug)]
+pub struct DisplayExpr<'p> {
+    pool: &'p ExprPool,
+    root: ExprId,
+    budget: usize,
+}
+
+impl ExprPool {
+    /// Renders `root` as an SMT-LIB-flavoured s-expression, spending at most
+    /// `budget` node visits (ellipsis afterwards).
+    pub fn display_with_budget(&self, root: ExprId, budget: usize) -> DisplayExpr<'_> {
+        DisplayExpr { pool: self, root, budget }
+    }
+
+    /// Renders `root` with a default budget of 512 nodes.
+    ///
+    /// ```
+    /// use symmerge_expr::ExprPool;
+    /// let mut p = ExprPool::new(8);
+    /// let x = p.input("x", 8);
+    /// let two = p.bv_const(2, 8);
+    /// let e = p.add(x, two);
+    /// assert_eq!(p.display(e).to_string(), "(bvadd x 2)");
+    /// ```
+    pub fn display(&self, root: ExprId) -> DisplayExpr<'_> {
+        self.display_with_budget(root, 512)
+    }
+}
+
+impl fmt::Display for DisplayExpr<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut budget = self.budget;
+        write_expr(self.pool, self.root, f, &mut budget)
+    }
+}
+
+fn write_expr(
+    pool: &ExprPool,
+    id: ExprId,
+    f: &mut fmt::Formatter<'_>,
+    budget: &mut usize,
+) -> fmt::Result {
+    if *budget == 0 {
+        return write!(f, "…");
+    }
+    *budget -= 1;
+    match pool.kind(id) {
+        ExprKind::BvConst { value, width } => {
+            let signed = crate::sort::to_signed(value, width);
+            if signed < 0 && signed > -1024 {
+                write!(f, "{signed}")
+            } else {
+                write!(f, "{value}")
+            }
+        }
+        ExprKind::BoolConst(b) => write!(f, "{b}"),
+        ExprKind::Input { sym, .. } => write!(f, "{}", pool.symbol_name(sym)),
+        ExprKind::Bv { op, lhs, rhs } => {
+            write!(f, "({op} ")?;
+            write_expr(pool, lhs, f, budget)?;
+            write!(f, " ")?;
+            write_expr(pool, rhs, f, budget)?;
+            write!(f, ")")
+        }
+        ExprKind::Cmp { op, lhs, rhs } => {
+            write!(f, "({op} ")?;
+            write_expr(pool, lhs, f, budget)?;
+            write!(f, " ")?;
+            write_expr(pool, rhs, f, budget)?;
+            write!(f, ")")
+        }
+        ExprKind::Not(e) => {
+            write!(f, "(not ")?;
+            write_expr(pool, e, f, budget)?;
+            write!(f, ")")
+        }
+        ExprKind::Bool { op, lhs, rhs } => {
+            write!(f, "({op} ")?;
+            write_expr(pool, lhs, f, budget)?;
+            write!(f, " ")?;
+            write_expr(pool, rhs, f, budget)?;
+            write!(f, ")")
+        }
+        ExprKind::Ite { cond, then, els } => {
+            write!(f, "(ite ")?;
+            write_expr(pool, cond, f, budget)?;
+            write!(f, " ")?;
+            write_expr(pool, then, f, budget)?;
+            write!(f, " ")?;
+            write_expr(pool, els, f, budget)?;
+            write!(f, ")")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_expressions() {
+        let mut p = ExprPool::new(32);
+        let x = p.input("x", 32);
+        let five = p.bv_const(5, 32);
+        let ten = p.bv_const(10, 32);
+        let s = p.add(x, five);
+        let c = p.ult(s, ten);
+        assert_eq!(p.display(c).to_string(), "(bvult (bvadd x 5) 10)");
+    }
+
+    #[test]
+    fn renders_negative_constants_signed() {
+        let mut p = ExprPool::new(32);
+        let m1 = p.bv_const_i64(-1, 32);
+        assert_eq!(p.display(m1).to_string(), "-1");
+    }
+
+    #[test]
+    fn budget_truncates() {
+        let mut p = ExprPool::new(32);
+        let x = p.input("x", 32);
+        let one = p.bv_const(1, 32);
+        let mut e = x;
+        for _ in 0..100 {
+            e = p.add(e, one);
+            e = p.mul(e, x);
+        }
+        let s = p.display_with_budget(e, 8).to_string();
+        assert!(s.contains('…'));
+        assert!(s.len() < 200);
+    }
+}

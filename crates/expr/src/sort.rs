@@ -1,0 +1,115 @@
+//! Expression sorts (types).
+
+use std::fmt;
+
+/// The sort (type) of an expression: a boolean or a fixed-width bitvector.
+///
+/// All bitvector operations require both operands to share the same width;
+/// the [`ExprPool`](crate::ExprPool) constructors panic on width mismatches,
+/// which indicates a bug in the caller (the IR lowering guarantees
+/// well-sortedness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sort {
+    /// Boolean sort.
+    Bool,
+    /// Bitvector of the given width in bits (1..=64).
+    Bv(u32),
+}
+
+impl Sort {
+    /// Returns the width if this is a bitvector sort.
+    ///
+    /// ```
+    /// use symmerge_expr::Sort;
+    /// assert_eq!(Sort::Bv(8).bv_width(), Some(8));
+    /// assert_eq!(Sort::Bool.bv_width(), None);
+    /// ```
+    pub fn bv_width(self) -> Option<u32> {
+        match self {
+            Sort::Bool => None,
+            Sort::Bv(w) => Some(w),
+        }
+    }
+
+    /// Whether this sort is [`Sort::Bool`].
+    pub fn is_bool(self) -> bool {
+        matches!(self, Sort::Bool)
+    }
+
+    /// Whether this sort is a bitvector.
+    pub fn is_bv(self) -> bool {
+        matches!(self, Sort::Bv(_))
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Bool => write!(f, "bool"),
+            Sort::Bv(w) => write!(f, "bv{w}"),
+        }
+    }
+}
+
+/// Masks a raw `u64` to `width` bits.
+///
+/// This is the canonical representation of bitvector constants throughout
+/// the crate: the value is always stored masked.
+#[inline]
+pub fn mask(value: u64, width: u32) -> u64 {
+    debug_assert!((1..=64).contains(&width), "bitvector width {width} out of range");
+    if width == 64 {
+        value
+    } else {
+        value & ((1u64 << width) - 1)
+    }
+}
+
+/// Sign-extends a `width`-bit value (already masked) to a signed `i64`.
+#[inline]
+pub fn to_signed(value: u64, width: u32) -> i64 {
+    debug_assert!((1..=64).contains(&width));
+    if width == 64 {
+        value as i64
+    } else {
+        let sign_bit = 1u64 << (width - 1);
+        if value & sign_bit != 0 {
+            (value | !((1u64 << width) - 1)) as i64
+        } else {
+            value as i64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_truncates_to_width() {
+        assert_eq!(mask(0x1ff, 8), 0xff);
+        assert_eq!(mask(0x100, 8), 0);
+        assert_eq!(mask(u64::MAX, 64), u64::MAX);
+        assert_eq!(mask(u64::MAX, 1), 1);
+    }
+
+    #[test]
+    fn signed_reinterpretation() {
+        assert_eq!(to_signed(0xff, 8), -1);
+        assert_eq!(to_signed(0x7f, 8), 127);
+        assert_eq!(to_signed(0x80, 8), -128);
+        assert_eq!(to_signed(u64::MAX, 64), -1);
+        assert_eq!(to_signed(1, 1), -1);
+        assert_eq!(to_signed(0, 1), 0);
+    }
+
+    #[test]
+    fn sort_accessors() {
+        assert!(Sort::Bool.is_bool());
+        assert!(!Sort::Bool.is_bv());
+        assert!(Sort::Bv(32).is_bv());
+        assert_eq!(Sort::Bv(32).bv_width(), Some(32));
+        assert_eq!(format!("{}", Sort::Bv(8)), "bv8");
+        assert_eq!(format!("{}", Sort::Bool), "bool");
+    }
+}

@@ -1,0 +1,330 @@
+//! Property-based tests for the expression pool.
+//!
+//! Strategy: generate random expression trees over a small set of inputs,
+//! then check that (a) the smart-constructor simplifications are
+//! semantics-preserving w.r.t. an independently generated unsimplified
+//! evaluation, and (b) structural invariants of the pool hold.
+
+use proptest::prelude::*;
+use symmerge_expr::{BvBinOp, CmpOp, ExprId, ExprPool, Value};
+
+/// A symbolic recipe for building an expression, independent of any pool.
+#[derive(Debug, Clone)]
+enum Recipe {
+    Const(u64),
+    Input(u8),
+    Bv(BvBinOp, Box<Recipe>, Box<Recipe>),
+    Ite(Box<CondRecipe>, Box<Recipe>, Box<Recipe>),
+}
+
+#[derive(Debug, Clone)]
+enum CondRecipe {
+    Cmp(CmpOp, Box<Recipe>, Box<Recipe>),
+    Not(Box<CondRecipe>),
+    And(Box<CondRecipe>, Box<CondRecipe>),
+    Or(Box<CondRecipe>, Box<CondRecipe>),
+}
+
+const WIDTH: u32 = 16;
+const NUM_INPUTS: u8 = 4;
+
+fn bv_op_strategy() -> impl Strategy<Value = BvBinOp> {
+    prop_oneof![
+        Just(BvBinOp::Add),
+        Just(BvBinOp::Sub),
+        Just(BvBinOp::Mul),
+        Just(BvBinOp::UDiv),
+        Just(BvBinOp::URem),
+        Just(BvBinOp::SDiv),
+        Just(BvBinOp::SRem),
+        Just(BvBinOp::And),
+        Just(BvBinOp::Or),
+        Just(BvBinOp::Xor),
+        Just(BvBinOp::Shl),
+        Just(BvBinOp::LShr),
+        Just(BvBinOp::AShr),
+    ]
+}
+
+fn cmp_op_strategy() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ult),
+        Just(CmpOp::Ule),
+        Just(CmpOp::Slt),
+        Just(CmpOp::Sle),
+    ]
+}
+
+fn recipe_strategy() -> impl Strategy<Value = Recipe> {
+    let leaf = prop_oneof![
+        (0u64..=0xffff).prop_map(Recipe::Const),
+        (0u8..NUM_INPUTS).prop_map(Recipe::Input),
+    ];
+    leaf.prop_recursive(4, 64, 3, |inner| {
+        let cond = (cmp_op_strategy(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| {
+            CondRecipe::Cmp(op, Box::new(a), Box::new(b))
+        });
+        prop_oneof![
+            (bv_op_strategy(), inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| Recipe::Bv(op, Box::new(a), Box::new(b))),
+            (cond, inner.clone(), inner)
+                .prop_map(|(c, a, b)| Recipe::Ite(Box::new(c), Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+/// Builds the recipe through the pool's smart constructors.
+fn build(pool: &mut ExprPool, r: &Recipe) -> ExprId {
+    match r {
+        Recipe::Const(v) => pool.bv_const(*v, WIDTH),
+        Recipe::Input(i) => pool.input(&format!("in{i}"), WIDTH),
+        Recipe::Bv(op, a, b) => {
+            let (a, b) = (build(pool, a), build(pool, b));
+            pool.bv(*op, a, b)
+        }
+        Recipe::Ite(c, a, b) => {
+            let c = build_cond(pool, c);
+            let (a, b) = (build(pool, a), build(pool, b));
+            pool.ite(c, a, b)
+        }
+    }
+}
+
+fn build_cond(pool: &mut ExprPool, r: &CondRecipe) -> ExprId {
+    match r {
+        CondRecipe::Cmp(op, a, b) => {
+            let (a, b) = (build(pool, a), build(pool, b));
+            pool.cmp(*op, a, b)
+        }
+        CondRecipe::Not(c) => {
+            let c = build_cond(pool, c);
+            pool.not(c)
+        }
+        CondRecipe::And(a, b) => {
+            let (a, b) = (build_cond(pool, a), build_cond(pool, b));
+            pool.and(a, b)
+        }
+        CondRecipe::Or(a, b) => {
+            let (a, b) = (build_cond(pool, a), build_cond(pool, b));
+            pool.or(a, b)
+        }
+    }
+}
+
+/// Reference evaluation of the recipe, *without* any simplification.
+fn eval_recipe(r: &Recipe, env: &[u64]) -> u64 {
+    // Mirror the documented concrete semantics directly.
+    fn m(v: u64) -> u64 {
+        v & 0xffff
+    }
+    fn sgn(v: u64) -> i64 {
+        if v & 0x8000 != 0 {
+            (v | !0xffffu64) as i64
+        } else {
+            v as i64
+        }
+    }
+    match r {
+        Recipe::Const(v) => m(*v),
+        Recipe::Input(i) => m(env[*i as usize]),
+        Recipe::Bv(op, a, b) => {
+            let (x, y) = (eval_recipe(a, env), eval_recipe(b, env));
+            match op {
+                BvBinOp::Add => m(x.wrapping_add(y)),
+                BvBinOp::Sub => m(x.wrapping_sub(y)),
+                BvBinOp::Mul => m(x.wrapping_mul(y)),
+                BvBinOp::UDiv => {
+                    if y == 0 {
+                        0xffff
+                    } else {
+                        m(x / y)
+                    }
+                }
+                BvBinOp::URem => {
+                    if y == 0 {
+                        x
+                    } else {
+                        m(x % y)
+                    }
+                }
+                BvBinOp::SDiv => {
+                    let (sx, sy) = (sgn(x), sgn(y));
+                    if sy == 0 {
+                        if sx < 0 {
+                            1
+                        } else {
+                            0xffff
+                        }
+                    } else {
+                        m(sx.wrapping_div(sy) as u64)
+                    }
+                }
+                BvBinOp::SRem => {
+                    let (sx, sy) = (sgn(x), sgn(y));
+                    if sy == 0 {
+                        x
+                    } else {
+                        m(sx.wrapping_rem(sy) as u64)
+                    }
+                }
+                BvBinOp::And => x & y,
+                BvBinOp::Or => x | y,
+                BvBinOp::Xor => x ^ y,
+                BvBinOp::Shl => {
+                    if y >= 16 {
+                        0
+                    } else {
+                        m(x << y)
+                    }
+                }
+                BvBinOp::LShr => {
+                    if y >= 16 {
+                        0
+                    } else {
+                        x >> y
+                    }
+                }
+                BvBinOp::AShr => {
+                    if y >= 16 {
+                        if sgn(x) < 0 {
+                            0xffff
+                        } else {
+                            0
+                        }
+                    } else {
+                        m((sgn(x) >> y) as u64)
+                    }
+                }
+            }
+        }
+        Recipe::Ite(c, a, b) => {
+            if eval_cond(c, env) {
+                eval_recipe(a, env)
+            } else {
+                eval_recipe(b, env)
+            }
+        }
+    }
+}
+
+fn eval_cond(r: &CondRecipe, env: &[u64]) -> bool {
+    fn sgn(v: u64) -> i64 {
+        if v & 0x8000 != 0 {
+            (v | !0xffffu64) as i64
+        } else {
+            v as i64
+        }
+    }
+    match r {
+        CondRecipe::Cmp(op, a, b) => {
+            let (x, y) = (eval_recipe(a, env), eval_recipe(b, env));
+            match op {
+                CmpOp::Eq => x == y,
+                CmpOp::Ult => x < y,
+                CmpOp::Ule => x <= y,
+                CmpOp::Slt => sgn(x) < sgn(y),
+                CmpOp::Sle => sgn(x) <= sgn(y),
+            }
+        }
+        CondRecipe::Not(c) => !eval_cond(c, env),
+        CondRecipe::And(a, b) => eval_cond(a, env) && eval_cond(b, env),
+        CondRecipe::Or(a, b) => eval_cond(a, env) || eval_cond(b, env),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Smart-constructor simplification preserves semantics.
+    #[test]
+    fn simplification_preserves_semantics(
+        recipe in recipe_strategy(),
+        env in proptest::collection::vec(0u64..=0xffff, NUM_INPUTS as usize),
+    ) {
+        let mut pool = ExprPool::new(WIDTH);
+        let id = build(&mut pool, &recipe);
+        let expected = eval_recipe(&recipe, &env);
+        let lookup = |sym: symmerge_expr::SymbolId| {
+            let name = pool.symbol_name(sym);
+            let idx: usize = name.strip_prefix("in").unwrap().parse().unwrap();
+            env[idx]
+        };
+        prop_assert_eq!(pool.eval(id, &lookup), Value::Bv(expected));
+    }
+
+    /// Any expression with no inputs must have been folded to a constant.
+    #[test]
+    fn input_free_expressions_fold_to_constants(recipe in recipe_strategy()) {
+        fn strip_inputs(r: &Recipe) -> Recipe {
+            match r {
+                Recipe::Const(v) => Recipe::Const(*v),
+                Recipe::Input(i) => Recipe::Const(u64::from(*i) * 31 + 7),
+                Recipe::Bv(op, a, b) =>
+                    Recipe::Bv(*op, Box::new(strip_inputs(a)), Box::new(strip_inputs(b))),
+                Recipe::Ite(c, a, b) => Recipe::Ite(
+                    Box::new(strip_cond(c)),
+                    Box::new(strip_inputs(a)),
+                    Box::new(strip_inputs(b)),
+                ),
+            }
+        }
+        fn strip_cond(r: &CondRecipe) -> CondRecipe {
+            match r {
+                CondRecipe::Cmp(op, a, b) =>
+                    CondRecipe::Cmp(*op, Box::new(strip_inputs(a)), Box::new(strip_inputs(b))),
+                CondRecipe::Not(c) => CondRecipe::Not(Box::new(strip_cond(c))),
+                CondRecipe::And(a, b) =>
+                    CondRecipe::And(Box::new(strip_cond(a)), Box::new(strip_cond(b))),
+                CondRecipe::Or(a, b) =>
+                    CondRecipe::Or(Box::new(strip_cond(a)), Box::new(strip_cond(b))),
+            }
+        }
+        let concrete = strip_inputs(&recipe);
+        let mut pool = ExprPool::new(WIDTH);
+        let id = build(&mut pool, &concrete);
+        prop_assert!(pool.as_bv_const(id).is_some(),
+            "input-free expression did not fold: {}", pool.display(id));
+        prop_assert!(!pool.depends_on_input(id));
+    }
+
+    /// Hash-consing: building the same recipe twice yields identical ids,
+    /// and the pool does not grow on the second build.
+    #[test]
+    fn hash_consing_is_idempotent(recipe in recipe_strategy()) {
+        let mut pool = ExprPool::new(WIDTH);
+        let a = build(&mut pool, &recipe);
+        let size_after_first = pool.len();
+        let b = build(&mut pool, &recipe);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(pool.len(), size_after_first);
+    }
+
+    /// `not` is an involution on booleans.
+    #[test]
+    fn not_is_involution(
+        recipe in recipe_strategy(),
+    ) {
+        let mut pool = ExprPool::new(WIDTH);
+        let e = build(&mut pool, &recipe);
+        let k = pool.bv_const(42, WIDTH);
+        let c = pool.eq(e, k);
+        let n = pool.not(c);
+        let nn = pool.not(n);
+        prop_assert_eq!(nn, c);
+    }
+
+    /// Fingerprint tokens: symbolic expressions map to the marker, concrete
+    /// ones never do.
+    #[test]
+    fn fingerprint_marker_iff_symbolic(recipe in recipe_strategy()) {
+        let mut pool = ExprPool::new(WIDTH);
+        let id = build(&mut pool, &recipe);
+        let token = pool.fingerprint_token(id);
+        if pool.depends_on_input(id) {
+            prop_assert_eq!(token, u64::MAX);
+        } else {
+            prop_assert_ne!(token, u64::MAX);
+        }
+    }
+}

@@ -1,0 +1,820 @@
+//! Control-flow and call-graph analyses.
+//!
+//! These are the static inputs to query count estimation (paper §3.2):
+//! reverse post-order and dominators feed natural-loop detection, loops get
+//! best-effort static trip counts (falling back to the paper's `κ` bound
+//! when undecidable), and the call graph's bottom-up SCC order drives the
+//! compositional, per-function analysis.
+
+use crate::program::{
+    BinOp, BlockId, FuncId, Function, Instr, LocalId, Operand, Program, Rvalue, Terminator,
+};
+use std::collections::{HashMap, HashSet};
+
+/// A natural loop.
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    /// The loop header (target of the back edges).
+    pub header: BlockId,
+    /// Latch blocks (sources of back edges).
+    pub latches: Vec<BlockId>,
+    /// All blocks in the loop body (including the header).
+    pub body: HashSet<BlockId>,
+    /// Statically determined iteration count, if the loop matches the
+    /// canonical `for (i = c0; i ⋈ c1; i += c2)` shape.
+    pub trip_count: Option<u64>,
+    /// Index of the innermost enclosing loop, if any.
+    pub parent: Option<usize>,
+    /// Nesting depth (outermost = 1).
+    pub depth: u32,
+}
+
+/// Per-function CFG facts.
+#[derive(Debug, Clone)]
+pub struct CfgInfo {
+    /// Predecessors of each block.
+    pub preds: Vec<Vec<BlockId>>,
+    /// Blocks in reverse post-order from the entry.
+    pub rpo: Vec<BlockId>,
+    /// Position of each block in `rpo` (unreachable blocks get `u32::MAX`).
+    pub rpo_index: Vec<u32>,
+    /// Immediate dominator of each block (`None` for entry/unreachable).
+    pub idom: Vec<Option<BlockId>>,
+    /// Loop-aware topological position of each block: a loop's header,
+    /// then its entire body, then its exits. This — not plain RPO, which
+    /// orders exits *before* bodies — is the order static state merging
+    /// must explore in, so that every path into a join point is finished
+    /// before the join is stepped past (unreachable blocks get u32::MAX).
+    pub topo_index: Vec<u32>,
+    /// Natural loops, outermost first.
+    pub loops: Vec<LoopInfo>,
+    /// Innermost loop containing each block, if any.
+    pub loop_of: Vec<Option<usize>>,
+}
+
+impl CfgInfo {
+    /// Computes all facts for one function.
+    pub fn analyze(f: &Function) -> CfgInfo {
+        let n = f.blocks.len();
+        let succs: Vec<Vec<BlockId>> =
+            f.blocks.iter().map(|b| b.terminator.successors()).collect();
+        let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for (b, ss) in succs.iter().enumerate() {
+            for &s in ss {
+                preds[s.index()].push(BlockId(b as u32));
+            }
+        }
+
+        // Reverse post-order via iterative DFS.
+        let mut rpo = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        let mut stack: Vec<(BlockId, usize)> = vec![(f.entry(), 0)];
+        visited[f.entry().index()] = true;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let ss = &succs[b.index()];
+            if *next < ss.len() {
+                let s = ss[*next];
+                *next += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                rpo.push(b);
+                stack.pop();
+            }
+        }
+        rpo.reverse();
+        let mut rpo_index = vec![u32::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i as u32;
+        }
+
+        let idom = dominators(f, &rpo, &rpo_index, &preds);
+        let mut loops = find_loops(f, &succs, &idom, &rpo_index);
+        assign_nesting(&mut loops);
+        let mut loop_of = vec![None; n];
+        // Innermost loop = the deepest loop containing the block.
+        for (li, l) in loops.iter().enumerate() {
+            for &b in &l.body {
+                match loop_of[b.index()] {
+                    None => loop_of[b.index()] = Some(li),
+                    Some(prev) if loops[prev].depth < l.depth => loop_of[b.index()] = Some(li),
+                    _ => {}
+                }
+            }
+        }
+        let mut info =
+            CfgInfo { preds, rpo, rpo_index, idom, topo_index: Vec::new(), loops, loop_of };
+        detect_trip_counts(f, &mut info);
+        info.topo_index = loop_aware_topo(f, &info);
+        info
+    }
+
+    /// Whether `a` dominates `b`.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+}
+
+/// Cooper–Harvey–Kennedy iterative dominator computation.
+fn dominators(
+    f: &Function,
+    rpo: &[BlockId],
+    rpo_index: &[u32],
+    preds: &[Vec<BlockId>],
+) -> Vec<Option<BlockId>> {
+    let n = f.blocks.len();
+    let mut idom: Vec<Option<BlockId>> = vec![None; n];
+    let entry = f.entry();
+    idom[entry.index()] = Some(entry);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom: Option<BlockId> = None;
+            for &p in &preds[b.index()] {
+                if idom[p.index()].is_none() {
+                    continue; // unreachable predecessor
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(cur, p, &idom, rpo_index),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[b.index()] != Some(ni) {
+                    idom[b.index()] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    // Convention: entry's idom is None for callers; it was Some(entry) internally.
+    idom[entry.index()] = None;
+    idom
+}
+
+fn intersect(
+    mut a: BlockId,
+    mut b: BlockId,
+    idom: &[Option<BlockId>],
+    rpo_index: &[u32],
+) -> BlockId {
+    while a != b {
+        while rpo_index[a.index()] > rpo_index[b.index()] {
+            a = idom[a.index()].expect("dominator chain broken");
+        }
+        while rpo_index[b.index()] > rpo_index[a.index()] {
+            b = idom[b.index()].expect("dominator chain broken");
+        }
+    }
+    a
+}
+
+fn find_loops(
+    f: &Function,
+    succs: &[Vec<BlockId>],
+    idom: &[Option<BlockId>],
+    rpo_index: &[u32],
+) -> Vec<LoopInfo> {
+    // Temporarily restore entry self-idom for dominance queries.
+    let n = f.blocks.len();
+    let mut idom2: Vec<Option<BlockId>> = idom.to_vec();
+    idom2[f.entry().index()] = Some(f.entry());
+    let dominates = |a: BlockId, b: BlockId| -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match idom2[cur.index()] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    };
+    let mut by_header: HashMap<BlockId, LoopInfo> = HashMap::new();
+    for b in 0..n {
+        let from = BlockId(b as u32);
+        if rpo_index[b] == u32::MAX {
+            continue; // unreachable
+        }
+        for &to in &succs[b] {
+            if dominates(to, from) {
+                // Back edge from → to; collect the natural loop body.
+                let entry = by_header.entry(to).or_insert_with(|| LoopInfo {
+                    header: to,
+                    latches: Vec::new(),
+                    body: HashSet::from([to]),
+                    trip_count: None,
+                    parent: None,
+                    depth: 0,
+                });
+                entry.latches.push(from);
+                let mut work = vec![from];
+                while let Some(x) = work.pop() {
+                    if entry.body.insert(x) {
+                        // Walk predecessors (recompute from succs to avoid
+                        // borrowing issues).
+                        for (p, ss) in succs.iter().enumerate() {
+                            if ss.contains(&x) {
+                                work.push(BlockId(p as u32));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut loops: Vec<LoopInfo> = by_header.into_values().collect();
+    loops.sort_by_key(|l| (l.body.len() as i64).wrapping_neg()); // outermost (largest) first
+    loops
+}
+
+fn assign_nesting(loops: &mut [LoopInfo]) {
+    let n = loops.len();
+    for i in 0..n {
+        // Parent = smallest strict superset.
+        let mut best: Option<usize> = None;
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            if loops[j].body.len() > loops[i].body.len()
+                && loops[i].body.iter().all(|b| loops[j].body.contains(b))
+            {
+                best = match best {
+                    None => Some(j),
+                    Some(cur) if loops[j].body.len() < loops[cur].body.len() => Some(j),
+                    other => other,
+                };
+            }
+        }
+        loops[i].parent = best;
+    }
+    for i in 0..n {
+        let mut depth = 1;
+        let mut cur = loops[i].parent;
+        while let Some(p) = cur {
+            depth += 1;
+            cur = loops[p].parent;
+        }
+        loops[i].depth = depth;
+    }
+}
+
+/// Detects the canonical counted-loop shape and fills in
+/// [`LoopInfo::trip_count`].
+///
+/// The recognized pattern (exactly what the MiniC `for` lowering emits):
+/// the header ends in `branch(t)` where `t = cmp(i, k)` is computed in the
+/// header, `i` is initialized to a constant in the unique out-of-loop
+/// predecessor, and the only in-loop assignment to `i` is `i += s` with a
+/// constant `s`.
+fn detect_trip_counts(f: &Function, info: &mut CfgInfo) {
+    for li in 0..info.loops.len() {
+        let header = info.loops[li].header;
+        let hb = &f.blocks[header.index()];
+        let Terminator::Branch { cond: Operand::Local(t), .. } = hb.terminator else {
+            continue;
+        };
+        // Find `t = cmp(i, k)` in the header.
+        let mut cmp: Option<(BinOp, LocalId, i64)> = None;
+        for instr in &hb.instrs {
+            if let Instr::Assign { dest, rvalue: Rvalue::Binary { op, lhs, rhs } } = instr {
+                if *dest == t && op.is_comparison() {
+                    match (lhs, rhs) {
+                        (Operand::Local(i), Operand::Const(k)) => cmp = Some((*op, *i, *k)),
+                        (Operand::Const(k), Operand::Local(i)) => {
+                            // Normalize `k ⋈ i` to `i ⋈' k`.
+                            let flipped = match op {
+                                BinOp::Lt => BinOp::Gt,
+                                BinOp::Le => BinOp::Ge,
+                                BinOp::Gt => BinOp::Lt,
+                                BinOp::Ge => BinOp::Le,
+                                other => *other,
+                            };
+                            cmp = Some((flipped, *i, *k));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        let Some((op, ivar, bound)) = cmp else { continue };
+        // Unique out-of-loop predecessor of the header, holding `i = c0`.
+        let body = info.loops[li].body.clone();
+        let outside: Vec<BlockId> = info.preds[header.index()]
+            .iter()
+            .copied()
+            .filter(|p| !body.contains(p))
+            .collect();
+        let [pre] = outside.as_slice() else { continue };
+        let mut init: Option<i64> = None;
+        for instr in &f.blocks[pre.index()].instrs {
+            if let Instr::Assign { dest, rvalue: Rvalue::Use(Operand::Const(c)) } = instr {
+                if *dest == ivar {
+                    init = Some(*c);
+                }
+            }
+        }
+        let Some(c0) = init else { continue };
+        // The only in-loop write to `i` must be `i = i ± s`.
+        let mut step: Option<i64> = None;
+        let mut ok = true;
+        for &b in &body {
+            for instr in &f.blocks[b.index()].instrs {
+                let writes_ivar = match instr {
+                    Instr::Assign { dest, .. } => *dest == ivar,
+                    Instr::Load { dest, .. } => *dest == ivar,
+                    Instr::Call { dest, .. } => *dest == Some(ivar),
+                    Instr::SymInt { dest, .. } => *dest == ivar,
+                    _ => false,
+                };
+                if !writes_ivar {
+                    continue;
+                }
+                match instr {
+                    Instr::Assign {
+                        rvalue: Rvalue::Binary { op: BinOp::Add, lhs: Operand::Local(l), rhs: Operand::Const(s) },
+                        ..
+                    } if *l == ivar && step.is_none() => step = Some(*s),
+                    Instr::Assign {
+                        rvalue: Rvalue::Binary { op: BinOp::Sub, lhs: Operand::Local(l), rhs: Operand::Const(s) },
+                        ..
+                    } if *l == ivar && step.is_none() => step = Some(-*s),
+                    _ => {
+                        ok = false;
+                    }
+                }
+            }
+        }
+        let (Some(s), true) = (step, ok) else { continue };
+        if s == 0 {
+            continue;
+        }
+        let trips = match (op, s > 0) {
+            (BinOp::Lt | BinOp::ULt, true) if c0 < bound => {
+                Some(((bound - c0) as u64).div_ceil(s as u64))
+            }
+            (BinOp::Le | BinOp::ULe, true) if c0 <= bound => {
+                Some(((bound - c0 + 1) as u64).div_ceil(s as u64))
+            }
+            (BinOp::Gt, false) if c0 > bound => Some(((c0 - bound) as u64).div_ceil((-s) as u64)),
+            (BinOp::Ge, false) if c0 >= bound => {
+                Some(((c0 - bound + 1) as u64).div_ceil((-s) as u64))
+            }
+            (BinOp::Ne, _) if (bound - c0) % s == 0 && (bound - c0) / s >= 0 => {
+                Some(((bound - c0) / s) as u64)
+            }
+            _ => None,
+        };
+        info.loops[li].trip_count = trips;
+    }
+}
+
+/// A node at one nesting level of [`loop_aware_topo`]: a plain block or a
+/// whole inner loop (represented by its index into `CfgInfo::loops`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+enum NodeRep {
+    Block(u32),
+    Loop(u32),
+}
+
+/// Computes the loop-aware topological order: treat each loop as one node
+/// of the enclosing level's DAG (Bourdoncle-style weak topological order),
+/// topo-sort each level, and expand loop nodes recursively (header first,
+/// then members). Ties and irreducible leftovers break by RPO.
+fn loop_aware_topo(f: &Function, info: &CfgInfo) -> Vec<u32> {
+    let n = f.blocks.len();
+    let mut index = vec![u32::MAX; n];
+    let mut next: u32 = 0;
+
+    // Representative of `block` at the level whose enclosing loop is
+    // `level` (None = top level): walk the loop-nest chain upward.
+    fn rep_at(info: &CfgInfo, block: BlockId, level: Option<usize>) -> Option<NodeRep> {
+        let mut chain = Vec::new();
+        let mut cur = info.loop_of[block.index()];
+        while let Some(li) = cur {
+            chain.push(li);
+            cur = info.loops[li].parent;
+        }
+        // chain: innermost → outermost loops containing the block.
+        match level {
+            None => match chain.last() {
+                None => Some(NodeRep::Block(block.0)),
+                Some(&outer) => Some(NodeRep::Loop(outer as u32)),
+            },
+            Some(level_loop) => {
+                if info.loop_of[block.index()] == Some(level_loop) {
+                    return Some(NodeRep::Block(block.0));
+                }
+                let mut prev: Option<usize> = None;
+                for &li in &chain {
+                    if li == level_loop {
+                        return prev.map(|p| NodeRep::Loop(p as u32));
+                    }
+                    prev = Some(li);
+                }
+                None // block lies outside this level's loop
+            }
+        }
+    }
+
+    fn blocks_of_level(info: &CfgInfo, n: usize, level: Option<usize>) -> Vec<BlockId> {
+        match level {
+            None => (0..n as u32).map(BlockId).collect(),
+            Some(li) => {
+                let mut v: Vec<BlockId> = info.loops[li].body.iter().copied().collect();
+                v.sort_unstable();
+                v
+            }
+        }
+    }
+
+    // Recursive level expansion (loop nesting depth is tiny).
+    fn assign(
+        level: Option<usize>,
+        f: &Function,
+        info: &CfgInfo,
+        index: &mut Vec<u32>,
+        next: &mut u32,
+    ) {
+        use std::collections::{BTreeMap, BTreeSet};
+        let n = f.blocks.len();
+        let mut nodes: BTreeSet<NodeRep> = BTreeSet::new();
+        for b in blocks_of_level(info, n, level) {
+            // The header of the level's own loop is emitted by the caller.
+            if let Some(li) = level {
+                if info.loops[li].header == b {
+                    continue;
+                }
+            }
+            if let Some(r) = rep_at(info, b, level) {
+                nodes.insert(r);
+            }
+        }
+        // Edges between level nodes. Back edges to this level's header
+        // vanish because the header is not a node here.
+        let mut succs: BTreeMap<NodeRep, BTreeSet<NodeRep>> = BTreeMap::new();
+        let mut indeg: BTreeMap<NodeRep, usize> = nodes.iter().map(|&r| (r, 0)).collect();
+        for b in blocks_of_level(info, n, level) {
+            let Some(from) = rep_at(info, b, level) else { continue };
+            if !nodes.contains(&from) {
+                continue; // the excluded header: its out-edges seed the roots
+            }
+            for t in f.blocks[b.index()].terminator.successors() {
+                let Some(to) = rep_at(info, t, level) else { continue };
+                if to == from || !nodes.contains(&to) {
+                    continue;
+                }
+                if succs.entry(from).or_default().insert(to) {
+                    *indeg.get_mut(&to).unwrap() += 1;
+                }
+            }
+        }
+        // Kahn's algorithm with RPO tie-breaking; irreducible cycles break
+        // at the smallest-RPO member.
+        let rpo_of = |r: NodeRep| -> u32 {
+            match r {
+                NodeRep::Block(b) => info.rpo_index[b as usize],
+                NodeRep::Loop(li) => info.rpo_index[info.loops[li as usize].header.index()],
+            }
+        };
+        let mut remaining: BTreeSet<NodeRep> = nodes.clone();
+        while !remaining.is_empty() {
+            let ready = remaining
+                .iter()
+                .copied()
+                .filter(|r| indeg[r] == 0)
+                .min_by_key(|&r| (rpo_of(r), r));
+            let pick = match ready {
+                Some(r) => r,
+                None => *remaining.iter().min_by_key(|&&r| (rpo_of(r), r)).unwrap(),
+            };
+            remaining.remove(&pick);
+            if let Some(ss) = succs.get(&pick).cloned() {
+                for t in ss {
+                    if remaining.contains(&t) {
+                        *indeg.get_mut(&t).unwrap() -= 1;
+                    }
+                }
+            }
+            match pick {
+                NodeRep::Block(b) => {
+                    index[b as usize] = *next;
+                    *next += 1;
+                }
+                NodeRep::Loop(li) => {
+                    let header = info.loops[li as usize].header;
+                    index[header.index()] = *next;
+                    *next += 1;
+                    assign(Some(li as usize), f, info, index, next);
+                }
+            }
+        }
+    }
+
+    assign(None, f, info, &mut index, &mut next);
+    for (bi, idx) in index.iter_mut().enumerate() {
+        if info.rpo_index[bi] == u32::MAX {
+            *idx = u32::MAX; // unreachable blocks stay unordered
+        }
+    }
+    index
+}
+
+// ----- call graph -----------------------------------------------------------
+
+/// The program call graph plus a bottom-up order for compositional analyses.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// Direct callees per function (deduplicated).
+    pub callees: Vec<Vec<FuncId>>,
+    /// Strongly connected components in **bottom-up** order: every callee's
+    /// SCC appears before its callers' (ignoring intra-SCC edges).
+    pub sccs: Vec<Vec<FuncId>>,
+    /// SCC index per function.
+    pub scc_of: Vec<usize>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of a program.
+    pub fn analyze(p: &Program) -> CallGraph {
+        let n = p.functions.len();
+        let mut callees: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        for (fi, f) in p.functions.iter().enumerate() {
+            for b in &f.blocks {
+                for instr in &b.instrs {
+                    if let Instr::Call { func, .. } = instr {
+                        if !callees[fi].contains(func) {
+                            callees[fi].push(*func);
+                        }
+                    }
+                }
+            }
+        }
+        let (sccs, scc_of) = tarjan(n, &callees);
+        CallGraph { callees, sccs, scc_of }
+    }
+
+    /// Whether `f` participates in (mutual) recursion.
+    pub fn is_recursive(&self, f: FuncId) -> bool {
+        let scc = &self.sccs[self.scc_of[f.index()]];
+        scc.len() > 1 || self.callees[f.index()].contains(&f)
+    }
+}
+
+/// Iterative Tarjan SCC; returns components in bottom-up (reverse
+/// topological) order.
+fn tarjan(n: usize, edges: &[Vec<FuncId>]) -> (Vec<Vec<FuncId>>, Vec<usize>) {
+    #[derive(Clone, Copy)]
+    struct NodeState {
+        index: u32,
+        lowlink: u32,
+        on_stack: bool,
+        visited: bool,
+    }
+    let mut st =
+        vec![NodeState { index: 0, lowlink: 0, on_stack: false, visited: false }; n];
+    let mut counter: u32 = 0;
+    let mut stack: Vec<u32> = Vec::new();
+    let mut sccs: Vec<Vec<FuncId>> = Vec::new();
+    let mut scc_of = vec![usize::MAX; n];
+    for root in 0..n {
+        if st[root].visited {
+            continue;
+        }
+        // (node, next child index)
+        let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut ci)) = call.last_mut() {
+            if *ci == 0 {
+                st[v].visited = true;
+                st[v].index = counter;
+                st[v].lowlink = counter;
+                counter += 1;
+                st[v].on_stack = true;
+                stack.push(v as u32);
+            }
+            if *ci < edges[v].len() {
+                let w = edges[v][*ci].index();
+                *ci += 1;
+                if !st[w].visited {
+                    call.push((w, 0));
+                } else if st[w].on_stack {
+                    st[v].lowlink = st[v].lowlink.min(st[w].index);
+                }
+            } else {
+                if st[v].lowlink == st[v].index {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().unwrap() as usize;
+                        st[w].on_stack = false;
+                        scc_of[w] = sccs.len();
+                        comp.push(FuncId(w as u32));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(comp);
+                }
+                call.pop();
+                if let Some(&mut (u, _)) = call.last_mut() {
+                    st[u].lowlink = st[u].lowlink.min(st[v].lowlink);
+                }
+            }
+        }
+    }
+    (sccs, scc_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minic;
+
+    fn analyze_main(src: &str) -> (Program, CfgInfo) {
+        let p = minic::compile(src).expect("compile");
+        let main = p.entry;
+        let info = CfgInfo::analyze(p.func(main));
+        (p, info)
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let (_, info) = analyze_main("fn main() { let x = 1; let y = x + 2; putchar(y); }");
+        assert!(info.loops.is_empty());
+        assert_eq!(info.rpo[0], BlockId(0));
+    }
+
+    #[test]
+    fn counted_for_loop_trip_count() {
+        let (_, info) = analyze_main(
+            "fn main() { let s = 0; for (let i = 0; i < 8; i = i + 1) { s = s + i; } putchar(s); }",
+        );
+        assert_eq!(info.loops.len(), 1);
+        assert_eq!(info.loops[0].trip_count, Some(8));
+    }
+
+    #[test]
+    fn stepped_loop_trip_count() {
+        let (_, info) = analyze_main(
+            "fn main() { let s = 0; for (let i = 1; i <= 10; i = i + 3) { s = s + 1; } }",
+        );
+        assert_eq!(info.loops.len(), 1);
+        // i = 1, 4, 7, 10 → 4 iterations
+        assert_eq!(info.loops[0].trip_count, Some(4));
+    }
+
+    #[test]
+    fn symbolic_bound_has_no_trip_count() {
+        let (_, info) = analyze_main(
+            r#"fn main() { let n = sym_int("n"); let s = 0;
+                for (let i = 0; i < n; i = i + 1) { s = s + 1; } }"#,
+        );
+        assert_eq!(info.loops.len(), 1);
+        assert_eq!(info.loops[0].trip_count, None);
+    }
+
+    #[test]
+    fn nested_loops_have_depths() {
+        let (_, info) = analyze_main(
+            "fn main() { for (let i = 0; i < 3; i = i + 1) { for (let j = 0; j < 2; j = j + 1) { putchar(j); } } }",
+        );
+        assert_eq!(info.loops.len(), 2);
+        let depths: Vec<u32> = info.loops.iter().map(|l| l.depth).collect();
+        assert!(depths.contains(&1) && depths.contains(&2));
+        let inner = info.loops.iter().find(|l| l.depth == 2).unwrap();
+        assert_eq!(inner.trip_count, Some(2));
+        let outer = info.loops.iter().find(|l| l.depth == 1).unwrap();
+        assert_eq!(outer.trip_count, Some(3));
+        assert!(outer.body.len() > inner.body.len());
+    }
+
+    #[test]
+    fn while_loop_with_mutation_inside_has_no_trip_count() {
+        let (_, info) = analyze_main(
+            r#"fn main() { let i = 0; while (i < 10) { if (i > 5) { i = i + 2; } i = i + 1; } }"#,
+        );
+        // Two writes to i → not the canonical shape.
+        assert_eq!(info.loops.len(), 1);
+        assert_eq!(info.loops[0].trip_count, None);
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        let (p, info) = analyze_main(
+            r#"fn main() { let x = sym_int("x"); let y = 0;
+                if (x > 0) { y = 1; } else { y = 2; } putchar(y); }"#,
+        );
+        let f = p.func(p.entry);
+        // Entry dominates everything.
+        for b in 0..f.blocks.len() {
+            assert!(info.dominates(BlockId(0), BlockId(b as u32)));
+        }
+    }
+
+    #[test]
+    fn topo_index_orders_loop_body_before_exits() {
+        let (p, info) = analyze_main(
+            r#"fn main() {
+                let n = sym_int("n");
+                let s = 0;
+                for (let i = 0; i < n; i = i + 1) { s = s + i; }
+                putchar(s);
+                if (s > 3) { putchar('!'); }
+            }"#,
+        );
+        let f = p.func(p.entry);
+        assert_eq!(info.loops.len(), 1);
+        let body = &info.loops[0].body;
+        let max_body_topo =
+            body.iter().map(|b| info.topo_index[b.index()]).max().unwrap();
+        // Every block outside the loop that is reachable *after* it must
+        // order later than the entire body (this is what plain RPO gets
+        // wrong: it places exits before bodies).
+        let header = info.loops[0].header;
+        for bi in 0..f.blocks.len() {
+            let b = BlockId(bi as u32);
+            if body.contains(&b) || info.rpo_index[bi] == u32::MAX {
+                continue;
+            }
+            if info.rpo_index[bi] > info.rpo_index[header.index()] {
+                assert!(
+                    info.topo_index[bi] > max_body_topo,
+                    "post-loop block bb{bi} ordered before the loop body"
+                );
+            }
+        }
+        // Header is the earliest of the loop.
+        let min_body_topo =
+            body.iter().map(|b| info.topo_index[b.index()]).min().unwrap();
+        assert_eq!(min_body_topo, info.topo_index[header.index()]);
+    }
+
+    #[test]
+    fn topo_index_is_a_permutation_on_reachable_blocks() {
+        for src in [
+            "fn main() { for (let i = 0; i < 3; i = i + 1) { for (let j = 0; j < 2; j = j + 1) { putchar(j); } } }",
+            r#"fn main() { let x = sym_int("x"); while (x > 0) { x = x - 1; if (x == 2) { break; } } putchar(x); }"#,
+            "fn main() { putchar(1); }",
+        ] {
+            let p = minic::compile(src).unwrap();
+            let info = CfgInfo::analyze(p.func(p.entry));
+            let mut seen: Vec<u32> = info
+                .topo_index
+                .iter()
+                .copied()
+                .filter(|&t| t != u32::MAX)
+                .collect();
+            seen.sort_unstable();
+            let expected: Vec<u32> = (0..seen.len() as u32).collect();
+            assert_eq!(seen, expected, "topo_index not a dense permutation for {src}");
+        }
+    }
+
+    #[test]
+    fn call_graph_bottom_up_order() {
+        let p = minic::compile(
+            r#"
+            fn leaf(x) { return x + 1; }
+            fn mid(x) { return leaf(x) + leaf(x + 1); }
+            fn main() { putchar(mid(3)); }
+            "#,
+        )
+        .unwrap();
+        let cg = CallGraph::analyze(&p);
+        let leaf = p.function_by_name("leaf").unwrap();
+        let mid = p.function_by_name("mid").unwrap();
+        let main = p.function_by_name("main").unwrap();
+        let pos = |f: FuncId| cg.sccs.iter().position(|s| s.contains(&f)).unwrap();
+        assert!(pos(leaf) < pos(mid));
+        assert!(pos(mid) < pos(main));
+        assert!(!cg.is_recursive(leaf));
+    }
+
+    #[test]
+    fn recursive_function_detected() {
+        let p = minic::compile(
+            r#"
+            fn fact(n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+            fn main() { putchar(fact(5)); }
+            "#,
+        )
+        .unwrap();
+        let cg = CallGraph::analyze(&p);
+        let fact = p.function_by_name("fact").unwrap();
+        assert!(cg.is_recursive(fact));
+        assert!(!cg.is_recursive(p.function_by_name("main").unwrap()));
+    }
+}

@@ -1,0 +1,498 @@
+//! A concrete interpreter with exactly the engine's semantics.
+//!
+//! Used to replay generated test cases: the symbolic engine solves for
+//! concrete inputs, and the interpreter runs the program on them, checking
+//! that the observed path outcome (outputs, assertion failures) matches the
+//! symbolic prediction. Sharing [`symmerge_expr::semantics`] with the
+//! engine guarantees the two agree bit-for-bit.
+
+use crate::program::{
+    ArrayRef, BinOp, BlockId, FuncId, Instr, LocalId, Operand, Program, Rvalue, Terminator, Ty,
+    UnOp,
+};
+use std::collections::HashMap;
+use symmerge_expr::semantics::{eval_bv_binop, eval_cmp, mask};
+use symmerge_expr::{BvBinOp, CmpOp};
+
+/// Concrete values for the symbolic inputs of one run.
+///
+/// Scalar inputs are keyed by their label; array cells by `label[i]`
+/// (the same naming convention the engine uses for input symbols).
+/// Missing entries default to 0, so any partial model replays
+/// deterministically.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InputMap {
+    values: HashMap<String, u64>,
+}
+
+impl InputMap {
+    /// An empty map (all inputs 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a scalar input by label.
+    pub fn set(&mut self, name: impl Into<String>, value: u64) {
+        self.values.insert(name.into(), value);
+    }
+
+    /// Sets one cell of an array input.
+    pub fn set_cell(&mut self, name: &str, index: usize, value: u64) {
+        self.values.insert(format!("{name}[{index}]"), value);
+    }
+
+    /// Reads an input by exact label (0 when absent).
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates over explicitly set inputs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+}
+
+impl<S: Into<String>> FromIterator<(S, u64)> for InputMap {
+    fn from_iter<T: IntoIterator<Item = (S, u64)>>(iter: T) -> Self {
+        InputMap { values: iter.into_iter().map(|(k, v)| (k.into(), v)).collect() }
+    }
+}
+
+/// Why a run stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecOutcome {
+    /// Reached a `halt` instruction.
+    Halted,
+    /// Returned from the entry function.
+    Returned,
+    /// An assertion failed.
+    AssertFailed {
+        /// The assertion's message.
+        msg: String,
+    },
+    /// An `assume` evaluated to 0 — the inputs violate the preconditions.
+    AssumeViolated,
+    /// The step budget ran out (likely an infinite loop).
+    StepLimit,
+}
+
+/// The observable result of one concrete run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecResult {
+    /// Values passed to `putchar`, in order (masked to the program width).
+    pub outputs: Vec<u64>,
+    /// Why the run stopped.
+    pub outcome: ExecOutcome,
+    /// Instructions executed.
+    pub steps: u64,
+}
+
+impl ExecResult {
+    /// The outputs reinterpreted as bytes (truncated), handy for tests.
+    pub fn output_string(&self) -> String {
+        self.outputs.iter().map(|&v| (v & 0xff) as u8 as char).collect()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Int(u64),
+    Array(Vec<u64>),
+}
+
+#[derive(Debug)]
+struct Frame {
+    func: FuncId,
+    block: BlockId,
+    instr: usize,
+    locals: Vec<Slot>,
+    ret_dest: Option<LocalId>,
+}
+
+/// The concrete interpreter.
+#[derive(Debug)]
+pub struct Interp<'p> {
+    program: &'p Program,
+    inputs: InputMap,
+    max_steps: u64,
+}
+
+impl<'p> Interp<'p> {
+    /// Creates an interpreter for `program` with the given inputs.
+    pub fn new(program: &'p Program, inputs: InputMap) -> Self {
+        Interp { program, inputs, max_steps: 1_000_000 }
+    }
+
+    /// Overrides the default step budget of one million instructions.
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Runs the program to completion.
+    pub fn run(&self) -> ExecResult {
+        let w = self.program.width;
+        let mut globals: Vec<Slot> = self
+            .program
+            .globals
+            .iter()
+            .zip(&self.program.global_inits)
+            .map(|(decl, init)| match decl.ty {
+                Ty::Int => Slot::Int(mask(init[0] as u64, w)),
+                Ty::Array(_) => Slot::Array(init.iter().map(|&v| mask(v as u64, w)).collect()),
+            })
+            .collect();
+        let mut outputs = Vec::new();
+        let mut steps: u64 = 0;
+        let mut stack = vec![self.fresh_frame(self.program.entry, &[], None)];
+
+        loop {
+            if steps >= self.max_steps {
+                return ExecResult { outputs, outcome: ExecOutcome::StepLimit, steps };
+            }
+            steps += 1;
+            let frame = stack.last_mut().expect("non-empty stack");
+            let block = self.program.block(frame.func, frame.block);
+            if frame.instr < block.instrs.len() {
+                let instr = &block.instrs[frame.instr];
+                frame.instr += 1;
+                match instr {
+                    Instr::Assign { dest, rvalue } => {
+                        let v = eval_rvalue(rvalue, frame, &globals, w);
+                        set_int(&mut frame.locals[dest.index()], v);
+                    }
+                    Instr::SetGlobal { dest, value } => {
+                        let v = read(*value, frame, &globals, w);
+                        set_int(&mut globals[dest.index()], v);
+                    }
+                    Instr::Load { dest, array, index } => {
+                        let i = read(*index, frame, &globals, w) as usize;
+                        let cells = array_cells(*array, frame, &globals);
+                        let v = cells.get(i).copied().unwrap_or(0);
+                        set_int(&mut frame.locals[dest.index()], v);
+                    }
+                    Instr::Store { array, index, value } => {
+                        let i = read(*index, frame, &globals, w) as usize;
+                        let v = read(*value, frame, &globals, w);
+                        let cells = array_cells_mut(*array, frame, &mut globals);
+                        if i < cells.len() {
+                            cells[i] = v;
+                        }
+                    }
+                    Instr::Call { dest, func, args } => {
+                        let vals: Vec<u64> =
+                            args.iter().map(|&a| read(a, frame, &globals, w)).collect();
+                        let new_frame = self.fresh_frame(*func, &vals, *dest);
+                        stack.push(new_frame);
+                    }
+                    Instr::Output(o) => {
+                        outputs.push(read(*o, frame, &globals, w));
+                    }
+                    Instr::Assume(o) => {
+                        if read(*o, frame, &globals, w) == 0 {
+                            return ExecResult { outputs, outcome: ExecOutcome::AssumeViolated, steps };
+                        }
+                    }
+                    Instr::Assert { cond, msg } => {
+                        if read(*cond, frame, &globals, w) == 0 {
+                            return ExecResult {
+                                outputs,
+                                outcome: ExecOutcome::AssertFailed { msg: msg.clone() },
+                                steps,
+                            };
+                        }
+                    }
+                    Instr::SymInt { dest, name } => {
+                        let v = mask(self.inputs.get(name), w);
+                        set_int(&mut frame.locals[dest.index()], v);
+                    }
+                    Instr::SymArray { array, name } => {
+                        let len = array_cells(*array, frame, &globals).len();
+                        let values: Vec<u64> = (0..len)
+                            .map(|i| mask(self.inputs.get(&format!("{name}[{i}]")), w))
+                            .collect();
+                        let cells = array_cells_mut(*array, frame, &mut globals);
+                        cells.copy_from_slice(&values);
+                    }
+                }
+            } else {
+                match &block.terminator {
+                    Terminator::Goto(b) => {
+                        frame.block = *b;
+                        frame.instr = 0;
+                    }
+                    Terminator::Branch { cond, then_bb, else_bb } => {
+                        let c = read(*cond, frame, &globals, w);
+                        frame.block = if c != 0 { *then_bb } else { *else_bb };
+                        frame.instr = 0;
+                    }
+                    Terminator::Halt => {
+                        return ExecResult { outputs, outcome: ExecOutcome::Halted, steps };
+                    }
+                    Terminator::Return(v) => {
+                        let value = v.map(|o| read(o, frame, &globals, w)).unwrap_or(0);
+                        let ret_dest = frame.ret_dest;
+                        stack.pop();
+                        match stack.last_mut() {
+                            None => {
+                                return ExecResult { outputs, outcome: ExecOutcome::Returned, steps }
+                            }
+                            Some(caller) => {
+                                if let Some(d) = ret_dest {
+                                    set_int(&mut caller.locals[d.index()], value);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn fresh_frame(&self, func: FuncId, args: &[u64], ret_dest: Option<LocalId>) -> Frame {
+        let f = self.program.func(func);
+        let mut locals: Vec<Slot> = f
+            .locals
+            .iter()
+            .map(|d| match d.ty {
+                Ty::Int => Slot::Int(0),
+                Ty::Array(n) => Slot::Array(vec![0; n as usize]),
+            })
+            .collect();
+        for (i, &v) in args.iter().enumerate() {
+            locals[i] = Slot::Int(v);
+        }
+        Frame { func, block: f.entry(), instr: 0, locals, ret_dest }
+    }
+}
+
+fn set_int(slot: &mut Slot, v: u64) {
+    match slot {
+        Slot::Int(x) => *x = v,
+        Slot::Array(_) => unreachable!("validated programs never write arrays as scalars"),
+    }
+}
+
+fn read(o: Operand, frame: &Frame, globals: &[Slot], w: u32) -> u64 {
+    match o {
+        Operand::Const(c) => mask(c as u64, w),
+        Operand::Local(l) => match &frame.locals[l.index()] {
+            Slot::Int(v) => *v,
+            Slot::Array(_) => unreachable!("validated programs never read arrays as scalars"),
+        },
+        Operand::Global(g) => match &globals[g.index()] {
+            Slot::Int(v) => *v,
+            Slot::Array(_) => unreachable!("validated programs never read arrays as scalars"),
+        },
+    }
+}
+
+fn array_cells<'a>(a: ArrayRef, frame: &'a Frame, globals: &'a [Slot]) -> &'a [u64] {
+    let slot = match a {
+        ArrayRef::Local(l) => &frame.locals[l.index()],
+        ArrayRef::Global(g) => &globals[g.index()],
+    };
+    match slot {
+        Slot::Array(cells) => cells,
+        Slot::Int(_) => unreachable!("validated programs never use scalars as arrays"),
+    }
+}
+
+fn array_cells_mut<'a>(a: ArrayRef, frame: &'a mut Frame, globals: &'a mut [Slot]) -> &'a mut [u64] {
+    let slot = match a {
+        ArrayRef::Local(l) => &mut frame.locals[l.index()],
+        ArrayRef::Global(g) => &mut globals[g.index()],
+    };
+    match slot {
+        Slot::Array(cells) => cells,
+        Slot::Int(_) => unreachable!("validated programs never use scalars as arrays"),
+    }
+}
+
+fn eval_rvalue(rv: &Rvalue, frame: &Frame, globals: &[Slot], w: u32) -> u64 {
+    match rv {
+        Rvalue::Use(o) => read(*o, frame, globals, w),
+        Rvalue::Unary { op, arg } => {
+            let a = read(*arg, frame, globals, w);
+            match op {
+                UnOp::Neg => eval_bv_binop(BvBinOp::Sub, 0, a, w),
+                UnOp::BitNot => eval_bv_binop(BvBinOp::Xor, a, mask(u64::MAX, w), w),
+                UnOp::LNot => u64::from(a == 0),
+            }
+        }
+        Rvalue::Binary { op, lhs, rhs } => {
+            let a = read(*lhs, frame, globals, w);
+            let b = read(*rhs, frame, globals, w);
+            eval_binop(*op, a, b, w)
+        }
+    }
+}
+
+/// Concrete semantics of an IR [`BinOp`], shared with tests and documented
+/// to match the symbolic engine's translation.
+pub fn eval_binop(op: BinOp, a: u64, b: u64, w: u32) -> u64 {
+    match op {
+        BinOp::Add => eval_bv_binop(BvBinOp::Add, a, b, w),
+        BinOp::Sub => eval_bv_binop(BvBinOp::Sub, a, b, w),
+        BinOp::Mul => eval_bv_binop(BvBinOp::Mul, a, b, w),
+        BinOp::Div => eval_bv_binop(BvBinOp::SDiv, a, b, w),
+        BinOp::Rem => eval_bv_binop(BvBinOp::SRem, a, b, w),
+        BinOp::UDiv => eval_bv_binop(BvBinOp::UDiv, a, b, w),
+        BinOp::URem => eval_bv_binop(BvBinOp::URem, a, b, w),
+        BinOp::BitAnd => eval_bv_binop(BvBinOp::And, a, b, w),
+        BinOp::BitOr => eval_bv_binop(BvBinOp::Or, a, b, w),
+        BinOp::BitXor => eval_bv_binop(BvBinOp::Xor, a, b, w),
+        BinOp::Shl => eval_bv_binop(BvBinOp::Shl, a, b, w),
+        BinOp::Shr => eval_bv_binop(BvBinOp::AShr, a, b, w),
+        BinOp::Eq => u64::from(eval_cmp(CmpOp::Eq, a, b, w)),
+        BinOp::Ne => u64::from(!eval_cmp(CmpOp::Eq, a, b, w)),
+        BinOp::Lt => u64::from(eval_cmp(CmpOp::Slt, a, b, w)),
+        BinOp::Le => u64::from(eval_cmp(CmpOp::Sle, a, b, w)),
+        BinOp::Gt => u64::from(eval_cmp(CmpOp::Slt, b, a, w)),
+        BinOp::Ge => u64::from(eval_cmp(CmpOp::Sle, b, a, w)),
+        BinOp::ULt => u64::from(eval_cmp(CmpOp::Ult, a, b, w)),
+        BinOp::ULe => u64::from(eval_cmp(CmpOp::Ule, a, b, w)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minic::compile;
+
+    fn run(src: &str, inputs: InputMap) -> ExecResult {
+        let p = compile(src).expect("compile");
+        Interp::new(&p, inputs).run()
+    }
+
+    #[test]
+    fn hello_outputs_bytes() {
+        let r = run(
+            r#"global s[6] = "hello";
+               fn main() { for (let i = 0; s[i] != 0; i = i + 1) { putchar(s[i]); } }"#,
+            InputMap::new(),
+        );
+        assert_eq!(r.output_string(), "hello");
+        assert_eq!(r.outcome, ExecOutcome::Returned);
+    }
+
+    #[test]
+    fn symbolic_inputs_come_from_the_map() {
+        let mut inputs = InputMap::new();
+        inputs.set("x", 42);
+        let r = run(r#"fn main() { let x = sym_int("x"); putchar(x); }"#, inputs);
+        assert_eq!(r.outputs, vec![42]);
+    }
+
+    #[test]
+    fn sym_array_cells_are_labeled() {
+        let mut inputs = InputMap::new();
+        inputs.set_cell("buf", 0, 7);
+        inputs.set_cell("buf", 2, 9);
+        let r = run(
+            r#"fn main() { let buf[3]; sym_array(buf, "buf");
+               putchar(buf[0]); putchar(buf[1]); putchar(buf[2]); }"#,
+            inputs,
+        );
+        assert_eq!(r.outputs, vec![7, 0, 9]);
+    }
+
+    #[test]
+    fn assert_failure_reported() {
+        let mut inputs = InputMap::new();
+        inputs.set("x", 3);
+        let r = run(
+            r#"fn main() { let x = sym_int("x"); assert(x != 3, "boom"); putchar('k'); }"#,
+            inputs,
+        );
+        assert_eq!(r.outcome, ExecOutcome::AssertFailed { msg: "boom".into() });
+        assert!(r.outputs.is_empty());
+    }
+
+    #[test]
+    fn assume_violation_stops_the_run() {
+        let r = run(
+            r#"fn main() { let x = sym_int("x"); assume(x > 10); putchar('k'); }"#,
+            InputMap::new(), // x = 0 violates the assumption
+        );
+        assert_eq!(r.outcome, ExecOutcome::AssumeViolated);
+    }
+
+    #[test]
+    fn function_calls_and_recursion() {
+        let r = run(
+            r#"fn fact(n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+               fn main() { putchar(fact(5)); }"#,
+            InputMap::new(),
+        );
+        assert_eq!(r.outputs, vec![120]);
+    }
+
+    #[test]
+    fn signed_arithmetic_wraps_at_width() {
+        let r = run(
+            "fn main() { let x = 0 - 1; if (x < 0) { putchar(1); } else { putchar(2); } }",
+            InputMap::new(),
+        );
+        assert_eq!(r.outputs, vec![1]);
+    }
+
+    #[test]
+    fn division_total_semantics() {
+        // 7 / 0 = -1 (all ones, signed), 7 % 0 = 7.
+        let r = run(
+            r#"fn main() { let a = 7 / 0; let b = 7 % 0;
+               if (a == 0 - 1) { putchar(1); } putchar(b); }"#,
+            InputMap::new(),
+        );
+        assert_eq!(r.outputs, vec![1, 7]);
+    }
+
+    #[test]
+    fn out_of_bounds_reads_zero_and_stores_drop() {
+        let r = run(
+            r#"fn main() { let a[2]; a[0] = 5; a[9] = 77; putchar(a[9]); putchar(a[0]); }"#,
+            InputMap::new(),
+        );
+        assert_eq!(r.outputs, vec![0, 5]);
+    }
+
+    #[test]
+    fn halt_stops_immediately() {
+        let r = run("fn main() { putchar('a'); halt; putchar('b'); }", InputMap::new());
+        assert_eq!(r.output_string(), "a");
+        assert_eq!(r.outcome, ExecOutcome::Halted);
+    }
+
+    #[test]
+    fn step_limit_catches_infinite_loops() {
+        let p = compile("fn main() { while (1) { } }").unwrap();
+        let r = Interp::new(&p, InputMap::new()).with_max_steps(1000).run();
+        assert_eq!(r.outcome, ExecOutcome::StepLimit);
+    }
+
+    #[test]
+    fn short_circuit_evaluation_order() {
+        // `x != 0 && 10 / x > 1` must not fault for x = 0 (and our division
+        // is total anyway); semantics: false && _ = false.
+        let mut inputs = InputMap::new();
+        inputs.set("x", 0);
+        let r = run(
+            r#"fn main() { let x = sym_int("x");
+               if (x != 0 && 10 / x > 1) { putchar('y'); } else { putchar('n'); } }"#,
+            inputs,
+        );
+        assert_eq!(r.output_string(), "n");
+    }
+
+    #[test]
+    fn globals_shared_across_calls() {
+        let r = run(
+            r#"global counter = 0;
+               fn tick() { counter = counter + 1; }
+               fn main() { tick(); tick(); tick(); putchar(counter); }"#,
+            InputMap::new(),
+        );
+        assert_eq!(r.outputs, vec![3]);
+    }
+}

@@ -1,0 +1,53 @@
+//! # symmerge-ir — program representation for symbolic execution
+//!
+//! The program substrate for the `symmerge` stack, standing in for LLVM
+//! bitcode in the original paper (*Efficient State Merging in Symbolic
+//! Execution*, Kuznetsov et al., PLDI 2012). It provides:
+//!
+//! * a compact CFG-based intermediate representation ([`Program`],
+//!   [`Function`], [`Block`], [`Instr`], [`Terminator`]) with integer
+//!   scalars and fixed-size integer arrays — exactly the shapes the paper's
+//!   generic exploration algorithm (its Algorithm 1) consumes: assignments,
+//!   conditional jumps, assertions and halts, plus calls, array accesses and
+//!   the `sym_*` input-introduction instructions;
+//! * CFG analyses ([`cfg`](mod@cfg)): predecessors, reverse post-order, dominators,
+//!   natural loops with best-effort static trip counts, topological order
+//!   and call-graph SCCs — the inputs to the paper's query count estimation
+//!   (§3.2) and to static state merging's topological exploration;
+//! * a **MiniC frontend** ([`minic`]): a small C-like language in which the
+//!   COREUTILS-style workloads are written, compiled down to the IR;
+//! * a **concrete interpreter** ([`interp`]) used to replay generated test
+//!   cases against the same semantics the symbolic engine uses.
+//!
+//! # Example
+//!
+//! ```
+//! use symmerge_ir::minic;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = minic::compile(
+//!     r#"
+//!     fn main() {
+//!       let x = sym_int("x");
+//!       if (x > 3) { putchar('>'); } else { putchar('<'); }
+//!     }
+//!     "#,
+//! )?;
+//! assert_eq!(program.functions.len(), 1);
+//! program.validate()?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cfg;
+pub mod interp;
+pub mod minic;
+mod pretty;
+mod program;
+mod validate;
+
+pub use program::{
+    ArrayRef, BinOp, Block, BlockId, FuncId, Function, GlobalId, Instr, Loc, LocalDecl, LocalId,
+    Operand, Program, Rvalue, Terminator, Ty, UnOp,
+};
+pub use validate::ValidateError;

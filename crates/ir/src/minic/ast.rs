@@ -1,0 +1,175 @@
+//! The MiniC abstract syntax tree.
+
+use super::lexer::Pos;
+
+/// A binary operator at the source level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstBinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (signed)
+    Div,
+    /// `%` (signed)
+    Rem,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>` (arithmetic)
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    LAnd,
+    /// `||` (short-circuit)
+    LOr,
+}
+
+/// A unary operator at the source level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstUnOp {
+    /// `-`
+    Neg,
+    /// `!`
+    LNot,
+    /// `~`
+    BitNot,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer (or char) literal.
+    Int(i64, Pos),
+    /// Variable reference.
+    Var(String, Pos),
+    /// Array indexing `a[i]`.
+    Index(String, Box<Expr>, Pos),
+    /// Function call `f(args)`.
+    Call(String, Vec<Expr>, Pos),
+    /// `sym_int("name")` — fresh symbolic scalar.
+    SymInt(String, Pos),
+    /// Unary operation.
+    Unary(AstUnOp, Box<Expr>, Pos),
+    /// Binary operation (including short-circuit `&&`/`||`).
+    Binary(AstBinOp, Box<Expr>, Box<Expr>, Pos),
+}
+
+impl Expr {
+    /// The source position of the expression's head token.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::Int(_, p)
+            | Expr::Var(_, p)
+            | Expr::Index(_, _, p)
+            | Expr::Call(_, _, p)
+            | Expr::SymInt(_, p)
+            | Expr::Unary(_, _, p)
+            | Expr::Binary(_, _, _, p) => *p,
+        }
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `let x = e;`
+    Let(String, Expr, Pos),
+    /// `let a[n];` or `let a[n] = "str";`
+    LetArray(String, u32, Option<Vec<u8>>, Pos),
+    /// `x = e;`
+    Assign(String, Expr, Pos),
+    /// `a[i] = e;`
+    StoreIndex(String, Expr, Expr, Pos),
+    /// `if (c) { .. } else { .. }`
+    If(Expr, Vec<Stmt>, Vec<Stmt>, Pos),
+    /// `while (c) { .. }`
+    While(Expr, Vec<Stmt>, Pos),
+    /// `for (init; cond; step) { .. }` (components already desugared to
+    /// statements; a missing condition means "true").
+    For(Option<Box<Stmt>>, Option<Expr>, Option<Box<Stmt>>, Vec<Stmt>, Pos),
+    /// `return e?;`
+    Return(Option<Expr>, Pos),
+    /// `break;`
+    Break(Pos),
+    /// `continue;`
+    Continue(Pos),
+    /// `assert(e);` / `assert(e, "msg");`
+    Assert(Expr, String, Pos),
+    /// `assume(e);`
+    Assume(Expr, Pos),
+    /// `putchar(e);`
+    Putchar(Expr, Pos),
+    /// `halt;`
+    Halt(Pos),
+    /// `sym_array(a, "name");`
+    SymArray(String, String, Pos),
+    /// An expression evaluated for effect (function call).
+    ExprStmt(Expr, Pos),
+    /// A nested block `{ .. }` introducing a scope.
+    Block(Vec<Stmt>, Pos),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnDef {
+    /// Name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Position of the `fn` keyword.
+    pub pos: Pos,
+}
+
+/// A global declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalDef {
+    /// Name.
+    pub name: String,
+    /// `None` for scalars, `Some(len)` for arrays.
+    pub array_len: Option<u32>,
+    /// Initializer: scalar value or string bytes.
+    pub init: GlobalInitAst,
+    /// Position.
+    pub pos: Pos,
+}
+
+/// A global initializer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GlobalInitAst {
+    /// Zero-initialized.
+    Zero,
+    /// Scalar constant.
+    Scalar(i64),
+    /// String bytes (NUL appended, zero-padded to the array length).
+    Bytes(Vec<u8>),
+}
+
+/// A parsed compilation unit.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Unit {
+    /// Function definitions in source order.
+    pub functions: Vec<FnDef>,
+    /// Global definitions in source order.
+    pub globals: Vec<GlobalDef>,
+}

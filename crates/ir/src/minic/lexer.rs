@@ -1,0 +1,477 @@
+//! MiniC tokenizer.
+
+use super::CompileError;
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Token kinds. Keywords cover control flow only; builtins such as
+/// `sym_int` are ordinary identifiers that the parser special-cases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier.
+    Ident(String),
+    /// An integer literal (char literals are folded into this).
+    Int(i64),
+    /// A string literal (escapes resolved).
+    Str(Vec<u8>),
+    /// `fn`
+    Fn,
+    /// `let`
+    Let,
+    /// `global`
+    Global,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `return`
+    Return,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `&&`
+    AmpAmp,
+    /// `|`
+    Pipe,
+    /// `||`
+    PipePipe,
+    /// `^`
+    Caret,
+    /// `!`
+    Bang,
+    /// `~`
+    Tilde,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(v) => write!(f, "integer `{v}`"),
+            Tok::Str(_) => write!(f, "string literal"),
+            Tok::Eof => write!(f, "end of input"),
+            other => {
+                let s = match other {
+                    Tok::Fn => "fn",
+                    Tok::Let => "let",
+                    Tok::Global => "global",
+                    Tok::If => "if",
+                    Tok::Else => "else",
+                    Tok::While => "while",
+                    Tok::For => "for",
+                    Tok::Return => "return",
+                    Tok::Break => "break",
+                    Tok::Continue => "continue",
+                    Tok::LParen => "(",
+                    Tok::RParen => ")",
+                    Tok::LBrace => "{",
+                    Tok::RBrace => "}",
+                    Tok::LBracket => "[",
+                    Tok::RBracket => "]",
+                    Tok::Semi => ";",
+                    Tok::Comma => ",",
+                    Tok::Assign => "=",
+                    Tok::EqEq => "==",
+                    Tok::NotEq => "!=",
+                    Tok::Lt => "<",
+                    Tok::Le => "<=",
+                    Tok::Gt => ">",
+                    Tok::Ge => ">=",
+                    Tok::Plus => "+",
+                    Tok::Minus => "-",
+                    Tok::Star => "*",
+                    Tok::Slash => "/",
+                    Tok::Percent => "%",
+                    Tok::Amp => "&",
+                    Tok::AmpAmp => "&&",
+                    Tok::Pipe => "|",
+                    Tok::PipePipe => "||",
+                    Tok::Caret => "^",
+                    Tok::Bang => "!",
+                    Tok::Tilde => "~",
+                    Tok::Shl => "<<",
+                    Tok::Shr => ">>",
+                    _ => unreachable!(),
+                };
+                write!(f, "`{s}`")
+            }
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The kind and payload.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// Tokenizes MiniC source.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on malformed literals or unexpected bytes.
+pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+    while i < bytes.len() {
+        let pos = Pos { line, col };
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => bump!(),
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                bump!();
+                bump!();
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(CompileError::at(pos, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        bump!();
+                        bump!();
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut value: i64;
+                if c == b'0' && i + 1 < bytes.len() && (bytes[i + 1] | 32) == b'x' {
+                    bump!();
+                    bump!();
+                    let hex_start = i;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        bump!();
+                    }
+                    if i == hex_start {
+                        return Err(CompileError::at(pos, "empty hex literal"));
+                    }
+                    value = i64::from_str_radix(&src[hex_start..i], 16)
+                        .map_err(|_| CompileError::at(pos, "hex literal out of range"))?;
+                } else {
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        bump!();
+                    }
+                    value = src[start..i]
+                        .parse()
+                        .map_err(|_| CompileError::at(pos, "integer literal out of range"))?;
+                }
+                if value < 0 {
+                    value = 0; // unreachable: parse of digits only
+                }
+                out.push(Token { tok: Tok::Int(value), pos });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    bump!();
+                }
+                let word = &src[start..i];
+                let tok = match word {
+                    "fn" => Tok::Fn,
+                    "let" => Tok::Let,
+                    "global" => Tok::Global,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "while" => Tok::While,
+                    "for" => Tok::For,
+                    "return" => Tok::Return,
+                    "break" => Tok::Break,
+                    "continue" => Tok::Continue,
+                    _ => Tok::Ident(word.to_owned()),
+                };
+                out.push(Token { tok, pos });
+            }
+            b'\'' => {
+                bump!();
+                let v = read_char_payload(bytes, &mut i, &mut line, &mut col, pos, b'\'')?;
+                if i >= bytes.len() || bytes[i] != b'\'' {
+                    return Err(CompileError::at(pos, "unterminated char literal"));
+                }
+                bump!();
+                out.push(Token { tok: Tok::Int(i64::from(v)), pos });
+            }
+            b'"' => {
+                bump!();
+                let mut s = Vec::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(CompileError::at(pos, "unterminated string literal"));
+                    }
+                    if bytes[i] == b'"' {
+                        bump!();
+                        break;
+                    }
+                    let v = read_char_payload(bytes, &mut i, &mut line, &mut col, pos, b'"')?;
+                    s.push(v);
+                }
+                out.push(Token { tok: Tok::Str(s), pos });
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() { &bytes[i..i + 2] } else { &bytes[i..i + 1] };
+                let (tok, len) = match two {
+                    b"==" => (Tok::EqEq, 2),
+                    b"!=" => (Tok::NotEq, 2),
+                    b"<=" => (Tok::Le, 2),
+                    b">=" => (Tok::Ge, 2),
+                    b"&&" => (Tok::AmpAmp, 2),
+                    b"||" => (Tok::PipePipe, 2),
+                    b"<<" => (Tok::Shl, 2),
+                    b">>" => (Tok::Shr, 2),
+                    _ => {
+                        let t = match c {
+                            b'(' => Tok::LParen,
+                            b')' => Tok::RParen,
+                            b'{' => Tok::LBrace,
+                            b'}' => Tok::RBrace,
+                            b'[' => Tok::LBracket,
+                            b']' => Tok::RBracket,
+                            b';' => Tok::Semi,
+                            b',' => Tok::Comma,
+                            b'=' => Tok::Assign,
+                            b'<' => Tok::Lt,
+                            b'>' => Tok::Gt,
+                            b'+' => Tok::Plus,
+                            b'-' => Tok::Minus,
+                            b'*' => Tok::Star,
+                            b'/' => Tok::Slash,
+                            b'%' => Tok::Percent,
+                            b'&' => Tok::Amp,
+                            b'|' => Tok::Pipe,
+                            b'^' => Tok::Caret,
+                            b'!' => Tok::Bang,
+                            b'~' => Tok::Tilde,
+                            other => {
+                                return Err(CompileError::at(
+                                    pos,
+                                    format!("unexpected character `{}`", other as char),
+                                ))
+                            }
+                        };
+                        (t, 1)
+                    }
+                };
+                for _ in 0..len {
+                    bump!();
+                }
+                out.push(Token { tok, pos });
+            }
+        }
+    }
+    out.push(Token { tok: Tok::Eof, pos: Pos { line, col } });
+    Ok(out)
+}
+
+fn read_char_payload(
+    bytes: &[u8],
+    i: &mut usize,
+    line: &mut u32,
+    col: &mut u32,
+    pos: Pos,
+    _quote: u8,
+) -> Result<u8, CompileError> {
+    let mut bump = |i: &mut usize| {
+        if bytes[*i] == b'\n' {
+            *line += 1;
+            *col = 1;
+        } else {
+            *col += 1;
+        }
+        *i += 1;
+    };
+    if *i >= bytes.len() {
+        return Err(CompileError::at(pos, "unterminated literal"));
+    }
+    let c = bytes[*i];
+    if c != b'\\' {
+        bump(i);
+        return Ok(c);
+    }
+    bump(i);
+    if *i >= bytes.len() {
+        return Err(CompileError::at(pos, "unterminated escape sequence"));
+    }
+    let e = bytes[*i];
+    bump(i);
+    Ok(match e {
+        b'n' => b'\n',
+        b't' => b'\t',
+        b'r' => b'\r',
+        b'0' => 0,
+        b'\\' => b'\\',
+        b'\'' => b'\'',
+        b'"' => b'"',
+        other => {
+            return Err(CompileError::at(
+                pos,
+                format!("unknown escape `\\{}`", other as char),
+            ))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_identifiers() {
+        assert_eq!(
+            toks("fn foo let bar"),
+            vec![
+                Tok::Fn,
+                Tok::Ident("foo".into()),
+                Tok::Let,
+                Tok::Ident("bar".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(toks("42 0x1f 0"), vec![Tok::Int(42), Tok::Int(31), Tok::Int(0), Tok::Eof]);
+    }
+
+    #[test]
+    fn lexes_char_and_string_literals() {
+        assert_eq!(toks("'a' '\\n' '\\0'"), vec![Tok::Int(97), Tok::Int(10), Tok::Int(0), Tok::Eof]);
+        assert_eq!(toks(r#""-n""#), vec![Tok::Str(vec![b'-', b'n']), Tok::Eof]);
+        assert_eq!(toks(r#""a\tb""#), vec![Tok::Str(vec![b'a', b'\t', b'b']), Tok::Eof]);
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        assert_eq!(
+            toks("== != <= >= && || << >>"),
+            vec![
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::Le,
+                Tok::Ge,
+                Tok::AmpAmp,
+                Tok::PipePipe,
+                Tok::Shl,
+                Tok::Shr,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            toks("1 // line\n 2 /* block\n comment */ 3"),
+            vec![Tok::Int(1), Tok::Int(2), Tok::Int(3), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn reports_positions() {
+        let tokens = lex("a\n  b").unwrap();
+        assert_eq!(tokens[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(tokens[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("let x = `;").is_err());
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("/* unterminated").is_err());
+    }
+}

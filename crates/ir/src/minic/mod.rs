@@ -1,0 +1,173 @@
+//! # MiniC — the workload language
+//!
+//! A small C-like language that compiles to the `symmerge` IR. It exists so
+//! the COREUTILS-style benchmark programs can be written as readable source
+//! instead of hand-built CFGs, mirroring how the paper compiles C utilities
+//! to LLVM bitcode.
+//!
+//! ## Language summary
+//!
+//! ```text
+//! program   := (fn | global)*
+//! global    := "global" name ("=" int)? ";"
+//!            | "global" name "[" int "]" ("=" string)? ";"
+//! fn        := "fn" name "(" params ")" block
+//! stmt      := "let" name "=" expr ";"              // new scalar
+//!            | "let" name "[" int "]" ("=" string)? ";"  // new array
+//!            | name "=" expr ";" | name "[" expr "]" "=" expr ";"
+//!            | "if" "(" expr ")" block ("else" (block|if-stmt))?
+//!            | "while" "(" expr ")" block
+//!            | "for" "(" simple? ";" expr? ";" simple? ")" block
+//!            | "return" expr? ";" | "break" ";" | "continue" ";"
+//!            | "assert" "(" expr ("," string)? ")" ";"
+//!            | "assume" "(" expr ")" ";"
+//!            | "putchar" "(" expr ")" ";"
+//!            | "halt" ";" | expr ";" | block
+//! expr      := C-precedence operators over ints:
+//!              || && | ^ & == != < <= > >= << >> + - * / %
+//!              unary - ! ~ ; calls f(e, ...); indexing a[e];
+//!              char 'c' and 0x1f literals; sym_int("name")
+//! ```
+//!
+//! `&&`/`||` short-circuit (they compile to branches, like Clang's lowering
+//! to LLVM), so they contribute to path explosion exactly as in the paper's
+//! subject programs. All values are signed integers of the program width;
+//! arrays are fixed-size. `sym_int`/`sym_array` introduce symbolic inputs,
+//! `assume` constrains them, `assert` is the bug oracle, `putchar` appends
+//! to the output trace.
+//!
+//! ## Example
+//!
+//! ```
+//! let program = symmerge_ir::minic::compile(r#"
+//!     global greeting[6] = "hello";
+//!     fn main() {
+//!       for (let i = 0; greeting[i] != 0; i = i + 1) { putchar(greeting[i]); }
+//!     }
+//! "#).unwrap();
+//! assert!(program.validate().is_ok());
+//! ```
+
+mod ast;
+mod lexer;
+mod lower;
+mod parser;
+
+pub use ast::{AstBinOp, AstUnOp, Expr, FnDef, GlobalDef, GlobalInitAst, Stmt, Unit};
+pub use lexer::{lex, Pos, Tok, Token};
+
+use crate::program::Program;
+use std::fmt;
+
+/// A MiniC compilation error with an optional source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// What went wrong.
+    pub message: String,
+    /// Where, if known.
+    pub pos: Option<Pos>,
+}
+
+impl CompileError {
+    /// An error at a known position.
+    pub fn at(pos: Pos, message: impl Into<String>) -> Self {
+        CompileError { message: message.into(), pos: Some(pos) }
+    }
+
+    /// An error without position information.
+    pub fn new(message: impl Into<String>) -> Self {
+        CompileError { message: message.into(), pos: None }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pos {
+            Some(p) => write!(f, "{p}: {}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compiles MiniC source to a validated [`Program`] with the default
+/// 32-bit scalar width.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on lexical, syntactic or semantic problems
+/// (unknown names, arity mismatches, array/scalar confusion, missing
+/// `main`).
+pub fn compile(src: &str) -> Result<Program, CompileError> {
+    compile_with_width(src, 32)
+}
+
+/// Compiles MiniC source with an explicit scalar width (1..=64 bits).
+///
+/// Narrower widths make solver queries cheaper and are used by tests; the
+/// benchmarks use the default.
+///
+/// # Errors
+///
+/// See [`compile`].
+pub fn compile_with_width(src: &str, width: u32) -> Result<Program, CompileError> {
+    let tokens = lexer::lex(src)?;
+    let unit = parser::Parser::new(tokens).parse_unit()?;
+    let program = lower::lower(&unit, width)?;
+    program
+        .validate()
+        .map_err(|e| CompileError::new(format!("internal lowering bug: {e}")))?;
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiles_minimal_program() {
+        let p = compile("fn main() { putchar('x'); }").unwrap();
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.entry.index(), 0);
+        assert_eq!(p.width, 32);
+    }
+
+    #[test]
+    fn missing_main_is_an_error() {
+        let e = compile("fn helper() { return 1; }").unwrap_err();
+        assert!(e.message.contains("main"), "{e}");
+    }
+
+    #[test]
+    fn unknown_variable_is_an_error() {
+        let e = compile("fn main() { let x = y + 1; }").unwrap_err();
+        assert!(e.message.contains('y'), "{e}");
+    }
+
+    #[test]
+    fn unknown_function_is_an_error() {
+        let e = compile("fn main() { frob(1); }").unwrap_err();
+        assert!(e.message.contains("frob"), "{e}");
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let e = compile("fn f(a) { return a; } fn main() { f(1, 2); }").unwrap_err();
+        assert!(e.message.contains("2 arguments"), "{e}");
+    }
+
+    #[test]
+    fn array_scalar_confusion_is_an_error() {
+        let e = compile("fn main() { let a[4]; let x = a + 1; }").unwrap_err();
+        assert!(e.message.contains("array"), "{e}");
+        let e = compile("fn main() { let x = 1; let y = x[0]; }").unwrap_err();
+        assert!(e.message.contains("scalar") || e.message.contains("array"), "{e}");
+    }
+
+    #[test]
+    fn custom_width_is_recorded() {
+        let p = compile_with_width("fn main() { }", 8).unwrap();
+        assert_eq!(p.width, 8);
+    }
+}

@@ -1,0 +1,582 @@
+//! Recursive-descent parser for MiniC.
+
+use super::ast::*;
+use super::lexer::{Pos, Tok, Token};
+use super::CompileError;
+
+pub(super) struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    pub(super) fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].tok
+    }
+
+    fn here(&self) -> Pos {
+        self.tokens[self.pos].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), CompileError> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(CompileError::at(
+                self.here(),
+                format!("expected {want}, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CompileError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(CompileError::at(self.here(), format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<i64, CompileError> {
+        match *self.peek() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(v)
+            }
+            ref other => {
+                Err(CompileError::at(self.here(), format!("expected integer, found {other}")))
+            }
+        }
+    }
+
+    fn expect_str(&mut self) -> Result<Vec<u8>, CompileError> {
+        match self.peek().clone() {
+            Tok::Str(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(CompileError::at(
+                self.here(),
+                format!("expected string literal, found {other}"),
+            )),
+        }
+    }
+
+    pub(super) fn parse_unit(&mut self) -> Result<Unit, CompileError> {
+        let mut unit = Unit::default();
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Fn => unit.functions.push(self.parse_fn()?),
+                Tok::Global => unit.globals.push(self.parse_global()?),
+                other => {
+                    return Err(CompileError::at(
+                        self.here(),
+                        format!("expected `fn` or `global`, found {other}"),
+                    ))
+                }
+            }
+        }
+        Ok(unit)
+    }
+
+    fn parse_global(&mut self) -> Result<GlobalDef, CompileError> {
+        let pos = self.here();
+        self.expect(&Tok::Global)?;
+        let name = self.expect_ident()?;
+        let mut array_len = None;
+        if *self.peek() == Tok::LBracket {
+            self.bump();
+            let n = self.expect_int()?;
+            if !(1..=1 << 20).contains(&n) {
+                return Err(CompileError::at(pos, format!("array length {n} out of range")));
+            }
+            array_len = Some(n as u32);
+            self.expect(&Tok::RBracket)?;
+        }
+        let init = if *self.peek() == Tok::Assign {
+            self.bump();
+            match (array_len, self.peek().clone()) {
+                (None, Tok::Int(_)) => GlobalInitAst::Scalar(self.parse_signed_int()?),
+                (None, Tok::Minus) => GlobalInitAst::Scalar(self.parse_signed_int()?),
+                (Some(len), Tok::Str(_)) => {
+                    let bytes = self.expect_str()?;
+                    if bytes.len() + 1 > len as usize {
+                        return Err(CompileError::at(
+                            pos,
+                            format!(
+                                "string of {} bytes (+NUL) does not fit array of {len}",
+                                bytes.len()
+                            ),
+                        ));
+                    }
+                    GlobalInitAst::Bytes(bytes)
+                }
+                _ => {
+                    return Err(CompileError::at(
+                        self.here(),
+                        "global initializer must be an integer (scalar) or string (array)",
+                    ))
+                }
+            }
+        } else {
+            GlobalInitAst::Zero
+        };
+        self.expect(&Tok::Semi)?;
+        Ok(GlobalDef { name, array_len, init, pos })
+    }
+
+    fn parse_signed_int(&mut self) -> Result<i64, CompileError> {
+        if *self.peek() == Tok::Minus {
+            self.bump();
+            Ok(-self.expect_int()?)
+        } else {
+            self.expect_int()
+        }
+    }
+
+    fn parse_fn(&mut self) -> Result<FnDef, CompileError> {
+        let pos = self.here();
+        self.expect(&Tok::Fn)?;
+        let name = self.expect_ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                params.push(self.expect_ident()?);
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        let body = self.parse_block()?;
+        Ok(FnDef { name, params, body, pos })
+    }
+
+    fn parse_block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(&Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            if *self.peek() == Tok::Eof {
+                return Err(CompileError::at(self.here(), "unterminated block"));
+            }
+            stmts.push(self.parse_stmt()?);
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.here();
+        match self.peek().clone() {
+            Tok::LBrace => Ok(Stmt::Block(self.parse_block()?, pos)),
+            Tok::Let => {
+                let s = self.parse_simple_stmt()?;
+                self.expect(&Tok::Semi)?;
+                Ok(s)
+            }
+            Tok::If => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect(&Tok::RParen)?;
+                let then = self.parse_block()?;
+                let els = if *self.peek() == Tok::Else {
+                    self.bump();
+                    if *self.peek() == Tok::If {
+                        vec![self.parse_stmt()?]
+                    } else {
+                        self.parse_block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(cond, then, els, pos))
+            }
+            Tok::While => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect(&Tok::RParen)?;
+                let body = self.parse_block()?;
+                Ok(Stmt::While(cond, body, pos))
+            }
+            Tok::For => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let init = if *self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(Box::new(self.parse_simple_stmt()?))
+                };
+                self.expect(&Tok::Semi)?;
+                let cond = if *self.peek() == Tok::Semi { None } else { Some(self.parse_expr()?) };
+                self.expect(&Tok::Semi)?;
+                let step = if *self.peek() == Tok::RParen {
+                    None
+                } else {
+                    Some(Box::new(self.parse_simple_stmt()?))
+                };
+                self.expect(&Tok::RParen)?;
+                let body = self.parse_block()?;
+                Ok(Stmt::For(init, cond, step, body, pos))
+            }
+            Tok::Return => {
+                self.bump();
+                let e = if *self.peek() == Tok::Semi { None } else { Some(self.parse_expr()?) };
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Return(e, pos))
+            }
+            Tok::Break => {
+                self.bump();
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Break(pos))
+            }
+            Tok::Continue => {
+                self.bump();
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Continue(pos))
+            }
+            Tok::Ident(name) => {
+                // Builtin statement forms.
+                match name.as_str() {
+                    "assert" => {
+                        self.bump();
+                        self.expect(&Tok::LParen)?;
+                        let cond = self.parse_expr()?;
+                        let msg = if *self.peek() == Tok::Comma {
+                            self.bump();
+                            String::from_utf8_lossy(&self.expect_str()?).into_owned()
+                        } else {
+                            format!("assertion at {pos}")
+                        };
+                        self.expect(&Tok::RParen)?;
+                        self.expect(&Tok::Semi)?;
+                        return Ok(Stmt::Assert(cond, msg, pos));
+                    }
+                    "assume" => {
+                        self.bump();
+                        self.expect(&Tok::LParen)?;
+                        let cond = self.parse_expr()?;
+                        self.expect(&Tok::RParen)?;
+                        self.expect(&Tok::Semi)?;
+                        return Ok(Stmt::Assume(cond, pos));
+                    }
+                    "putchar" => {
+                        self.bump();
+                        self.expect(&Tok::LParen)?;
+                        let e = self.parse_expr()?;
+                        self.expect(&Tok::RParen)?;
+                        self.expect(&Tok::Semi)?;
+                        return Ok(Stmt::Putchar(e, pos));
+                    }
+                    "halt" => {
+                        self.bump();
+                        if *self.peek() == Tok::LParen {
+                            self.bump();
+                            self.expect(&Tok::RParen)?;
+                        }
+                        self.expect(&Tok::Semi)?;
+                        return Ok(Stmt::Halt(pos));
+                    }
+                    "sym_array" => {
+                        self.bump();
+                        self.expect(&Tok::LParen)?;
+                        let arr = self.expect_ident()?;
+                        self.expect(&Tok::Comma)?;
+                        let label = String::from_utf8_lossy(&self.expect_str()?).into_owned();
+                        self.expect(&Tok::RParen)?;
+                        self.expect(&Tok::Semi)?;
+                        return Ok(Stmt::SymArray(arr, label, pos));
+                    }
+                    _ => {}
+                }
+                // Assignment / store / expression statement.
+                if matches!(self.peek2(), Tok::Assign | Tok::LBracket) {
+                    let s = self.parse_simple_stmt();
+                    // `a[i]` could also start an expression statement like
+                    // `f(a[i]);` — but an identifier followed by `[` at
+                    // statement level is always a store in MiniC, and an
+                    // identifier followed by `=` is always an assignment.
+                    let s = s?;
+                    self.expect(&Tok::Semi)?;
+                    Ok(s)
+                } else {
+                    let e = self.parse_expr()?;
+                    self.expect(&Tok::Semi)?;
+                    Ok(Stmt::ExprStmt(e, pos))
+                }
+            }
+            other => Err(CompileError::at(pos, format!("expected statement, found {other}"))),
+        }
+    }
+
+    /// `let x = e` / `let a[n]` / `let a[n] = "s"` / `x = e` / `a[i] = e`
+    /// (no trailing semicolon — shared between statements and `for`).
+    fn parse_simple_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.here();
+        if *self.peek() == Tok::Let {
+            self.bump();
+            let name = self.expect_ident()?;
+            if *self.peek() == Tok::LBracket {
+                self.bump();
+                let n = self.expect_int()?;
+                if !(1..=1 << 20).contains(&n) {
+                    return Err(CompileError::at(pos, format!("array length {n} out of range")));
+                }
+                self.expect(&Tok::RBracket)?;
+                let init = if *self.peek() == Tok::Assign {
+                    self.bump();
+                    let bytes = self.expect_str()?;
+                    if bytes.len() + 1 > n as usize {
+                        return Err(CompileError::at(
+                            pos,
+                            format!("string of {} bytes (+NUL) does not fit array of {n}", bytes.len()),
+                        ));
+                    }
+                    Some(bytes)
+                } else {
+                    None
+                };
+                return Ok(Stmt::LetArray(name, n as u32, init, pos));
+            }
+            self.expect(&Tok::Assign)?;
+            let e = self.parse_expr()?;
+            return Ok(Stmt::Let(name, e, pos));
+        }
+        let name = self.expect_ident()?;
+        if *self.peek() == Tok::LBracket {
+            self.bump();
+            let idx = self.parse_expr()?;
+            self.expect(&Tok::RBracket)?;
+            self.expect(&Tok::Assign)?;
+            let val = self.parse_expr()?;
+            Ok(Stmt::StoreIndex(name, idx, val, pos))
+        } else {
+            self.expect(&Tok::Assign)?;
+            let e = self.parse_expr()?;
+            Ok(Stmt::Assign(name, e, pos))
+        }
+    }
+
+    // ----- expressions (precedence climbing) ---------------------------
+
+    pub(super) fn parse_expr(&mut self) -> Result<Expr, CompileError> {
+        self.parse_bin(0)
+    }
+
+    fn parse_bin(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Tok::PipePipe => (AstBinOp::LOr, 1),
+                Tok::AmpAmp => (AstBinOp::LAnd, 2),
+                Tok::Pipe => (AstBinOp::BitOr, 3),
+                Tok::Caret => (AstBinOp::BitXor, 4),
+                Tok::Amp => (AstBinOp::BitAnd, 5),
+                Tok::EqEq => (AstBinOp::Eq, 6),
+                Tok::NotEq => (AstBinOp::Ne, 6),
+                Tok::Lt => (AstBinOp::Lt, 7),
+                Tok::Le => (AstBinOp::Le, 7),
+                Tok::Gt => (AstBinOp::Gt, 7),
+                Tok::Ge => (AstBinOp::Ge, 7),
+                Tok::Shl => (AstBinOp::Shl, 8),
+                Tok::Shr => (AstBinOp::Shr, 8),
+                Tok::Plus => (AstBinOp::Add, 9),
+                Tok::Minus => (AstBinOp::Sub, 9),
+                Tok::Star => (AstBinOp::Mul, 10),
+                Tok::Slash => (AstBinOp::Div, 10),
+                Tok::Percent => (AstBinOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            let pos = self.here();
+            self.bump();
+            let rhs = self.parse_bin(prec + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, CompileError> {
+        let pos = self.here();
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                Ok(Expr::Unary(AstUnOp::Neg, Box::new(self.parse_unary()?), pos))
+            }
+            Tok::Bang => {
+                self.bump();
+                Ok(Expr::Unary(AstUnOp::LNot, Box::new(self.parse_unary()?), pos))
+            }
+            Tok::Tilde => {
+                self.bump();
+                Ok(Expr::Unary(AstUnOp::BitNot, Box::new(self.parse_unary()?), pos))
+            }
+            _ => self.parse_primary(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, CompileError> {
+        let pos = self.here();
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v, pos))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                match self.peek() {
+                    Tok::LParen => {
+                        self.bump();
+                        if name == "sym_int" {
+                            let label = String::from_utf8_lossy(&self.expect_str()?).into_owned();
+                            self.expect(&Tok::RParen)?;
+                            return Ok(Expr::SymInt(label, pos));
+                        }
+                        let mut args = Vec::new();
+                        if *self.peek() != Tok::RParen {
+                            loop {
+                                args.push(self.parse_expr()?);
+                                if *self.peek() == Tok::Comma {
+                                    self.bump();
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect(&Tok::RParen)?;
+                        Ok(Expr::Call(name, args, pos))
+                    }
+                    Tok::LBracket => {
+                        self.bump();
+                        let idx = self.parse_expr()?;
+                        self.expect(&Tok::RBracket)?;
+                        Ok(Expr::Index(name, Box::new(idx), pos))
+                    }
+                    _ => Ok(Expr::Var(name, pos)),
+                }
+            }
+            other => Err(CompileError::at(pos, format!("expected expression, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::lexer::lex;
+    use super::*;
+
+    fn parse(src: &str) -> Result<Unit, CompileError> {
+        Parser::new(lex(src)?).parse_unit()
+    }
+
+    #[test]
+    fn parses_function_with_params() {
+        let u = parse("fn add(a, b) { return a + b; }").unwrap();
+        assert_eq!(u.functions.len(), 1);
+        assert_eq!(u.functions[0].params, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn parses_globals() {
+        let u = parse("global x = 5; global buf[8]; global s[4] = \"ab\";").unwrap();
+        assert_eq!(u.globals.len(), 3);
+        assert_eq!(u.globals[0].init, GlobalInitAst::Scalar(5));
+        assert_eq!(u.globals[1].array_len, Some(8));
+        assert_eq!(u.globals[2].init, GlobalInitAst::Bytes(vec![b'a', b'b']));
+    }
+
+    #[test]
+    fn precedence_is_c_like() {
+        let u = parse("fn f() { let x = 1 + 2 * 3 == 7 && 1 < 2; }").unwrap();
+        // ((1 + (2*3)) == 7) && (1 < 2)
+        let Stmt::Let(_, e, _) = &u.functions[0].body[0] else { panic!() };
+        let Expr::Binary(AstBinOp::LAnd, lhs, _, _) = e else { panic!("top must be &&: {e:?}") };
+        let Expr::Binary(AstBinOp::Eq, add, _, _) = lhs.as_ref() else { panic!() };
+        let Expr::Binary(AstBinOp::Add, _, mul, _) = add.as_ref() else { panic!() };
+        assert!(matches!(mul.as_ref(), Expr::Binary(AstBinOp::Mul, _, _, _)));
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let u = parse(
+            r#"fn main() {
+                for (let i = 0; i < 4; i = i + 1) {
+                    if (i == 2) { continue; } else if (i == 3) { break; }
+                    while (i) { i = i - 1; }
+                }
+            }"#,
+        )
+        .unwrap();
+        assert!(matches!(u.functions[0].body[0], Stmt::For(..)));
+    }
+
+    #[test]
+    fn parses_builtins() {
+        let u = parse(
+            r#"fn main() {
+                let x = sym_int("x");
+                let buf[4];
+                sym_array(buf, "buf");
+                assume(x > 0);
+                assert(x != 3, "x must not be 3");
+                putchar(x);
+                halt;
+            }"#,
+        )
+        .unwrap();
+        let body = &u.functions[0].body;
+        assert!(matches!(body[0], Stmt::Let(..)));
+        assert!(matches!(body[1], Stmt::LetArray(..)));
+        assert!(matches!(body[2], Stmt::SymArray(..)));
+        assert!(matches!(body[3], Stmt::Assume(..)));
+        assert!(matches!(body[4], Stmt::Assert(..)));
+        assert!(matches!(body[5], Stmt::Putchar(..)));
+        assert!(matches!(body[6], Stmt::Halt(..)));
+    }
+
+    #[test]
+    fn rejects_syntax_errors() {
+        assert!(parse("fn f( { }").is_err());
+        assert!(parse("fn f() { let = 3; }").is_err());
+        assert!(parse("fn f() { x + ; }").is_err());
+        assert!(parse("global g[0];").is_err());
+    }
+
+    #[test]
+    fn array_store_and_load() {
+        let u = parse("fn f() { let a[4]; a[1] = 7; let x = a[1] + a[0]; }").unwrap();
+        assert!(matches!(u.functions[0].body[1], Stmt::StoreIndex(..)));
+    }
+}

@@ -1,0 +1,181 @@
+//! Human-readable rendering of programs (for debugging and docs).
+
+use crate::program::{
+    ArrayRef, BinOp, Function, Instr, Operand, Program, Rvalue, Terminator, UnOp,
+};
+use std::fmt;
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "program (width {} bits)", self.width)?;
+        for (gi, g) in self.globals.iter().enumerate() {
+            write!(f, "global @{gi} {}: ", g.name)?;
+            match g.ty {
+                crate::Ty::Int => writeln!(f, "int = {}", self.global_inits[gi][0])?,
+                crate::Ty::Array(n) => writeln!(f, "[int; {n}]")?,
+            }
+        }
+        for (fi, func) in self.functions.iter().enumerate() {
+            let marker = if self.entry.index() == fi { " (entry)" } else { "" };
+            writeln!(f, "\nfn #{fi} {}{marker}:", func.name)?;
+            write_function(func, f)?;
+        }
+        Ok(())
+    }
+}
+
+fn write_function(func: &Function, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    for (bi, b) in func.blocks.iter().enumerate() {
+        writeln!(f, "  bb{bi}:")?;
+        for instr in &b.instrs {
+            writeln!(f, "    {}", render_instr(func, instr))?;
+        }
+        writeln!(f, "    {}", render_term(&b.terminator))?;
+    }
+    Ok(())
+}
+
+fn local_name(func: &Function, l: crate::LocalId) -> String {
+    func.locals[l.index()].name.clone()
+}
+
+fn render_operand(func: &Function, o: Operand) -> String {
+    match o {
+        Operand::Const(c) => c.to_string(),
+        Operand::Local(l) => local_name(func, l),
+        Operand::Global(g) => format!("@{}", g.0),
+    }
+}
+
+fn render_array(func: &Function, a: ArrayRef) -> String {
+    match a {
+        ArrayRef::Local(l) => local_name(func, l),
+        ArrayRef::Global(g) => format!("@{}", g.0),
+    }
+}
+
+fn binop_symbol(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/s",
+        BinOp::Rem => "%s",
+        BinOp::UDiv => "/u",
+        BinOp::URem => "%u",
+        BinOp::BitAnd => "&",
+        BinOp::BitOr => "|",
+        BinOp::BitXor => "^",
+        BinOp::Shl => "<<",
+        BinOp::Shr => ">>a",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<s",
+        BinOp::Le => "<=s",
+        BinOp::Gt => ">s",
+        BinOp::Ge => ">=s",
+        BinOp::ULt => "<u",
+        BinOp::ULe => "<=u",
+    }
+}
+
+fn render_instr(func: &Function, i: &Instr) -> String {
+    match i {
+        Instr::Assign { dest, rvalue } => {
+            let rhs = match rvalue {
+                Rvalue::Use(o) => render_operand(func, *o),
+                Rvalue::Unary { op, arg } => {
+                    let sym = match op {
+                        UnOp::Neg => "-",
+                        UnOp::BitNot => "~",
+                        UnOp::LNot => "!",
+                    };
+                    format!("{sym}{}", render_operand(func, *arg))
+                }
+                Rvalue::Binary { op, lhs, rhs } => format!(
+                    "{} {} {}",
+                    render_operand(func, *lhs),
+                    binop_symbol(*op),
+                    render_operand(func, *rhs)
+                ),
+            };
+            format!("{} = {rhs}", local_name(func, *dest))
+        }
+        Instr::SetGlobal { dest, value } => {
+            format!("@{} = {}", dest.0, render_operand(func, *value))
+        }
+        Instr::Load { dest, array, index } => format!(
+            "{} = {}[{}]",
+            local_name(func, *dest),
+            render_array(func, *array),
+            render_operand(func, *index)
+        ),
+        Instr::Store { array, index, value } => format!(
+            "{}[{}] = {}",
+            render_array(func, *array),
+            render_operand(func, *index),
+            render_operand(func, *value)
+        ),
+        Instr::Call { dest, func: callee, args } => {
+            let args: Vec<String> = args.iter().map(|&a| render_operand(func, a)).collect();
+            match dest {
+                Some(d) => {
+                    format!("{} = call fn#{}({})", local_name(func, *d), callee.0, args.join(", "))
+                }
+                None => format!("call fn#{}({})", callee.0, args.join(", ")),
+            }
+        }
+        Instr::Output(o) => format!("output {}", render_operand(func, *o)),
+        Instr::Assume(o) => format!("assume {}", render_operand(func, *o)),
+        Instr::Assert { cond, msg } => {
+            format!("assert {} \"{}\"", render_operand(func, *cond), msg)
+        }
+        Instr::SymInt { dest, name } => {
+            format!("{} = sym_int(\"{name}\")", local_name(func, *dest))
+        }
+        Instr::SymArray { array, name } => {
+            format!("sym_array({}, \"{name}\")", render_array(func, *array))
+        }
+    }
+}
+
+fn render_term(t: &Terminator) -> String {
+    match t {
+        Terminator::Goto(b) => format!("goto bb{}", b.0),
+        Terminator::Branch { cond, then_bb, else_bb } => {
+            let c = match cond {
+                Operand::Const(c) => c.to_string(),
+                Operand::Local(l) => format!("%{}", l.0),
+                Operand::Global(g) => format!("@{}", g.0),
+            };
+            format!("br {c} ? bb{} : bb{}", then_bb.0, else_bb.0)
+        }
+        Terminator::Return(Some(o)) => match o {
+            Operand::Const(c) => format!("return {c}"),
+            Operand::Local(l) => format!("return %{}", l.0),
+            Operand::Global(g) => format!("return @{}", g.0),
+        },
+        Terminator::Return(None) => "return".to_string(),
+        Terminator::Halt => "halt".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::minic::compile;
+
+    #[test]
+    fn renders_without_panicking_and_mentions_blocks() {
+        let p = compile(
+            r#"global g = 3;
+               fn add(a, b) { return a + b; }
+               fn main() { let x = add(g, 4); if (x > 5) { putchar(x); } }"#,
+        )
+        .unwrap();
+        let s = p.to_string();
+        assert!(s.contains("fn #1 main (entry)") || s.contains("main"));
+        assert!(s.contains("bb0"));
+        assert!(s.contains("call fn#0"));
+        assert!(s.contains("br"));
+    }
+}

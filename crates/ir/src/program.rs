@@ -1,0 +1,458 @@
+//! The intermediate representation: programs, functions, blocks,
+//! instructions.
+
+/// A scalar or array type.
+///
+/// All scalars share the program's bitvector width ([`Program::width`]);
+/// arrays are fixed-length vectors of scalars.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// A scalar integer of the program width.
+    Int,
+    /// A fixed-length array of scalars.
+    Array(u32),
+}
+
+impl Ty {
+    /// Whether this is [`Ty::Int`].
+    pub fn is_int(self) -> bool {
+        matches!(self, Ty::Int)
+    }
+
+    /// The array length, if an array type.
+    pub fn array_len(self) -> Option<u32> {
+        match self {
+            Ty::Int => None,
+            Ty::Array(n) => Some(n),
+        }
+    }
+}
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a function within a [`Program`].
+    FuncId
+);
+id_type!(
+    /// Identifies a basic block within a [`Function`].
+    BlockId
+);
+id_type!(
+    /// Identifies a local slot (parameter or local variable) within a
+    /// [`Function`].
+    LocalId
+);
+id_type!(
+    /// Identifies a global slot within a [`Program`].
+    GlobalId
+);
+
+/// A program location: function, block, and instruction index within the
+/// block. `instr == block.instrs.len()` designates the terminator.
+///
+/// This is the `ℓ` of the paper's states `(ℓ, pc, s)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Loc {
+    /// The function.
+    pub func: FuncId,
+    /// The block within the function.
+    pub block: BlockId,
+    /// The instruction index within the block (len = terminator).
+    pub instr: u32,
+}
+
+impl Loc {
+    /// The first instruction of a function's entry block.
+    pub fn start_of(func: FuncId, block: BlockId) -> Loc {
+        Loc { func, block, instr: 0 }
+    }
+}
+
+/// Declares a local or global slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalDecl {
+    /// Source-level name (used in diagnostics and symbolic input labels).
+    pub name: String,
+    /// The slot's type.
+    pub ty: Ty,
+}
+
+/// A reference to a scalar value: a constant or a scalar local.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// An immediate constant (wrapped to the program width at use).
+    Const(i64),
+    /// A scalar local slot.
+    Local(LocalId),
+    /// A scalar global slot.
+    Global(GlobalId),
+}
+
+/// Binary operators. Comparisons yield 0 or 1, C-style. `Div`, `Rem` and
+/// `Shr` are signed (arithmetic); total division semantics follow
+/// [`symmerge_expr::BvBinOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Signed division (total).
+    Div,
+    /// Signed remainder (total).
+    Rem,
+    /// Unsigned division (total).
+    UDiv,
+    /// Unsigned remainder (total).
+    URem,
+    /// Bitwise and.
+    BitAnd,
+    /// Bitwise or.
+    BitOr,
+    /// Bitwise xor.
+    BitXor,
+    /// Shift left.
+    Shl,
+    /// Arithmetic shift right.
+    Shr,
+    /// Equality (0/1).
+    Eq,
+    /// Inequality (0/1).
+    Ne,
+    /// Signed less-than (0/1).
+    Lt,
+    /// Signed less-or-equal (0/1).
+    Le,
+    /// Signed greater-than (0/1).
+    Gt,
+    /// Signed greater-or-equal (0/1).
+    Ge,
+    /// Unsigned less-than (0/1).
+    ULt,
+    /// Unsigned less-or-equal (0/1).
+    ULe,
+}
+
+impl BinOp {
+    /// Whether the operator is a comparison producing 0/1.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::ULt
+                | BinOp::ULe
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Bitwise complement.
+    BitNot,
+    /// Logical not: `e == 0 → 1`, else `0`.
+    LNot,
+}
+
+/// The right-hand side of an assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rvalue {
+    /// A plain copy.
+    Use(Operand),
+    /// A unary operation.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        arg: Operand,
+    },
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+}
+
+/// A reference to an array slot: a local or a global.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArrayRef {
+    /// An array-typed local of the current function.
+    Local(LocalId),
+    /// An array-typed global.
+    Global(GlobalId),
+}
+
+/// A non-terminator instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// `dest = rvalue`.
+    Assign {
+        /// Destination scalar local.
+        dest: LocalId,
+        /// Source value.
+        rvalue: Rvalue,
+    },
+    /// `global = value` for a scalar global.
+    SetGlobal {
+        /// Destination scalar global.
+        dest: GlobalId,
+        /// Value to store.
+        value: Operand,
+    },
+    /// `dest = array[index]`. Out-of-bounds indices read 0 (the engine and
+    /// the interpreter agree on this total semantics).
+    Load {
+        /// Destination scalar local.
+        dest: LocalId,
+        /// Source array.
+        array: ArrayRef,
+        /// Element index.
+        index: Operand,
+    },
+    /// `array[index] = value`. Out-of-bounds stores are dropped.
+    Store {
+        /// Destination array.
+        array: ArrayRef,
+        /// Element index.
+        index: Operand,
+        /// Value to store.
+        value: Operand,
+    },
+    /// Call a function; `dest` (if any) receives the return value.
+    Call {
+        /// Destination for the return value.
+        dest: Option<LocalId>,
+        /// Callee.
+        func: FuncId,
+        /// Scalar arguments.
+        args: Vec<Operand>,
+    },
+    /// Emit one value to the output trace (models `putchar`).
+    Output(Operand),
+    /// Constrain execution: paths where the operand is 0 are infeasible.
+    Assume(Operand),
+    /// Check an assertion; failing states are reported as bugs.
+    Assert {
+        /// The checked condition (non-zero = pass).
+        cond: Operand,
+        /// Human-readable label for reports.
+        msg: String,
+    },
+    /// Introduce a fresh symbolic scalar input named `name`.
+    SymInt {
+        /// Destination scalar local.
+        dest: LocalId,
+        /// Input label (symbol name).
+        name: String,
+    },
+    /// Make every cell of `array` a fresh symbolic input
+    /// (`name[0]`, `name[1]`, …).
+    SymArray {
+        /// The array to make symbolic.
+        array: ArrayRef,
+        /// Input label prefix.
+        name: String,
+    },
+}
+
+/// A block terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Goto(BlockId),
+    /// Two-way branch on `cond != 0`.
+    Branch {
+        /// The condition (non-zero takes `then_bb`).
+        cond: Operand,
+        /// Target when the condition is non-zero.
+        then_bb: BlockId,
+        /// Target when the condition is zero.
+        else_bb: BlockId,
+    },
+    /// Return from the current function.
+    Return(Option<Operand>),
+    /// Terminate the whole program (success).
+    Halt,
+}
+
+impl Terminator {
+    /// The blocks this terminator can jump to.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Goto(b) => vec![*b],
+            Terminator::Branch { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Terminator::Return(_) | Terminator::Halt => vec![],
+        }
+    }
+}
+
+/// A basic block: straight-line instructions plus a terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// The instructions, executed in order.
+    pub instrs: Vec<Instr>,
+    /// The terminator.
+    pub terminator: Terminator,
+}
+
+/// A function: parameters are the first `num_params` locals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Source-level name.
+    pub name: String,
+    /// Number of leading locals that are parameters (always scalars).
+    pub num_params: usize,
+    /// All local slots (parameters first).
+    pub locals: Vec<LocalDecl>,
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<Block>,
+}
+
+impl Function {
+    /// The entry block id.
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// The parameter local ids.
+    pub fn params(&self) -> impl Iterator<Item = LocalId> {
+        (0..self.num_params as u32).map(LocalId)
+    }
+
+    /// Looks up a local by name.
+    pub fn local_by_name(&self, name: &str) -> Option<LocalId> {
+        self.locals.iter().position(|l| l.name == name).map(|i| LocalId(i as u32))
+    }
+
+    /// Total number of instructions (including terminators).
+    pub fn num_instrs(&self) -> usize {
+        self.blocks.iter().map(|b| b.instrs.len() + 1).sum()
+    }
+}
+
+/// A whole program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// The functions; [`Program::entry`] designates `main`.
+    pub functions: Vec<Function>,
+    /// Global slots, shared by all functions.
+    pub globals: Vec<LocalDecl>,
+    /// Initial values per global: length 1 for scalars, the array length
+    /// for arrays (string initializers are zero-padded).
+    pub global_inits: Vec<Vec<i64>>,
+    /// The entry function.
+    pub entry: FuncId,
+    /// The scalar bitvector width in bits (default 32).
+    pub width: u32,
+}
+
+impl Program {
+    /// Creates an empty program with the given scalar width.
+    pub fn new(width: u32) -> Self {
+        Program {
+            functions: Vec::new(),
+            globals: Vec::new(),
+            global_inits: Vec::new(),
+            entry: FuncId(0),
+            width,
+        }
+    }
+
+    /// Looks up a function by name.
+    pub fn function_by_name(&self, name: &str) -> Option<FuncId> {
+        self.functions.iter().position(|f| f.name == name).map(|i| FuncId(i as u32))
+    }
+
+    /// Looks up a global by name.
+    pub fn global_by_name(&self, name: &str) -> Option<GlobalId> {
+        self.globals.iter().position(|g| g.name == name).map(|i| GlobalId(i as u32))
+    }
+
+    /// The function backing an id.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// The block at a location.
+    pub fn block(&self, func: FuncId, block: BlockId) -> &Block {
+        &self.functions[func.index()].blocks[block.index()]
+    }
+
+    /// Total number of instructions across all functions.
+    pub fn num_instrs(&self) -> usize {
+        self.functions.iter().map(Function::num_instrs).sum()
+    }
+
+    /// Total number of basic blocks across all functions.
+    pub fn num_blocks(&self) -> usize {
+        self.functions.iter().map(|f| f.blocks.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ty_accessors() {
+        assert!(Ty::Int.is_int());
+        assert_eq!(Ty::Array(8).array_len(), Some(8));
+        assert_eq!(Ty::Int.array_len(), None);
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let t = Terminator::Branch {
+            cond: Operand::Const(1),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        };
+        assert_eq!(t.successors(), vec![BlockId(1), BlockId(2)]);
+        assert!(Terminator::Halt.successors().is_empty());
+        assert_eq!(Terminator::Goto(BlockId(7)).successors(), vec![BlockId(7)]);
+    }
+
+    #[test]
+    fn function_lookup_helpers() {
+        let f = Function {
+            name: "f".into(),
+            num_params: 1,
+            locals: vec![
+                LocalDecl { name: "a".into(), ty: Ty::Int },
+                LocalDecl { name: "tmp".into(), ty: Ty::Int },
+            ],
+            blocks: vec![Block { instrs: vec![], terminator: Terminator::Halt }],
+        };
+        assert_eq!(f.local_by_name("tmp"), Some(LocalId(1)));
+        assert_eq!(f.local_by_name("nope"), None);
+        assert_eq!(f.params().count(), 1);
+        assert_eq!(f.num_instrs(), 1);
+    }
+}

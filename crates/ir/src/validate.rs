@@ -1,0 +1,274 @@
+//! Structural validation of programs.
+
+use crate::program::{
+    ArrayRef, BlockId, Function, Instr, Operand, Program, Rvalue, Terminator, Ty,
+};
+use std::fmt;
+
+/// A structural error found by [`Program::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError {
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid program: {}", self.message)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, ValidateError> {
+    Err(ValidateError { message: message.into() })
+}
+
+impl Program {
+    /// Checks the structural invariants the engine and interpreter rely on:
+    /// ids in range, scalars used as scalars, arrays as arrays, branch
+    /// targets valid, call arities correct, parameters scalar, and a valid
+    /// entry function.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        if !(1..=64).contains(&self.width) {
+            return err(format!("program width {} out of range", self.width));
+        }
+        if self.entry.index() >= self.functions.len() {
+            return err("entry function out of range");
+        }
+        if self.global_inits.len() != self.globals.len() {
+            return err("global_inits length does not match globals");
+        }
+        for (g, init) in self.globals.iter().zip(&self.global_inits) {
+            let want = g.ty.array_len().unwrap_or(1) as usize;
+            if init.len() != want {
+                return err(format!(
+                    "global {} has {} init values, expected {want}",
+                    g.name,
+                    init.len()
+                ));
+            }
+        }
+        for (fi, f) in self.functions.iter().enumerate() {
+            self.validate_function(f)
+                .map_err(|e| ValidateError { message: format!("fn {} (#{fi}): {}", f.name, e.message) })?;
+        }
+        Ok(())
+    }
+
+    fn validate_function(&self, f: &Function) -> Result<(), ValidateError> {
+        if f.num_params > f.locals.len() {
+            return err("more parameters than locals");
+        }
+        for p in f.params() {
+            if f.locals[p.index()].ty != Ty::Int {
+                return err(format!("parameter {} must be scalar", f.locals[p.index()].name));
+            }
+        }
+        if f.blocks.is_empty() {
+            return err("function has no blocks");
+        }
+        let check_block = |b: BlockId| -> Result<(), ValidateError> {
+            if b.index() >= f.blocks.len() {
+                return err(format!("block target {} out of range", b.0));
+            }
+            Ok(())
+        };
+        let check_scalar_local = |l: crate::LocalId| -> Result<(), ValidateError> {
+            match f.locals.get(l.index()) {
+                None => err(format!("local {} out of range", l.0)),
+                Some(d) if d.ty != Ty::Int => {
+                    err(format!("local {} used as scalar but has array type", d.name))
+                }
+                Some(_) => Ok(()),
+            }
+        };
+        let check_operand = |o: Operand| -> Result<(), ValidateError> {
+            match o {
+                Operand::Const(_) => Ok(()),
+                Operand::Local(l) => check_scalar_local(l),
+                Operand::Global(g) => match self.globals.get(g.index()) {
+                    None => err(format!("global {} out of range", g.0)),
+                    Some(d) if d.ty != Ty::Int => {
+                        err(format!("global {} used as scalar but has array type", d.name))
+                    }
+                    Some(_) => Ok(()),
+                },
+            }
+        };
+        let check_array = |a: ArrayRef| -> Result<(), ValidateError> {
+            match a {
+                ArrayRef::Local(l) => match f.locals.get(l.index()) {
+                    None => err(format!("array local {} out of range", l.0)),
+                    Some(d) if d.ty.is_int() => {
+                        err(format!("local {} used as array but has scalar type", d.name))
+                    }
+                    Some(_) => Ok(()),
+                },
+                ArrayRef::Global(g) => match self.globals.get(g.index()) {
+                    None => err(format!("array global {} out of range", g.0)),
+                    Some(d) if d.ty.is_int() => {
+                        err(format!("global {} used as array but has scalar type", d.name))
+                    }
+                    Some(_) => Ok(()),
+                },
+            }
+        };
+        for block in &f.blocks {
+            for instr in &block.instrs {
+                match instr {
+                    Instr::Assign { dest, rvalue } => {
+                        check_scalar_local(*dest)?;
+                        match rvalue {
+                            Rvalue::Use(o) => check_operand(*o)?,
+                            Rvalue::Unary { arg, .. } => check_operand(*arg)?,
+                            Rvalue::Binary { lhs, rhs, .. } => {
+                                check_operand(*lhs)?;
+                                check_operand(*rhs)?;
+                            }
+                        }
+                    }
+                    Instr::Load { dest, array, index } => {
+                        check_scalar_local(*dest)?;
+                        check_array(*array)?;
+                        check_operand(*index)?;
+                    }
+                    Instr::Store { array, index, value } => {
+                        check_array(*array)?;
+                        check_operand(*index)?;
+                        check_operand(*value)?;
+                    }
+                    Instr::Call { dest, func, args } => {
+                        if let Some(d) = dest {
+                            check_scalar_local(*d)?;
+                        }
+                        let Some(callee) = self.functions.get(func.index()) else {
+                            return err(format!("call target {} out of range", func.0));
+                        };
+                        if callee.num_params != args.len() {
+                            return err(format!(
+                                "call to {} with {} args, expected {}",
+                                callee.name,
+                                args.len(),
+                                callee.num_params
+                            ));
+                        }
+                        for a in args {
+                            check_operand(*a)?;
+                        }
+                    }
+                    Instr::SetGlobal { dest, value } => {
+                        match self.globals.get(dest.index()) {
+                            None => return err(format!("global {} out of range", dest.0)),
+                            Some(d) if d.ty != Ty::Int => {
+                                return err(format!("global {} written as scalar but has array type", d.name))
+                            }
+                            Some(_) => {}
+                        }
+                        check_operand(*value)?;
+                    }
+                    Instr::Output(o) | Instr::Assume(o) => check_operand(*o)?,
+                    Instr::Assert { cond, .. } => check_operand(*cond)?,
+                    Instr::SymInt { dest, .. } => check_scalar_local(*dest)?,
+                    Instr::SymArray { array, .. } => check_array(*array)?,
+                }
+            }
+            match &block.terminator {
+                Terminator::Goto(b) => check_block(*b)?,
+                Terminator::Branch { cond, then_bb, else_bb } => {
+                    check_operand(*cond)?;
+                    check_block(*then_bb)?;
+                    check_block(*else_bb)?;
+                }
+                Terminator::Return(Some(o)) => check_operand(*o)?,
+                Terminator::Return(None) | Terminator::Halt => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Block, FuncId, LocalDecl, LocalId};
+
+    fn trivial() -> Program {
+        Program {
+            functions: vec![Function {
+                name: "main".into(),
+                num_params: 0,
+                locals: vec![LocalDecl { name: "x".into(), ty: Ty::Int }],
+                blocks: vec![Block {
+                    instrs: vec![Instr::Assign {
+                        dest: LocalId(0),
+                        rvalue: Rvalue::Use(Operand::Const(1)),
+                    }],
+                    terminator: Terminator::Halt,
+                }],
+            }],
+            globals: vec![],
+            global_inits: vec![],
+            entry: FuncId(0),
+            width: 32,
+        }
+    }
+
+    #[test]
+    fn trivial_program_validates() {
+        assert!(trivial().validate().is_ok());
+    }
+
+    #[test]
+    fn out_of_range_local_rejected() {
+        let mut p = trivial();
+        p.functions[0].blocks[0].instrs[0] =
+            Instr::Assign { dest: LocalId(9), rvalue: Rvalue::Use(Operand::Const(1)) };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn bad_branch_target_rejected() {
+        let mut p = trivial();
+        p.functions[0].blocks[0].terminator = Terminator::Goto(BlockId(5));
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn array_used_as_scalar_rejected() {
+        let mut p = trivial();
+        p.functions[0].locals[0].ty = Ty::Array(4);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn call_arity_checked() {
+        let mut p = trivial();
+        p.functions.push(Function {
+            name: "callee".into(),
+            num_params: 2,
+            locals: vec![
+                LocalDecl { name: "a".into(), ty: Ty::Int },
+                LocalDecl { name: "b".into(), ty: Ty::Int },
+            ],
+            blocks: vec![Block { instrs: vec![], terminator: Terminator::Return(None) }],
+        });
+        p.functions[0].blocks[0].instrs.push(Instr::Call {
+            dest: None,
+            func: FuncId(1),
+            args: vec![Operand::Const(1)],
+        });
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn entry_out_of_range_rejected() {
+        let mut p = trivial();
+        p.entry = FuncId(3);
+        assert!(p.validate().is_err());
+    }
+}

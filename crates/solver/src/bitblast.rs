@@ -1,0 +1,595 @@
+//! Bit-blasting: compiling bitvector expressions into CNF circuits.
+//!
+//! Every [`ExprId`] is translated once (the translation is cached on the
+//! DAG), so shared subexpressions share circuitry. Booleans become single
+//! literals, bitvectors become LSB-first literal vectors.
+//!
+//! The circuits implement exactly the concrete semantics documented on
+//! [`symmerge_expr::BvBinOp`] (SMT-LIB total division, saturating shifts),
+//! which the crate's property tests cross-check against the expression
+//! evaluator.
+
+use crate::cnf::{Cnf, Lit};
+use crate::model::Model;
+use crate::sat::SolveOutcome;
+use std::collections::HashMap;
+use symmerge_expr::{BoolBinOp, BvBinOp, CmpOp, ExprId, ExprKind, ExprPool, SymbolId};
+
+/// The circuit-level value of an expression.
+#[derive(Debug, Clone)]
+enum Bits {
+    Bool(Lit),
+    Bv(Vec<Lit>), // LSB first
+}
+
+/// Translates expressions from one [`ExprPool`] into a growing [`Cnf`].
+#[derive(Debug)]
+pub struct BitBlaster<'p> {
+    pool: &'p ExprPool,
+    cnf: Cnf,
+    cache: HashMap<ExprId, Bits>,
+    inputs: HashMap<SymbolId, Vec<Lit>>,
+}
+
+impl<'p> BitBlaster<'p> {
+    /// Creates a blaster over the given pool.
+    pub fn new(pool: &'p ExprPool) -> Self {
+        BitBlaster { pool, cnf: Cnf::new(), cache: HashMap::new(), inputs: HashMap::new() }
+    }
+
+    /// The CNF built so far.
+    pub fn cnf(&self) -> &Cnf {
+        &self.cnf
+    }
+
+    /// Consumes the blaster, returning the CNF.
+    pub fn into_cnf(self) -> Cnf {
+        self.cnf
+    }
+
+    /// Asserts that a boolean expression holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not boolean-sorted.
+    pub fn assert_true(&mut self, e: ExprId) {
+        let l = self.blast_bool(e);
+        self.cnf.assert_lit(l);
+    }
+
+    /// Translates a boolean expression to its output literal.
+    pub fn blast_bool(&mut self, e: ExprId) -> Lit {
+        match self.blast(e) {
+            Bits::Bool(l) => l,
+            Bits::Bv(_) => panic!("blast_bool on bitvector expression"),
+        }
+    }
+
+    /// Translates a bitvector expression to its output bits (LSB first).
+    pub fn blast_bv(&mut self, e: ExprId) -> Vec<Lit> {
+        match self.blast(e) {
+            Bits::Bv(bits) => bits,
+            Bits::Bool(_) => panic!("blast_bv on boolean expression"),
+        }
+    }
+
+    fn blast(&mut self, e: ExprId) -> Bits {
+        if let Some(b) = self.cache.get(&e) {
+            return b.clone();
+        }
+        let bits = match self.pool.kind(e) {
+            ExprKind::BvConst { value, width } => {
+                let t = self.cnf.lit_true();
+                let f = self.cnf.lit_false();
+                Bits::Bv((0..width).map(|i| if value >> i & 1 == 1 { t } else { f }).collect())
+            }
+            ExprKind::BoolConst(b) => {
+                Bits::Bool(if b { self.cnf.lit_true() } else { self.cnf.lit_false() })
+            }
+            ExprKind::Input { sym, width } => {
+                if let Some(bits) = self.inputs.get(&sym) {
+                    assert_eq!(
+                        bits.len(),
+                        width as usize,
+                        "input {} used at two widths",
+                        self.pool.symbol_name(sym)
+                    );
+                    Bits::Bv(bits.clone())
+                } else {
+                    let bits: Vec<Lit> = (0..width).map(|_| self.cnf.new_lit()).collect();
+                    self.inputs.insert(sym, bits.clone());
+                    Bits::Bv(bits)
+                }
+            }
+            ExprKind::Bv { op, lhs, rhs } => {
+                let a = self.blast_bv(lhs);
+                let b = self.blast_bv(rhs);
+                Bits::Bv(self.blast_bv_op(op, &a, &b))
+            }
+            ExprKind::Cmp { op, lhs, rhs } => {
+                let a = self.blast_bv(lhs);
+                let b = self.blast_bv(rhs);
+                Bits::Bool(self.blast_cmp(op, &a, &b))
+            }
+            ExprKind::Not(x) => {
+                let l = self.blast_bool(x);
+                Bits::Bool(!l)
+            }
+            ExprKind::Bool { op, lhs, rhs } => {
+                let a = self.blast_bool(lhs);
+                let b = self.blast_bool(rhs);
+                Bits::Bool(match op {
+                    BoolBinOp::And => self.cnf.and_gate(a, b),
+                    BoolBinOp::Or => self.cnf.or_gate(a, b),
+                    BoolBinOp::Xor => self.cnf.xor_gate(a, b),
+                })
+            }
+            ExprKind::Ite { cond, then, els } => {
+                let c = self.blast_bool(cond);
+                match (self.blast(then), self.blast(els)) {
+                    (Bits::Bool(t), Bits::Bool(f)) => Bits::Bool(self.cnf.mux_gate(c, t, f)),
+                    (Bits::Bv(t), Bits::Bv(f)) => Bits::Bv(self.mux_bv(c, &t, &f)),
+                    _ => unreachable!("ite branches have mismatched sorts"),
+                }
+            }
+        };
+        self.cache.insert(e, bits.clone());
+        bits
+    }
+
+    // ----- bitvector circuits ------------------------------------------
+
+    fn blast_bv_op(&mut self, op: BvBinOp, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        match op {
+            BvBinOp::Add => self.adder(a, b, None).0,
+            BvBinOp::Sub => self.subtractor(a, b),
+            BvBinOp::Mul => self.multiplier(a, b),
+            BvBinOp::UDiv => self.udiv_urem(a, b).0,
+            BvBinOp::URem => self.udiv_urem(a, b).1,
+            BvBinOp::SDiv => self.sdiv_srem(a, b).0,
+            BvBinOp::SRem => self.sdiv_srem(a, b).1,
+            BvBinOp::And => self.zip_gate(a, b, |cnf, x, y| cnf.and_gate(x, y)),
+            BvBinOp::Or => self.zip_gate(a, b, |cnf, x, y| cnf.or_gate(x, y)),
+            BvBinOp::Xor => self.zip_gate(a, b, |cnf, x, y| cnf.xor_gate(x, y)),
+            BvBinOp::Shl => self.shifter(a, b, ShiftKind::Left),
+            BvBinOp::LShr => self.shifter(a, b, ShiftKind::LogicalRight),
+            BvBinOp::AShr => self.shifter(a, b, ShiftKind::ArithmeticRight),
+        }
+    }
+
+    fn zip_gate(
+        &mut self,
+        a: &[Lit],
+        b: &[Lit],
+        gate: impl Fn(&mut Cnf, Lit, Lit) -> Lit,
+    ) -> Vec<Lit> {
+        a.iter().zip(b).map(|(&x, &y)| gate(&mut self.cnf, x, y)).collect()
+    }
+
+    /// Ripple-carry adder; returns `(sum, carry_out)`.
+    fn adder(&mut self, a: &[Lit], b: &[Lit], carry_in: Option<Lit>) -> (Vec<Lit>, Lit) {
+        let mut carry = carry_in.unwrap_or(self.cnf.lit_false());
+        let mut sum = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(b) {
+            let (s, c) = self.cnf.full_adder(x, y, carry);
+            sum.push(s);
+            carry = c;
+        }
+        (sum, carry)
+    }
+
+    /// `a - b` as `a + ¬b + 1`.
+    fn subtractor(&mut self, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        let nb: Vec<Lit> = b.iter().map(|&l| !l).collect();
+        let one = self.cnf.lit_true();
+        self.adder(a, &nb, Some(one)).0
+    }
+
+    /// Two's-complement negation.
+    fn negate(&mut self, a: &[Lit]) -> Vec<Lit> {
+        let zero: Vec<Lit> = vec![self.cnf.lit_false(); a.len()];
+        self.subtractor(&zero, a)
+    }
+
+    /// Shift-and-add multiplier, truncated to the operand width.
+    fn multiplier(&mut self, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        let w = a.len();
+        let mut acc: Vec<Lit> = vec![self.cnf.lit_false(); w];
+        for i in 0..w {
+            // Partial product row i: (b << i) & a_i, truncated to w bits.
+            let ai = a[i];
+            let mut row: Vec<Lit> = vec![self.cnf.lit_false(); w];
+            for j in 0..w - i {
+                row[i + j] = self.cnf.and_gate(b[j], ai);
+            }
+            acc = self.adder(&acc, &row, None).0;
+        }
+        acc
+    }
+
+    /// Restoring division; returns `(quotient, remainder)` with SMT-LIB
+    /// division-by-zero semantics.
+    fn udiv_urem(&mut self, a: &[Lit], b: &[Lit]) -> (Vec<Lit>, Vec<Lit>) {
+        let w = a.len();
+        let f = self.cnf.lit_false();
+        // Work in w+1 bits so the partial remainder never overflows.
+        let mut bx: Vec<Lit> = b.to_vec();
+        bx.push(f);
+        let mut rem: Vec<Lit> = vec![f; w + 1];
+        let mut quot: Vec<Lit> = vec![f; w];
+        for i in (0..w).rev() {
+            // rem = (rem << 1) | a_i. The shifted-out bit is always 0:
+            // the loop invariant keeps rem < 2^w before each shift.
+            rem.rotate_right(1);
+            rem[0] = a[i];
+            // geq = rem >= bx
+            let lt = self.ult_circuit(&rem, &bx);
+            let geq = !lt;
+            quot[i] = geq;
+            let diff = self.subtractor(&rem, &bx);
+            rem = self.mux_bv(geq, &diff, &rem);
+        }
+        let rem_w: Vec<Lit> = rem[..w].to_vec();
+        // b == 0 → quot = all-ones, rem = a.
+        let b_is_zero = self.is_zero(b);
+        let ones = vec![self.cnf.lit_true(); w];
+        let quot = self.mux_bv(b_is_zero, &ones, &quot);
+        let rem = self.mux_bv(b_is_zero, a, &rem_w);
+        (quot, rem)
+    }
+
+    /// Signed division via sign/magnitude around [`Self::udiv_urem`].
+    fn sdiv_srem(&mut self, a: &[Lit], b: &[Lit]) -> (Vec<Lit>, Vec<Lit>) {
+        let w = a.len();
+        let sa = a[w - 1];
+        let sb = b[w - 1];
+        let na = self.negate(a);
+        let nb = self.negate(b);
+        let abs_a = self.mux_bv(sa, &na, a);
+        let abs_b = self.mux_bv(sb, &nb, b);
+        let (q, r) = self.udiv_urem(&abs_a, &abs_b);
+        let q_neg = self.negate(&q);
+        let r_neg = self.negate(&r);
+        let sign_differs = self.cnf.xor_gate(sa, sb);
+        let quot = self.mux_bv(sign_differs, &q_neg, &q);
+        let rem = self.mux_bv(sa, &r_neg, &r);
+        (quot, rem)
+    }
+
+    fn is_zero(&mut self, a: &[Lit]) -> Lit {
+        let any = self.cnf.or_many(a);
+        !any
+    }
+
+    fn mux_bv(&mut self, c: Lit, t: &[Lit], f: &[Lit]) -> Vec<Lit> {
+        t.iter().zip(f).map(|(&x, &y)| self.cnf.mux_gate(c, x, y)).collect()
+    }
+
+    /// Barrel shifter with overflow clamping.
+    fn shifter(&mut self, a: &[Lit], shift: &[Lit], kind: ShiftKind) -> Vec<Lit> {
+        let w = a.len();
+        let fill = match kind {
+            ShiftKind::Left | ShiftKind::LogicalRight => self.cnf.lit_false(),
+            ShiftKind::ArithmeticRight => a[w - 1],
+        };
+        // Staged shift by powers of two for every stage that matters.
+        let mut cur: Vec<Lit> = a.to_vec();
+        let mut stage = 0;
+        while (1usize << stage) < w {
+            let amount = 1usize << stage;
+            let sel = shift[stage];
+            let shifted: Vec<Lit> = (0..w)
+                .map(|i| match kind {
+                    ShiftKind::Left => {
+                        if i >= amount {
+                            cur[i - amount]
+                        } else {
+                            fill
+                        }
+                    }
+                    ShiftKind::LogicalRight | ShiftKind::ArithmeticRight => {
+                        if i + amount < w {
+                            cur[i + amount]
+                        } else {
+                            fill
+                        }
+                    }
+                })
+                .collect();
+            cur = self.mux_bv(sel, &shifted, &cur);
+            stage += 1;
+        }
+        // If shift >= w, the result is all fill bits. That happens when any
+        // shift bit at position >= `stage` is set, or the low `stage` bits
+        // encode a value >= w (only possible for non-power-of-two widths).
+        let mut overflow = self.cnf.lit_false();
+        for &s in &shift[stage.min(shift.len())..] {
+            overflow = self.cnf.or_gate(overflow, s);
+        }
+        if !w.is_power_of_two() {
+            // Compare the low bits against the constant w.
+            let mut low: Vec<Lit> = shift[..stage.min(shift.len())].to_vec();
+            while low.len() < 64 {
+                low.push(self.cnf.lit_false());
+            }
+            let t = self.cnf.lit_true();
+            let f = self.cnf.lit_false();
+            let wconst: Vec<Lit> =
+                (0..64).map(|i| if (w as u64) >> i & 1 == 1 { t } else { f }).collect();
+            let lt_w = self.ult_circuit(&low, &wconst);
+            overflow = self.cnf.or_gate(overflow, !lt_w);
+        }
+        let all_fill = vec![fill; w];
+        self.mux_bv(overflow, &all_fill, &cur)
+    }
+
+    // ----- comparisons ----------------------------------------------------
+
+    fn blast_cmp(&mut self, op: CmpOp, a: &[Lit], b: &[Lit]) -> Lit {
+        match op {
+            CmpOp::Eq => self.eq_circuit(a, b),
+            CmpOp::Ult => self.ult_circuit(a, b),
+            CmpOp::Ule => {
+                let gt = self.ult_circuit(b, a);
+                !gt
+            }
+            CmpOp::Slt => {
+                let (fa, fb) = (self.flip_msb(a), self.flip_msb(b));
+                self.ult_circuit(&fa, &fb)
+            }
+            CmpOp::Sle => {
+                let (fa, fb) = (self.flip_msb(a), self.flip_msb(b));
+                let gt = self.ult_circuit(&fb, &fa);
+                !gt
+            }
+        }
+    }
+
+    fn flip_msb(&self, a: &[Lit]) -> Vec<Lit> {
+        let mut v = a.to_vec();
+        let last = v.len() - 1;
+        v[last] = !v[last];
+        v
+    }
+
+    fn eq_circuit(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        let mut acc = self.cnf.lit_true();
+        for (&x, &y) in a.iter().zip(b) {
+            let same = self.cnf.iff_gate(x, y);
+            acc = self.cnf.and_gate(acc, same);
+        }
+        acc
+    }
+
+    fn ult_circuit(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        // MSB-down: lt = lt' ∨ (eq-above ∧ ¬aᵢ ∧ bᵢ)
+        let mut lt = self.cnf.lit_false();
+        let mut eq_above = self.cnf.lit_true();
+        for i in (0..a.len()).rev() {
+            let bit_lt = self.cnf.and_gate(!a[i], b[i]);
+            let here = self.cnf.and_gate(eq_above, bit_lt);
+            lt = self.cnf.or_gate(lt, here);
+            let same = self.cnf.iff_gate(a[i], b[i]);
+            eq_above = self.cnf.and_gate(eq_above, same);
+        }
+        lt
+    }
+
+    // ----- models -----------------------------------------------------------
+
+    /// Extracts a [`Model`] for the blasted inputs from a SAT assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outcome` is not [`SolveOutcome::Sat`].
+    pub fn extract_model(&self, outcome: &SolveOutcome) -> Model {
+        let SolveOutcome::Sat(assignment) = outcome else {
+            panic!("extract_model on non-sat outcome");
+        };
+        let mut model = Model::new();
+        for (&sym, bits) in &self.inputs {
+            let mut v: u64 = 0;
+            for (i, lit) in bits.iter().enumerate() {
+                let bit = assignment[lit.var().index()] != lit.is_negative();
+                if bit {
+                    v |= 1 << i;
+                }
+            }
+            model.set(sym, v);
+        }
+        model
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ShiftKind {
+    Left,
+    LogicalRight,
+    ArithmeticRight,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::SatSolver;
+
+    /// Asserts `e` and solves; on sat, cross-checks the model against the
+    /// expression evaluator.
+    fn solve_and_check(pool: &ExprPool, e: ExprId) -> Option<Model> {
+        let mut bb = BitBlaster::new(pool);
+        bb.assert_true(e);
+        let outcome = SatSolver::from_cnf(bb.cnf()).solve();
+        match outcome {
+            SolveOutcome::Sat(_) => {
+                let model = bb.extract_model(&outcome);
+                assert!(
+                    model.eval_bool(pool, e),
+                    "model {model:?} does not satisfy {}",
+                    pool.display(e)
+                );
+                Some(model)
+            }
+            SolveOutcome::Unsat => None,
+            SolveOutcome::Unknown => panic!("unexpected Unknown"),
+        }
+    }
+
+    #[test]
+    fn simple_equation_has_solution() {
+        let mut p = ExprPool::new(8);
+        let x = p.input("x", 8);
+        let three = p.bv_const(3, 8);
+        let e = p.mul(x, three);
+        let target = p.bv_const(33, 8);
+        let c = p.eq(e, target);
+        let m = solve_and_check(&p, c).expect("3x = 33 solvable mod 256");
+        let xv = m.value_by_name(&p, "x").unwrap();
+        assert_eq!(xv.wrapping_mul(3) & 0xff, 33);
+    }
+
+    #[test]
+    fn contradiction_is_unsat() {
+        let mut p = ExprPool::new(8);
+        let x = p.input("x", 8);
+        let five = p.bv_const(5, 8);
+        let c1 = p.ult(x, five);
+        let c2 = p.ugt(x, five);
+        let both = p.and(c1, c2);
+        assert!(solve_and_check(&p, both).is_none());
+    }
+
+    #[test]
+    fn overflow_is_modeled() {
+        // x + 1 == 0 has the solution x = 0xff at 8 bits.
+        let mut p = ExprPool::new(8);
+        let x = p.input("x", 8);
+        let one = p.bv_const(1, 8);
+        let zero = p.bv_const(0, 8);
+        let inc = p.add(x, one);
+        let c = p.eq(inc, zero);
+        let m = solve_and_check(&p, c).unwrap();
+        assert_eq!(m.value_by_name(&p, "x").unwrap(), 0xff);
+    }
+
+    #[test]
+    fn division_circuit_agrees_with_eval() {
+        let mut p = ExprPool::new(8);
+        let x = p.input("x", 8);
+        let y = p.input("y", 8);
+        let q = p.bv(BvBinOp::UDiv, x, y);
+        let seven = p.bv_const(7, 8);
+        let c1 = p.eq(q, seven);
+        let three = p.bv_const(3, 8);
+        let r = p.bv(BvBinOp::URem, x, y);
+        let c2 = p.eq(r, three);
+        let five = p.bv_const(5, 8);
+        let c3 = p.eq(y, five);
+        let all = p.and_many(&[c1, c2, c3]);
+        let m = solve_and_check(&p, all).expect("x = 7*5+3 = 38");
+        assert_eq!(m.value_by_name(&p, "x").unwrap(), 38);
+    }
+
+    #[test]
+    fn division_by_zero_semantics() {
+        // udiv(x, 0) == 0xff must be valid for any x: its negation is unsat.
+        let mut p = ExprPool::new(8);
+        let x = p.input("x", 8);
+        let zero = p.bv_const(0, 8);
+        let q = p.bv(BvBinOp::UDiv, x, zero);
+        let ff = p.bv_const(0xff, 8);
+        let eq = p.eq(q, ff);
+        let neg = p.not(eq);
+        assert!(solve_and_check(&p, neg).is_none(), "udiv(x,0) must equal 0xff");
+    }
+
+    #[test]
+    fn signed_comparison() {
+        // x < 0 signed, x > 100 unsigned: satisfiable (e.g. 0xff = -1).
+        let mut p = ExprPool::new(8);
+        let x = p.input("x", 8);
+        let zero = p.bv_const(0, 8);
+        let hundred = p.bv_const(100, 8);
+        let c1 = p.slt(x, zero);
+        let c2 = p.ugt(x, hundred);
+        let both = p.and(c1, c2);
+        let m = solve_and_check(&p, both).unwrap();
+        let xv = m.value_by_name(&p, "x").unwrap();
+        assert!(xv > 100 && xv >= 0x80);
+    }
+
+    #[test]
+    fn symbolic_shift() {
+        // (1 << s) == 16 forces s == 4.
+        let mut p = ExprPool::new(8);
+        let s = p.input("s", 8);
+        let one = p.bv_const(1, 8);
+        let sixteen = p.bv_const(16, 8);
+        let shifted = p.bv(BvBinOp::Shl, one, s);
+        let c = p.eq(shifted, sixteen);
+        let m = solve_and_check(&p, c).unwrap();
+        assert_eq!(m.value_by_name(&p, "s").unwrap(), 4);
+    }
+
+    #[test]
+    fn ite_circuit() {
+        // ite(x < 10, x + 1, 0) == 5  →  x == 4.
+        let mut p = ExprPool::new(8);
+        let x = p.input("x", 8);
+        let ten = p.bv_const(10, 8);
+        let one = p.bv_const(1, 8);
+        let zero = p.bv_const(0, 8);
+        let five = p.bv_const(5, 8);
+        let c = p.ult(x, ten);
+        let inc = p.add(x, one);
+        let ite = p.ite(c, inc, zero);
+        let eq = p.eq(ite, five);
+        let m = solve_and_check(&p, eq).unwrap();
+        assert_eq!(m.value_by_name(&p, "x").unwrap(), 4);
+    }
+
+    #[test]
+    fn exhaustive_4bit_operator_equivalence() {
+        // For every op and all 4-bit operand pairs, the circuit must agree
+        // with the evaluator: assert op(a_const, b_const) != eval-result is unsat.
+        let ops = [
+            BvBinOp::Add,
+            BvBinOp::Sub,
+            BvBinOp::Mul,
+            BvBinOp::UDiv,
+            BvBinOp::URem,
+            BvBinOp::SDiv,
+            BvBinOp::SRem,
+            BvBinOp::Shl,
+            BvBinOp::LShr,
+            BvBinOp::AShr,
+        ];
+        for op in ops {
+            let mut p = ExprPool::new(4);
+            let x = p.input("x", 4);
+            let y = p.input("y", 4);
+            let applied = p.bv(op, x, y);
+            // Pin (x, y) to concrete pairs and check the op circuit agrees
+            // with the constant-folded reference in both polarities.
+            for (a, b) in [(0u64, 0u64), (7, 3), (15, 1), (8, 15), (5, 0), (12, 13), (1, 15)] {
+                let ac = p.bv_const(a, 4);
+                let bc = p.bv_const(b, 4);
+                let cx = p.eq(x, ac);
+                let cy = p.eq(y, bc);
+                let folded = p.bv(op, ac, bc);
+                let want = p.as_bv_const(folded).unwrap();
+                let matches = p.eq(applied, folded);
+                let agree = p.and_many(&[cx, cy, matches]);
+                assert!(
+                    solve_and_check(&p, agree).is_some(),
+                    "{op}({a},{b}) != {want} in circuit"
+                );
+                let differs = p.not(matches);
+                let disagree = p.and_many(&[cx, cy, differs]);
+                assert!(
+                    solve_and_check(&p, disagree).is_none(),
+                    "{op}({a},{b}) circuit admits a value other than {want}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! # symmerge-solver — a SAT-based bitvector constraint solver
+//!
+//! The constraint-solving substrate for the `symmerge` stack, standing in
+//! for STP in the original paper (*Efficient State Merging in Symbolic
+//! Execution*, Kuznetsov et al., PLDI 2012). Like STP, it decides
+//! quantifier-free fixed-width bitvector formulas by **eager translation to
+//! SAT**: expressions from [`symmerge_expr`] are bit-blasted through a
+//! Tseitin encoder ([`bitblast`]) into CNF and decided by a from-scratch
+//! CDCL solver ([`sat`]) with watched literals, first-UIP clause learning,
+//! VSIDS branching, phase saving and Luby restarts.
+//!
+//! The high-level entry point is [`Solver::check`], which adds the two
+//! query optimizations that KLEE relies on and whose costs the paper's
+//! query-count model abstracts:
+//!
+//! * a **counterexample cache** (exact-match result cache plus reuse of
+//!   recent models by concrete evaluation), and
+//! * **independent-constraint slicing**: the constraint set is partitioned
+//!   into connected components by shared input symbols and each component
+//!   is decided separately.
+//!
+//! Both can be disabled through [`SolverConfig`] for ablation benchmarks.
+//!
+//! # Example
+//!
+//! ```
+//! use symmerge_expr::ExprPool;
+//! use symmerge_solver::{SatResult, Solver};
+//!
+//! let mut pool = ExprPool::new(8);
+//! let x = pool.input("x", 8);
+//! let y = pool.input("y", 8);
+//! let sum = pool.add(x, y);
+//! let target = pool.bv_const(77, 8);
+//! let c1 = pool.eq(sum, target);
+//! let ten = pool.bv_const(10, 8);
+//! let c2 = pool.ult(x, ten);
+//!
+//! let mut solver = Solver::new(Default::default());
+//! match solver.check(&pool, &[c1, c2]) {
+//!     SatResult::Sat(model) => {
+//!         let xv = model.value_by_name(&pool, "x").unwrap();
+//!         let yv = model.value_by_name(&pool, "y").unwrap();
+//!         assert!(xv < 10);
+//!         assert_eq!((xv + yv) & 0xff, 77);
+//!     }
+//!     other => panic!("expected sat, got {other:?}"),
+//! }
+//! ```
+
+pub mod bitblast;
+pub mod cnf;
+pub mod sat;
+
+mod model;
+mod solve;
+
+pub use cnf::{Cnf, Lit, Var};
+pub use model::Model;
+pub use sat::{SatSolver, SatStats, SolveOutcome};
+pub use solve::{SatResult, Solver, SolverConfig, SolverStats};

@@ -1,0 +1,762 @@
+//! A CDCL SAT solver: watched literals, first-UIP learning, VSIDS,
+//! phase saving, Luby restarts and learnt-clause database reduction.
+//!
+//! The design follows MiniSat's architecture. The solver is
+//! non-incremental: each bitvector query builds a fresh CNF and a fresh
+//! [`SatSolver`], mirroring how KLEE drives STP in the paper's prototype.
+
+use crate::cnf::{Cnf, Lit, Var};
+
+/// The result of a SAT call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// Satisfiable, with a full assignment indexed by variable.
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted before a decision was reached.
+    Unknown,
+}
+
+/// Counters describing the work a [`SatSolver`] performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SatStats {
+    /// Number of branching decisions.
+    pub decisions: u64,
+    /// Number of literal propagations.
+    pub propagations: u64,
+    /// Number of conflicts analyzed.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of clauses learnt.
+    pub learnt: u64,
+}
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    deleted: bool,
+    activity: f64,
+}
+
+const UNASSIGNED: i8 = -1;
+
+/// A CDCL SAT solver over a fixed CNF.
+#[derive(Debug)]
+pub struct SatSolver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<u32>>, // indexed by Lit::code(); clause refs watching that literal
+    assigns: Vec<i8>,       // UNASSIGNED / 0 (false) / 1 (true)
+    level: Vec<u32>,
+    reason: Vec<Option<u32>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    heap: Vec<u32>,    // binary max-heap of variables by activity
+    heap_pos: Vec<i32>, // var -> position in heap, or -1
+    phase: Vec<bool>,
+    seen: Vec<bool>,
+    ok: bool,
+    num_learnt: usize,
+    conflict_budget: Option<u64>,
+    stats: SatStats,
+}
+
+impl SatSolver {
+    /// Builds a solver over the given CNF.
+    pub fn from_cnf(cnf: &Cnf) -> Self {
+        let n = cnf.num_vars();
+        let mut s = SatSolver {
+            clauses: Vec::with_capacity(cnf.num_clauses()),
+            watches: vec![Vec::new(); 2 * n],
+            assigns: vec![UNASSIGNED; n],
+            level: vec![0; n],
+            reason: vec![None; n],
+            trail: Vec::with_capacity(n),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: vec![0.0; n],
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            heap: Vec::with_capacity(n),
+            heap_pos: vec![-1; n],
+            phase: vec![false; n],
+            seen: vec![false; n],
+            ok: true,
+            num_learnt: 0,
+            conflict_budget: None,
+            stats: SatStats::default(),
+        };
+        for v in 0..n as u32 {
+            s.heap_insert(v);
+        }
+        for clause in cnf.clauses() {
+            s.add_clause(clause);
+            if !s.ok {
+                break;
+            }
+        }
+        s
+    }
+
+    /// Limits the number of conflicts before the solver gives up with
+    /// [`SolveOutcome::Unknown`].
+    pub fn set_conflict_budget(&mut self, budget: u64) {
+        self.conflict_budget = Some(budget);
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> SatStats {
+        self.stats
+    }
+
+    fn value(&self, l: Lit) -> Option<bool> {
+        match self.assigns[l.var().index()] {
+            UNASSIGNED => None,
+            v => Some((v == 1) != l.is_negative()),
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn add_clause(&mut self, lits: &[Lit]) {
+        debug_assert_eq!(self.decision_level(), 0);
+        // Canonicalize: drop duplicates / satisfied clauses / false lits.
+        let mut ls: Vec<Lit> = lits.to_vec();
+        ls.sort_unstable();
+        ls.dedup();
+        let mut out = Vec::with_capacity(ls.len());
+        for &l in &ls {
+            if ls.contains(&!l) {
+                return; // tautology
+            }
+            match self.value(l) {
+                Some(true) => return, // already satisfied at level 0
+                Some(false) => {}     // drop the false literal
+                None => out.push(l),
+            }
+        }
+        match out.len() {
+            0 => self.ok = false,
+            1 => {
+                self.enqueue(out[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+            }
+            _ => {
+                let cref = self.clauses.len() as u32;
+                self.watches[out[0].code()].push(cref);
+                self.watches[out[1].code()].push(cref);
+                self.clauses.push(Clause { lits: out, learnt: false, deleted: false, activity: 0.0 });
+            }
+        }
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<u32>) {
+        debug_assert_eq!(self.value(l), None);
+        let v = l.var().index();
+        self.assigns[v] = i8::from(!l.is_negative());
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.phase[v] = !l.is_negative();
+        self.trail.push(l);
+    }
+
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = !p;
+            let ws = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut keep = Vec::with_capacity(ws.len());
+            let mut conflict = None;
+            let mut it = ws.into_iter();
+            for cref in it.by_ref() {
+                let ci = cref as usize;
+                if self.clauses[ci].deleted {
+                    continue;
+                }
+                // Ensure the falsified literal sits at position 1.
+                if self.clauses[ci].lits[0] == false_lit {
+                    self.clauses[ci].lits.swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[ci].lits[1], false_lit);
+                let first = self.clauses[ci].lits[0];
+                if self.value(first) == Some(true) {
+                    keep.push(cref);
+                    continue;
+                }
+                // Look for a replacement watch.
+                let mut moved = false;
+                for k in 2..self.clauses[ci].lits.len() {
+                    let lk = self.clauses[ci].lits[k];
+                    if self.value(lk) != Some(false) {
+                        self.clauses[ci].lits.swap(1, k);
+                        self.watches[lk.code()].push(cref);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                keep.push(cref);
+                if self.value(first) == Some(false) {
+                    conflict = Some(cref);
+                    self.qhead = self.trail.len();
+                    break;
+                }
+                self.enqueue(first, Some(cref));
+            }
+            // Put back any watches we did not visit after a conflict.
+            keep.extend(it);
+            self.watches[false_lit.code()] = keep;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::new(Var(0), false)]; // slot for the asserting literal
+        let mut path_count = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        loop {
+            {
+                let ci = confl as usize;
+                self.bump_clause(ci);
+                let start = usize::from(p.is_some());
+                let lits = self.clauses[ci].lits.clone();
+                for &q in &lits[start..] {
+                    let v = q.var().index();
+                    if !self.seen[v] && self.level[v] > 0 {
+                        self.seen[v] = true;
+                        self.bump_var(v);
+                        if self.level[v] >= self.decision_level() {
+                            path_count += 1;
+                        } else {
+                            learnt.push(q);
+                        }
+                    }
+                }
+            }
+            // Find the next marked literal on the trail.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            self.seen[pl.var().index()] = false;
+            path_count -= 1;
+            if path_count == 0 {
+                learnt[0] = !pl;
+                break;
+            }
+            p = Some(pl);
+            confl = self.reason[pl.var().index()].expect("non-decision literal must have a reason");
+        }
+        // Compute the backtrack level and position its literal at index 1.
+        let back_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+        for &l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        (learnt, back_level)
+    }
+
+    fn backtrack_to(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let lim = self.trail_lim[level as usize];
+        for i in (lim..self.trail.len()).rev() {
+            let v = self.trail[i].var().index();
+            self.assigns[v] = UNASSIGNED;
+            self.reason[v] = None;
+            self.heap_insert(v as u32);
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = lim;
+    }
+
+    fn bump_var(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap_update(v as u32);
+    }
+
+    fn bump_clause(&mut self, ci: usize) {
+        if !self.clauses[ci].learnt {
+            return;
+        }
+        self.clauses[ci].activity += self.cla_inc;
+        if self.clauses[ci].activity > 1e20 {
+            for c in &mut self.clauses {
+                if c.learnt {
+                    c.activity *= 1e-20;
+                }
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= 0.95;
+        self.cla_inc /= 0.999;
+    }
+
+    // ----- activity heap ------------------------------------------------
+
+    fn heap_less(&self, a: u32, b: u32) -> bool {
+        self.activity[a as usize] > self.activity[b as usize]
+    }
+
+    fn heap_insert(&mut self, v: u32) {
+        if self.heap_pos[v as usize] >= 0 {
+            return;
+        }
+        self.heap_pos[v as usize] = self.heap.len() as i32;
+        self.heap.push(v);
+        self.heap_sift_up(self.heap.len() - 1);
+    }
+
+    fn heap_update(&mut self, v: u32) {
+        let pos = self.heap_pos[v as usize];
+        if pos >= 0 {
+            self.heap_sift_up(pos as usize);
+        }
+    }
+
+    fn heap_sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap_less(self.heap[i], self.heap[parent]) {
+                self.heap_swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn heap_sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.heap.len() && self.heap_less(self.heap[l], self.heap[best]) {
+                best = l;
+            }
+            if r < self.heap.len() && self.heap_less(self.heap[r], self.heap[best]) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.heap_swap(i, best);
+            i = best;
+        }
+    }
+
+    fn heap_swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.heap_pos[self.heap[i] as usize] = i as i32;
+        self.heap_pos[self.heap[j] as usize] = j as i32;
+    }
+
+    fn heap_pop(&mut self) -> Option<u32> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.heap_pos[top as usize] = -1;
+        let last = self.heap.pop().unwrap();
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.heap_pos[last as usize] = 0;
+            self.heap_sift_down(0);
+        }
+        Some(top)
+    }
+
+    // ----- learnt-clause database reduction -------------------------------
+
+    fn reduce_db(&mut self) {
+        let mut cands: Vec<u32> = Vec::new();
+        for (i, c) in self.clauses.iter().enumerate() {
+            if !c.learnt || c.deleted || c.lits.len() <= 2 {
+                continue;
+            }
+            // Locked clauses (currently a reason) must be kept.
+            let l0 = c.lits[0];
+            let locked = self.value(l0) == Some(true) && self.reason[l0.var().index()] == Some(i as u32);
+            if !locked {
+                cands.push(i as u32);
+            }
+        }
+        cands.sort_by(|&a, &b| {
+            self.clauses[a as usize]
+                .activity
+                .partial_cmp(&self.clauses[b as usize].activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let to_remove = cands.len() / 2;
+        for &cref in &cands[..to_remove] {
+            self.clauses[cref as usize].deleted = true;
+            self.num_learnt -= 1;
+        }
+        // Rebuild the watch lists from scratch (watch invariant: positions 0, 1).
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            if !c.deleted && c.lits.len() >= 2 {
+                self.watches[c.lits[0].code()].push(i as u32);
+                self.watches[c.lits[1].code()].push(i as u32);
+            }
+        }
+    }
+
+    // ----- main loop -------------------------------------------------------
+
+    /// Decides the formula.
+    pub fn solve(&mut self) -> SolveOutcome {
+        if !self.ok {
+            return SolveOutcome::Unsat;
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SolveOutcome::Unsat;
+        }
+        let mut restart_idx: u64 = 0;
+        let mut conflicts_until_restart = luby(restart_idx) * 100;
+        let mut conflicts_this_restart: u64 = 0;
+        let mut max_learnt = (self.clauses.len() as f64 * 0.4).max(4000.0);
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_this_restart += 1;
+                if let Some(budget) = self.conflict_budget {
+                    if self.stats.conflicts >= budget {
+                        self.backtrack_to(0);
+                        return SolveOutcome::Unknown;
+                    }
+                }
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SolveOutcome::Unsat;
+                }
+                let (learnt, back_level) = self.analyze(confl);
+                self.backtrack_to(back_level);
+                let asserting = learnt[0];
+                if learnt.len() == 1 {
+                    self.enqueue(asserting, None);
+                } else {
+                    let cref = self.clauses.len() as u32;
+                    self.watches[learnt[0].code()].push(cref);
+                    self.watches[learnt[1].code()].push(cref);
+                    self.clauses.push(Clause {
+                        lits: learnt,
+                        learnt: true,
+                        deleted: false,
+                        activity: self.cla_inc,
+                    });
+                    self.num_learnt += 1;
+                    self.stats.learnt += 1;
+                    self.enqueue(asserting, Some(cref));
+                }
+                self.decay_activities();
+            } else {
+                if conflicts_this_restart >= conflicts_until_restart {
+                    self.stats.restarts += 1;
+                    restart_idx += 1;
+                    conflicts_until_restart = luby(restart_idx) * 100;
+                    conflicts_this_restart = 0;
+                    self.backtrack_to(0);
+                    continue;
+                }
+                if self.num_learnt as f64 > max_learnt {
+                    self.reduce_db();
+                    max_learnt *= 1.3;
+                }
+                // Pick the next decision variable.
+                let mut decision = None;
+                while let Some(v) = self.heap_pop() {
+                    if self.assigns[v as usize] == UNASSIGNED {
+                        decision = Some(v);
+                        break;
+                    }
+                }
+                match decision {
+                    None => {
+                        // All variables assigned: satisfying assignment found.
+                        let model = self.assigns.iter().map(|&a| a == 1).collect();
+                        return SolveOutcome::Sat(model);
+                    }
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let lit = Lit::new(Var(v), !self.phase[v as usize]);
+                        self.enqueue(lit, None);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, …) with base 2.
+fn luby(x: u64) -> u64 {
+    // Find the finite subsequence that contains index `x` and its size.
+    let (mut size, mut seq) = (1u64, 0u32);
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    let mut x = x;
+    while size - 1 != x {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Cnf;
+
+    fn lit(cnf_vars: &[Lit], i: i32) -> Lit {
+        let v = cnf_vars[(i.unsigned_abs() as usize) - 1];
+        if i < 0 {
+            !v
+        } else {
+            v
+        }
+    }
+
+    fn make(num_vars: usize, clauses: &[&[i32]]) -> (Cnf, Vec<Lit>) {
+        let mut cnf = Cnf::new();
+        let vars: Vec<Lit> = (0..num_vars).map(|_| cnf.new_lit()).collect();
+        for c in clauses {
+            let ls: Vec<Lit> = c.iter().map(|&i| lit(&vars, i)).collect();
+            cnf.add_clause(&ls);
+        }
+        (cnf, vars)
+    }
+
+    fn check_model(cnf: &Cnf, model: &[bool]) {
+        for clause in cnf.clauses() {
+            assert!(
+                clause.iter().any(|l| model[l.var().index()] != l.is_negative()),
+                "clause {clause:?} unsatisfied"
+            );
+        }
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let (cnf, _) = make(2, &[&[1, 2], &[-1, 2], &[1, -2]]);
+        match SatSolver::from_cnf(&cnf).solve() {
+            SolveOutcome::Sat(m) => check_model(&cnf, &m),
+            o => panic!("expected sat, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let (cnf, _) = make(1, &[&[1], &[-1]]);
+        assert_eq!(SatSolver::from_cnf(&cnf).solve(), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause(&[]);
+        assert_eq!(SatSolver::from_cnf(&cnf).solve(), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn unit_propagation_chain_unsat() {
+        // x1, x1→x2, x2→x3, x3→¬x1
+        let (cnf, _) = make(3, &[&[1], &[-1, 2], &[-2, 3], &[-3, -1]]);
+        assert_eq!(SatSolver::from_cnf(&cnf).solve(), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // p_{i,j}: pigeon i in hole j. vars: p11=1, p12=2, p21=3, p22=4, p31=5, p32=6.
+        let (cnf, _) = make(
+            6,
+            &[
+                &[1, 2],
+                &[3, 4],
+                &[5, 6],
+                &[-1, -3],
+                &[-1, -5],
+                &[-3, -5],
+                &[-2, -4],
+                &[-2, -6],
+                &[-4, -6],
+            ],
+        );
+        assert_eq!(SatSolver::from_cnf(&cnf).solve(), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_4_into_3_unsat() {
+        let mut cnf = Cnf::new();
+        let n_pigeons = 4;
+        let n_holes = 3;
+        let mut vars = vec![vec![]; n_pigeons];
+        for p in 0..n_pigeons {
+            for _ in 0..n_holes {
+                vars[p].push(cnf.new_lit());
+            }
+        }
+        for p in 0..n_pigeons {
+            cnf.add_clause(&vars[p]);
+        }
+        for h in 0..n_holes {
+            for p1 in 0..n_pigeons {
+                for p2 in (p1 + 1)..n_pigeons {
+                    cnf.add_clause(&[!vars[p1][h], !vars[p2][h]]);
+                }
+            }
+        }
+        assert_eq!(SatSolver::from_cnf(&cnf).solve(), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn random_3sat_cross_checked_with_brute_force() {
+        // Deterministic xorshift generator; no external dependency needed.
+        let mut seed: u64 = 0x9e3779b97f4a7c15;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for round in 0..60 {
+            let num_vars = 4 + (next() % 9) as usize; // 4..=12
+            let num_clauses = 3 + (next() % 40) as usize;
+            let mut spec: Vec<Vec<i32>> = Vec::new();
+            for _ in 0..num_clauses {
+                let len = 1 + (next() % 3) as usize;
+                let mut c = Vec::new();
+                for _ in 0..len {
+                    let v = 1 + (next() % num_vars as u64) as i32;
+                    let sign = if next() & 1 == 0 { 1 } else { -1 };
+                    c.push(v * sign);
+                }
+                spec.push(c);
+            }
+            let refs: Vec<&[i32]> = spec.iter().map(|c| c.as_slice()).collect();
+            let (cnf, _) = make(num_vars, &refs);
+            // Brute force reference.
+            let mut brute_sat = false;
+            'outer: for bits in 0u32..(1 << num_vars) {
+                for c in &spec {
+                    let ok = c.iter().any(|&l| {
+                        let val = bits >> (l.unsigned_abs() - 1) & 1 == 1;
+                        if l > 0 {
+                            val
+                        } else {
+                            !val
+                        }
+                    });
+                    if !ok {
+                        continue 'outer;
+                    }
+                }
+                brute_sat = true;
+                break;
+            }
+            match SatSolver::from_cnf(&cnf).solve() {
+                SolveOutcome::Sat(m) => {
+                    assert!(brute_sat, "round {round}: solver sat, brute force unsat");
+                    check_model(&cnf, &m);
+                }
+                SolveOutcome::Unsat => {
+                    assert!(!brute_sat, "round {round}: solver unsat, brute force sat");
+                }
+                SolveOutcome::Unknown => panic!("no budget set, Unknown impossible"),
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_budget_returns_unknown_or_decides() {
+        // A moderately hard pigeonhole with a tiny budget must not panic.
+        let mut cnf = Cnf::new();
+        let n_pigeons = 7;
+        let n_holes = 6;
+        let mut vars = vec![vec![]; n_pigeons];
+        for p in 0..n_pigeons {
+            for _ in 0..n_holes {
+                vars[p].push(cnf.new_lit());
+            }
+        }
+        for p in 0..n_pigeons {
+            cnf.add_clause(&vars[p]);
+        }
+        for h in 0..n_holes {
+            for p1 in 0..n_pigeons {
+                for p2 in (p1 + 1)..n_pigeons {
+                    cnf.add_clause(&[!vars[p1][h], !vars[p2][h]]);
+                }
+            }
+        }
+        let mut s = SatSolver::from_cnf(&cnf);
+        s.set_conflict_budget(10);
+        let out = s.solve();
+        assert!(matches!(out, SolveOutcome::Unknown | SolveOutcome::Unsat));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (cnf, _) = make(
+            5,
+            &[&[1, 2, 3], &[-1, -2], &[-2, -3], &[-1, -3], &[2, 4], &[3, 5], &[-4, -5]],
+        );
+        let mut s = SatSolver::from_cnf(&cnf);
+        let _ = s.solve();
+        assert!(s.stats().propagations > 0);
+    }
+}

@@ -1,0 +1,456 @@
+//! The high-level constraint solver: caching, slicing, statistics.
+
+use crate::bitblast::BitBlaster;
+use crate::model::Model;
+use crate::sat::{SatSolver, SolveOutcome};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::time::{Duration, Instant};
+use symmerge_expr::{ExprId, ExprPool, SymbolId};
+
+/// Result of a satisfiability query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable, with a model for the referenced inputs.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+    /// Resource budget exhausted (treated as "maybe" by clients).
+    Unknown,
+}
+
+impl SatResult {
+    /// Whether the result is [`SatResult::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+
+    /// Whether the result is [`SatResult::Unsat`].
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SatResult::Unsat)
+    }
+}
+
+/// Configuration for [`Solver`].
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Enable the query result cache (exact match on the constraint set).
+    pub use_cache: bool,
+    /// Try recently produced models on new queries before invoking SAT
+    /// (the cheap half of KLEE's counterexample cache).
+    pub use_model_reuse: bool,
+    /// Partition the constraint set into independent slices by shared
+    /// input symbols and decide each slice separately.
+    pub use_independence: bool,
+    /// Conflict budget per SAT call; `None` means unbounded.
+    pub max_conflicts: Option<u64>,
+    /// How many recent models to retain for model reuse.
+    pub model_history: usize,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            use_cache: true,
+            use_model_reuse: true,
+            use_independence: true,
+            max_conflicts: None,
+            model_history: 32,
+        }
+    }
+}
+
+/// Counters describing the queries a [`Solver`] answered.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolverStats {
+    /// Total `check` calls.
+    pub queries: u64,
+    /// Queries answered sat.
+    pub sat: u64,
+    /// Queries answered unsat.
+    pub unsat: u64,
+    /// Queries answered unknown (budget exhausted).
+    pub unknown: u64,
+    /// Queries answered from the exact-match cache.
+    pub cache_hits: u64,
+    /// Queries answered by re-evaluating a recent model.
+    pub model_reuse_hits: u64,
+    /// Queries that reached the SAT solver.
+    pub sat_calls: u64,
+    /// Cumulative time spent inside `check`.
+    pub time: Duration,
+    /// Cumulative time spent inside the SAT solver proper.
+    pub sat_time: Duration,
+    /// Cumulative SAT conflicts.
+    pub conflicts: u64,
+    /// Cumulative SAT decisions.
+    pub decisions: u64,
+    /// Total constraint-DAG nodes across all queries (query size proxy).
+    pub query_nodes: u64,
+}
+
+#[derive(Debug, Clone)]
+enum CachedResult {
+    Sat(Model),
+    Unsat,
+}
+
+/// A caching, slicing bitvector solver.
+///
+/// See the [crate-level docs](crate) for the architecture. A `Solver` is
+/// deliberately *stateless between queries* apart from its caches: every
+/// query re-blasts its constraints, exactly like the paper's KLEE + STP
+/// prototype.
+#[derive(Debug)]
+pub struct Solver {
+    config: SolverConfig,
+    cache: HashMap<u64, CachedResult>,
+    recent_models: Vec<Model>,
+    stats: SolverStats,
+}
+
+impl Solver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: SolverConfig) -> Self {
+        Solver { config, cache: HashMap::new(), recent_models: Vec::new(), stats: SolverStats::default() }
+    }
+
+    /// Work counters accumulated so far.
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    /// Resets the statistics (the caches are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = SolverStats::default();
+    }
+
+    /// Decides whether the conjunction of `constraints` is satisfiable.
+    ///
+    /// Constant `true` conjuncts are dropped; a constant `false` conjunct
+    /// short-circuits to unsat without touching the SAT solver (these fast
+    /// paths are *not* counted as queries, mirroring how KLEE's expression
+    /// simplifier absorbs trivial branch checks).
+    pub fn check(&mut self, pool: &ExprPool, constraints: &[ExprId]) -> SatResult {
+        // Fast constant paths.
+        let mut set: Vec<ExprId> = Vec::with_capacity(constraints.len());
+        for &c in constraints {
+            debug_assert!(pool.sort(c).is_bool(), "constraint must be boolean");
+            if pool.is_false(c) {
+                return SatResult::Unsat;
+            }
+            if !pool.is_true(c) {
+                set.push(c);
+            }
+        }
+        if set.is_empty() {
+            return SatResult::Sat(Model::new());
+        }
+        set.sort_unstable();
+        set.dedup();
+
+        let start = Instant::now();
+        self.stats.queries += 1;
+        self.stats.query_nodes += set.iter().map(|&c| pool.dag_size(c) as u64).sum::<u64>();
+
+        let key = hash_query(&set);
+        if self.config.use_cache {
+            if let Some(cached) = self.cache.get(&key) {
+                self.stats.cache_hits += 1;
+                let result = match cached {
+                    CachedResult::Sat(m) => {
+                        self.stats.sat += 1;
+                        SatResult::Sat(m.clone())
+                    }
+                    CachedResult::Unsat => {
+                        self.stats.unsat += 1;
+                        SatResult::Unsat
+                    }
+                };
+                self.stats.time += start.elapsed();
+                return result;
+            }
+        }
+
+        if self.config.use_model_reuse {
+            if let Some(m) = self.recent_models.iter().find(|m| m.satisfies(pool, &set)) {
+                let model = m.clone();
+                self.stats.model_reuse_hits += 1;
+                self.stats.sat += 1;
+                if self.config.use_cache {
+                    self.cache.insert(key, CachedResult::Sat(model.clone()));
+                }
+                self.stats.time += start.elapsed();
+                return SatResult::Sat(model);
+            }
+        }
+
+        let result = if self.config.use_independence {
+            self.check_sliced(pool, &set)
+        } else {
+            self.check_monolithic(pool, &set)
+        };
+
+        match &result {
+            SatResult::Sat(m) => {
+                debug_assert!(m.satisfies(pool, &set), "solver returned a bogus model");
+                self.stats.sat += 1;
+                self.remember_model(m.clone());
+                if self.config.use_cache {
+                    self.cache.insert(key, CachedResult::Sat(m.clone()));
+                }
+            }
+            SatResult::Unsat => {
+                self.stats.unsat += 1;
+                if self.config.use_cache {
+                    self.cache.insert(key, CachedResult::Unsat);
+                }
+            }
+            SatResult::Unknown => {
+                self.stats.unknown += 1;
+                // Never cache Unknown: a retry may have a bigger budget.
+            }
+        }
+        self.stats.time += start.elapsed();
+        result
+    }
+
+    /// `check` for callers that only need a yes/no: maps `Unknown` to
+    /// "possibly satisfiable" (`true`), which keeps exploration sound.
+    pub fn may_be_sat(&mut self, pool: &ExprPool, constraints: &[ExprId]) -> bool {
+        !matches!(self.check(pool, constraints), SatResult::Unsat)
+    }
+
+    fn remember_model(&mut self, m: Model) {
+        if self.recent_models.len() >= self.config.model_history {
+            self.recent_models.remove(0);
+        }
+        self.recent_models.push(m);
+    }
+
+    fn check_monolithic(&mut self, pool: &ExprPool, set: &[ExprId]) -> SatResult {
+        self.solve_slice(pool, set)
+    }
+
+    /// Partitions `set` into connected components under "shares an input
+    /// symbol" and decides each component separately. The conjunction is
+    /// sat iff all components are; models merge disjointly.
+    fn check_sliced(&mut self, pool: &ExprPool, set: &[ExprId]) -> SatResult {
+        let slices = partition_by_inputs(pool, set);
+        let mut combined = Model::new();
+        for slice in &slices {
+            match self.solve_slice(pool, slice) {
+                SatResult::Sat(m) => combined.absorb(&m),
+                SatResult::Unsat => return SatResult::Unsat,
+                SatResult::Unknown => return SatResult::Unknown,
+            }
+        }
+        SatResult::Sat(combined)
+    }
+
+    fn solve_slice(&mut self, pool: &ExprPool, slice: &[ExprId]) -> SatResult {
+        self.stats.sat_calls += 1;
+        let mut bb = BitBlaster::new(pool);
+        for &c in slice {
+            bb.assert_true(c);
+        }
+        let sat_start = Instant::now();
+        let mut sat = SatSolver::from_cnf(bb.cnf());
+        if let Some(budget) = self.config.max_conflicts {
+            sat.set_conflict_budget(budget);
+        }
+        let outcome = sat.solve();
+        self.stats.sat_time += sat_start.elapsed();
+        self.stats.conflicts += sat.stats().conflicts;
+        self.stats.decisions += sat.stats().decisions;
+        match outcome {
+            SolveOutcome::Sat(_) => SatResult::Sat(bb.extract_model(&outcome)),
+            SolveOutcome::Unsat => SatResult::Unsat,
+            SolveOutcome::Unknown => SatResult::Unknown,
+        }
+    }
+}
+
+fn hash_query(set: &[ExprId]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    set.hash(&mut h);
+    h.finish()
+}
+
+/// Groups constraints into connected components by shared input symbols.
+fn partition_by_inputs(pool: &ExprPool, set: &[ExprId]) -> Vec<Vec<ExprId>> {
+    let n = set.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut owner: HashMap<SymbolId, usize> = HashMap::new();
+    for (i, &c) in set.iter().enumerate() {
+        for sym in pool.collect_inputs(c) {
+            match owner.get(&sym) {
+                Some(&j) => {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri] = rj;
+                    }
+                }
+                None => {
+                    owner.insert(sym, i);
+                }
+            }
+        }
+    }
+    let mut groups: HashMap<usize, Vec<ExprId>> = HashMap::new();
+    for (i, &c) in set.iter().enumerate() {
+        let r = find(&mut parent, i);
+        groups.entry(r).or_default().push(c);
+    }
+    let mut out: Vec<Vec<ExprId>> = groups.into_values().collect();
+    out.sort_by_key(|g| g[0]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> ExprPool {
+        ExprPool::new(8)
+    }
+
+    #[test]
+    fn empty_query_is_sat() {
+        let p = pool();
+        let mut s = Solver::new(Default::default());
+        assert!(s.check(&p, &[]).is_sat());
+        // Trivial queries do not count against the stats.
+        assert_eq!(s.stats().queries, 0);
+    }
+
+    #[test]
+    fn constant_false_short_circuits() {
+        let p = pool();
+        let mut s = Solver::new(Default::default());
+        let f = p.false_();
+        assert!(s.check(&p, &[f]).is_unsat());
+        assert_eq!(s.stats().sat_calls, 0);
+    }
+
+    #[test]
+    fn cache_hit_on_repeat_query() {
+        let mut p = pool();
+        let x = p.input("x", 8);
+        let five = p.bv_const(5, 8);
+        let c = p.eq(x, five);
+        let mut s = Solver::new(Default::default());
+        assert!(s.check(&p, &[c]).is_sat());
+        let calls_before = s.stats().sat_calls;
+        assert!(s.check(&p, &[c]).is_sat());
+        assert_eq!(s.stats().sat_calls, calls_before);
+        assert_eq!(s.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn model_reuse_avoids_sat_calls() {
+        let mut p = pool();
+        let x = p.input("x", 8);
+        let ten = p.bv_const(10, 8);
+        let five = p.bv_const(5, 8);
+        let c1 = p.ult(x, ten);
+        let c2 = p.ult(x, five); // implied by any model with x < 5
+        let mut s = Solver::new(Default::default());
+        // First query: x < 5 gives a model (likely x = 0).
+        assert!(s.check(&p, &[c2]).is_sat());
+        // Second query x < 10 can reuse the model.
+        assert!(s.check(&p, &[c1]).is_sat());
+        assert_eq!(s.stats().model_reuse_hits, 1);
+    }
+
+    #[test]
+    fn independence_slicing_solves_components_separately() {
+        let mut p = pool();
+        let x = p.input("x", 8);
+        let y = p.input("y", 8);
+        let one = p.bv_const(1, 8);
+        let two = p.bv_const(2, 8);
+        let c1 = p.eq(x, one);
+        let c2 = p.eq(y, two);
+        let mut s = Solver::new(SolverConfig {
+            use_cache: false,
+            use_model_reuse: false,
+            ..Default::default()
+        });
+        match s.check(&p, &[c1, c2]) {
+            SatResult::Sat(m) => {
+                assert_eq!(m.value_by_name(&p, "x"), Some(1));
+                assert_eq!(m.value_by_name(&p, "y"), Some(2));
+            }
+            o => panic!("expected sat, got {o:?}"),
+        }
+        // Two independent slices → two SAT calls.
+        assert_eq!(s.stats().sat_calls, 2);
+    }
+
+    #[test]
+    fn unsat_component_fails_the_whole_query() {
+        let mut p = pool();
+        let x = p.input("x", 8);
+        let y = p.input("y", 8);
+        let one = p.bv_const(1, 8);
+        let c1 = p.eq(x, one);
+        let c2 = p.ne(y, y); // folds to false
+        let c3 = p.ult(y, one);
+        let zero = p.bv_const(0, 8);
+        let c4 = p.ne(y, zero); // y < 1 ∧ y != 0 unsat
+        assert!(p.is_false(c2));
+        let mut s = Solver::new(Default::default());
+        assert!(s.check(&p, &[c1, c3, c4]).is_unsat());
+    }
+
+    #[test]
+    fn partition_groups_by_shared_symbols() {
+        let mut p = pool();
+        let x = p.input("x", 8);
+        let y = p.input("y", 8);
+        let z = p.input("z", 8);
+        let one = p.bv_const(1, 8);
+        let cx = p.ult(x, one);
+        let cxy = p.ult(x, y);
+        let cz = p.ult(z, one);
+        let groups = partition_by_inputs(&p, &[cx, cxy, cz]);
+        assert_eq!(groups.len(), 2);
+        let sizes: Vec<usize> = groups.iter().map(|g| g.len()).collect();
+        assert!(sizes.contains(&2) && sizes.contains(&1));
+    }
+
+    #[test]
+    fn may_be_sat_treats_unknown_as_true() {
+        let mut p = pool();
+        let x = p.input("x", 8);
+        let y = p.input("y", 8);
+        let prod = p.mul(x, y);
+        let target = p.bv_const(143, 8);
+        let c = p.eq(prod, target);
+        let mut s = Solver::new(SolverConfig { max_conflicts: Some(1), ..Default::default() });
+        // Whatever the outcome (Unknown or Sat within a single conflict),
+        // may_be_sat must not claim unsat.
+        assert!(s.may_be_sat(&p, &[c]));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut p = pool();
+        let x = p.input("x", 8);
+        let k = p.bv_const(200, 8);
+        let c = p.ugt(x, k);
+        let mut s = Solver::new(Default::default());
+        let _ = s.check(&p, &[c]);
+        assert_eq!(s.stats().queries, 1);
+        assert!(s.stats().query_nodes > 0);
+        assert!(s.stats().time > Duration::ZERO);
+    }
+}

@@ -1,0 +1,209 @@
+//! # symmerge-workloads — mini-COREUTILS benchmark programs
+//!
+//! The evaluation substrate of the paper (*Efficient State Merging in
+//! Symbolic Execution*, PLDI 2012) is the GNU COREUTILS suite driven by
+//! symbolic command-line arguments and symbolic stdin. This crate provides
+//! faithful miniatures of ~20 of those utilities, written in
+//! [`symmerge_ir::minic`] and wrapped in exactly the paper's input model
+//! (§3.1): `argc = N + 1` with `N` symbolic arguments of up to `L`
+//! NUL-terminated bytes each (we expose the `N` real arguments and omit
+//! `argv[0]`), plus a NUL-terminated symbolic stdin buffer.
+//!
+//! The miniatures keep the *shape* that drives the paper's results —
+//! per-byte parsing loops over symbolic strings, flag dispatch, numeric
+//! validation — so path counts explode combinatorially in `N` and `L`
+//! exactly as in the original evaluation.
+//!
+//! # Example
+//!
+//! ```
+//! use symmerge_workloads::{by_name, InputConfig};
+//!
+//! let echo = by_name("echo").unwrap();
+//! let program = echo.program(&InputConfig { n_args: 2, arg_len: 2, stdin_len: 0 });
+//! assert!(program.validate().is_ok());
+//! ```
+
+mod sources;
+
+use symmerge_ir::minic;
+use symmerge_ir::Program;
+
+/// The scalar width workload programs are compiled at. 16 bits keeps
+/// byte-level string processing natural while making bit-blasted queries
+/// affordable on a laptop (the original evaluation's STP budget scaled
+/// likewise with input width).
+pub const WORKLOAD_WIDTH: u32 = 16;
+
+/// Sizing of the symbolic input (the paper's `N` and `L`, plus stdin).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InputConfig {
+    /// Number of symbolic command-line arguments (`N`).
+    pub n_args: u32,
+    /// Maximum characters per argument (`L`); each occupies `L + 1` cells
+    /// with a forced NUL terminator.
+    pub arg_len: u32,
+    /// Symbolic stdin bytes (0 disables stdin).
+    pub stdin_len: u32,
+}
+
+impl InputConfig {
+    /// Arguments only (`N × L`), no stdin.
+    pub fn args(n_args: u32, arg_len: u32) -> Self {
+        InputConfig { n_args, arg_len, stdin_len: 0 }
+    }
+
+    /// Stdin only.
+    pub fn stdin(stdin_len: u32) -> Self {
+        InputConfig { n_args: 0, arg_len: 1, stdin_len }
+    }
+
+    /// Total symbolic input bytes — the x-axis of the paper's Figures 5–7.
+    pub fn symbolic_bytes(&self) -> u32 {
+        self.n_args * self.arg_len + self.stdin_len
+    }
+}
+
+/// Which inputs a workload consumes (used to pick sensible sweeps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputKind {
+    /// Command-line arguments only.
+    Args,
+    /// Stdin only.
+    Stdin,
+    /// Both arguments and stdin.
+    Both,
+}
+
+/// One benchmark utility.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// The utility's name (matches its COREUTILS namesake).
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Input channels the utility reads.
+    pub kind: InputKind,
+    body: &'static str,
+}
+
+impl Workload {
+    /// Generates the complete MiniC source for this workload under the
+    /// given input sizing: harness globals + `main` + prelude helpers +
+    /// the utility body.
+    pub fn source(&self, cfg: &InputConfig) -> String {
+        let n = cfg.n_args;
+        let stride = cfg.arg_len + 1;
+        let argv_cells = (n * stride).max(1);
+        let stdin_cells = cfg.stdin_len + 1;
+        let l = cfg.arg_len;
+        let s = cfg.stdin_len;
+        let mut src = String::new();
+        // --- harness globals ------------------------------------------------
+        src.push_str(&format!(
+            "global argc = {n};\nglobal argv[{argv_cells}];\nglobal stdin_buf[{stdin_cells}];\n"
+        ));
+        // --- harness main ---------------------------------------------------
+        src.push_str("fn main() {\n");
+        if n > 0 {
+            src.push_str("    sym_array(argv, \"argv\");\n");
+            src.push_str(&format!(
+                "    for (let a = 0; a < {n}; a = a + 1) {{\n        argv[a * {stride} + {l}] = 0;\n        for (let k = 0; k < {l}; k = k + 1) {{\n            assume(argv[a * {stride} + k] >= 0 && argv[a * {stride} + k] < 128);\n        }}\n    }}\n"
+            ));
+        }
+        if s > 0 {
+            src.push_str("    sym_array(stdin_buf, \"stdin\");\n");
+            src.push_str(&format!(
+                "    stdin_buf[{s}] = 0;\n    for (let k = 0; k < {s}; k = k + 1) {{\n        assume(stdin_buf[k] >= 0 && stdin_buf[k] < 128);\n    }}\n"
+            ));
+        }
+        src.push_str("    run();\n    halt;\n}\n");
+        // --- prelude helpers ------------------------------------------------
+        src.push_str(&format!("fn arg_off(i) {{ return i * {stride}; }}\n"));
+        src.push_str(
+            r#"
+fn s_len(off) {
+    let n = 0;
+    while (argv[off + n] != 0) { n = n + 1; }
+    return n;
+}
+fn is_digit(c) { return c >= '0' && c <= '9'; }
+fn s_atoi(off) {
+    let v = 0;
+    for (let i = 0; is_digit(argv[off + i]); i = i + 1) {
+        v = v * 10 + (argv[off + i] - '0');
+    }
+    return v;
+}
+fn s_eq1(off, c0) { return argv[off] == c0 && argv[off + 1] == 0; }
+fn s_eq2(off, c0, c1) {
+    return argv[off] == c0 && argv[off + 1] == c1 && argv[off + 2] == 0;
+}
+fn s_print(off) {
+    for (let j = 0; argv[off + j] != 0; j = j + 1) { putchar(argv[off + j]); }
+}
+"#,
+        );
+        src.push_str(self.body);
+        src
+    }
+
+    /// Compiles the workload at [`WORKLOAD_WIDTH`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generated source fails to compile — that is a bug in
+    /// this crate, covered by its tests.
+    pub fn program(&self, cfg: &InputConfig) -> Program {
+        match minic::compile_with_width(&self.source(cfg), WORKLOAD_WIDTH) {
+            Ok(p) => p,
+            Err(e) => panic!("workload {} failed to compile: {e}", self.name),
+        }
+    }
+
+    /// A sensible default input sizing for this workload's channel mix.
+    pub fn default_config(&self) -> InputConfig {
+        match self.kind {
+            InputKind::Args => InputConfig::args(2, 2),
+            InputKind::Stdin => InputConfig::stdin(4),
+            InputKind::Both => InputConfig { n_args: 1, arg_len: 2, stdin_len: 3 },
+        }
+    }
+}
+
+/// All workloads, in a stable order.
+pub fn all() -> Vec<Workload> {
+    vec![
+        Workload { name: "echo", description: "print arguments, -n suppresses newline (paper Fig. 1)", kind: InputKind::Args, body: sources::ECHO },
+        Workload { name: "seq", description: "print numeric sequence from argument bounds", kind: InputKind::Args, body: sources::SEQ },
+        Workload { name: "join", description: "join matching fields of two arguments", kind: InputKind::Args, body: sources::JOIN },
+        Workload { name: "tsort", description: "topological sort of edge pairs from stdin", kind: InputKind::Stdin, body: sources::TSORT },
+        Workload { name: "link", description: "two-operand arity/flag diagnosis (paper's top speedup)", kind: InputKind::Args, body: sources::LINK },
+        Workload { name: "nice", description: "parse -n ADJ prefix then echo command", kind: InputKind::Args, body: sources::NICE },
+        Workload { name: "basename", description: "strip directory prefix and optional suffix", kind: InputKind::Args, body: sources::BASENAME },
+        Workload { name: "paste", description: "interleave argument columns, tab-separated", kind: InputKind::Args, body: sources::PASTE },
+        Workload { name: "pr", description: "paginate stdin with line numbers and headers", kind: InputKind::Stdin, body: sources::PR },
+        Workload { name: "sleep", description: "sum numeric args into seconds (paper s5.4 example)", kind: InputKind::Args, body: sources::SLEEP },
+        Workload { name: "wc", description: "count lines, words, bytes of stdin", kind: InputKind::Stdin, body: sources::WC },
+        Workload { name: "cat", description: "copy stdin, -n numbers lines", kind: InputKind::Both, body: sources::CAT },
+        Workload { name: "yes", description: "print first argument repeatedly (bounded)", kind: InputKind::Args, body: sources::YES },
+        Workload { name: "head", description: "first K lines of stdin", kind: InputKind::Both, body: sources::HEAD },
+        Workload { name: "cut", description: "select argument characters by position list", kind: InputKind::Args, body: sources::CUT },
+        Workload { name: "sum", description: "BSD rotating checksum of stdin", kind: InputKind::Stdin, body: sources::SUM },
+        Workload { name: "comm", description: "three-way comparison of two sorted arguments", kind: InputKind::Args, body: sources::COMM },
+        Workload { name: "fold", description: "wrap stdin at a width argument", kind: InputKind::Both, body: sources::FOLD },
+        Workload { name: "dirname", description: "directory part of the first argument", kind: InputKind::Args, body: sources::DIRNAME },
+        Workload { name: "tr", description: "translate stdin chars between argument sets", kind: InputKind::Both, body: sources::TR },
+        Workload { name: "uniq", description: "collapse repeated stdin runs, -c counts", kind: InputKind::Both, body: sources::UNIQ },
+        Workload { name: "rev", description: "reverse stdin", kind: InputKind::Stdin, body: sources::REV },
+        Workload { name: "expand", description: "tabs to 4-column space stops", kind: InputKind::Stdin, body: sources::EXPAND },
+        Workload { name: "test", description: "shell conditional: -z/-n/=/!", kind: InputKind::Args, body: sources::TEST_UTIL },
+        Workload { name: "cksum", description: "parity-branching checksum (depth-gated trailer)", kind: InputKind::Stdin, body: sources::CKSUM },
+        Workload { name: "od", description: "octal dump state machine (depth-gated trailer)", kind: InputKind::Stdin, body: sources::OD },
+    ]
+}
+
+/// Looks a workload up by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}

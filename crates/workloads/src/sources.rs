@@ -1,0 +1,646 @@
+//! MiniC bodies of the mini-COREUTILS.
+//!
+//! Every body defines `fn run()` plus helpers, and reads the harness
+//! globals `argc`, `argv` (flattened `argc × (L+1)` byte matrix) and
+//! `stdin_buf` (NUL-terminated). The generated prelude provides the string
+//! helpers (`arg_off`, `s_len`, `s_eq1/2`, `s_atoi`, `s_print`,
+//! `is_digit`). The programs deliberately keep the branching/loop shape of
+//! their COREUTILS namesakes — per-byte parsing loops over symbolic input —
+//! because that shape *is* the paper's benchmark workload.
+
+/// `echo` — the paper's Figure 1: optional `-n` suppresses the trailing
+/// newline; prints all (remaining) arguments separated by spaces.
+pub const ECHO: &str = r#"
+fn run() {
+    let r = 1;
+    let arg = 0;
+    if (arg < argc) {
+        if (s_eq2(arg_off(arg), '-', 'n')) {
+            r = 0;
+            arg = arg + 1;
+        }
+    }
+    for (; arg < argc; arg = arg + 1) {
+        for (let i = 0; argv[arg_off(arg) + i] != 0; i = i + 1) {
+            putchar(argv[arg_off(arg) + i]);
+        }
+        if (arg + 1 < argc) { putchar(' '); }
+    }
+    if (r) { putchar('\n'); }
+}
+"#;
+
+/// `seq` — print `1..=last` (one numeric argument) or `first..=last`
+/// (two arguments); rejects non-numeric input.
+pub const SEQ: &str = r#"
+fn print_num(v) {
+    if (v >= 10) { print_num(v / 10); }
+    putchar('0' + v % 10);
+}
+fn numeric(off) {
+    if (argv[off] == 0) { return 0; }
+    for (let i = 0; argv[off + i] != 0; i = i + 1) {
+        if (!is_digit(argv[off + i])) { return 0; }
+    }
+    return 1;
+}
+fn run() {
+    if (argc < 1) { putchar('?'); return; }
+    let first = 1;
+    let last = 0;
+    if (!numeric(arg_off(0))) { putchar('?'); return; }
+    if (argc >= 2) {
+        if (!numeric(arg_off(1))) { putchar('?'); return; }
+        first = s_atoi(arg_off(0));
+        last = s_atoi(arg_off(1));
+    } else {
+        last = s_atoi(arg_off(0));
+    }
+    if (last > 40) { last = 40; }
+    for (let v = first; v <= last; v = v + 1) {
+        print_num(v);
+        putchar('\n');
+    }
+}
+"#;
+
+/// `join` — joins "fields" of its two arguments: prints every character of
+/// the first argument that also occurs in the second (both treated as
+/// sorted field lists, like `join`'s matching phase).
+pub const JOIN: &str = r#"
+fn contains(off, c) {
+    for (let j = 0; argv[off + j] != 0; j = j + 1) {
+        if (argv[off + j] == c) { return 1; }
+    }
+    return 0;
+}
+fn run() {
+    if (argc < 2) { putchar('?'); return; }
+    let matched = 0;
+    for (let i = 0; argv[arg_off(0) + i] != 0; i = i + 1) {
+        if (contains(arg_off(1), argv[arg_off(0) + i])) {
+            putchar(argv[arg_off(0) + i]);
+            matched = matched + 1;
+        }
+    }
+    if (matched == 0) { putchar('\n'); }
+}
+"#;
+
+/// `tsort` — topological sort: stdin is a sequence of edge pairs
+/// `ab` meaning a → b over nodes 'a'..'h'; Kahn's algorithm; cycle check.
+pub const TSORT: &str = r#"
+global adj[64];
+global indeg[8];
+global emitted[8];
+fn node(c) { return (c - 'a') & 7; }
+fn run() {
+    let n = 0;
+    while (stdin_buf[n] != 0 && stdin_buf[n + 1] != 0) {
+        let a = node(stdin_buf[n]);
+        let b = node(stdin_buf[n + 1]);
+        if (adj[a * 8 + b] == 0) {
+            adj[a * 8 + b] = 1;
+            indeg[b] = indeg[b] + 1;
+        }
+        n = n + 2;
+    }
+    let produced = 0;
+    for (let round = 0; round < 8; round = round + 1) {
+        for (let v = 0; v < 8; v = v + 1) {
+            if (emitted[v] == 0 && indeg[v] == 0) {
+                emitted[v] = 1;
+                produced = produced + 1;
+                putchar('a' + v);
+                for (let w = 0; w < 8; w = w + 1) {
+                    if (adj[v * 8 + w] != 0) { indeg[w] = indeg[w] - 1; }
+                }
+            }
+        }
+    }
+    for (let v = 0; v < 8; v = v + 1) {
+        if (emitted[v] == 0 && indeg[v] != 0) { putchar('!'); return; }
+    }
+    putchar('\n');
+    assert(produced <= 8, "tsort emits each node at most once");
+}
+"#;
+
+/// `link` — expects exactly two operands; diagnoses missing/extra
+/// operands and same-name links. Mostly flag/arity logic: the paper's
+/// highest-speedup shape (long post-parse tail shared by all paths).
+pub const LINK: &str = r#"
+fn s_cmp(offa, offb) {
+    let i = 0;
+    while (argv[offa + i] != 0 && argv[offa + i] == argv[offb + i]) { i = i + 1; }
+    return argv[offa + i] - argv[offb + i];
+}
+fn run() {
+    if (argc == 0) { s_puts_lit('m', 'i', 's'); return; }
+    if (argc == 1) { s_puts_lit('o', 'p', 'r'); return; }
+    if (argc > 2) { s_puts_lit('x', 't', 'r'); return; }
+    if (s_eq2(arg_off(0), '-', '-')) { s_puts_lit('h', 'l', 'p'); return; }
+    if (s_cmp(arg_off(0), arg_off(1)) == 0) { s_puts_lit('s', 'a', 'm'); return; }
+    if (s_len(arg_off(0)) == 0 || s_len(arg_off(1)) == 0) { s_puts_lit('e', 'm', 'p'); return; }
+    putchar('o');
+    putchar('k');
+    putchar('\n');
+}
+fn s_puts_lit(a, b, c) {
+    putchar(a); putchar(b); putchar(c); putchar('\n');
+}
+"#;
+
+/// `nice` — parses an optional `-n ADJ` prefix, then "runs" (prints) the
+/// rest of the command line; adjustment must be numeric and small.
+pub const NICE: &str = r#"
+fn run() {
+    let adj = 10;
+    let arg = 0;
+    if (arg < argc && s_eq2(arg_off(arg), '-', 'n')) {
+        arg = arg + 1;
+        if (arg >= argc) { putchar('?'); return; }
+        adj = s_atoi(arg_off(arg));
+        let j = 0;
+        for (; argv[arg_off(arg) + j] != 0; j = j + 1) {
+            if (!is_digit(argv[arg_off(arg) + j])) { putchar('!'); return; }
+        }
+        if (j == 0) { putchar('!'); return; }
+        if (adj > 19) { adj = 19; }
+        arg = arg + 1;
+    }
+    if (arg >= argc) { putchar('n'); putchar('0' + adj % 10); putchar('\n'); return; }
+    for (; arg < argc; arg = arg + 1) {
+        s_print(arg_off(arg));
+        putchar(' ');
+    }
+    putchar('\n');
+}
+"#;
+
+/// `basename` — strips the directory prefix (and an optional suffix
+/// argument) from its first argument.
+pub const BASENAME: &str = r#"
+fn run() {
+    if (argc == 0) { putchar('?'); return; }
+    let off = arg_off(0);
+    let n = s_len(off);
+    if (n == 0) { putchar('.'); putchar('\n'); return; }
+    while (n > 1 && argv[off + n - 1] == '/') { n = n - 1; }
+    let start = 0;
+    for (let i = 0; i < n; i = i + 1) {
+        if (argv[off + i] == '/' && i + 1 < n) { start = i + 1; }
+    }
+    let stop = n;
+    if (argc >= 2) {
+        let sl = s_len(arg_off(1));
+        if (sl > 0 && sl < stop - start) {
+            let m = 1;
+            for (let k = 0; k < sl; k = k + 1) {
+                if (argv[off + stop - sl + k] != argv[arg_off(1) + k]) { m = 0; }
+            }
+            if (m) { stop = stop - sl; }
+        }
+    }
+    for (let i = start; i < stop; i = i + 1) { putchar(argv[off + i]); }
+    putchar('\n');
+}
+"#;
+
+/// `paste` — interleaves the characters of all arguments column by column,
+/// tab-separated, like `paste` merging lines of its input files.
+pub const PASTE: &str = r#"
+fn run() {
+    if (argc == 0) { return; }
+    let longest = 0;
+    for (let a = 0; a < argc; a = a + 1) {
+        let n = s_len(arg_off(a));
+        if (n > longest) { longest = n; }
+    }
+    for (let col = 0; col < longest; col = col + 1) {
+        for (let a = 0; a < argc; a = a + 1) {
+            let c = argv[arg_off(a) + col];
+            let before = 1;
+            for (let k = 0; k < col; k = k + 1) {
+                if (argv[arg_off(a) + k] == 0) { before = 0; }
+            }
+            if (c != 0 && before) { putchar(c); } else { putchar('-'); }
+            if (a + 1 < argc) { putchar('\t'); }
+        }
+        putchar('\n');
+    }
+}
+"#;
+
+/// `pr` — paginates stdin: numbered lines, page header every 4 lines.
+pub const PR: &str = r#"
+fn run() {
+    let line = 1;
+    let col = 0;
+    let page = 1;
+    putchar('P');
+    putchar('0' + page);
+    putchar('\n');
+    for (let i = 0; stdin_buf[i] != 0; i = i + 1) {
+        if (col == 0) {
+            putchar('0' + line % 10);
+            putchar(':');
+        }
+        let c = stdin_buf[i];
+        if (c == '\n') {
+            putchar('\n');
+            line = line + 1;
+            col = 0;
+            if (line % 4 == 1) {
+                page = page + 1;
+                putchar('P');
+                putchar('0' + page % 10);
+                putchar('\n');
+            }
+        } else {
+            putchar(c);
+            col = col + 1;
+        }
+    }
+    if (col != 0) { putchar('\n'); }
+}
+"#;
+
+/// `sleep` — the paper's §5.4 example: sums its numeric arguments into
+/// `seconds`, validates the total, then "sleeps" (emits ticks).
+pub const SLEEP: &str = r#"
+fn run() {
+    if (argc == 0) { putchar('?'); return; }
+    let seconds = 0;
+    for (let a = 0; a < argc; a = a + 1) {
+        let off = arg_off(a);
+        if (argv[off] == 0) { putchar('!'); return; }
+        for (let i = 0; argv[off + i] != 0; i = i + 1) {
+            if (!is_digit(argv[off + i])) { putchar('!'); return; }
+        }
+        seconds = seconds + s_atoi(off);
+    }
+    if (seconds < 0) { putchar('!'); return; }
+    if (seconds > 9) { seconds = 9; }
+    for (let t = 0; t < seconds; t = t + 1) { putchar('.'); }
+    putchar('\n');
+}
+"#;
+
+/// `wc` — counts lines, words and bytes of stdin.
+pub const WC: &str = r#"
+fn run() {
+    let lines = 0;
+    let words = 0;
+    let bytes = 0;
+    let in_word = 0;
+    for (let i = 0; stdin_buf[i] != 0; i = i + 1) {
+        let c = stdin_buf[i];
+        bytes = bytes + 1;
+        if (c == '\n') { lines = lines + 1; }
+        if (c == ' ' || c == '\n' || c == '\t') {
+            in_word = 0;
+        } else {
+            if (!in_word) { words = words + 1; }
+            in_word = 1;
+        }
+    }
+    putchar('0' + lines % 10);
+    putchar(' ');
+    putchar('0' + words % 10);
+    putchar(' ');
+    putchar('0' + bytes % 10);
+    putchar('\n');
+    assert(words <= bytes, "words never exceed bytes");
+}
+"#;
+
+/// `cat` — copies stdin; `-n` numbers the lines.
+pub const CAT: &str = r#"
+fn run() {
+    let number = 0;
+    if (argc >= 1 && s_eq2(arg_off(0), '-', 'n')) { number = 1; }
+    let line = 1;
+    let at_start = 1;
+    for (let i = 0; stdin_buf[i] != 0; i = i + 1) {
+        if (number && at_start) {
+            putchar('0' + line % 10);
+            putchar('\t');
+        }
+        at_start = 0;
+        putchar(stdin_buf[i]);
+        if (stdin_buf[i] == '\n') {
+            line = line + 1;
+            at_start = 1;
+        }
+    }
+}
+"#;
+
+/// `yes` — prints its first argument (or `y`) a bounded number of times.
+pub const YES: &str = r#"
+fn run() {
+    for (let rep = 0; rep < 3; rep = rep + 1) {
+        if (argc == 0) {
+            putchar('y');
+        } else {
+            s_print(arg_off(0));
+        }
+        putchar('\n');
+    }
+}
+"#;
+
+/// `head` — prints the first `k` lines of stdin (`-n K` style: the first
+/// argument is the numeric line budget).
+pub const HEAD: &str = r#"
+fn run() {
+    let budget = 2;
+    if (argc >= 1) {
+        if (!is_digit(argv[arg_off(0)])) { putchar('?'); return; }
+        budget = s_atoi(arg_off(0));
+    }
+    let printed = 0;
+    for (let i = 0; stdin_buf[i] != 0 && printed < budget; i = i + 1) {
+        putchar(stdin_buf[i]);
+        if (stdin_buf[i] == '\n') { printed = printed + 1; }
+    }
+}
+"#;
+
+/// `cut` — emits the characters of the second argument selected by the
+/// digit positions listed in the first (1-based), like `cut -c`.
+pub const CUT: &str = r#"
+fn run() {
+    if (argc < 2) { putchar('?'); return; }
+    let list = arg_off(0);
+    let src = arg_off(1);
+    let n = s_len(src);
+    for (let i = 0; argv[list + i] != 0; i = i + 1) {
+        let c = argv[list + i];
+        if (!is_digit(c)) { putchar('?'); return; }
+        let pos = c - '0';
+        if (pos >= 1 && pos <= n) { putchar(argv[src + pos - 1]); }
+    }
+    putchar('\n');
+}
+"#;
+
+/// `sum` — BSD-style rotating checksum over stdin.
+pub const SUM: &str = r#"
+fn run() {
+    let s = 0;
+    let count = 0;
+    for (let i = 0; stdin_buf[i] != 0; i = i + 1) {
+        s = ((s >> 1) + ((s & 1) << 7) + stdin_buf[i]) & 255;
+        count = count + 1;
+    }
+    putchar('0' + (s / 100) % 10);
+    putchar('0' + (s / 10) % 10);
+    putchar('0' + s % 10);
+    putchar(' ');
+    putchar('0' + count % 10);
+    putchar('\n');
+}
+"#;
+
+/// `comm` — three-column comparison of its two (assumed sorted) argument
+/// strings: chars only in a, only in b, or in both.
+pub const COMM: &str = r#"
+fn run() {
+    if (argc < 2) { putchar('?'); return; }
+    let a = arg_off(0);
+    let b = arg_off(1);
+    let i = 0;
+    let j = 0;
+    while (argv[a + i] != 0 && argv[b + j] != 0) {
+        if (argv[a + i] < argv[b + j]) {
+            putchar('<'); putchar(argv[a + i]); i = i + 1;
+        } else if (argv[a + i] > argv[b + j]) {
+            putchar('>'); putchar(argv[b + j]); j = j + 1;
+        } else {
+            putchar('='); putchar(argv[a + i]); i = i + 1; j = j + 1;
+        }
+    }
+    while (argv[a + i] != 0) { putchar('<'); putchar(argv[a + i]); i = i + 1; }
+    while (argv[b + j] != 0) { putchar('>'); putchar(argv[b + j]); j = j + 1; }
+    putchar('\n');
+}
+"#;
+
+/// `fold` — wraps stdin at a width given by the first argument's first
+/// digit (default 4).
+pub const FOLD: &str = r#"
+fn run() {
+    let width = 4;
+    if (argc >= 1 && is_digit(argv[arg_off(0)])) {
+        width = argv[arg_off(0)] - '0';
+        if (width == 0) { width = 1; }
+    }
+    let col = 0;
+    for (let i = 0; stdin_buf[i] != 0; i = i + 1) {
+        if (stdin_buf[i] == '\n') {
+            putchar('\n');
+            col = 0;
+        } else {
+            if (col >= width) { putchar('\n'); col = 0; }
+            putchar(stdin_buf[i]);
+            col = col + 1;
+        }
+    }
+}
+"#;
+
+/// `dirname` — the directory part of its first argument.
+pub const DIRNAME: &str = r#"
+fn run() {
+    if (argc == 0) { putchar('?'); return; }
+    let off = arg_off(0);
+    let n = s_len(off);
+    while (n > 1 && argv[off + n - 1] == '/') { n = n - 1; }
+    let last = 0 - 1;
+    for (let i = 0; i < n; i = i + 1) {
+        if (argv[off + i] == '/') { last = i; }
+    }
+    if (last < 0) { putchar('.'); putchar('\n'); return; }
+    if (last == 0) { putchar('/'); putchar('\n'); return; }
+    for (let i = 0; i < last; i = i + 1) { putchar(argv[off + i]); }
+    putchar('\n');
+}
+"#;
+
+/// `tr` — translates stdin chars from set1 (arg 0) to set2 (arg 1),
+/// positionally.
+pub const TR: &str = r#"
+fn run() {
+    if (argc < 2) { putchar('?'); return; }
+    let set1 = arg_off(0);
+    let set2 = arg_off(1);
+    let n2 = s_len(set2);
+    if (n2 == 0) { putchar('?'); return; }
+    for (let i = 0; stdin_buf[i] != 0; i = i + 1) {
+        let c = stdin_buf[i];
+        let out = c;
+        for (let k = 0; argv[set1 + k] != 0; k = k + 1) {
+            if (argv[set1 + k] == c) {
+                if (k < n2) { out = argv[set2 + k]; } else { out = argv[set2 + n2 - 1]; }
+                break;
+            }
+        }
+        putchar(out);
+    }
+}
+"#;
+
+/// `uniq` — collapses runs of identical stdin characters (a char-level
+/// stand-in for uniq's line collapsing); `-c` prefixes counts.
+pub const UNIQ: &str = r#"
+fn run() {
+    let counted = 0;
+    if (argc >= 1 && s_eq2(arg_off(0), '-', 'c')) { counted = 1; }
+    let i = 0;
+    while (stdin_buf[i] != 0) {
+        let c = stdin_buf[i];
+        let n = 0;
+        while (stdin_buf[i] == c && stdin_buf[i] != 0) {
+            n = n + 1;
+            i = i + 1;
+        }
+        if (counted) { putchar('0' + n % 10); }
+        putchar(c);
+    }
+    putchar('\n');
+}
+"#;
+
+/// `rev` — reverses each NUL-terminated "line" (whole stdin here).
+pub const REV: &str = r#"
+fn run() {
+    let n = 0;
+    while (stdin_buf[n] != 0) { n = n + 1; }
+    for (let i = n - 1; i >= 0; i = i - 1) { putchar(stdin_buf[i]); }
+    putchar('\n');
+}
+"#;
+
+/// `expand` — converts tabs in stdin to runs of spaces up to 4-column
+/// stops.
+pub const EXPAND: &str = r#"
+fn run() {
+    let col = 0;
+    for (let i = 0; stdin_buf[i] != 0; i = i + 1) {
+        let c = stdin_buf[i];
+        if (c == '\t') {
+            putchar(' ');
+            col = col + 1;
+            while (col % 4 != 0) {
+                putchar(' ');
+                col = col + 1;
+            }
+        } else if (c == '\n') {
+            putchar('\n');
+            col = 0;
+        } else {
+            putchar(c);
+            col = col + 1;
+        }
+    }
+}
+"#;
+
+/// `test` — the shell conditional: `-z STR`, `-n STR`, `STR = STR`,
+/// `STR ! STR` (stand-in for `!=`); exit status printed as 0/1.
+pub const TEST_UTIL: &str = r#"
+fn s_cmp(offa, offb) {
+    let i = 0;
+    while (argv[offa + i] != 0 && argv[offa + i] == argv[offb + i]) { i = i + 1; }
+    return argv[offa + i] - argv[offb + i];
+}
+fn verdict(v) {
+    if (v) { putchar('0'); } else { putchar('1'); }
+    putchar('\n');
+}
+fn run() {
+    if (argc == 0) { verdict(0); return; }
+    if (argc == 1) { verdict(s_len(arg_off(0)) != 0); return; }
+    if (argc == 2) {
+        if (s_eq2(arg_off(0), '-', 'z')) { verdict(s_len(arg_off(1)) == 0); return; }
+        if (s_eq2(arg_off(0), '-', 'n')) { verdict(s_len(arg_off(1)) != 0); return; }
+        verdict(0);
+        return;
+    }
+    if (argv[arg_off(1)] == '=' && argv[arg_off(1) + 1] == 0) {
+        verdict(s_cmp(arg_off(0), arg_off(2)) == 0);
+        return;
+    }
+    if (argv[arg_off(1)] == '!' && argv[arg_off(1) + 1] == 0) {
+        verdict(s_cmp(arg_off(0), arg_off(2)) != 0);
+        return;
+    }
+    verdict(0);
+}
+"#;
+
+/// `cksum` — CRC-style checksum whose *parity counter* branches every
+/// byte. The counter stays concrete and differs between sibling paths, so
+/// QCE keeps it hot and merging cannot collapse the loop: paths double per
+/// input byte. The reporting code after the loop is reachable only once
+/// the loop ends — the depth-gated shape where static merging starves a
+/// coverage goal (paper Fig. 2 / Fig. 8).
+pub const CKSUM: &str = r#"
+fn run() {
+    let crc = 0;
+    let odd = 0;
+    let n = 0;
+    for (let i = 0; stdin_buf[i] != 0; i = i + 1) {
+        if (stdin_buf[i] > 64) { odd = odd + 1; }
+        if (odd & 1) { crc = (crc * 2 + stdin_buf[i]) & 255; }
+        else { crc = (crc ^ stdin_buf[i]) & 255; }
+        n = n + 1;
+    }
+    putchar('0' + (crc / 100) % 10);
+    putchar('0' + (crc / 10) % 10);
+    putchar('0' + crc % 10);
+    putchar(' ');
+    if (n == 0) { putchar('e'); putchar('m'); putchar('p'); }
+    else if (odd == n) { putchar('A'); }
+    else if (odd == 0) { putchar('a'); }
+    else { putchar('m'); }
+    putchar('\n');
+}
+"#;
+
+/// `od` — a miniature octal dump: a per-byte format state machine whose
+/// column counter branches (concrete, hot); the trailer blocks after the
+/// dump loop are the coverage-gated targets.
+pub const OD: &str = r#"
+fn run() {
+    let col = 0;
+    let addr = 0;
+    let runs = 0;
+    let prev = 0 - 1;
+    for (let i = 0; stdin_buf[i] != 0; i = i + 1) {
+        if (col == 0) {
+            putchar('0' + addr % 8);
+            putchar(':');
+        }
+        let c = stdin_buf[i];
+        putchar('0' + (c / 64) % 8);
+        putchar('0' + (c / 8) % 8);
+        putchar('0' + c % 8);
+        if (c == prev) { runs = runs + 1; }
+        prev = c;
+        col = col + 1;
+        if (col == 4) {
+            putchar('\n');
+            col = 0;
+            addr = addr + 4;
+        } else {
+            putchar(' ');
+        }
+    }
+    if (col != 0) { putchar('\n'); }
+    if (runs > 2) { putchar('*'); putchar('\n'); }
+    assert(runs >= 0, "run counter never negative");
+}
+"#;

@@ -1,0 +1,345 @@
+//! Functional tests for the mini-COREUTILS: compilation across input
+//! sizes plus concrete behaviour checks through the interpreter.
+
+use symmerge_ir::interp::{ExecOutcome, InputMap, Interp};
+use symmerge_workloads::{all, by_name, InputConfig};
+
+fn run_with(name: &str, cfg: InputConfig, inputs: InputMap) -> String {
+    let p = by_name(name).unwrap().program(&cfg);
+    let r = Interp::new(&p, inputs).with_max_steps(2_000_000).run();
+    assert_eq!(r.outcome, ExecOutcome::Halted, "{name}: {:?}", r.outcome);
+    r.output_string()
+}
+
+fn argv(cells: &[(usize, char)]) -> InputMap {
+    let mut m = InputMap::new();
+    for &(i, c) in cells {
+        m.set_cell("argv", i, c as u64);
+    }
+    m
+}
+
+fn stdin(text: &str) -> InputMap {
+    let mut m = InputMap::new();
+    for (i, c) in text.chars().enumerate() {
+        m.set_cell("stdin", i, c as u64);
+    }
+    m
+}
+
+#[test]
+fn every_workload_compiles_at_several_sizes() {
+    let configs = [
+        InputConfig { n_args: 0, arg_len: 1, stdin_len: 0 },
+        InputConfig::args(1, 1),
+        InputConfig::args(2, 3),
+        InputConfig::stdin(5),
+        InputConfig { n_args: 2, arg_len: 2, stdin_len: 4 },
+    ];
+    for w in all() {
+        for cfg in &configs {
+            let p = w.program(cfg);
+            assert!(p.validate().is_ok(), "{} at {cfg:?}", w.name);
+        }
+    }
+}
+
+#[test]
+fn zero_inputs_run_concretely_without_failures() {
+    for w in all() {
+        let cfg = w.default_config();
+        let p = w.program(&cfg);
+        let r = Interp::new(&p, InputMap::new()).with_max_steps(2_000_000).run();
+        assert_eq!(
+            r.outcome,
+            ExecOutcome::Halted,
+            "{} on zero input ended {:?} after {} steps",
+            w.name,
+            r.outcome,
+            r.steps
+        );
+    }
+}
+
+#[test]
+fn echo_prints_its_arguments() {
+    // stride = 3: arg0 cells 0..2, arg1 cells 3..5.
+    let out = run_with(
+        "echo",
+        InputConfig::args(2, 2),
+        argv(&[(0, 'h'), (1, 'i'), (3, 'y'), (4, 'o')]),
+    );
+    assert_eq!(out, "hi yo\n");
+}
+
+#[test]
+fn echo_dash_n_suppresses_newline() {
+    let out = run_with("echo", InputConfig::args(2, 2), argv(&[(0, '-'), (1, 'n'), (3, 'x')]));
+    assert_eq!(out, "x");
+}
+
+#[test]
+fn seq_prints_bounded_sequence() {
+    let out = run_with("seq", InputConfig::args(1, 1), argv(&[(0, '3')]));
+    assert_eq!(out, "1\n2\n3\n");
+    let out = run_with("seq", InputConfig::args(2, 1), argv(&[(0, '2'), (2, '4')]));
+    assert_eq!(out, "2\n3\n4\n");
+}
+
+#[test]
+fn seq_rejects_non_numeric() {
+    let out = run_with("seq", InputConfig::args(1, 1), argv(&[(0, 'x')]));
+    assert_eq!(out, "?");
+}
+
+#[test]
+fn join_prints_common_chars() {
+    let out = run_with("join", InputConfig::args(2, 3), argv(&[
+        (0, 'a'), (1, 'b'), (2, 'c'),
+        (4, 'b'), (5, 'x'), (6, 'a'),
+    ]));
+    assert_eq!(out, "ab");
+}
+
+#[test]
+fn tsort_orders_a_dag_and_flags_cycles() {
+    let out = run_with("tsort", InputConfig::stdin(4), stdin("abbc"));
+    let (pa, pb, pc) = (out.find('a').unwrap(), out.find('b').unwrap(), out.find('c').unwrap());
+    assert!(pa < pb && pb < pc, "bad order: {out}");
+    let out = run_with("tsort", InputConfig::stdin(4), stdin("abba"));
+    assert!(out.contains('!'), "cycle must be flagged: {out}");
+}
+
+#[test]
+fn link_diagnoses_arity_and_equal_names() {
+    let out = run_with("link", InputConfig { n_args: 0, arg_len: 2, stdin_len: 0 }, InputMap::new());
+    assert!(out.starts_with("mis"));
+    let out = run_with("link", InputConfig::args(1, 2), InputMap::new());
+    assert!(out.starts_with("opr"));
+    // Two all-NUL args compare equal.
+    let out = run_with("link", InputConfig::args(2, 2), InputMap::new());
+    assert!(out.starts_with("sam"));
+    let out = run_with("link", InputConfig::args(2, 2), argv(&[(0, 'a'), (3, 'b')]));
+    assert!(out.starts_with("ok"));
+}
+
+#[test]
+fn nice_parses_adjustment() {
+    let out = run_with(
+        "nice",
+        InputConfig::args(3, 2),
+        argv(&[(0, '-'), (1, 'n'), (3, '5'), (6, 'c'), (7, 'm')]),
+    );
+    assert_eq!(out, "cm \n");
+    // Non-numeric adjustment rejected.
+    let out = run_with("nice", InputConfig::args(2, 2), argv(&[(0, '-'), (1, 'n'), (3, 'q')]));
+    assert_eq!(out, "!");
+}
+
+#[test]
+fn basename_strips_directories_and_suffix() {
+    // "a/bc" → "bc"
+    let out = run_with(
+        "basename",
+        InputConfig::args(1, 4),
+        argv(&[(0, 'a'), (1, '/'), (2, 'b'), (3, 'c')]),
+    );
+    assert_eq!(out, "bc\n");
+    // "abc" with suffix "c" → "ab"
+    let out = run_with(
+        "basename",
+        InputConfig::args(2, 3),
+        argv(&[(0, 'a'), (1, 'b'), (2, 'c'), (4, 'c')]),
+    );
+    assert_eq!(out, "ab\n");
+}
+
+#[test]
+fn sleep_validates_and_sums() {
+    let out = run_with("sleep", InputConfig::args(2, 1), argv(&[(0, '2'), (2, '3')]));
+    assert_eq!(out, ".....\n");
+    let out = run_with("sleep", InputConfig::args(1, 2), argv(&[(0, 'z')]));
+    assert_eq!(out, "!");
+}
+
+#[test]
+fn wc_counts_lines_words_bytes() {
+    let out = run_with("wc", InputConfig::stdin(6), stdin("a b\nc"));
+    assert_eq!(out, "1 3 5\n");
+}
+
+#[test]
+fn cat_numbers_lines_with_flag() {
+    let out = run_with(
+        "cat",
+        InputConfig { n_args: 1, arg_len: 2, stdin_len: 4 },
+        {
+            let mut m = argv(&[(0, '-'), (1, 'n')]);
+            for (i, c) in "x\ny".chars().enumerate() {
+                m.set_cell("stdin", i, c as u64);
+            }
+            m
+        },
+    );
+    assert_eq!(out, "1\tx\n2\ty");
+}
+
+#[test]
+fn head_limits_lines() {
+    let out = run_with(
+        "head",
+        InputConfig { n_args: 1, arg_len: 1, stdin_len: 6 },
+        {
+            let mut m = argv(&[(0, '1')]);
+            for (i, c) in "ab\ncd".chars().enumerate() {
+                m.set_cell("stdin", i, c as u64);
+            }
+            m
+        },
+    );
+    assert_eq!(out, "ab\n");
+}
+
+#[test]
+fn cut_selects_positions() {
+    let out = run_with(
+        "cut",
+        InputConfig::args(2, 3),
+        argv(&[(0, '3'), (1, '1'), (4, 'x'), (5, 'y'), (6, 'z')]),
+    );
+    assert_eq!(out, "zx\n");
+}
+
+#[test]
+fn comm_three_way_comparison() {
+    let out = run_with("comm", InputConfig::args(2, 2), argv(&[(0, 'a'), (1, 'c'), (3, 'b'), (4, 'c')]));
+    assert_eq!(out, "<a>b=c\n");
+}
+
+#[test]
+fn fold_wraps_at_width() {
+    let out = run_with(
+        "fold",
+        InputConfig { n_args: 1, arg_len: 1, stdin_len: 5 },
+        {
+            let mut m = argv(&[(0, '2')]);
+            for (i, c) in "abcde".chars().enumerate() {
+                m.set_cell("stdin", i, c as u64);
+            }
+            m
+        },
+    );
+    assert_eq!(out, "ab\ncd\ne");
+}
+
+#[test]
+fn dirname_extracts_directory() {
+    let out = run_with("dirname", InputConfig::args(1, 4), argv(&[(0, 'a'), (1, '/'), (2, 'b')]));
+    assert_eq!(out, "a\n");
+    let out = run_with("dirname", InputConfig::args(1, 2), argv(&[(0, 'x')]));
+    assert_eq!(out, ".\n");
+}
+
+#[test]
+fn tr_translates_positionally() {
+    let out = run_with(
+        "tr",
+        InputConfig { n_args: 2, arg_len: 2, stdin_len: 3 },
+        {
+            let mut m = argv(&[(0, 'a'), (3, 'x')]);
+            for (i, c) in "aba".chars().enumerate() {
+                m.set_cell("stdin", i, c as u64);
+            }
+            m
+        },
+    );
+    assert_eq!(out, "xbx");
+}
+
+#[test]
+fn uniq_collapses_runs() {
+    let out = run_with("uniq", InputConfig { n_args: 0, arg_len: 1, stdin_len: 5 }, stdin("aabbb"));
+    assert_eq!(out, "ab\n");
+    let out = run_with(
+        "uniq",
+        InputConfig { n_args: 1, arg_len: 2, stdin_len: 5 },
+        {
+            let mut m = argv(&[(0, '-'), (1, 'c')]);
+            for (i, c) in "aabbb".chars().enumerate() {
+                m.set_cell("stdin", i, c as u64);
+            }
+            m
+        },
+    );
+    assert_eq!(out, "2a3b\n");
+}
+
+#[test]
+fn rev_reverses() {
+    let out = run_with("rev", InputConfig::stdin(3), stdin("abc"));
+    assert_eq!(out, "cba\n");
+}
+
+#[test]
+fn expand_converts_tabs() {
+    let out = run_with("expand", InputConfig::stdin(3), stdin("a\tb"));
+    assert_eq!(out, "a   b");
+}
+
+#[test]
+fn test_util_evaluates_conditions() {
+    // -z "" → true (prints 0)
+    let out = run_with("test", InputConfig::args(2, 2), argv(&[(0, '-'), (1, 'z')]));
+    assert_eq!(out, "0\n");
+    // "a" = "a" → true
+    let out = run_with(
+        "test",
+        InputConfig::args(3, 1),
+        argv(&[(0, 'a'), (2, '='), (4, 'a')]),
+    );
+    assert_eq!(out, "0\n");
+    // "a" ! "b" → true (stand-in for !=)
+    let out = run_with(
+        "test",
+        InputConfig::args(3, 1),
+        argv(&[(0, 'a'), (2, '!'), (4, 'b')]),
+    );
+    assert_eq!(out, "0\n");
+}
+
+#[test]
+fn names_are_unique_and_lookup_works() {
+    let ws = all();
+    let mut names: Vec<&str> = ws.iter().map(|w| w.name).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), ws.len());
+    assert!(by_name("echo").is_some());
+    assert!(by_name("frobnicate").is_none());
+}
+
+#[test]
+fn symbolic_byte_count_matches_config() {
+    let cfg = InputConfig { n_args: 2, arg_len: 3, stdin_len: 4 };
+    assert_eq!(cfg.symbolic_bytes(), 10);
+}
+
+#[test]
+fn cksum_classifies_input() {
+    // All-high bytes → 'A'; all-low → 'a'; empty → "emp".
+    let out = run_with("cksum", InputConfig::stdin(3), stdin("zzz"));
+    assert!(out.contains('A'), "{out}");
+    let out = run_with("cksum", InputConfig::stdin(3), stdin("***"));
+    assert!(out.contains('a'), "{out}");
+    let out = run_with("cksum", InputConfig::stdin(2), InputMap::new());
+    assert!(out.contains("emp"), "{out}");
+}
+
+#[test]
+fn od_dumps_octal_with_addresses() {
+    let out = run_with("od", InputConfig::stdin(5), stdin("AAAAA"));
+    // 'A' = 65 = 0o101; five repeats → the '*' trailer fires.
+    assert!(out.contains("101"), "{out}");
+    assert!(out.contains('*'), "{out}");
+    assert!(out.starts_with("0:"), "{out}");
+}

@@ -1,0 +1,160 @@
+//! Cross-crate soundness tests: merging must change *performance*, never
+//! *results* (DESIGN.md invariants 1, 3, 4). These exercise MiniC →
+//! IR → QCE → engine → solver → test generation → concrete replay.
+
+use symmerge::prelude::*;
+use symmerge::workloads::by_name;
+
+/// Runs a workload exhaustively under a merge mode.
+fn run(name: &str, cfg: InputConfig, mode: MergeMode, alpha: f64) -> (RunReport, Program) {
+    let program = by_name(name).unwrap().program(&cfg);
+    let report = Engine::builder(program.clone())
+        .merging(mode)
+        .qce(QceConfig { alpha, ..QceConfig::default() })
+        .seed(7)
+        .build()
+        .unwrap()
+        .run();
+    assert!(!report.hit_budget, "{name} must explore exhaustively");
+    (report, program)
+}
+
+fn failure_msgs(r: &RunReport) -> Vec<String> {
+    let mut v: Vec<String> = r.assert_failures.iter().map(|f| f.msg.clone()).collect();
+    v.sort();
+    v.dedup();
+    v
+}
+
+#[test]
+fn merging_preserves_path_counts_and_coverage() {
+    for (name, cfg) in [
+        ("echo", InputConfig::args(2, 2)),
+        ("link", InputConfig::args(2, 2)),
+        ("sleep", InputConfig::args(2, 1)),
+        ("cut", InputConfig::args(2, 2)),
+    ] {
+        let (base, _) = run(name, cfg, MergeMode::None, 1e-12);
+        for mode in [MergeMode::Static, MergeMode::Dynamic] {
+            let (merged, _) = run(name, cfg, mode, 1e-12);
+            // Multiplicity over-approximates but never loses paths (§5.2).
+            assert!(
+                merged.completed_multiplicity >= base.completed_paths as f64,
+                "{name} {mode:?}: multiplicity {} < exact paths {}",
+                merged.completed_multiplicity,
+                base.completed_paths
+            );
+            // Merging cannot *increase* the number of completed states.
+            assert!(
+                merged.completed_paths <= base.completed_paths,
+                "{name} {mode:?}: more completed states with merging"
+            );
+            // Exhaustive exploration covers the same blocks.
+            assert_eq!(
+                merged.covered_blocks, base.covered_blocks,
+                "{name} {mode:?}: coverage differs"
+            );
+        }
+    }
+}
+
+#[test]
+fn merging_preserves_assertion_verdicts() {
+    // wc and tsort carry internal assertions; they must hold in all modes.
+    for (name, cfg) in [
+        ("wc", InputConfig::stdin(3)),
+        ("tsort", InputConfig::stdin(2)),
+    ] {
+        let (base, _) = run(name, cfg, MergeMode::None, 1e-12);
+        assert!(failure_msgs(&base).is_empty(), "{name} baseline found spurious bugs");
+        for mode in [MergeMode::Static, MergeMode::Dynamic] {
+            let (merged, _) = run(name, cfg, mode, 1e-12);
+            assert!(
+                failure_msgs(&merged).is_empty(),
+                "{name} {mode:?} fabricated failures: {:?}",
+                failure_msgs(&merged)
+            );
+        }
+    }
+}
+
+#[test]
+fn injected_bug_found_in_every_mode_and_alpha() {
+    let src = r#"
+        fn main() {
+            let a = sym_int("a");
+            let b = sym_int("b");
+            let mode = 0;
+            if (a == 'x') { mode = 1; } else { if (a == 'y') { mode = 2; } }
+            let v = 0;
+            if (mode == 1) { v = b + 1; } else { v = b; }
+            assert(v != 77, "v hit 77");
+            putchar(v);
+        }
+    "#;
+    let program = minic::compile_with_width(src, 8).unwrap();
+    for mode in [MergeMode::None, MergeMode::Static, MergeMode::Dynamic] {
+        for alpha in [0.0, 1e-12, 0.5, f64::INFINITY] {
+            let report = Engine::builder(program.clone())
+                .merging(mode)
+                .qce(QceConfig { alpha, ..QceConfig::default() })
+                .build()
+                .unwrap()
+                .run();
+            assert_eq!(
+                failure_msgs(&report),
+                vec!["v hit 77".to_string()],
+                "{mode:?} alpha={alpha} missed (or fabricated) the bug"
+            );
+            // The reproducer must replay to the same assertion.
+            let repro = report
+                .tests
+                .iter()
+                .find(|t| matches!(t.kind, TestKind::AssertFailure { .. }))
+                .expect("reproducer generated");
+            repro.validate(&program).unwrap();
+        }
+    }
+}
+
+#[test]
+fn alpha_changes_cost_not_results() {
+    let cfg = InputConfig::args(2, 2);
+    let program = by_name("echo").unwrap().program(&cfg);
+    let (exact, _) = run("echo", cfg, MergeMode::None, 1e-12);
+    for alpha in [0.0, 1e-12, 0.1, f64::INFINITY] {
+        let report = Engine::builder(program.clone())
+            .merging(MergeMode::Static)
+            .qce(QceConfig { alpha, ..QceConfig::default() })
+            .build()
+            .unwrap()
+            .run();
+        assert!(!report.hit_budget);
+        assert!(failure_msgs(&report).is_empty());
+        // Coverage is invariant; multiplicity may over-approximate
+        // differently per alpha but never drops below the exact count.
+        assert_eq!(report.covered_blocks, exact.covered_blocks, "alpha={alpha} changed coverage");
+        assert!(
+            report.completed_multiplicity >= exact.completed_paths as f64,
+            "alpha={alpha} lost paths"
+        );
+    }
+}
+
+#[test]
+fn deterministic_across_repeat_runs() {
+    let cfg = InputConfig::args(2, 2);
+    for mode in [MergeMode::None, MergeMode::Static, MergeMode::Dynamic] {
+        let go = || {
+            let program = by_name("nice").unwrap().program(&cfg);
+            let r = Engine::builder(program)
+                .merging(mode)
+                .seed(99)
+                .build()
+                .unwrap()
+                .run();
+            (r.completed_paths, r.completed_multiplicity, r.merges, r.steps, r.picks)
+        };
+        assert_eq!(go(), go(), "{mode:?} not deterministic");
+    }
+}
