@@ -23,9 +23,7 @@ fn bench_qce(c: &mut Criterion) {
     for kappa in [1, 10] {
         group.bench_function(format!("echo_kappa{kappa}"), |bch| {
             let p = by_name("echo").unwrap().program(&InputConfig::args(2, 3));
-            bch.iter(|| {
-                black_box(QceAnalysis::run(&p, QceConfig { kappa, ..Default::default() }))
-            })
+            bch.iter(|| black_box(QceAnalysis::run(&p, QceConfig { kappa, ..Default::default() })))
         });
     }
 

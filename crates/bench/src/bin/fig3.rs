@@ -18,16 +18,13 @@ fn main() {
     let sweeps: Vec<(&str, Vec<InputConfig>)> = vec![
         (
             "seq",
-            (1..=4).map(|l| InputConfig::args(1, l)).chain((1..=2).map(|l| InputConfig::args(2, l))).collect(),
+            (1..=4)
+                .map(|l| InputConfig::args(1, l))
+                .chain((1..=2).map(|l| InputConfig::args(2, l)))
+                .collect(),
         ),
-        (
-            "join",
-            (1..=4).map(|l| InputConfig::args(2, l)).collect(),
-        ),
-        (
-            "tsort",
-            (2..=if opts.quick { 4 } else { 6 }).map(InputConfig::stdin).collect(),
-        ),
+        ("join", (1..=4).map(|l| InputConfig::args(2, l)).collect()),
+        ("tsort", (2..=if opts.quick { 4 } else { 6 }).map(InputConfig::stdin).collect()),
     ];
     let mut csv = CsvOut::create("fig3", "tool,symbolic_bytes,exact_paths,multiplicity");
     println!("# Figure 3: exact path count p vs state multiplicity m (log-log)");
@@ -36,11 +33,19 @@ fn main() {
         let w = by_name(tool).unwrap();
         let mut points = Vec::new();
         for cfg in cfgs {
-            let run_opts = RunOpts { budget: Some(opts.budget), seed: opts.seed, alpha: opts.alpha, ..Default::default() };
+            let run_opts = RunOpts {
+                budget: Some(opts.budget),
+                seed: opts.seed,
+                alpha: opts.alpha,
+                ..Default::default()
+            };
             let base = run_workload(&w, &cfg, Setup::Baseline, &run_opts);
             let merged = run_workload(&w, &cfg, Setup::SsmQce, &run_opts);
             if base.hit_budget {
-                println!("{tool:6} {:>5} (baseline timed out; skipping point)", cfg.symbolic_bytes());
+                println!(
+                    "{tool:6} {:>5} (baseline timed out; skipping point)",
+                    cfg.symbolic_bytes()
+                );
                 continue;
             }
             let p = base.completed_paths as f64;

@@ -30,7 +30,12 @@ fn main() {
     let mut ratios: Vec<(String, f64)> = Vec::new();
     for w in all() {
         let cfg = saturating_config(w.kind, opts.quick);
-        let run_opts = RunOpts { budget: Some(opts.budget), seed: opts.seed, alpha: opts.alpha, ..Default::default() };
+        let run_opts = RunOpts {
+            budget: Some(opts.budget),
+            seed: opts.seed,
+            alpha: opts.alpha,
+            ..Default::default()
+        };
         let base = run_workload(&w, &cfg, Setup::Baseline, &run_opts);
         let dsm = run_workload(&w, &cfg, Setup::DsmQce, &run_opts);
         let p_base = (base.completed_paths as f64).max(1.0);
@@ -41,7 +46,8 @@ fn main() {
         ratios.push((w.name.to_string(), ratio));
     }
     let above = ratios.iter().filter(|(_, r)| *r > 1.0).count();
-    let max = ratios.iter().cloned().fold(("-".into(), 0.0f64), |a, b| if b.1 > a.1 { b } else { a });
+    let max =
+        ratios.iter().cloned().fold(("-".into(), 0.0f64), |a, b| if b.1 > a.1 { b } else { a });
     println!(
         "# {above}/{} tools explore more paths with DSM+QCE; max ratio {:.3e} ({})",
         ratios.len(),

@@ -21,14 +21,16 @@ fn main() {
     ];
     let mut csv = CsvOut::create("fig5", "tool,symbolic_bytes,t_baseline_ms,t_ssm_ms,speedup");
     println!("# Figure 5: exhaustive-exploration speedup T_baseline / T_SSM+QCE vs input size");
-    println!(
-        "{:10} {:>6} {:>14} {:>12} {:>10}",
-        "tool", "bytes", "t_baseline", "t_ssm", "speedup"
-    );
+    println!("{:10} {:>6} {:>14} {:>12} {:>10}", "tool", "bytes", "t_baseline", "t_ssm", "speedup");
     for (tool, cfgs) in tools {
         let w = by_name(tool).unwrap();
         for cfg in cfgs {
-            let run_opts = RunOpts { budget: Some(opts.budget), seed: opts.seed, alpha: opts.alpha, ..Default::default() };
+            let run_opts = RunOpts {
+                budget: Some(opts.budget),
+                seed: opts.seed,
+                alpha: opts.alpha,
+                ..Default::default()
+            };
             let t0 = Instant::now();
             let base = run_workload(&w, &cfg, Setup::Baseline, &run_opts);
             let t_base = t0.elapsed();

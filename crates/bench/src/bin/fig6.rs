@@ -16,9 +16,9 @@ fn sweep(kind: InputKind, quick: bool) -> Vec<InputConfig> {
     match kind {
         InputKind::Args => (1..=hi).map(|l| InputConfig::args(2, l)).collect(),
         InputKind::Stdin => (2..=2 * hi).step_by(2).map(InputConfig::stdin).collect(),
-        InputKind::Both => (1..=hi)
-            .map(|l| InputConfig { n_args: 1, arg_len: l, stdin_len: 2 * l })
-            .collect(),
+        InputKind::Both => {
+            (1..=hi).map(|l| InputConfig { n_args: 1, arg_len: l, stdin_len: 2 * l }).collect()
+        }
     }
 }
 
@@ -27,15 +27,17 @@ fn main() {
     let mut csv =
         CsvOut::create("fig6", "tool,symbolic_bytes,t_baseline_ms,t_ssm_ms,baseline_timeout");
     println!("# Figure 6: T_SSM+QCE vs T_baseline scatter (exhaustive; budget {:?})", opts.budget);
-    println!(
-        "{:10} {:>6} {:>14} {:>12}  {}",
-        "tool", "bytes", "t_baseline", "t_ssm", "note"
-    );
+    println!("{:10} {:>6} {:>14} {:>12}  note", "tool", "bytes", "t_baseline", "t_ssm");
     let mut below = 0usize;
     let mut total = 0usize;
     for w in all() {
         for cfg in sweep(w.kind, opts.quick) {
-            let run_opts = RunOpts { budget: Some(opts.budget), seed: opts.seed, alpha: opts.alpha, ..Default::default() };
+            let run_opts = RunOpts {
+                budget: Some(opts.budget),
+                seed: opts.seed,
+                alpha: opts.alpha,
+                ..Default::default()
+            };
             let t0 = Instant::now();
             let base = run_workload(&w, &cfg, Setup::Baseline, &run_opts);
             let t_base = t0.elapsed();

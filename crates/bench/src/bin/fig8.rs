@@ -40,7 +40,12 @@ fn main() {
     let (mut ff_picks_total, mut ff_merged_total) = (0u64, 0u64);
     for w in all() {
         let cfg = big_config(w.kind, opts.quick);
-        let run_opts = RunOpts { budget: Some(opts.budget), seed: opts.seed, alpha: opts.alpha, ..Default::default() };
+        let run_opts = RunOpts {
+            budget: Some(opts.budget),
+            seed: opts.seed,
+            alpha: opts.alpha,
+            ..Default::default()
+        };
         let base = run_workload(&w, &cfg, Setup::Baseline, &run_opts);
         let ssm = run_workload(&w, &cfg, Setup::SsmQce, &run_opts);
         let dsm = run_workload(&w, &cfg, Setup::DsmQce, &run_opts);
@@ -48,7 +53,8 @@ fn main() {
         if !base.hit_budget && !ssm.hit_budget && !dsm.hit_budget {
             continue;
         }
-        let (cb, cs, cd) = (base.coverage() * 100.0, ssm.coverage() * 100.0, dsm.coverage() * 100.0);
+        let (cb, cs, cd) =
+            (base.coverage() * 100.0, ssm.coverage() * 100.0, dsm.coverage() * 100.0);
         let (ds, dd) = (cs - cb, cd - cb);
         ssm_deltas.push(ds);
         dsm_deltas.push(dd);
@@ -64,7 +70,11 @@ fn main() {
         ));
     }
     let avg = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
-    println!("# mean coverage delta: SSM {:+.1} pp, DSM {:+.1} pp", avg(&ssm_deltas), avg(&dsm_deltas));
+    println!(
+        "# mean coverage delta: SSM {:+.1} pp, DSM {:+.1} pp",
+        avg(&ssm_deltas),
+        avg(&dsm_deltas)
+    );
     if ff_picks_total > 0 {
         println!(
             "# fast-forwarded states that merged: {:.0}% (paper §5.5: 69%)",

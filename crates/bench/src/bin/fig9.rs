@@ -16,9 +16,9 @@ fn sweep(kind: InputKind, quick: bool) -> Vec<InputConfig> {
     match kind {
         InputKind::Args => (1..=hi).map(|l| InputConfig::args(2, l)).collect(),
         InputKind::Stdin => (2..=2 * hi).step_by(2).map(InputConfig::stdin).collect(),
-        InputKind::Both => (1..=hi)
-            .map(|l| InputConfig { n_args: 1, arg_len: l, stdin_len: 2 * l })
-            .collect(),
+        InputKind::Both => {
+            (1..=hi).map(|l| InputConfig { n_args: 1, arg_len: l, stdin_len: 2 * l }).collect()
+        }
     }
 }
 
@@ -30,7 +30,12 @@ fn main() {
     let mut ratios = Vec::new();
     for w in all() {
         for cfg in sweep(w.kind, opts.quick) {
-            let run_opts = RunOpts { budget: Some(opts.budget), seed: opts.seed, alpha: opts.alpha, ..Default::default() };
+            let run_opts = RunOpts {
+                budget: Some(opts.budget),
+                seed: opts.seed,
+                alpha: opts.alpha,
+                ..Default::default()
+            };
             let t0 = Instant::now();
             let ssm = run_workload(&w, &cfg, Setup::SsmQce, &run_opts);
             let t_ssm = t0.elapsed();

@@ -6,9 +6,7 @@
 //! rationale and `EXPERIMENTS.md` for recorded outcomes).
 
 use std::time::Duration;
-use symmerge_core::{
-    Budgets, Engine, EngineConfig, MergeMode, QceConfig, RunReport, StrategyKind,
-};
+use symmerge_core::{Budgets, Engine, EngineConfig, MergeMode, QceConfig, RunReport, StrategyKind};
 use symmerge_workloads::{InputConfig, Workload};
 
 /// A named engine setup used across the figure harnesses.
@@ -77,11 +75,7 @@ pub fn config_for(setup: Setup, opts: &RunOpts) -> EngineConfig {
             Setup::DsmQce => StrategyKind::CoverageOptimized,
         },
         qce: QceConfig { alpha: opts.alpha, zeta: opts.zeta, ..QceConfig::default() },
-        budgets: Budgets {
-            max_time: opts.budget,
-            max_steps: opts.max_steps,
-            ..Budgets::default()
-        },
+        budgets: Budgets { max_time: opts.budget, max_steps: opts.max_steps, ..Budgets::default() },
         generate_tests: opts.generate_tests,
         seed: opts.seed,
         ..EngineConfig::default()

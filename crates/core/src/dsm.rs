@@ -94,7 +94,12 @@ impl DsmStrategy {
 
     /// The bounded history a successor of `parent` should inherit:
     /// `pred(·, δ)` = the parent's history plus the parent's own signature.
-    pub fn child_history(&self, parent_hist: &VecDeque<u64>, parent_sig: u64, delta: usize) -> VecDeque<u64> {
+    pub fn child_history(
+        &self,
+        parent_hist: &VecDeque<u64>,
+        parent_sig: u64,
+        delta: usize,
+    ) -> VecDeque<u64> {
         let mut h = parent_hist.clone();
         h.push_back(parent_sig);
         while h.len() > delta {
@@ -109,13 +114,7 @@ impl DsmStrategy {
     }
 
     /// Registers a state with its merge signature and inherited history.
-    pub fn add_with_sig(
-        &mut self,
-        id: StateId,
-        meta: StateMeta,
-        sig: u64,
-        history: VecDeque<u64>,
-    ) {
+    pub fn add_with_sig(&mut self, id: StateId, meta: StateMeta, sig: u64, history: VecDeque<u64>) {
         self.driving.add(id, meta.clone());
         self.metas.insert(id, meta);
         self.cur_sig.insert(id, sig);

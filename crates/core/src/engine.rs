@@ -248,7 +248,7 @@ impl RunReport {
 
 enum Scheduler {
     Plain(Box<dyn Strategy>),
-    Dsm(DsmStrategy),
+    Dsm(Box<DsmStrategy>),
 }
 
 impl Scheduler {
@@ -381,9 +381,10 @@ impl Engine {
         let qce = QceAnalysis::run(&program, config.qce);
         let cfgs: Vec<CfgInfo> = program.functions.iter().map(CfgInfo::analyze).collect();
         let scheduler = match config.merge_mode {
-            MergeMode::Dynamic => {
-                Scheduler::Dsm(DsmStrategy::new(make_strategy(config.strategy), config.dsm))
-            }
+            MergeMode::Dynamic => Scheduler::Dsm(Box::new(DsmStrategy::new(
+                make_strategy(config.strategy),
+                config.dsm,
+            ))),
             _ => Scheduler::Plain(make_strategy(config.strategy)),
         };
         let pool = ExprPool::new(program.width);
@@ -486,8 +487,7 @@ impl Engine {
         if self.config.merge_mode != MergeMode::None {
             let ck = state.control_key();
             let hot = self.hot_set_for(&state);
-            let candidates: Vec<StateId> =
-                self.by_control.get(&ck).cloned().unwrap_or_default();
+            let candidates: Vec<StateId> = self.by_control.get(&ck).cloned().unwrap_or_default();
             for cand_id in candidates {
                 let id = self.fresh_id();
                 let cand = &self.states[&cand_id];
@@ -507,8 +507,7 @@ impl Engine {
                     ),
                 };
                 if similar {
-                    let merged =
-                        merge_states(&mut self.pool, self.config.merge, &state, cand, id);
+                    let merged = merge_states(&mut self.pool, self.config.merge, &state, cand, id);
                     self.merges += 1;
                     if ff || self.ff_active.contains(&cand_id) {
                         self.ff_merged += 1;
@@ -674,11 +673,8 @@ impl Engine {
             };
             self.steps += 1;
             if let Some(failure) = result.failure {
-                let outputs: Vec<symmerge_expr::ExprId> = result
-                    .successors
-                    .first()
-                    .map(|s| s.outputs.clone())
-                    .unwrap_or_default();
+                let outputs: Vec<symmerge_expr::ExprId> =
+                    result.successors.first().map(|s| s.outputs.clone()).unwrap_or_default();
                 self.record_failure(failure, &outputs);
             }
             if let Some((s, completion)) = result.completed {
@@ -809,10 +805,7 @@ mod tests {
                 b.merging(mode).qce(QceConfig { alpha: f64::INFINITY, ..Default::default() })
             });
             let report = e.run();
-            assert!(
-                !report.assert_failures.is_empty(),
-                "{mode:?} lost the assertion failure"
-            );
+            assert!(!report.assert_failures.is_empty(), "{mode:?} lost the assertion failure");
             // The reproducer test must actually trigger the assert.
             let repro = report
                 .tests
@@ -890,8 +883,11 @@ mod tests {
         "#;
         let run = |zeta: Option<f64>| {
             let mut e = engine_for(src, |b| {
-                b.merging(MergeMode::Static)
-                    .qce(QceConfig { alpha: 1e-12, zeta, ..Default::default() })
+                b.merging(MergeMode::Static).qce(QceConfig {
+                    alpha: 1e-12,
+                    zeta,
+                    ..Default::default()
+                })
             });
             e.run()
         };

@@ -4,9 +4,7 @@
 
 use crate::state::{fresh_frame, Slot, State, StateId};
 use symmerge_expr::{ExprId, ExprPool};
-use symmerge_ir::{
-    ArrayRef, BinOp, Instr, Operand, Program, Rvalue, Terminator, UnOp,
-};
+use symmerge_ir::{ArrayRef, BinOp, Instr, Operand, Program, Rvalue, Terminator, UnOp};
 use symmerge_solver::Solver;
 
 /// How a completed path ended.
@@ -217,7 +215,7 @@ impl ExecCtx<'_> {
     }
 
     /// Performs `array[index] = value` on a cell vector.
-    fn write_array(&mut self, cells: &mut Vec<ExprId>, index: ExprId, value: ExprId) {
+    fn write_array(&mut self, cells: &mut [ExprId], index: ExprId, value: ExprId) {
         let w = self.width();
         if let Some(i) = self.pool.as_bv_const(index) {
             if let Some(cell) = cells.get_mut(i as usize) {
@@ -326,9 +324,8 @@ impl ExecCtx<'_> {
                     let label = state.next_sym_name(&name);
                     let len = self.array_cells(&state, array).len();
                     let w = self.width();
-                    let fresh: Vec<ExprId> = (0..len)
-                        .map(|i| self.pool.input(&format!("{label}[{i}]"), w))
-                        .collect();
+                    let fresh: Vec<ExprId> =
+                        (0..len).map(|i| self.pool.input(&format!("{label}[{i}]"), w)).collect();
                     *self.array_cells_mut(&mut state, array) = fresh;
                 }
             }
@@ -529,9 +526,7 @@ mod tests {
 
     #[test]
     fn assert_failure_detected_with_model() {
-        let mut h = Harness::new(
-            r#"fn main() { let x = sym_int("x"); assert(x != 42, "boom"); }"#,
-        );
+        let mut h = Harness::new(r#"fn main() { let x = sym_int("x"); assert(x != 42, "boom"); }"#);
         let (done, failures) = h.run();
         assert_eq!(failures.len(), 1);
         assert_eq!(failures[0].msg, "boom");
@@ -567,9 +562,9 @@ mod tests {
         let (done, _) = h.run();
         // Paths: && short-circuit forks + final completion; at least one
         // completed state must carry a symbolic (ite) output.
-        let symbolic_out = done.iter().any(|(s, _)| {
-            s.outputs.first().is_some_and(|&o| h.pool.depends_on_input(o))
-        });
+        let symbolic_out = done
+            .iter()
+            .any(|(s, _)| s.outputs.first().is_some_and(|&o| h.pool.depends_on_input(o)));
         assert!(symbolic_out, "a[i] with symbolic i must stay symbolic");
     }
 

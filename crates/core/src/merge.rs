@@ -160,9 +160,9 @@ pub fn merge_states(
     let merge_slot = |pool: &mut ExprPool, x: &Slot, y: &Slot| -> Slot {
         match (x, y) {
             (Slot::Int(ex), Slot::Int(ey)) => Slot::Int(merge_expr(pool, *ex, *ey)),
-            (Slot::Array(cx), Slot::Array(cy)) => Slot::Array(
-                cx.iter().zip(cy).map(|(&ex, &ey)| merge_expr(pool, ex, ey)).collect(),
-            ),
+            (Slot::Array(cx), Slot::Array(cy)) => {
+                Slot::Array(cx.iter().zip(cy).map(|(&ex, &ey)| merge_expr(pool, ex, ey)).collect())
+            }
             _ => unreachable!("control-key-equal states share slot shapes"),
         }
     };
@@ -173,27 +173,13 @@ pub fn merge_states(
         .zip(&b.frames)
         .map(|(fa, fb)| {
             let mut f = fa.clone();
-            f.locals = fa
-                .locals
-                .iter()
-                .zip(&fb.locals)
-                .map(|(x, y)| merge_slot(pool, x, y))
-                .collect();
+            f.locals =
+                fa.locals.iter().zip(&fb.locals).map(|(x, y)| merge_slot(pool, x, y)).collect();
             f
         })
         .collect();
-    let globals = a
-        .globals
-        .iter()
-        .zip(&b.globals)
-        .map(|(x, y)| merge_slot(pool, x, y))
-        .collect();
-    let outputs = a
-        .outputs
-        .iter()
-        .zip(&b.outputs)
-        .map(|(&x, &y)| merge_expr(pool, x, y))
-        .collect();
+    let globals = a.globals.iter().zip(&b.globals).map(|(x, y)| merge_slot(pool, x, y)).collect();
+    let outputs = a.outputs.iter().zip(&b.outputs).map(|(&x, &y)| merge_expr(pool, x, y)).collect();
 
     State {
         id,

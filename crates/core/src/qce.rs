@@ -161,11 +161,11 @@ impl QceAnalysis {
     /// own first-round summary.
     pub fn run(program: &Program, config: QceConfig) -> QceAnalysis {
         let cg = CallGraph::analyze(program);
-        let cfgs: Vec<CfgInfo> =
-            program.functions.iter().map(CfgInfo::analyze).collect();
+        let cfgs: Vec<CfgInfo> = program.functions.iter().map(CfgInfo::analyze).collect();
         let mut funcs: Vec<Option<FuncQce>> = (0..program.functions.len()).map(|_| None).collect();
         for scc in &cg.sccs {
-            let rounds = if scc.len() > 1 || scc.iter().any(|&f| cg.is_recursive(f)) { 2 } else { 1 };
+            let rounds =
+                if scc.len() > 1 || scc.iter().any(|&f| cg.is_recursive(f)) { 2 } else { 1 };
             for _ in 0..rounds {
                 for &fid in scc {
                     let fq = analyze_function(program, fid, &cfgs[fid.index()], &funcs, config);
@@ -186,8 +186,7 @@ impl QceAnalysis {
     /// current frame; for non-topmost frames the block is the one
     /// containing the call (the return location).
     pub fn hot_set(&self, program: &Program, stack: &[(FuncId, BlockId)]) -> HotSet {
-        let qt_total: f64 =
-            stack.iter().map(|&(f, b)| self.funcs[f.index()].qt(b)).sum();
+        let qt_total: f64 = stack.iter().map(|&(f, b)| self.funcs[f.index()].qt(b)).sum();
         let threshold = self.config.alpha * qt_total;
         let mut hot = HotSet::default();
         // Frame locals: hot at their own frame's location.
@@ -489,7 +488,13 @@ fn build_taint(
 /// Whether `callee` (or anything it calls, one level) may write global `g`.
 /// Memo-free shallow check; recursion depth bounded by 4.
 fn global_maybe_written(program: &Program, callee: FuncId, g: GlobalId) -> bool {
-    fn go(program: &Program, f: FuncId, g: GlobalId, depth: u32, seen: &mut HashSet<FuncId>) -> bool {
+    fn go(
+        program: &Program,
+        f: FuncId,
+        g: GlobalId,
+        depth: u32,
+        seen: &mut HashSet<FuncId>,
+    ) -> bool {
         if depth == 0 || !seen.insert(f) {
             return false;
         }
@@ -499,10 +504,8 @@ fn global_maybe_written(program: &Program, callee: FuncId, g: GlobalId) -> bool 
                     Instr::SetGlobal { dest, .. } if *dest == g => return true,
                     Instr::Store { array: ArrayRef::Global(ag), .. } if *ag == g => return true,
                     Instr::SymArray { array: ArrayRef::Global(ag), .. } if *ag == g => return true,
-                    Instr::Call { func, .. } => {
-                        if go(program, *func, g, depth - 1, seen) {
-                            return true;
-                        }
+                    Instr::Call { func, .. } if go(program, *func, g, depth - 1, seen) => {
+                        return true;
                     }
                     _ => {}
                 }
@@ -566,8 +569,7 @@ fn analyze_function(
             }
         }
     }
-    let var_index: HashMap<VarKey, usize> =
-        vars.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+    let var_index: HashMap<VarKey, usize> = vars.iter().enumerate().map(|(i, &k)| (k, i)).collect();
     let nv = vars.len();
 
     // 2. Flow-insensitive dependence (the paper's `(ℓ,v) ◁ (ℓ',e)`).
@@ -595,11 +597,7 @@ fn analyze_function(
 
     // Per-branch / per-instruction dependence sets, as dense index sets.
     let deps_of = |seeds: Vec<VarKey>| -> Vec<usize> {
-        taint
-            .sources_of(seeds)
-            .into_iter()
-            .filter_map(|k| var_index.get(&k).copied())
-            .collect()
+        taint.sources_of(seeds).into_iter().filter_map(|k| var_index.get(&k).copied()).collect()
     };
 
     // 3. Per-block direct contributions: (qt, per-var qadd) added by the
@@ -701,10 +699,7 @@ fn analyze_function(
     let qt_entry = entry[0];
     let qadd_param: Vec<f64> = (0..func.num_params)
         .map(|p| {
-            var_index
-                .get(&VarKey::Local(LocalId(p as u32)))
-                .map(|&vi| entry[1 + vi])
-                .unwrap_or(0.0)
+            var_index.get(&VarKey::Local(LocalId(p as u32))).map(|&vi| entry[1 + vi]).unwrap_or(0.0)
         })
         .collect();
     let mut qadd_global = BTreeMap::new();
@@ -897,7 +892,11 @@ mod tests {
                         dest: t0,
                         rvalue: Rvalue::Binary { op: BinOp::Lt, lhs: Local(arg), rhs: Local(argc) },
                     }],
-                    terminator: Branch { cond: Local(t0), then_bb: BlockId(1), else_bb: BlockId(3) },
+                    terminator: Branch {
+                        cond: Local(t0),
+                        then_bb: BlockId(1),
+                        else_bb: BlockId(3),
+                    },
                 },
                 // b1: t1 = arg + i; br (t1) → b2 | b3   (condition depends on arg)
                 Block {
@@ -905,7 +904,11 @@ mod tests {
                         dest: t1,
                         rvalue: Rvalue::Binary { op: BinOp::Add, lhs: Local(arg), rhs: Local(i) },
                     }],
-                    terminator: Branch { cond: Local(t1), then_bb: BlockId(2), else_bb: BlockId(3) },
+                    terminator: Branch {
+                        cond: Local(t1),
+                        then_bb: BlockId(2),
+                        else_bb: BlockId(3),
+                    },
                 },
                 // b2: output; goto b3
                 Block { instrs: vec![Instr::Output(Local(i))], terminator: Goto(BlockId(3)) },
@@ -933,10 +936,8 @@ mod tests {
     fn paper_worked_example() {
         let program = paper_example_program();
         program.validate().unwrap();
-        let qce = QceAnalysis::run(
-            &program,
-            QceConfig { alpha: 0.5, beta: 0.6, kappa: 1, zeta: None },
-        );
+        let qce =
+            QceAnalysis::run(&program, QceConfig { alpha: 0.5, beta: 0.6, kappa: 1, zeta: None });
         let fq = &qce.funcs[0];
         let b0 = BlockId(0);
         let qt = fq.qt(b0);
@@ -972,12 +973,34 @@ mod tests {
         let classify_with = |target: VarKey, class: PairClass| {
             move |_fi: usize, key: VarKey| if key == target { class } else { PairClass::Equal }
         };
-        assert!(qce.similar_full(&program, &stack, 2.0, classify_with(r, PairClass::ConcreteDiffer)));
-        assert!(!qce.similar_full(&program, &stack, 2.0, classify_with(arg, PairClass::ConcreteDiffer)));
-        assert!(!qce.similar_full(&program, &stack, 2.0, classify_with(arg, PairClass::SymbolicDiffer)));
-        assert!(qce.similar_full(&program, &stack, 1.0, classify_with(arg, PairClass::SymbolicDiffer)));
+        assert!(qce.similar_full(
+            &program,
+            &stack,
+            2.0,
+            classify_with(r, PairClass::ConcreteDiffer)
+        ));
+        assert!(!qce.similar_full(
+            &program,
+            &stack,
+            2.0,
+            classify_with(arg, PairClass::ConcreteDiffer)
+        ));
+        assert!(!qce.similar_full(
+            &program,
+            &stack,
+            2.0,
+            classify_with(arg, PairClass::SymbolicDiffer)
+        ));
+        assert!(qce.similar_full(
+            &program,
+            &stack,
+            1.0,
+            classify_with(arg, PairClass::SymbolicDiffer)
+        ));
         // Zero cost (everything equal) always merges, even where Qt = 0.
-        assert!(qce.similar_full(&program, &[(FuncId(0), BlockId(5))], 2.0, |_, _| PairClass::Equal));
+        assert!(
+            qce.similar_full(&program, &[(FuncId(0), BlockId(5))], 2.0, |_, _| PairClass::Equal)
+        );
     }
 
     #[test]
@@ -991,7 +1014,8 @@ mod tests {
         let hot = qce.hot_set(&program, &[(FuncId(0), BlockId(0))]);
         assert!(hot.is_empty());
         // α = 0 ⇒ every variable with any future query is hot.
-        let qce = QceAnalysis::run(&program, QceConfig { alpha: 0.0, beta: 0.6, kappa: 1, zeta: None });
+        let qce =
+            QceAnalysis::run(&program, QceConfig { alpha: 0.0, beta: 0.6, kappa: 1, zeta: None });
         let hot = qce.hot_set(&program, &[(FuncId(0), BlockId(0))]);
         assert!(hot.frame_locals[0].contains(&VarKey::Local(LocalId(0))));
         assert!(hot.frame_locals[0].contains(&VarKey::Local(LocalId(2))));

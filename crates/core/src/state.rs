@@ -3,8 +3,8 @@
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use symmerge_ir::{BlockId, FuncId, LocalId, Program, Ty};
 use symmerge_expr::{ExprId, ExprPool};
+use symmerge_ir::{BlockId, FuncId, LocalId, Program, Ty};
 
 /// A unique, monotonically increasing state identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

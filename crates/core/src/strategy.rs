@@ -350,12 +350,7 @@ mod tests {
     }
 
     fn meta(block: u32, rpo: u32, steps: u64) -> StateMeta {
-        StateMeta {
-            func: FuncId(0),
-            block: BlockId(block),
-            topo: vec![(rpo, 0)],
-            steps,
-        }
+        StateMeta { func: FuncId(0), block: BlockId(block), topo: vec![(rpo, 0)], steps }
     }
 
     #[test]
@@ -399,13 +394,10 @@ mod tests {
         topo.add(StateId(2), meta(2, 2, 0));
         assert_eq!(topo.pick(&mut oracle), Some(StateId(2)));
         // Deeper stack with equal prefix comes first.
-        let shallow = StateMeta { func: FuncId(0), block: BlockId(0), topo: vec![(1, 3)], steps: 0 };
-        let deep = StateMeta {
-            func: FuncId(0),
-            block: BlockId(0),
-            topo: vec![(1, 3), (0, 0)],
-            steps: 0,
-        };
+        let shallow =
+            StateMeta { func: FuncId(0), block: BlockId(0), topo: vec![(1, 3)], steps: 0 };
+        let deep =
+            StateMeta { func: FuncId(0), block: BlockId(0), topo: vec![(1, 3), (0, 0)], steps: 0 };
         assert_eq!(topo_cmp(&deep, &shallow), Ordering::Less);
     }
 
@@ -424,7 +416,8 @@ mod tests {
     #[test]
     fn random_strategy_is_seed_deterministic() {
         let picks = |seed: u64| {
-            let mut oracle = TestOracle { rng: StdRng::seed_from_u64(seed), distances: HashMap::new() };
+            let mut oracle =
+                TestOracle { rng: StdRng::seed_from_u64(seed), distances: HashMap::new() };
             let mut r = RandomSearch::default();
             for i in 0..10 {
                 r.add(StateId(i), meta(0, 0, 0));

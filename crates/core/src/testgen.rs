@@ -50,14 +50,10 @@ impl TestCase {
         syms.extend(pool.collect_inputs_many(outputs));
         syms.sort_unstable();
         syms.dedup();
-        let inputs = syms
-            .iter()
-            .map(|&s| (pool.symbol_name(s).to_owned(), model.value(s)))
-            .collect();
-        let predicted_outputs = outputs
-            .iter()
-            .map(|&o| pool.eval(o, &|s| model.value(s)).as_bv())
-            .collect();
+        let inputs =
+            syms.iter().map(|&s| (pool.symbol_name(s).to_owned(), model.value(s))).collect();
+        let predicted_outputs =
+            outputs.iter().map(|&o| pool.eval(o, &|s| model.value(s)).as_bv()).collect();
         TestCase { inputs, predicted_outputs, kind }
     }
 
@@ -126,10 +122,7 @@ mod tests {
 
     #[test]
     fn validation_detects_wrong_prediction() {
-        let program = minic::compile(
-            r#"fn main() { let x = sym_int("x"); putchar(x); }"#,
-        )
-        .unwrap();
+        let program = minic::compile(r#"fn main() { let x = sym_int("x"); putchar(x); }"#).unwrap();
         let tc = TestCase {
             inputs: vec![("x".into(), 7)],
             predicted_outputs: vec![9],
@@ -140,10 +133,9 @@ mod tests {
 
     #[test]
     fn assert_failure_test_kind_checked() {
-        let program = minic::compile(
-            r#"fn main() { let x = sym_int("x"); assert(x != 3, "boom"); }"#,
-        )
-        .unwrap();
+        let program =
+            minic::compile(r#"fn main() { let x = sym_int("x"); assert(x != 3, "boom"); }"#)
+                .unwrap();
         let tc = TestCase {
             inputs: vec![("x".into(), 3)],
             predicted_outputs: vec![],

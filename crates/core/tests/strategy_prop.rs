@@ -36,17 +36,14 @@ enum Op {
 
 fn ops() -> impl Strategy<Value = Vec<Op>> {
     proptest::collection::vec(
-        prop_oneof![
-            (0u64..40).prop_map(Op::Add),
-            (0u64..40).prop_map(Op::Remove),
-            Just(Op::Pick),
-        ],
+        prop_oneof![(0u64..40).prop_map(Op::Add), (0u64..40).prop_map(Op::Remove), Just(Op::Pick),],
         1..120,
     )
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    // Cases and seed are pinned so CI runs are exactly reproducible.
+    #![proptest_config(ProptestConfig::with_cases(64).seed(0x5EED_C04E))]
 
     /// Under any interleaving: picks return only live (added, not yet
     /// removed/picked) states, never duplicate, and `len` matches the live

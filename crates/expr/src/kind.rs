@@ -41,10 +41,7 @@ pub enum BvBinOp {
 impl BvBinOp {
     /// Whether `op(x, y) == op(y, x)` for all x, y.
     pub fn is_commutative(self) -> bool {
-        matches!(
-            self,
-            BvBinOp::Add | BvBinOp::Mul | BvBinOp::And | BvBinOp::Or | BvBinOp::Xor
-        )
+        matches!(self, BvBinOp::Add | BvBinOp::Mul | BvBinOp::And | BvBinOp::Or | BvBinOp::Xor)
     }
 
     /// The operator's conventional mnemonic (SMT-LIB style).

@@ -354,7 +354,9 @@ impl ExprPool {
         if let Some(r) = self.collapse_cmp_ite(op, rhs, lhs, true) {
             return r;
         }
-        if op == CmpOp::Eq && (self.as_bv_const(lhs).is_some() || (self.as_bv_const(rhs).is_none() && rhs < lhs)) {
+        if op == CmpOp::Eq
+            && (self.as_bv_const(lhs).is_some() || (self.as_bv_const(rhs).is_none() && rhs < lhs))
+        {
             std::mem::swap(&mut lhs, &mut rhs);
         }
         let has_input = self.depends_on_input(lhs) || self.depends_on_input(rhs);
@@ -634,13 +636,10 @@ pub fn eval_bv_binop(op: BvBinOp, a: u64, b: u64, width: u32) -> u64 {
         BvBinOp::Add => m(a.wrapping_add(b)),
         BvBinOp::Sub => m(a.wrapping_sub(b)),
         BvBinOp::Mul => m(a.wrapping_mul(b)),
-        BvBinOp::UDiv => {
-            if b == 0 {
-                mask(u64::MAX, width)
-            } else {
-                m(a / b)
-            }
-        }
+        BvBinOp::UDiv => match a.checked_div(b) {
+            Some(q) => m(q),
+            None => mask(u64::MAX, width),
+        },
         BvBinOp::URem => {
             if b == 0 {
                 a
@@ -789,7 +788,9 @@ mod tests {
         let lt = p.ult(x, y);
         let n = p.not(lt);
         // ¬(x < y) = y <= x
-        assert!(matches!(p.kind(n), ExprKind::Cmp { op: CmpOp::Ule, lhs, rhs } if lhs == y && rhs == x));
+        assert!(
+            matches!(p.kind(n), ExprKind::Cmp { op: CmpOp::Ule, lhs, rhs } if lhs == y && rhs == x)
+        );
         assert_eq!(p.not(n), lt);
     }
 

@@ -89,9 +89,7 @@ impl ExprPool {
     /// Counts the `ite` nodes reachable from `root` — the paper's
     /// `Q_ite`-style cost signal (§3.3), exposed for diagnostics.
     pub fn count_ite(&self, root: ExprId) -> usize {
-        self.postorder(&[root])
-            .filter(|&id| matches!(self.kind(id), ExprKind::Ite { .. }))
-            .count()
+        self.postorder(&[root]).filter(|&id| matches!(self.kind(id), ExprKind::Ite { .. })).count()
     }
 }
 

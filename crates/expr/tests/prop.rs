@@ -62,14 +62,26 @@ fn recipe_strategy() -> impl Strategy<Value = Recipe> {
         (0u8..NUM_INPUTS).prop_map(Recipe::Input),
     ];
     leaf.prop_recursive(4, 64, 3, |inner| {
-        let cond = (cmp_op_strategy(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| {
-            CondRecipe::Cmp(op, Box::new(a), Box::new(b))
-        });
+        let cmp = (cmp_op_strategy(), inner.clone(), inner.clone())
+            .prop_map(|(op, a, b)| CondRecipe::Cmp(op, Box::new(a), Box::new(b)))
+            .boxed();
+        let cond = prop_oneof![
+            cmp.clone(),
+            cmp.clone().prop_map(|c| CondRecipe::Not(Box::new(c))),
+            (cmp.clone(), cmp.clone()).prop_map(|(a, b)| CondRecipe::And(Box::new(a), Box::new(b))),
+            (cmp.clone(), cmp).prop_map(|(a, b)| CondRecipe::Or(Box::new(a), Box::new(b))),
+        ];
         prop_oneof![
-            (bv_op_strategy(), inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| Recipe::Bv(op, Box::new(a), Box::new(b))),
-            (cond, inner.clone(), inner)
-                .prop_map(|(c, a, b)| Recipe::Ite(Box::new(c), Box::new(a), Box::new(b))),
+            (bv_op_strategy(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| Recipe::Bv(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (cond, inner.clone(), inner).prop_map(|(c, a, b)| Recipe::Ite(
+                Box::new(c),
+                Box::new(a),
+                Box::new(b)
+            )),
         ]
     })
 }
@@ -134,13 +146,10 @@ fn eval_recipe(r: &Recipe, env: &[u64]) -> u64 {
                 BvBinOp::Add => m(x.wrapping_add(y)),
                 BvBinOp::Sub => m(x.wrapping_sub(y)),
                 BvBinOp::Mul => m(x.wrapping_mul(y)),
-                BvBinOp::UDiv => {
-                    if y == 0 {
-                        0xffff
-                    } else {
-                        m(x / y)
-                    }
-                }
+                BvBinOp::UDiv => match x.checked_div(y) {
+                    Some(q) => m(q),
+                    None => 0xffff,
+                },
                 BvBinOp::URem => {
                     if y == 0 {
                         x
@@ -234,7 +243,8 @@ fn eval_cond(r: &CondRecipe, env: &[u64]) -> bool {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+    // Cases and seed are pinned so CI runs are exactly reproducible.
+    #![proptest_config(ProptestConfig::with_cases(256).seed(0x5EED_E4B2))]
 
     /// Smart-constructor simplification preserves semantics.
     #[test]

@@ -56,8 +56,7 @@ impl CfgInfo {
     /// Computes all facts for one function.
     pub fn analyze(f: &Function) -> CfgInfo {
         let n = f.blocks.len();
-        let succs: Vec<Vec<BlockId>> =
-            f.blocks.iter().map(|b| b.terminator.successors()).collect();
+        let succs: Vec<Vec<BlockId>> = f.blocks.iter().map(|b| b.terminator.successors()).collect();
         let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
         for (b, ss) in succs.iter().enumerate() {
             for &s in ss {
@@ -314,11 +313,8 @@ fn detect_trip_counts(f: &Function, info: &mut CfgInfo) {
         let Some((op, ivar, bound)) = cmp else { continue };
         // Unique out-of-loop predecessor of the header, holding `i = c0`.
         let body = info.loops[li].body.clone();
-        let outside: Vec<BlockId> = info.preds[header.index()]
-            .iter()
-            .copied()
-            .filter(|p| !body.contains(p))
-            .collect();
+        let outside: Vec<BlockId> =
+            info.preds[header.index()].iter().copied().filter(|p| !body.contains(p)).collect();
         let [pre] = outside.as_slice() else { continue };
         let mut init: Option<i64> = None;
         for instr in &f.blocks[pre.index()].instrs {
@@ -346,11 +342,21 @@ fn detect_trip_counts(f: &Function, info: &mut CfgInfo) {
                 }
                 match instr {
                     Instr::Assign {
-                        rvalue: Rvalue::Binary { op: BinOp::Add, lhs: Operand::Local(l), rhs: Operand::Const(s) },
+                        rvalue:
+                            Rvalue::Binary {
+                                op: BinOp::Add,
+                                lhs: Operand::Local(l),
+                                rhs: Operand::Const(s),
+                            },
                         ..
                     } if *l == ivar && step.is_none() => step = Some(*s),
                     Instr::Assign {
-                        rvalue: Rvalue::Binary { op: BinOp::Sub, lhs: Operand::Local(l), rhs: Operand::Const(s) },
+                        rvalue:
+                            Rvalue::Binary {
+                                op: BinOp::Sub,
+                                lhs: Operand::Local(l),
+                                rhs: Operand::Const(s),
+                            },
                         ..
                     } if *l == ivar && step.is_none() => step = Some(-*s),
                     _ => {
@@ -493,11 +499,8 @@ fn loop_aware_topo(f: &Function, info: &CfgInfo) -> Vec<u32> {
         };
         let mut remaining: BTreeSet<NodeRep> = nodes.clone();
         while !remaining.is_empty() {
-            let ready = remaining
-                .iter()
-                .copied()
-                .filter(|r| indeg[r] == 0)
-                .min_by_key(|&r| (rpo_of(r), r));
+            let ready =
+                remaining.iter().copied().filter(|r| indeg[r] == 0).min_by_key(|&r| (rpo_of(r), r));
             let pick = match ready {
                 Some(r) => r,
                 None => *remaining.iter().min_by_key(|&&r| (rpo_of(r), r)).unwrap(),
@@ -585,8 +588,7 @@ fn tarjan(n: usize, edges: &[Vec<FuncId>]) -> (Vec<Vec<FuncId>>, Vec<usize>) {
         on_stack: bool,
         visited: bool,
     }
-    let mut st =
-        vec![NodeState { index: 0, lowlink: 0, on_stack: false, visited: false }; n];
+    let mut st = vec![NodeState { index: 0, lowlink: 0, on_stack: false, visited: false }; n];
     let mut counter: u32 = 0;
     let mut stack: Vec<u32> = Vec::new();
     let mut sccs: Vec<Vec<FuncId>> = Vec::new();
@@ -738,8 +740,7 @@ mod tests {
         let f = p.func(p.entry);
         assert_eq!(info.loops.len(), 1);
         let body = &info.loops[0].body;
-        let max_body_topo =
-            body.iter().map(|b| info.topo_index[b.index()]).max().unwrap();
+        let max_body_topo = body.iter().map(|b| info.topo_index[b.index()]).max().unwrap();
         // Every block outside the loop that is reachable *after* it must
         // order later than the entire body (this is what plain RPO gets
         // wrong: it places exits before bodies).
@@ -757,8 +758,7 @@ mod tests {
             }
         }
         // Header is the earliest of the loop.
-        let min_body_topo =
-            body.iter().map(|b| info.topo_index[b.index()]).min().unwrap();
+        let min_body_topo = body.iter().map(|b| info.topo_index[b.index()]).min().unwrap();
         assert_eq!(min_body_topo, info.topo_index[header.index()]);
     }
 

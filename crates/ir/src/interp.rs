@@ -190,7 +190,11 @@ impl<'p> Interp<'p> {
                     }
                     Instr::Assume(o) => {
                         if read(*o, frame, &globals, w) == 0 {
-                            return ExecResult { outputs, outcome: ExecOutcome::AssumeViolated, steps };
+                            return ExecResult {
+                                outputs,
+                                outcome: ExecOutcome::AssumeViolated,
+                                steps,
+                            };
                         }
                     }
                     Instr::Assert { cond, msg } => {
@@ -235,7 +239,11 @@ impl<'p> Interp<'p> {
                         stack.pop();
                         match stack.last_mut() {
                             None => {
-                                return ExecResult { outputs, outcome: ExecOutcome::Returned, steps }
+                                return ExecResult {
+                                    outputs,
+                                    outcome: ExecOutcome::Returned,
+                                    steps,
+                                }
                             }
                             Some(caller) => {
                                 if let Some(d) = ret_dest {
@@ -298,7 +306,11 @@ fn array_cells<'a>(a: ArrayRef, frame: &'a Frame, globals: &'a [Slot]) -> &'a [u
     }
 }
 
-fn array_cells_mut<'a>(a: ArrayRef, frame: &'a mut Frame, globals: &'a mut [Slot]) -> &'a mut [u64] {
+fn array_cells_mut<'a>(
+    a: ArrayRef,
+    frame: &'a mut Frame,
+    globals: &'a mut [Slot],
+) -> &'a mut [u64] {
     let slot = match a {
         ArrayRef::Local(l) => &mut frame.locals[l.index()],
         ArrayRef::Global(g) => &mut globals[g.index()],

@@ -252,9 +252,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     bump!();
                 }
                 let word = &src[start..i];
@@ -393,10 +391,7 @@ fn read_char_payload(
         b'\'' => b'\'',
         b'"' => b'"',
         other => {
-            return Err(CompileError::at(
-                pos,
-                format!("unknown escape `\\{}`", other as char),
-            ))
+            return Err(CompileError::at(pos, format!("unknown escape `\\{}`", other as char)))
         }
     })
 }
@@ -413,13 +408,7 @@ mod tests {
     fn lexes_keywords_and_identifiers() {
         assert_eq!(
             toks("fn foo let bar"),
-            vec![
-                Tok::Fn,
-                Tok::Ident("foo".into()),
-                Tok::Let,
-                Tok::Ident("bar".into()),
-                Tok::Eof
-            ]
+            vec![Tok::Fn, Tok::Ident("foo".into()), Tok::Let, Tok::Ident("bar".into()), Tok::Eof]
         );
     }
 
@@ -430,7 +419,10 @@ mod tests {
 
     #[test]
     fn lexes_char_and_string_literals() {
-        assert_eq!(toks("'a' '\\n' '\\0'"), vec![Tok::Int(97), Tok::Int(10), Tok::Int(0), Tok::Eof]);
+        assert_eq!(
+            toks("'a' '\\n' '\\0'"),
+            vec![Tok::Int(97), Tok::Int(10), Tok::Int(0), Tok::Eof]
+        );
         assert_eq!(toks(r#""-n""#), vec![Tok::Str(vec![b'-', b'n']), Tok::Eof]);
         assert_eq!(toks(r#""a\tb""#), vec![Tok::Str(vec![b'a', b'\t', b'b']), Tok::Eof]);
     }

@@ -433,9 +433,7 @@ impl<'a> FnLower<'a> {
     /// the outermost operation.
     fn lower_rvalue(&mut self, e: &Expr) -> Result<Rvalue, CompileError> {
         match e {
-            Expr::Binary(op, lhs, rhs, _pos)
-                if !matches!(op, AstBinOp::LAnd | AstBinOp::LOr) =>
-            {
+            Expr::Binary(op, lhs, rhs, _pos) if !matches!(op, AstBinOp::LAnd | AstBinOp::LOr) => {
                 let a = self.lower_expr(lhs)?;
                 let b = self.lower_expr(rhs)?;
                 Ok(Rvalue::Binary { op: map_binop(*op), lhs: a, rhs: b })
@@ -486,8 +484,12 @@ impl<'a> FnLower<'a> {
                 self.emit(Instr::Assign { dest, rvalue: Rvalue::Unary { op, arg: a } });
                 Ok(Operand::Local(dest))
             }
-            Expr::Binary(AstBinOp::LAnd, lhs, rhs, _pos) => self.lower_short_circuit(lhs, rhs, true),
-            Expr::Binary(AstBinOp::LOr, lhs, rhs, _pos) => self.lower_short_circuit(lhs, rhs, false),
+            Expr::Binary(AstBinOp::LAnd, lhs, rhs, _pos) => {
+                self.lower_short_circuit(lhs, rhs, true)
+            }
+            Expr::Binary(AstBinOp::LOr, lhs, rhs, _pos) => {
+                self.lower_short_circuit(lhs, rhs, false)
+            }
             Expr::Binary(op, lhs, rhs, _pos) => {
                 let a = self.lower_expr(lhs)?;
                 let b = self.lower_expr(rhs)?;
@@ -547,10 +549,8 @@ mod tests {
     #[test]
     fn let_shadows_in_inner_scope() {
         // Inner `let x` shadows; the outer x remains 1 at the assert.
-        let p = compile(
-            "fn main() { let x = 1; { let x = 2; putchar(x); } assert(x == 1); }",
-        )
-        .unwrap();
+        let p =
+            compile("fn main() { let x = 1; { let x = 2; putchar(x); } assert(x == 1); }").unwrap();
         assert!(p.validate().is_ok());
     }
 
@@ -558,11 +558,8 @@ mod tests {
     fn short_circuit_produces_branches() {
         let p = compile("fn main() { let a = 1; let b = 2; let c = a && b; }").unwrap();
         let f = p.func(p.entry);
-        let branches = f
-            .blocks
-            .iter()
-            .filter(|b| matches!(b.terminator, Terminator::Branch { .. }))
-            .count();
+        let branches =
+            f.blocks.iter().filter(|b| matches!(b.terminator, Terminator::Branch { .. })).count();
         assert_eq!(branches, 1, "one && = one branch");
     }
 
@@ -613,13 +610,13 @@ mod tests {
     fn for_loop_shape_for_trip_counts() {
         // The canonical for-loop must place the comparison in the header
         // and the step in a dedicated latch block (cfg tests rely on it).
-        let p = compile("fn main() { for (let i = 0; i < 4; i = i + 1) { putchar(i); } }")
-            .unwrap();
+        let p = compile("fn main() { for (let i = 0; i < 4; i = i + 1) { putchar(i); } }").unwrap();
         let f = p.func(p.entry);
         // Exactly one Branch whose condition is a comparison temp.
-        let has_header = f.blocks.iter().any(|b| {
-            matches!(b.terminator, Terminator::Branch { .. }) && !b.instrs.is_empty()
-        });
+        let has_header = f
+            .blocks
+            .iter()
+            .any(|b| matches!(b.terminator, Terminator::Branch { .. }) && !b.instrs.is_empty());
         assert!(has_header);
     }
 }

@@ -115,9 +115,7 @@ pub fn compile_with_width(src: &str, width: u32) -> Result<Program, CompileError
     let tokens = lexer::lex(src)?;
     let unit = parser::Parser::new(tokens).parse_unit()?;
     let program = lower::lower(&unit, width)?;
-    program
-        .validate()
-        .map_err(|e| CompileError::new(format!("internal lowering bug: {e}")))?;
+    program.validate().map_err(|e| CompileError::new(format!("internal lowering bug: {e}")))?;
     Ok(program)
 }
 

@@ -39,10 +39,7 @@ impl Parser {
             self.bump();
             Ok(())
         } else {
-            Err(CompileError::at(
-                self.here(),
-                format!("expected {want}, found {}", self.peek()),
-            ))
+            Err(CompileError::at(self.here(), format!("expected {want}, found {}", self.peek())))
         }
     }
 
@@ -52,7 +49,9 @@ impl Parser {
                 self.bump();
                 Ok(s)
             }
-            other => Err(CompileError::at(self.here(), format!("expected identifier, found {other}"))),
+            other => {
+                Err(CompileError::at(self.here(), format!("expected identifier, found {other}")))
+            }
         }
     }
 
@@ -353,7 +352,10 @@ impl Parser {
                     if bytes.len() + 1 > n as usize {
                         return Err(CompileError::at(
                             pos,
-                            format!("string of {} bytes (+NUL) does not fit array of {n}", bytes.len()),
+                            format!(
+                                "string of {} bytes (+NUL) does not fit array of {n}",
+                                bytes.len()
+                            ),
                         ));
                     }
                     Some(bytes)

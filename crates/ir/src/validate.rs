@@ -54,8 +54,9 @@ impl Program {
             }
         }
         for (fi, f) in self.functions.iter().enumerate() {
-            self.validate_function(f)
-                .map_err(|e| ValidateError { message: format!("fn {} (#{fi}): {}", f.name, e.message) })?;
+            self.validate_function(f).map_err(|e| ValidateError {
+                message: format!("fn {} (#{fi}): {}", f.name, e.message),
+            })?;
         }
         Ok(())
     }
@@ -165,7 +166,10 @@ impl Program {
                         match self.globals.get(dest.index()) {
                             None => return err(format!("global {} out of range", dest.0)),
                             Some(d) if d.ty != Ty::Int => {
-                                return err(format!("global {} written as scalar but has array type", d.name))
+                                return err(format!(
+                                    "global {} written as scalar but has array type",
+                                    d.name
+                                ))
                             }
                             Some(_) => {}
                         }

@@ -27,7 +27,7 @@ enum E {
     Shr(Box<E>, Box<E>),
     Lt(Box<E>, Box<E>),
     Le(Box<E>, Box<E>),
-    EqE(Box<E>, Box<E>),
+    Equal(Box<E>, Box<E>),
     Neg(Box<E>),
     Not(Box<E>),
     LNot(Box<E>),
@@ -49,7 +49,7 @@ fn expr_strategy() -> impl Strategy<Value = E> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Shr(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Lt(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Le(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::EqE(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Equal(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|a| E::Neg(Box::new(a))),
             inner.clone().prop_map(|a| E::Not(Box::new(a))),
             inner.prop_map(|a| E::LNot(Box::new(a))),
@@ -74,7 +74,7 @@ fn render(e: &E) -> String {
         E::Shr(x, y) => format!("({} >> {})", render(x), render(y)),
         E::Lt(x, y) => format!("({} < {})", render(x), render(y)),
         E::Le(x, y) => format!("({} <= {})", render(x), render(y)),
-        E::EqE(x, y) => format!("({} == {})", render(x), render(y)),
+        E::Equal(x, y) => format!("({} == {})", render(x), render(y)),
         E::Neg(x) => format!("(-{})", render(x)),
         E::Not(x) => format!("(~{})", render(x)),
         E::LNot(x) => format!("(!{})", render(x)),
@@ -102,7 +102,7 @@ fn eval(e: &E, a: u64, b: u64) -> u64 {
         E::Shr(x, y) => eval_bv_binop(Op::AShr, eval(x, a, b), eval(y, a, b), w),
         E::Lt(x, y) => u64::from(eval_cmp(CmpOp::Slt, eval(x, a, b), eval(y, a, b), w)),
         E::Le(x, y) => u64::from(eval_cmp(CmpOp::Sle, eval(x, a, b), eval(y, a, b), w)),
-        E::EqE(x, y) => u64::from(eval_cmp(CmpOp::Eq, eval(x, a, b), eval(y, a, b), w)),
+        E::Equal(x, y) => u64::from(eval_cmp(CmpOp::Eq, eval(x, a, b), eval(y, a, b), w)),
         E::Neg(x) => eval_bv_binop(Op::Sub, 0, eval(x, a, b), w),
         E::Not(x) => eval_bv_binop(Op::Xor, eval(x, a, b), mask(u64::MAX, w), w),
         E::LNot(x) => u64::from(eval(x, a, b) == 0),
@@ -110,7 +110,8 @@ fn eval(e: &E, a: u64, b: u64) -> u64 {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
+    // Cases and seed are pinned so CI runs are exactly reproducible.
+    #![proptest_config(ProptestConfig::with_cases(192).seed(0x5EED_1234))]
 
     /// Frontend + interpreter agree with the reference semantics on random
     /// expressions and inputs.

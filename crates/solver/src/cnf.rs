@@ -340,7 +340,7 @@ mod tests {
         for bits in 0u8..8 {
             let (va, vb, vc) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0);
             let expected_sum = va ^ vb ^ vc;
-            let expected_carry = (va && vb) || (va && vc) || (vb && vc);
+            let expected_carry = (va && vb) || ((va || vb) && vc);
             let mut cnf = Cnf::new();
             let a = cnf.new_lit();
             let b = cnf.new_lit();

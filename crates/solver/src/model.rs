@@ -31,10 +31,7 @@ impl Model {
     /// The value assigned to the symbol with the given name, if any
     /// constraint mentioned it.
     pub fn value_by_name(&self, pool: &ExprPool, name: &str) -> Option<u64> {
-        self.values
-            .iter()
-            .find(|(sym, _)| pool.symbol_name(**sym) == name)
-            .map(|(_, &v)| v)
+        self.values.iter().find(|(sym, _)| pool.symbol_name(**sym) == name).map(|(_, &v)| v)
     }
 
     /// Iterates over the explicitly assigned symbols.

@@ -57,7 +57,7 @@ pub struct SatSolver {
     activity: Vec<f64>,
     var_inc: f64,
     cla_inc: f64,
-    heap: Vec<u32>,    // binary max-heap of variables by activity
+    heap: Vec<u32>,     // binary max-heap of variables by activity
     heap_pos: Vec<i32>, // var -> position in heap, or -1
     phase: Vec<bool>,
     seen: Vec<bool>,
@@ -155,7 +155,12 @@ impl SatSolver {
                 let cref = self.clauses.len() as u32;
                 self.watches[out[0].code()].push(cref);
                 self.watches[out[1].code()].push(cref);
-                self.clauses.push(Clause { lits: out, learnt: false, deleted: false, activity: 0.0 });
+                self.clauses.push(Clause {
+                    lits: out,
+                    learnt: false,
+                    deleted: false,
+                    activity: 0.0,
+                });
             }
         }
     }
@@ -417,7 +422,8 @@ impl SatSolver {
             }
             // Locked clauses (currently a reason) must be kept.
             let l0 = c.lits[0];
-            let locked = self.value(l0) == Some(true) && self.reason[l0.var().index()] == Some(i as u32);
+            let locked =
+                self.value(l0) == Some(true) && self.reason[l0.var().index()] == Some(i as u32);
             if !locked {
                 cands.push(i as u32);
             }
@@ -645,18 +651,18 @@ mod tests {
         let n_pigeons = 4;
         let n_holes = 3;
         let mut vars = vec![vec![]; n_pigeons];
-        for p in 0..n_pigeons {
+        for row in vars.iter_mut() {
             for _ in 0..n_holes {
-                vars[p].push(cnf.new_lit());
+                row.push(cnf.new_lit());
             }
         }
-        for p in 0..n_pigeons {
-            cnf.add_clause(&vars[p]);
+        for row in &vars {
+            cnf.add_clause(row);
         }
         for h in 0..n_holes {
-            for p1 in 0..n_pigeons {
-                for p2 in (p1 + 1)..n_pigeons {
-                    cnf.add_clause(&[!vars[p1][h], !vars[p2][h]]);
+            for (p1, row1) in vars.iter().enumerate() {
+                for row2 in &vars[p1 + 1..] {
+                    cnf.add_clause(&[!row1[h], !row2[h]]);
                 }
             }
         }
@@ -728,18 +734,18 @@ mod tests {
         let n_pigeons = 7;
         let n_holes = 6;
         let mut vars = vec![vec![]; n_pigeons];
-        for p in 0..n_pigeons {
+        for row in vars.iter_mut() {
             for _ in 0..n_holes {
-                vars[p].push(cnf.new_lit());
+                row.push(cnf.new_lit());
             }
         }
-        for p in 0..n_pigeons {
-            cnf.add_clause(&vars[p]);
+        for row in &vars {
+            cnf.add_clause(row);
         }
         for h in 0..n_holes {
-            for p1 in 0..n_pigeons {
-                for p2 in (p1 + 1)..n_pigeons {
-                    cnf.add_clause(&[!vars[p1][h], !vars[p2][h]]);
+            for (p1, row1) in vars.iter().enumerate() {
+                for row2 in &vars[p1 + 1..] {
+                    cnf.add_clause(&[!row1[h], !row2[h]]);
                 }
             }
         }
@@ -751,10 +757,8 @@ mod tests {
 
     #[test]
     fn stats_are_populated() {
-        let (cnf, _) = make(
-            5,
-            &[&[1, 2, 3], &[-1, -2], &[-2, -3], &[-1, -3], &[2, 4], &[3, 5], &[-4, -5]],
-        );
+        let (cnf, _) =
+            make(5, &[&[1, 2, 3], &[-1, -2], &[-2, -3], &[-1, -3], &[2, 4], &[3, 5], &[-4, -5]]);
         let mut s = SatSolver::from_cnf(&cnf);
         let _ = s.solve();
         assert!(s.stats().propagations > 0);

@@ -112,7 +112,12 @@ pub struct Solver {
 impl Solver {
     /// Creates a solver with the given configuration.
     pub fn new(config: SolverConfig) -> Self {
-        Solver { config, cache: HashMap::new(), recent_models: Vec::new(), stats: SolverStats::default() }
+        Solver {
+            config,
+            cache: HashMap::new(),
+            recent_models: Vec::new(),
+            stats: SolverStats::default(),
+        }
     }
 
     /// Work counters accumulated so far.
@@ -281,7 +286,7 @@ fn hash_query(set: &[ExprId]) -> u64 {
 fn partition_by_inputs(pool: &ExprPool, set: &[ExprId]) -> Vec<Vec<ExprId>> {
     let n = set.len();
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];

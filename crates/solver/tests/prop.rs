@@ -52,8 +52,11 @@ fn recipe() -> impl Strategy<Value = Recipe> {
     ];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
-            (bv_op(), inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| Recipe::Bv(op, Box::new(a), Box::new(b))),
+            (bv_op(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| Recipe::Bv(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
             (cmp_op(), inner.clone(), inner.clone(), inner.clone(), inner).prop_map(
                 |(op, a, b, t, e)| Recipe::Ite(
                     op,
@@ -89,7 +92,8 @@ fn no_cache_config() -> SolverConfig {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+    // Cases and seed are pinned so CI runs are exactly reproducible.
+    #![proptest_config(ProptestConfig::with_cases(96).seed(0x5EED_501E))]
 
     /// Pinning the inputs to a random environment, the circuit value of a
     /// random expression must equal the evaluator's value (both polarities).

@@ -174,32 +174,162 @@ fn s_print(off) {
 /// All workloads, in a stable order.
 pub fn all() -> Vec<Workload> {
     vec![
-        Workload { name: "echo", description: "print arguments, -n suppresses newline (paper Fig. 1)", kind: InputKind::Args, body: sources::ECHO },
-        Workload { name: "seq", description: "print numeric sequence from argument bounds", kind: InputKind::Args, body: sources::SEQ },
-        Workload { name: "join", description: "join matching fields of two arguments", kind: InputKind::Args, body: sources::JOIN },
-        Workload { name: "tsort", description: "topological sort of edge pairs from stdin", kind: InputKind::Stdin, body: sources::TSORT },
-        Workload { name: "link", description: "two-operand arity/flag diagnosis (paper's top speedup)", kind: InputKind::Args, body: sources::LINK },
-        Workload { name: "nice", description: "parse -n ADJ prefix then echo command", kind: InputKind::Args, body: sources::NICE },
-        Workload { name: "basename", description: "strip directory prefix and optional suffix", kind: InputKind::Args, body: sources::BASENAME },
-        Workload { name: "paste", description: "interleave argument columns, tab-separated", kind: InputKind::Args, body: sources::PASTE },
-        Workload { name: "pr", description: "paginate stdin with line numbers and headers", kind: InputKind::Stdin, body: sources::PR },
-        Workload { name: "sleep", description: "sum numeric args into seconds (paper s5.4 example)", kind: InputKind::Args, body: sources::SLEEP },
-        Workload { name: "wc", description: "count lines, words, bytes of stdin", kind: InputKind::Stdin, body: sources::WC },
-        Workload { name: "cat", description: "copy stdin, -n numbers lines", kind: InputKind::Both, body: sources::CAT },
-        Workload { name: "yes", description: "print first argument repeatedly (bounded)", kind: InputKind::Args, body: sources::YES },
-        Workload { name: "head", description: "first K lines of stdin", kind: InputKind::Both, body: sources::HEAD },
-        Workload { name: "cut", description: "select argument characters by position list", kind: InputKind::Args, body: sources::CUT },
-        Workload { name: "sum", description: "BSD rotating checksum of stdin", kind: InputKind::Stdin, body: sources::SUM },
-        Workload { name: "comm", description: "three-way comparison of two sorted arguments", kind: InputKind::Args, body: sources::COMM },
-        Workload { name: "fold", description: "wrap stdin at a width argument", kind: InputKind::Both, body: sources::FOLD },
-        Workload { name: "dirname", description: "directory part of the first argument", kind: InputKind::Args, body: sources::DIRNAME },
-        Workload { name: "tr", description: "translate stdin chars between argument sets", kind: InputKind::Both, body: sources::TR },
-        Workload { name: "uniq", description: "collapse repeated stdin runs, -c counts", kind: InputKind::Both, body: sources::UNIQ },
-        Workload { name: "rev", description: "reverse stdin", kind: InputKind::Stdin, body: sources::REV },
-        Workload { name: "expand", description: "tabs to 4-column space stops", kind: InputKind::Stdin, body: sources::EXPAND },
-        Workload { name: "test", description: "shell conditional: -z/-n/=/!", kind: InputKind::Args, body: sources::TEST_UTIL },
-        Workload { name: "cksum", description: "parity-branching checksum (depth-gated trailer)", kind: InputKind::Stdin, body: sources::CKSUM },
-        Workload { name: "od", description: "octal dump state machine (depth-gated trailer)", kind: InputKind::Stdin, body: sources::OD },
+        Workload {
+            name: "echo",
+            description: "print arguments, -n suppresses newline (paper Fig. 1)",
+            kind: InputKind::Args,
+            body: sources::ECHO,
+        },
+        Workload {
+            name: "seq",
+            description: "print numeric sequence from argument bounds",
+            kind: InputKind::Args,
+            body: sources::SEQ,
+        },
+        Workload {
+            name: "join",
+            description: "join matching fields of two arguments",
+            kind: InputKind::Args,
+            body: sources::JOIN,
+        },
+        Workload {
+            name: "tsort",
+            description: "topological sort of edge pairs from stdin",
+            kind: InputKind::Stdin,
+            body: sources::TSORT,
+        },
+        Workload {
+            name: "link",
+            description: "two-operand arity/flag diagnosis (paper's top speedup)",
+            kind: InputKind::Args,
+            body: sources::LINK,
+        },
+        Workload {
+            name: "nice",
+            description: "parse -n ADJ prefix then echo command",
+            kind: InputKind::Args,
+            body: sources::NICE,
+        },
+        Workload {
+            name: "basename",
+            description: "strip directory prefix and optional suffix",
+            kind: InputKind::Args,
+            body: sources::BASENAME,
+        },
+        Workload {
+            name: "paste",
+            description: "interleave argument columns, tab-separated",
+            kind: InputKind::Args,
+            body: sources::PASTE,
+        },
+        Workload {
+            name: "pr",
+            description: "paginate stdin with line numbers and headers",
+            kind: InputKind::Stdin,
+            body: sources::PR,
+        },
+        Workload {
+            name: "sleep",
+            description: "sum numeric args into seconds (paper s5.4 example)",
+            kind: InputKind::Args,
+            body: sources::SLEEP,
+        },
+        Workload {
+            name: "wc",
+            description: "count lines, words, bytes of stdin",
+            kind: InputKind::Stdin,
+            body: sources::WC,
+        },
+        Workload {
+            name: "cat",
+            description: "copy stdin, -n numbers lines",
+            kind: InputKind::Both,
+            body: sources::CAT,
+        },
+        Workload {
+            name: "yes",
+            description: "print first argument repeatedly (bounded)",
+            kind: InputKind::Args,
+            body: sources::YES,
+        },
+        Workload {
+            name: "head",
+            description: "first K lines of stdin",
+            kind: InputKind::Both,
+            body: sources::HEAD,
+        },
+        Workload {
+            name: "cut",
+            description: "select argument characters by position list",
+            kind: InputKind::Args,
+            body: sources::CUT,
+        },
+        Workload {
+            name: "sum",
+            description: "BSD rotating checksum of stdin",
+            kind: InputKind::Stdin,
+            body: sources::SUM,
+        },
+        Workload {
+            name: "comm",
+            description: "three-way comparison of two sorted arguments",
+            kind: InputKind::Args,
+            body: sources::COMM,
+        },
+        Workload {
+            name: "fold",
+            description: "wrap stdin at a width argument",
+            kind: InputKind::Both,
+            body: sources::FOLD,
+        },
+        Workload {
+            name: "dirname",
+            description: "directory part of the first argument",
+            kind: InputKind::Args,
+            body: sources::DIRNAME,
+        },
+        Workload {
+            name: "tr",
+            description: "translate stdin chars between argument sets",
+            kind: InputKind::Both,
+            body: sources::TR,
+        },
+        Workload {
+            name: "uniq",
+            description: "collapse repeated stdin runs, -c counts",
+            kind: InputKind::Both,
+            body: sources::UNIQ,
+        },
+        Workload {
+            name: "rev",
+            description: "reverse stdin",
+            kind: InputKind::Stdin,
+            body: sources::REV,
+        },
+        Workload {
+            name: "expand",
+            description: "tabs to 4-column space stops",
+            kind: InputKind::Stdin,
+            body: sources::EXPAND,
+        },
+        Workload {
+            name: "test",
+            description: "shell conditional: -z/-n/=/!",
+            kind: InputKind::Args,
+            body: sources::TEST_UTIL,
+        },
+        Workload {
+            name: "cksum",
+            description: "parity-branching checksum (depth-gated trailer)",
+            kind: InputKind::Stdin,
+            body: sources::CKSUM,
+        },
+        Workload {
+            name: "od",
+            description: "octal dump state machine (depth-gated trailer)",
+            kind: InputKind::Stdin,
+            body: sources::OD,
+        },
     ]
 }
 

@@ -64,11 +64,8 @@ fn zero_inputs_run_concretely_without_failures() {
 #[test]
 fn echo_prints_its_arguments() {
     // stride = 3: arg0 cells 0..2, arg1 cells 3..5.
-    let out = run_with(
-        "echo",
-        InputConfig::args(2, 2),
-        argv(&[(0, 'h'), (1, 'i'), (3, 'y'), (4, 'o')]),
-    );
+    let out =
+        run_with("echo", InputConfig::args(2, 2), argv(&[(0, 'h'), (1, 'i'), (3, 'y'), (4, 'o')]));
     assert_eq!(out, "hi yo\n");
 }
 
@@ -94,10 +91,11 @@ fn seq_rejects_non_numeric() {
 
 #[test]
 fn join_prints_common_chars() {
-    let out = run_with("join", InputConfig::args(2, 3), argv(&[
-        (0, 'a'), (1, 'b'), (2, 'c'),
-        (4, 'b'), (5, 'x'), (6, 'a'),
-    ]));
+    let out = run_with(
+        "join",
+        InputConfig::args(2, 3),
+        argv(&[(0, 'a'), (1, 'b'), (2, 'c'), (4, 'b'), (5, 'x'), (6, 'a')]),
+    );
     assert_eq!(out, "ab");
 }
 
@@ -112,7 +110,8 @@ fn tsort_orders_a_dag_and_flags_cycles() {
 
 #[test]
 fn link_diagnoses_arity_and_equal_names() {
-    let out = run_with("link", InputConfig { n_args: 0, arg_len: 2, stdin_len: 0 }, InputMap::new());
+    let out =
+        run_with("link", InputConfig { n_args: 0, arg_len: 2, stdin_len: 0 }, InputMap::new());
     assert!(out.starts_with("mis"));
     let out = run_with("link", InputConfig::args(1, 2), InputMap::new());
     assert!(out.starts_with("opr"));
@@ -170,33 +169,25 @@ fn wc_counts_lines_words_bytes() {
 
 #[test]
 fn cat_numbers_lines_with_flag() {
-    let out = run_with(
-        "cat",
-        InputConfig { n_args: 1, arg_len: 2, stdin_len: 4 },
-        {
-            let mut m = argv(&[(0, '-'), (1, 'n')]);
-            for (i, c) in "x\ny".chars().enumerate() {
-                m.set_cell("stdin", i, c as u64);
-            }
-            m
-        },
-    );
+    let out = run_with("cat", InputConfig { n_args: 1, arg_len: 2, stdin_len: 4 }, {
+        let mut m = argv(&[(0, '-'), (1, 'n')]);
+        for (i, c) in "x\ny".chars().enumerate() {
+            m.set_cell("stdin", i, c as u64);
+        }
+        m
+    });
     assert_eq!(out, "1\tx\n2\ty");
 }
 
 #[test]
 fn head_limits_lines() {
-    let out = run_with(
-        "head",
-        InputConfig { n_args: 1, arg_len: 1, stdin_len: 6 },
-        {
-            let mut m = argv(&[(0, '1')]);
-            for (i, c) in "ab\ncd".chars().enumerate() {
-                m.set_cell("stdin", i, c as u64);
-            }
-            m
-        },
-    );
+    let out = run_with("head", InputConfig { n_args: 1, arg_len: 1, stdin_len: 6 }, {
+        let mut m = argv(&[(0, '1')]);
+        for (i, c) in "ab\ncd".chars().enumerate() {
+            m.set_cell("stdin", i, c as u64);
+        }
+        m
+    });
     assert_eq!(out, "ab\n");
 }
 
@@ -212,23 +203,20 @@ fn cut_selects_positions() {
 
 #[test]
 fn comm_three_way_comparison() {
-    let out = run_with("comm", InputConfig::args(2, 2), argv(&[(0, 'a'), (1, 'c'), (3, 'b'), (4, 'c')]));
+    let out =
+        run_with("comm", InputConfig::args(2, 2), argv(&[(0, 'a'), (1, 'c'), (3, 'b'), (4, 'c')]));
     assert_eq!(out, "<a>b=c\n");
 }
 
 #[test]
 fn fold_wraps_at_width() {
-    let out = run_with(
-        "fold",
-        InputConfig { n_args: 1, arg_len: 1, stdin_len: 5 },
-        {
-            let mut m = argv(&[(0, '2')]);
-            for (i, c) in "abcde".chars().enumerate() {
-                m.set_cell("stdin", i, c as u64);
-            }
-            m
-        },
-    );
+    let out = run_with("fold", InputConfig { n_args: 1, arg_len: 1, stdin_len: 5 }, {
+        let mut m = argv(&[(0, '2')]);
+        for (i, c) in "abcde".chars().enumerate() {
+            m.set_cell("stdin", i, c as u64);
+        }
+        m
+    });
     assert_eq!(out, "ab\ncd\ne");
 }
 
@@ -242,17 +230,13 @@ fn dirname_extracts_directory() {
 
 #[test]
 fn tr_translates_positionally() {
-    let out = run_with(
-        "tr",
-        InputConfig { n_args: 2, arg_len: 2, stdin_len: 3 },
-        {
-            let mut m = argv(&[(0, 'a'), (3, 'x')]);
-            for (i, c) in "aba".chars().enumerate() {
-                m.set_cell("stdin", i, c as u64);
-            }
-            m
-        },
-    );
+    let out = run_with("tr", InputConfig { n_args: 2, arg_len: 2, stdin_len: 3 }, {
+        let mut m = argv(&[(0, 'a'), (3, 'x')]);
+        for (i, c) in "aba".chars().enumerate() {
+            m.set_cell("stdin", i, c as u64);
+        }
+        m
+    });
     assert_eq!(out, "xbx");
 }
 
@@ -260,17 +244,13 @@ fn tr_translates_positionally() {
 fn uniq_collapses_runs() {
     let out = run_with("uniq", InputConfig { n_args: 0, arg_len: 1, stdin_len: 5 }, stdin("aabbb"));
     assert_eq!(out, "ab\n");
-    let out = run_with(
-        "uniq",
-        InputConfig { n_args: 1, arg_len: 2, stdin_len: 5 },
-        {
-            let mut m = argv(&[(0, '-'), (1, 'c')]);
-            for (i, c) in "aabbb".chars().enumerate() {
-                m.set_cell("stdin", i, c as u64);
-            }
-            m
-        },
-    );
+    let out = run_with("uniq", InputConfig { n_args: 1, arg_len: 2, stdin_len: 5 }, {
+        let mut m = argv(&[(0, '-'), (1, 'c')]);
+        for (i, c) in "aabbb".chars().enumerate() {
+            m.set_cell("stdin", i, c as u64);
+        }
+        m
+    });
     assert_eq!(out, "2a3b\n");
 }
 
@@ -292,18 +272,10 @@ fn test_util_evaluates_conditions() {
     let out = run_with("test", InputConfig::args(2, 2), argv(&[(0, '-'), (1, 'z')]));
     assert_eq!(out, "0\n");
     // "a" = "a" → true
-    let out = run_with(
-        "test",
-        InputConfig::args(3, 1),
-        argv(&[(0, 'a'), (2, '='), (4, 'a')]),
-    );
+    let out = run_with("test", InputConfig::args(3, 1), argv(&[(0, 'a'), (2, '='), (4, 'a')]));
     assert_eq!(out, "0\n");
     // "a" ! "b" → true (stand-in for !=)
-    let out = run_with(
-        "test",
-        InputConfig::args(3, 1),
-        argv(&[(0, 'a'), (2, '!'), (4, 'b')]),
-    );
+    let out = run_with("test", InputConfig::args(3, 1), argv(&[(0, 'a'), (2, '!'), (4, 'b')]));
     assert_eq!(out, "0\n");
 }
 

@@ -23,15 +23,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = echo.program(&cfg);
 
     // --- the QCE analysis on `run` --------------------------------------
-    let engine = Engine::builder(program.clone())
-        .merging(MergeMode::Static)
-        .build()?;
+    let engine = Engine::builder(program.clone()).merging(MergeMode::Static).build()?;
     let qce = engine.qce();
     let run_fn = program.function_by_name("run").expect("run exists");
     let f = program.func(run_fn);
     let fq = &qce.funcs[run_fn.index()];
-    println!("== QCE at the entry of run() (α = {:.0e}, β = {}, κ = {}) ==",
-        qce.config.alpha, qce.config.beta, qce.config.kappa);
+    println!(
+        "== QCE at the entry of run() (α = {:.0e}, β = {}, κ = {}) ==",
+        qce.config.alpha, qce.config.beta, qce.config.kappa
+    );
     let entry = symmerge::ir::BlockId(0);
     println!("Q_t(entry) = {:.2}", fq.qt(entry));
     for (li, decl) in f.locals.iter().enumerate() {
@@ -51,11 +51,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("static merging + QCE ", MergeMode::Static),
         ("dynamic merging + QCE", MergeMode::Dynamic),
     ] {
-        let report = Engine::builder(program.clone())
-            .merging(mode)
-            .generate_tests(false)
-            .build()?
-            .run();
+        let report =
+            Engine::builder(program.clone()).merging(mode).generate_tests(false).build()?.run();
         println!(
             "{label}: picks={:6}  completed states={:4}  represented paths={:6}  merges={:4}  solver queries={:5}",
             report.picks,

@@ -59,10 +59,7 @@ fn main() {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let budget = Duration::from_millis(1200);
     println!("budget per run: {budget:?}\n");
-    println!(
-        "{:34} {:>10} {:>8} {:>8}",
-        "configuration", "coverage", "merges", "bugs"
-    );
+    println!("{:34} {:>10} {:>8} {:>8}", "configuration", "coverage", "merges", "bugs");
     for (label, mode, strategy) in [
         ("baseline + coverage search", MergeMode::None, StrategyKind::CoverageOptimized),
         ("static merging (topological)", MergeMode::Static, StrategyKind::Topological),

@@ -43,8 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?
         .run();
 
-    println!("explored {} paths ({} after merging; {} merges)",
-        report.completed_multiplicity, report.completed_paths, report.merges);
+    println!(
+        "explored {} paths ({} after merging; {} merges)",
+        report.completed_multiplicity, report.completed_paths, report.merges
+    );
     println!("block coverage: {:.0}%", report.coverage() * 100.0);
     println!("assertion failures: {}", report.assert_failures.len());
 

@@ -49,11 +49,7 @@ impl Args {
     }
 
     fn get(&self, name: &str) -> Option<&str> {
-        self.flags
-            .iter()
-            .rev()
-            .find(|(n, _)| n == name)
-            .and_then(|(_, v)| v.as_deref())
+        self.flags.iter().rev().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
     }
 
     fn has(&self, name: &str) -> bool {
@@ -219,7 +215,7 @@ fn cmd_qce(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_workloads() -> Result<(), String> {
-    println!("{:10} {:6} {}", "name", "input", "description");
+    println!("{:10} {:6} description", "name", "input");
     for w in symmerge::workloads::all() {
         let kind = match w.kind {
             symmerge::workloads::InputKind::Args => "args",

@@ -1,0 +1,206 @@
+//! Shared differential-soundness oracle.
+//!
+//! The paper's core claim is that state merging changes *performance but
+//! never results*. This module makes that claim mechanically checkable:
+//! [`observe`] runs the engine under one `(MergeMode, StrategyKind)`
+//! configuration, replays **every** generated test case through the
+//! concrete interpreter, and condenses the run into an [`Observation`] of
+//! purely observable facts (assertion verdicts, concrete behaviours,
+//! coverage, path counts). [`assert_mode_invariant`] then compares a
+//! merged-mode observation against the unmerged baseline and asserts the
+//! paper's `∼qce`-soundness invariants.
+
+use std::collections::BTreeSet;
+use symmerge::prelude::*;
+use symmerge::workloads::by_name;
+
+/// One concrete behaviour class: how a replay terminated (including the
+/// assertion message, if any) plus the exact output bytes.
+pub type Behavior = (String, Vec<u64>);
+
+/// The observable outcome of one engine run, after concrete replay.
+#[derive(Debug)]
+pub struct Observation {
+    /// Which merge mode produced this run.
+    pub mode: MergeMode,
+    /// Which search strategy drove it.
+    pub strategy: StrategyKind,
+    /// Deduplicated assertion-failure messages the engine reported.
+    pub failure_msgs: BTreeSet<String>,
+    /// Basic blocks covered by exhaustive exploration.
+    pub covered_blocks: usize,
+    /// Completed states (merged states count once).
+    pub completed_paths: u64,
+    /// Sum of completed-state multiplicities (§5.2 path-count proxy).
+    pub completed_multiplicity: f64,
+    /// Behaviour classes discovered by concretely replaying every
+    /// generated test case through `Interp`.
+    pub behaviors: BTreeSet<Behavior>,
+    /// Number of generated test cases.
+    pub num_tests: usize,
+}
+
+impl Observation {
+    /// The termination classes of all replayed behaviours. Unlike raw
+    /// output bytes — which depend on which model the solver picks for a
+    /// path condition, and so may legitimately differ between runs — the
+    /// termination class of a path is fixed, making this set comparable
+    /// across modes and strategies.
+    pub fn termination_classes(&self) -> BTreeSet<String> {
+        self.behaviors.iter().map(|(class, _)| class.clone()).collect()
+    }
+}
+
+fn outcome_class(outcome: &ExecOutcome) -> String {
+    match outcome {
+        ExecOutcome::Halted => "halted".to_string(),
+        ExecOutcome::Returned => "returned".to_string(),
+        ExecOutcome::AssertFailed { msg } => format!("assert:{msg}"),
+        ExecOutcome::AssumeViolated => "assume-violated".to_string(),
+        ExecOutcome::StepLimit => "step-limit".to_string(),
+    }
+}
+
+/// Runs `workload` exhaustively under `(mode, strategy)` and replays every
+/// generated test concretely.
+///
+/// Panics if the run hits a budget (the oracle needs exhaustive
+/// exploration), if any generated test's concrete replay diverges from the
+/// symbolic prediction (the core differential check), or if a replay ends
+/// in a state the engine can never legitimately predict (`assume`
+/// violation or interpreter step limit).
+pub fn observe(
+    workload: &str,
+    cfg: InputConfig,
+    mode: MergeMode,
+    strategy: StrategyKind,
+) -> Observation {
+    let program =
+        by_name(workload).unwrap_or_else(|| panic!("unknown workload {workload}")).program(&cfg);
+    let report = Engine::builder(program.clone())
+        .merging(mode)
+        .strategy(strategy)
+        .qce(QceConfig { alpha: 1e-12, ..QceConfig::default() })
+        .seed(11)
+        .build()
+        .unwrap()
+        .run();
+    assert!(
+        !report.hit_budget,
+        "{workload} {mode:?}/{strategy:?}: oracle requires exhaustive exploration at {cfg:?}"
+    );
+    assert!(
+        !report.tests.is_empty(),
+        "{workload} {mode:?}/{strategy:?}: produced no test cases to replay"
+    );
+
+    let mut behaviors = BTreeSet::new();
+    for (i, test) in report.tests.iter().enumerate() {
+        // Differential check #1: the symbolic prediction (termination
+        // class + output bytes) matches the concrete interpreter exactly.
+        if let Err(e) = test.validate(&program) {
+            panic!(
+                "{workload} {mode:?}/{strategy:?}: test {i} diverged from \
+                 concrete replay: {e}\ninputs: {:?}",
+                test.inputs
+            );
+        }
+        let replay = test.replay(&program);
+        assert!(
+            !matches!(replay.outcome, ExecOutcome::AssumeViolated | ExecOutcome::StepLimit),
+            "{workload} {mode:?}/{strategy:?}: test {i} replayed to {:?}",
+            replay.outcome
+        );
+        behaviors.insert((outcome_class(&replay.outcome), replay.outputs));
+    }
+
+    let mut failure_msgs = BTreeSet::new();
+    for f in &report.assert_failures {
+        failure_msgs.insert(f.msg.clone());
+    }
+    // Differential check #2: the report's failure list and the replayed
+    // failure behaviours must agree — an assertion the engine claims to
+    // have broken must actually break concretely, and vice versa.
+    let replayed_failures: BTreeSet<String> = behaviors
+        .iter()
+        .filter_map(|(class, _)| class.strip_prefix("assert:").map(str::to_string))
+        .collect();
+    assert_eq!(
+        replayed_failures, failure_msgs,
+        "{workload} {mode:?}/{strategy:?}: reported assertion failures and \
+         concretely replayed failures disagree"
+    );
+
+    Observation {
+        mode,
+        strategy,
+        failure_msgs,
+        covered_blocks: report.covered_blocks,
+        completed_paths: report.completed_paths,
+        completed_multiplicity: report.completed_multiplicity,
+        behaviors,
+        num_tests: report.tests.len(),
+    }
+}
+
+/// Asserts the paper's mode-invariance contract between an unmerged
+/// baseline observation and another observation of the same workload.
+pub fn assert_mode_invariant(workload: &str, baseline: &Observation, other: &Observation) {
+    let who = format!(
+        "{workload}: {:?}/{:?} vs baseline {:?}/{:?}",
+        other.mode, other.strategy, baseline.mode, baseline.strategy
+    );
+    // Assertion verdicts are identical in every mode (invariant 1).
+    assert_eq!(other.failure_msgs, baseline.failure_msgs, "{who}: assertion verdicts differ");
+    // Exhaustive exploration covers exactly the same blocks (invariant 2).
+    assert_eq!(other.covered_blocks, baseline.covered_blocks, "{who}: block coverage differs");
+    // Multiplicity never loses paths (§5.2): the merged run's completed
+    // multiplicity accounts for at least every exact baseline path.
+    assert!(
+        other.completed_multiplicity >= baseline.completed_paths as f64,
+        "{who}: multiplicity {} < exact paths {}",
+        other.completed_multiplicity,
+        baseline.completed_paths
+    );
+    // Merging can only fuse states, never mint new ones.
+    assert!(
+        other.completed_paths <= baseline.completed_paths,
+        "{who}: more completed states ({}) than the unmerged baseline ({})",
+        other.completed_paths,
+        baseline.completed_paths
+    );
+    // Every termination class a merged run exhibits is one the unmerged
+    // engine also exhibits: merging must not invent ways for the program
+    // to end. (Raw output bytes are not compared across runs — they
+    // depend on which model the solver picks per path condition; each
+    // run's bytes are instead checked against the concrete interpreter in
+    // `observe`. The reverse inclusion is also deliberately not asserted:
+    // a merged state yields one representative test for the whole
+    // disjunction, so a merged run may sample fewer classes — except for
+    // assertion failures, whose equality `failure_msgs` already pins.)
+    let (base_classes, other_classes) =
+        (baseline.termination_classes(), other.termination_classes());
+    for class in &other_classes {
+        assert!(
+            base_classes.contains(class),
+            "{who}: merged run fabricated termination class {class:?} absent from baseline"
+        );
+    }
+}
+
+/// The unmerged-baseline observation must itself be internally exact:
+/// without merging, multiplicity equals the completed path count and each
+/// completed path yields one test.
+pub fn assert_exact_baseline(workload: &str, baseline: &Observation) {
+    assert_eq!(baseline.mode, MergeMode::None, "{workload}: baseline must be unmerged");
+    assert!(
+        (baseline.completed_multiplicity - baseline.completed_paths as f64).abs() < 1e-9,
+        "{workload}: unmerged multiplicity {} != path count {}",
+        baseline.completed_multiplicity,
+        baseline.completed_paths
+    );
+    assert_eq!(
+        baseline.num_tests, baseline.completed_paths as usize,
+        "{workload}: unmerged run should generate one test per completed path"
+    );
+}

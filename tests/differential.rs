@@ -1,0 +1,111 @@
+//! Cross-layer differential soundness harness.
+//!
+//! For a spread of workloads and every `MergeMode` × search-strategy
+//! combination at small input sizes, this suite runs the symbolic engine,
+//! replays every generated test case through the concrete interpreter
+//! (`common::observe`), and asserts the paper's central invariant — that
+//! `∼qce` state merging is result-preserving — against the unmerged
+//! baseline (`common::assert_mode_invariant`).
+//!
+//! The workload list spans all three input channels (args, stdin, both)
+//! and the sizes are chosen so every configuration explores exhaustively
+//! in well under a second; the point here is breadth of configurations,
+//! not input scale (scale sweeps live in `symmerge-bench`).
+
+mod common;
+
+use common::{assert_exact_baseline, assert_mode_invariant, observe};
+use symmerge::prelude::*;
+
+/// Workloads under differential test: ≥ 8, covering every `InputKind`.
+const WORKLOADS: &[(&str, InputConfig)] = &[
+    ("echo", InputConfig { n_args: 2, arg_len: 2, stdin_len: 0 }),
+    ("link", InputConfig { n_args: 2, arg_len: 2, stdin_len: 0 }),
+    ("sleep", InputConfig { n_args: 2, arg_len: 1, stdin_len: 0 }),
+    ("nice", InputConfig { n_args: 2, arg_len: 2, stdin_len: 0 }),
+    ("basename", InputConfig { n_args: 1, arg_len: 3, stdin_len: 0 }),
+    ("dirname", InputConfig { n_args: 1, arg_len: 3, stdin_len: 0 }),
+    ("cut", InputConfig { n_args: 2, arg_len: 2, stdin_len: 0 }),
+    ("test", InputConfig { n_args: 2, arg_len: 2, stdin_len: 0 }),
+    ("wc", InputConfig { n_args: 0, arg_len: 1, stdin_len: 3 }),
+    ("rev", InputConfig { n_args: 0, arg_len: 1, stdin_len: 3 }),
+    ("sum", InputConfig { n_args: 0, arg_len: 1, stdin_len: 3 }),
+    ("cat", InputConfig { n_args: 1, arg_len: 1, stdin_len: 2 }),
+];
+
+/// The strategies each merge mode is crossed with. `Topological` is the
+/// paper's natural order for static merging but soundness must not depend
+/// on the schedule, so every mode is exercised under every strategy.
+const STRATEGIES: &[StrategyKind] = &[
+    StrategyKind::Bfs,
+    StrategyKind::Dfs,
+    StrategyKind::Random,
+    StrategyKind::CoverageOptimized,
+    StrategyKind::Topological,
+];
+
+fn differential_for(workloads: &[(&str, InputConfig)]) {
+    for &(name, cfg) in workloads {
+        let baseline = observe(name, cfg, MergeMode::None, StrategyKind::Bfs);
+        assert_exact_baseline(name, &baseline);
+        for &strategy in STRATEGIES {
+            for mode in [MergeMode::None, MergeMode::Static, MergeMode::Dynamic] {
+                if mode == MergeMode::None && strategy == StrategyKind::Bfs {
+                    continue; // that's the baseline itself
+                }
+                let obs = observe(name, cfg, mode, strategy);
+                assert_mode_invariant(name, &baseline, &obs);
+            }
+        }
+    }
+}
+
+// The workload matrix is split into a few #[test] functions so the suite
+// parallelizes across the test harness's threads and a failure names the
+// offending group.
+
+#[test]
+fn differential_args_workloads_echo_link_sleep() {
+    differential_for(&WORKLOADS[0..3]);
+}
+
+#[test]
+fn differential_args_workloads_nice_basename_dirname() {
+    differential_for(&WORKLOADS[3..6]);
+}
+
+#[test]
+fn differential_args_workloads_cut_test() {
+    differential_for(&WORKLOADS[6..8]);
+}
+
+#[test]
+fn differential_stdin_workloads() {
+    differential_for(&WORKLOADS[8..11]);
+}
+
+#[test]
+fn differential_mixed_input_workloads() {
+    differential_for(&WORKLOADS[11..]);
+}
+
+/// The baseline itself must not depend on the schedule: unmerged
+/// exploration discovers the same behaviours, verdicts and coverage under
+/// every strategy (it is the ground truth the merged modes are judged
+/// against).
+#[test]
+fn unmerged_baseline_is_strategy_invariant() {
+    for &(name, cfg) in &[WORKLOADS[0], WORKLOADS[8]] {
+        let baseline = observe(name, cfg, MergeMode::None, StrategyKind::Bfs);
+        for &strategy in &STRATEGIES[1..] {
+            let other = observe(name, cfg, MergeMode::None, strategy);
+            assert_eq!(
+                other.termination_classes(),
+                baseline.termination_classes(),
+                "{name}: unmerged {strategy:?} changed the discovered termination classes"
+            );
+            assert_eq!(other.completed_paths, baseline.completed_paths);
+            assert_eq!(other.covered_blocks, baseline.covered_blocks);
+        }
+    }
+}

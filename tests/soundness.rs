@@ -61,10 +61,7 @@ fn merging_preserves_path_counts_and_coverage() {
 #[test]
 fn merging_preserves_assertion_verdicts() {
     // wc and tsort carry internal assertions; they must hold in all modes.
-    for (name, cfg) in [
-        ("wc", InputConfig::stdin(3)),
-        ("tsort", InputConfig::stdin(2)),
-    ] {
+    for (name, cfg) in [("wc", InputConfig::stdin(3)), ("tsort", InputConfig::stdin(2))] {
         let (base, _) = run(name, cfg, MergeMode::None, 1e-12);
         assert!(failure_msgs(&base).is_empty(), "{name} baseline found spurious bugs");
         for mode in [MergeMode::Static, MergeMode::Dynamic] {
@@ -147,14 +144,59 @@ fn deterministic_across_repeat_runs() {
     for mode in [MergeMode::None, MergeMode::Static, MergeMode::Dynamic] {
         let go = || {
             let program = by_name("nice").unwrap().program(&cfg);
-            let r = Engine::builder(program)
-                .merging(mode)
-                .seed(99)
-                .build()
-                .unwrap()
-                .run();
+            let r = Engine::builder(program).merging(mode).seed(99).build().unwrap().run();
             (r.completed_paths, r.completed_multiplicity, r.merges, r.steps, r.picks)
         };
         assert_eq!(go(), go(), "{mode:?} not deterministic");
     }
+}
+
+/// Every test above leans on `!report.hit_budget` to mean "exploration was
+/// exhaustive". Guard that assumption: a budget must actually stop a
+/// path-exploding run *and* be reported via `hit_budget`, so a budget
+/// regression can never silently turn a truncated run into a fake
+/// exhaustive one.
+#[test]
+fn budgets_halt_path_explosion_and_set_hit_budget() {
+    // echo at N=3, L=3 has far too many paths to finish within the budgets
+    // below (the exhaustive runs elsewhere in this file use N=L=2).
+    let big = InputConfig::args(3, 3);
+    let program = by_name("echo").unwrap().program(&big);
+    for mode in [MergeMode::None, MergeMode::Static, MergeMode::Dynamic] {
+        for budgets in [
+            Budgets { max_steps: Some(500), ..Budgets::default() },
+            Budgets { max_picks: Some(20), ..Budgets::default() },
+            Budgets { max_completed: Some(2), ..Budgets::default() },
+        ] {
+            let report = Engine::builder(program.clone())
+                .merging(mode)
+                .budgets(budgets)
+                .build()
+                .unwrap()
+                .run();
+            assert!(
+                report.hit_budget,
+                "{mode:?} {budgets:?}: run on a path-exploding workload claims exhaustiveness"
+            );
+            assert!(
+                report.leftover_states > 0,
+                "{mode:?} {budgets:?}: hit a budget yet left no unexplored states"
+            );
+            // Whatever was explored before the cut must still be sound.
+            for test in &report.tests {
+                test.validate(&program).unwrap();
+            }
+        }
+    }
+    // And the budgeted limits really bound the run (with slack for the
+    // final in-flight state): a budget that is hit must have stopped the
+    // engine near the limit, not merely been recorded after the fact.
+    let report = Engine::builder(program.clone())
+        .merging(MergeMode::None)
+        .max_steps(500)
+        .build()
+        .unwrap()
+        .run();
+    assert!(report.hit_budget);
+    assert!(report.steps < 5_000, "max_steps=500 run executed {} steps", report.steps);
 }

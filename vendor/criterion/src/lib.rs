@@ -1,0 +1,236 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! This workspace builds without network access, so the Criterion API the
+//! benches use — `benchmark_group`, `sample_size`, `bench_function`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, and the
+//! `criterion_group!`/`criterion_main!` macros — is provided here over a
+//! simple wall-clock sampler. It reports min/median/mean per benchmark on
+//! stdout. Statistical analysis, plots and HTML reports are out of scope;
+//! swap the root `Cargo.toml` path entry for the registry crate to get
+//! them back.
+//!
+//! The shim honours the standard harness CLI contract far enough for
+//! `cargo bench` and `cargo test --benches` to work: like real Criterion,
+//! full measurement only happens under `cargo bench` (which passes
+//! `--bench`); without it — e.g. under `cargo test --benches` — or with
+//! an explicit `--test`, each benchmark runs exactly once as a smoke
+//! test. Positional arguments filter benchmarks by substring and unknown
+//! flags are ignored.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup between measurements. The shim
+/// times each batch individually, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs; batches freely.
+    SmallInput,
+    /// Large inputs; smaller batches.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver (a trimmed-down `criterion::Criterion`).
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut bench_mode = false;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => bench_mode = true,
+                other if other.starts_with('-') => {} // ignorable harness flags
+                other => filter = Some(other.to_string()),
+            }
+        }
+        Criterion { filter, test_mode: test_mode || !bench_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 100 }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(self, &id, 100, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size;
+        run_one(self.criterion, &full, samples, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(criterion: &Criterion, id: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(filter) = &criterion.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let samples = if criterion.test_mode { 1 } else { sample_size.max(1) };
+    let mut bencher = Bencher { samples, durations: Vec::new() };
+    f(&mut bencher);
+    let mut d = bencher.durations;
+    if d.is_empty() {
+        println!("{id:<48} (no measurements)");
+        return;
+    }
+    d.sort();
+    let min = d[0];
+    let median = d[d.len() / 2];
+    let mean = d.iter().sum::<Duration>() / d.len() as u32;
+    println!(
+        "{id:<48} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples)",
+        min,
+        median,
+        mean,
+        d.len()
+    );
+}
+
+/// Per-benchmark measurement context handed to the closure.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = routine();
+            self.durations.push(start.elapsed());
+            drop(out);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.durations.push(start.elapsed());
+            drop(out);
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the harness `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let criterion = Criterion { filter: None, test_mode: false };
+        let mut ran = 0usize;
+        run_one(&criterion, "shim/self_test", 5, |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert_eq!(ran, 5);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let criterion = Criterion { filter: Some("other".into()), test_mode: false };
+        let mut ran = 0usize;
+        run_one(&criterion, "shim/self_test", 5, |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert_eq!(ran, 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let criterion = Criterion { filter: None, test_mode: true };
+        let mut setups = 0usize;
+        run_one(&criterion, "shim/batched", 3, |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |x| x * 2,
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 1, "--test mode should run exactly one sample");
+    }
+}

@@ -1,0 +1,218 @@
+//! The [`Strategy`] trait and the combinators the workspace uses.
+
+use crate::test_runner::TestRng;
+use std::rc::Rc;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree or shrinking: a strategy
+/// is just a deterministic function of the test RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves, and
+    /// `recurse` wraps an inner strategy into branch cases. `depth`
+    /// bounds nesting; `_desired_size` and `_expected_branch_size` are
+    /// accepted for API compatibility and ignored (the shim balances
+    /// leaves and branches 1:3 at every level instead).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut strategy = leaf.clone();
+        for _ in 0..depth {
+            let branch = recurse(strategy).boxed();
+            strategy = Union::weighted(vec![(1, leaf.clone()), (3, branch)]).boxed();
+        }
+        strategy
+    }
+
+    /// Erases the strategy type behind a cheaply clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe core of [`Strategy`], used by [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, reference-counted strategy handle.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// Picks one of several strategies (the engine of [`crate::prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union { arms: self.arms.clone(), total_weight: self.total_weight }
+    }
+}
+
+impl<T> Union<T> {
+    /// Uniform choice among `arms`.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        Self::weighted(arms.into_iter().map(|s| (1, s)).collect())
+    }
+
+    /// Weighted choice among `arms`.
+    pub fn weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total_weight = arms.iter().map(|&(w, _)| u64::from(w)).sum();
+        assert!(total_weight > 0, "prop_oneof! needs positive total weight");
+        Union { arms, total_weight }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.next_u64() % self.total_weight;
+        for (weight, arm) in &self.arms {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return arm.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weights summed incorrectly")
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);

@@ -1,0 +1,121 @@
+//! The deterministic test runner behind the [`crate::proptest!`] macro.
+
+use crate::strategy::Strategy;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Per-block configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Base seed mixed into every test's RNG. The effective seed also
+    /// hashes in the test's module path and name, so distinct tests see
+    /// distinct streams even with the same base seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256, seed: 0 }
+    }
+}
+
+impl Config {
+    /// A config running `cases` cases with the default seed.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases, ..Config::default() }
+    }
+
+    /// Pins the base seed (builder style).
+    ///
+    /// This is a shim-only extension: real proptest configures its RNG
+    /// through `Config::rng_seed` / the `PROPTEST_RNG_SEED` env var, not
+    /// a builder. The shim is deterministic even at the default seed —
+    /// case seeds hash the test's path — so `.seed()` exists to make the
+    /// pinning explicit and to let a suite opt into a different stream.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A failed property case; produced by the `prop_assert!` family.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The deterministic RNG strategies draw from (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `test` over `config.cases` generated inputs. Panics (failing the
+/// surrounding `#[test]`) on the first failing case, reporting the case
+/// index, the derived seed, and the generated inputs.
+pub fn run<S, F>(config: Config, name: &str, strategy: &S, mut test: F)
+where
+    S: Strategy,
+    S::Value: std::fmt::Debug,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let base_seed = fnv1a(name) ^ config.seed;
+    for case in 0..config.cases {
+        let case_seed = base_seed.wrapping_add(u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut rng = TestRng::new(case_seed);
+        let value = strategy.generate(&mut rng);
+        let described = format!("{value:?}");
+        let outcome = catch_unwind(AssertUnwindSafe(|| test(value)));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => panic!(
+                "proptest '{name}' failed at case {case}/{} (seed {case_seed:#x}):\n{e}\ninputs: {described}",
+                config.cases
+            ),
+            Err(payload) => {
+                eprintln!(
+                    "proptest '{name}' panicked at case {case}/{} (seed {case_seed:#x})\ninputs: {described}",
+                    config.cases
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+}
