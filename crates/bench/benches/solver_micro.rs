@@ -1,7 +1,8 @@
-//! Solver microbenchmarks: raw bit-blast + CDCL cost, and the effect of
-//! the query cache and independent-constraint slicing (the KLEE-style
+//! Solver microbenchmarks: raw bit-blast + CDCL cost, the effect of the
+//! query cache and independent-constraint slicing (the KLEE-style
 //! optimizations whose absence/presence shifts the paper's absolute
-//! numbers but not its orderings).
+//! numbers but not its orderings), and the incremental prefix-context
+//! path vs per-query re-blasting on branch-query sequences.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -96,6 +97,48 @@ fn bench_solver(c: &mut Criterion) {
                 ..Default::default()
             });
             bch.iter(|| black_box(solver.check(&pool, &cs)))
+        });
+    }
+
+    // Incremental contexts vs re-blast on a shared-prefix branch-query
+    // sequence — the engine's feasibility pattern: the path-condition
+    // prefix stays fixed while one branch conjunct after another is
+    // checked. The incremental path blasts the prefix once and assumes
+    // each conjunct; the re-blast path rebuilds CNF + CDCL per query.
+    for (label, inc) in [("incremental", true), ("reblast", false)] {
+        group.bench_function(format!("branch_sequence_{label}"), |bch| {
+            bch.iter_batched(
+                || {
+                    let mut pool = ExprPool::new(16);
+                    let prefix = parsing_pc(&mut pool, 8);
+                    let extras: Vec<ExprId> = (0..16u8)
+                        .map(|i| {
+                            let b = pool.input(&format!("b{}", i % 8), 16);
+                            let k = pool.bv_const((b'0' + i % 10) as u64, 16);
+                            if i % 2 == 0 {
+                                pool.ugt(b, k)
+                            } else {
+                                pool.ule(b, k)
+                            }
+                        })
+                        .collect();
+                    (pool, prefix, extras)
+                },
+                |(pool, prefix, extras)| {
+                    let mut solver = Solver::new(SolverConfig {
+                        use_cache: false,
+                        use_model_reuse: false,
+                        use_cex_cache: false,
+                        use_independence: false,
+                        use_incremental: inc,
+                        ..Default::default()
+                    });
+                    for &e in &extras {
+                        black_box(solver.check_assuming(&pool, &prefix, e));
+                    }
+                },
+                criterion::BatchSize::SmallInput,
+            )
         });
     }
 

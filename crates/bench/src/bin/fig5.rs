@@ -5,11 +5,24 @@
 //!
 //! Expected shape: the `link` curve grows roughly exponentially with the
 //! number of symbolic bytes; `basename` stays near 1.
+//!
+//! SSM is timed twice: on the incremental solver (persistent prefix
+//! contexts + assumption solving) and on the legacy re-blast path. The
+//! ROADMAP's "SSM slower than baseline on `basename`-style sweeps"
+//! observation was dominated by solver cost on ite-heavy merged queries;
+//! the third column shows how much of that the incremental layer buys
+//! back.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use symmerge_bench::harness::{CsvOut, HarnessOpts};
 use symmerge_bench::{run_workload, RunOpts, Setup};
-use symmerge_workloads::{by_name, InputConfig};
+use symmerge_workloads::{by_name, InputConfig, Workload};
+
+fn timed(w: &Workload, cfg: &InputConfig, setup: Setup, opts: &RunOpts) -> (Duration, bool) {
+    let t0 = Instant::now();
+    let report = run_workload(w, cfg, setup, opts);
+    (t0.elapsed(), report.hit_budget)
+}
 
 fn main() {
     let opts = HarnessOpts::parse(30_000);
@@ -19,9 +32,16 @@ fn main() {
         ("nice", (1..=max_l).map(|l| InputConfig::args(2, l)).collect()),
         ("basename", (1..=max_l + 1).map(|l| InputConfig::args(1, l)).collect()),
     ];
-    let mut csv = CsvOut::create("fig5", "tool,symbolic_bytes,t_baseline_ms,t_ssm_ms,speedup");
+    let mut csv = CsvOut::create(
+        "fig5",
+        "tool,symbolic_bytes,t_baseline_ms,t_ssm_ms,t_ssm_reblast_ms,speedup,speedup_reblast",
+    );
     println!("# Figure 5: exhaustive-exploration speedup T_baseline / T_SSM+QCE vs input size");
-    println!("{:10} {:>6} {:>14} {:>12} {:>10}", "tool", "bytes", "t_baseline", "t_ssm", "speedup");
+    println!("# t_ssm uses the incremental solver; t_ssm_rb re-blasts every query");
+    println!(
+        "{:10} {:>6} {:>14} {:>12} {:>12} {:>10} {:>10}",
+        "tool", "bytes", "t_baseline", "t_ssm", "t_ssm_rb", "speedup", "speedup_rb"
+    );
     for (tool, cfgs) in tools {
         let w = by_name(tool).unwrap();
         for cfg in cfgs {
@@ -31,28 +51,31 @@ fn main() {
                 alpha: opts.alpha,
                 ..Default::default()
             };
-            let t0 = Instant::now();
-            let base = run_workload(&w, &cfg, Setup::Baseline, &run_opts);
-            let t_base = t0.elapsed();
-            let t1 = Instant::now();
-            let ssm = run_workload(&w, &cfg, Setup::SsmQce, &run_opts);
-            let t_ssm = t1.elapsed();
-            let marker = if base.hit_budget { ">=" } else { "  " };
+            let reblast_opts = RunOpts { incremental: false, ..run_opts.clone() };
+            let (t_base, base_hit) = timed(&w, &cfg, Setup::Baseline, &run_opts);
+            let (t_ssm, ssm_hit) = timed(&w, &cfg, Setup::SsmQce, &run_opts);
+            let (t_rb, _) = timed(&w, &cfg, Setup::SsmQce, &reblast_opts);
+            let marker = if base_hit { ">=" } else { "  " };
             let speedup = t_base.as_secs_f64() / t_ssm.as_secs_f64().max(1e-9);
+            let speedup_rb = t_base.as_secs_f64() / t_rb.as_secs_f64().max(1e-9);
             println!(
-                "{tool:10} {:>6} {marker}{:>12.2?} {:>12.2?} {marker}{:>8.2}x{}",
+                "{tool:10} {:>6} {marker}{:>12.2?} {:>12.2?} {:>12.2?} {marker}{:>8.2}x {:>9.2}x{}",
                 cfg.symbolic_bytes(),
                 t_base,
                 t_ssm,
+                t_rb,
                 speedup,
-                if ssm.hit_budget { " (ssm timed out too)" } else { "" },
+                speedup_rb,
+                if ssm_hit { " (ssm timed out too)" } else { "" },
             );
             csv.row(&format!(
-                "{tool},{},{:.3},{:.3},{:.3}",
+                "{tool},{},{:.3},{:.3},{:.3},{:.3},{:.3}",
                 cfg.symbolic_bytes(),
                 t_base.as_secs_f64() * 1e3,
                 t_ssm.as_secs_f64() * 1e3,
-                speedup
+                t_rb.as_secs_f64() * 1e3,
+                speedup,
+                speedup_rb
             ));
         }
     }

@@ -46,6 +46,9 @@ pub struct RunOpts {
     pub seed: u64,
     /// Generate tests? (off for timing runs).
     pub generate_tests: bool,
+    /// Solve branch queries on incremental prefix contexts (`false`
+    /// re-blasts every query, the paper's KLEE + STP scheme).
+    pub incremental: bool,
 }
 
 impl Default for RunOpts {
@@ -57,6 +60,7 @@ impl Default for RunOpts {
             zeta: None,
             seed: 0,
             generate_tests: false,
+            incremental: true,
         }
     }
 }
@@ -76,6 +80,10 @@ pub fn config_for(setup: Setup, opts: &RunOpts) -> EngineConfig {
         },
         qce: QceConfig { alpha: opts.alpha, zeta: opts.zeta, ..QceConfig::default() },
         budgets: Budgets { max_time: opts.budget, max_steps: opts.max_steps, ..Budgets::default() },
+        solver: symmerge_core::SolverConfig {
+            use_incremental: opts.incremental,
+            ..symmerge_core::SolverConfig::default()
+        },
         generate_tests: opts.generate_tests,
         seed: opts.seed,
         ..EngineConfig::default()

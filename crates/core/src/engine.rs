@@ -200,6 +200,11 @@ pub struct RunReport {
     pub assert_failures: Vec<AssertFailure>,
     /// Generated test cases (including assertion-failure reproducers).
     pub tests: Vec<TestCase>,
+    /// Completed paths / failures whose test-generation query came back
+    /// [`SatResult::Unknown`] (solver budget), silently losing the test
+    /// case. Nonzero values mean `tests` under-reports the explored
+    /// behaviours.
+    pub tests_dropped_unknown: u64,
     /// States picked from the worklist.
     pub picks: u64,
     /// Instructions executed.
@@ -286,6 +291,7 @@ pub struct Engine {
     pruned_by_assume: u64,
     assert_failures: Vec<AssertFailure>,
     tests: Vec<TestCase>,
+    tests_dropped_unknown: u64,
     picks: u64,
     steps: u64,
     merges: u64,
@@ -411,6 +417,7 @@ impl Engine {
             pruned_by_assume: 0,
             assert_failures: Vec::new(),
             tests: Vec::new(),
+            tests_dropped_unknown: 0,
             picks: 0,
             steps: 0,
             merges: 0,
@@ -574,28 +581,45 @@ impl Engine {
                 Completion::Returned => TestKind::Returned,
                 Completion::AssumeViolated => unreachable!(),
             };
-            if let SatResult::Sat(model) = self.solver.check(&self.pool, &state.pc) {
-                self.tests.push(TestCase::from_model(
-                    &self.pool,
-                    &model,
-                    &state.pc,
-                    &state.outputs,
-                    kind,
-                ));
+            // The pc was just explored, so the incremental context for it
+            // is typically still warm: query it prefix-shaped.
+            let t = self.pool.true_();
+            match self.solver.check_assuming(&self.pool, &state.pc, t) {
+                SatResult::Sat(model) => {
+                    self.tests.push(TestCase::from_model(
+                        &self.pool,
+                        &model,
+                        &state.pc,
+                        &state.outputs,
+                        kind,
+                    ));
+                }
+                SatResult::Unknown => self.tests_dropped_unknown += 1,
+                SatResult::Unsat => {}
             }
         }
     }
 
     fn record_failure(&mut self, failure: AssertFailure, outputs: &[symmerge_expr::ExprId]) {
         if self.config.generate_tests {
-            if let SatResult::Sat(model) = self.solver.check(&self.pool, &failure.pc) {
-                self.tests.push(TestCase::from_model(
-                    &self.pool,
-                    &model,
-                    &failure.pc,
-                    outputs,
-                    TestKind::AssertFailure { msg: failure.msg.clone() },
-                ));
+            // failure.pc is the state's pc plus the negated assertion. The
+            // state *continues* with the assertion's positive side, so the
+            // negation must be assumed — not asserted — to keep the warm
+            // incremental context reusable for the surviving path.
+            let (prefix, last) = failure.pc.split_at(failure.pc.len().saturating_sub(1));
+            let extra = last.first().copied().unwrap_or_else(|| self.pool.true_());
+            match self.solver.check_assuming(&self.pool, prefix, extra) {
+                SatResult::Sat(model) => {
+                    self.tests.push(TestCase::from_model(
+                        &self.pool,
+                        &model,
+                        &failure.pc,
+                        outputs,
+                        TestKind::AssertFailure { msg: failure.msg.clone() },
+                    ));
+                }
+                SatResult::Unknown => self.tests_dropped_unknown += 1,
+                SatResult::Unsat => {}
             }
         }
         self.assert_failures.push(failure);
@@ -691,6 +715,7 @@ impl Engine {
             pruned_by_assume: self.pruned_by_assume,
             assert_failures: self.assert_failures.clone(),
             tests: self.tests.clone(),
+            tests_dropped_unknown: self.tests_dropped_unknown,
             picks: self.picks,
             steps: self.steps,
             merges: self.merges,
@@ -920,6 +945,41 @@ mod tests {
         assert!(report.hit_budget);
         assert!(report.steps <= 51);
         assert!(report.leftover_states > 0);
+    }
+
+    #[test]
+    fn unknown_test_generation_drops_are_counted() {
+        // x * y == 12345 at 16 bits needs real CDCL search; with a
+        // 1-conflict budget the branch check returns Unknown (explored as
+        // "maybe feasible") and the completion-time test-generation query
+        // returns Unknown again — which used to lose the test case
+        // silently. The else-side (x * y != 12345) is propagation-easy,
+        // so exactly one test survives.
+        let src = r#"
+            fn main() {
+                let x = sym_int("x");
+                let y = sym_int("y");
+                if (x * y == 12345) { putchar(1); } else { putchar(0); }
+            }
+        "#;
+        let program = minic::compile_with_width(src, 16).unwrap();
+        let mut e = Engine::builder(program)
+            .merging(MergeMode::None)
+            .solver(symmerge_solver::SolverConfig { max_conflicts: Some(1), ..Default::default() })
+            .build()
+            .unwrap();
+        let report = e.run();
+        assert_eq!(report.completed_paths, 2);
+        assert!(
+            report.tests_dropped_unknown >= 1,
+            "the hard path's test drop must be counted (tests: {})",
+            report.tests.len()
+        );
+        assert_eq!(
+            report.tests.len() as u64 + report.tests_dropped_unknown,
+            report.completed_paths,
+            "every completed path is either a test or a counted drop"
+        );
     }
 
     #[test]

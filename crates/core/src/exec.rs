@@ -279,9 +279,12 @@ impl ExecCtx<'_> {
                         return out;
                     }
                     if !self.pool.is_true(cond) {
-                        state.pc.push(cond);
                         out.forked = true;
-                        if !self.solver.may_be_sat(self.pool, &state.pc) {
+                        // Prefix-shaped query: the current pc stays blasted
+                        // in the solver's incremental context.
+                        let feasible = self.solver.may_be_sat_assuming(self.pool, &state.pc, cond);
+                        state.pc.push(cond);
+                        if !feasible {
                             out.completed = Some((state, Completion::AssumeViolated));
                             return out;
                         }
@@ -295,10 +298,10 @@ impl ExecCtx<'_> {
                         // Trivially holds.
                     } else {
                         // Does some represented path violate the assertion?
-                        let mut failing_pc = state.pc.clone();
-                        failing_pc.push(bad);
                         out.forked = true;
-                        if self.solver.may_be_sat(self.pool, &failing_pc) {
+                        if self.solver.may_be_sat_assuming(self.pool, &state.pc, bad) {
+                            let mut failing_pc = state.pc.clone();
+                            failing_pc.push(bad);
                             out.failure = Some(AssertFailure {
                                 msg,
                                 loc: (func.0, block.0, instr_idx),
@@ -309,8 +312,9 @@ impl ExecCtx<'_> {
                         if self.pool.is_false(ok) {
                             return out; // no passing path; state dies
                         }
+                        let passes = self.solver.may_be_sat_assuming(self.pool, &state.pc, ok);
                         state.pc.push(ok);
-                        if !self.solver.may_be_sat(self.pool, &state.pc) {
+                        if !passes {
                             return out;
                         }
                     }
@@ -356,15 +360,17 @@ impl ExecCtx<'_> {
                     out.successors.push(state);
                 } else {
                     // Symbolic branch: feasibility-check both sides
-                    // (Algorithm 1's `follow`).
+                    // (Algorithm 1's `follow`). Both queries share the
+                    // state's pc as prefix, so on the incremental path the
+                    // second polarity reuses the first's CNF outright.
                     out.forked = true;
                     let not_c = self.pool.not(c);
+                    let then_ok = self.solver.may_be_sat_assuming(self.pool, &state.pc, c);
+                    let else_ok = self.solver.may_be_sat_assuming(self.pool, &state.pc, not_c);
                     let mut then_pc = state.pc.clone();
                     then_pc.push(c);
-                    let then_ok = self.solver.may_be_sat(self.pool, &then_pc);
                     let mut else_pc = state.pc.clone();
                     else_pc.push(not_c);
-                    let else_ok = self.solver.may_be_sat(self.pool, &else_pc);
                     match (then_ok, else_ok) {
                         (true, true) => {
                             let mut other = state.clone();

@@ -63,4 +63,5 @@ pub use merge::MergeConfig;
 pub use qce::{QceAnalysis, QceConfig, VarKey};
 pub use state::{State, StateId};
 pub use strategy::{Strategy, StrategyKind};
+pub use symmerge_solver::{SolverConfig, SolverStats};
 pub use testgen::{TestCase, TestKind};

@@ -22,19 +22,25 @@ enum Bits {
     Bv(Vec<Lit>), // LSB first
 }
 
-/// Translates expressions from one [`ExprPool`] into a growing [`Cnf`].
-#[derive(Debug)]
-pub struct BitBlaster<'p> {
-    pool: &'p ExprPool,
+/// Translates expressions from an [`ExprPool`] into a growing [`Cnf`].
+///
+/// The blaster does not hold a borrow of the pool — every translating
+/// method takes it as an argument — so a `BitBlaster` can live inside a
+/// persistent [`SolverContext`](crate::SolverContext) across engine steps
+/// that keep extending the pool. The per-[`ExprId`] translation cache
+/// stays valid because pools are append-only: existing ids never change
+/// meaning.
+#[derive(Debug, Default)]
+pub struct BitBlaster {
     cnf: Cnf,
     cache: HashMap<ExprId, Bits>,
     inputs: HashMap<SymbolId, Vec<Lit>>,
 }
 
-impl<'p> BitBlaster<'p> {
-    /// Creates a blaster over the given pool.
-    pub fn new(pool: &'p ExprPool) -> Self {
-        BitBlaster { pool, cnf: Cnf::new(), cache: HashMap::new(), inputs: HashMap::new() }
+impl BitBlaster {
+    /// Creates an empty blaster.
+    pub fn new() -> Self {
+        BitBlaster::default()
     }
 
     /// The CNF built so far.
@@ -52,32 +58,32 @@ impl<'p> BitBlaster<'p> {
     /// # Panics
     ///
     /// Panics if `e` is not boolean-sorted.
-    pub fn assert_true(&mut self, e: ExprId) {
-        let l = self.blast_bool(e);
+    pub fn assert_true(&mut self, pool: &ExprPool, e: ExprId) {
+        let l = self.blast_bool(pool, e);
         self.cnf.assert_lit(l);
     }
 
     /// Translates a boolean expression to its output literal.
-    pub fn blast_bool(&mut self, e: ExprId) -> Lit {
-        match self.blast(e) {
+    pub fn blast_bool(&mut self, pool: &ExprPool, e: ExprId) -> Lit {
+        match self.blast(pool, e) {
             Bits::Bool(l) => l,
             Bits::Bv(_) => panic!("blast_bool on bitvector expression"),
         }
     }
 
     /// Translates a bitvector expression to its output bits (LSB first).
-    pub fn blast_bv(&mut self, e: ExprId) -> Vec<Lit> {
-        match self.blast(e) {
+    pub fn blast_bv(&mut self, pool: &ExprPool, e: ExprId) -> Vec<Lit> {
+        match self.blast(pool, e) {
             Bits::Bv(bits) => bits,
             Bits::Bool(_) => panic!("blast_bv on boolean expression"),
         }
     }
 
-    fn blast(&mut self, e: ExprId) -> Bits {
+    fn blast(&mut self, pool: &ExprPool, e: ExprId) -> Bits {
         if let Some(b) = self.cache.get(&e) {
             return b.clone();
         }
-        let bits = match self.pool.kind(e) {
+        let bits = match pool.kind(e) {
             ExprKind::BvConst { value, width } => {
                 let t = self.cnf.lit_true();
                 let f = self.cnf.lit_false();
@@ -92,7 +98,7 @@ impl<'p> BitBlaster<'p> {
                         bits.len(),
                         width as usize,
                         "input {} used at two widths",
-                        self.pool.symbol_name(sym)
+                        pool.symbol_name(sym)
                     );
                     Bits::Bv(bits.clone())
                 } else {
@@ -102,22 +108,22 @@ impl<'p> BitBlaster<'p> {
                 }
             }
             ExprKind::Bv { op, lhs, rhs } => {
-                let a = self.blast_bv(lhs);
-                let b = self.blast_bv(rhs);
+                let a = self.blast_bv(pool, lhs);
+                let b = self.blast_bv(pool, rhs);
                 Bits::Bv(self.blast_bv_op(op, &a, &b))
             }
             ExprKind::Cmp { op, lhs, rhs } => {
-                let a = self.blast_bv(lhs);
-                let b = self.blast_bv(rhs);
+                let a = self.blast_bv(pool, lhs);
+                let b = self.blast_bv(pool, rhs);
                 Bits::Bool(self.blast_cmp(op, &a, &b))
             }
             ExprKind::Not(x) => {
-                let l = self.blast_bool(x);
+                let l = self.blast_bool(pool, x);
                 Bits::Bool(!l)
             }
             ExprKind::Bool { op, lhs, rhs } => {
-                let a = self.blast_bool(lhs);
-                let b = self.blast_bool(rhs);
+                let a = self.blast_bool(pool, lhs);
+                let b = self.blast_bool(pool, rhs);
                 Bits::Bool(match op {
                     BoolBinOp::And => self.cnf.and_gate(a, b),
                     BoolBinOp::Or => self.cnf.or_gate(a, b),
@@ -125,8 +131,8 @@ impl<'p> BitBlaster<'p> {
                 })
             }
             ExprKind::Ite { cond, then, els } => {
-                let c = self.blast_bool(cond);
-                match (self.blast(then), self.blast(els)) {
+                let c = self.blast_bool(pool, cond);
+                match (self.blast(pool, then), self.blast(pool, els)) {
                     (Bits::Bool(t), Bits::Bool(f)) => Bits::Bool(self.cnf.mux_gate(c, t, f)),
                     (Bits::Bv(t), Bits::Bv(f)) => Bits::Bv(self.mux_bv(c, &t, &f)),
                     _ => unreachable!("ite branches have mismatched sorts"),
@@ -377,17 +383,45 @@ impl<'p> BitBlaster<'p> {
 
     // ----- models -----------------------------------------------------------
 
-    /// Extracts a [`Model`] for the blasted inputs from a SAT assignment.
+    /// The CNF literal vectors (LSB first) of every blasted input symbol,
+    /// sorted by [`SymbolId`] so iteration order is deterministic.
+    pub fn inputs_sorted(&self) -> Vec<(SymbolId, Vec<Lit>)> {
+        let mut v: Vec<(SymbolId, Vec<Lit>)> =
+            self.inputs.iter().map(|(&s, bits)| (s, bits.clone())).collect();
+        v.sort_unstable_by_key(|(s, _)| *s);
+        v
+    }
+
+    /// The CNF literals of one blasted input, if it appeared in any
+    /// translated expression.
+    pub fn input_bits(&self, sym: SymbolId) -> Option<&[Lit]> {
+        self.inputs.get(&sym).map(|v| v.as_slice())
+    }
+
+    /// Extracts a [`Model`] for all blasted inputs from a SAT assignment.
     ///
     /// # Panics
     ///
     /// Panics if `outcome` is not [`SolveOutcome::Sat`].
     pub fn extract_model(&self, outcome: &SolveOutcome) -> Model {
+        let syms: Vec<SymbolId> = self.inputs.keys().copied().collect();
+        self.extract_model_for(outcome, &syms)
+    }
+
+    /// Extracts a [`Model`] restricted to the given symbols (symbols never
+    /// blasted are skipped). Used by incremental contexts, whose CNF can
+    /// contain circuitry for constraints beyond the current query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outcome` is not [`SolveOutcome::Sat`].
+    pub fn extract_model_for(&self, outcome: &SolveOutcome, syms: &[SymbolId]) -> Model {
         let SolveOutcome::Sat(assignment) = outcome else {
             panic!("extract_model on non-sat outcome");
         };
         let mut model = Model::new();
-        for (&sym, bits) in &self.inputs {
+        for &sym in syms {
+            let Some(bits) = self.inputs.get(&sym) else { continue };
             let mut v: u64 = 0;
             for (i, lit) in bits.iter().enumerate() {
                 let bit = assignment[lit.var().index()] != lit.is_negative();
@@ -416,8 +450,8 @@ mod tests {
     /// Asserts `e` and solves; on sat, cross-checks the model against the
     /// expression evaluator.
     fn solve_and_check(pool: &ExprPool, e: ExprId) -> Option<Model> {
-        let mut bb = BitBlaster::new(pool);
-        bb.assert_true(e);
+        let mut bb = BitBlaster::new();
+        bb.assert_true(pool, e);
         let outcome = SatSolver::from_cnf(bb.cnf()).solve();
         match outcome {
             SolveOutcome::Sat(_) => {

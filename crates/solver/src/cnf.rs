@@ -140,6 +140,12 @@ impl Cnf {
         &self.clauses
     }
 
+    /// The clauses added at or after index `from` — the delta an
+    /// incremental consumer has not yet fed into a solver.
+    pub fn clauses_from(&self, from: usize) -> &[Vec<Lit>] {
+        &self.clauses[from..]
+    }
+
     /// Number of clauses.
     pub fn num_clauses(&self) -> usize {
         self.clauses.len()

@@ -1,0 +1,292 @@
+//! Persistent incremental solving contexts.
+//!
+//! A [`SolverContext`] keeps the bit-blasted CNF of a path-condition
+//! *prefix* alive inside a single incremental [`SatSolver`]. Branch
+//! feasibility queries that extend the prefix by one conjunct are decided
+//! *under assumptions*: the new conjunct is blasted to a literal (reusing
+//! all the circuitry the prefix already built) and assumed rather than
+//! asserted, so both polarities of a branch — and every later query on
+//! the same path — share one CNF, the learnt clauses, the variable
+//! activities and the saved phases. This replaces the re-blast-per-query
+//! scheme the paper inherited from KLEE + STP, and is what makes the
+//! merged (ite-heavy) queries of §2–3 amortizable.
+//!
+//! Contexts are append-only: the prefix can grow
+//! ([`SolverContext::assert_constraint`]) but never shrink. When the
+//! engine diverges to a path whose condition is not an extension of the
+//! context's prefix, the [`Solver`](crate::Solver) builds a fresh context
+//! (it keeps a small pool of them, matched by longest shared prefix).
+
+use crate::bitblast::BitBlaster;
+use crate::cnf::Lit;
+use crate::model::Model;
+use crate::sat::{SatSolver, SatStats, SolveOutcome};
+use symmerge_expr::{ExprId, ExprPool, SymbolId};
+
+/// An incremental solving context for one path-condition prefix.
+#[derive(Debug)]
+pub struct SolverContext {
+    blaster: BitBlaster,
+    sat: SatSolver,
+    clauses_fed: usize,
+    prefix: Vec<ExprId>,
+    /// LRU stamp managed by the owning [`Solver`](crate::Solver).
+    pub(crate) last_used: u64,
+}
+
+impl Default for SolverContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SolverContext {
+    /// Creates a context with an empty prefix.
+    pub fn new() -> Self {
+        let blaster = BitBlaster::new();
+        let sat = SatSolver::from_cnf(blaster.cnf());
+        let clauses_fed = blaster.cnf().num_clauses();
+        SolverContext { blaster, sat, clauses_fed, prefix: Vec::new(), last_used: 0 }
+    }
+
+    /// The constraints permanently asserted so far, in assertion order.
+    pub fn prefix(&self) -> &[ExprId] {
+        &self.prefix
+    }
+
+    /// Whether the asserted prefix is already known unsatisfiable (every
+    /// further query on this context is unsat).
+    pub fn is_dead(&self) -> bool {
+        !self.sat.is_consistent()
+    }
+
+    /// Cumulative SAT counters of the underlying solver (callers diff
+    /// snapshots around a query to attribute work).
+    pub fn sat_stats(&self) -> SatStats {
+        self.sat.stats()
+    }
+
+    /// Permanently asserts `c`, extending the prefix. Constant-`true`
+    /// conjuncts are recorded in the prefix but add no clauses.
+    pub fn assert_constraint(&mut self, pool: &ExprPool, c: ExprId) {
+        let lit = self.blaster.blast_bool(pool, c);
+        self.sync();
+        self.sat.add_clause(&[lit]);
+        self.prefix.push(c);
+    }
+
+    /// Decides `prefix ∧ extras`, with `extras` held as assumptions only:
+    /// the prefix CNF, learnt clauses and heuristics survive for the next
+    /// query. `budget` limits the conflicts of this call.
+    pub fn solve_assuming(
+        &mut self,
+        pool: &ExprPool,
+        extras: &[ExprId],
+        budget: Option<u64>,
+    ) -> SolveOutcome {
+        let lits: Vec<Lit> = extras.iter().map(|&e| self.blaster.blast_bool(pool, e)).collect();
+        self.sync();
+        self.sat.set_conflict_budget(budget);
+        self.sat.solve_under_assumptions(&lits)
+    }
+
+    /// Feeds newly blasted variables and clauses into the SAT solver.
+    fn sync(&mut self) {
+        self.sat.ensure_vars(self.blaster.cnf().num_vars());
+        for clause in self.blaster.cnf().clauses_from(self.clauses_fed) {
+            self.sat.add_clause(clause);
+        }
+        self.clauses_fed = self.blaster.cnf().num_clauses();
+    }
+
+    /// Extracts a model restricted to `syms` from a sat outcome.
+    pub fn extract_model_for(&self, outcome: &SolveOutcome, syms: &[SymbolId]) -> Model {
+        self.blaster.extract_model_for(outcome, syms)
+    }
+
+    /// The blasted literal vectors of `syms` (symbols the CNF never saw
+    /// are skipped), sorted by symbol id.
+    pub(crate) fn inputs_for(&self, syms: &[SymbolId]) -> Vec<(SymbolId, Vec<Lit>)> {
+        let mut v: Vec<(SymbolId, Vec<Lit>)> = syms
+            .iter()
+            .filter_map(|&s| self.blaster.input_bits(s).map(|bits| (s, bits.to_vec())))
+            .collect();
+        v.sort_unstable_by_key(|(s, _)| *s);
+        v
+    }
+
+    /// Canonically minimizes a sat outcome: see [`minimize_model`].
+    /// `budget` bounds the conflicts of the whole minimization pass.
+    pub(crate) fn minimize(
+        &mut self,
+        pool: &ExprPool,
+        extras: &[ExprId],
+        syms: &[SymbolId],
+        outcome: &SolveOutcome,
+        budget: Option<u64>,
+    ) -> Model {
+        let base: Vec<Lit> = extras.iter().map(|&e| self.blaster.blast_bool(pool, e)).collect();
+        let inputs = self.inputs_for(syms);
+        minimize_model(&mut self.sat, &inputs, &base, outcome, budget)
+    }
+}
+
+/// Computes the *canonical minimal model* of the formula currently loaded
+/// in `sat` (conjoined with the `base` assumption literals), projected on
+/// `inputs`: the unique model that is lexicographically smallest when
+/// symbols are ordered by [`SymbolId`] and each symbol's value is
+/// minimized most-significant-bit first.
+///
+/// The minimization runs bit-by-bit under assumptions on the *same*
+/// incremental solver, so each probe reuses all learnt clauses; bits that
+/// are already 0 in the best model found so far are fixed without a
+/// solver call. Because the minimum is unique, every solving path
+/// (incremental context, monolithic re-blast, independence slices) lands
+/// on the same model — which is what makes whole-behaviour sets
+/// comparable across runs and lets the differential harness assert exact
+/// generated-test equality.
+///
+/// `budget` bounds the conflicts of the *entire* minimization pass (it
+/// is the caller's leftover query budget, shared across all probes, not
+/// a per-probe allowance). If a probe returns [`SolveOutcome::Unknown`]
+/// or the budget runs dry, the remaining bits are filled from the best
+/// model found so far (sound but possibly non-minimal).
+///
+/// # Panics
+///
+/// Panics if `outcome` is not [`SolveOutcome::Sat`].
+pub(crate) fn minimize_model(
+    sat: &mut SatSolver,
+    inputs: &[(SymbolId, Vec<Lit>)],
+    base: &[Lit],
+    outcome: &SolveOutcome,
+    budget: Option<u64>,
+) -> Model {
+    let SolveOutcome::Sat(assignment) = outcome else {
+        panic!("minimize_model on non-sat outcome");
+    };
+    let lit_is_true = |a: &[bool], l: Lit| a[l.var().index()] != l.is_negative();
+    let conflicts_at_entry = sat.stats().conflicts;
+    let mut cur: Vec<bool> = assignment.clone();
+    let mut assumptions: Vec<Lit> = base.to_vec();
+    let mut aborted = false;
+    let mut model = Model::new();
+    for (sym, bits) in inputs {
+        let mut value = 0u64;
+        for i in (0..bits.len()).rev() {
+            let l = bits[i];
+            let bit_now = lit_is_true(&cur, l);
+            if aborted {
+                if bit_now {
+                    value |= 1 << i;
+                }
+                continue;
+            }
+            if !bit_now {
+                // The current best model already has this bit at 0; 0 is
+                // trivially achievable, fix it without a solver call.
+                assumptions.push(!l);
+                continue;
+            }
+            // Re-arm the shared budget with whatever the pass has left.
+            let remaining =
+                budget.map(|b| b.saturating_sub(sat.stats().conflicts - conflicts_at_entry));
+            if remaining == Some(0) {
+                aborted = true;
+                value |= 1 << i;
+                continue;
+            }
+            sat.set_conflict_budget(remaining);
+            assumptions.push(!l);
+            match sat.solve_under_assumptions(&assumptions) {
+                SolveOutcome::Sat(m) => {
+                    cur = m;
+                }
+                SolveOutcome::Unsat => {
+                    debug_assert!(sat.is_consistent(), "prefix cannot be unsat while minimizing");
+                    assumptions.pop();
+                    assumptions.push(l);
+                    value |= 1 << i;
+                }
+                SolveOutcome::Unknown => {
+                    assumptions.pop();
+                    aborted = true;
+                    value |= 1 << i;
+                }
+            }
+        }
+        model.set(*sym, value);
+    }
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_reuses_prefix_across_polarities() {
+        let mut p = ExprPool::new(8);
+        let x = p.input("x", 8);
+        let ten = p.bv_const(10, 8);
+        let c = p.ult(x, ten);
+        let not_c = p.not(c);
+        let mut ctx = SolverContext::new();
+        // No prefix: both polarities of the branch are feasible.
+        assert!(matches!(ctx.solve_assuming(&p, &[c], None), SolveOutcome::Sat(_)));
+        assert!(matches!(ctx.solve_assuming(&p, &[not_c], None), SolveOutcome::Sat(_)));
+        // Assert x < 10, then the negation becomes unsat — incrementally.
+        ctx.assert_constraint(&p, c);
+        assert!(matches!(ctx.solve_assuming(&p, &[not_c], None), SolveOutcome::Unsat));
+        assert!(!ctx.is_dead(), "assumption unsat must not kill the context");
+        assert!(matches!(ctx.solve_assuming(&p, &[c], None), SolveOutcome::Sat(_)));
+    }
+
+    #[test]
+    fn contradictory_prefix_marks_context_dead() {
+        let mut p = ExprPool::new(8);
+        let x = p.input("x", 8);
+        let five = p.bv_const(5, 8);
+        let c1 = p.ult(x, five);
+        let c2 = p.ugt(x, five);
+        let mut ctx = SolverContext::new();
+        ctx.assert_constraint(&p, c1);
+        ctx.assert_constraint(&p, c2);
+        assert!(matches!(ctx.solve_assuming(&p, &[], None), SolveOutcome::Unsat));
+        assert!(ctx.is_dead());
+        // Dead contexts answer everything unsat without panicking.
+        let t = p.true_();
+        assert!(matches!(ctx.solve_assuming(&p, &[t], None), SolveOutcome::Unsat));
+    }
+
+    #[test]
+    fn minimize_finds_the_least_model() {
+        let mut p = ExprPool::new(8);
+        let x = p.input("x", 8);
+        let y = p.input("y", 8);
+        let hundred = p.bv_const(100, 8);
+        let c1 = p.ugt(x, hundred); // minimal x = 101
+        let c2 = p.ult(y, hundred); // minimal y = 0
+        let mut ctx = SolverContext::new();
+        ctx.assert_constraint(&p, c1);
+        ctx.assert_constraint(&p, c2);
+        let outcome = ctx.solve_assuming(&p, &[], None);
+        let syms = p.collect_inputs_many(&[c1, c2]);
+        let m = ctx.minimize(&p, &[], &syms, &outcome, None);
+        assert_eq!(m.value_by_name(&p, "x"), Some(101));
+        assert_eq!(m.value_by_name(&p, "y"), Some(0));
+    }
+
+    #[test]
+    fn minimize_respects_assumed_extras() {
+        let mut p = ExprPool::new(8);
+        let x = p.input("x", 8);
+        let three = p.bv_const(3, 8);
+        let extra = p.ugt(x, three);
+        let mut ctx = SolverContext::new();
+        let outcome = ctx.solve_assuming(&p, &[extra], None);
+        let syms = p.collect_inputs(extra);
+        let m = ctx.minimize(&p, &[extra], &syms, &outcome, None);
+        assert_eq!(m.value_by_name(&p, "x"), Some(4), "least x with x > 3");
+    }
+}

@@ -9,17 +9,33 @@
 //! CDCL solver ([`sat`]) with watched literals, first-UIP clause learning,
 //! VSIDS branching, phase saving and Luby restarts.
 //!
-//! The high-level entry point is [`Solver::check`], which adds the two
-//! query optimizations that KLEE relies on and whose costs the paper's
-//! query-count model abstracts:
+//! The high-level entry points are [`Solver::check`] and the
+//! prefix-aware [`Solver::check_assuming`], which layer the query
+//! optimizations KLEE relies on — and one the paper's prototype lacked —
+//! over the raw bit-blast pipeline:
 //!
-//! * a **counterexample cache** (exact-match result cache plus reuse of
-//!   recent models by concrete evaluation), and
+//! * an **exact-match result cache** keyed on the full constraint set
+//!   (hash-bucketed with key verification, so collisions cannot alias);
+//! * **model reuse**: recent satisfying models are re-evaluated on new
+//!   queries (the cheap half of KLEE's counterexample cache);
+//! * a **counterexample cache** with subset/superset reasoning: stored
+//!   unsat cores refute superset queries, stored sat sets donate their
+//!   model to subset queries;
 //! * **independent-constraint slicing**: the constraint set is partitioned
 //!   into connected components by shared input symbols and each component
-//!   is decided separately.
+//!   is decided separately, under one *shared* conflict budget;
+//! * **incremental solving contexts** ([`SolverContext`]): the
+//!   path-condition prefix stays bit-blasted inside a persistent CDCL
+//!   solver and branch conjuncts are decided *under assumptions*, so a
+//!   whole sequence of feasibility checks along one path shares its CNF,
+//!   learnt clauses and heuristic state;
+//! * an optional **canonical minimal-model mode** that makes every sat
+//!   answer the lexicographically least model, so generated tests are
+//!   identical across solver configurations and runs.
 //!
-//! Both can be disabled through [`SolverConfig`] for ablation benchmarks.
+//! Each tier can be disabled through [`SolverConfig`] for ablation
+//! benchmarks (see also the `SYMMERGE_SOLVER_*` environment overrides it
+//! reads, which the CI feature matrix uses).
 //!
 //! # Example
 //!
@@ -50,12 +66,14 @@
 
 pub mod bitblast;
 pub mod cnf;
+pub mod context;
 pub mod sat;
 
 mod model;
 mod solve;
 
 pub use cnf::{Cnf, Lit, Var};
+pub use context::SolverContext;
 pub use model::Model;
 pub use sat::{SatSolver, SatStats, SolveOutcome};
 pub use solve::{SatResult, Solver, SolverConfig, SolverStats};

@@ -1,9 +1,15 @@
 //! A CDCL SAT solver: watched literals, first-UIP learning, VSIDS,
 //! phase saving, Luby restarts and learnt-clause database reduction.
 //!
-//! The design follows MiniSat's architecture. The solver is
-//! non-incremental: each bitvector query builds a fresh CNF and a fresh
-//! [`SatSolver`], mirroring how KLEE drives STP in the paper's prototype.
+//! The design follows MiniSat's architecture, including its *incremental*
+//! interface: clauses and variables can be added between solves
+//! ([`SatSolver::add_clause`] / [`SatSolver::ensure_vars`]) and queries can
+//! be posed under assumption literals
+//! ([`SatSolver::solve_under_assumptions`]), which keeps learnt clauses,
+//! variable activities and saved phases alive across a whole sequence of
+//! related queries. The non-incremental usage (fresh CNF, fresh solver per
+//! query — how KLEE drives STP in the paper's prototype) is the special
+//! case [`SatSolver::from_cnf`] + [`SatSolver::solve`].
 
 use crate::cnf::{Cnf, Lit, Var};
 
@@ -64,6 +70,7 @@ pub struct SatSolver {
     ok: bool,
     num_learnt: usize,
     conflict_budget: Option<u64>,
+    failed_assumptions: Vec<Lit>,
     stats: SatStats,
 }
 
@@ -90,6 +97,7 @@ impl SatSolver {
             ok: true,
             num_learnt: 0,
             conflict_budget: None,
+            failed_assumptions: Vec::new(),
             stats: SatStats::default(),
         };
         for v in 0..n as u32 {
@@ -104,15 +112,58 @@ impl SatSolver {
         s
     }
 
-    /// Limits the number of conflicts before the solver gives up with
-    /// [`SolveOutcome::Unknown`].
-    pub fn set_conflict_budget(&mut self, budget: u64) {
-        self.conflict_budget = Some(budget);
+    /// Limits the number of conflicts *per solve call* before the solver
+    /// gives up with [`SolveOutcome::Unknown`]; `None` removes the limit.
+    ///
+    /// The budget is relative to each call, not cumulative, so a reused
+    /// incremental solver gets a fresh allowance on every
+    /// [`SatSolver::solve_under_assumptions`].
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.conflict_budget = budget;
     }
 
     /// Work counters.
     pub fn stats(&self) -> SatStats {
         self.stats
+    }
+
+    /// Whether the clause database is still consistent. Once this turns
+    /// `false` the formula is unsatisfiable regardless of assumptions.
+    pub fn is_consistent(&self) -> bool {
+        self.ok
+    }
+
+    /// After an [`SolveOutcome::Unsat`] from
+    /// [`SatSolver::solve_under_assumptions`] with `is_consistent()` still
+    /// true: a subset of the assumption literals that already conflicts
+    /// with the clause database (an assumption core).
+    ///
+    /// Note: the high-level `Solver` currently assumes a single extra
+    /// literal per query, where this core is degenerate (it is that
+    /// literal); its counterexample cache instead refines unsat cores
+    /// from independence slices and dead context prefixes. This API is
+    /// for multi-assumption callers of the incremental solver.
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.failed_assumptions
+    }
+
+    /// Grows the variable tables to at least `n` variables so literals
+    /// over new variables can appear in subsequently added clauses and
+    /// assumptions (incremental clause addition).
+    pub fn ensure_vars(&mut self, n: usize) {
+        while self.assigns.len() < n {
+            let v = self.assigns.len() as u32;
+            self.watches.push(Vec::new());
+            self.watches.push(Vec::new());
+            self.assigns.push(UNASSIGNED);
+            self.level.push(0);
+            self.reason.push(None);
+            self.activity.push(0.0);
+            self.heap_pos.push(-1);
+            self.phase.push(false);
+            self.seen.push(false);
+            self.heap_insert(v);
+        }
     }
 
     fn value(&self, l: Lit) -> Option<bool> {
@@ -126,8 +177,14 @@ impl SatSolver {
         self.trail_lim.len() as u32
     }
 
-    fn add_clause(&mut self, lits: &[Lit]) {
+    /// Adds a clause at decision level 0. Usable between solves for
+    /// incremental clause addition; all variables must already exist
+    /// (see [`SatSolver::ensure_vars`]).
+    pub fn add_clause(&mut self, lits: &[Lit]) {
         debug_assert_eq!(self.decision_level(), 0);
+        if !self.ok {
+            return;
+        }
         // Canonicalize: drop duplicates / satisfied clauses / false lits.
         let mut ls: Vec<Lit> = lits.to_vec();
         ls.sort_unstable();
@@ -453,32 +510,49 @@ impl SatSolver {
 
     // ----- main loop -------------------------------------------------------
 
-    /// Decides the formula.
+    /// Decides the formula (no assumptions).
     pub fn solve(&mut self) -> SolveOutcome {
+        self.solve_under_assumptions(&[])
+    }
+
+    /// Decides the formula under the given assumption literals.
+    ///
+    /// Assumptions are placed as the first decisions, MiniSat-style, so
+    /// they never touch the clause database: everything learnt during the
+    /// call remains valid for later calls with *different* assumptions.
+    /// On [`SolveOutcome::Unsat`] caused by the assumptions,
+    /// [`SatSolver::failed_assumptions`] holds an assumption core and
+    /// [`SatSolver::is_consistent`] stays `true`; if the clause database
+    /// itself is unsatisfiable, `is_consistent` turns `false`. The solver
+    /// backtracks to decision level 0 before returning, so it is always
+    /// ready for more clauses or another query.
+    pub fn solve_under_assumptions(&mut self, assumptions: &[Lit]) -> SolveOutcome {
+        self.failed_assumptions.clear();
         if !self.ok {
             return SolveOutcome::Unsat;
         }
+        debug_assert_eq!(self.decision_level(), 0);
         if self.propagate().is_some() {
             self.ok = false;
             return SolveOutcome::Unsat;
         }
+        let conflicts_at_entry = self.stats.conflicts;
         let mut restart_idx: u64 = 0;
         let mut conflicts_until_restart = luby(restart_idx) * 100;
         let mut conflicts_this_restart: u64 = 0;
         let mut max_learnt = (self.clauses.len() as f64 * 0.4).max(4000.0);
-        loop {
+        let outcome = 'search: loop {
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_this_restart += 1;
                 if let Some(budget) = self.conflict_budget {
-                    if self.stats.conflicts >= budget {
-                        self.backtrack_to(0);
-                        return SolveOutcome::Unknown;
+                    if self.stats.conflicts - conflicts_at_entry >= budget {
+                        break 'search SolveOutcome::Unknown;
                     }
                 }
                 if self.decision_level() == 0 {
                     self.ok = false;
-                    return SolveOutcome::Unsat;
+                    break 'search SolveOutcome::Unsat;
                 }
                 let (learnt, back_level) = self.analyze(confl);
                 self.backtrack_to(back_level);
@@ -513,6 +587,34 @@ impl SatSolver {
                     self.reduce_db();
                     max_learnt *= 1.3;
                 }
+                // Re-place assumptions first (restarts and backjumps pop
+                // them); each assumption owns one decision level.
+                let mut assumed = None;
+                while (self.decision_level() as usize) < assumptions.len() {
+                    let p = assumptions[self.decision_level() as usize];
+                    match self.value(p) {
+                        Some(true) => {
+                            // Already implied: open a dummy level.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        Some(false) => {
+                            // The clause database forces ¬p: unsat under
+                            // these assumptions, with a core.
+                            self.failed_assumptions = self.analyze_final(p);
+                            break 'search SolveOutcome::Unsat;
+                        }
+                        None => {
+                            assumed = Some(p);
+                            break;
+                        }
+                    }
+                }
+                if let Some(p) = assumed {
+                    self.stats.decisions += 1;
+                    self.trail_lim.push(self.trail.len());
+                    self.enqueue(p, None);
+                    continue;
+                }
                 // Pick the next decision variable.
                 let mut decision = None;
                 while let Some(v) = self.heap_pop() {
@@ -525,7 +627,7 @@ impl SatSolver {
                     None => {
                         // All variables assigned: satisfying assignment found.
                         let model = self.assigns.iter().map(|&a| a == 1).collect();
-                        return SolveOutcome::Sat(model);
+                        break 'search SolveOutcome::Sat(model);
                     }
                     Some(v) => {
                         self.stats.decisions += 1;
@@ -535,7 +637,48 @@ impl SatSolver {
                     }
                 }
             }
+        };
+        self.backtrack_to(0);
+        outcome
+    }
+
+    /// Computes the subset of assumptions responsible for forcing `p`
+    /// false (MiniSat's `analyzeFinal`): walks the implication graph from
+    /// `¬p` back to the assumption decisions.
+    fn analyze_final(&mut self, p: Lit) -> Vec<Lit> {
+        let mut out = vec![p];
+        if self.decision_level() == 0 {
+            return out;
         }
+        self.seen[p.var().index()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var().index();
+            if !self.seen[v] {
+                continue;
+            }
+            match self.reason[v] {
+                None => {
+                    // A decision — at this point every decision on the
+                    // trail is an assumption (`¬p` itself if the caller
+                    // assumed both polarities).
+                    if self.level[v] > 0 {
+                        out.push(l);
+                    }
+                }
+                Some(cref) => {
+                    let lits = self.clauses[cref as usize].lits.clone();
+                    for &q in &lits[1..] {
+                        if self.level[q.var().index()] > 0 {
+                            self.seen[q.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[v] = false;
+        }
+        self.seen[p.var().index()] = false;
+        out
     }
 }
 
@@ -750,9 +893,123 @@ mod tests {
             }
         }
         let mut s = SatSolver::from_cnf(&cnf);
-        s.set_conflict_budget(10);
+        s.set_conflict_budget(Some(10));
         let out = s.solve();
         assert!(matches!(out, SolveOutcome::Unknown | SolveOutcome::Unsat));
+    }
+
+    #[test]
+    fn conflict_budget_is_per_call() {
+        // Same hard pigeonhole: with a tiny per-call budget, a *second*
+        // call must get a fresh allowance rather than being starved by
+        // the cumulative conflict count of the first.
+        let mut cnf = Cnf::new();
+        let (n_pigeons, n_holes) = (7, 6);
+        let mut vars = vec![vec![]; n_pigeons];
+        for row in vars.iter_mut() {
+            for _ in 0..n_holes {
+                row.push(cnf.new_lit());
+            }
+        }
+        for row in &vars {
+            cnf.add_clause(row);
+        }
+        for h in 0..n_holes {
+            for (p1, row1) in vars.iter().enumerate() {
+                for row2 in &vars[p1 + 1..] {
+                    cnf.add_clause(&[!row1[h], !row2[h]]);
+                }
+            }
+        }
+        let mut s = SatSolver::from_cnf(&cnf);
+        s.set_conflict_budget(Some(5));
+        let first = s.solve();
+        assert!(matches!(first, SolveOutcome::Unknown));
+        let conflicts_after_first = s.stats().conflicts;
+        let second = s.solve();
+        assert!(matches!(second, SolveOutcome::Unknown));
+        // The second call performed its own conflicts instead of bailing
+        // out immediately on the cumulative count.
+        assert!(s.stats().conflicts >= conflicts_after_first + 5);
+    }
+
+    #[test]
+    fn solve_under_assumptions_flips_verdicts_without_poisoning() {
+        // (a ∨ b) ∧ (¬a ∨ b): assuming ¬b is unsat, assuming b is sat,
+        // and the solver stays reusable throughout.
+        let (cnf, vars) = make(2, &[&[1, 2], &[-1, 2]]);
+        let (a, b) = (vars[0], vars[1]);
+        let mut s = SatSolver::from_cnf(&cnf);
+        assert!(matches!(s.solve_under_assumptions(&[!b]), SolveOutcome::Unsat));
+        assert!(s.is_consistent(), "assumption failure must not poison the solver");
+        let core = s.failed_assumptions().to_vec();
+        assert!(core.contains(&!b), "core must name the failing assumption");
+        match s.solve_under_assumptions(&[b, a]) {
+            SolveOutcome::Sat(m) => check_model(&cnf, &m),
+            o => panic!("expected sat, got {o:?}"),
+        }
+        // No assumptions at all: still sat.
+        assert!(matches!(s.solve(), SolveOutcome::Sat(_)));
+    }
+
+    #[test]
+    fn assumption_core_names_a_conflicting_subset() {
+        // Chain a → b → c, plus assumption set {a, ¬c, d}: the core must
+        // include ¬c (the failing assumption found during placement) and
+        // a, but never the irrelevant d.
+        let (cnf, vars) = make(4, &[&[-1, 2], &[-2, 3]]);
+        let (a, c, d) = (vars[0], vars[2], vars[3]);
+        let mut s = SatSolver::from_cnf(&cnf);
+        assert!(matches!(s.solve_under_assumptions(&[a, !c, d]), SolveOutcome::Unsat));
+        let core = s.failed_assumptions().to_vec();
+        assert!(core.contains(&!c) || core.contains(&a), "core must touch the chain");
+        assert!(!core.contains(&d), "independent assumption must not appear in the core");
+        assert!(s.is_consistent());
+    }
+
+    #[test]
+    fn incremental_clause_addition_between_solves() {
+        // Start with (x ∨ y); learn a model; then add clauses one by one
+        // until the formula becomes unsat — all on the same solver.
+        let (cnf, vars) = make(2, &[&[1, 2]]);
+        let (x, y) = (vars[0], vars[1]);
+        let mut s = SatSolver::from_cnf(&cnf);
+        assert!(matches!(s.solve(), SolveOutcome::Sat(_)));
+        s.add_clause(&[!x]);
+        match s.solve() {
+            SolveOutcome::Sat(m) => {
+                assert!(!m[x.var().index()], "x is forced false");
+                assert!(m[y.var().index()], "y must carry the clause");
+            }
+            o => panic!("expected sat, got {o:?}"),
+        }
+        s.add_clause(&[!y]);
+        assert!(matches!(s.solve(), SolveOutcome::Unsat));
+        assert!(!s.is_consistent(), "database itself is now unsat");
+        // Further queries stay unsat and must not panic.
+        assert!(matches!(s.solve_under_assumptions(&[x]), SolveOutcome::Unsat));
+    }
+
+    #[test]
+    fn ensure_vars_allows_new_variables_incrementally() {
+        let (cnf, vars) = make(1, &[&[1]]);
+        let x = vars[0];
+        let mut s = SatSolver::from_cnf(&cnf);
+        assert!(matches!(s.solve(), SolveOutcome::Sat(_)));
+        // Introduce a brand-new variable and constrain it against x.
+        let n = cnf.num_vars();
+        s.ensure_vars(n + 1);
+        let z = Var(n as u32).positive();
+        s.add_clause(&[!x, z]);
+        match s.solve_under_assumptions(&[]) {
+            SolveOutcome::Sat(m) => {
+                assert!(m[x.var().index()]);
+                assert!(m[z.var().index()], "x → z must propagate");
+            }
+            o => panic!("expected sat, got {o:?}"),
+        }
+        assert!(matches!(s.solve_under_assumptions(&[!z]), SolveOutcome::Unsat));
+        assert!(s.is_consistent());
     }
 
     #[test]

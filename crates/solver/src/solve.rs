@@ -1,9 +1,30 @@
-//! The high-level constraint solver: caching, slicing, statistics.
+//! The high-level constraint solver: caching, slicing, incremental
+//! contexts, statistics.
+//!
+//! A [`Solver`] answers queries through a tiered pipeline:
+//!
+//! 1. **exact-match cache** — verdicts keyed on the *full* normalized
+//!    constraint set (hash-bucketed with key verification, so hash
+//!    collisions can never alias two different queries);
+//! 2. **model reuse** — recent satisfying models are re-evaluated on the
+//!    new query (the cheap half of KLEE's counterexample cache);
+//! 3. **counterexample cache** — subset/superset reasoning: a stored
+//!    unsat set that is a *subset* of the query proves the query unsat; a
+//!    stored sat set that is a *superset* of the query donates its model;
+//! 4. **incremental contexts** — for prefix-shaped queries
+//!    ([`Solver::check_assuming`]), a pooled [`SolverContext`] keeps the
+//!    path-condition prefix bit-blasted and decides the branch conjunct
+//!    under assumptions;
+//! 5. **re-blast** — the paper's KLEE + STP scheme: partition into
+//!    independent slices, build a fresh CNF and CDCL solver per slice.
+//!
+//! Every tier can be ablated through [`SolverConfig`].
 
 use crate::bitblast::BitBlaster;
+use crate::context::{minimize_model, SolverContext};
 use crate::model::Model;
 use crate::sat::{SatSolver, SolveOutcome};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::time::{Duration, Instant};
 use symmerge_expr::{ExprId, ExprPool, SymbolId};
@@ -32,6 +53,13 @@ impl SatResult {
 }
 
 /// Configuration for [`Solver`].
+///
+/// [`SolverConfig::default`] reads the `SYMMERGE_SOLVER_*` environment
+/// variables (`CACHE`, `MODEL_REUSE`, `INDEPENDENCE`, `CEX_CACHE`,
+/// `INCREMENTAL`; value `0`/`false`/`off` disables), which is how the CI
+/// feature-matrix job runs the whole test suite under each ablation.
+/// Tests that assert the behaviour of a specific tier pin that field
+/// explicitly.
 #[derive(Debug, Clone)]
 pub struct SolverConfig {
     /// Enable the query result cache (exact match on the constraint set).
@@ -40,23 +68,58 @@ pub struct SolverConfig {
     /// (the cheap half of KLEE's counterexample cache).
     pub use_model_reuse: bool,
     /// Partition the constraint set into independent slices by shared
-    /// input symbols and decide each slice separately.
+    /// input symbols and decide each slice separately (re-blast path
+    /// only; incremental contexts are monolithic by construction).
     pub use_independence: bool,
-    /// Conflict budget per SAT call; `None` means unbounded.
+    /// Enable the subset/superset counterexample cache: stored unsat
+    /// cores answer superset queries, stored sat sets answer subset
+    /// queries.
+    pub use_cex_cache: bool,
+    /// Answer prefix-shaped queries ([`Solver::check_assuming`]) on
+    /// persistent incremental [`SolverContext`]s instead of re-blasting.
+    pub use_incremental: bool,
+    /// Return the *canonical minimal model* for every sat query (the
+    /// lexicographically least model by symbol id, each value minimized
+    /// MSB first). Makes models — and therefore generated tests —
+    /// identical across solver paths and runs, at the cost of extra
+    /// incremental probes per sat answer. Disables model reuse and
+    /// sat-superset donation, which would return non-minimal models.
+    pub canonical_models: bool,
+    /// Conflict budget *per query* (shared across independence slices and
+    /// canonicalization probes); `None` means unbounded.
     pub max_conflicts: Option<u64>,
     /// How many recent models to retain for model reuse.
     pub model_history: usize,
+    /// How many incremental contexts to keep alive (LRU-evicted); `0`
+    /// disables the incremental path even if `use_incremental` is set.
+    pub max_contexts: usize,
+    /// How many unsat cores / sat sets the counterexample cache retains
+    /// (each, FIFO-evicted).
+    pub cex_capacity: usize,
 }
 
 impl Default for SolverConfig {
     fn default() -> Self {
         SolverConfig {
-            use_cache: true,
-            use_model_reuse: true,
-            use_independence: true,
+            use_cache: env_flag("SYMMERGE_SOLVER_CACHE", true),
+            use_model_reuse: env_flag("SYMMERGE_SOLVER_MODEL_REUSE", true),
+            use_independence: env_flag("SYMMERGE_SOLVER_INDEPENDENCE", true),
+            use_cex_cache: env_flag("SYMMERGE_SOLVER_CEX_CACHE", true),
+            use_incremental: env_flag("SYMMERGE_SOLVER_INCREMENTAL", true),
+            canonical_models: false,
             max_conflicts: None,
             model_history: 32,
+            max_contexts: 4,
+            cex_capacity: 256,
         }
+    }
+}
+
+/// Reads a boolean ablation flag from the environment.
+fn env_flag(name: &str, default: bool) -> bool {
+    match std::env::var(name) {
+        Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
+        Err(_) => default,
     }
 }
 
@@ -75,6 +138,14 @@ pub struct SolverStats {
     pub cache_hits: u64,
     /// Queries answered by re-evaluating a recent model.
     pub model_reuse_hits: u64,
+    /// Queries proved unsat by a stored unsat core (subset of the query).
+    pub cex_unsat_hits: u64,
+    /// Queries answered by a stored sat superset's model.
+    pub cex_sat_hits: u64,
+    /// Queries decided on a reused incremental context.
+    pub ctx_hits: u64,
+    /// Incremental contexts (re)built from scratch.
+    pub ctx_rebuilds: u64,
     /// Queries that reached the SAT solver.
     pub sat_calls: u64,
     /// Cumulative time spent inside `check`.
@@ -89,33 +160,153 @@ pub struct SolverStats {
     pub query_nodes: u64,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 enum CachedResult {
     Sat(Model),
     Unsat,
 }
 
-/// A caching, slicing bitvector solver.
+/// The exact-match query cache.
 ///
-/// See the [crate-level docs](crate) for the architecture. A `Solver` is
-/// deliberately *stateless between queries* apart from its caches: every
-/// query re-blasts its constraints, exactly like the paper's KLEE + STP
-/// prototype.
+/// Hash-bucketed on a 64-bit prehash of the normalized constraint set,
+/// with the **full set stored and verified on every hit**: two distinct
+/// sets that collide on the prehash land in the same bucket but can never
+/// alias each other's verdict. (The previous design keyed verdicts on the
+/// bare `u64`, so a hash collision silently returned the wrong verdict —
+/// pruning feasible paths or exploring infeasible ones.)
+#[derive(Debug, Default)]
+struct QueryCache {
+    buckets: HashMap<u64, CacheBucket>,
+}
+
+/// One hash bucket: the full constraint sets that share a prehash, each
+/// with its verdict.
+type CacheBucket = Vec<(Box<[ExprId]>, CachedResult)>;
+
+impl QueryCache {
+    fn get(&self, set: &[ExprId]) -> Option<&CachedResult> {
+        self.get_hashed(hash_query(set), set)
+    }
+
+    fn get_hashed(&self, h: u64, set: &[ExprId]) -> Option<&CachedResult> {
+        self.buckets.get(&h)?.iter().find(|(k, _)| &**k == set).map(|(_, r)| r)
+    }
+
+    fn insert(&mut self, set: &[ExprId], result: CachedResult) {
+        self.insert_hashed(hash_query(set), set, result);
+    }
+
+    fn insert_hashed(&mut self, h: u64, set: &[ExprId], result: CachedResult) {
+        let bucket = self.buckets.entry(h).or_default();
+        match bucket.iter_mut().find(|(k, _)| &**k == set) {
+            Some(entry) => entry.1 = result,
+            None => bucket.push((set.into(), result)),
+        }
+    }
+}
+
+/// The KLEE-style counterexample cache over *sorted* constraint sets.
+///
+/// Soundness rests on two set-theoretic facts: an unsat subset proves any
+/// superset unsat (adding conjuncts cannot recover satisfiability), and a
+/// model for a superset satisfies every subset (dropping conjuncts cannot
+/// invalidate it). Stored unsat sets are kept minimal-ish by subsumption:
+/// inserting a new core drops stored supersets, and cores that come from
+/// independence slices or dead context prefixes are smaller than the
+/// queries that produced them.
+#[derive(Debug)]
+struct CexCache {
+    unsat_sets: VecDeque<Box<[ExprId]>>,
+    sat_sets: VecDeque<(Box<[ExprId]>, Model)>,
+    capacity: usize,
+}
+
+impl CexCache {
+    fn new(capacity: usize) -> Self {
+        CexCache { unsat_sets: VecDeque::new(), sat_sets: VecDeque::new(), capacity }
+    }
+
+    /// Does a stored unsat core prove `set` unsat?
+    fn implies_unsat(&self, set: &[ExprId]) -> bool {
+        self.unsat_sets.iter().any(|u| is_subset(u, set))
+    }
+
+    /// A model from a stored sat superset of `set`, if any.
+    fn model_for_subset(&self, set: &[ExprId]) -> Option<&Model> {
+        self.sat_sets.iter().find(|(s, _)| is_subset(set, s)).map(|(_, m)| m)
+    }
+
+    fn note_unsat(&mut self, set: &[ExprId]) {
+        debug_assert!(set.windows(2).all(|w| w[0] < w[1]), "cex sets must be sorted");
+        if self.capacity == 0 || self.unsat_sets.iter().any(|u| is_subset(u, set)) {
+            return; // already covered by a stored (smaller) core
+        }
+        self.unsat_sets.retain(|u| !is_subset(set, u));
+        if self.unsat_sets.len() >= self.capacity {
+            self.unsat_sets.pop_front();
+        }
+        self.unsat_sets.push_back(set.into());
+    }
+
+    fn note_sat(&mut self, set: &[ExprId], m: &Model) {
+        debug_assert!(set.windows(2).all(|w| w[0] < w[1]), "cex sets must be sorted");
+        if self.capacity == 0 || self.sat_sets.iter().any(|(s, _)| is_subset(set, s)) {
+            return; // a stored superset already answers everything this would
+        }
+        self.sat_sets.retain(|(s, _)| !is_subset(s, set));
+        if self.sat_sets.len() >= self.capacity {
+            self.sat_sets.pop_front();
+        }
+        self.sat_sets.push_back((set.into(), m.clone()));
+    }
+}
+
+/// `a ⊆ b` for sorted, deduplicated slices (linear merge walk).
+fn is_subset(a: &[ExprId], b: &[ExprId]) -> bool {
+    let mut bi = b.iter();
+    'outer: for x in a {
+        for y in bi.by_ref() {
+            if y == x {
+                continue 'outer;
+            }
+            if y > x {
+                return false;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// A caching, slicing, incrementally solving bitvector solver.
+///
+/// See the [crate-level docs](crate) for the architecture. Plain
+/// [`Solver::check`] queries follow the paper's KLEE + STP scheme (every
+/// query re-blasts its constraints); [`Solver::check_assuming`] queries
+/// additionally reuse pooled [`SolverContext`]s so that sequences of
+/// branch-feasibility checks along one path share a single growing CNF.
 #[derive(Debug)]
 pub struct Solver {
     config: SolverConfig,
-    cache: HashMap<u64, CachedResult>,
-    recent_models: Vec<Model>,
+    cache: QueryCache,
+    cex: CexCache,
+    recent_models: VecDeque<Model>,
+    contexts: Vec<SolverContext>,
+    ctx_clock: u64,
     stats: SolverStats,
 }
 
 impl Solver {
     /// Creates a solver with the given configuration.
     pub fn new(config: SolverConfig) -> Self {
+        let cex = CexCache::new(config.cex_capacity);
         Solver {
             config,
-            cache: HashMap::new(),
-            recent_models: Vec::new(),
+            cache: QueryCache::default(),
+            cex,
+            recent_models: VecDeque::new(),
+            contexts: Vec::new(),
+            ctx_clock: 0,
             stats: SolverStats::default(),
         }
     }
@@ -125,7 +316,7 @@ impl Solver {
         &self.stats
     }
 
-    /// Resets the statistics (the caches are kept).
+    /// Resets the statistics (the caches and contexts are kept).
     pub fn reset_stats(&mut self) {
         self.stats = SolverStats::default();
     }
@@ -137,87 +328,42 @@ impl Solver {
     /// paths are *not* counted as queries, mirroring how KLEE's expression
     /// simplifier absorbs trivial branch checks).
     pub fn check(&mut self, pool: &ExprPool, constraints: &[ExprId]) -> SatResult {
-        // Fast constant paths.
-        let mut set: Vec<ExprId> = Vec::with_capacity(constraints.len());
-        for &c in constraints {
-            debug_assert!(pool.sort(c).is_bool(), "constraint must be boolean");
-            if pool.is_false(c) {
-                return SatResult::Unsat;
-            }
-            if !pool.is_true(c) {
-                set.push(c);
-            }
-        }
-        if set.is_empty() {
-            return SatResult::Sat(Model::new());
-        }
-        set.sort_unstable();
-        set.dedup();
-
-        let start = Instant::now();
-        self.stats.queries += 1;
-        self.stats.query_nodes += set.iter().map(|&c| pool.dag_size(c) as u64).sum::<u64>();
-
-        let key = hash_query(&set);
-        if self.config.use_cache {
-            if let Some(cached) = self.cache.get(&key) {
-                self.stats.cache_hits += 1;
-                let result = match cached {
-                    CachedResult::Sat(m) => {
-                        self.stats.sat += 1;
-                        SatResult::Sat(m.clone())
-                    }
-                    CachedResult::Unsat => {
-                        self.stats.unsat += 1;
-                        SatResult::Unsat
-                    }
-                };
-                self.stats.time += start.elapsed();
-                return result;
-            }
-        }
-
-        if self.config.use_model_reuse {
-            if let Some(m) = self.recent_models.iter().find(|m| m.satisfies(pool, &set)) {
-                let model = m.clone();
-                self.stats.model_reuse_hits += 1;
-                self.stats.sat += 1;
-                if self.config.use_cache {
-                    self.cache.insert(key, CachedResult::Sat(model.clone()));
-                }
-                self.stats.time += start.elapsed();
-                return SatResult::Sat(model);
-            }
-        }
-
-        let result = if self.config.use_independence {
-            self.check_sliced(pool, &set)
-        } else {
-            self.check_monolithic(pool, &set)
+        let set = match normalize_query(pool, constraints.iter().copied()) {
+            Ok(set) => set,
+            Err(early) => return early,
         };
+        self.check_set(pool, None, &set)
+    }
 
-        match &result {
-            SatResult::Sat(m) => {
-                debug_assert!(m.satisfies(pool, &set), "solver returned a bogus model");
-                self.stats.sat += 1;
-                self.remember_model(m.clone());
-                if self.config.use_cache {
-                    self.cache.insert(key, CachedResult::Sat(m.clone()));
-                }
-            }
-            SatResult::Unsat => {
-                self.stats.unsat += 1;
-                if self.config.use_cache {
-                    self.cache.insert(key, CachedResult::Unsat);
-                }
-            }
-            SatResult::Unknown => {
-                self.stats.unknown += 1;
-                // Never cache Unknown: a retry may have a bigger budget.
-            }
+    /// Decides `prefix ∧ extra`, where `prefix` is a path-condition the
+    /// caller will keep extending (the engine's branch-feasibility
+    /// pattern).
+    ///
+    /// Semantically identical to `check(prefix ++ [extra])` — same fast
+    /// paths, same caches, same statistics — but when
+    /// [`SolverConfig::use_incremental`] is on, the query is decided on a
+    /// pooled [`SolverContext`]: the prefix stays bit-blasted in an
+    /// incremental SAT solver and `extra` is solved *under assumptions*,
+    /// so both polarities of a branch and every later query on the same
+    /// path reuse the CNF, learnt clauses and heuristic state. Pass a
+    /// constant-true `extra` to check the prefix alone (e.g. for test
+    /// generation at path completion).
+    pub fn check_assuming(
+        &mut self,
+        pool: &ExprPool,
+        prefix: &[ExprId],
+        extra: ExprId,
+    ) -> SatResult {
+        let conjuncts = prefix.iter().copied().chain(std::iter::once(extra));
+        let set = match normalize_query(pool, conjuncts) {
+            Ok(set) => set,
+            Err(early) => return early,
+        };
+        if self.config.use_incremental && self.config.max_contexts > 0 {
+            self.check_set(pool, Some((prefix, extra)), &set)
+        } else {
+            self.check_set(pool, None, &set)
         }
-        self.stats.time += start.elapsed();
-        result
     }
 
     /// `check` for callers that only need a yes/no: maps `Unknown` to
@@ -226,54 +372,350 @@ impl Solver {
         !matches!(self.check(pool, constraints), SatResult::Unsat)
     }
 
-    fn remember_model(&mut self, m: Model) {
-        if self.recent_models.len() >= self.config.model_history {
-            self.recent_models.remove(0);
-        }
-        self.recent_models.push(m);
+    /// [`Solver::check_assuming`] for callers that only need a yes/no;
+    /// `Unknown` maps to `true` (possibly satisfiable).
+    pub fn may_be_sat_assuming(
+        &mut self,
+        pool: &ExprPool,
+        prefix: &[ExprId],
+        extra: ExprId,
+    ) -> bool {
+        !matches!(self.check_assuming(pool, prefix, extra), SatResult::Unsat)
     }
 
+    /// The shared query pipeline over a normalized set. `via_context`
+    /// carries the raw `(prefix, extra)` split for the incremental path.
+    fn check_set(
+        &mut self,
+        pool: &ExprPool,
+        via_context: Option<(&[ExprId], ExprId)>,
+        set: &[ExprId],
+    ) -> SatResult {
+        let start = Instant::now();
+        self.stats.queries += 1;
+        self.stats.query_nodes += set.iter().map(|&c| pool.dag_size(c) as u64).sum::<u64>();
+
+        if let Some(hit) = self.lookup_caches(pool, set) {
+            self.stats.time += start.elapsed();
+            return hit;
+        }
+
+        let result = match via_context {
+            Some((prefix, extra)) => self.check_in_context(pool, prefix, extra, set),
+            None if self.config.use_independence => self.check_sliced(pool, set),
+            None => self.check_monolithic(pool, set),
+        };
+        self.record_result(pool, set, &result);
+        self.stats.time += start.elapsed();
+        result
+    }
+
+    /// Tiers 1–3: exact cache, model reuse, counterexample cache.
+    fn lookup_caches(&mut self, pool: &ExprPool, set: &[ExprId]) -> Option<SatResult> {
+        if self.config.use_cache {
+            if let Some(cached) = self.cache.get(set) {
+                self.stats.cache_hits += 1;
+                return Some(match cached {
+                    CachedResult::Sat(m) => {
+                        self.stats.sat += 1;
+                        SatResult::Sat(m.clone())
+                    }
+                    CachedResult::Unsat => {
+                        self.stats.unsat += 1;
+                        SatResult::Unsat
+                    }
+                });
+            }
+        }
+        // Model-based shortcuts return whatever model happens to fit, so
+        // they are skipped in canonical mode (the answer must be *the*
+        // minimal model).
+        if self.config.use_model_reuse && !self.config.canonical_models {
+            if let Some(m) = self.recent_models.iter().find(|m| m.satisfies(pool, set)) {
+                let model = m.clone();
+                self.stats.model_reuse_hits += 1;
+                self.stats.sat += 1;
+                if self.config.use_cache {
+                    self.cache.insert(set, CachedResult::Sat(model.clone()));
+                }
+                return Some(SatResult::Sat(model));
+            }
+        }
+        if self.config.use_cex_cache {
+            if self.cex.implies_unsat(set) {
+                self.stats.cex_unsat_hits += 1;
+                self.stats.unsat += 1;
+                if self.config.use_cache {
+                    self.cache.insert(set, CachedResult::Unsat);
+                }
+                return Some(SatResult::Unsat);
+            }
+            if !self.config.canonical_models {
+                if let Some(m) = self.cex.model_for_subset(set) {
+                    let model = m.clone();
+                    debug_assert!(model.satisfies(pool, set), "cex superset model must satisfy");
+                    self.stats.cex_sat_hits += 1;
+                    self.stats.sat += 1;
+                    if self.config.use_cache {
+                        self.cache.insert(set, CachedResult::Sat(model.clone()));
+                    }
+                    return Some(SatResult::Sat(model));
+                }
+            }
+        }
+        None
+    }
+
+    /// Feeds a freshly computed result into the stats and caches.
+    fn record_result(&mut self, pool: &ExprPool, set: &[ExprId], result: &SatResult) {
+        match result {
+            SatResult::Sat(m) => {
+                debug_assert!(m.satisfies(pool, set), "solver returned a bogus model");
+                self.stats.sat += 1;
+                self.remember_model(m.clone());
+                if self.config.use_cache {
+                    self.cache.insert(set, CachedResult::Sat(m.clone()));
+                }
+                if self.config.use_cex_cache {
+                    self.cex.note_sat(set, m);
+                }
+            }
+            SatResult::Unsat => {
+                self.stats.unsat += 1;
+                if self.config.use_cache {
+                    self.cache.insert(set, CachedResult::Unsat);
+                }
+                if self.config.use_cex_cache {
+                    self.cex.note_unsat(set);
+                }
+            }
+            SatResult::Unknown => {
+                self.stats.unknown += 1;
+                // Never cache Unknown: a retry may have a bigger budget.
+            }
+        }
+    }
+
+    fn remember_model(&mut self, m: Model) {
+        if self.config.model_history == 0 {
+            return;
+        }
+        while self.recent_models.len() >= self.config.model_history {
+            self.recent_models.pop_front();
+        }
+        self.recent_models.push_back(m);
+    }
+
+    // ----- incremental context path ------------------------------------
+
+    /// Finds (or builds) the pooled context whose asserted prefix is the
+    /// longest prefix of `prefix`, extends it to exactly `prefix`, and
+    /// returns its index.
+    fn context_index_for(&mut self, pool: &ExprPool, prefix: &[ExprId]) -> usize {
+        self.ctx_clock += 1;
+        let clock = self.ctx_clock;
+        let mut best: Option<(usize, usize)> = None; // (index, matched len)
+        for (i, ctx) in self.contexts.iter().enumerate() {
+            let cp = ctx.prefix();
+            if cp.len() <= prefix.len() && cp == &prefix[..cp.len()] {
+                let better = match best {
+                    None => true,
+                    Some((bi, bl)) => {
+                        cp.len() > bl
+                            || (cp.len() == bl && ctx.last_used > self.contexts[bi].last_used)
+                    }
+                };
+                if better {
+                    best = Some((i, cp.len()));
+                }
+            }
+        }
+        let idx = match best {
+            Some((i, _)) => {
+                self.stats.ctx_hits += 1;
+                i
+            }
+            None => {
+                self.stats.ctx_rebuilds += 1;
+                if self.contexts.len() < self.config.max_contexts {
+                    self.contexts.push(SolverContext::new());
+                    self.contexts.len() - 1
+                } else {
+                    let (i, _) = self
+                        .contexts
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, c)| c.last_used)
+                        .expect("max_contexts > 0");
+                    self.contexts[i] = SolverContext::new();
+                    i
+                }
+            }
+        };
+        let ctx = &mut self.contexts[idx];
+        ctx.last_used = clock;
+        let matched = ctx.prefix().len();
+        for &c in &prefix[matched..] {
+            ctx.assert_constraint(pool, c);
+        }
+        idx
+    }
+
+    /// Decides `prefix ∧ extra` on a pooled incremental context.
+    fn check_in_context(
+        &mut self,
+        pool: &ExprPool,
+        prefix: &[ExprId],
+        extra: ExprId,
+        set: &[ExprId],
+    ) -> SatResult {
+        let idx = self.context_index_for(pool, prefix);
+        if self.contexts[idx].is_dead() {
+            // The asserted prefix is already known unsatisfiable.
+            return SatResult::Unsat;
+        }
+        self.stats.sat_calls += 1;
+        let extras: Vec<ExprId> = if pool.is_true(extra) { Vec::new() } else { vec![extra] };
+        let before = self.contexts[idx].sat_stats();
+        let sat_start = Instant::now();
+        let outcome = self.contexts[idx].solve_assuming(pool, &extras, self.config.max_conflicts);
+        let result = match &outcome {
+            SolveOutcome::Sat(_) => {
+                let syms: Vec<SymbolId> = pool.collect_inputs_many(set);
+                let model = if self.config.canonical_models {
+                    // The minimization probes share whatever conflict
+                    // budget the main solve left over.
+                    let consumed = self.contexts[idx].sat_stats().conflicts - before.conflicts;
+                    let remaining = self.config.max_conflicts.map(|b| b.saturating_sub(consumed));
+                    self.contexts[idx].minimize(pool, &extras, &syms, &outcome, remaining)
+                } else {
+                    self.contexts[idx].extract_model_for(&outcome, &syms)
+                };
+                SatResult::Sat(model)
+            }
+            SolveOutcome::Unsat => {
+                if self.contexts[idx].is_dead() && self.config.use_cex_cache {
+                    // A level-0 conflict is assumption-independent: the
+                    // prefix *alone* is unsat — a strictly smaller core
+                    // than the full query set.
+                    let mut p: Vec<ExprId> = self.contexts[idx]
+                        .prefix()
+                        .iter()
+                        .copied()
+                        .filter(|&c| !pool.is_true(c))
+                        .collect();
+                    p.sort_unstable();
+                    p.dedup();
+                    self.cex.note_unsat(&p);
+                }
+                SatResult::Unsat
+            }
+            SolveOutcome::Unknown => SatResult::Unknown,
+        };
+        let after = self.contexts[idx].sat_stats();
+        self.stats.sat_time += sat_start.elapsed();
+        self.stats.conflicts += after.conflicts - before.conflicts;
+        self.stats.decisions += after.decisions - before.decisions;
+        result
+    }
+
+    // ----- re-blast path ------------------------------------------------
+
     fn check_monolithic(&mut self, pool: &ExprPool, set: &[ExprId]) -> SatResult {
-        self.solve_slice(pool, set)
+        self.solve_slice(pool, set, self.config.max_conflicts)
     }
 
     /// Partitions `set` into connected components under "shares an input
     /// symbol" and decides each component separately. The conjunction is
     /// sat iff all components are; models merge disjointly.
+    ///
+    /// The conflict budget is *shared* across the slices: each slice gets
+    /// whatever the previous slices left over, so one `check` can never
+    /// burn more than `max_conflicts` in total (it used to apply the full
+    /// budget per slice).
     fn check_sliced(&mut self, pool: &ExprPool, set: &[ExprId]) -> SatResult {
         let slices = partition_by_inputs(pool, set);
         let mut combined = Model::new();
+        let mut remaining = self.config.max_conflicts;
         for slice in &slices {
-            match self.solve_slice(pool, slice) {
+            if remaining == Some(0) {
+                return SatResult::Unknown; // shared budget exhausted
+            }
+            let before = self.stats.conflicts;
+            let result = self.solve_slice(pool, slice, remaining);
+            if let Some(rem) = remaining.as_mut() {
+                *rem = rem.saturating_sub(self.stats.conflicts - before);
+            }
+            match result {
                 SatResult::Sat(m) => combined.absorb(&m),
-                SatResult::Unsat => return SatResult::Unsat,
+                SatResult::Unsat => {
+                    if slices.len() > 1 && self.config.use_cex_cache {
+                        // The slice is a finer unsat core than the query.
+                        self.cex.note_unsat(slice);
+                    }
+                    return SatResult::Unsat;
+                }
                 SatResult::Unknown => return SatResult::Unknown,
             }
         }
         SatResult::Sat(combined)
     }
 
-    fn solve_slice(&mut self, pool: &ExprPool, slice: &[ExprId]) -> SatResult {
+    fn solve_slice(&mut self, pool: &ExprPool, slice: &[ExprId], budget: Option<u64>) -> SatResult {
         self.stats.sat_calls += 1;
-        let mut bb = BitBlaster::new(pool);
+        let mut bb = BitBlaster::new();
         for &c in slice {
-            bb.assert_true(c);
+            bb.assert_true(pool, c);
         }
         let sat_start = Instant::now();
         let mut sat = SatSolver::from_cnf(bb.cnf());
-        if let Some(budget) = self.config.max_conflicts {
-            sat.set_conflict_budget(budget);
-        }
+        sat.set_conflict_budget(budget);
         let outcome = sat.solve();
+        let result = match &outcome {
+            SolveOutcome::Sat(_) => {
+                let model = if self.config.canonical_models {
+                    let inputs = bb.inputs_sorted();
+                    // The probes share the budget the main solve left.
+                    let remaining = budget.map(|b| b.saturating_sub(sat.stats().conflicts));
+                    minimize_model(&mut sat, &inputs, &[], &outcome, remaining)
+                } else {
+                    bb.extract_model(&outcome)
+                };
+                SatResult::Sat(model)
+            }
+            SolveOutcome::Unsat => SatResult::Unsat,
+            SolveOutcome::Unknown => SatResult::Unknown,
+        };
         self.stats.sat_time += sat_start.elapsed();
         self.stats.conflicts += sat.stats().conflicts;
         self.stats.decisions += sat.stats().decisions;
-        match outcome {
-            SolveOutcome::Sat(_) => SatResult::Sat(bb.extract_model(&outcome)),
-            SolveOutcome::Unsat => SatResult::Unsat,
-            SolveOutcome::Unknown => SatResult::Unknown,
+        result
+    }
+}
+
+/// Drops constant-true conjuncts, short-circuits on constant-false, and
+/// returns the sorted, deduplicated constraint set (or the early verdict
+/// for trivial queries, which are not counted as queries).
+fn normalize_query(
+    pool: &ExprPool,
+    constraints: impl Iterator<Item = ExprId>,
+) -> Result<Vec<ExprId>, SatResult> {
+    let mut set = Vec::new();
+    for c in constraints {
+        debug_assert!(pool.sort(c).is_bool(), "constraint must be boolean");
+        if pool.is_false(c) {
+            return Err(SatResult::Unsat);
+        }
+        if !pool.is_true(c) {
+            set.push(c);
         }
     }
+    if set.is_empty() {
+        return Err(SatResult::Sat(Model::new()));
+    }
+    set.sort_unstable();
+    set.dedup();
+    Ok(set)
 }
 
 fn hash_query(set: &[ExprId]) -> u64 {
@@ -327,6 +769,18 @@ mod tests {
         ExprPool::new(8)
     }
 
+    /// A config with every tier pinned off except what the test enables.
+    fn bare() -> SolverConfig {
+        SolverConfig {
+            use_cache: false,
+            use_model_reuse: false,
+            use_independence: false,
+            use_cex_cache: false,
+            use_incremental: false,
+            ..SolverConfig::default()
+        }
+    }
+
     #[test]
     fn empty_query_is_sat() {
         let p = pool();
@@ -351,12 +805,58 @@ mod tests {
         let x = p.input("x", 8);
         let five = p.bv_const(5, 8);
         let c = p.eq(x, five);
-        let mut s = Solver::new(Default::default());
+        let mut s = Solver::new(SolverConfig { use_cache: true, ..SolverConfig::default() });
         assert!(s.check(&p, &[c]).is_sat());
         let calls_before = s.stats().sat_calls;
         assert!(s.check(&p, &[c]).is_sat());
         assert_eq!(s.stats().sat_calls, calls_before);
         assert_eq!(s.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn query_cache_collision_cannot_alias_distinct_sets() {
+        // Regression test for the u64-keyed cache unsoundness: force two
+        // *different* constraint sets into the same hash bucket (what a
+        // 64-bit hash collision does) and verify lookups distinguish them
+        // by the stored full key. Under the old design — verdicts keyed on
+        // the bare hash — the second insert would overwrite the first and
+        // every probe at this hash would return the same (possibly wrong)
+        // verdict: feasible paths pruned or infeasible ones explored.
+        let mut p = pool();
+        let x = p.input("x", 8);
+        let five = p.bv_const(5, 8);
+        let six = p.bv_const(6, 8);
+        let set_a = vec![p.eq(x, five)];
+        let set_b = vec![p.eq(x, six)];
+        let set_c = vec![p.ne(x, five)];
+        let mut model = Model::new();
+        model.set(p.intern_symbol("x"), 6);
+
+        let mut cache = QueryCache::default();
+        let h = 0xDEAD_BEEF_u64; // the simulated colliding hash
+        cache.insert_hashed(h, &set_a, CachedResult::Unsat);
+        cache.insert_hashed(h, &set_b, CachedResult::Sat(model.clone()));
+        assert_eq!(cache.get_hashed(h, &set_a), Some(&CachedResult::Unsat));
+        assert_eq!(cache.get_hashed(h, &set_b), Some(&CachedResult::Sat(model)));
+        assert_eq!(cache.get_hashed(h, &set_c), None, "colliding unseen set must miss");
+    }
+
+    #[test]
+    fn model_history_zero_is_safe() {
+        // `remember_model` used to call `Vec::remove(0)` on an empty vec
+        // when `model_history == 0`, panicking on the first sat query.
+        let mut p = pool();
+        let x = p.input("x", 8);
+        let y = p.input("y", 8);
+        let one = p.bv_const(1, 8);
+        let two = p.bv_const(2, 8);
+        let c1 = p.eq(x, one);
+        let c2 = p.eq(y, two);
+        let mut s = Solver::new(SolverConfig { model_history: 0, ..bare() });
+        assert!(s.check(&p, &[c1]).is_sat());
+        assert!(s.check(&p, &[c2]).is_sat());
+        assert!(s.check(&p, &[c1, c2]).is_sat());
+        assert_eq!(s.stats().model_reuse_hits, 0);
     }
 
     #[test]
@@ -367,7 +867,7 @@ mod tests {
         let five = p.bv_const(5, 8);
         let c1 = p.ult(x, ten);
         let c2 = p.ult(x, five); // implied by any model with x < 5
-        let mut s = Solver::new(Default::default());
+        let mut s = Solver::new(SolverConfig { use_model_reuse: true, ..SolverConfig::default() });
         // First query: x < 5 gives a model (likely x = 0).
         assert!(s.check(&p, &[c2]).is_sat());
         // Second query x < 10 can reuse the model.
@@ -384,11 +884,7 @@ mod tests {
         let two = p.bv_const(2, 8);
         let c1 = p.eq(x, one);
         let c2 = p.eq(y, two);
-        let mut s = Solver::new(SolverConfig {
-            use_cache: false,
-            use_model_reuse: false,
-            ..Default::default()
-        });
+        let mut s = Solver::new(SolverConfig { use_independence: true, ..bare() });
         match s.check(&p, &[c1, c2]) {
             SatResult::Sat(m) => {
                 assert_eq!(m.value_by_name(&p, "x"), Some(1));
@@ -417,6 +913,172 @@ mod tests {
     }
 
     #[test]
+    fn shared_conflict_budget_across_slices() {
+        // Three structurally identical hard slices over disjoint symbols.
+        // The budget is sized so one slice fits but three do not: the
+        // query must give up with a *total* conflict spend near the
+        // budget, instead of granting every slice the full budget (the
+        // old behaviour, which could burn budget × slices conflicts).
+        fn hard(p: &mut ExprPool, tag: &str) -> [ExprId; 2] {
+            let x = p.input(&format!("x{tag}"), 8);
+            let y = p.input(&format!("y{tag}"), 8);
+            let prod = p.mul(x, y);
+            let target = p.bv_const(143, 8); // 11 × 13: needs real search
+            [p.eq(prod, target), p.ult(x, y)]
+        }
+        let mut p = pool();
+        let slices: Vec<ExprId> = [hard(&mut p, "a"), hard(&mut p, "b"), hard(&mut p, "c")]
+            .into_iter()
+            .flatten()
+            .collect();
+        // Measure one slice's conflict cost without any budget.
+        let mut probe = Solver::new(bare());
+        assert!(probe.check(&p, &slices[0..2]).is_sat());
+        let per_slice = probe.stats().conflicts;
+        assert!(per_slice >= 4, "instance too easy to exercise budgets ({per_slice} conflicts)");
+        let budget = per_slice + per_slice / 2; // 1 fits, 3 would not
+        let mut s = Solver::new(SolverConfig {
+            use_independence: true,
+            max_conflicts: Some(budget),
+            ..bare()
+        });
+        let result = s.check(&p, &slices);
+        assert_eq!(result, SatResult::Unknown, "shared budget must trip before slice 3");
+        assert!(
+            s.stats().conflicts <= budget + 1,
+            "spent {} conflicts, budget was {budget}",
+            s.stats().conflicts
+        );
+    }
+
+    #[test]
+    fn cex_cache_unsat_subset_answers_superset() {
+        let mut p = pool();
+        let x = p.input("x", 8);
+        let y = p.input("y", 8);
+        let five = p.bv_const(5, 8);
+        let ten = p.bv_const(10, 8);
+        let a = p.ult(x, five);
+        let b = p.ugt(x, ten);
+        let c = p.ult(y, five);
+        let mut s = Solver::new(SolverConfig { use_cex_cache: true, ..bare() });
+        assert!(s.check(&p, &[a, b]).is_unsat());
+        let calls = s.stats().sat_calls;
+        // {a, b, c} ⊇ {a, b}: answered from the stored core, no SAT call.
+        assert!(s.check(&p, &[a, b, c]).is_unsat());
+        assert_eq!(s.stats().sat_calls, calls);
+        assert_eq!(s.stats().cex_unsat_hits, 1);
+    }
+
+    #[test]
+    fn cex_cache_sat_superset_answers_subset() {
+        let mut p = pool();
+        let x = p.input("x", 8);
+        let y = p.input("y", 8);
+        let ten = p.bv_const(10, 8);
+        let c1 = p.ult(x, ten);
+        let c2 = p.ult(y, ten);
+        let mut s = Solver::new(SolverConfig { use_cex_cache: true, ..bare() });
+        assert!(s.check(&p, &[c1, c2]).is_sat());
+        let calls = s.stats().sat_calls;
+        // {c1} ⊆ {c1, c2}: the stored model answers it outright.
+        assert!(s.check(&p, &[c1]).is_sat());
+        assert_eq!(s.stats().sat_calls, calls);
+        assert_eq!(s.stats().cex_sat_hits, 1);
+    }
+
+    #[test]
+    fn incremental_context_reuses_prefix() {
+        let mut p = pool();
+        let x = p.input("x", 8);
+        let hundred = p.bv_const(100, 8);
+        let fifty = p.bv_const(50, 8);
+        let twenty = p.bv_const(20, 8);
+        let pre = p.ult(x, hundred);
+        let mid = p.ult(x, fifty);
+        let deep = p.ugt(x, twenty);
+        let contra = p.uge(x, hundred);
+        let mut s = Solver::new(SolverConfig { use_incremental: true, ..bare() });
+        // Both polarities on the same prefix: one context build.
+        assert!(s.check_assuming(&p, &[pre], mid).is_sat());
+        assert!(s.check_assuming(&p, &[pre], contra).is_unsat());
+        assert_eq!(s.stats().ctx_rebuilds, 1);
+        assert_eq!(s.stats().ctx_hits, 1);
+        // Extending the prefix keeps the same context.
+        assert!(s.check_assuming(&p, &[pre, mid], deep).is_sat());
+        assert_eq!(s.stats().ctx_rebuilds, 1);
+        // Agreement with the re-blast path.
+        let mut mono = Solver::new(bare());
+        assert!(mono.check(&p, &[pre, mid]).is_sat());
+        assert!(mono.check(&p, &[pre, contra]).is_unsat());
+        assert!(mono.check(&p, &[pre, mid, deep]).is_sat());
+    }
+
+    #[test]
+    fn dead_context_prefix_feeds_the_cex_cache() {
+        let mut p = pool();
+        let x = p.input("x", 8);
+        let y = p.input("y", 8);
+        let five = p.bv_const(5, 8);
+        let ten = p.bv_const(10, 8);
+        let a = p.ult(x, five);
+        let b = p.ugt(x, ten);
+        let c = p.ult(y, five);
+        let mut s =
+            Solver::new(SolverConfig { use_incremental: true, use_cex_cache: true, ..bare() });
+        // The prefix {a, b} itself is unsat: the context dies and donates
+        // the prefix (not the full query) as an unsat core.
+        assert!(s.check_assuming(&p, &[a, b], c).is_unsat());
+        // Any superset of {a, b} is now answered without solving.
+        let calls = s.stats().sat_calls;
+        assert!(s.check(&p, &[a, b]).is_unsat());
+        assert_eq!(s.stats().sat_calls, calls);
+        assert!(s.stats().cex_unsat_hits >= 1);
+    }
+
+    #[test]
+    fn canonical_models_agree_across_all_paths() {
+        let mut p = pool();
+        let x = p.input("x", 8);
+        let y = p.input("y", 8);
+        let hundred = p.bv_const(100, 8);
+        let three = p.bv_const(3, 8);
+        let c1 = p.ugt(x, hundred); // canonical x = 101
+        let c2 = p.ugt(y, three); // canonical y = 4
+        let canonical = |cfg: SolverConfig| SolverConfig { canonical_models: true, ..cfg };
+        let mut sliced = Solver::new(canonical(SolverConfig { use_independence: true, ..bare() }));
+        let mut mono = Solver::new(canonical(bare()));
+        let mut inc = Solver::new(canonical(SolverConfig { use_incremental: true, ..bare() }));
+        let want = |r: SatResult| match r {
+            SatResult::Sat(m) => m,
+            o => panic!("expected sat, got {o:?}"),
+        };
+        let m1 = want(sliced.check(&p, &[c1, c2]));
+        let m2 = want(mono.check(&p, &[c1, c2]));
+        let m3 = want(inc.check_assuming(&p, &[c1], c2));
+        assert_eq!(m1, m2, "sliced vs monolithic canonical models differ");
+        assert_eq!(m1, m3, "re-blast vs incremental canonical models differ");
+        assert_eq!(m1.value_by_name(&p, "x"), Some(101));
+        assert_eq!(m1.value_by_name(&p, "y"), Some(4));
+    }
+
+    #[test]
+    fn check_assuming_matches_check_without_incremental() {
+        let mut p = pool();
+        let x = p.input("x", 8);
+        let ten = p.bv_const(10, 8);
+        let pre = p.ult(x, ten);
+        let five = p.bv_const(5, 8);
+        let extra = p.ugt(x, five);
+        let mut s = Solver::new(bare()); // use_incremental: false
+        let via_assuming = s.check_assuming(&p, &[pre], extra);
+        let mut s2 = Solver::new(bare());
+        let via_check = s2.check(&p, &[pre, extra]);
+        assert_eq!(via_assuming.is_sat(), via_check.is_sat());
+        assert_eq!(s.stats().ctx_rebuilds, 0, "fallback must not build contexts");
+    }
+
+    #[test]
     fn partition_groups_by_shared_symbols() {
         let mut p = pool();
         let x = p.input("x", 8);
@@ -430,6 +1092,28 @@ mod tests {
         assert_eq!(groups.len(), 2);
         let sizes: Vec<usize> = groups.iter().map(|g| g.len()).collect();
         assert!(sizes.contains(&2) && sizes.contains(&1));
+    }
+
+    #[test]
+    fn is_subset_walks_sorted_slices() {
+        let ids: Vec<ExprId> = {
+            let mut p = pool();
+            let x = p.input("x", 8);
+            (0..5u64)
+                .map(|i| {
+                    let k = p.bv_const(i, 8);
+                    p.ult(x, k)
+                })
+                .collect()
+        };
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        let (a, b, c, d) = (sorted[0], sorted[1], sorted[2], sorted[3]);
+        assert!(is_subset(&[a, c], &[a, b, c, d]));
+        assert!(is_subset(&[], &[a]));
+        assert!(is_subset(&[a], &[a]));
+        assert!(!is_subset(&[a, d], &[a, b, c]));
+        assert!(!is_subset(&[a, b], &[b, c]));
     }
 
     #[test]

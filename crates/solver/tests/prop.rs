@@ -88,7 +88,13 @@ fn build(p: &mut ExprPool, r: &Recipe) -> ExprId {
 }
 
 fn no_cache_config() -> SolverConfig {
-    SolverConfig { use_cache: false, use_model_reuse: false, ..Default::default() }
+    SolverConfig {
+        use_cache: false,
+        use_model_reuse: false,
+        use_cex_cache: false,
+        use_incremental: false,
+        ..Default::default()
+    }
 }
 
 proptest! {
@@ -189,5 +195,86 @@ proptest! {
         let rb = without.check(&p, &[c1, c2]);
         prop_assert_eq!(ra.is_sat(), rb.is_sat());
         prop_assert_eq!(ra.is_unsat(), rb.is_unsat());
+    }
+
+    /// The incremental assumption path (persistent context, extra solved
+    /// under assumptions) must agree with the monolithic re-blast path on
+    /// random prefix/extra splits, and its models must be genuine.
+    #[test]
+    fn incremental_agrees_with_reblast(
+        r1 in recipe(),
+        r2 in recipe(),
+        r3 in recipe(),
+        op in cmp_op(),
+    ) {
+        let mut p = ExprPool::new(WIDTH);
+        let a = build(&mut p, &r1);
+        let b = build(&mut p, &r2);
+        let c = build(&mut p, &r3);
+        let k = p.bv_const(3, WIDTH);
+        let c1 = p.ult(a, k);
+        let c2 = p.ugt(b, k);
+        let extra = p.cmp(op, c, k);
+        let mut inc = Solver::new(SolverConfig {
+            use_incremental: true,
+            ..no_cache_config()
+        });
+        let mut mono = Solver::new(SolverConfig {
+            use_independence: false,
+            ..no_cache_config()
+        });
+        // Two queries on the shared prefix exercise context reuse.
+        let ri1 = inc.check_assuming(&p, &[c1, c2], extra);
+        let not_extra = p.not(extra);
+        let ri2 = inc.check_assuming(&p, &[c1, c2], not_extra);
+        let rm1 = mono.check(&p, &[c1, c2, extra]);
+        let rm2 = mono.check(&p, &[c1, c2, not_extra]);
+        prop_assert_eq!(ri1.is_sat(), rm1.is_sat(), "positive polarity diverged");
+        prop_assert_eq!(ri2.is_sat(), rm2.is_sat(), "negative polarity diverged");
+        if let SatResult::Sat(m) = &ri1 {
+            prop_assert!(m.satisfies(&p, &[c1, c2, extra]), "bogus incremental model");
+        }
+        if let SatResult::Sat(m) = &ri2 {
+            prop_assert!(m.satisfies(&p, &[c1, c2, not_extra]), "bogus incremental model");
+        }
+    }
+
+    /// In canonical-model mode, every solving path — independence slices,
+    /// monolithic re-blast, incremental context — must return *exactly*
+    /// the same (minimal) model, which is what lets the differential
+    /// harness compare generated tests byte-for-byte.
+    #[test]
+    fn canonical_models_are_path_independent(
+        r1 in recipe(),
+        r2 in recipe(),
+    ) {
+        let mut p = ExprPool::new(WIDTH);
+        let a = build(&mut p, &r1);
+        let b = build(&mut p, &r2);
+        let k = p.bv_const(3, WIDTH);
+        let c1 = p.ult(a, k);
+        let c2 = p.ugt(b, k);
+        let canonical = |cfg: SolverConfig| SolverConfig { canonical_models: true, ..cfg };
+        let mut sliced = Solver::new(canonical(no_cache_config()));
+        let mut mono = Solver::new(canonical(SolverConfig {
+            use_independence: false,
+            ..no_cache_config()
+        }));
+        let mut inc = Solver::new(canonical(SolverConfig {
+            use_incremental: true,
+            ..no_cache_config()
+        }));
+        let rs = sliced.check(&p, &[c1, c2]);
+        let rm = mono.check(&p, &[c1, c2]);
+        let ri = inc.check_assuming(&p, &[c1], c2);
+        match (&rs, &rm, &ri) {
+            (SatResult::Sat(ms), SatResult::Sat(mm), SatResult::Sat(mi)) => {
+                prop_assert_eq!(ms, mm, "sliced vs monolithic canonical models differ");
+                prop_assert_eq!(ms, mi, "sliced vs incremental canonical models differ");
+                prop_assert!(ms.satisfies(&p, &[c1, c2]));
+            }
+            (SatResult::Unsat, SatResult::Unsat, SatResult::Unsat) => {}
+            other => prop_assert!(false, "paths disagree on satisfiability: {other:?}"),
+        }
     }
 }

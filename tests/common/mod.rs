@@ -188,6 +188,94 @@ pub fn assert_mode_invariant(workload: &str, baseline: &Observation, other: &Obs
     }
 }
 
+/// Runs a workload under an explicit solver configuration and returns
+/// the raw engine report. Used by the solver-config differential, which
+/// compares two reports of the *same* engine configuration that differ
+/// only in how the solver answered the queries.
+pub fn run_with_solver(
+    workload: &str,
+    cfg: InputConfig,
+    mode: MergeMode,
+    strategy: StrategyKind,
+    solver: SolverConfig,
+) -> RunReport {
+    let program =
+        by_name(workload).unwrap_or_else(|| panic!("unknown workload {workload}")).program(&cfg);
+    let report = Engine::builder(program)
+        .merging(mode)
+        .strategy(strategy)
+        .qce(QceConfig { alpha: 1e-12, ..QceConfig::default() })
+        .solver(solver)
+        .seed(11)
+        .build()
+        .unwrap()
+        .run();
+    assert!(
+        !report.hit_budget,
+        "{workload} {mode:?}/{strategy:?}: solver differential requires exhaustive exploration"
+    );
+    assert_eq!(
+        report.tests_dropped_unknown, 0,
+        "{workload} {mode:?}/{strategy:?}: no solver budget is set, nothing may drop"
+    );
+    report
+}
+
+/// A generated test collapsed to comparable bytes: termination class,
+/// input assignments, predicted outputs.
+type TestBytes = (String, Vec<(String, u64)>, Vec<u64>);
+
+fn test_bytes(report: &RunReport) -> Vec<TestBytes> {
+    let mut v: Vec<TestBytes> = report
+        .tests
+        .iter()
+        .map(|t| {
+            let class = match &t.kind {
+                TestKind::Halted => "halted".to_string(),
+                TestKind::Returned => "returned".to_string(),
+                TestKind::AssertFailure { msg } => format!("assert:{msg}"),
+            };
+            (class, t.inputs.clone(), t.predicted_outputs.clone())
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+/// Asserts that two runs of the same engine configuration under different
+/// *solver* configurations are observationally identical: same assertion
+/// verdicts, same coverage, same path counts — and, because both runs use
+/// canonical (minimal) models, the *exact same generated-test bytes*.
+pub fn assert_solver_config_invariant(
+    workload: &str,
+    incremental: &RunReport,
+    reblast: &RunReport,
+) {
+    let who = format!("{workload}: incremental vs re-blast solver");
+    let msgs = |r: &RunReport| -> BTreeSet<String> {
+        r.assert_failures.iter().map(|f| f.msg.clone()).collect()
+    };
+    assert_eq!(msgs(incremental), msgs(reblast), "{who}: assertion verdicts differ");
+    assert_eq!(incremental.covered_blocks, reblast.covered_blocks, "{who}: block coverage differs");
+    assert_eq!(
+        incremental.completed_paths, reblast.completed_paths,
+        "{who}: completed path counts differ"
+    );
+    assert_eq!(
+        incremental.completed_multiplicity, reblast.completed_multiplicity,
+        "{who}: completed multiplicities differ"
+    );
+    assert_eq!(
+        incremental.merges, reblast.merges,
+        "{who}: merge counts differ (exploration diverged)"
+    );
+    assert_eq!(
+        test_bytes(incremental),
+        test_bytes(reblast),
+        "{who}: canonical models must make generated tests byte-identical"
+    );
+}
+
 /// The unmerged-baseline observation must itself be internally exact:
 /// without merging, multiplicity equals the completed path count and each
 /// completed path yields one test.

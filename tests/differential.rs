@@ -11,10 +11,18 @@
 //! and the sizes are chosen so every configuration explores exhaustively
 //! in well under a second; the point here is breadth of configurations,
 //! not input scale (scale sweeps live in `symmerge-bench`).
+//!
+//! A second axis (`solver_differential_*`) varies the *solver* instead of
+//! the engine: the incremental prefix-context path vs the monolithic
+//! re-blast path, both in canonical-model mode, must produce
+//! byte-identical runs.
 
 mod common;
 
-use common::{assert_exact_baseline, assert_mode_invariant, observe};
+use common::{
+    assert_exact_baseline, assert_mode_invariant, assert_solver_config_invariant, observe,
+    run_with_solver,
+};
 use symmerge::prelude::*;
 
 /// Workloads under differential test: ≥ 8, covering every `InputKind`.
@@ -87,6 +95,46 @@ fn differential_stdin_workloads() {
 #[test]
 fn differential_mixed_input_workloads() {
     differential_for(&WORKLOADS[11..]);
+}
+
+/// The solver-config differential: for every workload, run the *same*
+/// engine configuration once on the incremental solver (persistent
+/// prefix contexts, assumption solving) and once on the monolithic
+/// re-blast path, both in canonical-model mode, and require the runs to
+/// be observationally identical — same verdicts, same coverage, same
+/// path counts, and byte-identical generated tests. Satisfiability
+/// equivalence alone would allow the two solver paths to pick different
+/// models; canonical (minimal) models close that gap, so this asserts
+/// strict equality.
+fn solver_differential_for(workloads: &[(&str, InputConfig)]) {
+    let incremental =
+        SolverConfig { use_incremental: true, canonical_models: true, ..SolverConfig::default() };
+    let reblast =
+        SolverConfig { use_incremental: false, canonical_models: true, ..SolverConfig::default() };
+    for &(name, cfg) in workloads {
+        for (mode, strategy) in
+            [(MergeMode::None, StrategyKind::Bfs), (MergeMode::Static, StrategyKind::Topological)]
+        {
+            let a = run_with_solver(name, cfg, mode, strategy, incremental.clone());
+            let b = run_with_solver(name, cfg, mode, strategy, reblast.clone());
+            assert_solver_config_invariant(name, &a, &b);
+        }
+    }
+}
+
+#[test]
+fn solver_differential_args_workloads_first_half() {
+    solver_differential_for(&WORKLOADS[0..4]);
+}
+
+#[test]
+fn solver_differential_args_workloads_second_half() {
+    solver_differential_for(&WORKLOADS[4..8]);
+}
+
+#[test]
+fn solver_differential_stdin_and_mixed_workloads() {
+    solver_differential_for(&WORKLOADS[8..]);
 }
 
 /// The baseline itself must not depend on the schedule: unmerged
