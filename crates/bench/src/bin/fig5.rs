@@ -26,6 +26,9 @@ fn timed(w: &Workload, cfg: &InputConfig, setup: Setup, opts: &RunOpts) -> (Dura
 
 fn main() {
     let opts = HarnessOpts::parse(30_000);
+    if opts.jobs > 1 {
+        println!("# --jobs {}: all engine runs use the sharded parallel engine", opts.jobs);
+    }
     let max_l = if opts.quick { 3 } else { 5 };
     let tools: Vec<(&str, Vec<InputConfig>)> = vec![
         ("link", (1..=max_l).map(|l| InputConfig::args(2, l)).collect()),
@@ -49,6 +52,7 @@ fn main() {
                 budget: Some(opts.budget),
                 seed: opts.seed,
                 alpha: opts.alpha,
+                jobs: opts.jobs,
                 ..Default::default()
             };
             let reblast_opts = RunOpts { incremental: false, ..run_opts.clone() };

@@ -1,0 +1,116 @@
+//! **parallel_scaling** — wall-clock scaling of the sharded exploration
+//! engine.
+//!
+//! Runs a spread of workloads to exhaustion under `MergeMode::None` (the
+//! configuration whose results are provably schedule-invariant, so every
+//! worker count explores exactly the same paths) at 1, 2 and 4 workers,
+//! and reports the speedup over the sequential engine. The 1-worker
+//! column uses the legacy sequential loop — the parallel engine's
+//! `jobs = 1` fast path — so the baseline carries no round-machinery
+//! overhead.
+//!
+//! Sizes are chosen so the sequential run takes on the order of seconds
+//! in release mode: long enough for the per-round barriers to amortize,
+//! short enough for CI's `--quick` sweep. Every run's path counts are
+//! cross-checked across worker counts; a mismatch aborts the harness
+//! (scaling numbers for runs that disagree would be meaningless).
+
+use std::time::{Duration, Instant};
+use symmerge_bench::harness::{CsvOut, HarnessOpts};
+use symmerge_bench::{run_workload, RunOpts, Setup};
+use symmerge_workloads::{by_name, InputConfig};
+
+fn main() {
+    let opts = HarnessOpts::parse(120_000);
+    let sweeps: Vec<(&str, InputConfig)> = if opts.quick {
+        vec![
+            ("link", InputConfig::args(2, 2)),
+            ("cut", InputConfig::args(2, 2)),
+            ("wc", InputConfig { n_args: 0, arg_len: 1, stdin_len: 4 }),
+        ]
+    } else {
+        vec![
+            ("link", InputConfig::args(2, 3)),
+            ("nice", InputConfig::args(2, 3)),
+            ("cut", InputConfig::args(2, 3)),
+            ("wc", InputConfig { n_args: 0, arg_len: 1, stdin_len: 6 }),
+            ("rev", InputConfig { n_args: 0, arg_len: 1, stdin_len: 6 }),
+        ]
+    };
+    let jobs_axis: &[u32] = &[1, 2, 4];
+
+    let mut csv = CsvOut::create(
+        "parallel_scaling",
+        "tool,symbolic_bytes,jobs,wall_ms,speedup,steps,completed_paths,sat_calls,sat_time_ms",
+    );
+    println!("# parallel_scaling: exhaustive MergeMode::None exploration, sequential vs sharded");
+    println!(
+        "# sat_calls/sat_time: fleet totals — inflation vs jobs=1 is cache loss from sharding"
+    );
+    println!(
+        "{:10} {:>6} {:>5} {:>12} {:>9} {:>10} {:>10} {:>10} {:>10}",
+        "tool", "bytes", "jobs", "wall", "speedup", "steps", "paths", "sat_calls", "sat_time"
+    );
+    for (tool, cfg) in sweeps {
+        let w = by_name(tool).unwrap();
+        let mut t1 = Duration::ZERO;
+        let mut paths1 = 0u64;
+        for &jobs in jobs_axis {
+            let run_opts = RunOpts {
+                budget: Some(opts.budget),
+                seed: opts.seed,
+                alpha: opts.alpha,
+                jobs,
+                ..Default::default()
+            };
+            let t0 = Instant::now();
+            let report = run_workload(&w, &cfg, Setup::Baseline, &run_opts);
+            let wall = t0.elapsed();
+            if std::env::var_os("SYMMERGE_PAR_DEBUG").is_some() {
+                eprintln!(
+                    "# {tool} jobs={jobs}: solver.time={:?} ctx={}/{} cache={} reuse={}",
+                    report.solver.time,
+                    report.solver.ctx_hits,
+                    report.solver.ctx_rebuilds,
+                    report.solver.cache_hits,
+                    report.solver.model_reuse_hits
+                );
+            }
+            assert!(
+                !report.hit_budget,
+                "{tool} jobs={jobs}: raise --budget-ms, scaling needs exhaustive runs"
+            );
+            if jobs == 1 {
+                t1 = wall;
+                paths1 = report.completed_paths;
+            } else {
+                assert_eq!(
+                    report.completed_paths, paths1,
+                    "{tool} jobs={jobs}: explored a different path set than sequential"
+                );
+            }
+            let speedup = t1.as_secs_f64() / wall.as_secs_f64().max(1e-9);
+            println!(
+                "{tool:10} {:>6} {jobs:>5} {:>12.2?} {:>8.2}x {:>10} {:>10} {:>10} {:>10.2?}",
+                cfg.symbolic_bytes(),
+                wall,
+                speedup,
+                report.steps,
+                report.completed_paths,
+                report.solver.sat_calls,
+                report.solver.sat_time
+            );
+            csv.row(&format!(
+                "{tool},{},{jobs},{:.3},{:.3},{},{},{},{:.3}",
+                cfg.symbolic_bytes(),
+                wall.as_secs_f64() * 1e3,
+                speedup,
+                report.steps,
+                report.completed_paths,
+                report.solver.sat_calls,
+                report.solver.sat_time.as_secs_f64() * 1e3
+            ));
+        }
+    }
+    println!("# csv: {}", csv.path.display());
+}

@@ -6,7 +6,10 @@
 //! rationale and `EXPERIMENTS.md` for recorded outcomes).
 
 use std::time::Duration;
-use symmerge_core::{Budgets, Engine, EngineConfig, MergeMode, QceConfig, RunReport, StrategyKind};
+use symmerge_core::{
+    Budgets, Engine, EngineConfig, MergeMode, ParallelConfig, ParallelEngine, QceConfig, RunReport,
+    StrategyKind,
+};
 use symmerge_workloads::{InputConfig, Workload};
 
 /// A named engine setup used across the figure harnesses.
@@ -49,6 +52,9 @@ pub struct RunOpts {
     /// Solve branch queries on incremental prefix contexts (`false`
     /// re-blasts every query, the paper's KLEE + STP scheme).
     pub incremental: bool,
+    /// Worker threads for the exploration. `1` runs the legacy
+    /// sequential engine; `> 1` runs the sharded [`ParallelEngine`].
+    pub jobs: u32,
 }
 
 impl Default for RunOpts {
@@ -61,6 +67,7 @@ impl Default for RunOpts {
             seed: 0,
             generate_tests: false,
             incremental: true,
+            jobs: 1,
         }
     }
 }
@@ -97,7 +104,8 @@ pub fn config_for(setup: Setup, opts: &RunOpts) -> EngineConfig {
     config
 }
 
-/// Runs one workload under one setup and sizing.
+/// Runs one workload under one setup and sizing. `opts.jobs > 1` runs
+/// the sharded parallel engine instead of the sequential loop.
 pub fn run_workload(
     workload: &Workload,
     cfg: &InputConfig,
@@ -105,10 +113,22 @@ pub fn run_workload(
     opts: &RunOpts,
 ) -> RunReport {
     let program = workload.program(cfg);
-    let mut engine = Engine::builder(program)
-        .config(config_for(setup, opts))
-        .build()
-        .expect("workload programs validate");
+    let config = config_for(setup, opts);
+    if opts.jobs > 1 {
+        // Experiment overrides for the scaling sweeps (see EXPERIMENTS.md):
+        // SYMMERGE_PAR_QUOTA sets the per-round step quota and
+        // SYMMERGE_PAR_STEAL_NEWEST flips the steal direction.
+        let mut par = ParallelConfig { jobs: opts.jobs, ..ParallelConfig::default() };
+        if let Ok(q) = std::env::var("SYMMERGE_PAR_QUOTA") {
+            par.steps_per_round = q.parse().expect("SYMMERGE_PAR_QUOTA takes a step count");
+        }
+        par.steal_newest = std::env::var_os("SYMMERGE_PAR_STEAL_NEWEST").is_some();
+        return ParallelEngine::new(program, config, par)
+            .expect("workload programs validate")
+            .run();
+    }
+    let mut engine =
+        Engine::builder(program).config(config).build().expect("workload programs validate");
     engine.run()
 }
 
@@ -166,7 +186,7 @@ pub mod harness {
     use std::time::Duration;
 
     /// Options every figure binary accepts:
-    /// `--budget-ms N`, `--seed N`, `--quick`, `--alpha X`.
+    /// `--budget-ms N`, `--seed N`, `--quick`, `--alpha X`, `--jobs N`.
     #[derive(Debug, Clone)]
     pub struct HarnessOpts {
         /// Per-run budget.
@@ -179,6 +199,8 @@ pub mod harness {
         pub alpha: f64,
         /// Optional ζ (full Eq. 7 criterion).
         pub zeta: Option<f64>,
+        /// Exploration worker threads (`> 1` → the sharded engine).
+        pub jobs: u32,
     }
 
     impl HarnessOpts {
@@ -190,6 +212,7 @@ pub mod harness {
                 quick: false,
                 alpha: 1e-12,
                 zeta: None,
+                jobs: 1,
             };
             let args: Vec<String> = std::env::args().collect();
             let mut i = 1;
@@ -212,6 +235,11 @@ pub mod harness {
                     "--zeta" => {
                         i += 1;
                         opts.zeta = Some(args[i].parse().expect("--zeta takes a float"));
+                    }
+                    "--jobs" => {
+                        i += 1;
+                        opts.jobs = args[i].parse().expect("--jobs takes a worker count");
+                        assert!(opts.jobs >= 1, "--jobs must be at least 1");
                     }
                     "--quick" => opts.quick = true,
                     other => panic!("unknown argument {other}"),

@@ -37,6 +37,15 @@ pub struct DsmStats {
     pub driving_picks: u64,
 }
 
+impl DsmStats {
+    /// Accumulates another stats block (used by the parallel engine's
+    /// report reduction).
+    pub fn absorb(&mut self, other: &DsmStats) {
+        self.ff_picks += other.ff_picks;
+        self.driving_picks += other.driving_picks;
+    }
+}
+
 /// The DSM scheduling layer.
 pub struct DsmStrategy {
     driving: Box<dyn Strategy>,

@@ -7,12 +7,13 @@ use crate::dsm::{DsmConfig, DsmStats, DsmStrategy};
 use crate::exec::{AssertFailure, Completion, ExecCtx};
 use crate::merge::{classify_pair, merge_signature, merge_states, similar_qce, MergeConfig};
 use crate::qce::{HotSet, QceAnalysis, QceConfig};
+use crate::shard::{PortableState, RegionId, RegionMap};
 use crate::state::{State, StateId};
 use crate::strategy::{make_strategy, Oracle, StateMeta, Strategy, StrategyKind};
 use crate::testgen::{TestCase, TestKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 use symmerge_expr::ExprPool;
@@ -251,6 +252,41 @@ impl RunReport {
     }
 }
 
+/// The outcome of one [`Engine::explore_step`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExploreStep {
+    /// A state was picked (and, unless it was stale, executed one
+    /// instruction); the engine can step again.
+    Progressed,
+    /// The worklist is empty: exploration is exhausted.
+    Exhausted,
+    /// A configured [`Budgets`] limit tripped before the pick.
+    BudgetExhausted,
+}
+
+/// Shard-mode bookkeeping (see [`crate::parallel`]): which regions this
+/// engine owns, the outbox of states that crossed into foreign regions,
+/// and a per-region index of the local worklist for whole-region
+/// eviction.
+struct ShardCtl {
+    me: u32,
+    owner: RegionMap,
+    /// Free placement (no region ownership): every integration is local
+    /// and the coordinator steals by count instead of by region. Used
+    /// for [`MergeMode::None`], where no states ever merge and therefore
+    /// no two states ever need to be co-located.
+    free: bool,
+    outbox: Vec<PortableState>,
+    by_region: BTreeMap<RegionId, BTreeSet<StateId>>,
+    seq: u64,
+}
+
+impl ShardCtl {
+    fn owns(&self, region: RegionId) -> bool {
+        self.free || self.owner.owner_of(region) == self.me
+    }
+}
+
 enum Scheduler {
     Plain(Box<dyn Strategy>),
     Dsm(Box<DsmStrategy>),
@@ -285,6 +321,12 @@ pub struct Engine {
     dist_cache: Option<HashMap<(FuncId, BlockId), u32>>,
     rng: StdRng,
     next_id: u64,
+    /// Set when the first state is seeded; budgets and `wall_time`
+    /// measure from here.
+    started: Option<Instant>,
+    /// Present iff this engine runs as one shard of a
+    /// [`crate::parallel::ParallelEngine`].
+    shard: Option<ShardCtl>,
     // Run accumulators.
     completed_paths: u64,
     completed_multiplicity: f64,
@@ -412,6 +454,8 @@ impl Engine {
             dist_cache: None,
             rng,
             next_id: 0,
+            started: None,
+            shard: None,
             completed_paths: 0,
             completed_multiplicity: 0.0,
             pruned_by_assume: 0,
@@ -487,9 +531,32 @@ impl Engine {
         }
     }
 
+    /// The state's topological region: the loop-aware topo index of its
+    /// outermost frame's block. Merge candidates (equal control keys)
+    /// always share a region, so region sharding never splits them.
+    fn region_of(&self, state: &State) -> RegionId {
+        let f = &state.frames[0];
+        self.cfgs[f.func.index()].topo_index[f.block.index()]
+    }
+
     /// Inserts a new state into the worklist, first attempting to merge it
     /// with a matching state (Algorithm 1, lines 17–22).
+    ///
+    /// In shard mode, a state whose region this engine does not own is
+    /// exported to the outbox instead; the owning worker integrates it
+    /// (and marks its coverage) on the next round.
     fn integrate(&mut self, mut state: State, mut history: VecDeque<u64>, ff: bool) {
+        let region = self.region_of(&state);
+        if let Some(ctl) = self.shard.as_mut() {
+            if !ctl.owns(region) {
+                ctl.seq += 1;
+                let env = PortableState::export(
+                    &self.pool, &state, &history, ff, region, ctl.me, ctl.seq,
+                );
+                ctl.outbox.push(env);
+                return;
+            }
+        }
         self.mark_covered(&state);
         if self.config.merge_mode != MergeMode::None {
             let ck = state.control_key();
@@ -546,8 +613,23 @@ impl Engine {
             self.ff_active.insert(id);
         }
         self.by_control.entry(ck).or_default().push(id);
+        if let Some(ctl) = self.shard.as_mut() {
+            ctl.by_region.entry(region).or_default().insert(id);
+        }
         self.states.insert(id, state);
         self.max_worklist = self.max_worklist.max(self.states.len());
+    }
+
+    /// Drops `id` from the shard-mode region index, if present.
+    fn unindex_region(&mut self, id: StateId, region: RegionId) {
+        if let Some(ctl) = self.shard.as_mut() {
+            if let Some(set) = ctl.by_region.get_mut(&region) {
+                set.remove(&id);
+                if set.is_empty() {
+                    ctl.by_region.remove(&region);
+                }
+            }
+        }
     }
 
     fn remove_from_worklist(&mut self, id: StateId) -> Option<State> {
@@ -562,6 +644,8 @@ impl Engine {
         self.scheduler.remove(id);
         self.histories.remove(&id);
         self.ff_active.remove(&id);
+        let region = self.region_of(&state);
+        self.unindex_region(id, region);
         Some(state)
     }
 
@@ -625,90 +709,127 @@ impl Engine {
         self.assert_failures.push(failure);
     }
 
-    /// Runs the exploration to exhaustion or until a budget trips.
-    pub fn run(&mut self) -> RunReport {
-        let start = Instant::now();
+    /// Seeds the worklist with the program's initial state and starts the
+    /// budget clock. [`Engine::run`] calls this automatically; call it
+    /// directly only when driving the engine step-by-step with
+    /// [`Engine::explore_step`].
+    pub fn seed_initial(&mut self) {
+        self.started.get_or_insert_with(Instant::now);
         let initial_id = self.fresh_id();
         let initial = State::initial(&self.program, &mut self.pool, initial_id);
         self.integrate(initial, VecDeque::new(), false);
+    }
 
+    /// Runs the exploration to exhaustion or until a budget trips.
+    pub fn run(&mut self) -> RunReport {
+        self.seed_initial();
         let mut hit_budget = false;
         loop {
-            let b = self.config.budgets;
-            if b.max_time.is_some_and(|t| start.elapsed() >= t)
-                || b.max_steps.is_some_and(|s| self.steps >= s)
-                || b.max_completed.is_some_and(|c| self.completed_paths >= c)
-                || b.max_picks.is_some_and(|p| self.picks >= p)
-            {
-                hit_budget = !self.states.is_empty();
-                break;
-            }
-            // Pick the next state (Algorithm 1 line 3 / Algorithm 2).
-            let picked = {
-                let mut oracle = OracleImpl {
-                    program: &self.program,
-                    cfgs: &self.cfgs,
-                    covered: &self.covered,
-                    dist_cache: &mut self.dist_cache,
-                    rng: &mut self.rng,
-                };
-                match &mut self.scheduler {
-                    Scheduler::Plain(s) => s.pick(&mut oracle),
-                    Scheduler::Dsm(d) => d.pick(&mut oracle),
+            match self.explore_step() {
+                ExploreStep::Progressed => {}
+                ExploreStep::Exhausted => break,
+                ExploreStep::BudgetExhausted => {
+                    hit_budget = !self.states.is_empty();
+                    break;
                 }
-            };
-            let Some(id) = picked else { break };
-            self.picks += 1;
-            // DSM bookkeeping must survive the state's exit from the
-            // worklist: grab history and ff-ness first.
-            let parent_hist = self.histories.remove(&id).unwrap_or_default();
-            let mut parent_ff = self.ff_active.remove(&id);
-            if let Scheduler::Dsm(d) = &self.scheduler {
-                parent_ff |= d.picked_was_ff(id);
-            }
-            let parent_sig = match &self.scheduler {
-                // The state's live bookkeeping was torn down inside pick();
-                // the strategy stashes the signature for exactly this query.
-                Scheduler::Dsm(d) => d.picked_sig(id),
-                Scheduler::Plain(_) => None,
-            };
-            let Some(state) = self.remove_from_worklist_after_pick(id) else { continue };
-            let child_hist = match parent_sig {
-                Some(sig) => {
-                    let delta = self.config.dsm.delta;
-                    let mut h = parent_hist.clone();
-                    h.push_back(sig);
-                    while h.len() > delta {
-                        h.pop_front();
-                    }
-                    h
-                }
-                None => parent_hist,
-            };
-
-            let result = {
-                let mut ctx = ExecCtx {
-                    program: &self.program,
-                    pool: &mut self.pool,
-                    solver: &mut self.solver,
-                    next_id: &mut self.next_id,
-                };
-                ctx.step(state)
-            };
-            self.steps += 1;
-            if let Some(failure) = result.failure {
-                let outputs: Vec<symmerge_expr::ExprId> =
-                    result.successors.first().map(|s| s.outputs.clone()).unwrap_or_default();
-                self.record_failure(failure, &outputs);
-            }
-            if let Some((s, completion)) = result.completed {
-                self.record_completion(s, completion);
-            }
-            for succ in result.successors {
-                self.integrate(succ, child_hist.clone(), parent_ff);
             }
         }
+        self.report(hit_budget)
+    }
 
+    /// Advances the exploration by one scheduling step: checks budgets,
+    /// picks the next state (Algorithm 1 line 3 / Algorithm 2), executes
+    /// one instruction, and integrates the successors.
+    ///
+    /// This is the re-entrant core of [`Engine::run`]: callers that need
+    /// to interleave exploration with other work — the sharded
+    /// [`crate::parallel::ParallelEngine`] workers, or a library user
+    /// implementing a custom outer loop — call it repeatedly after
+    /// [`Engine::seed_initial`] and stop on
+    /// [`ExploreStep::Exhausted`] / [`ExploreStep::BudgetExhausted`].
+    pub fn explore_step(&mut self) -> ExploreStep {
+        let started = *self.started.get_or_insert_with(Instant::now);
+        let b = self.config.budgets;
+        if b.max_time.is_some_and(|t| started.elapsed() >= t)
+            || b.max_steps.is_some_and(|s| self.steps >= s)
+            || b.max_completed.is_some_and(|c| self.completed_paths >= c)
+            || b.max_picks.is_some_and(|p| self.picks >= p)
+        {
+            return ExploreStep::BudgetExhausted;
+        }
+        let picked = {
+            let mut oracle = OracleImpl {
+                program: &self.program,
+                cfgs: &self.cfgs,
+                covered: &self.covered,
+                dist_cache: &mut self.dist_cache,
+                rng: &mut self.rng,
+            };
+            match &mut self.scheduler {
+                Scheduler::Plain(s) => s.pick(&mut oracle),
+                Scheduler::Dsm(d) => d.pick(&mut oracle),
+            }
+        };
+        let Some(id) = picked else { return ExploreStep::Exhausted };
+        self.picks += 1;
+        // DSM bookkeeping must survive the state's exit from the
+        // worklist: grab history and ff-ness first.
+        let parent_hist = self.histories.remove(&id).unwrap_or_default();
+        let mut parent_ff = self.ff_active.remove(&id);
+        if let Scheduler::Dsm(d) = &self.scheduler {
+            parent_ff |= d.picked_was_ff(id);
+        }
+        let parent_sig = match &self.scheduler {
+            // The state's live bookkeeping was torn down inside pick();
+            // the strategy stashes the signature for exactly this query.
+            Scheduler::Dsm(d) => d.picked_sig(id),
+            Scheduler::Plain(_) => None,
+        };
+        let Some(state) = self.remove_from_worklist_after_pick(id) else {
+            return ExploreStep::Progressed;
+        };
+        let child_hist = match parent_sig {
+            Some(sig) => {
+                let delta = self.config.dsm.delta;
+                let mut h = parent_hist.clone();
+                h.push_back(sig);
+                while h.len() > delta {
+                    h.pop_front();
+                }
+                h
+            }
+            None => parent_hist,
+        };
+
+        let result = {
+            let mut ctx = ExecCtx {
+                program: &self.program,
+                pool: &mut self.pool,
+                solver: &mut self.solver,
+                next_id: &mut self.next_id,
+            };
+            ctx.step(state)
+        };
+        self.steps += 1;
+        if let Some(failure) = result.failure {
+            let outputs: Vec<symmerge_expr::ExprId> =
+                result.successors.first().map(|s| s.outputs.clone()).unwrap_or_default();
+            self.record_failure(failure, &outputs);
+        }
+        if let Some((s, completion)) = result.completed {
+            self.record_completion(s, completion);
+        }
+        for succ in result.successors {
+            self.integrate(succ, child_hist.clone(), parent_ff);
+        }
+        ExploreStep::Progressed
+    }
+
+    /// Snapshots the run accumulators into a [`RunReport`]. Called by
+    /// [`Engine::run`] at the end of the loop; step-by-step drivers call
+    /// it when they decide the run is over (passing whether a budget —
+    /// theirs or the engine's — cut exploration short).
+    pub fn report(&self, hit_budget: bool) -> RunReport {
         RunReport {
             completed_paths: self.completed_paths,
             completed_multiplicity: self.completed_multiplicity,
@@ -730,7 +851,7 @@ impl Engine {
                 Scheduler::Plain(_) => DsmStats::default(),
             },
             solver: *self.solver.stats(),
-            wall_time: start.elapsed(),
+            wall_time: self.started.map(|s| s.elapsed()).unwrap_or_default(),
             hit_budget,
         }
     }
@@ -746,7 +867,130 @@ impl Engine {
                 self.by_control.remove(&ck);
             }
         }
+        let region = self.region_of(&state);
+        self.unindex_region(id, region);
         Some(state)
+    }
+
+    // ----- shard-mode plumbing (used by `crate::parallel`) --------------
+
+    /// Puts the engine into shard mode as worker `me` under `map`.
+    /// `free` selects count-based placement (no region ownership) — only
+    /// sound when the merge mode is [`MergeMode::None`].
+    pub(crate) fn enable_shard(&mut self, me: u32, map: RegionMap, free: bool) {
+        debug_assert!(
+            !free || self.config.merge_mode == MergeMode::None,
+            "free placement would split merge candidates across workers"
+        );
+        self.shard = Some(ShardCtl {
+            me,
+            owner: map,
+            free,
+            outbox: Vec::new(),
+            by_region: BTreeMap::new(),
+            seq: 0,
+        });
+    }
+
+    /// Evicts worklist states beyond `keep` in deterministic order — the
+    /// free-placement steal primitive. The coordinator routes the
+    /// envelopes to underloaded workers.
+    ///
+    /// The direction matters. *Oldest*-first (the default, the Cilk
+    /// convention of stealing from the cold end) ships shallow states
+    /// that root the largest unexplored subtrees, so a steal genuinely
+    /// transfers work — measured per-worker step counts come out within a
+    /// few percent of uniform. *Newest*-first ships paths that are about
+    /// to complete: the thief starves within a few steps (measured: 95%
+    /// of all steps stayed on the victim), but the victim's solver
+    /// contexts stay warmer — a throughput-over-balance trade a
+    /// single-core host can prefer.
+    pub(crate) fn evict_excess(&mut self, keep: u64, newest_first: bool) -> Vec<PortableState> {
+        debug_assert!(
+            self.shard.as_ref().is_some_and(|c| c.free),
+            "count eviction needs free mode"
+        );
+        let excess = (self.states.len() as u64).saturating_sub(keep);
+        if excess == 0 {
+            return Vec::new();
+        }
+        let mut ids: Vec<StateId> = self.states.keys().copied().collect();
+        if newest_first {
+            ids.sort_unstable_by(|a, b| b.cmp(a));
+        } else {
+            ids.sort_unstable();
+        }
+        ids.truncate(excess as usize);
+        ids.into_iter().filter_map(|id| self.export_state(id)).collect()
+    }
+
+    /// Removes `id` from the worklist (with its DSM history and
+    /// fast-forward flag) and serializes it into an envelope — the shared
+    /// body of both eviction paths.
+    fn export_state(&mut self, id: StateId) -> Option<PortableState> {
+        let history = self.histories.get(&id).cloned().unwrap_or_default();
+        let ff = self.ff_active.contains(&id);
+        let state = self.remove_from_worklist(id)?;
+        let region = self.region_of(&state);
+        let ctl = self.shard.as_mut().expect("export_state outside shard mode");
+        ctl.seq += 1;
+        Some(PortableState::export(&self.pool, &state, &history, ff, region, ctl.me, ctl.seq))
+    }
+
+    /// Installs a new region assignment and evicts every held state whose
+    /// region this worker no longer owns, in deterministic (region, id)
+    /// order. The envelopes are routed to the new owners by the
+    /// coordinator.
+    pub(crate) fn set_region_map(&mut self, map: RegionMap) -> Vec<PortableState> {
+        let ctl = self.shard.as_mut().expect("set_region_map outside shard mode");
+        ctl.owner = map;
+        let me = ctl.me;
+        let lost: Vec<StateId> = ctl
+            .by_region
+            .iter()
+            .filter(|(&r, _)| ctl.owner.owner_of(r) != me)
+            .flat_map(|(_, ids)| ids.iter().copied())
+            .collect();
+        lost.into_iter().filter_map(|id| self.export_state(id)).collect()
+    }
+
+    /// Integrates a migrated state from another worker.
+    pub(crate) fn inject(&mut self, env: &PortableState) {
+        let id = self.fresh_id();
+        let (state, history, ff) = env.import(&mut self.pool, id);
+        self.integrate(state, history, ff);
+    }
+
+    /// Drains the outbox of states that crossed into foreign regions.
+    pub(crate) fn take_outbox(&mut self) -> Vec<PortableState> {
+        match self.shard.as_mut() {
+            Some(ctl) => std::mem::take(&mut ctl.outbox),
+            None => Vec::new(),
+        }
+    }
+
+    /// Worklist sizes per held region (sorted by region id) — the load
+    /// signal the coordinator rebalances on.
+    pub(crate) fn held_counts(&self) -> Vec<(RegionId, u64)> {
+        match self.shard.as_ref() {
+            Some(ctl) => ctl.by_region.iter().map(|(&r, ids)| (r, ids.len() as u64)).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Cumulative `(steps, picks, completed_paths)` — the coordinator's
+    /// per-round budget signal, without the full-report clone
+    /// [`Engine::report`] performs.
+    pub(crate) fn progress_counters(&self) -> (u64, u64, u64) {
+        (self.steps, self.picks, self.completed_paths)
+    }
+
+    /// The covered `(func, block)` pairs, sorted — for the parallel
+    /// reduction's coverage union.
+    pub(crate) fn covered_pairs(&self) -> Vec<(u32, u32)> {
+        let mut v: Vec<(u32, u32)> = self.covered.iter().map(|&(f, b)| (f.0, b.0)).collect();
+        v.sort_unstable();
+        v
     }
 }
 

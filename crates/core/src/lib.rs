@@ -51,16 +51,20 @@ pub mod dsm;
 pub mod engine;
 pub mod exec;
 pub mod merge;
+pub mod parallel;
 pub mod qce;
+pub mod shard;
 pub mod state;
 pub mod strategy;
 pub mod testgen;
 
 pub use dsm::{DsmConfig, DsmStats};
-pub use engine::{Budgets, Engine, EngineBuilder, EngineConfig, MergeMode, RunReport};
+pub use engine::{Budgets, Engine, EngineBuilder, EngineConfig, ExploreStep, MergeMode, RunReport};
 pub use exec::{AssertFailure, Completion};
 pub use merge::MergeConfig;
+pub use parallel::{reduce_reports, ParallelConfig, ParallelEngine, ShardOutput};
 pub use qce::{QceAnalysis, QceConfig, VarKey};
+pub use shard::{PortableState, RegionId, RegionMap};
 pub use state::{State, StateId};
 pub use strategy::{Strategy, StrategyKind};
 pub use symmerge_solver::{SolverConfig, SolverStats};

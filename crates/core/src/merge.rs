@@ -199,6 +199,23 @@ mod tests {
     use crate::state::StateId;
     use symmerge_ir::minic;
 
+    #[test]
+    fn merge_layer_is_send() {
+        // Send audit for the pieces the parallel engine moves between (or
+        // constructs inside) worker threads. `ExprPool` and `Solver` never
+        // migrate — each worker owns one — but they must still be `Send`
+        // so a worker can be built inside its thread; fingerprints and
+        // merge signatures are plain `u64`s and survive pool boundaries.
+        fn assert_send<T: Send>() {}
+        assert_send::<MergeConfig>();
+        assert_send::<crate::qce::HotSet>();
+        assert_send::<symmerge_expr::ExprPool>();
+        assert_send::<symmerge_solver::Solver>();
+        assert_send::<crate::shard::PortableState>();
+        assert_send::<crate::engine::RunReport>();
+        assert_send::<symmerge_ir::Program>();
+    }
+
     fn two_states() -> (ExprPool, State, State) {
         let p = minic::compile("fn main() { let r = 0; let arg = 0; }").unwrap();
         let mut pool = ExprPool::new(32);

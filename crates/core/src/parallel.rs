@@ -1,0 +1,729 @@
+//! The sharded, work-stealing parallel exploration engine.
+//!
+//! [`ParallelEngine`] runs the same exploration [`Engine::run`] performs,
+//! split across `jobs` worker threads. Each worker owns a full engine —
+//! its own [`symmerge_expr::ExprPool`], its own
+//! [`symmerge_solver::Solver`] with its own incremental-context LRU pool,
+//! its own scheduler and RNG stream — so workers share *nothing* on the
+//! hot path; states cross worker boundaries only as pool-independent
+//! [`PortableState`] envelopes.
+//!
+//! Placement follows the merge mode:
+//!
+//! * **Merging modes** partition the worklist by **topological region**
+//!   (the outermost frame's topo index, see [`crate::shard`]): states
+//!   that QCE/DSM could ever merge have equal control keys, hence equal
+//!   regions, hence always meet on the same worker, and regions move
+//!   between workers only whole.
+//! * **[`MergeMode::None`](crate::engine::MergeMode::None)** has no
+//!   merges, so placement is *free*: states stay on the worker where
+//!   they forked (every integration is local) and load balances by
+//!   count, which spreads far better when the frontier clusters in a
+//!   few hot regions.
+//!
+//! # Execution model: deterministic rounds
+//!
+//! The coordinator drives bulk-synchronous rounds. In each round every
+//! worker (in parallel) integrates the envelopes routed to it — in the
+//! deterministic `(origin worker, sequence)` order — and advances its
+//! local exploration by at most a fixed step quota; under region
+//! placement, successors that cross into a region the worker does not
+//! own go to its outbox. At the barrier, the coordinator steals for the
+//! next round: under region placement it recomputes the region
+//! assignment from the observed loads ([`RegionMap::balance`]) and
+//! workers evict whole regions they lost; under free placement it asks
+//! overloaded workers to shed their oldest states (shallow subtree
+//! roots, the Cilk steal) to the underloaded ones. Because quotas are
+//! counted in scheduler steps (not wall time) and every stealing input
+//! is a deterministic count, the complete run — every merge, every test —
+//! is a pure function of `(program, config, jobs)`; thread scheduling
+//! cannot change it.
+//!
+//! # Determinism contract
+//!
+//! * `jobs = 1` takes the exact legacy sequential path (same code, same
+//!   report, byte for byte).
+//! * Any `jobs`, [`MergeMode::None`](crate::engine::MergeMode::None):
+//!   the set of explored paths is
+//!   schedule-invariant, so — with
+//!   [`SolverConfig::canonical_models`](symmerge_solver::SolverConfig)
+//!   enabled — the reduced report's generated tests are **byte-identical**
+//!   to the sequential engine's (the differential harness asserts this
+//!   for `jobs ∈ {1, 2, 4}` on every workload).
+//! * Merging modes with `jobs > 1`: results are deterministic per
+//!   `(seed, jobs)` and sound (the mode-invariance oracle holds), but the
+//!   round structure can schedule merge partners apart, so the *merge
+//!   count* — and therefore which representative test a merged disjunction
+//!   samples — may differ from the sequential schedule.
+//!
+//! Budgets are enforced at round granularity: the coordinator stops
+//! issuing rounds once the fleet's summed steps/picks/completions (or the
+//! wall clock) cross the configured [`Budgets`], so a parallel run can
+//! overshoot a budget by at most one round's quota per worker.
+//!
+//! # Example
+//!
+//! ```
+//! use symmerge_core::{Engine, EngineConfig, MergeMode, ParallelConfig, ParallelEngine};
+//! use symmerge_ir::minic;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let src = r#"
+//!     fn main() {
+//!         let x = sym_int("x");
+//!         let y = sym_int("y");
+//!         if (x > 10) { putchar(1); } else { putchar(2); }
+//!         if (y > 10) { putchar(3); } else { putchar(4); }
+//!     }
+//! "#;
+//! let program = minic::compile(src)?;
+//! let config = EngineConfig { merge_mode: MergeMode::None, ..EngineConfig::default() };
+//!
+//! let sequential = Engine::builder(program.clone()).config(config.clone()).build()?.run();
+//! let parallel = ParallelEngine::new(program, config, ParallelConfig { jobs: 2, ..Default::default() })?
+//!     .run();
+//!
+//! assert_eq!(parallel.completed_paths, sequential.completed_paths);
+//! assert_eq!(parallel.covered_blocks, sequential.covered_blocks);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::engine::{Budgets, Engine, EngineConfig, ExploreStep, RunReport};
+use crate::shard::{PortableState, RegionId, RegionMap};
+use std::collections::BTreeMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::time::Instant;
+use symmerge_ir::{Program, ValidateError};
+
+/// Parallelism knobs for [`ParallelEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelConfig {
+    /// Number of worker threads. `1` (the default) bypasses the round
+    /// machinery entirely and runs the legacy sequential engine.
+    pub jobs: u32,
+    /// Per-worker scheduler-step quota per round. Smaller quotas
+    /// rebalance (steal) more often at the cost of more barriers; the
+    /// quota is counted in steps, not time, to keep runs deterministic.
+    /// Clamped to at least 1 (a zero quota could never finish a round).
+    pub steps_per_round: u64,
+    /// Free-placement steal direction. `false` (default) steals the
+    /// *oldest* states — shallow subtree roots, the Cilk convention,
+    /// which measured within a few percent of uniform per-worker load.
+    /// `true` steals the *newest* states, which starves thieves but
+    /// keeps the victim's incremental solver contexts warm — worth it
+    /// only when workers outnumber usable cores.
+    pub steal_newest: bool,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig { jobs: 1, steps_per_round: 512, steal_newest: false }
+    }
+}
+
+/// One worker's contribution to a parallel run: its engine's report plus
+/// the concrete covered-block set (the report only carries the count, but
+/// the union over workers needs the elements).
+#[derive(Debug, Clone)]
+pub struct ShardOutput {
+    /// The worker engine's final report.
+    pub report: RunReport,
+    /// Covered `(func, block)` pairs, sorted.
+    pub covered: Vec<(u32, u32)>,
+}
+
+/// Deterministically reduces per-worker reports into one fleet report.
+///
+/// Counters are summed, coverage is unioned, `max_worklist` takes the
+/// per-worker maximum, and the merged test/failure lists are sorted by
+/// total-order keys ([`crate::testgen::TestCase::sort_key`]) — so the
+/// result does not depend on the order the shard outputs are given in
+/// (multiplicities are sums of per-path multiplicities and remain exact
+/// in `f64` for all realistic path counts). `wall_time` and `hit_budget`
+/// describe the fleet (max / or); [`ParallelEngine::run`] overwrites them
+/// with the coordinator's own measurements.
+pub fn reduce_reports(parts: &[ShardOutput], total_blocks: usize) -> RunReport {
+    let mut out = RunReport {
+        completed_paths: 0,
+        completed_multiplicity: 0.0,
+        pruned_by_assume: 0,
+        assert_failures: Vec::new(),
+        tests: Vec::new(),
+        tests_dropped_unknown: 0,
+        picks: 0,
+        steps: 0,
+        merges: 0,
+        merge_rejects: 0,
+        max_worklist: 0,
+        leftover_states: 0,
+        covered_blocks: 0,
+        total_blocks,
+        ff_merged: 0,
+        dsm: Default::default(),
+        solver: Default::default(),
+        wall_time: Default::default(),
+        hit_budget: false,
+    };
+    let mut covered: Vec<(u32, u32)> = Vec::new();
+    for part in parts {
+        let r = &part.report;
+        out.completed_paths += r.completed_paths;
+        out.completed_multiplicity += r.completed_multiplicity;
+        out.pruned_by_assume += r.pruned_by_assume;
+        out.assert_failures.extend(r.assert_failures.iter().cloned());
+        out.tests.extend(r.tests.iter().cloned());
+        out.tests_dropped_unknown += r.tests_dropped_unknown;
+        out.picks += r.picks;
+        out.steps += r.steps;
+        out.merges += r.merges;
+        out.merge_rejects += r.merge_rejects;
+        out.max_worklist = out.max_worklist.max(r.max_worklist);
+        out.leftover_states += r.leftover_states;
+        out.ff_merged += r.ff_merged;
+        out.dsm.absorb(&r.dsm);
+        out.solver.absorb(&r.solver);
+        out.wall_time = out.wall_time.max(r.wall_time);
+        out.hit_budget |= r.hit_budget;
+        covered.extend(part.covered.iter().copied());
+    }
+    covered.sort_unstable();
+    covered.dedup();
+    out.covered_blocks = covered.len();
+    out.tests.sort_by_cached_key(|t| t.sort_key());
+    out.assert_failures.sort_by(|a, b| (&a.msg, a.loc, &a.pc).cmp(&(&b.msg, b.loc, &b.pc)));
+    out
+}
+
+/// Messages from the coordinator to a worker.
+enum ToWorker {
+    Round {
+        /// Region assignment for this round (region policy only).
+        map: RegionMap,
+        /// Migrated states this worker now owns.
+        inbox: Vec<PortableState>,
+        /// Scheduler-step quota for the round.
+        quota: u64,
+        /// Seed the initial state this round (worker 0, round 0).
+        seed: bool,
+        /// Free-placement policy: evict down to this many held states
+        /// (`None` = no eviction requested this round).
+        keep: Option<u64>,
+    },
+    Finish,
+}
+
+/// A worker's end-of-round reply.
+struct RoundDone {
+    shard: u32,
+    /// Evicted + outbox envelopes, to be routed next round.
+    envelopes: Vec<PortableState>,
+    /// Post-round worklist sizes per held region.
+    held: Vec<(RegionId, u64)>,
+    /// Cumulative engine totals (for coordinator-side budget tracking).
+    steps: u64,
+    picks: u64,
+    completed: u64,
+}
+
+enum FromWorker {
+    Done(RoundDone),
+    Report { shard: u32, output: Box<ShardOutput> },
+}
+
+/// Derives worker `shard`'s RNG stream from the run seed (splitmix64 of
+/// the pair, so streams are decorrelated but reproducible).
+fn shard_seed(seed: u64, shard: u32) -> u64 {
+    if shard == 0 {
+        // Worker 0 keeps the run seed: a 1-worker round-driven run then
+        // matches the sequential engine's RNG stream exactly.
+        return seed;
+    }
+    let mut z = seed ^ (u64::from(shard).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The sharded parallel exploration engine. See the [module docs](self).
+#[derive(Debug)]
+pub struct ParallelEngine {
+    program: Program,
+    config: EngineConfig,
+    par: ParallelConfig,
+}
+
+impl ParallelEngine {
+    /// Validates the program and builds a parallel engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns the program's structural [`ValidateError`], if any.
+    pub fn new(
+        program: Program,
+        config: EngineConfig,
+        par: ParallelConfig,
+    ) -> Result<ParallelEngine, ValidateError> {
+        program.validate()?;
+        Ok(ParallelEngine { program, config, par })
+    }
+
+    /// Runs the exploration across the configured workers and reduces
+    /// the per-worker reports deterministically.
+    pub fn run(&mut self) -> RunReport {
+        if self.par.jobs <= 1 {
+            // The legacy sequential path, bit for bit.
+            return Engine::builder(self.program.clone())
+                .config(self.config.clone())
+                .build()
+                .expect("program validated in ParallelEngine::new")
+                .run();
+        }
+        self.run_sharded()
+    }
+
+    fn run_sharded(&self) -> RunReport {
+        let jobs = self.par.jobs;
+        let start = Instant::now();
+        let budgets = self.config.budgets;
+        // Placement policy: merging modes shard by region so merge
+        // candidates stay co-located; `MergeMode::None` has no merges and
+        // uses free placement — states stay where they fork and the
+        // coordinator steals by count, which balances far better when the
+        // frontier clusters in a few regions (e.g. one hot loop).
+        let free = self.config.merge_mode == crate::engine::MergeMode::None;
+
+        // Worker engines run with budgets cleared; the coordinator
+        // enforces the real budgets at round granularity.
+        let mut worker_config = self.config.clone();
+        worker_config.budgets = Budgets::default();
+
+        let (to_coord, from_workers): (Sender<FromWorker>, Receiver<FromWorker>) = channel();
+        let mut to_workers: Vec<Sender<ToWorker>> = Vec::with_capacity(jobs as usize);
+
+        std::thread::scope(|scope| {
+            for shard in 0..jobs {
+                let (tx, rx): (Sender<ToWorker>, Receiver<ToWorker>) = channel();
+                to_workers.push(tx);
+                let program = self.program.clone();
+                let mut config = worker_config.clone();
+                config.seed = shard_seed(self.config.seed, shard);
+                let reply = to_coord.clone();
+                let spec = WorkerSpec { shard, jobs, free, par: self.par };
+                scope.spawn(move || worker_main(spec, program, config, rx, reply));
+            }
+            drop(to_coord);
+
+            let mut map = RegionMap::all_to_zero(jobs);
+            let mut pending: Vec<PortableState> = Vec::new();
+            let mut held: Vec<Vec<(RegionId, u64)>> = vec![Vec::new(); jobs as usize];
+            let mut totals = (0u64, 0u64, 0u64); // (steps, picks, completed)
+            let mut first = true;
+            let mut hit_budget = false;
+
+            loop {
+                // Coordinator-side budget enforcement.
+                let work_remains =
+                    first || !pending.is_empty() || held.iter().any(|h| !h.is_empty());
+                if !first && !work_remains {
+                    break;
+                }
+                // A zero quota would make every round a no-op and spin
+                // the coordinator forever; one step per round is the
+                // (degenerate but terminating) floor.
+                let mut quota = self.par.steps_per_round.max(1);
+                if let Some(t) = budgets.max_time {
+                    if start.elapsed() >= t {
+                        hit_budget = work_remains;
+                        break;
+                    }
+                }
+                if let Some(limit) = budgets.max_steps {
+                    let remaining = limit.saturating_sub(totals.0);
+                    if remaining == 0 {
+                        hit_budget = work_remains;
+                        break;
+                    }
+                    quota = quota.min(remaining.div_ceil(u64::from(jobs)));
+                }
+                if let Some(limit) = budgets.max_picks {
+                    let remaining = limit.saturating_sub(totals.1);
+                    if remaining == 0 {
+                        hit_budget = work_remains;
+                        break;
+                    }
+                    quota = quota.min(remaining.div_ceil(u64::from(jobs)));
+                }
+                if budgets.max_completed.is_some_and(|c| totals.2 >= c) {
+                    hit_budget = work_remains;
+                    break;
+                }
+
+                let mut inboxes: Vec<Vec<PortableState>> = vec![Vec::new(); jobs as usize];
+                let mut keeps: Vec<Option<u64>> = vec![None; jobs as usize];
+                if free {
+                    // Count-based stealing: spread pending states over the
+                    // workers furthest below the balanced share, and ask
+                    // workers holding >1.5× the share to shed the excess.
+                    let counts: Vec<u64> =
+                        held.iter().map(|h| h.iter().map(|&(_, n)| n).sum()).collect();
+                    let total: u64 = counts.iter().sum::<u64>() + pending.len() as u64;
+                    let desired = total.div_ceil(u64::from(jobs)).max(1);
+                    pending.sort_by_key(|env| env.order_key());
+                    let mut fill: Vec<u64> = counts.clone();
+                    for env in pending.drain(..) {
+                        let target =
+                            (0..jobs as usize).min_by_key(|&w| (fill[w], w)).expect("jobs > 0");
+                        fill[target] += 1;
+                        inboxes[target].push(env);
+                    }
+                    for w in 0..jobs as usize {
+                        if counts[w] * 2 > desired * 3 {
+                            keeps[w] = Some(desired);
+                        }
+                    }
+                } else {
+                    // Region policy: steal by reassigning whole regions.
+                    if !first {
+                        let mut loads: BTreeMap<RegionId, u64> = BTreeMap::new();
+                        for h in &held {
+                            for &(r, n) in h {
+                                *loads.entry(r).or_default() += n;
+                            }
+                        }
+                        for env in &pending {
+                            *loads.entry(env.region).or_default() += 1;
+                        }
+                        let loads: Vec<(RegionId, u64)> = loads.into_iter().collect();
+                        map = RegionMap::balance(&loads, jobs);
+                    }
+                    for env in pending.drain(..) {
+                        inboxes[map.owner_of(env.region) as usize].push(env);
+                    }
+                }
+
+                for (shard, (inbox, keep)) in inboxes.into_iter().zip(keeps).enumerate() {
+                    to_workers[shard]
+                        .send(ToWorker::Round {
+                            map: map.clone(),
+                            inbox,
+                            quota,
+                            seed: first && shard == 0,
+                            keep,
+                        })
+                        .expect("worker alive");
+                }
+                first = false;
+
+                let mut steps = 0;
+                let mut picks = 0;
+                let mut completed = 0;
+                for _ in 0..jobs {
+                    match from_workers.recv().expect("worker alive") {
+                        FromWorker::Done(done) => {
+                            pending.extend(done.envelopes);
+                            held[done.shard as usize] = done.held;
+                            steps += done.steps;
+                            picks += done.picks;
+                            completed += done.completed;
+                        }
+                        FromWorker::Report { .. } => unreachable!("no report before Finish"),
+                    }
+                }
+                totals = (steps, picks, completed);
+            }
+
+            // Envelopes stranded by a budget stop are unexplored work.
+            let stranded = pending.len();
+
+            for tx in &to_workers {
+                tx.send(ToWorker::Finish).expect("worker alive");
+            }
+            // Collect reports into shard order so the reduction (and in
+            // particular its float summation order) is independent of
+            // which worker replied first.
+            let mut parts: Vec<Option<ShardOutput>> = vec![None; jobs as usize];
+            for _ in 0..jobs {
+                match from_workers.recv().expect("worker alive") {
+                    FromWorker::Report { shard, output } => {
+                        parts[shard as usize] = Some(*output);
+                    }
+                    FromWorker::Done(_) => unreachable!("no rounds after Finish"),
+                }
+            }
+            let parts: Vec<ShardOutput> =
+                parts.into_iter().map(|p| p.expect("all reported")).collect();
+            if std::env::var_os("SYMMERGE_PAR_DEBUG").is_some() {
+                for (w, part) in parts.iter().enumerate() {
+                    eprintln!(
+                        "# shard {w}: steps={} paths={} queries={} sat_calls={} cache={} reuse={} cex={}/{} ctx={}/{} solver_time={:?} sat_time={:?} wall={:?}",
+                        part.report.steps,
+                        part.report.completed_paths,
+                        part.report.solver.queries,
+                        part.report.solver.sat_calls,
+                        part.report.solver.cache_hits,
+                        part.report.solver.model_reuse_hits,
+                        part.report.solver.cex_sat_hits,
+                        part.report.solver.cex_unsat_hits,
+                        part.report.solver.ctx_hits,
+                        part.report.solver.ctx_rebuilds,
+                        part.report.solver.time,
+                        part.report.solver.sat_time,
+                        part.report.wall_time,
+                    );
+                }
+            }
+            let mut report = reduce_reports(&parts, self.program.num_blocks());
+            report.leftover_states += stranded;
+            report.wall_time = start.elapsed();
+            report.hit_budget = hit_budget;
+            report
+        })
+    }
+}
+
+/// Everything a worker thread needs to know about its place in the
+/// fleet (the per-worker engine configuration travels separately).
+struct WorkerSpec {
+    shard: u32,
+    jobs: u32,
+    free: bool,
+    par: ParallelConfig,
+}
+
+/// A worker thread: owns one shard-mode [`Engine`] and serves rounds
+/// until told to finish.
+fn worker_main(
+    spec: WorkerSpec,
+    program: Program,
+    config: EngineConfig,
+    rx: Receiver<ToWorker>,
+    reply: Sender<FromWorker>,
+) {
+    let WorkerSpec { shard, jobs, free, par } = spec;
+    let mut engine = Engine::builder(program)
+        .config(config)
+        .build()
+        .expect("program validated in ParallelEngine::new");
+    engine.enable_shard(shard, RegionMap::all_to_zero(jobs), free);
+
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToWorker::Round { map, mut inbox, quota, seed, keep } => {
+                let mut envelopes = match keep {
+                    // Free placement: steal by count, regions ignored.
+                    Some(keep) => engine.evict_excess(keep, par.steal_newest),
+                    // Region policy: install the new map, evict lost regions.
+                    None if free => Vec::new(),
+                    None => engine.set_region_map(map),
+                };
+                if seed {
+                    engine.seed_initial();
+                }
+                // Deterministic integration order regardless of the
+                // timing-dependent order replies reached the coordinator.
+                inbox.sort_by_key(|env| env.order_key());
+                for env in &inbox {
+                    engine.inject(env);
+                }
+                let mut steps = 0u64;
+                while steps < quota {
+                    match engine.explore_step() {
+                        ExploreStep::Progressed => steps += 1,
+                        ExploreStep::Exhausted => break,
+                        // Worker budgets are cleared; unreachable, but
+                        // stopping is the right response regardless.
+                        ExploreStep::BudgetExhausted => break,
+                    }
+                }
+                envelopes.extend(engine.take_outbox());
+                let (steps, picks, completed) = engine.progress_counters();
+                let done = RoundDone {
+                    shard,
+                    envelopes,
+                    held: engine.held_counts(),
+                    steps,
+                    picks,
+                    completed,
+                };
+                if reply.send(FromWorker::Done(done)).is_err() {
+                    return;
+                }
+            }
+            ToWorker::Finish => {
+                let output =
+                    ShardOutput { report: engine.report(false), covered: engine.covered_pairs() };
+                let _ = reply.send(FromWorker::Report { shard, output: Box::new(output) });
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::MergeMode;
+    use crate::qce::QceConfig;
+    use crate::strategy::StrategyKind;
+    use symmerge_ir::minic;
+    use symmerge_solver::SolverConfig;
+
+    const BRANCHY: &str = r#"
+        fn main() {
+            let a = sym_int("a");
+            let b = sym_int("b");
+            let c = sym_int("c");
+            let x = 0;
+            if (a > 10) { x = 1; } else { x = 2; }
+            if (b > 20) { putchar(x); } else { putchar(x + 1); }
+            if (c > 30) { putchar(b); } else { putchar(a); }
+            assert(a + b != 77, "boom");
+        }
+    "#;
+
+    fn config(mode: MergeMode, strategy: StrategyKind) -> EngineConfig {
+        EngineConfig {
+            merge_mode: mode,
+            strategy,
+            qce: QceConfig { alpha: f64::INFINITY, ..QceConfig::default() },
+            solver: SolverConfig { canonical_models: true, ..SolverConfig::default() },
+            seed: 7,
+            ..EngineConfig::default()
+        }
+    }
+
+    fn run_jobs(src: &str, cfg: EngineConfig, jobs: u32, quota: u64) -> RunReport {
+        let program = minic::compile_with_width(src, 8).unwrap();
+        ParallelEngine::new(
+            program,
+            cfg,
+            ParallelConfig { jobs, steps_per_round: quota, ..Default::default() },
+        )
+        .unwrap()
+        .run()
+    }
+
+    type TestBytes = (String, Vec<(String, u64)>, Vec<u64>);
+
+    fn test_bytes(r: &RunReport) -> Vec<TestBytes> {
+        let mut v: Vec<_> = r.tests.iter().map(|t| t.sort_key()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn unmerged_parallel_matches_sequential_byte_for_byte() {
+        let cfg = config(MergeMode::None, StrategyKind::Bfs);
+        let seq = run_jobs(BRANCHY, cfg.clone(), 1, 512);
+        for jobs in [2, 3, 4] {
+            // A tiny quota forces many rounds and real cross-worker
+            // migration even on this small program.
+            let par = run_jobs(BRANCHY, cfg.clone(), jobs, 2);
+            assert_eq!(par.completed_paths, seq.completed_paths, "jobs={jobs}");
+            assert_eq!(par.completed_multiplicity, seq.completed_multiplicity);
+            assert_eq!(par.steps, seq.steps, "jobs={jobs}");
+            assert_eq!(par.picks, seq.picks, "jobs={jobs}");
+            assert_eq!(par.covered_blocks, seq.covered_blocks);
+            assert_eq!(par.assert_failures.len(), seq.assert_failures.len());
+            assert_eq!(test_bytes(&par), test_bytes(&seq), "jobs={jobs}");
+            assert!(!par.hit_budget);
+            assert_eq!(par.leftover_states, 0);
+        }
+    }
+
+    #[test]
+    fn parallel_runs_are_deterministic() {
+        for mode in [MergeMode::None, MergeMode::Static, MergeMode::Dynamic] {
+            let strategy = match mode {
+                MergeMode::Static => StrategyKind::Topological,
+                _ => StrategyKind::CoverageOptimized,
+            };
+            let cfg = config(mode, strategy);
+            let a = run_jobs(BRANCHY, cfg.clone(), 4, 3);
+            let b = run_jobs(BRANCHY, cfg.clone(), 4, 3);
+            assert_eq!(a.completed_paths, b.completed_paths, "{mode:?}");
+            assert_eq!(a.completed_multiplicity, b.completed_multiplicity, "{mode:?}");
+            assert_eq!(a.merges, b.merges, "{mode:?}");
+            assert_eq!(a.steps, b.steps, "{mode:?}");
+            assert_eq!(test_bytes(&a), test_bytes(&b), "{mode:?}: tests must be byte-identical");
+        }
+    }
+
+    #[test]
+    fn merged_parallel_preserves_soundness_invariants() {
+        let baseline = run_jobs(BRANCHY, config(MergeMode::None, StrategyKind::Bfs), 1, 512);
+        for mode in [MergeMode::Static, MergeMode::Dynamic] {
+            let strategy = match mode {
+                MergeMode::Static => StrategyKind::Topological,
+                _ => StrategyKind::Bfs,
+            };
+            let par = run_jobs(BRANCHY, config(mode, strategy), 3, 2);
+            assert_eq!(par.covered_blocks, baseline.covered_blocks, "{mode:?}");
+            assert_eq!(
+                par.completed_multiplicity, baseline.completed_multiplicity,
+                "{mode:?}: merging must not lose or invent paths"
+            );
+            assert!(par.completed_paths <= baseline.completed_paths, "{mode:?}");
+            // The assertion failure must survive sharded merging.
+            assert!(!par.assert_failures.is_empty(), "{mode:?} lost the assertion failure");
+        }
+    }
+
+    #[test]
+    fn coordinator_enforces_step_budget() {
+        let src = r#"
+            fn main() {
+                let n = sym_int("n");
+                let s = 0;
+                for (let i = 0; i < n; i = i + 1) { s = s + i; }
+                putchar(s);
+            }
+        "#;
+        let mut cfg = config(MergeMode::None, StrategyKind::Bfs);
+        cfg.budgets.max_steps = Some(40);
+        let par = run_jobs(src, cfg, 2, 8);
+        assert!(par.hit_budget, "budget must trip");
+        // Round granularity: at most one quota per worker of overshoot.
+        assert!(par.steps <= 40 + 2 * 8, "steps {} overshot the budget too far", par.steps);
+        assert!(par.leftover_states > 0);
+    }
+
+    #[test]
+    fn reduction_is_permutation_invariant() {
+        let cfg = config(MergeMode::None, StrategyKind::Bfs);
+        let program = minic::compile_with_width(BRANCHY, 8).unwrap();
+        let mk = |seed: u64| {
+            let mut c = cfg.clone();
+            c.seed = seed;
+            let mut e = Engine::builder(program.clone()).config(c).build().unwrap();
+            let report = e.run();
+            ShardOutput { covered: e.covered_pairs(), report }
+        };
+        let parts = vec![mk(1), mk(2), mk(3)];
+        let forward = reduce_reports(&parts, 10);
+        let reversed: Vec<ShardOutput> = parts.into_iter().rev().collect();
+        let backward = reduce_reports(&reversed, 10);
+        assert_eq!(forward.completed_paths, backward.completed_paths);
+        assert_eq!(forward.completed_multiplicity, backward.completed_multiplicity);
+        assert_eq!(forward.covered_blocks, backward.covered_blocks);
+        assert_eq!(test_bytes(&forward), test_bytes(&backward));
+        assert_eq!(
+            forward.tests.iter().map(|t| t.sort_key()).collect::<Vec<_>>(),
+            backward.tests.iter().map(|t| t.sort_key()).collect::<Vec<_>>(),
+            "reduced test order itself must be canonical"
+        );
+    }
+
+    #[test]
+    fn shard_seed_streams_are_distinct_and_stable() {
+        assert_eq!(shard_seed(7, 0), 7, "worker 0 keeps the run seed");
+        let s: Vec<u64> = (0..4).map(|w| shard_seed(7, w)).collect();
+        for i in 0..s.len() {
+            for j in i + 1..s.len() {
+                assert_ne!(s[i], s[j], "streams {i} and {j} collide");
+            }
+        }
+        assert_eq!(shard_seed(7, 3), shard_seed(7, 3));
+    }
+}

@@ -1,0 +1,337 @@
+//! Sharding substrate for the parallel exploration engine: topological
+//! regions, the region → worker assignment, and the portable state
+//! envelopes that cross worker (and therefore [`ExprPool`]) boundaries.
+//!
+//! # Regions
+//!
+//! A state's **region** is the loop-aware topological index of its
+//! *outermost* frame's block — a deterministic function of the state's
+//! control position. Two states can only merge when their full
+//! [`control keys`](crate::state::State::control_key) are equal, and equal
+//! control keys imply equal regions, so partitioning the worklist by
+//! region keeps every QCE/DSM merge opportunity on a single shard: the
+//! paper's similarity machinery never has to look across workers.
+//!
+//! Keying on the outermost frame (rather than, say, a hash of the whole
+//! stack) also gives locality: a state executing a call chain stays in
+//! its caller's region for the whole call, and successors usually stay in
+//! the same or an adjacent region, so most integrations are shard-local.
+//!
+//! # Assignment and stealing
+//!
+//! [`RegionMap`] assigns *contiguous ranges* of regions to workers. The
+//! coordinator recomputes the map between rounds from the observed
+//! per-region load ([`RegionMap::balance`]), which is how work stealing
+//! happens: an idle worker is given whole regions from a loaded one —
+//! never individual states, so mergeable groups stay together — and the
+//! decision depends only on deterministic load counts, never on timing.
+//!
+//! # Envelopes
+//!
+//! [`PortableState`] is a [`State`] flattened onto a [`PortableDag`]:
+//! every expression the state references (path condition, stores,
+//! outputs) is exported into one shared pool-free DAG, together with the
+//! DSM history and fast-forward flag the engine tracks alongside the
+//! state. Importing re-interns the expressions into the receiving
+//! worker's pool.
+
+use crate::state::{Frame, Slot, State, StateId};
+use std::collections::{HashMap, VecDeque};
+use symmerge_expr::{DagExporter, ExprPool, PortableDag, PortableRef};
+use symmerge_ir::{BlockId, FuncId, LocalId};
+
+/// A topological region identifier (see the [module docs](self)).
+pub type RegionId = u32;
+
+/// A deterministic assignment of regions to `jobs` workers by contiguous
+/// region ranges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionMap {
+    /// `jobs - 1` ascending split points; region `r` belongs to the
+    /// worker whose rank equals the number of splits `<= r`.
+    splits: Vec<RegionId>,
+}
+
+impl RegionMap {
+    /// The map that assigns every region to worker 0 (`jobs` workers,
+    /// all ranges but the first empty). Used for the seeding round.
+    pub fn all_to_zero(jobs: u32) -> RegionMap {
+        RegionMap { splits: vec![RegionId::MAX; jobs.saturating_sub(1) as usize] }
+    }
+
+    /// The worker that owns `region`.
+    pub fn owner_of(&self, region: RegionId) -> u32 {
+        self.splits.iter().filter(|&&s| s <= region).count() as u32
+    }
+
+    /// Recomputes the assignment from per-region loads (state counts),
+    /// splitting the region axis into `jobs` contiguous ranges of
+    /// near-equal total load. Deterministic: depends only on `loads`.
+    ///
+    /// `loads` must be sorted by region id (e.g. from a `BTreeMap`).
+    pub fn balance(loads: &[(RegionId, u64)], jobs: u32) -> RegionMap {
+        debug_assert!(loads.windows(2).all(|w| w[0].0 < w[1].0), "loads must be region-sorted");
+        let total: u64 = loads.iter().map(|&(_, l)| l).sum();
+        let mut splits: Vec<RegionId> = Vec::with_capacity(jobs.saturating_sub(1) as usize);
+        if total > 0 {
+            let mut acc = 0u64;
+            for &(region, load) in loads {
+                if splits.len() as u32 == jobs - 1 {
+                    break;
+                }
+                // Cut before `region` once the accumulated load reaches
+                // the next 1/jobs-th of the total.
+                while (splits.len() as u32) < jobs - 1
+                    && acc > 0
+                    && acc * u64::from(jobs) >= total * (splits.len() as u64 + 1)
+                {
+                    splits.push(region);
+                }
+                acc += load;
+            }
+        }
+        while (splits.len() as u32) < jobs.saturating_sub(1) {
+            splits.push(RegionId::MAX);
+        }
+        RegionMap { splits }
+    }
+}
+
+/// One local slot of a [`PortableState`].
+#[derive(Debug, Clone)]
+enum PortableSlot {
+    Int(PortableRef),
+    Array(Vec<PortableRef>),
+}
+
+/// One call-stack frame of a [`PortableState`].
+#[derive(Debug, Clone)]
+struct PortableFrame {
+    func: u32,
+    block: u32,
+    instr: u32,
+    ret_dest: Option<u32>,
+    locals: Vec<PortableSlot>,
+}
+
+/// A [`State`] (plus its engine-side DSM bookkeeping) serialized into a
+/// pool-independent envelope for cross-worker migration.
+#[derive(Debug, Clone)]
+pub struct PortableState {
+    /// The state's region at export time (destination routing key).
+    pub region: RegionId,
+    /// The exporting worker's index.
+    pub origin_shard: u32,
+    /// Monotonic per-worker sequence number; `(origin_shard,
+    /// origin_seq)` totally orders a round's envelopes, which is what
+    /// makes the receiving worker's integration order deterministic.
+    pub origin_seq: u64,
+    dag: PortableDag,
+    frames: Vec<PortableFrame>,
+    globals: Vec<PortableSlot>,
+    pc: Vec<PortableRef>,
+    outputs: Vec<PortableRef>,
+    multiplicity: f64,
+    steps: u64,
+    sym_counters: Vec<(String, u32)>,
+    history: Vec<u64>,
+    ff: bool,
+}
+
+impl PortableState {
+    /// Serializes `state` (with its DSM `history` and fast-forward flag)
+    /// into an envelope addressed by `region`.
+    pub fn export(
+        pool: &ExprPool,
+        state: &State,
+        history: &VecDeque<u64>,
+        ff: bool,
+        region: RegionId,
+        origin_shard: u32,
+        origin_seq: u64,
+    ) -> PortableState {
+        let mut exp = DagExporter::new(pool);
+        let slot = |exp: &mut DagExporter<'_>, s: &Slot| match s {
+            Slot::Int(e) => PortableSlot::Int(exp.add(*e)),
+            Slot::Array(cells) => PortableSlot::Array(cells.iter().map(|&c| exp.add(c)).collect()),
+        };
+        let frames = state
+            .frames
+            .iter()
+            .map(|f| PortableFrame {
+                func: f.func.0,
+                block: f.block.0,
+                instr: f.instr,
+                ret_dest: f.ret_dest.map(|d| d.0),
+                locals: f.locals.iter().map(|s| slot(&mut exp, s)).collect(),
+            })
+            .collect();
+        let globals = state.globals.iter().map(|s| slot(&mut exp, s)).collect();
+        let pc = state.pc.iter().map(|&c| exp.add(c)).collect();
+        let outputs = state.outputs.iter().map(|&o| exp.add(o)).collect();
+        let mut sym_counters: Vec<(String, u32)> =
+            state.sym_counters.iter().map(|(k, &v)| (k.clone(), v)).collect();
+        sym_counters.sort();
+        PortableState {
+            region,
+            origin_shard,
+            origin_seq,
+            dag: exp.finish(),
+            frames,
+            globals,
+            pc,
+            outputs,
+            multiplicity: state.multiplicity,
+            steps: state.steps,
+            sym_counters,
+            history: history.iter().copied().collect(),
+            ff,
+        }
+    }
+
+    /// Rebuilds the state in the receiving worker's pool, under a fresh
+    /// local `id`. Returns the state together with its DSM history and
+    /// fast-forward flag.
+    pub fn import(&self, pool: &mut ExprPool, id: StateId) -> (State, VecDeque<u64>, bool) {
+        let ids = self.dag.import(pool);
+        let slot = |s: &PortableSlot| match s {
+            PortableSlot::Int(r) => Slot::Int(ids[*r as usize]),
+            PortableSlot::Array(cells) => {
+                Slot::Array(cells.iter().map(|&c| ids[c as usize]).collect())
+            }
+        };
+        let frames: Vec<Frame> = self
+            .frames
+            .iter()
+            .map(|f| Frame {
+                func: FuncId(f.func),
+                block: BlockId(f.block),
+                instr: f.instr,
+                locals: f.locals.iter().map(slot).collect(),
+                ret_dest: f.ret_dest.map(LocalId),
+            })
+            .collect();
+        let state = State {
+            id,
+            frames,
+            globals: self.globals.iter().map(slot).collect(),
+            pc: self.pc.iter().map(|&c| ids[c as usize]).collect(),
+            outputs: self.outputs.iter().map(|&o| ids[o as usize]).collect(),
+            multiplicity: self.multiplicity,
+            steps: self.steps,
+            sym_counters: self
+                .sym_counters
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect::<HashMap<String, u32>>(),
+        };
+        (state, self.history.iter().copied().collect(), self.ff)
+    }
+
+    /// The deterministic ordering key envelopes are integrated in.
+    pub fn order_key(&self) -> (u32, u64) {
+        (self.origin_shard, self.origin_seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symmerge_ir::minic;
+
+    #[test]
+    fn region_map_balances_contiguously() {
+        let loads: Vec<(RegionId, u64)> = vec![(0, 10), (3, 10), (7, 10), (9, 10)];
+        let map = RegionMap::balance(&loads, 2);
+        // The split lands mid-axis; both halves are non-empty.
+        let owners: Vec<u32> = loads.iter().map(|&(r, _)| map.owner_of(r)).collect();
+        assert_eq!(owners.first(), Some(&0));
+        assert_eq!(owners.last(), Some(&1));
+        // Contiguity: owners are non-decreasing along the region axis.
+        assert!(owners.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn region_map_uniform_loads_split_evenly() {
+        let loads: Vec<(RegionId, u64)> = (0..4).map(|r| (r, 1)).collect();
+        let map = RegionMap::balance(&loads, 4);
+        let owners: Vec<u32> = (0..4).map(|r| map.owner_of(r)).collect();
+        assert_eq!(owners, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn region_map_empty_loads_all_to_zero() {
+        let map = RegionMap::balance(&[], 4);
+        assert_eq!(map, RegionMap::all_to_zero(4));
+        for r in [0u32, 5, 1000] {
+            assert_eq!(map.owner_of(r), 0);
+        }
+    }
+
+    #[test]
+    fn region_map_is_deterministic() {
+        let loads: Vec<(RegionId, u64)> = vec![(1, 3), (2, 9), (5, 1), (8, 4)];
+        assert_eq!(RegionMap::balance(&loads, 3), RegionMap::balance(&loads, 3));
+    }
+
+    #[test]
+    fn portable_state_round_trips_across_pools() {
+        let program = minic::compile_with_width(
+            r#"
+            global g = 7;
+            global buf[3] = "ab";
+            fn main() {
+                let x = sym_int("x");
+                let y = sym_int("y");
+                if (x > 3) { putchar(x + y); }
+            }
+        "#,
+            8,
+        )
+        .unwrap();
+        let mut src = ExprPool::new(8);
+        let mut state = State::initial(&program, &mut src, StateId(0));
+        // Give the state some symbolic structure.
+        let x = src.input("x", 8);
+        let y = src.input("y", 8);
+        let s = src.add(x, y);
+        let three = src.bv_const(3, 8);
+        let c = src.ugt(x, three);
+        state.pc.push(c);
+        state.outputs.push(s);
+        state.frames[0].locals[0] = Slot::Int(x);
+        state.multiplicity = 2.0;
+        state.steps = 17;
+        state.sym_counters.insert("x".into(), 1);
+
+        let hist: VecDeque<u64> = vec![11, 22].into();
+        let ps = PortableState::export(&src, &state, &hist, true, 4, 1, 9);
+        assert_eq!(ps.region, 4);
+        assert_eq!(ps.order_key(), (1, 9));
+
+        let mut dst = ExprPool::new(8);
+        let _ = dst.input("y", 8); // different interning history
+        let (back, hist2, ff) = ps.import(&mut dst, StateId(42));
+        assert_eq!(back.id, StateId(42));
+        assert_eq!(hist2, hist);
+        assert!(ff);
+        assert_eq!(back.multiplicity, 2.0);
+        assert_eq!(back.steps, 17);
+        assert_eq!(back.sym_counters.get("x"), Some(&1));
+        assert_eq!(back.frames.len(), state.frames.len());
+        assert_eq!(back.control_key(), state.control_key(), "control key is pool-independent");
+        // Semantics of the migrated pc/outputs match under x = 5, y = 2.
+        let env_src = |sym| match src.symbol_name(sym) {
+            "x" => 5u64,
+            "y" => 2,
+            _ => 0,
+        };
+        let env_dst = |sym| match dst.symbol_name(sym) {
+            "x" => 5u64,
+            "y" => 2,
+            _ => 0,
+        };
+        assert_eq!(src.eval(state.pc[0], &env_src), dst.eval(back.pc[0], &env_dst));
+        assert_eq!(src.eval(state.outputs[0], &env_src), dst.eval(back.outputs[0], &env_dst));
+    }
+}

@@ -132,6 +132,12 @@ impl State {
     /// function, block, instruction index and return slot. Two states are
     /// merge candidates only when their control keys are equal (same `ℓ`
     /// *and* same call stack, since our states are not summaries).
+    ///
+    /// The parallel engine's *region tag* (the topological index of the
+    /// outermost frame's block, see `symmerge_core::shard`) is a function
+    /// of this position: equal control keys imply equal regions, which is
+    /// what lets region sharding keep every merge candidate pair on one
+    /// worker.
     pub fn control_key(&self) -> u64 {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         for f in &self.frames {
@@ -221,6 +227,21 @@ mod tests {
         // Outputs do NOT affect the key (merge-time shape check instead).
         b.outputs.push(pool.bv_const(1, 32));
         assert_eq!(a.control_key(), b.control_key());
+    }
+
+    #[test]
+    fn state_layer_is_send() {
+        // The parallel engine moves programs and reports between threads
+        // and rebuilds states inside worker threads; everything a state
+        // holds must therefore be `Send`. `ExprId`s are plain indices
+        // (meaningful only with their pool, which never crosses threads —
+        // `PortableState` is the cross-thread form), so `State` itself is
+        // `Send` by composition; this is the compile-time audit.
+        fn assert_send<T: Send>() {}
+        assert_send::<State>();
+        assert_send::<Frame>();
+        assert_send::<Slot>();
+        assert_send::<StateId>();
     }
 
     #[test]

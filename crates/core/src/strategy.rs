@@ -9,8 +9,8 @@
 use crate::state::StateId;
 use rand::rngs::StdRng;
 use rand::Rng;
-use std::cmp::Ordering;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use symmerge_ir::{BlockId, FuncId};
 
 /// Which strategy to instantiate (the public configuration surface).
@@ -49,15 +49,41 @@ pub struct StateMeta {
 /// is a prefix of the other, the *deeper* state is earlier (it must finish
 /// its call before the shallower state's join point is reachable).
 pub fn topo_cmp(a: &StateMeta, b: &StateMeta) -> Ordering {
-    let n = a.topo.len().min(b.topo.len());
+    topo_slice_cmp(&a.topo, &b.topo)
+}
+
+fn topo_slice_cmp(a: &[(u32, u32)], b: &[(u32, u32)]) -> Ordering {
+    let n = a.len().min(b.len());
     for i in 0..n {
-        match a.topo[i].cmp(&b.topo[i]) {
+        match a[i].cmp(&b[i]) {
             Ordering::Equal => continue,
             other => return other,
         }
     }
     // Prefix-equal: deeper stack first.
-    b.topo.len().cmp(&a.topo.len())
+    b.len().cmp(&a.len())
+}
+
+/// A topological position as an [`Ord`] key (the order of [`topo_cmp`],
+/// which is total: prefix-equal positions order the deeper stack first,
+/// equivalent to lexicographic comparison padded with `+∞`). Lets the
+/// [`Topological`] strategy keep its worklist in a binary heap instead of
+/// re-scanning every state per pick — the worklists of a static-merging
+/// run (and of every shard-local queue in a parallel run) get large
+/// enough for the O(n)-per-pick scan to show up in profiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct TopoKey(Vec<(u32, u32)>);
+
+impl Ord for TopoKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        topo_slice_cmp(&self.0, &other.0)
+    }
+}
+
+impl PartialOrd for TopoKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
 }
 
 /// Feedback the engine offers to strategies at pick time.
@@ -294,32 +320,39 @@ impl Strategy for CoverageOptimized {
 /// CFG topological order (for static state merging): always pick the state
 /// earliest in [`topo_cmp`] order, so every path reaching a join point is
 /// explored before the join point itself is stepped past.
+///
+/// Implemented as a min-heap with lazy deletion (removed ids stay in the
+/// heap until popped): `add`/`remove` are O(log n)/O(1) and `pick` is
+/// amortized O(log n), versus the previous full-scan pick. Ties on the
+/// topological key break by [`StateId`], exactly as the scan did, so pick
+/// order is unchanged.
 #[derive(Debug, Default)]
 pub struct Topological {
-    metas: HashMap<StateId, StateMeta>,
+    heap: BinaryHeap<Reverse<(TopoKey, StateId)>>,
+    live: HashSet<StateId>,
 }
 
 impl Strategy for Topological {
     fn add(&mut self, id: StateId, meta: StateMeta) {
-        self.metas.insert(id, meta);
+        self.heap.push(Reverse((TopoKey(meta.topo), id)));
+        self.live.insert(id);
     }
 
     fn remove(&mut self, id: StateId) -> bool {
-        self.metas.remove(&id).is_some()
+        self.live.remove(&id)
     }
 
     fn pick(&mut self, _oracle: &mut dyn Oracle) -> Option<StateId> {
-        let best = self
-            .metas
-            .iter()
-            .min_by(|(ia, a), (ib, b)| topo_cmp(a, b).then(ia.cmp(ib)))
-            .map(|(&id, _)| id)?;
-        self.metas.remove(&best);
-        Some(best)
+        while let Some(Reverse((_, id))) = self.heap.pop() {
+            if self.live.remove(&id) {
+                return Some(id);
+            }
+        }
+        None
     }
 
     fn len(&self) -> usize {
-        self.metas.len()
+        self.live.len()
     }
 }
 
@@ -399,6 +432,32 @@ mod tests {
         let deep =
             StateMeta { func: FuncId(0), block: BlockId(0), topo: vec![(1, 3), (0, 0)], steps: 0 };
         assert_eq!(topo_cmp(&deep, &shallow), Ordering::Less);
+    }
+
+    #[test]
+    fn topological_heap_matches_the_scan_order() {
+        // The heap-with-lazy-deletion pick order must equal the reference
+        // total order: (topo_cmp, StateId) ascending.
+        let mut oracle = TestOracle::new();
+        let mut topo = Topological::default();
+        let metas: Vec<StateMeta> = vec![
+            StateMeta { func: FuncId(0), block: BlockId(0), topo: vec![(2, 0)], steps: 0 },
+            StateMeta { func: FuncId(0), block: BlockId(0), topo: vec![(1, 3)], steps: 0 },
+            StateMeta { func: FuncId(0), block: BlockId(0), topo: vec![(1, 3), (0, 0)], steps: 0 },
+            StateMeta { func: FuncId(0), block: BlockId(0), topo: vec![(1, 3)], steps: 0 },
+            StateMeta { func: FuncId(0), block: BlockId(0), topo: vec![(0, 9)], steps: 0 },
+        ];
+        for (i, m) in metas.iter().enumerate() {
+            topo.add(StateId(i as u64), m.clone());
+        }
+        topo.remove(StateId(4)); // lazy-deleted entry must be skipped
+        let mut reference: Vec<usize> = vec![0, 1, 2, 3];
+        reference.sort_by(|&a, &b| topo_cmp(&metas[a], &metas[b]).then(a.cmp(&b)));
+        let mut picked = Vec::new();
+        while let Some(id) = topo.pick(&mut oracle) {
+            picked.push(id.0 as usize);
+        }
+        assert_eq!(picked, reference);
     }
 
     #[test]

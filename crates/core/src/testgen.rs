@@ -50,8 +50,14 @@ impl TestCase {
         syms.extend(pool.collect_inputs_many(outputs));
         syms.sort_unstable();
         syms.dedup();
-        let inputs =
+        let mut inputs: Vec<(String, u64)> =
             syms.iter().map(|&s| (pool.symbol_name(s).to_owned(), model.value(s))).collect();
+        // Order by name, not by symbol id: ids depend on the pool's
+        // interning history, which differs between the per-worker pools
+        // of a sharded run, while names are pool-independent. This is
+        // what lets the differential harness compare generated tests
+        // byte-for-byte between sequential and parallel runs.
+        inputs.sort();
         let predicted_outputs =
             outputs.iter().map(|&o| pool.eval(o, &|s| model.value(s)).as_bv()).collect();
         TestCase { inputs, predicted_outputs, kind }
@@ -60,6 +66,21 @@ impl TestCase {
     /// The inputs as an interpreter [`InputMap`].
     pub fn input_map(&self) -> InputMap {
         self.inputs.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// A total-order key over everything a test case observes: the
+    /// termination class, the (name-sorted) input assignments and the
+    /// predicted outputs. The parallel engine's reduction sorts merged
+    /// test lists by this key so the final report is independent of
+    /// which shard produced which test and of the order shard reports
+    /// arrive in.
+    pub fn sort_key(&self) -> (String, Vec<(String, u64)>, Vec<u64>) {
+        let class = match &self.kind {
+            TestKind::Halted => "halted".to_string(),
+            TestKind::Returned => "returned".to_string(),
+            TestKind::AssertFailure { msg } => format!("assert:{msg}"),
+        };
+        (class, self.inputs.clone(), self.predicted_outputs.clone())
     }
 
     /// Replays the test on the concrete interpreter.

@@ -1,0 +1,185 @@
+//! Property tests for the parallel engine's deterministic reduction and
+//! the `jobs = 1` ≡ sequential contract.
+
+use proptest::prelude::*;
+use std::time::Duration;
+use symmerge_core::{
+    reduce_reports, Engine, EngineConfig, MergeMode, ParallelConfig, ParallelEngine, QceConfig,
+    RunReport, ShardOutput, StrategyKind, TestCase, TestKind,
+};
+use symmerge_ir::minic;
+
+/// An arbitrary small test case (the reducer only looks at observable
+/// bytes, so synthetic contents exercise it as well as real runs).
+fn arb_test() -> impl Strategy<Value = TestCase> {
+    (
+        prop_oneof![
+            Just(TestKind::Halted),
+            Just(TestKind::Returned),
+            (0u8..4).prop_map(|n| TestKind::AssertFailure { msg: format!("m{n}") }),
+        ],
+        proptest::collection::vec(((0u8..4).prop_map(|n| format!("s{n}")), 0u64..8), 0..3),
+        proptest::collection::vec(0u64..6, 0..3),
+    )
+        .prop_map(|(kind, inputs, predicted_outputs)| TestCase {
+            inputs,
+            predicted_outputs,
+            kind,
+        })
+}
+
+/// An arbitrary shard output with integer-valued multiplicities (what
+/// real runs produce: sums of per-path multiplicities, exact in `f64`).
+fn arb_shard_output() -> impl Strategy<Value = ShardOutput> {
+    (
+        0u64..50,
+        0u32..40,
+        proptest::collection::vec(arb_test(), 0..5),
+        proptest::collection::vec((0u32..3, 0u32..20), 0..6),
+        (0u64..1000, 0u64..1000, 0u64..20, 0usize..30),
+    )
+        .prop_map(|(completed, mult, tests, covered, (picks, steps, merges, max_worklist))| {
+            ShardOutput {
+                report: RunReport {
+                    completed_paths: completed,
+                    completed_multiplicity: f64::from(mult),
+                    pruned_by_assume: completed / 3,
+                    assert_failures: Vec::new(),
+                    tests,
+                    tests_dropped_unknown: completed / 7,
+                    picks,
+                    steps,
+                    merges,
+                    merge_rejects: merges * 2,
+                    max_worklist,
+                    leftover_states: (steps % 5) as usize,
+                    covered_blocks: 0,
+                    total_blocks: 60,
+                    ff_merged: merges / 2,
+                    dsm: Default::default(),
+                    solver: Default::default(),
+                    wall_time: Duration::from_micros(steps),
+                    hit_budget: steps % 2 == 0,
+                },
+                covered,
+            }
+        })
+}
+
+fn observable(r: &RunReport) -> impl PartialEq + std::fmt::Debug {
+    (
+        (
+            r.completed_paths,
+            r.completed_multiplicity.to_bits(),
+            r.pruned_by_assume,
+            r.tests.iter().map(TestCase::sort_key).collect::<Vec<_>>(),
+            r.tests_dropped_unknown,
+            r.picks,
+            r.steps,
+            r.merges,
+        ),
+        (
+            r.merge_rejects,
+            r.max_worklist,
+            r.leftover_states,
+            r.covered_blocks,
+            r.total_blocks,
+            r.ff_merged,
+            r.hit_budget,
+        ),
+    )
+}
+
+proptest! {
+    // Cases and seed are pinned so CI runs are exactly reproducible.
+    #![proptest_config(ProptestConfig::with_cases(64).seed(0x5AAD_5AAD))]
+
+    /// Reducing shard reports must not depend on the order the shards are
+    /// presented in: any permutation (simulated by rotations + a reversal,
+    /// which generate enough of the symmetric group to catch order
+    /// dependence) yields the identical final report.
+    #[test]
+    fn reduction_is_permutation_invariant(
+        parts in proptest::collection::vec(arb_shard_output(), 1..6),
+        rotation in 0usize..6,
+    ) {
+        let reference = reduce_reports(&parts, 60);
+        let k = rotation % parts.len();
+        let mut rotated: Vec<ShardOutput> = parts[k..].to_vec();
+        rotated.extend_from_slice(&parts[..k]);
+        let from_rotated = reduce_reports(&rotated, 60);
+        prop_assert_eq!(observable(&reference), observable(&from_rotated));
+        prop_assert_eq!(reference.wall_time, from_rotated.wall_time);
+        let mut reversed = parts.clone();
+        reversed.reverse();
+        let from_reversed = reduce_reports(&reversed, 60);
+        prop_assert_eq!(observable(&reference), observable(&from_reversed));
+        prop_assert_eq!(reference.wall_time, from_reversed.wall_time);
+    }
+
+    /// Reduction is also a pure function: reducing twice gives identical
+    /// bytes (no hidden iteration-order dependence on hash maps).
+    #[test]
+    fn reduction_is_reproducible(parts in proptest::collection::vec(arb_shard_output(), 1..6)) {
+        let a = reduce_reports(&parts, 60);
+        let b = reduce_reports(&parts, 60);
+        prop_assert_eq!(observable(&a), observable(&b));
+    }
+}
+
+const PROGRAM: &str = r#"
+    fn main() {
+        let x = sym_int("x");
+        let y = sym_int("y");
+        let acc = 0;
+        if (x > 5) { acc = 1; } else { acc = 2; }
+        if (y > 5) { putchar(acc); } else { putchar(acc + 2); }
+        assert(x + y != 19, "pair");
+    }
+"#;
+
+/// `jobs = 1` must take the exact legacy sequential code path: every
+/// observable field — including raw test order, which the sharded
+/// reduction canonicalizes but the sequential engine reports in
+/// completion order — is byte-identical to `Engine::run`.
+#[test]
+fn jobs_1_exactly_matches_the_sequential_engine() {
+    for mode in [MergeMode::None, MergeMode::Static, MergeMode::Dynamic] {
+        let strategy = match mode {
+            MergeMode::Static => StrategyKind::Topological,
+            _ => StrategyKind::CoverageOptimized,
+        };
+        let config = EngineConfig {
+            merge_mode: mode,
+            strategy,
+            qce: QceConfig { alpha: f64::INFINITY, ..QceConfig::default() },
+            seed: 3,
+            ..EngineConfig::default()
+        };
+        let program = minic::compile_with_width(PROGRAM, 8).unwrap();
+        let sequential =
+            Engine::builder(program.clone()).config(config.clone()).build().unwrap().run();
+        let via_parallel = ParallelEngine::new(
+            program,
+            config,
+            ParallelConfig { jobs: 1, steps_per_round: 7, ..Default::default() },
+        )
+        .unwrap()
+        .run();
+        assert_eq!(observable(&sequential), observable(&via_parallel), "{mode:?}");
+        // Raw (unsorted) test order must match too — the fast path must
+        // not reorder.
+        let raw = |r: &RunReport| {
+            r.tests
+                .iter()
+                .map(|t| (t.inputs.clone(), t.predicted_outputs.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(raw(&sequential), raw(&via_parallel), "{mode:?}: fast path reordered tests");
+        assert_eq!(
+            sequential.assert_failures.len(),
+            via_parallel.assert_failures.len(),
+            "{mode:?}"
+        );
+    }
+}

@@ -39,6 +39,7 @@
 mod eval;
 mod kind;
 mod pool;
+mod portable;
 mod print;
 mod sort;
 mod visit;
@@ -46,6 +47,7 @@ mod visit;
 pub use eval::Value;
 pub use kind::{BoolBinOp, BvBinOp, CmpOp, ExprKind};
 pub use pool::{ExprId, ExprPool, SymbolId};
+pub use portable::{DagExporter, PortableDag, PortableNode, PortableRef};
 pub use sort::Sort;
 pub use visit::Postorder;
 

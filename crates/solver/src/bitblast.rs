@@ -392,6 +392,19 @@ impl BitBlaster {
         v
     }
 
+    /// Like [`BitBlaster::inputs_sorted`], but sorted by symbol *name*.
+    ///
+    /// Symbol ids depend on the order a pool interned its names, which
+    /// differs between the per-worker pools of a sharded run; names do
+    /// not. Canonical model minimization iterates inputs in this order so
+    /// that the minimal model — and therefore every generated test — is
+    /// identical no matter which pool's representation a query used.
+    pub fn inputs_sorted_by_name(&self, pool: &ExprPool) -> Vec<(SymbolId, Vec<Lit>)> {
+        let mut v = self.inputs_sorted();
+        v.sort_by(|(a, _), (b, _)| pool.symbol_name(*a).cmp(pool.symbol_name(*b)));
+        v
+    }
+
     /// The CNF literals of one blasted input, if it appeared in any
     /// translated expression.
     pub fn input_bits(&self, sym: SymbolId) -> Option<&[Lit]> {

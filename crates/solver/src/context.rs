@@ -105,13 +105,19 @@ impl SolverContext {
     }
 
     /// The blasted literal vectors of `syms` (symbols the CNF never saw
-    /// are skipped), sorted by symbol id.
-    pub(crate) fn inputs_for(&self, syms: &[SymbolId]) -> Vec<(SymbolId, Vec<Lit>)> {
+    /// are skipped), sorted by symbol *name* — the pool-independent order
+    /// canonical minimization requires (see
+    /// [`BitBlaster::inputs_sorted_by_name`]).
+    pub(crate) fn inputs_for(
+        &self,
+        pool: &ExprPool,
+        syms: &[SymbolId],
+    ) -> Vec<(SymbolId, Vec<Lit>)> {
         let mut v: Vec<(SymbolId, Vec<Lit>)> = syms
             .iter()
             .filter_map(|&s| self.blaster.input_bits(s).map(|bits| (s, bits.to_vec())))
             .collect();
-        v.sort_unstable_by_key(|(s, _)| *s);
+        v.sort_unstable_by(|(a, _), (b, _)| pool.symbol_name(*a).cmp(pool.symbol_name(*b)));
         v
     }
 
@@ -126,15 +132,18 @@ impl SolverContext {
         budget: Option<u64>,
     ) -> Model {
         let base: Vec<Lit> = extras.iter().map(|&e| self.blaster.blast_bool(pool, e)).collect();
-        let inputs = self.inputs_for(syms);
+        let inputs = self.inputs_for(pool, syms);
         minimize_model(&mut self.sat, &inputs, &base, outcome, budget)
     }
 }
 
 /// Computes the *canonical minimal model* of the formula currently loaded
 /// in `sat` (conjoined with the `base` assumption literals), projected on
-/// `inputs`: the unique model that is lexicographically smallest when
-/// symbols are ordered by [`SymbolId`] and each symbol's value is
+/// `inputs`: the unique model that is lexicographically smallest in the
+/// order the caller passed `inputs` — by convention sorted by symbol
+/// *name* (see [`BitBlaster`](crate::bitblast::BitBlaster)'s
+/// `inputs_sorted_by_name`), so the minimum does not depend on the order
+/// any particular pool interned its symbols — with each symbol's value
 /// minimized most-significant-bit first.
 ///
 /// The minimization runs bit-by-bit under assumptions on the *same*

@@ -79,11 +79,14 @@ pub struct SolverConfig {
     /// persistent incremental [`SolverContext`]s instead of re-blasting.
     pub use_incremental: bool,
     /// Return the *canonical minimal model* for every sat query (the
-    /// lexicographically least model by symbol id, each value minimized
-    /// MSB first). Makes models — and therefore generated tests —
-    /// identical across solver paths and runs, at the cost of extra
-    /// incremental probes per sat answer. Disables model reuse and
-    /// sat-superset donation, which would return non-minimal models.
+    /// lexicographically least model by symbol **name**, each value
+    /// minimized MSB first). Makes models — and therefore generated
+    /// tests — identical across solver paths, runs, and the per-worker
+    /// expression pools of a sharded parallel run (name order, unlike
+    /// [`symmerge_expr::SymbolId`] order, does not depend on interning
+    /// history), at the cost of extra incremental probes per sat answer.
+    /// Disables model reuse and sat-superset donation, which would
+    /// return non-minimal models.
     pub canonical_models: bool,
     /// Conflict budget *per query* (shared across independence slices and
     /// canonicalization probes); `None` means unbounded.
@@ -109,7 +112,7 @@ impl Default for SolverConfig {
             canonical_models: false,
             max_conflicts: None,
             model_history: 32,
-            max_contexts: 4,
+            max_contexts: 16,
             cex_capacity: 256,
         }
     }
@@ -158,6 +161,31 @@ pub struct SolverStats {
     pub decisions: u64,
     /// Total constraint-DAG nodes across all queries (query size proxy).
     pub query_nodes: u64,
+}
+
+impl SolverStats {
+    /// Accumulates another stats block into this one (counters summed,
+    /// durations added). Used by the parallel engine's deterministic
+    /// reduction, where each worker owns a solver and the run report
+    /// presents the fleet's total work.
+    pub fn absorb(&mut self, other: &SolverStats) {
+        self.queries += other.queries;
+        self.sat += other.sat;
+        self.unsat += other.unsat;
+        self.unknown += other.unknown;
+        self.cache_hits += other.cache_hits;
+        self.model_reuse_hits += other.model_reuse_hits;
+        self.cex_unsat_hits += other.cex_unsat_hits;
+        self.cex_sat_hits += other.cex_sat_hits;
+        self.ctx_hits += other.ctx_hits;
+        self.ctx_rebuilds += other.ctx_rebuilds;
+        self.sat_calls += other.sat_calls;
+        self.time += other.time;
+        self.sat_time += other.sat_time;
+        self.conflicts += other.conflicts;
+        self.decisions += other.decisions;
+        self.query_nodes += other.query_nodes;
+    }
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -674,7 +702,7 @@ impl Solver {
         let result = match &outcome {
             SolveOutcome::Sat(_) => {
                 let model = if self.config.canonical_models {
-                    let inputs = bb.inputs_sorted();
+                    let inputs = bb.inputs_sorted_by_name(pool);
                     // The probes share the budget the main solve left.
                     let remaining = budget.map(|b| b.saturating_sub(sat.stats().conflicts));
                     minimize_model(&mut sat, &inputs, &[], &outcome, remaining)

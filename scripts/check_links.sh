@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Markdown cross-reference check for the documentation set.
+#
+# Verifies that every relative link target `[text](path)` in the checked
+# documents exists in the repository, and that every `path/file.rs`-style
+# code reference in the architecture document points at a real file.
+# External links (http/https) are not fetched — CI has no network.
+#
+# Usage: scripts/check_links.sh   (from the repository root)
+set -u
+
+fail=0
+
+check_link() {
+    local doc="$1" target="$2"
+    case "$target" in
+        http://*|https://*|\#*) return 0 ;;
+    esac
+    # Strip an in-page anchor, if any.
+    local path="${target%%#*}"
+    [ -z "$path" ] && return 0
+    if [ ! -e "$path" ]; then
+        echo "BROKEN LINK: $doc -> $target"
+        fail=1
+    fi
+}
+
+docs="README.md ARCHITECTURE.md EXPERIMENTS.md"
+for doc in $docs; do
+    if [ ! -f "$doc" ]; then
+        echo "MISSING DOCUMENT: $doc"
+        fail=1
+        continue
+    fi
+    # Inline markdown links: [text](target)
+    for target in $(grep -o ']([^)]*)' "$doc" | sed 's/^](//; s/)$//'); do
+        check_link "$doc" "$target"
+    done
+done
+
+# Code-path references in the architecture doc (`path/to/file.rs`,
+# `path/to/file.yml`): each must exist, either from the repo root or
+# under `crates/`. Only backtick-quoted refs containing a `/` are
+# checked — bare filenames are contextual prose.
+if [ -f ARCHITECTURE.md ]; then
+    for ref in $(grep -o '`[A-Za-z0-9_./-]*/[A-Za-z0-9_.-]*\.\(rs\|yml\|toml\|md\)' ARCHITECTURE.md \
+        | sed 's/^`//'); do
+        if [ ! -e "$ref" ] && [ ! -e "crates/$ref" ]; then
+            echo "BROKEN CODE REFERENCE: ARCHITECTURE.md -> $ref"
+            fail=1
+        fi
+    done
+fi
+
+if [ "$fail" -eq 0 ]; then
+    echo "All documentation cross-references resolve."
+fi
+exit "$fail"

@@ -48,8 +48,8 @@ pub use symmerge_workloads as workloads;
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
     pub use symmerge_core::{
-        Budgets, DsmConfig, Engine, EngineBuilder, EngineConfig, MergeConfig, MergeMode, QceConfig,
-        RunReport, StrategyKind, TestCase, TestKind,
+        Budgets, DsmConfig, Engine, EngineBuilder, EngineConfig, MergeConfig, MergeMode,
+        ParallelConfig, ParallelEngine, QceConfig, RunReport, StrategyKind, TestCase, TestKind,
     };
     pub use symmerge_ir::interp::{ExecOutcome, InputMap, Interp};
     pub use symmerge_ir::{minic, Program};

@@ -292,3 +292,147 @@ pub fn assert_exact_baseline(workload: &str, baseline: &Observation) {
         "{workload}: unmerged run should generate one test per completed path"
     );
 }
+
+/// Runs a workload on the sharded parallel engine with `jobs` workers.
+/// Uses a deliberately tiny round quota so even the small differential
+/// workloads cross worker boundaries many times — the determinism claims
+/// are only interesting when states actually migrate.
+pub fn run_parallel(
+    workload: &str,
+    cfg: InputConfig,
+    mode: MergeMode,
+    strategy: StrategyKind,
+    solver: SolverConfig,
+    jobs: u32,
+) -> RunReport {
+    let program =
+        by_name(workload).unwrap_or_else(|| panic!("unknown workload {workload}")).program(&cfg);
+    run_parallel_program(program, workload, mode, strategy, solver, jobs)
+}
+
+/// [`run_parallel`] for callers that already compiled the program (the
+/// replay-based observers need the program themselves and should not
+/// compile it twice).
+fn run_parallel_program(
+    program: Program,
+    workload: &str,
+    mode: MergeMode,
+    strategy: StrategyKind,
+    solver: SolverConfig,
+    jobs: u32,
+) -> RunReport {
+    let config = EngineConfig {
+        merge_mode: mode,
+        strategy,
+        qce: QceConfig { alpha: 1e-12, ..QceConfig::default() },
+        solver,
+        seed: 11,
+        ..EngineConfig::default()
+    };
+    let report = ParallelEngine::new(
+        program,
+        config,
+        ParallelConfig { jobs, steps_per_round: 48, ..Default::default() },
+    )
+    .expect("workload programs validate")
+    .run();
+    assert!(
+        !report.hit_budget,
+        "{workload} {mode:?}/{strategy:?} jobs={jobs}: differential requires exhaustive runs"
+    );
+    assert_eq!(
+        report.tests_dropped_unknown, 0,
+        "{workload} {mode:?}/{strategy:?} jobs={jobs}: no solver budget is set, nothing may drop"
+    );
+    report
+}
+
+/// Asserts the parallel engine's strongest contract: under
+/// `MergeMode::None` (schedule-invariant path set) with canonical models,
+/// a sharded run is observationally *byte-identical* to the sequential
+/// engine — same counters, same verdicts, and the exact same generated
+/// tests (compared as canonically sorted byte lists, since the sharded
+/// reduction orders tests by their stable key while the sequential engine
+/// reports completion order).
+pub fn assert_parallel_matches_sequential(
+    workload: &str,
+    jobs: u32,
+    sequential: &RunReport,
+    parallel: &RunReport,
+) {
+    let who = format!("{workload}: jobs={jobs} vs sequential");
+    let msgs = |r: &RunReport| -> BTreeSet<String> {
+        r.assert_failures.iter().map(|f| f.msg.clone()).collect()
+    };
+    assert_eq!(msgs(parallel), msgs(sequential), "{who}: assertion verdicts differ");
+    assert_eq!(
+        parallel.completed_paths, sequential.completed_paths,
+        "{who}: completed path counts differ"
+    );
+    assert_eq!(
+        parallel.completed_multiplicity, sequential.completed_multiplicity,
+        "{who}: completed multiplicities differ"
+    );
+    assert_eq!(parallel.covered_blocks, sequential.covered_blocks, "{who}: coverage differs");
+    assert_eq!(parallel.steps, sequential.steps, "{who}: executed step counts differ");
+    assert_eq!(parallel.picks, sequential.picks, "{who}: pick counts differ");
+    assert_eq!(parallel.merges, 0, "{who}: MergeMode::None must never merge");
+    assert_eq!(parallel.leftover_states, 0, "{who}: exhaustive run left states behind");
+    assert_eq!(
+        test_bytes(parallel),
+        test_bytes(sequential),
+        "{who}: canonical models must make generated tests byte-identical"
+    );
+}
+
+/// Observes a *parallel* run the way [`observe`] observes a sequential
+/// one: replays every generated test through the concrete interpreter and
+/// condenses the observable facts, so merged-mode sharded runs can be
+/// checked against the sequential unmerged baseline with
+/// [`assert_mode_invariant`].
+pub fn observe_parallel(
+    workload: &str,
+    cfg: InputConfig,
+    mode: MergeMode,
+    strategy: StrategyKind,
+    jobs: u32,
+) -> Observation {
+    let program =
+        by_name(workload).unwrap_or_else(|| panic!("unknown workload {workload}")).program(&cfg);
+    let report = run_parallel_program(
+        program.clone(),
+        workload,
+        mode,
+        strategy,
+        SolverConfig::default(),
+        jobs,
+    );
+    assert!(
+        !report.tests.is_empty(),
+        "{workload} {mode:?}/{strategy:?} jobs={jobs}: produced no test cases to replay"
+    );
+    let mut behaviors = BTreeSet::new();
+    for (i, test) in report.tests.iter().enumerate() {
+        if let Err(e) = test.validate(&program) {
+            panic!(
+                "{workload} {mode:?}/{strategy:?} jobs={jobs}: test {i} diverged from \
+                 concrete replay: {e}\ninputs: {:?}",
+                test.inputs
+            );
+        }
+        let replay = test.replay(&program);
+        behaviors.insert((outcome_class(&replay.outcome), replay.outputs));
+    }
+    let failure_msgs: BTreeSet<String> =
+        report.assert_failures.iter().map(|f| f.msg.clone()).collect();
+    Observation {
+        mode,
+        strategy,
+        failure_msgs,
+        covered_blocks: report.covered_blocks,
+        completed_paths: report.completed_paths,
+        completed_multiplicity: report.completed_multiplicity,
+        behaviors,
+        num_tests: report.tests.len(),
+    }
+}

@@ -20,8 +20,8 @@
 mod common;
 
 use common::{
-    assert_exact_baseline, assert_mode_invariant, assert_solver_config_invariant, observe,
-    run_with_solver,
+    assert_exact_baseline, assert_mode_invariant, assert_parallel_matches_sequential,
+    assert_solver_config_invariant, observe, observe_parallel, run_parallel, run_with_solver,
 };
 use symmerge::prelude::*;
 
@@ -135,6 +135,93 @@ fn solver_differential_args_workloads_second_half() {
 #[test]
 fn solver_differential_stdin_and_mixed_workloads() {
     solver_differential_for(&WORKLOADS[8..]);
+}
+
+/// The parallel differential: for every workload, the sharded engine at
+/// `jobs ∈ {1, 2, 4}` must be byte-identical to the sequential engine —
+/// same counters, verdicts and coverage, and (under canonical models,
+/// whose minimal model depends only on the path condition's semantics,
+/// not on which worker's expression pool represented it) the exact same
+/// generated tests. `MergeMode::None` makes the explored path set
+/// schedule-invariant, which is what turns "same answers" into "same
+/// bytes"; the tiny round quota in `run_parallel` forces heavy
+/// cross-worker migration on every workload.
+fn parallel_differential_for(workloads: &[(&str, InputConfig)]) {
+    let solver = SolverConfig { canonical_models: true, ..SolverConfig::default() };
+    for &(name, cfg) in workloads {
+        let sequential =
+            run_with_solver(name, cfg, MergeMode::None, StrategyKind::Bfs, solver.clone());
+        for jobs in [1, 2, 4] {
+            let parallel =
+                run_parallel(name, cfg, MergeMode::None, StrategyKind::Bfs, solver.clone(), jobs);
+            assert_parallel_matches_sequential(name, jobs, &sequential, &parallel);
+        }
+    }
+}
+
+#[test]
+fn parallel_differential_args_workloads_first_half() {
+    parallel_differential_for(&WORKLOADS[0..4]);
+}
+
+#[test]
+fn parallel_differential_args_workloads_second_half() {
+    parallel_differential_for(&WORKLOADS[4..8]);
+}
+
+#[test]
+fn parallel_differential_stdin_and_mixed_workloads() {
+    parallel_differential_for(&WORKLOADS[8..]);
+}
+
+/// Merged-mode sharded runs: region sharding keeps merge candidates
+/// co-located, so SSM/DSM still merge across workers' rounds; the results
+/// must satisfy the same mode-invariance contract as sequential merged
+/// runs (identical verdicts and coverage, no lost or invented paths).
+#[test]
+fn parallel_merged_modes_preserve_mode_invariance() {
+    for &(name, cfg) in &[WORKLOADS[0], WORKLOADS[4], WORKLOADS[8], WORKLOADS[11]] {
+        let baseline = observe(name, cfg, MergeMode::None, StrategyKind::Bfs);
+        for (mode, strategy) in [
+            (MergeMode::Static, StrategyKind::Topological),
+            (MergeMode::Dynamic, StrategyKind::Bfs),
+        ] {
+            for jobs in [2, 4] {
+                let obs = observe_parallel(name, cfg, mode, strategy, jobs);
+                assert_mode_invariant(name, &baseline, &obs);
+            }
+        }
+    }
+}
+
+/// Sharded runs are deterministic per `(seed, jobs)`: re-running the
+/// exact configuration — including a merging mode, where the round
+/// structure influences *which* merges happen — reproduces the report
+/// byte for byte.
+#[test]
+fn parallel_runs_are_reproducible_per_seed_and_jobs() {
+    let solver = SolverConfig { canonical_models: true, ..SolverConfig::default() };
+    for &(name, cfg) in &[WORKLOADS[1], WORKLOADS[9]] {
+        for (mode, strategy) in [
+            (MergeMode::None, StrategyKind::Random),
+            (MergeMode::Static, StrategyKind::Topological),
+        ] {
+            let a = run_parallel(name, cfg, mode, strategy, solver.clone(), 4);
+            let b = run_parallel(name, cfg, mode, strategy, solver.clone(), 4);
+            assert_eq!(a.completed_paths, b.completed_paths, "{name} {mode:?}");
+            assert_eq!(a.completed_multiplicity, b.completed_multiplicity, "{name} {mode:?}");
+            assert_eq!(a.merges, b.merges, "{name} {mode:?}: merge structure must reproduce");
+            assert_eq!(a.steps, b.steps, "{name} {mode:?}");
+            assert_eq!(a.covered_blocks, b.covered_blocks, "{name} {mode:?}");
+            let bytes = |r: &RunReport| {
+                r.tests
+                    .iter()
+                    .map(|t| (t.inputs.clone(), t.predicted_outputs.clone()))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(bytes(&a), bytes(&b), "{name} {mode:?}: reports must be byte-identical");
+        }
+    }
 }
 
 /// The baseline itself must not depend on the schedule: unmerged
