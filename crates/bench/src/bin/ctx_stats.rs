@@ -1,0 +1,108 @@
+//! **ctx_stats** — solver-context pool behaviour under interleaving
+//! search strategies.
+//!
+//! Runs a workload exhaustively under an explicit strategy (default:
+//! `wc` under Random, the configuration whose context-pool thrash the
+//! PR 3 scaling sweeps measured) with test generation on, and prints
+//! the context counters next to the run totals. This is the harness
+//! behind the EXPERIMENTS.md "fork-aware context tree" datum: at equal
+//! generated tests, `ctx_rebuilds` is the prefix re-blast count the
+//! fork-aware tree is supposed to eliminate.
+//!
+//! ```sh
+//! cargo run --release -p symmerge-bench --bin ctx_stats            # wc + rev sweep
+//! SYMMERGE_SOLVER_CTX_FORK=0 cargo run --release -p symmerge-bench --bin ctx_stats
+//! SYMMERGE_MAX_CONTEXTS=16 cargo run --release -p symmerge-bench --bin ctx_stats
+//! ```
+//!
+//! `SYMMERGE_MAX_CONTEXTS` overrides the context-tree capacity — the
+//! knob behind the 16 → 64 default bump this harness motivated.
+
+use symmerge_bench::harness::{CsvOut, HarnessOpts};
+use symmerge_core::{Budgets, Engine, EngineConfig, MergeMode, QceConfig, StrategyKind};
+use symmerge_workloads::{by_name, InputConfig};
+
+fn main() {
+    let opts = HarnessOpts::parse(120_000);
+    let sweeps: Vec<(&str, InputConfig, StrategyKind)> = vec![
+        ("wc", InputConfig { n_args: 0, arg_len: 1, stdin_len: 3 }, StrategyKind::Random),
+        ("wc", InputConfig { n_args: 0, arg_len: 1, stdin_len: 4 }, StrategyKind::Random),
+        ("wc", InputConfig { n_args: 0, arg_len: 1, stdin_len: 5 }, StrategyKind::Random),
+        ("wc", InputConfig { n_args: 0, arg_len: 1, stdin_len: 6 }, StrategyKind::Random),
+        (
+            "wc",
+            InputConfig { n_args: 0, arg_len: 1, stdin_len: 4 },
+            StrategyKind::CoverageOptimized,
+        ),
+        ("rev", InputConfig { n_args: 0, arg_len: 1, stdin_len: 4 }, StrategyKind::Random),
+        ("cut", InputConfig::args(2, 2), StrategyKind::Random),
+    ];
+    let mut csv = CsvOut::create(
+        "ctx_stats",
+        "tool,symbolic_bytes,strategy,tests,sat_calls,ctx_hits,ctx_rebuilds,ctx_forks,\
+         ctx_evictions,solver_ms,wall_ms",
+    );
+    println!("# ctx_stats: solver-context pool behaviour (exhaustive runs, tests on)");
+    println!(
+        "{:6} {:>6} {:>10} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10}",
+        "tool",
+        "bytes",
+        "strategy",
+        "tests",
+        "sat_calls",
+        "ctx_hits",
+        "rebuilds",
+        "forks",
+        "evicts",
+        "solver",
+        "wall"
+    );
+    for (tool, cfg, strategy) in sweeps {
+        let w = by_name(tool).unwrap();
+        let mut config = EngineConfig {
+            merge_mode: MergeMode::None,
+            strategy,
+            qce: QceConfig { alpha: opts.alpha, ..QceConfig::default() },
+            budgets: Budgets { max_time: Some(opts.budget), ..Budgets::default() },
+            generate_tests: true,
+            seed: opts.seed,
+            ..EngineConfig::default()
+        };
+        if let Ok(n) = std::env::var("SYMMERGE_MAX_CONTEXTS") {
+            config.solver.max_contexts = n.parse().expect("SYMMERGE_MAX_CONTEXTS takes a count");
+        }
+        let mut engine = Engine::builder(w.program(&cfg))
+            .config(config)
+            .build()
+            .expect("workload programs validate");
+        let report = engine.run();
+        assert!(!report.hit_budget, "{tool}: raise --budget-ms, counters need exhaustive runs");
+        let s = &report.solver;
+        let strat = format!("{strategy:?}");
+        println!(
+            "{tool:6} {:>6} {strat:>10} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10.2?} {:>10.2?}",
+            cfg.symbolic_bytes(),
+            report.tests.len(),
+            s.sat_calls,
+            s.ctx_hits,
+            s.ctx_rebuilds,
+            s.ctx_forks,
+            s.ctx_evictions,
+            s.time,
+            report.wall_time,
+        );
+        csv.row(&format!(
+            "{tool},{},{strat},{},{},{},{},{},{},{:.3},{:.3}",
+            cfg.symbolic_bytes(),
+            report.tests.len(),
+            s.sat_calls,
+            s.ctx_hits,
+            s.ctx_rebuilds,
+            s.ctx_forks,
+            s.ctx_evictions,
+            s.time.as_secs_f64() * 1e3,
+            report.wall_time.as_secs_f64() * 1e3,
+        ));
+    }
+    println!("# csv: {}", csv.path.display());
+}

@@ -41,15 +41,26 @@ fn main() {
 
     let mut csv = CsvOut::create(
         "parallel_scaling",
-        "tool,symbolic_bytes,jobs,wall_ms,speedup,steps,completed_paths,sat_calls,sat_time_ms",
+        "tool,symbolic_bytes,jobs,wall_ms,speedup,steps,completed_paths,sat_calls,sat_time_ms,\
+         ctx_hits,ctx_rebuilds,ctx_forks,ctx_evictions",
     );
     println!("# parallel_scaling: exhaustive MergeMode::None exploration, sequential vs sharded");
     println!(
         "# sat_calls/sat_time: fleet totals — inflation vs jobs=1 is cache loss from sharding"
     );
+    println!("# ctx columns: fleet context-tree totals (hits/rebuilds/forks/evictions)");
     println!(
-        "{:10} {:>6} {:>5} {:>12} {:>9} {:>10} {:>10} {:>10} {:>10}",
-        "tool", "bytes", "jobs", "wall", "speedup", "steps", "paths", "sat_calls", "sat_time"
+        "{:10} {:>6} {:>5} {:>12} {:>9} {:>10} {:>10} {:>10} {:>10} {:>22}",
+        "tool",
+        "bytes",
+        "jobs",
+        "wall",
+        "speedup",
+        "steps",
+        "paths",
+        "sat_calls",
+        "sat_time",
+        "ctx h/r/f/e"
     );
     for (tool, cfg) in sweeps {
         let w = by_name(tool).unwrap();
@@ -90,25 +101,32 @@ fn main() {
                 );
             }
             let speedup = t1.as_secs_f64() / wall.as_secs_f64().max(1e-9);
+            let s = &report.solver;
+            let ctx =
+                format!("{}/{}/{}/{}", s.ctx_hits, s.ctx_rebuilds, s.ctx_forks, s.ctx_evictions);
             println!(
-                "{tool:10} {:>6} {jobs:>5} {:>12.2?} {:>8.2}x {:>10} {:>10} {:>10} {:>10.2?}",
+                "{tool:10} {:>6} {jobs:>5} {:>12.2?} {:>8.2}x {:>10} {:>10} {:>10} {:>10.2?} {ctx:>22}",
                 cfg.symbolic_bytes(),
                 wall,
                 speedup,
                 report.steps,
                 report.completed_paths,
-                report.solver.sat_calls,
-                report.solver.sat_time
+                s.sat_calls,
+                s.sat_time
             );
             csv.row(&format!(
-                "{tool},{},{jobs},{:.3},{:.3},{},{},{},{:.3}",
+                "{tool},{},{jobs},{:.3},{:.3},{},{},{},{:.3},{},{},{},{}",
                 cfg.symbolic_bytes(),
                 wall.as_secs_f64() * 1e3,
                 speedup,
                 report.steps,
                 report.completed_paths,
-                report.solver.sat_calls,
-                report.solver.sat_time.as_secs_f64() * 1e3
+                s.sat_calls,
+                s.sat_time.as_secs_f64() * 1e3,
+                s.ctx_hits,
+                s.ctx_rebuilds,
+                s.ctx_forks,
+                s.ctx_evictions
             ));
         }
     }

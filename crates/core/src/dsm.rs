@@ -283,7 +283,13 @@ mod tests {
     }
 
     fn meta(rpo: u32) -> StateMeta {
-        StateMeta { func: FuncId(0), block: BlockId(rpo), topo: vec![(rpo, 0)], steps: 0 }
+        StateMeta {
+            func: FuncId(0),
+            block: BlockId(rpo),
+            topo: vec![(rpo, 0)],
+            steps: 0,
+            affinity: 0,
+        }
     }
 
     #[test]

@@ -66,6 +66,15 @@ pub struct EngineConfig {
     pub budgets: Budgets,
     /// Whether to solve for and record concrete test cases.
     pub generate_tests: bool,
+    /// Context-affinity scheduling: carry the solver's affinity token
+    /// ([`symmerge_solver::Solver::last_affinity`]) on each state and
+    /// let ranking strategies use it as a deterministic tie-break toward
+    /// states whose path-condition prefix is still resident in the
+    /// solver's context tree. Affinity is derived from deterministic
+    /// counters (never wall-clock), so runs remain reproducible per
+    /// seed; under [`MergeMode::None`] the explored path set is
+    /// schedule-invariant, so results are identical with it off.
+    pub affinity_scheduling: bool,
     /// RNG seed (strategies, tie-breaking) — runs are deterministic per
     /// seed.
     pub seed: u64,
@@ -82,6 +91,7 @@ impl Default for EngineConfig {
             solver: SolverConfig::default(),
             budgets: Budgets::default(),
             generate_tests: true,
+            affinity_scheduling: true,
             seed: 0,
         }
     }
@@ -159,6 +169,13 @@ impl EngineBuilder {
     /// Whether to generate test cases for completed paths.
     pub fn generate_tests(mut self, yes: bool) -> Self {
         self.config.generate_tests = yes;
+        self
+    }
+
+    /// Toggles context-affinity scheduling (see
+    /// [`EngineConfig::affinity_scheduling`]).
+    pub fn affinity_scheduling(mut self, yes: bool) -> Self {
+        self.config.affinity_scheduling = yes;
         self
     }
 
@@ -506,7 +523,11 @@ impl Engine {
                 (pos, f.instr)
             })
             .collect();
-        StateMeta { func, block, topo, steps: state.steps }
+        // Zeroing the stamp (rather than skipping it downstream) is the
+        // ablation: strategies see uniform affinity and fall back to
+        // their pre-affinity tie-breaks.
+        let affinity = if self.config.affinity_scheduling { state.affinity } else { 0 };
+        StateMeta { func, block, topo, steps: state.steps, affinity }
     }
 
     fn hot_set_for(&mut self, state: &State) -> Rc<HotSet> {
@@ -689,10 +710,11 @@ impl Engine {
             // failure.pc is the state's pc plus the negated assertion. The
             // state *continues* with the assertion's positive side, so the
             // negation must be assumed — not asserted — to keep the warm
-            // incremental context reusable for the surviving path.
+            // incremental context reusable for the surviving path; and it
+            // is a probe (no state will ever extend the pc by it).
             let (prefix, last) = failure.pc.split_at(failure.pc.len().saturating_sub(1));
             let extra = last.first().copied().unwrap_or_else(|| self.pool.true_());
-            match self.solver.check_assuming(&self.pool, prefix, extra) {
+            match self.solver.check_assuming_probe(&self.pool, prefix, extra) {
                 SatResult::Sat(model) => {
                     self.tests.push(TestCase::from_model(
                         &self.pool,
@@ -801,6 +823,7 @@ impl Engine {
             None => parent_hist,
         };
 
+        let affinity_before = self.solver.last_affinity();
         let result = {
             let mut ctx = ExecCtx {
                 program: &self.program,
@@ -811,6 +834,15 @@ impl Engine {
             ctx.step(state)
         };
         self.steps += 1;
+        // If the step's branch queries touched (or built) the context of
+        // this state's pc prefix, the successors extend exactly that
+        // prefix and inherit the token the queries stamped — read before
+        // test generation below advances the solver clock. A step whose
+        // queries never reached a context (cache-served, or no query at
+        // all) leaves the token unchanged; stamping the stale value
+        // would mark cold states warm, so the successors keep the
+        // affinity they inherited from their parent instead.
+        let affinity_after = self.solver.last_affinity();
         if let Some(failure) = result.failure {
             let outputs: Vec<symmerge_expr::ExprId> =
                 result.successors.first().map(|s| s.outputs.clone()).unwrap_or_default();
@@ -819,7 +851,10 @@ impl Engine {
         if let Some((s, completion)) = result.completed {
             self.record_completion(s, completion);
         }
-        for succ in result.successors {
+        for mut succ in result.successors {
+            if affinity_after != affinity_before {
+                succ.affinity = affinity_after;
+            }
             self.integrate(succ, child_hist.clone(), parent_ff);
         }
         ExploreStep::Progressed

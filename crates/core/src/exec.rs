@@ -298,8 +298,11 @@ impl ExecCtx<'_> {
                         // Trivially holds.
                     } else {
                         // Does some represented path violate the assertion?
+                        // A probe: the state never continues down `bad`,
+                        // so it must not count as context sibling
+                        // evidence (only `ok` extends the pc).
                         out.forked = true;
-                        if self.solver.may_be_sat_assuming(self.pool, &state.pc, bad) {
+                        if self.solver.may_be_sat_assuming_probe(self.pool, &state.pc, bad) {
                             let mut failing_pc = state.pc.clone();
                             failing_pc.push(bad);
                             out.failure = Some(AssertFailure {

@@ -190,6 +190,9 @@ pub fn merge_states(
         multiplicity: a.multiplicity + b.multiplicity,
         steps: a.steps.max(b.steps),
         sym_counters: a.sym_counters.clone(),
+        // The warmer constituent's context serves the merged prefix too
+        // (the common prefix is what the solver keeps blasted).
+        affinity: a.affinity.max(b.affinity),
     }
 }
 

@@ -41,6 +41,13 @@
 //!
 //! # Determinism contract
 //!
+//! Context-affinity scheduling does not weaken any layer of the
+//! contract: affinity tokens are derived from each worker's solver
+//! clock (a deterministic counter), and a migrating state **drops** its
+//! token at export — the importing worker re-derives it as 0 ("context
+//! cold here"), so no cross-solver clock value can leak into scheduling
+//! (see [`crate::shard::PortableState`]).
+//!
 //! * `jobs = 1` takes the exact legacy sequential path (same code, same
 //!   report, byte for byte).
 //! * Any `jobs`, [`MergeMode::None`](crate::engine::MergeMode::None):
@@ -456,7 +463,7 @@ impl ParallelEngine {
             if std::env::var_os("SYMMERGE_PAR_DEBUG").is_some() {
                 for (w, part) in parts.iter().enumerate() {
                     eprintln!(
-                        "# shard {w}: steps={} paths={} queries={} sat_calls={} cache={} reuse={} cex={}/{} ctx={}/{} solver_time={:?} sat_time={:?} wall={:?}",
+                        "# shard {w}: steps={} paths={} queries={} sat_calls={} cache={} reuse={} cex={}/{} ctx={}/{}/{}/{} solver_time={:?} sat_time={:?} wall={:?}",
                         part.report.steps,
                         part.report.completed_paths,
                         part.report.solver.queries,
@@ -467,6 +474,8 @@ impl ParallelEngine {
                         part.report.solver.cex_unsat_hits,
                         part.report.solver.ctx_hits,
                         part.report.solver.ctx_rebuilds,
+                        part.report.solver.ctx_forks,
+                        part.report.solver.ctx_evictions,
                         part.report.solver.time,
                         part.report.solver.sat_time,
                         part.report.wall_time,

@@ -33,7 +33,11 @@
 //! outputs) is exported into one shared pool-free DAG, together with the
 //! DSM history and fast-forward flag the engine tracks alongside the
 //! state. Importing re-interns the expressions into the receiving
-//! worker's pool.
+//! worker's pool. Host-local scheduling hints are deliberately *not*
+//! part of the envelope: the solver affinity token
+//! ([`State::affinity`](crate::state::State)) indexes the origin
+//! worker's solver clock, so it is dropped at export and
+//! deterministically re-derived as 0 ("context cold here") at import.
 
 use crate::state::{Frame, Slot, State, StateId};
 use std::collections::{HashMap, VecDeque};
@@ -224,6 +228,13 @@ impl PortableState {
                 .iter()
                 .map(|(k, v)| (k.clone(), *v))
                 .collect::<HashMap<String, u32>>(),
+            // Affinity tokens index into the *origin* worker's solver
+            // clock; on this worker the prefix context is cold by
+            // definition. The envelope therefore never carries affinity
+            // — it is deterministically re-derived as 0 on import, which
+            // keeps the parallel ≡ sequential byte-identity contract
+            // independent of migration history.
+            affinity: 0,
         };
         (state, self.history.iter().copied().collect(), self.ff)
     }

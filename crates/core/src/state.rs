@@ -75,6 +75,17 @@ pub struct State {
     /// Per-input-label counters so a `sym_int("x")` executed repeatedly
     /// (e.g. in a loop) yields distinct symbols `x`, `x#2`, `x#3`, …
     pub sym_counters: HashMap<String, u32>,
+    /// The opaque solver **affinity token** stamped when this state was
+    /// last integrated ([`symmerge_solver::Solver::last_affinity`]):
+    /// compares higher the more recently the solver touched the
+    /// incremental context of this state's path-condition prefix.
+    /// Schedulers use it as a deterministic tie-break toward states
+    /// whose context is likely still resident. Derived from per-solver
+    /// monotone counters — never wall-clock — so it is reproducible per
+    /// seed; it is meaningless across solvers and therefore dropped (and
+    /// re-derived as 0, "context cold here") when a state migrates to
+    /// another shard.
+    pub affinity: u64,
 }
 
 impl State {
@@ -103,6 +114,7 @@ impl State {
             multiplicity: 1.0,
             steps: 0,
             sym_counters: HashMap::new(),
+            affinity: 0,
         }
     }
 

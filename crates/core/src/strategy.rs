@@ -43,6 +43,17 @@ pub struct StateMeta {
     pub topo: Vec<(u32, u32)>,
     /// Instructions executed so far (tie-breaking).
     pub steps: u64,
+    /// Solver context-affinity token (see
+    /// [`State::affinity`](crate::state::State)): an opaque,
+    /// deterministic recency stamp — higher means the state's
+    /// path-condition prefix was more recently resident in the solver's
+    /// context tree. Strategies that rank states use it as a tie-break
+    /// *before* the final [`StateId`] tie-break, so among otherwise
+    /// equal candidates the one whose context is still warm goes first
+    /// and the solver extends a resident context instead of re-blasting
+    /// a cold prefix. The engine zeroes the stamp when affinity
+    /// scheduling is disabled, which restores the pre-affinity order.
+    pub affinity: u64,
 }
 
 /// Compares topological positions: lexicographic per frame; when one stack
@@ -294,18 +305,21 @@ impl Strategy for CoverageOptimized {
             let k = oracle.rng().gen_range(0..self.order.len());
             self.order[k]
         } else {
-            let mut best: Option<(u64, u64, StateId)> = None;
+            let mut best: Option<(u64, u64, u64, StateId)> = None;
             for (&id, meta) in &self.metas {
                 let dist = oracle
                     .distance_to_uncovered(meta.func, meta.block)
                     .map(u64::from)
                     .unwrap_or(u64::MAX / 2);
-                let key = (dist, u64::MAX - meta.steps, id);
-                if best.map_or(true, |b| key < (b.0, b.1, b.2)) {
+                // Equal distance and depth: prefer the state whose
+                // prefix context is warmest (highest affinity), then the
+                // oldest id — a deterministic total order either way.
+                let key = (dist, u64::MAX - meta.steps, u64::MAX - meta.affinity, id);
+                if best.map_or(true, |b| key < b) {
                     best = Some(key);
                 }
             }
-            best.expect("non-empty").2
+            best.expect("non-empty").3
         };
         self.drop_from_order(chosen);
         self.metas.remove(&chosen);
@@ -326,6 +340,14 @@ impl Strategy for CoverageOptimized {
 /// amortized O(log n), versus the previous full-scan pick. Ties on the
 /// topological key break by [`StateId`], exactly as the scan did, so pick
 /// order is unchanged.
+///
+/// Topological order deliberately does **not** use the
+/// [`StateMeta::affinity`] tie-break: its pick order is part of SSM's
+/// contract and must stay a pure function of control position and
+/// [`StateId`]. Affinity stamps come from the solver's context clock,
+/// which differs between solver backends (the re-blast path never stamps),
+/// so keying on them would let the choice of solver change *which* merges
+/// happen — breaking the solver-config differential's byte-identity.
 #[derive(Debug, Default)]
 pub struct Topological {
     heap: BinaryHeap<Reverse<(TopoKey, StateId)>>,
@@ -383,7 +405,17 @@ mod tests {
     }
 
     fn meta(block: u32, rpo: u32, steps: u64) -> StateMeta {
-        StateMeta { func: FuncId(0), block: BlockId(block), topo: vec![(rpo, 0)], steps }
+        StateMeta {
+            func: FuncId(0),
+            block: BlockId(block),
+            topo: vec![(rpo, 0)],
+            steps,
+            affinity: 0,
+        }
+    }
+
+    fn meta_aff(block: u32, affinity: u64) -> StateMeta {
+        StateMeta { func: FuncId(0), block: BlockId(block), topo: vec![(0, 0)], steps: 0, affinity }
     }
 
     #[test]
@@ -427,10 +459,20 @@ mod tests {
         topo.add(StateId(2), meta(2, 2, 0));
         assert_eq!(topo.pick(&mut oracle), Some(StateId(2)));
         // Deeper stack with equal prefix comes first.
-        let shallow =
-            StateMeta { func: FuncId(0), block: BlockId(0), topo: vec![(1, 3)], steps: 0 };
-        let deep =
-            StateMeta { func: FuncId(0), block: BlockId(0), topo: vec![(1, 3), (0, 0)], steps: 0 };
+        let shallow = StateMeta {
+            func: FuncId(0),
+            block: BlockId(0),
+            topo: vec![(1, 3)],
+            steps: 0,
+            affinity: 0,
+        };
+        let deep = StateMeta {
+            func: FuncId(0),
+            block: BlockId(0),
+            topo: vec![(1, 3), (0, 0)],
+            steps: 0,
+            affinity: 0,
+        };
         assert_eq!(topo_cmp(&deep, &shallow), Ordering::Less);
     }
 
@@ -441,11 +483,41 @@ mod tests {
         let mut oracle = TestOracle::new();
         let mut topo = Topological::default();
         let metas: Vec<StateMeta> = vec![
-            StateMeta { func: FuncId(0), block: BlockId(0), topo: vec![(2, 0)], steps: 0 },
-            StateMeta { func: FuncId(0), block: BlockId(0), topo: vec![(1, 3)], steps: 0 },
-            StateMeta { func: FuncId(0), block: BlockId(0), topo: vec![(1, 3), (0, 0)], steps: 0 },
-            StateMeta { func: FuncId(0), block: BlockId(0), topo: vec![(1, 3)], steps: 0 },
-            StateMeta { func: FuncId(0), block: BlockId(0), topo: vec![(0, 9)], steps: 0 },
+            StateMeta {
+                func: FuncId(0),
+                block: BlockId(0),
+                topo: vec![(2, 0)],
+                steps: 0,
+                affinity: 0,
+            },
+            StateMeta {
+                func: FuncId(0),
+                block: BlockId(0),
+                topo: vec![(1, 3)],
+                steps: 0,
+                affinity: 0,
+            },
+            StateMeta {
+                func: FuncId(0),
+                block: BlockId(0),
+                topo: vec![(1, 3), (0, 0)],
+                steps: 0,
+                affinity: 0,
+            },
+            StateMeta {
+                func: FuncId(0),
+                block: BlockId(0),
+                topo: vec![(1, 3)],
+                steps: 0,
+                affinity: 0,
+            },
+            StateMeta {
+                func: FuncId(0),
+                block: BlockId(0),
+                topo: vec![(0, 9)],
+                steps: 0,
+                affinity: 0,
+            },
         ];
         for (i, m) in metas.iter().enumerate() {
             topo.add(StateId(i as u64), m.clone());
@@ -470,6 +542,40 @@ mod tests {
         cov.add(StateId(1), meta(0, 0, 0));
         cov.add(StateId(2), meta(1, 1, 0));
         assert_eq!(cov.pick(&mut oracle), Some(StateId(2)));
+    }
+
+    #[test]
+    fn coverage_strategy_breaks_ties_toward_warm_affinity() {
+        let mut oracle = TestOracle::new();
+        // Equal (unknown) distances and equal steps: affinity decides,
+        // and only then the id.
+        let mut cov = CoverageOptimized { epsilon: 0.0, ..Default::default() };
+        cov.add(StateId(1), meta_aff(0, 3));
+        cov.add(StateId(2), meta_aff(0, 9));
+        cov.add(StateId(3), meta_aff(0, 9));
+        assert_eq!(cov.pick(&mut oracle), Some(StateId(2)), "warmest first, id tie-break");
+        assert_eq!(cov.pick(&mut oracle), Some(StateId(3)));
+        assert_eq!(cov.pick(&mut oracle), Some(StateId(1)));
+        // Distance still dominates affinity.
+        oracle.distances.insert((FuncId(0), BlockId(1)), 1);
+        let mut cov = CoverageOptimized { epsilon: 0.0, ..Default::default() };
+        cov.add(StateId(1), meta_aff(0, u64::MAX));
+        cov.add(StateId(2), meta_aff(1, 0));
+        assert_eq!(cov.pick(&mut oracle), Some(StateId(2)), "distance outranks affinity");
+    }
+
+    #[test]
+    fn topological_order_ignores_affinity() {
+        // SSM's pick order is part of its contract: a pure function of
+        // control position and id, never of solver-side stamps.
+        let mut oracle = TestOracle::new();
+        let mut topo = Topological::default();
+        let mut hot = meta(0, 1, 0);
+        hot.affinity = u64::MAX;
+        let cold = meta(0, 1, 0);
+        topo.add(StateId(2), hot);
+        topo.add(StateId(1), cold);
+        assert_eq!(topo.pick(&mut oracle), Some(StateId(1)), "id breaks the tie, not affinity");
     }
 
     #[test]

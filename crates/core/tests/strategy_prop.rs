@@ -24,7 +24,7 @@ impl Oracle for NullOracle {
 
 fn meta(topo: Vec<(u32, u32)>) -> StateMeta {
     let block = topo.last().map(|&(r, _)| r).unwrap_or(0);
-    StateMeta { func: FuncId(0), block: BlockId(block), topo, steps: 0 }
+    StateMeta { func: FuncId(0), block: BlockId(block), topo, steps: 0, affinity: 0 }
 }
 
 #[derive(Debug, Clone)]

@@ -15,6 +15,14 @@
 //! identical to the source — same value under every assignment — even
 //! though its [`ExprId`] (and occasionally its shape) differs.
 //!
+//! The dividing line for what belongs in a portable rendering: anything
+//! whose meaning is a function of the expression *semantics* travels
+//! (symbol names, structure, constants); anything that indexes host-local
+//! machinery must not (raw [`ExprId`]s, and by the same token the
+//! engine-side solver-affinity stamps, which index one solver's context
+//! clock — their envelope, `symmerge-core`'s `PortableState`, drops them
+//! at export and re-derives them on import).
+//!
 //! ```
 //! use symmerge_expr::{DagExporter, ExprPool, Value};
 //!

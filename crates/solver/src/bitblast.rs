@@ -30,7 +30,12 @@ enum Bits {
 /// that keep extending the pool. The per-[`ExprId`] translation cache
 /// stays valid because pools are append-only: existing ids never change
 /// meaning.
-#[derive(Debug, Default)]
+/// Cloning a blaster snapshots the CNF and both caches; together with
+/// [`SatSolver::fork`](crate::sat::SatSolver::fork) this is what makes a
+/// [`SolverContext`](crate::SolverContext) forkable — the clone keeps
+/// translating from where the original stood, without re-blasting any
+/// shared circuitry.
+#[derive(Debug, Default, Clone)]
 pub struct BitBlaster {
     cnf: Cnf,
     cache: HashMap<ExprId, Bits>,

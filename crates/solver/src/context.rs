@@ -12,10 +12,14 @@
 //! merged (ite-heavy) queries of §2–3 amortizable.
 //!
 //! Contexts are append-only: the prefix can grow
-//! ([`SolverContext::assert_constraint`]) but never shrink. When the
-//! engine diverges to a path whose condition is not an extension of the
-//! context's prefix, the [`Solver`](crate::Solver) builds a fresh context
-//! (it keeps a small pool of them, matched by longest shared prefix).
+//! ([`SolverContext::assert_constraint`]) but never shrink — and it can
+//! **fork** ([`SolverContext::fork`]): a branch divergence snapshots the
+//! warm context (clause database, learnt clauses, variable activities,
+//! saved phases, blasting caches) so *both* children extend the shared
+//! prefix instead of one inheriting it and the other re-blasting it from
+//! scratch. The [`Solver`](crate::Solver) arranges contexts in a prefix
+//! tree and decides per divergence whether to fork or to move the
+//! context down the path (see `solve.rs`).
 
 use crate::bitblast::BitBlaster;
 use crate::cnf::Lit;
@@ -32,6 +36,14 @@ pub struct SolverContext {
     prefix: Vec<ExprId>,
     /// LRU stamp managed by the owning [`Solver`](crate::Solver).
     pub(crate) last_used: u64,
+    /// Extras answered sat (or unknown) *at the current prefix* since it
+    /// last changed — the solver's evidence that sibling states exist
+    /// whose path conditions extend this prefix differently. At a branch
+    /// the engine checks both polarities as assumptions before forking,
+    /// so a context about to be extended by `c` that also answered some
+    /// `e ≠ c` knows another child will come back for this prefix: that
+    /// is the fork-vs-move signal (see `Solver::context_node_for`).
+    pub(crate) sat_extras: Vec<ExprId>,
 }
 
 impl Default for SolverContext {
@@ -46,7 +58,32 @@ impl SolverContext {
         let blaster = BitBlaster::new();
         let sat = SatSolver::from_cnf(blaster.cnf());
         let clauses_fed = blaster.cnf().num_clauses();
-        SolverContext { blaster, sat, clauses_fed, prefix: Vec::new(), last_used: 0 }
+        SolverContext {
+            blaster,
+            sat,
+            clauses_fed,
+            prefix: Vec::new(),
+            last_used: 0,
+            sat_extras: Vec::new(),
+        }
+    }
+
+    /// Snapshots the context: the fork shares nothing with the original
+    /// but starts from the identical bit-blasted prefix, clause database
+    /// (learnt clauses included — sound, because the prefix is
+    /// append-only and learnt clauses are implied by the clause database
+    /// alone), variable activities and saved phases. Extending the fork
+    /// costs only the *new* conjuncts; the shared prefix is never
+    /// re-blasted.
+    pub fn fork(&self) -> SolverContext {
+        SolverContext {
+            blaster: self.blaster.clone(),
+            sat: self.sat.fork(),
+            clauses_fed: self.clauses_fed,
+            prefix: self.prefix.clone(),
+            last_used: 0,
+            sat_extras: Vec::new(),
+        }
     }
 
     /// The constraints permanently asserted so far, in assertion order.
@@ -67,18 +104,46 @@ impl SolverContext {
     }
 
     /// Permanently asserts `c`, extending the prefix. Constant-`true`
-    /// conjuncts are recorded in the prefix but add no clauses.
+    /// conjuncts are recorded in the prefix but add no clauses. Extending
+    /// the prefix invalidates the sibling evidence (`sat_extras`
+    /// describes the *previous* prefix), so it is cleared.
     pub fn assert_constraint(&mut self, pool: &ExprPool, c: ExprId) {
         let lit = self.blaster.blast_bool(pool, c);
         self.sync();
         self.sat.add_clause(&[lit]);
         self.prefix.push(c);
+        self.sat_extras.clear();
     }
 
     /// Decides `prefix ∧ extras`, with `extras` held as assumptions only:
     /// the prefix CNF, learnt clauses and heuristics survive for the next
     /// query. `budget` limits the conflicts of this call.
     pub fn solve_assuming(
+        &mut self,
+        pool: &ExprPool,
+        extras: &[ExprId],
+        budget: Option<u64>,
+    ) -> SolveOutcome {
+        let outcome = self.solve_assuming_probe(pool, extras, budget);
+        // Record single-extra queries that were not refuted: each such
+        // extra is a path the engine may fork a child state onto, and
+        // that child's next query will extend this prefix by exactly this
+        // conjunct. (Unknown counts — `may_be_sat` explores it.)
+        if let [e] = extras {
+            if !matches!(outcome, SolveOutcome::Unsat) && !self.sat_extras.contains(e) {
+                self.sat_extras.push(*e);
+            }
+        }
+        outcome
+    }
+
+    /// [`SolverContext::solve_assuming`] without the sibling-evidence
+    /// recording: for one-off probes whose extra will never become a
+    /// path-condition extension (an assertion's failing side, a test
+    /// reproducer query). Recording those would claim a sibling that
+    /// never returns and trigger a spurious fork — a full context clone
+    /// plus an abandoned resident slot — at the next real extension.
+    pub fn solve_assuming_probe(
         &mut self,
         pool: &ExprPool,
         extras: &[ExprId],
@@ -284,6 +349,71 @@ mod tests {
         let m = ctx.minimize(&p, &[], &syms, &outcome, None);
         assert_eq!(m.value_by_name(&p, "x"), Some(101));
         assert_eq!(m.value_by_name(&p, "y"), Some(0));
+    }
+
+    #[test]
+    fn fork_diverges_independently_from_the_shared_prefix() {
+        let mut p = ExprPool::new(8);
+        let x = p.input("x", 8);
+        let hundred = p.bv_const(100, 8);
+        let ten = p.bv_const(10, 8);
+        let shared = p.ult(x, hundred);
+        let low = p.ult(x, ten);
+        let high = p.uge(x, ten);
+        let mut parent = SolverContext::new();
+        parent.assert_constraint(&p, shared);
+        // Fork, then send the two copies down contradictory branches.
+        let mut child = parent.fork();
+        assert_eq!(child.prefix(), parent.prefix());
+        child.assert_constraint(&p, low);
+        parent.assert_constraint(&p, high);
+        assert!(matches!(child.solve_assuming(&p, &[high], None), SolveOutcome::Unsat));
+        assert!(matches!(child.solve_assuming(&p, &[low], None), SolveOutcome::Sat(_)));
+        assert!(matches!(parent.solve_assuming(&p, &[low], None), SolveOutcome::Unsat));
+        assert!(matches!(parent.solve_assuming(&p, &[high], None), SolveOutcome::Sat(_)));
+        assert!(!child.is_dead() && !parent.is_dead());
+    }
+
+    #[test]
+    fn fork_of_dead_context_stays_dead() {
+        let mut p = ExprPool::new(8);
+        let x = p.input("x", 8);
+        let five = p.bv_const(5, 8);
+        let c1 = p.ult(x, five);
+        let c2 = p.ugt(x, five);
+        let mut ctx = SolverContext::new();
+        ctx.assert_constraint(&p, c1);
+        ctx.assert_constraint(&p, c2);
+        assert!(matches!(ctx.solve_assuming(&p, &[], None), SolveOutcome::Unsat));
+        let mut forked = ctx.fork();
+        assert!(forked.is_dead());
+        assert!(matches!(forked.solve_assuming(&p, &[c1], None), SolveOutcome::Unsat));
+    }
+
+    #[test]
+    fn sat_extras_record_sibling_evidence_until_the_prefix_grows() {
+        let mut p = ExprPool::new(8);
+        let x = p.input("x", 8);
+        let ten = p.bv_const(10, 8);
+        let c = p.ult(x, ten);
+        let not_c = p.not(c);
+        let mut ctx = SolverContext::new();
+        let hundred = p.bv_const(100, 8);
+        let pre = p.ult(x, hundred);
+        ctx.assert_constraint(&p, pre);
+        // Both polarities sat: evidence for two children.
+        let _ = ctx.solve_assuming(&p, &[c], None);
+        let _ = ctx.solve_assuming(&p, &[not_c], None);
+        let _ = ctx.solve_assuming(&p, &[c], None); // repeats dedup
+        assert_eq!(ctx.sat_extras, vec![c, not_c]);
+        // An unsat extra is not a child.
+        let contra = p.uge(x, hundred);
+        assert!(matches!(ctx.solve_assuming(&p, &[contra], None), SolveOutcome::Unsat));
+        assert_eq!(ctx.sat_extras, vec![c, not_c]);
+        // Growing the prefix invalidates the evidence; forks start clean.
+        assert!(ctx.fork().sat_extras.is_empty());
+        ctx.assert_constraint(&p, c);
+        assert!(ctx.sat_extras.is_empty());
     }
 
     #[test]

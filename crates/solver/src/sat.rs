@@ -39,7 +39,7 @@ pub struct SatStats {
     pub learnt: u64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Clause {
     lits: Vec<Lit>,
     learnt: bool,
@@ -50,7 +50,7 @@ struct Clause {
 const UNASSIGNED: i8 = -1;
 
 /// A CDCL SAT solver over a fixed CNF.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SatSolver {
     clauses: Vec<Clause>,
     watches: Vec<Vec<u32>>, // indexed by Lit::code(); clause refs watching that literal
@@ -110,6 +110,29 @@ impl SatSolver {
             }
         }
         s
+    }
+
+    /// Snapshots the solver into an independent copy: clause database
+    /// (including every learnt clause), variable activities and order
+    /// heap, saved phases, and the level-0 trail all carry over, so the
+    /// fork resumes with the full heuristic state of the parent instead
+    /// of relearning it.
+    ///
+    /// Forking is only meaningful between queries —
+    /// [`SatSolver::solve_under_assumptions`] always backtracks to
+    /// decision level 0 before returning, so nothing above level 0 can
+    /// leak into the snapshot. Keeping learnt clauses is sound because
+    /// they are implied by the clause database alone (assumptions are
+    /// decisions, never clauses), and the incremental usage only ever
+    /// *adds* clauses: everything the parent learnt remains implied in
+    /// the fork no matter how the two diverge afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the solver is at decision level 0.
+    pub fn fork(&self) -> SatSolver {
+        debug_assert_eq!(self.decision_level(), 0, "fork mid-query");
+        self.clone()
     }
 
     /// Limits the number of conflicts *per solve call* before the solver

@@ -12,9 +12,15 @@
 //!    unsat set that is a *subset* of the query proves the query unsat; a
 //!    stored sat set that is a *superset* of the query donates its model;
 //! 4. **incremental contexts** — for prefix-shaped queries
-//!    ([`Solver::check_assuming`]), a pooled [`SolverContext`] keeps the
-//!    path-condition prefix bit-blasted and decides the branch conjunct
-//!    under assumptions;
+//!    ([`Solver::check_assuming`]), a [`SolverContext`] from the
+//!    **fork-aware context tree** keeps the path-condition prefix
+//!    bit-blasted and decides the branch conjunct under assumptions.
+//!    Contexts live at the trie node addressed by their asserted prefix;
+//!    longest-shared-prefix lookup is a structural walk, a divergence
+//!    forks the warm parent context for both children instead of
+//!    re-blasting the shared prefix per child, and eviction is
+//!    subtree-LRU over *leaves* only, so a live ancestor that resident
+//!    descendants still extend is never evicted from under them;
 //! 5. **re-blast** — the paper's KLEE + STP scheme: partition into
 //!    independent slices, build a fresh CNF and CDCL solver per slice.
 //!
@@ -56,8 +62,9 @@ impl SatResult {
 ///
 /// [`SolverConfig::default`] reads the `SYMMERGE_SOLVER_*` environment
 /// variables (`CACHE`, `MODEL_REUSE`, `INDEPENDENCE`, `CEX_CACHE`,
-/// `INCREMENTAL`; value `0`/`false`/`off` disables), which is how the CI
-/// feature-matrix job runs the whole test suite under each ablation.
+/// `INCREMENTAL`, `CTX_FORK`; value `0`/`false`/`off` disables), which is
+/// how the CI feature-matrix job runs the whole test suite under each
+/// ablation.
 /// Tests that assert the behaviour of a specific tier pin that field
 /// explicitly.
 #[derive(Debug, Clone)]
@@ -78,6 +85,12 @@ pub struct SolverConfig {
     /// Answer prefix-shaped queries ([`Solver::check_assuming`]) on
     /// persistent incremental [`SolverContext`]s instead of re-blasting.
     pub use_incremental: bool,
+    /// Fork a warm context at branch divergences (clone the clause
+    /// database, learnt clauses and heuristic state) so both children
+    /// extend the shared prefix, instead of one child inheriting the
+    /// context and its sibling re-blasting the prefix from scratch.
+    /// `false` restores the move-only (re-blast fallback) behaviour.
+    pub ctx_fork: bool,
     /// Return the *canonical minimal model* for every sat query (the
     /// lexicographically least model by symbol **name**, each value
     /// minimized MSB first). Makes models — and therefore generated
@@ -93,8 +106,10 @@ pub struct SolverConfig {
     pub max_conflicts: Option<u64>,
     /// How many recent models to retain for model reuse.
     pub model_history: usize,
-    /// How many incremental contexts to keep alive (LRU-evicted); `0`
-    /// disables the incremental path even if `use_incremental` is set.
+    /// How many incremental contexts the fork-aware tree keeps resident
+    /// (evicted subtree-LRU, leaves first — a live ancestor of a
+    /// resident context is never evicted); `0` disables the incremental
+    /// path even if `use_incremental` is set.
     pub max_contexts: usize,
     /// How many unsat cores / sat sets the counterexample cache retains
     /// (each, FIFO-evicted).
@@ -109,10 +124,18 @@ impl Default for SolverConfig {
             use_independence: env_flag("SYMMERGE_SOLVER_INDEPENDENCE", true),
             use_cex_cache: env_flag("SYMMERGE_SOLVER_CEX_CACHE", true),
             use_incremental: env_flag("SYMMERGE_SOLVER_INCREMENTAL", true),
+            ctx_fork: env_flag("SYMMERGE_SOLVER_CTX_FORK", true),
             canonical_models: false,
             max_conflicts: None,
             model_history: 32,
-            max_contexts: 16,
+            // 4 → 16 in PR 3 (measured rebuild thrash under interleaving
+            // strategies); 16 → 64 with the fork-aware tree: forked
+            // divergence contexts are only worth keeping if they survive
+            // until the sibling returns, and the `ctx_stats` harness
+            // measured eviction churn at 16 costing ~25% wall on
+            // `wc`@Random (fork-on@16 220 ms vs fork-on@64 166 ms at
+            // stdin 4, equal results).
+            max_contexts: 64,
             cex_capacity: 256,
         }
     }
@@ -145,10 +168,17 @@ pub struct SolverStats {
     pub cex_unsat_hits: u64,
     /// Queries answered by a stored sat superset's model.
     pub cex_sat_hits: u64,
-    /// Queries decided on a reused incremental context.
+    /// Queries decided on a reused incremental context (exact prefix
+    /// match or warm ancestor).
     pub ctx_hits: u64,
-    /// Incremental contexts (re)built from scratch.
+    /// Incremental contexts (re)built from scratch — the prefix
+    /// re-blasts the fork-aware tree exists to eliminate.
     pub ctx_rebuilds: u64,
+    /// Contexts forked from a warm ancestor at a divergence (the cheap
+    /// alternative to a rebuild).
+    pub ctx_forks: u64,
+    /// Contexts evicted from the tree (subtree-LRU, leaves only).
+    pub ctx_evictions: u64,
     /// Queries that reached the SAT solver.
     pub sat_calls: u64,
     /// Cumulative time spent inside `check`.
@@ -179,6 +209,8 @@ impl SolverStats {
         self.cex_sat_hits += other.cex_sat_hits;
         self.ctx_hits += other.ctx_hits;
         self.ctx_rebuilds += other.ctx_rebuilds;
+        self.ctx_forks += other.ctx_forks;
+        self.ctx_evictions += other.ctx_evictions;
         self.sat_calls += other.sat_calls;
         self.time += other.time;
         self.sat_time += other.sat_time;
@@ -289,6 +321,164 @@ impl CexCache {
     }
 }
 
+/// The fork-aware prefix tree of incremental [`SolverContext`]s.
+///
+/// One trie edge per path-condition conjunct; a materialized context
+/// lives at the node addressed by its asserted prefix, so
+/// longest-shared-prefix lookup falls out of the walk structurally (the
+/// flat pool this replaces scanned every context per query and could
+/// hold at most one warm copy of a shared prefix). `live` counts the
+/// resident contexts per subtree, which makes "never evict a live
+/// ancestor of a resident context" expressible: eviction only considers
+/// nodes with `live == 1` — leaves of the resident-context tree.
+#[derive(Debug)]
+struct ContextTree {
+    nodes: Vec<CtxNode>,
+    /// Recycled node slots (pruned branches).
+    free: Vec<usize>,
+    /// Total resident contexts.
+    resident: usize,
+}
+
+#[derive(Debug, Default)]
+struct CtxNode {
+    parent: Option<usize>,
+    /// Children keyed by the pc conjunct on the edge, in creation order.
+    children: Vec<(ExprId, usize)>,
+    ctx: Option<SolverContext>,
+    /// Resident contexts in this node's subtree (including this node's).
+    live: u32,
+}
+
+impl ContextTree {
+    fn new() -> ContextTree {
+        ContextTree { nodes: vec![CtxNode::default()], free: Vec::new(), resident: 0 }
+    }
+
+    fn ctx(&self, node: usize) -> &SolverContext {
+        self.nodes[node].ctx.as_ref().expect("node holds a context")
+    }
+
+    fn ctx_mut(&mut self, node: usize) -> &mut SolverContext {
+        self.nodes[node].ctx.as_mut().expect("node holds a context")
+    }
+
+    /// Walks `prefix` from the root; returns the deepest node holding a
+    /// context together with how many conjuncts it matched.
+    fn lookup(&self, prefix: &[ExprId]) -> (Option<usize>, usize) {
+        let mut node = 0;
+        let mut best = if self.nodes[0].ctx.is_some() { Some(0) } else { None };
+        let mut best_len = 0;
+        for (i, &c) in prefix.iter().enumerate() {
+            let Some(&(_, child)) = self.nodes[node].children.iter().find(|&&(e, _)| e == c) else {
+                break;
+            };
+            node = child;
+            if self.nodes[node].ctx.is_some() {
+                best = Some(node);
+                best_len = i + 1;
+            }
+        }
+        (best, best_len)
+    }
+
+    /// Materializes the node addressed by `prefix`, creating edges as
+    /// needed, and returns its index.
+    fn ensure_path(&mut self, prefix: &[ExprId]) -> usize {
+        let mut node = 0;
+        for &c in prefix {
+            node = match self.nodes[node].children.iter().find(|&&(e, _)| e == c) {
+                Some(&(_, child)) => child,
+                None => {
+                    let idx = self.alloc();
+                    self.nodes[idx].parent = Some(node);
+                    self.nodes[node].children.push((c, idx));
+                    idx
+                }
+            };
+        }
+        node
+    }
+
+    fn alloc(&mut self) -> usize {
+        match self.free.pop() {
+            Some(i) => i,
+            None => {
+                self.nodes.push(CtxNode::default());
+                self.nodes.len() - 1
+            }
+        }
+    }
+
+    /// Installs `ctx` at `node` and bumps the `live` counts up the spine.
+    fn place(&mut self, node: usize, ctx: SolverContext) {
+        debug_assert!(self.nodes[node].ctx.is_none(), "double placement");
+        self.nodes[node].ctx = Some(ctx);
+        self.resident += 1;
+        let mut n = Some(node);
+        while let Some(i) = n {
+            self.nodes[i].live += 1;
+            n = self.nodes[i].parent;
+        }
+    }
+
+    /// Removes and returns the context at `node` (the node itself stays,
+    /// as routing, until pruned).
+    fn take(&mut self, node: usize) -> SolverContext {
+        let ctx = self.nodes[node].ctx.take().expect("take on empty node");
+        self.resident -= 1;
+        let mut n = Some(node);
+        while let Some(i) = n {
+            self.nodes[i].live -= 1;
+            n = self.nodes[i].parent;
+        }
+        ctx
+    }
+
+    /// Frees empty, childless nodes from `node` upward (never the root).
+    fn prune_up(&mut self, mut node: usize) {
+        while node != 0 {
+            let n = &self.nodes[node];
+            if n.ctx.is_some() || !n.children.is_empty() {
+                break;
+            }
+            let parent = n.parent.expect("non-root node has a parent");
+            self.nodes[parent].children.retain(|&(_, c)| c != node);
+            self.nodes[node] = CtxNode::default();
+            self.free.push(node);
+            node = parent;
+        }
+    }
+
+    /// Whether eviction could free a slot without touching `keep`.
+    fn has_evictable(&self, keep: usize) -> bool {
+        self.nodes.iter().enumerate().any(|(i, n)| n.ctx.is_some() && n.live == 1 && i != keep)
+    }
+
+    /// Evicts the least-recently-used context that has no resident
+    /// descendant (skipping `keep`). Returns whether a victim was found
+    /// — ancestors of resident contexts are never candidates, so a warm
+    /// divergence point siblings still extend survives arbitrarily much
+    /// leaf churn below and beside it.
+    fn evict_leaf(&mut self, keep: Option<usize>) -> bool {
+        let victim = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|&(i, n)| n.ctx.is_some() && n.live == 1 && Some(i) != keep)
+            .min_by_key(|&(i, n)| (n.ctx.as_ref().expect("filtered").last_used, i))
+            .map(|(i, _)| i);
+        match victim {
+            Some(i) => {
+                let _ = self.take(i);
+                self.prune_up(i);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
 /// `a ⊆ b` for sorted, deduplicated slices (linear merge walk).
 fn is_subset(a: &[ExprId], b: &[ExprId]) -> bool {
     let mut bi = b.iter();
@@ -319,8 +509,9 @@ pub struct Solver {
     cache: QueryCache,
     cex: CexCache,
     recent_models: VecDeque<Model>,
-    contexts: Vec<SolverContext>,
+    tree: ContextTree,
     ctx_clock: u64,
+    last_affinity: u64,
     stats: SolverStats,
 }
 
@@ -333,8 +524,9 @@ impl Solver {
             cache: QueryCache::default(),
             cex,
             recent_models: VecDeque::new(),
-            contexts: Vec::new(),
+            tree: ContextTree::new(),
             ctx_clock: 0,
+            last_affinity: 0,
             stats: SolverStats::default(),
         }
     }
@@ -342,6 +534,19 @@ impl Solver {
     /// Work counters accumulated so far.
     pub fn stats(&self) -> &SolverStats {
         &self.stats
+    }
+
+    /// The **affinity token** of the most recent context activity: an
+    /// opaque value that compares higher the more recently the solver
+    /// touched (hit, forked or built) an incremental context. A state
+    /// whose last prefix query carries a higher token is more likely to
+    /// find its context still resident, so schedulers use the token as a
+    /// deterministic tie-break toward warm states. Tokens are derived
+    /// from a per-solver monotone counter — never from wall-clock — so
+    /// identical runs produce identical tokens; they carry no meaning
+    /// across solvers (each engine shard derives its own stream).
+    pub fn last_affinity(&self) -> u64 {
+        self.last_affinity
     }
 
     /// Resets the statistics (the caches and contexts are kept).
@@ -382,13 +587,39 @@ impl Solver {
         prefix: &[ExprId],
         extra: ExprId,
     ) -> SatResult {
+        self.check_assuming_inner(pool, prefix, extra, true)
+    }
+
+    /// [`Solver::check_assuming`] for **probe** queries: `extra` is a
+    /// one-off hypothetical that will never become a path-condition
+    /// extension (an assertion's failing side, a failure-reproducer
+    /// query). Identical answers and caching; the only difference is
+    /// that the context does not record `extra` as sibling evidence, so
+    /// the probe cannot claim a child that never returns and trigger a
+    /// spurious context fork at the next real extension.
+    pub fn check_assuming_probe(
+        &mut self,
+        pool: &ExprPool,
+        prefix: &[ExprId],
+        extra: ExprId,
+    ) -> SatResult {
+        self.check_assuming_inner(pool, prefix, extra, false)
+    }
+
+    fn check_assuming_inner(
+        &mut self,
+        pool: &ExprPool,
+        prefix: &[ExprId],
+        extra: ExprId,
+        may_extend: bool,
+    ) -> SatResult {
         let conjuncts = prefix.iter().copied().chain(std::iter::once(extra));
         let set = match normalize_query(pool, conjuncts) {
             Ok(set) => set,
             Err(early) => return early,
         };
         if self.config.use_incremental && self.config.max_contexts > 0 {
-            self.check_set(pool, Some((prefix, extra)), &set)
+            self.check_set(pool, Some((prefix, extra, may_extend)), &set)
         } else {
             self.check_set(pool, None, &set)
         }
@@ -411,12 +642,25 @@ impl Solver {
         !matches!(self.check_assuming(pool, prefix, extra), SatResult::Unsat)
     }
 
+    /// [`Solver::check_assuming_probe`] for callers that only need a
+    /// yes/no; `Unknown` maps to `true` (possibly satisfiable).
+    pub fn may_be_sat_assuming_probe(
+        &mut self,
+        pool: &ExprPool,
+        prefix: &[ExprId],
+        extra: ExprId,
+    ) -> bool {
+        !matches!(self.check_assuming_probe(pool, prefix, extra), SatResult::Unsat)
+    }
+
     /// The shared query pipeline over a normalized set. `via_context`
-    /// carries the raw `(prefix, extra)` split for the incremental path.
+    /// carries the raw `(prefix, extra, may_extend)` split for the
+    /// incremental path (`may_extend` is false for probe queries, which
+    /// must not leave sibling evidence on the context).
     fn check_set(
         &mut self,
         pool: &ExprPool,
-        via_context: Option<(&[ExprId], ExprId)>,
+        via_context: Option<(&[ExprId], ExprId, bool)>,
         set: &[ExprId],
     ) -> SatResult {
         let start = Instant::now();
@@ -429,7 +673,9 @@ impl Solver {
         }
 
         let result = match via_context {
-            Some((prefix, extra)) => self.check_in_context(pool, prefix, extra, set),
+            Some((prefix, extra, may_extend)) => {
+                self.check_in_context(pool, prefix, extra, may_extend, set)
+            }
             None if self.config.use_independence => self.check_sliced(pool, set),
             None => self.check_monolithic(pool, set),
         };
@@ -536,115 +782,156 @@ impl Solver {
 
     // ----- incremental context path ------------------------------------
 
-    /// Finds (or builds) the pooled context whose asserted prefix is the
-    /// longest prefix of `prefix`, extends it to exactly `prefix`, and
-    /// returns its index.
-    fn context_index_for(&mut self, pool: &ExprPool, prefix: &[ExprId]) -> usize {
+    /// Finds (or builds) the tree context for exactly `prefix` and
+    /// returns its node index.
+    ///
+    /// The walk finds the resident context with the longest shared
+    /// prefix. An exact match is used in place. A *partial* match is a
+    /// warm ancestor: if the ancestor has sibling evidence (some other
+    /// extra answered sat at its prefix — another child state will come
+    /// back for it; see [`SolverContext`]'s `sat_extras`), it is
+    /// **forked** and the fork extended, leaving the ancestor warm for
+    /// the sibling; otherwise the context is *moved* down the path — the
+    /// pre-fork behaviour, free of clone cost, right for straight-line
+    /// extension. A dead ancestor is returned as-is (its prefix already
+    /// proves the query unsat; extending it would blast circuitry for
+    /// nothing). Only a complete miss pays a rebuild.
+    fn context_node_for(&mut self, pool: &ExprPool, prefix: &[ExprId]) -> usize {
         self.ctx_clock += 1;
         let clock = self.ctx_clock;
-        let mut best: Option<(usize, usize)> = None; // (index, matched len)
-        for (i, ctx) in self.contexts.iter().enumerate() {
-            let cp = ctx.prefix();
-            if cp.len() <= prefix.len() && cp == &prefix[..cp.len()] {
-                let better = match best {
-                    None => true,
-                    Some((bi, bl)) => {
-                        cp.len() > bl
-                            || (cp.len() == bl && ctx.last_used > self.contexts[bi].last_used)
-                    }
-                };
-                if better {
-                    best = Some((i, cp.len()));
-                }
-            }
-        }
-        let idx = match best {
-            Some((i, _)) => {
+        let (found, matched) = self.tree.lookup(prefix);
+        let node = match found {
+            Some(n) if matched == prefix.len() || self.tree.ctx(n).is_dead() => {
                 self.stats.ctx_hits += 1;
-                i
+                n
+            }
+            Some(n) => {
+                self.stats.ctx_hits += 1;
+                let first = prefix[matched];
+                let sibling_evidence = self.tree.ctx(n).sat_extras.iter().any(|&e| e != first);
+                // Forking adds a net context; only do it when a slot is
+                // free or some *other* leaf can make room (evicting the
+                // ancestor we fork to preserve would defeat the point).
+                let fork = self.config.ctx_fork
+                    && sibling_evidence
+                    && (self.tree.resident < self.config.max_contexts
+                        || self.tree.has_evictable(n));
+                let mut ctx = if fork {
+                    self.stats.ctx_forks += 1;
+                    while self.tree.resident >= self.config.max_contexts {
+                        if !self.tree.evict_leaf(Some(n)) {
+                            break;
+                        }
+                        self.stats.ctx_evictions += 1;
+                    }
+                    let parent = self.tree.ctx_mut(n);
+                    parent.sat_extras.retain(|&e| e != first);
+                    parent.fork()
+                } else {
+                    self.tree.take(n)
+                };
+                for &c in &prefix[matched..] {
+                    ctx.assert_constraint(pool, c);
+                }
+                let target = self.tree.ensure_path(prefix);
+                self.tree.place(target, ctx);
+                target
             }
             None => {
                 self.stats.ctx_rebuilds += 1;
-                if self.contexts.len() < self.config.max_contexts {
-                    self.contexts.push(SolverContext::new());
-                    self.contexts.len() - 1
-                } else {
-                    let (i, _) = self
-                        .contexts
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, c)| c.last_used)
-                        .expect("max_contexts > 0");
-                    self.contexts[i] = SolverContext::new();
-                    i
+                while self.tree.resident >= self.config.max_contexts {
+                    if !self.tree.evict_leaf(None) {
+                        break;
+                    }
+                    self.stats.ctx_evictions += 1;
                 }
+                let mut ctx = SolverContext::new();
+                for &c in prefix {
+                    ctx.assert_constraint(pool, c);
+                }
+                let target = self.tree.ensure_path(prefix);
+                self.tree.place(target, ctx);
+                target
             }
         };
-        let ctx = &mut self.contexts[idx];
-        ctx.last_used = clock;
-        let matched = ctx.prefix().len();
-        for &c in &prefix[matched..] {
-            ctx.assert_constraint(pool, c);
-        }
-        idx
+        self.tree.ctx_mut(node).last_used = clock;
+        self.last_affinity = clock;
+        node
     }
 
-    /// Decides `prefix ∧ extra` on a pooled incremental context.
+    /// Decides `prefix ∧ extra` on a tree incremental context.
+    /// `may_extend` tells the context whether `extra` can ever become a
+    /// prefix extension (and hence counts as sibling evidence).
     fn check_in_context(
         &mut self,
         pool: &ExprPool,
         prefix: &[ExprId],
         extra: ExprId,
+        may_extend: bool,
         set: &[ExprId],
     ) -> SatResult {
-        let idx = self.context_index_for(pool, prefix);
-        if self.contexts[idx].is_dead() {
-            // The asserted prefix is already known unsatisfiable.
+        let node = self.context_node_for(pool, prefix);
+        if self.tree.ctx(node).is_dead() {
+            // The context's asserted prefix — possibly a strict subset
+            // of the query's, when a dead ancestor answered — is unsat
+            // on its own: donate it as a core and skip solving.
+            self.note_dead_prefix(pool, node);
             return SatResult::Unsat;
         }
         self.stats.sat_calls += 1;
         let extras: Vec<ExprId> = if pool.is_true(extra) { Vec::new() } else { vec![extra] };
-        let before = self.contexts[idx].sat_stats();
+        let before = self.tree.ctx(node).sat_stats();
         let sat_start = Instant::now();
-        let outcome = self.contexts[idx].solve_assuming(pool, &extras, self.config.max_conflicts);
+        let budget = self.config.max_conflicts;
+        let ctx = self.tree.ctx_mut(node);
+        let outcome = if may_extend {
+            ctx.solve_assuming(pool, &extras, budget)
+        } else {
+            ctx.solve_assuming_probe(pool, &extras, budget)
+        };
         let result = match &outcome {
             SolveOutcome::Sat(_) => {
                 let syms: Vec<SymbolId> = pool.collect_inputs_many(set);
                 let model = if self.config.canonical_models {
                     // The minimization probes share whatever conflict
                     // budget the main solve left over.
-                    let consumed = self.contexts[idx].sat_stats().conflicts - before.conflicts;
+                    let consumed = self.tree.ctx(node).sat_stats().conflicts - before.conflicts;
                     let remaining = self.config.max_conflicts.map(|b| b.saturating_sub(consumed));
-                    self.contexts[idx].minimize(pool, &extras, &syms, &outcome, remaining)
+                    self.tree.ctx_mut(node).minimize(pool, &extras, &syms, &outcome, remaining)
                 } else {
-                    self.contexts[idx].extract_model_for(&outcome, &syms)
+                    self.tree.ctx(node).extract_model_for(&outcome, &syms)
                 };
                 SatResult::Sat(model)
             }
             SolveOutcome::Unsat => {
-                if self.contexts[idx].is_dead() && self.config.use_cex_cache {
+                if self.tree.ctx(node).is_dead() {
                     // A level-0 conflict is assumption-independent: the
                     // prefix *alone* is unsat — a strictly smaller core
                     // than the full query set.
-                    let mut p: Vec<ExprId> = self.contexts[idx]
-                        .prefix()
-                        .iter()
-                        .copied()
-                        .filter(|&c| !pool.is_true(c))
-                        .collect();
-                    p.sort_unstable();
-                    p.dedup();
-                    self.cex.note_unsat(&p);
+                    self.note_dead_prefix(pool, node);
                 }
                 SatResult::Unsat
             }
             SolveOutcome::Unknown => SatResult::Unknown,
         };
-        let after = self.contexts[idx].sat_stats();
+        let after = self.tree.ctx(node).sat_stats();
         self.stats.sat_time += sat_start.elapsed();
         self.stats.conflicts += after.conflicts - before.conflicts;
         self.stats.decisions += after.decisions - before.decisions;
         result
+    }
+
+    /// Donates a dead context's asserted prefix to the counterexample
+    /// cache as an unsat core.
+    fn note_dead_prefix(&mut self, pool: &ExprPool, node: usize) {
+        if !self.config.use_cex_cache {
+            return;
+        }
+        let mut p: Vec<ExprId> =
+            self.tree.ctx(node).prefix().iter().copied().filter(|&c| !pool.is_true(c)).collect();
+        p.sort_unstable();
+        p.dedup();
+        self.cex.note_unsat(&p);
     }
 
     // ----- re-blast path ------------------------------------------------
@@ -1040,6 +1327,150 @@ mod tests {
         assert!(mono.check(&p, &[pre, mid]).is_sat());
         assert!(mono.check(&p, &[pre, contra]).is_unsat());
         assert!(mono.check(&p, &[pre, mid, deep]).is_sat());
+    }
+
+    #[test]
+    fn divergence_forks_instead_of_reblasting_the_sibling_prefix() {
+        let mut p = pool();
+        let x = p.input("x", 8);
+        let y = p.input("y", 8);
+        let hundred = p.bv_const(100, 8);
+        let fifty = p.bv_const(50, 8);
+        let ten = p.bv_const(10, 8);
+        let pre = p.ult(x, hundred);
+        let c = p.ult(x, fifty);
+        let not_c = p.uge(x, fifty);
+        let d = p.ult(y, ten);
+        let e = p.ugt(y, ten);
+        let mut s = Solver::new(SolverConfig { use_incremental: true, ctx_fork: true, ..bare() });
+        // The branch: both polarities on the same prefix (one build).
+        assert!(s.check_assuming(&p, &[pre], c).is_sat());
+        assert!(s.check_assuming(&p, &[pre], not_c).is_sat());
+        assert_eq!(s.stats().ctx_rebuilds, 1);
+        // Child 1 extends the divergence point: fork, parent stays warm.
+        assert!(s.check_assuming(&p, &[pre, c], d).is_sat());
+        assert_eq!(s.stats().ctx_forks, 1);
+        assert_eq!(s.stats().ctx_rebuilds, 1);
+        // Child 2 finds the warm parent and takes it over (no sibling
+        // evidence remains, so no second fork and *no rebuild* — the
+        // re-blast the flat pool used to pay here).
+        assert!(s.check_assuming(&p, &[pre, not_c], e).is_sat());
+        assert_eq!(s.stats().ctx_forks, 1, "second child moves, not forks");
+        assert_eq!(s.stats().ctx_rebuilds, 1, "sibling prefix must not re-blast");
+        // Both children's contexts are now resident and exact-hit.
+        let t = p.true_();
+        assert!(s.check_assuming(&p, &[pre, c, d], t).is_sat());
+        assert!(s.check_assuming(&p, &[pre, not_c, e], t).is_sat());
+        assert_eq!(s.stats().ctx_rebuilds, 1);
+    }
+
+    #[test]
+    fn probe_queries_leave_no_sibling_evidence() {
+        // An assertion's failing side is probed but never extends the
+        // pc; recording it would trigger a spurious fork (and strand a
+        // resident context) when the surviving path extends by `ok`.
+        let mut p = pool();
+        let x = p.input("x", 8);
+        let hundred = p.bv_const(100, 8);
+        let forty = p.bv_const(40, 8);
+        let pre = p.ult(x, hundred);
+        let ok = p.ne(x, forty);
+        let bad = p.eq(x, forty);
+        let t = p.true_();
+        let mut s = Solver::new(SolverConfig { use_incremental: true, ctx_fork: true, ..bare() });
+        // The assert pattern: probe the violation, continue with `ok`.
+        assert!(s.check_assuming_probe(&p, &[pre], bad).is_sat());
+        assert!(s.check_assuming(&p, &[pre], ok).is_sat());
+        // The surviving path extends by `ok`: no sibling exists, so the
+        // context must move, not fork.
+        assert!(s.check_assuming(&p, &[pre, ok], t).is_sat());
+        assert_eq!(s.stats().ctx_forks, 0, "a probe must not fake a sibling");
+        assert_eq!(s.stats().ctx_rebuilds, 1);
+    }
+
+    #[test]
+    fn ctx_fork_off_restores_the_reblast_fallback() {
+        let mut p = pool();
+        let x = p.input("x", 8);
+        let hundred = p.bv_const(100, 8);
+        let fifty = p.bv_const(50, 8);
+        let pre = p.ult(x, hundred);
+        let c = p.ult(x, fifty);
+        let not_c = p.uge(x, fifty);
+        let t = p.true_();
+        let mut s = Solver::new(SolverConfig { use_incremental: true, ctx_fork: false, ..bare() });
+        assert!(s.check_assuming(&p, &[pre], c).is_sat());
+        assert!(s.check_assuming(&p, &[pre], not_c).is_sat());
+        // Child 1 moves the context; child 2's prefix re-blasts.
+        assert!(s.check_assuming(&p, &[pre, c], t).is_sat());
+        assert_eq!(s.stats().ctx_forks, 0);
+        assert_eq!(s.stats().ctx_rebuilds, 1);
+        assert!(s.check_assuming(&p, &[pre, not_c], t).is_sat());
+        assert_eq!(s.stats().ctx_forks, 0, "ablated solver must never fork");
+        assert_eq!(s.stats().ctx_rebuilds, 2, "ablated solver re-blasts the sibling");
+    }
+
+    #[test]
+    fn eviction_spares_live_ancestors_of_resident_contexts() {
+        // Regression for the PR 3 thrash case: the flat LRU treated all
+        // contexts equally, so a warm shared-prefix context was evicted
+        // from under the sibling that was about to extend it. The tree
+        // only ever evicts leaves of the resident-context tree.
+        let mut p = pool();
+        let x = p.input("x", 8);
+        let y = p.input("y", 8);
+        let hundred = p.bv_const(100, 8);
+        let fifty = p.bv_const(50, 8);
+        let ten = p.bv_const(10, 8);
+        let a = p.ult(x, hundred);
+        let c = p.ult(x, fifty);
+        let not_c = p.uge(x, fifty);
+        let b = p.ult(y, ten);
+        let t = p.true_();
+        let mut s = Solver::new(SolverConfig {
+            use_incremental: true,
+            ctx_fork: true,
+            max_contexts: 2,
+            ..bare()
+        });
+        // Divergence at [a]: both polarities recorded, then child 1
+        // forks — [a] (live ancestor) and [a, c] (leaf) resident.
+        assert!(s.check_assuming(&p, &[a], c).is_sat());
+        assert!(s.check_assuming(&p, &[a], not_c).is_sat());
+        assert!(s.check_assuming(&p, &[a, c], t).is_sat());
+        assert_eq!(s.stats().ctx_forks, 1);
+        // An unrelated rebuild needs a slot. [a] is the LRU *and* an
+        // ancestor of [a, c]: the old pool would evict it; the tree must
+        // pick the leaf [a, c] instead.
+        assert!(s.check_assuming(&p, &[b], t).is_sat());
+        assert_eq!(s.stats().ctx_evictions, 1);
+        let rebuilds = s.stats().ctx_rebuilds;
+        // The divergence point is still warm: the sibling extends it
+        // without a rebuild.
+        assert!(s.check_assuming(&p, &[a, not_c], t).is_sat());
+        assert_eq!(s.stats().ctx_rebuilds, rebuilds, "protected ancestor must still be resident");
+    }
+
+    #[test]
+    fn affinity_tokens_are_monotone_and_deterministic() {
+        let mut p = pool();
+        let x = p.input("x", 8);
+        let ten = p.bv_const(10, 8);
+        let five = p.bv_const(5, 8);
+        let pre = p.ult(x, ten);
+        let c = p.ugt(x, five);
+        let run = || {
+            let mut s =
+                Solver::new(SolverConfig { use_incremental: true, ctx_fork: true, ..bare() });
+            assert_eq!(s.last_affinity(), 0, "no context activity yet");
+            let _ = s.check_assuming(&p, &[pre], c);
+            let t1 = s.last_affinity();
+            let _ = s.check_assuming(&p, &[pre, c], c);
+            let t2 = s.last_affinity();
+            assert!(t2 > t1, "affinity grows with context activity");
+            (t1, t2)
+        };
+        assert_eq!(run(), run(), "tokens derive from deterministic counters");
     }
 
     #[test]

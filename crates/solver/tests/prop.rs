@@ -278,3 +278,100 @@ proptest! {
         }
     }
 }
+
+/// The incremental config with context forking pinned on (caches off so
+/// every query really exercises the context tree).
+fn fork_config() -> SolverConfig {
+    SolverConfig { use_incremental: true, ctx_fork: true, ..no_cache_config() }
+}
+
+proptest! {
+    // Cases and seed are pinned so CI runs are exactly reproducible.
+    #![proptest_config(ProptestConfig::with_cases(96).seed(0xF0_4BED))]
+
+    /// fork() ≡ fresh-blast: over random prefix/extension pairs, a solver
+    /// driven down the fork path (divergence evidence seeded by querying
+    /// both polarities, then both children extending the shared prefix)
+    /// must return the same sat/unsat verdicts — and, in canonical-model
+    /// mode, *byte-identical* models — as a solver that re-blasts every
+    /// query from scratch.
+    #[test]
+    fn fork_equals_fresh_blast(
+        r1 in recipe(),
+        r2 in recipe(),
+        r3 in recipe(),
+        op in cmp_op(),
+    ) {
+        let mut p = ExprPool::new(WIDTH);
+        let a = build(&mut p, &r1);
+        let b = build(&mut p, &r2);
+        let c = build(&mut p, &r3);
+        let k = p.bv_const(5, WIDTH);
+        let pre = p.ult(a, k);
+        let ext = p.ugt(b, k);
+        let not_ext = p.not(ext);
+        let extra = p.cmp(op, c, k);
+        let canonical = |cfg: SolverConfig| SolverConfig { canonical_models: true, ..cfg };
+        let mut forked = Solver::new(canonical(fork_config()));
+        let mut fresh = Solver::new(canonical(SolverConfig {
+            use_incremental: false,
+            use_independence: false,
+            ..no_cache_config()
+        }));
+        // The branch: both polarities on [pre] record sibling evidence.
+        let _ = forked.check_assuming(&p, &[pre], ext);
+        let _ = forked.check_assuming(&p, &[pre], not_ext);
+        // Both children extend the divergence point (fork, then move).
+        let f1 = forked.check_assuming(&p, &[pre, ext], extra);
+        let f2 = forked.check_assuming(&p, &[pre, not_ext], extra);
+        let g1 = fresh.check(&p, &[pre, ext, extra]);
+        let g2 = fresh.check(&p, &[pre, not_ext, extra]);
+        for (who, f, g) in [("ext child", &f1, &g1), ("¬ext child", &f2, &g2)] {
+            match (f, g) {
+                (SatResult::Sat(mf), SatResult::Sat(mg)) => {
+                    prop_assert_eq!(mf, mg, "{}: forked canonical model differs", who);
+                }
+                (SatResult::Unsat, SatResult::Unsat) => {}
+                other => prop_assert!(false, "{who}: verdicts diverge: {other:?}"),
+            }
+        }
+        if let SatResult::Sat(m) = &f1 {
+            prop_assert!(m.satisfies(&p, &[pre, ext, extra]), "bogus forked model");
+        }
+    }
+
+    /// The `ctx_fork` ablation is result-invariant: the same query
+    /// sequence on fork-on and fork-off solvers produces identical
+    /// verdicts and identical canonical models — forking only changes
+    /// *where* the work happens, never the answer.
+    #[test]
+    fn fork_ablation_is_result_invariant(
+        r1 in recipe(),
+        r2 in recipe(),
+        op in cmp_op(),
+    ) {
+        let mut p = ExprPool::new(WIDTH);
+        let a = build(&mut p, &r1);
+        let b = build(&mut p, &r2);
+        let k = p.bv_const(9, WIDTH);
+        let pre = p.ult(a, k);
+        let ext = p.cmp(op, b, k);
+        let not_ext = p.not(ext);
+        let t = p.true_();
+        let canonical = |cfg: SolverConfig| SolverConfig { canonical_models: true, ..cfg };
+        let mut on = Solver::new(canonical(fork_config()));
+        let mut off = Solver::new(canonical(SolverConfig { ctx_fork: false, ..fork_config() }));
+        for s in [&mut on, &mut off] {
+            let _ = s.check_assuming(&p, &[pre], ext);
+            let _ = s.check_assuming(&p, &[pre], not_ext);
+        }
+        let queries: [(&[ExprId], ExprId); 3] =
+            [(&[pre, ext], t), (&[pre, not_ext], t), (&[pre, ext], not_ext)];
+        for (prefix, extra) in queries {
+            let ra = on.check_assuming(&p, prefix, extra);
+            let rb = off.check_assuming(&p, prefix, extra);
+            prop_assert_eq!(ra, rb, "fork ablation changed a result");
+        }
+        prop_assert_eq!(off.stats().ctx_forks, 0, "ablated solver must not fork");
+    }
+}

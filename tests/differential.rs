@@ -9,8 +9,10 @@
 //!
 //! The workload list spans all three input channels (args, stdin, both)
 //! and the sizes are chosen so every configuration explores exhaustively
-//! in well under a second; the point here is breadth of configurations,
-//! not input scale (scale sweeps live in `symmerge-bench`).
+//! quickly; the point here is breadth of configurations, not input scale
+//! (scale sweeps live in `symmerge-bench`). 21 of the 26 workloads run by
+//! default; set `SYMMERGE_DIFF_FULL=1` to include the five expensive
+//! stragglers and sweep all 26.
 //!
 //! A second axis (`solver_differential_*`) varies the *solver* instead of
 //! the engine: the incremental prefix-context path vs the monolithic
@@ -25,7 +27,8 @@ use common::{
 };
 use symmerge::prelude::*;
 
-/// Workloads under differential test: ≥ 8, covering every `InputKind`.
+/// The original differential core: 12 workloads covering every
+/// `InputKind`, shared by the solver-config and parallel differentials.
 const WORKLOADS: &[(&str, InputConfig)] = &[
     ("echo", InputConfig { n_args: 2, arg_len: 2, stdin_len: 0 }),
     ("link", InputConfig { n_args: 2, arg_len: 2, stdin_len: 0 }),
@@ -40,6 +43,40 @@ const WORKLOADS: &[(&str, InputConfig)] = &[
     ("sum", InputConfig { n_args: 0, arg_len: 1, stdin_len: 3 }),
     ("cat", InputConfig { n_args: 1, arg_len: 1, stdin_len: 2 }),
 ];
+
+/// Second wave, run by default: the 9 workloads whose exhaustive
+/// explorations stay cheap at these sizes (each full mode × strategy
+/// sweep is well under a second in debug). Together with [`WORKLOADS`]
+/// the default suite covers 21 of the 26 workloads.
+const WORKLOADS_WAVE2: &[(&str, InputConfig)] = &[
+    ("join", InputConfig { n_args: 2, arg_len: 2, stdin_len: 0 }),
+    ("yes", InputConfig { n_args: 1, arg_len: 2, stdin_len: 0 }),
+    ("pr", InputConfig { n_args: 0, arg_len: 1, stdin_len: 3 }),
+    ("head", InputConfig { n_args: 1, arg_len: 1, stdin_len: 2 }),
+    ("od", InputConfig { n_args: 0, arg_len: 1, stdin_len: 3 }),
+    ("cksum", InputConfig { n_args: 0, arg_len: 1, stdin_len: 3 }),
+    ("uniq", InputConfig { n_args: 1, arg_len: 1, stdin_len: 2 }),
+    ("tr", InputConfig { n_args: 1, arg_len: 2, stdin_len: 2 }),
+    ("fold", InputConfig { n_args: 1, arg_len: 1, stdin_len: 2 }),
+];
+
+/// The expensive tail (multi-second exhaustive explorations even at the
+/// smallest meaningful sizes — `tsort` alone is ~15 s per baseline in
+/// debug). Gated behind `SYMMERGE_DIFF_FULL=1` so the default CI run
+/// stays bounded; with the gate set, all 26 workloads are differentially
+/// tested.
+const WORKLOADS_FULL_ONLY: &[(&str, InputConfig)] = &[
+    ("seq", InputConfig { n_args: 1, arg_len: 2, stdin_len: 0 }),
+    ("paste", InputConfig { n_args: 2, arg_len: 2, stdin_len: 0 }),
+    ("comm", InputConfig { n_args: 2, arg_len: 2, stdin_len: 0 }),
+    ("expand", InputConfig { n_args: 0, arg_len: 1, stdin_len: 3 }),
+    ("tsort", InputConfig { n_args: 0, arg_len: 1, stdin_len: 2 }),
+];
+
+/// Whether the `SYMMERGE_DIFF_FULL=1` gate is set.
+fn full_sweep() -> bool {
+    std::env::var("SYMMERGE_DIFF_FULL").is_ok_and(|v| !matches!(v.trim(), "" | "0" | "off"))
+}
 
 /// The strategies each merge mode is crossed with. `Topological` is the
 /// paper's natural order for static merging but soundness must not depend
@@ -95,6 +132,28 @@ fn differential_stdin_workloads() {
 #[test]
 fn differential_mixed_input_workloads() {
     differential_for(&WORKLOADS[11..]);
+}
+
+#[test]
+fn differential_wave2_join_yes_pr_head() {
+    differential_for(&WORKLOADS_WAVE2[0..4]);
+}
+
+#[test]
+fn differential_wave2_od_cksum_uniq_tr_fold() {
+    differential_for(&WORKLOADS_WAVE2[4..]);
+}
+
+/// All 26 workloads: the five expensive stragglers run only under
+/// `SYMMERGE_DIFF_FULL=1` (multi-minute in debug otherwise — `tsort`'s
+/// exhaustive baseline alone is ~15 s per strategy).
+#[test]
+fn differential_full_sweep_seq_paste_comm_expand_tsort() {
+    if !full_sweep() {
+        eprintln!("skipping full-sweep workloads (set SYMMERGE_DIFF_FULL=1 to run all 26)");
+        return;
+    }
+    differential_for(WORKLOADS_FULL_ONLY);
 }
 
 /// The solver-config differential: for every workload, run the *same*
@@ -221,6 +280,73 @@ fn parallel_runs_are_reproducible_per_seed_and_jobs() {
             };
             assert_eq!(bytes(&a), bytes(&b), "{name} {mode:?}: reports must be byte-identical");
         }
+    }
+}
+
+/// Affinity-aware scheduling is seed-reproducible: the exact same
+/// configuration (affinity on, the affinity-sensitive coverage-optimized
+/// strategy) reproduces the run byte for byte — affinity tokens derive
+/// from the solver's deterministic context clock, never from wall-clock.
+#[test]
+fn affinity_scheduling_is_seed_reproducible() {
+    let solver = SolverConfig { canonical_models: true, ..SolverConfig::default() };
+    for &(name, cfg) in &[WORKLOADS[8], WORKLOADS[0]] {
+        let run = || {
+            run_with_solver(
+                name,
+                cfg,
+                MergeMode::None,
+                StrategyKind::CoverageOptimized,
+                solver.clone(),
+            )
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.picks, b.picks, "{name}: pick counts differ across identical runs");
+        assert_eq!(a.steps, b.steps, "{name}: step counts differ across identical runs");
+        let bytes = |r: &RunReport| {
+            r.tests
+                .iter()
+                .map(|t| (t.inputs.clone(), t.predicted_outputs.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(bytes(&a), bytes(&b), "{name}: affinity scheduling broke reproducibility");
+    }
+}
+
+/// For `MergeMode::None` the explored path set is schedule-invariant, so
+/// affinity-aware scheduling must be *result*-identical to affinity-off:
+/// same verdicts, same coverage, and (under canonical models) the same
+/// generated-test bytes — only the order of exploration may differ.
+#[test]
+fn affinity_scheduling_is_result_invariant_without_merging() {
+    let solver = SolverConfig { canonical_models: true, ..SolverConfig::default() };
+    for &(name, cfg) in &[WORKLOADS[8], WORKLOADS[6]] {
+        let run = |affinity: bool| {
+            let program = symmerge::workloads::by_name(name).unwrap().program(&cfg);
+            let report = Engine::builder(program)
+                .merging(MergeMode::None)
+                .strategy(StrategyKind::CoverageOptimized)
+                .qce(QceConfig { alpha: 1e-12, ..QceConfig::default() })
+                .solver(solver.clone())
+                .affinity_scheduling(affinity)
+                .seed(11)
+                .build()
+                .unwrap()
+                .run();
+            assert!(!report.hit_budget, "{name}: affinity differential needs exhaustive runs");
+            report
+        };
+        let (on, off) = (run(true), run(false));
+        assert_eq!(on.completed_paths, off.completed_paths, "{name}: path counts differ");
+        assert_eq!(on.covered_blocks, off.covered_blocks, "{name}: coverage differs");
+        assert_eq!(on.assert_failures.len(), off.assert_failures.len(), "{name}: verdicts differ");
+        let bytes = |r: &RunReport| {
+            let mut v: Vec<_> =
+                r.tests.iter().map(|t| (t.inputs.clone(), t.predicted_outputs.clone())).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(bytes(&on), bytes(&off), "{name}: affinity changed the result set");
     }
 }
 
