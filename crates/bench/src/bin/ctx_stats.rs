@@ -13,10 +13,15 @@
 //! cargo run --release -p symmerge-bench --bin ctx_stats            # wc + rev sweep
 //! SYMMERGE_SOLVER_CTX_FORK=0 cargo run --release -p symmerge-bench --bin ctx_stats
 //! SYMMERGE_MAX_CONTEXTS=16 cargo run --release -p symmerge-bench --bin ctx_stats
+//! SYMMERGE_CTX_EVICT=count cargo run --release -p symmerge-bench --bin ctx_stats
+//! SYMMERGE_MAX_CTX_CLAUSES=100000 cargo run --release -p symmerge-bench --bin ctx_stats
 //! ```
 //!
-//! `SYMMERGE_MAX_CONTEXTS` overrides the context-tree capacity — the
-//! knob behind the 16 → 64 default bump this harness motivated.
+//! `SYMMERGE_MAX_CONTEXTS` overrides the context-count floor (the knob
+//! behind the 16 → 64 default bump this harness motivated);
+//! `SYMMERGE_CTX_EVICT=count` ablates clause-weighted adaptive eviction
+//! back to the fixed-capacity count policy, and
+//! `SYMMERGE_MAX_CTX_CLAUSES` probes the clause budget.
 
 use symmerge_bench::harness::{CsvOut, HarnessOpts};
 use symmerge_core::{Budgets, Engine, EngineConfig, MergeMode, QceConfig, StrategyKind};
@@ -40,11 +45,14 @@ fn main() {
     let mut csv = CsvOut::create(
         "ctx_stats",
         "tool,symbolic_bytes,strategy,tests,sat_calls,ctx_hits,ctx_rebuilds,ctx_forks,\
-         ctx_evictions,solver_ms,wall_ms",
+         ctx_evictions,clauses_resident,clauses_evicted,sched_picks,sched_heap_repairs,\
+         solver_ms,wall_ms",
     );
     println!("# ctx_stats: solver-context pool behaviour (exhaustive runs, tests on)");
+    println!("# clauses res/evict: clause-weighted residency (final gauge / cumulative evicted)");
+    println!("# sched p/r: ranked scheduler picks / heap repairs (0 for O(1)-pick strategies)");
     println!(
-        "{:6} {:>6} {:>10} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10}",
+        "{:6} {:>6} {:>10} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>17} {:>13} {:>10} {:>10}",
         "tool",
         "bytes",
         "strategy",
@@ -54,6 +62,8 @@ fn main() {
         "rebuilds",
         "forks",
         "evicts",
+        "clauses res/evict",
+        "sched p/r",
         "solver",
         "wall"
     );
@@ -79,8 +89,11 @@ fn main() {
         assert!(!report.hit_budget, "{tool}: raise --budget-ms, counters need exhaustive runs");
         let s = &report.solver;
         let strat = format!("{strategy:?}");
+        let clauses = format!("{}/{}", s.ctx_clauses_resident, s.ctx_clauses_evicted);
+        let sched = format!("{}/{}", report.sched_picks, report.sched_heap_repairs);
         println!(
-            "{tool:6} {:>6} {strat:>10} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10.2?} {:>10.2?}",
+            "{tool:6} {:>6} {strat:>10} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {clauses:>17} \
+             {sched:>13} {:>10.2?} {:>10.2?}",
             cfg.symbolic_bytes(),
             report.tests.len(),
             s.sat_calls,
@@ -92,7 +105,7 @@ fn main() {
             report.wall_time,
         );
         csv.row(&format!(
-            "{tool},{},{strat},{},{},{},{},{},{},{:.3},{:.3}",
+            "{tool},{},{strat},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3}",
             cfg.symbolic_bytes(),
             report.tests.len(),
             s.sat_calls,
@@ -100,6 +113,10 @@ fn main() {
             s.ctx_rebuilds,
             s.ctx_forks,
             s.ctx_evictions,
+            s.ctx_clauses_resident,
+            s.ctx_clauses_evicted,
+            report.sched_picks,
+            report.sched_heap_repairs,
             s.time.as_secs_f64() * 1e3,
             report.wall_time.as_secs_f64() * 1e3,
         ));

@@ -42,15 +42,17 @@ fn main() {
     let mut csv = CsvOut::create(
         "parallel_scaling",
         "tool,symbolic_bytes,jobs,wall_ms,speedup,steps,completed_paths,sat_calls,sat_time_ms,\
-         ctx_hits,ctx_rebuilds,ctx_forks,ctx_evictions",
+         ctx_hits,ctx_rebuilds,ctx_forks,ctx_evictions,clauses_resident,clauses_evicted,\
+         sched_picks,sched_heap_repairs",
     );
     println!("# parallel_scaling: exhaustive MergeMode::None exploration, sequential vs sharded");
     println!(
         "# sat_calls/sat_time: fleet totals — inflation vs jobs=1 is cache loss from sharding"
     );
     println!("# ctx columns: fleet context-tree totals (hits/rebuilds/forks/evictions)");
+    println!("# sched p/r: fleet ranked picks / heap repairs — the former O(n)-scan cost driver");
     println!(
-        "{:10} {:>6} {:>5} {:>12} {:>9} {:>10} {:>10} {:>10} {:>10} {:>22}",
+        "{:10} {:>6} {:>5} {:>12} {:>9} {:>10} {:>10} {:>10} {:>10} {:>22} {:>17}",
         "tool",
         "bytes",
         "jobs",
@@ -60,7 +62,8 @@ fn main() {
         "paths",
         "sat_calls",
         "sat_time",
-        "ctx h/r/f/e"
+        "ctx h/r/f/e",
+        "sched p/r"
     );
     for (tool, cfg) in sweeps {
         let w = by_name(tool).unwrap();
@@ -104,8 +107,9 @@ fn main() {
             let s = &report.solver;
             let ctx =
                 format!("{}/{}/{}/{}", s.ctx_hits, s.ctx_rebuilds, s.ctx_forks, s.ctx_evictions);
+            let sched = format!("{}/{}", report.sched_picks, report.sched_heap_repairs);
             println!(
-                "{tool:10} {:>6} {jobs:>5} {:>12.2?} {:>8.2}x {:>10} {:>10} {:>10} {:>10.2?} {ctx:>22}",
+                "{tool:10} {:>6} {jobs:>5} {:>12.2?} {:>8.2}x {:>10} {:>10} {:>10} {:>10.2?} {ctx:>22} {sched:>17}",
                 cfg.symbolic_bytes(),
                 wall,
                 speedup,
@@ -115,7 +119,7 @@ fn main() {
                 s.sat_time
             );
             csv.row(&format!(
-                "{tool},{},{jobs},{:.3},{:.3},{},{},{},{:.3},{},{},{},{}",
+                "{tool},{},{jobs},{:.3},{:.3},{},{},{},{:.3},{},{},{},{},{},{},{},{}",
                 cfg.symbolic_bytes(),
                 wall.as_secs_f64() * 1e3,
                 speedup,
@@ -126,7 +130,11 @@ fn main() {
                 s.ctx_hits,
                 s.ctx_rebuilds,
                 s.ctx_forks,
-                s.ctx_evictions
+                s.ctx_evictions,
+                s.ctx_clauses_resident,
+                s.ctx_clauses_evicted,
+                report.sched_picks,
+                report.sched_heap_repairs
             ));
         }
     }

@@ -116,8 +116,14 @@ pub fn run_workload(
     let config = config_for(setup, opts);
     if opts.jobs > 1 {
         // Experiment overrides for the scaling sweeps (see EXPERIMENTS.md):
-        // SYMMERGE_PAR_QUOTA sets the per-round step quota and
-        // SYMMERGE_PAR_STEAL_NEWEST flips the steal direction.
+        // SYMMERGE_PAR_QUOTA sets the per-round step quota,
+        // SYMMERGE_PAR_STEAL_NEWEST flips the steal direction, and
+        // SYMMERGE_WARM_MIGRATION=0 ablates warm-context migration
+        // (cold imports + unbiased steals — the pre-PR-5 behaviour).
+        let mut config = config;
+        if matches!(std::env::var("SYMMERGE_WARM_MIGRATION").as_deref(), Ok("0")) {
+            config.warm_migration = false;
+        }
         let mut par = ParallelConfig { jobs: opts.jobs, ..ParallelConfig::default() };
         if let Ok(q) = std::env::var("SYMMERGE_PAR_QUOTA") {
             par.steps_per_round = q.parse().expect("SYMMERGE_PAR_QUOTA takes a step count");

@@ -12,7 +12,7 @@
 //! control (the property §5.5 evaluates).
 
 use crate::state::StateId;
-use crate::strategy::{topo_cmp, Oracle, StateMeta, Strategy};
+use crate::strategy::{topo_cmp, Oracle, SchedStats, StateMeta, Strategy};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// DSM tuning knobs.
@@ -259,6 +259,12 @@ impl Strategy for DsmStrategy {
 
     fn len(&self) -> usize {
         self.metas.len()
+    }
+
+    fn sched_stats(&self) -> SchedStats {
+        // DSM's own fast-forward picks are counted in [`DsmStats`]; the
+        // heap-cost counters belong to the driving strategy.
+        self.driving.sched_stats()
     }
 }
 

@@ -75,6 +75,17 @@ pub struct EngineConfig {
     /// seed; under [`MergeMode::None`] the explored path set is
     /// schedule-invariant, so results are identical with it off.
     pub affinity_scheduling: bool,
+    /// Warm-context migration (shard mode only): when a migrated state
+    /// arrives with a warm-prefix seed (the pc-conjunct prefix that was
+    /// resident in the *donor's* context tree, see
+    /// [`crate::shard::PortableState`]), pre-warm the local solver's
+    /// context tree for the round's whole inbox in one batch before any
+    /// of the states run. Batching is what makes it pay: shared prefixes
+    /// and divergence points across the inbox are bit-blasted **once**
+    /// and forked, instead of once per migrated lineage at first query.
+    /// Purely a solver-residency (and affinity-stamp) effect — results
+    /// are unchanged, only rebuild counts and wall time move.
+    pub warm_migration: bool,
     /// RNG seed (strategies, tie-breaking) — runs are deterministic per
     /// seed.
     pub seed: u64,
@@ -92,6 +103,7 @@ impl Default for EngineConfig {
             budgets: Budgets::default(),
             generate_tests: true,
             affinity_scheduling: true,
+            warm_migration: true,
             seed: 0,
         }
     }
@@ -179,6 +191,13 @@ impl EngineBuilder {
         self
     }
 
+    /// Toggles warm-context migration (see
+    /// [`EngineConfig::warm_migration`]).
+    pub fn warm_migration(mut self, yes: bool) -> Self {
+        self.config.warm_migration = yes;
+        self
+    }
+
     /// Seeds the engine's RNG.
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
@@ -225,6 +244,13 @@ pub struct RunReport {
     pub tests_dropped_unknown: u64,
     /// States picked from the worklist.
     pub picks: u64,
+    /// Ranked (worklist-ordering) picks the scheduler served — each one
+    /// used to cost an O(n) scan; see
+    /// [`SchedStats`](crate::strategy::SchedStats).
+    pub sched_picks: u64,
+    /// Heap maintenance performed inside ranked picks (lazy deletions
+    /// discarded + stale entries recomputed and re-pushed).
+    pub sched_heap_repairs: u64,
     /// Instructions executed.
     pub steps: u64,
     /// Successful merges.
@@ -316,6 +342,13 @@ impl Scheduler {
             Scheduler::Dsm(d) => d.remove(id),
         }
     }
+
+    fn sched_stats(&self) -> crate::strategy::SchedStats {
+        match self {
+            Scheduler::Plain(s) => s.sched_stats(),
+            Scheduler::Dsm(d) => d.sched_stats(),
+        }
+    }
 }
 
 /// The symbolic execution engine.
@@ -335,6 +368,9 @@ pub struct Engine {
     ff_active: HashSet<StateId>,
     hot_cache: HashMap<u64, Rc<HotSet>>,
     covered: HashSet<(FuncId, BlockId)>,
+    /// Bumped whenever a new block is covered — the coverage generation
+    /// heap strategies stamp their cached distance keys with.
+    cov_gen: u64,
     dist_cache: Option<HashMap<(FuncId, BlockId), u32>>,
     rng: StdRng,
     next_id: u64,
@@ -373,6 +409,7 @@ struct OracleImpl<'a> {
     program: &'a Program,
     cfgs: &'a [CfgInfo],
     covered: &'a HashSet<(FuncId, BlockId)>,
+    cov_gen: u64,
     dist_cache: &'a mut Option<HashMap<(FuncId, BlockId), u32>>,
     rng: &'a mut StdRng,
 }
@@ -383,6 +420,13 @@ impl Oracle for OracleImpl<'_> {
             *self.dist_cache = Some(compute_distances(self.program, self.cfgs, self.covered));
         }
         self.dist_cache.as_ref().unwrap().get(&(func, block)).copied()
+    }
+
+    fn coverage_generation(&self) -> u64 {
+        // Distances are a pure function of the covered set, which only
+        // grows — so within one generation they are stable, and across
+        // generations non-decreasing (the heap strategies' contract).
+        self.cov_gen
     }
 
     fn rng(&mut self) -> &mut StdRng {
@@ -468,6 +512,7 @@ impl Engine {
             ff_active: HashSet::new(),
             hot_cache: HashMap::new(),
             covered: HashSet::new(),
+            cov_gen: 0,
             dist_cache: None,
             rng,
             next_id: 0,
@@ -549,6 +594,7 @@ impl Engine {
         let (func, block, _) = state.loc();
         if self.covered.insert((func, block)) {
             self.dist_cache = None;
+            self.cov_gen += 1;
         }
     }
 
@@ -568,15 +614,18 @@ impl Engine {
     /// (and marks its coverage) on the next round.
     fn integrate(&mut self, mut state: State, mut history: VecDeque<u64>, ff: bool) {
         let region = self.region_of(&state);
-        if let Some(ctl) = self.shard.as_mut() {
-            if !ctl.owns(region) {
-                ctl.seq += 1;
-                let env = PortableState::export(
-                    &self.pool, &state, &history, ff, region, ctl.me, ctl.seq,
-                );
-                ctl.outbox.push(env);
-                return;
-            }
+        if self.shard.as_ref().is_some_and(|ctl| !ctl.owns(region)) {
+            // Warm-prefix seed: how much of this state's pc is resident
+            // locally — the receiving worker pre-warms its own tree for
+            // it (computed before borrowing the shard control block).
+            let warm = self.solver.resident_prefix_len(&state.pc) as u32;
+            let ctl = self.shard.as_mut().expect("checked above");
+            ctl.seq += 1;
+            let env =
+                PortableState::export(&self.pool, &state, &history, ff, region, ctl.me, ctl.seq)
+                    .with_warm_len(warm);
+            ctl.outbox.push(env);
+            return;
         }
         self.mark_covered(&state);
         if self.config.merge_mode != MergeMode::None {
@@ -779,11 +828,15 @@ impl Engine {
         {
             return ExploreStep::BudgetExhausted;
         }
+        // Let the solver's adaptive context capacity track the live
+        // frontier (a field store — free at this frequency).
+        self.solver.set_frontier_hint(self.states.len());
         let picked = {
             let mut oracle = OracleImpl {
                 program: &self.program,
                 cfgs: &self.cfgs,
                 covered: &self.covered,
+                cov_gen: self.cov_gen,
                 dist_cache: &mut self.dist_cache,
                 rng: &mut self.rng,
             };
@@ -865,6 +918,7 @@ impl Engine {
     /// it when they decide the run is over (passing whether a budget —
     /// theirs or the engine's — cut exploration short).
     pub fn report(&self, hit_budget: bool) -> RunReport {
+        let sched = self.scheduler.sched_stats();
         RunReport {
             completed_paths: self.completed_paths,
             completed_multiplicity: self.completed_multiplicity,
@@ -873,6 +927,8 @@ impl Engine {
             tests: self.tests.clone(),
             tests_dropped_unknown: self.tests_dropped_unknown,
             picks: self.picks,
+            sched_picks: sched.sched_picks,
+            sched_heap_repairs: sched.sched_heap_repairs,
             steps: self.steps,
             merges: self.merges,
             merge_rejects: self.merge_rejects,
@@ -952,6 +1008,17 @@ impl Engine {
         let mut ids: Vec<StateId> = self.states.keys().copied().collect();
         if newest_first {
             ids.sort_unstable_by(|a, b| b.cmp(a));
+        } else if self.config.warm_migration {
+            // Bias steals toward *cold-affinity* states: a state whose
+            // prefix context is long gone (affinity 0 or stale) pays a
+            // rebuild wherever it runs, so shipping it costs the fleet
+            // nothing extra, while warm states keep exploiting the
+            // donor's resident contexts. Among equal warmth, oldest id
+            // first — cold states are typically the old shallow subtree
+            // roots anyway, so the Cilk work-transfer property (steals
+            // move big unexplored subtrees) is preserved. Deterministic:
+            // affinity tokens derive from the solver's counters.
+            ids.sort_unstable_by_key(|id| (self.states[id].affinity, *id));
         } else {
             ids.sort_unstable();
         }
@@ -967,9 +1034,13 @@ impl Engine {
         let ff = self.ff_active.contains(&id);
         let state = self.remove_from_worklist(id)?;
         let region = self.region_of(&state);
+        let warm = self.solver.resident_prefix_len(&state.pc) as u32;
         let ctl = self.shard.as_mut().expect("export_state outside shard mode");
         ctl.seq += 1;
-        Some(PortableState::export(&self.pool, &state, &history, ff, region, ctl.me, ctl.seq))
+        Some(
+            PortableState::export(&self.pool, &state, &history, ff, region, ctl.me, ctl.seq)
+                .with_warm_len(warm),
+        )
     }
 
     /// Installs a new region assignment and evicts every held state whose
@@ -989,11 +1060,49 @@ impl Engine {
         lost.into_iter().filter_map(|id| self.export_state(id)).collect()
     }
 
-    /// Integrates a migrated state from another worker.
-    pub(crate) fn inject(&mut self, env: &PortableState) {
-        let id = self.fresh_id();
-        let (state, history, ff) = env.import(&mut self.pool, id);
-        self.integrate(state, history, ff);
+    /// Integrates one round's migrated states from other workers, in the
+    /// caller-given (deterministic) order.
+    ///
+    /// With [`EngineConfig::warm_migration`] on, the whole batch's
+    /// warm-prefix seeds are pre-warmed into the solver's context tree
+    /// *before* any state integrates: the batch's shared conjuncts are
+    /// bit-blasted once and its divergence points forked
+    /// ([`symmerge_solver::Solver::prewarm_contexts`]), instead of each
+    /// migrated lineage paying a cold rebuild at its first query. States
+    /// whose seed materialized are stamped with the *local* solver's
+    /// affinity token for it, so ranking strategies run them while their
+    /// context is still resident. Both effects are deterministic and
+    /// purely residency-side: results are unchanged.
+    pub(crate) fn inject_all(&mut self, envs: &[PortableState]) {
+        let mut imported: Vec<(State, VecDeque<u64>, bool, usize)> = Vec::with_capacity(envs.len());
+        for env in envs {
+            let id = self.fresh_id();
+            let (state, history, ff) = env.import(&mut self.pool, id);
+            imported.push((state, history, ff, env.warm_len()));
+        }
+        if self.config.warm_migration && !imported.is_empty() {
+            // The frontier is about to grow by the whole inbox; let the
+            // adaptive capacity see it before the batch builds.
+            self.solver.set_frontier_hint(self.states.len() + imported.len());
+            // Each seed travels with the state's next pc conjunct beyond
+            // it (if any): when two states share an identical seed, that
+            // is the only evidence of where they diverge.
+            let seeds: Vec<(&[symmerge_expr::ExprId], Option<symmerge_expr::ExprId>)> = imported
+                .iter()
+                .map(|(s, _, _, warm)| (&s.pc[..*warm], s.pc.get(*warm).copied()))
+                .collect();
+            let tokens = self.solver.prewarm_contexts(&self.pool, &seeds);
+            if self.config.affinity_scheduling {
+                for ((state, _, _, _), token) in imported.iter_mut().zip(tokens) {
+                    if token != 0 {
+                        state.affinity = token;
+                    }
+                }
+            }
+        }
+        for (state, history, ff, _) in imported {
+            self.integrate(state, history, ff);
+        }
     }
 
     /// Drains the outbox of states that crossed into foreign regions.
@@ -1258,6 +1367,66 @@ mod tests {
             report.tests.len() as u64 + report.tests_dropped_unknown,
             report.completed_paths,
             "every completed path is either a test or a counted drop"
+        );
+    }
+
+    #[test]
+    fn clause_weighted_eviction_bounds_churn_at_a_small_count_floor() {
+        // A 4-level branch tree: the frontier (and with it the set of
+        // forked divergence contexts) outgrows a count floor of 2. The
+        // fixed count policy churns — forked contexts are evicted about
+        // as fast as they are created, the `wc`@6 pathology — while the
+        // clause-weighted policy lets capacity track the engine's
+        // frontier hint, so the forks survive until their siblings
+        // return. Results must be identical either way.
+        let src = r#"
+            fn main() {
+                let a = sym_int("a");
+                let b = sym_int("b");
+                let c = sym_int("c");
+                let d = sym_int("d");
+                let s = 0;
+                if (a > 10) { s = s + 1; }
+                if (b > 10) { s = s + 2; }
+                if (c > 10) { s = s + 4; }
+                if (d > 10) { s = s + 8; }
+                putchar(s);
+            }
+        "#;
+        let run = |by_clauses: bool| {
+            let mut e = engine_for(src, |bld| {
+                bld.merging(MergeMode::None).solver(symmerge_solver::SolverConfig {
+                    use_incremental: true,
+                    ctx_fork: true,
+                    max_contexts: 2,
+                    ctx_evict_by_clauses: by_clauses,
+                    canonical_models: true,
+                    ..symmerge_solver::SolverConfig::default()
+                })
+            });
+            e.run()
+        };
+        let adaptive = run(true);
+        let fixed = run(false);
+        // Result invariance: eviction policy is residency-only.
+        assert_eq!(adaptive.completed_paths, 16);
+        assert_eq!(adaptive.completed_paths, fixed.completed_paths);
+        assert_eq!(adaptive.tests.len(), fixed.tests.len());
+        assert_eq!(adaptive.covered_blocks, fixed.covered_blocks);
+        // The churn bound: the fixed floor churns, the adaptive policy
+        // keeps the whole (small) frontier resident.
+        assert!(
+            fixed.solver.ctx_evictions > adaptive.solver.ctx_evictions,
+            "fixed count floor must churn more ({} <= {})",
+            fixed.solver.ctx_evictions,
+            adaptive.solver.ctx_evictions
+        );
+        assert!(
+            adaptive.solver.ctx_evictions * 2 < adaptive.solver.ctx_forks.max(1),
+            "adaptive policy must break the forks ≈ evictions churn \
+             ({} forks / {} evictions)",
+            adaptive.solver.ctx_forks,
+            adaptive.solver.ctx_evictions
         );
     }
 

@@ -159,6 +159,8 @@ pub fn reduce_reports(parts: &[ShardOutput], total_blocks: usize) -> RunReport {
         tests: Vec::new(),
         tests_dropped_unknown: 0,
         picks: 0,
+        sched_picks: 0,
+        sched_heap_repairs: 0,
         steps: 0,
         merges: 0,
         merge_rejects: 0,
@@ -182,6 +184,8 @@ pub fn reduce_reports(parts: &[ShardOutput], total_blocks: usize) -> RunReport {
         out.tests.extend(r.tests.iter().cloned());
         out.tests_dropped_unknown += r.tests_dropped_unknown;
         out.picks += r.picks;
+        out.sched_picks += r.sched_picks;
+        out.sched_heap_repairs += r.sched_heap_repairs;
         out.steps += r.steps;
         out.merges += r.merges;
         out.merge_rejects += r.merge_rejects;
@@ -531,10 +535,11 @@ fn worker_main(
                 }
                 // Deterministic integration order regardless of the
                 // timing-dependent order replies reached the coordinator.
+                // The batch integrates through `inject_all` so the
+                // round's warm-prefix seeds pre-warm the local context
+                // tree together (shared prefixes blasted once).
                 inbox.sort_by_key(|env| env.order_key());
-                for env in &inbox {
-                    engine.inject(env);
-                }
+                engine.inject_all(&inbox);
                 let mut steps = 0u64;
                 while steps < quota {
                     match engine.explore_step() {
@@ -677,6 +682,29 @@ mod tests {
             // The assertion failure must survive sharded merging.
             assert!(!par.assert_failures.is_empty(), "{mode:?} lost the assertion failure");
         }
+    }
+
+    #[test]
+    fn warm_migration_is_result_invariant_and_never_adds_rebuilds() {
+        // Warm-context migration changes *residency* (prewarmed trees,
+        // affinity stamps, cold-biased steal order) but never results:
+        // under MergeMode::None the explored path set is
+        // schedule-invariant, so generated tests stay byte-identical
+        // with it off — and the fleet's rebuild count must not regress.
+        let cfg = config(MergeMode::None, StrategyKind::Bfs);
+        let cold_cfg = EngineConfig { warm_migration: false, ..cfg.clone() };
+        // Tiny quota → many rounds → real migration traffic.
+        let warm = run_jobs(BRANCHY, cfg, 4, 2);
+        let cold = run_jobs(BRANCHY, cold_cfg, 4, 2);
+        assert_eq!(warm.completed_paths, cold.completed_paths);
+        assert_eq!(warm.steps, cold.steps);
+        assert_eq!(test_bytes(&warm), test_bytes(&cold), "results must not depend on warmth");
+        assert!(
+            warm.solver.ctx_rebuilds <= cold.solver.ctx_rebuilds,
+            "prewarming must not add rebuilds ({} > {})",
+            warm.solver.ctx_rebuilds,
+            cold.solver.ctx_rebuilds
+        );
     }
 
     #[test]

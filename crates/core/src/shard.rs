@@ -37,7 +37,12 @@
 //! part of the envelope: the solver affinity token
 //! ([`State::affinity`](crate::state::State)) indexes the origin
 //! worker's solver clock, so it is dropped at export and
-//! deterministically re-derived as 0 ("context cold here") at import.
+//! deterministically re-derived at import — as 0 ("context cold here"),
+//! or, under warm-context migration, from the *receiving* solver's
+//! clock after its context tree is pre-warmed. The one migration hint
+//! that does travel is portable by construction: the **warm-prefix
+//! seed** ([`PortableState::warm_len`]) is a length into the state's
+//! own pc-conjunct sequence, meaningful on any worker.
 
 use crate::state::{Frame, Slot, State, StateId};
 use std::collections::{HashMap, VecDeque};
@@ -140,11 +145,23 @@ pub struct PortableState {
     sym_counters: Vec<(String, u32)>,
     history: Vec<u64>,
     ff: bool,
+    /// The **warm-prefix seed**: how many leading `pc` conjuncts were
+    /// resident in the *donor's* solver-context tree at export time
+    /// (`Solver::resident_prefix_len`). A prefix of an
+    /// already-serialized field, so it costs one integer — maximally
+    /// compact. The receiving worker batches the seeds of a whole
+    /// migration round and pre-warms its own context tree for them
+    /// (shared conjuncts blasted once, divergences forked), instead of
+    /// every migrated lineage re-blasting its prefix cold at first
+    /// query. Purely a residency hint: results never depend on it.
+    warm_len: u32,
 }
 
 impl PortableState {
     /// Serializes `state` (with its DSM `history` and fast-forward flag)
-    /// into an envelope addressed by `region`.
+    /// into an envelope addressed by `region`, with a cold (0) warm-prefix
+    /// seed — chain [`PortableState::with_warm_len`] to attach the donor's
+    /// resident-prefix length.
     pub fn export(
         pool: &ExprPool,
         state: &State,
@@ -190,7 +207,22 @@ impl PortableState {
             sym_counters,
             history: history.iter().copied().collect(),
             ff,
+            warm_len: 0,
         }
+    }
+
+    /// Attaches the warm-prefix seed: how many leading `pc` conjuncts the
+    /// donor still had resident in its solver-context tree (clamped to
+    /// the pc length — the seed can never claim more than the pc itself).
+    pub fn with_warm_len(mut self, warm_len: u32) -> PortableState {
+        self.warm_len = warm_len.min(self.pc.len() as u32);
+        self
+    }
+
+    /// The warm-prefix seed length, clamped to the pc length (see the
+    /// field docs): `pc[..warm_len]` was resident on the donor.
+    pub fn warm_len(&self) -> usize {
+        self.warm_len as usize
     }
 
     /// Rebuilds the state in the receiving worker's pool, under a fresh
@@ -316,9 +348,13 @@ mod tests {
         state.sym_counters.insert("x".into(), 1);
 
         let hist: VecDeque<u64> = vec![11, 22].into();
-        let ps = PortableState::export(&src, &state, &hist, true, 4, 1, 9);
+        let ps = PortableState::export(&src, &state, &hist, true, 4, 1, 9).with_warm_len(1);
         assert_eq!(ps.region, 4);
         assert_eq!(ps.order_key(), (1, 9));
+        assert_eq!(ps.warm_len(), 1);
+        // The seed can never claim more than the pc itself.
+        let clamped = PortableState::export(&src, &state, &hist, true, 4, 1, 9).with_warm_len(99);
+        assert_eq!(clamped.warm_len(), state.pc.len());
 
         let mut dst = ExprPool::new(8);
         let _ = dst.input("y", 8); // different interning history

@@ -82,9 +82,11 @@ pub struct State {
     /// Schedulers use it as a deterministic tie-break toward states
     /// whose context is likely still resident. Derived from per-solver
     /// monotone counters — never wall-clock — so it is reproducible per
-    /// seed; it is meaningless across solvers and therefore dropped (and
-    /// re-derived as 0, "context cold here") when a state migrates to
-    /// another shard.
+    /// seed; it is meaningless across solvers and therefore dropped when
+    /// a state migrates to another shard and re-derived *locally* on
+    /// import: 0 ("context cold here"), or the receiving solver's stamp
+    /// for the warm-prefix trunk the inject round pre-warmed (see
+    /// [`crate::shard::PortableState`]).
     pub affinity: u64,
 }
 

@@ -101,9 +101,41 @@ impl PartialOrd for TopoKey {
 pub trait Oracle {
     /// Distance (in CFG edges, descending into calls) from a block to the
     /// nearest uncovered block; `None` when no uncovered code is reachable.
+    ///
+    /// Contract for heap-based strategies: within one
+    /// [`coverage generation`](Oracle::coverage_generation) the distance
+    /// is a pure function of `(func, block)`, and across generations it
+    /// is **non-decreasing** (coverage only grows, so the nearest
+    /// uncovered block can only get farther). Cached distance keys are
+    /// therefore lower bounds of current keys, which is what makes
+    /// lazy recompute-on-pop exact.
     fn distance_to_uncovered(&mut self, func: FuncId, block: BlockId) -> Option<u32>;
+    /// Monotone counter that advances whenever new coverage appears
+    /// (i.e. whenever `distance_to_uncovered` may have changed). Heap
+    /// strategies stamp cached keys with it and recompute on pop only
+    /// when the stamp is stale. The default (constant `0`) is correct
+    /// for oracles whose distances never change mid-run.
+    fn coverage_generation(&self) -> u64 {
+        0
+    }
     /// The engine's deterministic RNG.
     fn rng(&mut self) -> &mut StdRng;
+}
+
+/// Scheduling-cost counters a [`Strategy`] exposes, so pick cost stays
+/// measurable (they flow into `RunReport` and the bench harness CSVs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SchedStats {
+    /// Ranked (non-random) picks served — each one used to cost an O(n)
+    /// worklist scan; with the heapified strategies it costs O(log n)
+    /// amortized.
+    pub sched_picks: u64,
+    /// Heap maintenance performed during picks: lazy-deleted entries
+    /// discarded plus stale entries recomputed and re-pushed. The
+    /// heap-vs-scan cost ratio is roughly
+    /// `(sched_picks + sched_heap_repairs) · log n` vs
+    /// `sched_picks · n`.
+    pub sched_heap_repairs: u64,
 }
 
 /// A worklist scheduling policy. The engine calls `add` when a state enters
@@ -122,6 +154,21 @@ pub trait Strategy {
     /// Whether no states are registered.
     fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+    /// Scheduling-cost counters (zero for strategies whose picks are
+    /// trivially O(1)).
+    fn sched_stats(&self) -> SchedStats {
+        SchedStats::default()
+    }
+}
+
+/// Reads a boolean ablation flag from the environment (the same
+/// convention as the solver's `SYMMERGE_SOLVER_*` flags: `0`/`false`/
+/// `off`/`no` disables).
+fn env_flag(name: &str, default: bool) -> bool {
+    match std::env::var(name) {
+        Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
+        Err(_) => default,
     }
 }
 
@@ -245,12 +292,50 @@ impl Strategy for RandomSearch {
     }
 }
 
+/// The total-order pick key of [`CoverageOptimized`]: `(distance to
+/// uncovered, u64::MAX - steps, u64::MAX - affinity, id)`, minimized.
+/// Equal distance and depth prefer the state whose prefix context is
+/// warmest (highest affinity), then the oldest id — deterministic either
+/// way.
+type CovKey = (u64, u64, u64, StateId);
+
+/// One lazy heap entry of [`CoverageOptimized`]: the ranked key, the
+/// coverage generation it was computed under, and the registration's
+/// `(func, block)` — the location that determined the cached distance,
+/// validated on pop so a relocated re-add can never be served on a stale
+/// entry.
+type CovEntry = (CovKey, u64, (u32, u32));
+
+/// Heap-entry generation stamp meaning "distance never computed": forces
+/// a recompute on first pop (`add` has no oracle, so entries enter the
+/// heap with a distance of 0 — a valid lower bound, since distances are
+/// non-negative). Real generations are bounded by the program's block
+/// count and can never reach this.
+const GEN_UNKNOWN: u64 = u64::MAX;
+
 /// Coverage-optimized search (the paper's `[6]` reference): pick the state
 /// whose location is closest to uncovered code, breaking ties toward
 /// *deeper* states (CFG distance cannot see loop progress, so depth is the
 /// better proxy for "about to reach the gated block") and interleaving an
 /// ε-fraction of uniformly random picks, like KLEE's interleaved
 /// searchers.
+///
+/// Ranked picks run on a min-heap with **lazy deletion and lazy
+/// repair** over `CovKey`s, the same treatment PR 3 gave
+/// [`Topological`]: `add`/`remove` are O(log n)/O(1) and `pick` is
+/// amortized O(log n), versus the previous O(n) full-worklist scan —
+/// which had become the dominant cost of budgeted coverage-driven runs
+/// once the solver's context tree eliminated prefix re-blasting. Each
+/// heap entry carries the [`Oracle::coverage_generation`] it was keyed
+/// under; a popped entry with a stale stamp has its distance recomputed
+/// *on pop* (never by an eager rescan) and is re-pushed if the key
+/// changed. Exactness rests on distances being non-decreasing as
+/// coverage grows (see [`Oracle::distance_to_uncovered`]): every stored
+/// key is a lower bound of the state's current key, so a popped entry
+/// whose recomputed key is unchanged is the true minimum — byte-for-byte
+/// the state the O(n) scan would have chosen. The scan is retained
+/// (`pick_ranked_scan`), both as the reference the property suite
+/// compares against and as the `SYMMERGE_COV_HEAP=0` ablation.
 #[derive(Debug)]
 pub struct CoverageOptimized {
     metas: HashMap<StateId, StateMeta>,
@@ -258,8 +343,21 @@ pub struct CoverageOptimized {
     /// (HashMap iteration order would not be reproducible).
     order: Vec<StateId>,
     pos: HashMap<StateId, usize>,
+    /// Lazy-deletion min-heap of `(key, coverage generation, (func,
+    /// block))` ranked entries. Entries are never removed eagerly: ids
+    /// that left the worklist, or re-added ids whose meta changed, are
+    /// discarded when popped (the re-add pushed a fresh entry). The
+    /// `(func, block)` pair rides along for exactly that validation —
+    /// it determines the cached distance, so a re-add at a different
+    /// location must invalidate the old entry even when `steps` and
+    /// `affinity` happen to collide.
+    heap: BinaryHeap<Reverse<CovEntry>>,
+    /// `false` selects the retained O(n) reference scan
+    /// (`SYMMERGE_COV_HEAP=0`).
+    use_heap: bool,
     /// Probability of a random pick.
     epsilon: f64,
+    stats: SchedStats,
 }
 
 impl Default for CoverageOptimized {
@@ -268,12 +366,24 @@ impl Default for CoverageOptimized {
             metas: HashMap::new(),
             order: Vec::new(),
             pos: HashMap::new(),
+            heap: BinaryHeap::new(),
+            use_heap: env_flag("SYMMERGE_COV_HEAP", true),
             epsilon: 0.25,
+            stats: SchedStats::default(),
         }
     }
 }
 
 impl CoverageOptimized {
+    /// Builds the strategy with the ranked-pick implementation pinned
+    /// (`true` = heap, `false` = the O(n) reference scan), ignoring the
+    /// `SYMMERGE_COV_HEAP` environment default. The property suite uses
+    /// this to drive both implementations side by side and assert their
+    /// pick sequences are byte-identical.
+    pub fn with_heap(use_heap: bool) -> Self {
+        CoverageOptimized { use_heap, ..Default::default() }
+    }
+
     fn drop_from_order(&mut self, id: StateId) {
         if let Some(i) = self.pos.remove(&id) {
             self.order.swap_remove(i);
@@ -282,10 +392,77 @@ impl CoverageOptimized {
             }
         }
     }
+
+    fn dist_of(oracle: &mut dyn Oracle, meta: &StateMeta) -> u64 {
+        oracle.distance_to_uncovered(meta.func, meta.block).map(u64::from).unwrap_or(u64::MAX / 2)
+    }
+
+    /// The retained O(n) reference implementation: scan every live meta
+    /// with current distances and take the key minimum. The heap path
+    /// must match this pick-for-pick (asserted by the
+    /// `cov_heap_matches_scan` property suite).
+    fn pick_ranked_scan(&self, oracle: &mut dyn Oracle) -> StateId {
+        let mut best: Option<CovKey> = None;
+        for (&id, meta) in &self.metas {
+            let dist = Self::dist_of(oracle, meta);
+            let key = (dist, u64::MAX - meta.steps, u64::MAX - meta.affinity, id);
+            if best.map_or(true, |b| key < b) {
+                best = Some(key);
+            }
+        }
+        best.expect("non-empty").3
+    }
+
+    /// The O(log n) heap pick. Pops until an entry survives validation:
+    /// dead ids and re-added ids with changed metas are discarded (their
+    /// re-add pushed a current entry), stale-generation entries have
+    /// their distance recomputed and are re-pushed when it grew.
+    fn pick_ranked_heap(&mut self, oracle: &mut dyn Oracle) -> StateId {
+        let cur_gen = oracle.coverage_generation();
+        loop {
+            let Reverse((key, gen, loc)) =
+                self.heap.pop().expect("every live state keeps a heap entry");
+            let (dist, rsteps, raff, id) = key;
+            let Some(meta) = self.metas.get(&id) else {
+                // Lazy deletion: the id left the worklist.
+                self.stats.sched_heap_repairs += 1;
+                continue;
+            };
+            if (u64::MAX - meta.steps, u64::MAX - meta.affinity) != (rsteps, raff)
+                || (meta.func.0, meta.block.0) != loc
+            {
+                // The id was removed and re-added with a different meta
+                // (the location check matters: it determines the cached
+                // distance, so a relocated re-add must not be served on
+                // the old entry even when steps/affinity collide); the
+                // re-add pushed a fresh entry, this one is garbage.
+                self.stats.sched_heap_repairs += 1;
+                continue;
+            }
+            if gen == cur_gen {
+                return id;
+            }
+            let dist_now = Self::dist_of(oracle, meta);
+            if dist_now == dist {
+                // The stored key was a lower bound and still holds, so
+                // it is the global minimum (all other entries are lower
+                // bounds of keys that can only be larger).
+                return id;
+            }
+            self.stats.sched_heap_repairs += 1;
+            self.heap.push(Reverse(((dist_now, rsteps, raff, id), cur_gen, loc)));
+        }
+    }
 }
 
 impl Strategy for CoverageOptimized {
     fn add(&mut self, id: StateId, meta: StateMeta) {
+        if self.use_heap {
+            // Distance 0 is a lower bound (no oracle at add time); the
+            // GEN_UNKNOWN stamp forces a recompute when popped.
+            let key = (0, u64::MAX - meta.steps, u64::MAX - meta.affinity, id);
+            self.heap.push(Reverse((key, GEN_UNKNOWN, (meta.func.0, meta.block.0))));
+        }
         self.metas.insert(id, meta);
         self.pos.insert(id, self.order.len());
         self.order.push(id);
@@ -305,21 +482,12 @@ impl Strategy for CoverageOptimized {
             let k = oracle.rng().gen_range(0..self.order.len());
             self.order[k]
         } else {
-            let mut best: Option<(u64, u64, u64, StateId)> = None;
-            for (&id, meta) in &self.metas {
-                let dist = oracle
-                    .distance_to_uncovered(meta.func, meta.block)
-                    .map(u64::from)
-                    .unwrap_or(u64::MAX / 2);
-                // Equal distance and depth: prefer the state whose
-                // prefix context is warmest (highest affinity), then the
-                // oldest id — a deterministic total order either way.
-                let key = (dist, u64::MAX - meta.steps, u64::MAX - meta.affinity, id);
-                if best.map_or(true, |b| key < b) {
-                    best = Some(key);
-                }
+            self.stats.sched_picks += 1;
+            if self.use_heap {
+                self.pick_ranked_heap(oracle)
+            } else {
+                self.pick_ranked_scan(oracle)
             }
-            best.expect("non-empty").3
         };
         self.drop_from_order(chosen);
         self.metas.remove(&chosen);
@@ -328,6 +496,10 @@ impl Strategy for CoverageOptimized {
 
     fn len(&self) -> usize {
         self.metas.len()
+    }
+
+    fn sched_stats(&self) -> SchedStats {
+        self.stats
     }
 }
 
@@ -352,6 +524,7 @@ impl Strategy for CoverageOptimized {
 pub struct Topological {
     heap: BinaryHeap<Reverse<(TopoKey, StateId)>>,
     live: HashSet<StateId>,
+    stats: SchedStats,
 }
 
 impl Strategy for Topological {
@@ -367,14 +540,20 @@ impl Strategy for Topological {
     fn pick(&mut self, _oracle: &mut dyn Oracle) -> Option<StateId> {
         while let Some(Reverse((_, id))) = self.heap.pop() {
             if self.live.remove(&id) {
+                self.stats.sched_picks += 1;
                 return Some(id);
             }
+            self.stats.sched_heap_repairs += 1;
         }
         None
     }
 
     fn len(&self) -> usize {
         self.live.len()
+    }
+
+    fn sched_stats(&self) -> SchedStats {
+        self.stats
     }
 }
 
@@ -386,17 +565,24 @@ mod tests {
     struct TestOracle {
         rng: StdRng,
         distances: HashMap<(FuncId, BlockId), u32>,
+        /// Tests that mutate `distances` mid-run must bump this (and only
+        /// raise distances), per the [`Oracle`] contract.
+        gen: u64,
     }
 
     impl TestOracle {
         fn new() -> Self {
-            TestOracle { rng: StdRng::seed_from_u64(7), distances: HashMap::new() }
+            TestOracle { rng: StdRng::seed_from_u64(7), distances: HashMap::new(), gen: 0 }
         }
     }
 
     impl Oracle for TestOracle {
         fn distance_to_uncovered(&mut self, func: FuncId, block: BlockId) -> Option<u32> {
             self.distances.get(&(func, block)).copied()
+        }
+
+        fn coverage_generation(&self) -> u64 {
+            self.gen
         }
 
         fn rng(&mut self) -> &mut StdRng {
@@ -533,6 +719,80 @@ mod tests {
     }
 
     #[test]
+    fn coverage_heap_matches_scan_under_coverage_invalidation() {
+        // The heap with lazy repair must reproduce the O(n) scan's pick
+        // order byte for byte, including when distances are invalidated
+        // (monotonically raised) between picks. ε = 0: every pick ranked.
+        let run = |use_heap: bool| {
+            let mut oracle = TestOracle::new();
+            for b in 0..6u32 {
+                oracle.distances.insert((FuncId(0), BlockId(b)), b + 1);
+            }
+            let mut cov =
+                CoverageOptimized { epsilon: 0.0, ..CoverageOptimized::with_heap(use_heap) };
+            for i in 0..6u64 {
+                cov.add(StateId(i), meta(i as u32, 0, i));
+            }
+            let mut picks = Vec::new();
+            picks.push(cov.pick(&mut oracle).unwrap());
+            // New coverage: the closest remaining block's distance grows
+            // past everything else (non-decreasing, per the contract).
+            oracle.distances.insert((FuncId(0), BlockId(1)), 40);
+            oracle.gen += 1;
+            picks.push(cov.pick(&mut oracle).unwrap());
+            // Remove one state, raise another distance, drain.
+            cov.remove(StateId(3));
+            oracle.distances.insert((FuncId(0), BlockId(2)), 41);
+            oracle.gen += 1;
+            while let Some(id) = cov.pick(&mut oracle) {
+                picks.push(id);
+            }
+            picks
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn coverage_heap_invalidates_relocated_readds_with_colliding_meta() {
+        // Regression: an id removed and re-added at a *different block*
+        // but with identical steps/affinity must not be served on its
+        // old registration's cached distance — the location determines
+        // the distance, so it is part of entry validation.
+        let run = |use_heap: bool| {
+            let mut oracle = TestOracle::new();
+            oracle.distances.insert((FuncId(0), BlockId(0)), 1);
+            oracle.distances.insert((FuncId(0), BlockId(1)), 5);
+            oracle.distances.insert((FuncId(0), BlockId(2)), 0);
+            oracle.distances.insert((FuncId(0), BlockId(3)), 3);
+            let mut cov =
+                CoverageOptimized { epsilon: 0.0, ..CoverageOptimized::with_heap(use_heap) };
+            cov.add(StateId(1), meta(0, 0, 0));
+            cov.add(StateId(2), meta(2, 0, 0));
+            let first = cov.pick(&mut oracle); // leaves a current-gen entry for id 1
+            cov.remove(StateId(1));
+            cov.add(StateId(1), meta(1, 0, 0)); // same steps/affinity, new block
+            cov.add(StateId(3), meta(3, 0, 0));
+            (first, cov.pick(&mut oracle))
+        };
+        assert_eq!(run(true), run(false), "stale relocated entry must be discarded");
+        assert_eq!(run(false), (Some(StateId(2)), Some(StateId(3))));
+    }
+
+    #[test]
+    fn coverage_heap_counts_picks_and_repairs() {
+        let mut oracle = TestOracle::new();
+        oracle.distances.insert((FuncId(0), BlockId(0)), 5);
+        let mut cov = CoverageOptimized { epsilon: 0.0, ..CoverageOptimized::with_heap(true) };
+        cov.add(StateId(1), meta(0, 0, 0));
+        cov.add(StateId(2), meta(0, 0, 0));
+        cov.remove(StateId(1)); // leaves a lazy-deleted heap entry
+        assert_eq!(cov.pick(&mut oracle), Some(StateId(2)));
+        let stats = cov.sched_stats();
+        assert_eq!(stats.sched_picks, 1);
+        assert!(stats.sched_heap_repairs >= 1, "lazy deletion + fresh-entry repair must count");
+    }
+
+    #[test]
     fn coverage_strategy_prefers_small_distance() {
         let mut oracle = TestOracle::new();
         oracle.distances.insert((FuncId(0), BlockId(0)), 9);
@@ -582,7 +842,7 @@ mod tests {
     fn random_strategy_is_seed_deterministic() {
         let picks = |seed: u64| {
             let mut oracle =
-                TestOracle { rng: StdRng::seed_from_u64(seed), distances: HashMap::new() };
+                TestOracle { rng: StdRng::seed_from_u64(seed), distances: HashMap::new(), gen: 0 };
             let mut r = RandomSearch::default();
             for i in 0..10 {
                 r.add(StateId(i), meta(0, 0, 0));

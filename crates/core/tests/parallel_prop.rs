@@ -48,6 +48,8 @@ fn arb_shard_output() -> impl Strategy<Value = ShardOutput> {
                     tests,
                     tests_dropped_unknown: completed / 7,
                     picks,
+                    sched_picks: picks / 2,
+                    sched_heap_repairs: picks / 3,
                     steps,
                     merges,
                     merge_rejects: merges * 2,
@@ -75,6 +77,7 @@ fn observable(r: &RunReport) -> impl PartialEq + std::fmt::Debug {
             r.tests.iter().map(TestCase::sort_key).collect::<Vec<_>>(),
             r.tests_dropped_unknown,
             r.picks,
+            (r.sched_picks, r.sched_heap_repairs),
             r.steps,
             r.merges,
         ),

@@ -103,6 +103,15 @@ impl SolverContext {
         self.sat.stats()
     }
 
+    /// Live clauses held by this context's SAT solver (original CNF +
+    /// learnt, minus reductions) — the size clause-weighted eviction
+    /// charges residency by. A context's clause count only grows with
+    /// its prefix (and its learnt set), so it doubles as a proxy for how
+    /// expensive the context would be to rebuild.
+    pub fn clause_count(&self) -> usize {
+        self.sat.num_clauses()
+    }
+
     /// Permanently asserts `c`, extending the prefix. Constant-`true`
     /// conjuncts are recorded in the prefix but add no clauses. Extending
     /// the prefix invalidates the sibling evidence (`sat_extras`

@@ -69,6 +69,11 @@ pub struct SatSolver {
     seen: Vec<bool>,
     ok: bool,
     num_learnt: usize,
+    /// Live (non-deleted) stored clauses, original + learnt — the O(1)
+    /// size signal the solver-context tree charges clause-weighted
+    /// eviction with. Unit clauses are enqueued on the trail rather than
+    /// stored and are not counted.
+    live_clauses: usize,
     conflict_budget: Option<u64>,
     failed_assumptions: Vec<Lit>,
     stats: SatStats,
@@ -96,6 +101,7 @@ impl SatSolver {
             seen: vec![false; n],
             ok: true,
             num_learnt: 0,
+            live_clauses: 0,
             conflict_budget: None,
             failed_assumptions: Vec::new(),
             stats: SatStats::default(),
@@ -148,6 +154,13 @@ impl SatSolver {
     /// Work counters.
     pub fn stats(&self) -> SatStats {
         self.stats
+    }
+
+    /// Number of live (non-deleted) stored clauses, original + learnt —
+    /// the memory-residency proxy clause-weighted context eviction
+    /// charges by. O(1): maintained incrementally.
+    pub fn num_clauses(&self) -> usize {
+        self.live_clauses
     }
 
     /// Whether the clause database is still consistent. Once this turns
@@ -241,6 +254,7 @@ impl SatSolver {
                     deleted: false,
                     activity: 0.0,
                 });
+                self.live_clauses += 1;
             }
         }
     }
@@ -518,6 +532,7 @@ impl SatSolver {
         for &cref in &cands[..to_remove] {
             self.clauses[cref as usize].deleted = true;
             self.num_learnt -= 1;
+            self.live_clauses -= 1;
         }
         // Rebuild the watch lists from scratch (watch invariant: positions 0, 1).
         for w in &mut self.watches {
@@ -593,6 +608,7 @@ impl SatSolver {
                         activity: self.cla_inc,
                     });
                     self.num_learnt += 1;
+                    self.live_clauses += 1;
                     self.stats.learnt += 1;
                     self.enqueue(asserting, Some(cref));
                 }

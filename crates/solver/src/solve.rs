@@ -106,11 +106,37 @@ pub struct SolverConfig {
     pub max_conflicts: Option<u64>,
     /// How many recent models to retain for model reuse.
     pub model_history: usize,
-    /// How many incremental contexts the fork-aware tree keeps resident
-    /// (evicted subtree-LRU, leaves first — a live ancestor of a
+    /// The context-count *floor* of the fork-aware tree's residency
+    /// policy (evicted subtree-LRU, leaves first — a live ancestor of a
     /// resident context is never evicted); `0` disables the incremental
     /// path even if `use_incremental` is set.
+    ///
+    /// Under clause-weighted eviction ([`SolverConfig::
+    /// ctx_evict_by_clauses`]) the effective count capacity *adapts*:
+    /// it is `max(max_contexts, frontier hint)` (the engine reports its
+    /// live worklist size through [`Solver::set_frontier_hint`]), so a
+    /// deep exploration whose divergence frontier outgrows the floor no
+    /// longer churns forks through a fixed-size pool — residency is
+    /// then bounded by [`SolverConfig::max_context_clauses`], the
+    /// measure that actually tracks memory. With clause weighting off
+    /// (`SYMMERGE_CTX_EVICT=count`) this is the fixed capacity, exactly
+    /// the pre-PR-5 policy.
     pub max_contexts: usize,
+    /// Charge context residency by **live SAT clauses** (CNF + learnt)
+    /// instead of context count, and let the count capacity track the
+    /// engine's frontier (see [`SolverConfig::max_contexts`]). Contexts
+    /// differ in size by orders of magnitude — a root context is a few
+    /// clauses, a deep loop prefix tens of thousands — so counting them
+    /// equally either wastes the budget on tiny contexts or blows the
+    /// memory bound on huge ones. `SYMMERGE_CTX_EVICT=count` restores
+    /// count-based eviction (the ablation leg).
+    pub ctx_evict_by_clauses: bool,
+    /// Total live-clause budget for resident contexts under
+    /// clause-weighted eviction (`SYMMERGE_MAX_CTX_CLAUSES` overrides).
+    /// Eviction frees least-recently-used leaves until the tree is back
+    /// under budget; the budget may transiently overshoot by one
+    /// context's growth between queries.
+    pub max_context_clauses: u64,
     /// How many unsat cores / sat sets the counterexample cache retains
     /// (each, FIFO-evicted).
     pub cex_capacity: usize,
@@ -134,8 +160,24 @@ impl Default for SolverConfig {
             // until the sibling returns, and the `ctx_stats` harness
             // measured eviction churn at 16 costing ~25% wall on
             // `wc`@Random (fork-on@16 220 ms vs fork-on@64 166 ms at
-            // stdin 4, equal results).
+            // stdin 4, equal results). Since clause-weighted eviction,
+            // 64 is only the *floor*: the effective capacity tracks the
+            // engine's frontier hint and residency is bounded by
+            // `max_context_clauses`.
             max_contexts: 64,
+            ctx_evict_by_clauses: !matches!(
+                std::env::var("SYMMERGE_CTX_EVICT").as_deref().map(str::trim),
+                Ok("count")
+            ),
+            // Measured on `wc`@Random stdin 6 (`ctx_stats`): the whole
+            // live frontier's contexts fit in ~1M clauses (~tens of MB),
+            // which eliminates the forks≈evictions churn of the fixed
+            // 64-slot capacity while keeping residency bounded on
+            // deeper runs.
+            max_context_clauses: match std::env::var("SYMMERGE_MAX_CTX_CLAUSES") {
+                Ok(v) => v.trim().parse().expect("SYMMERGE_MAX_CTX_CLAUSES takes a clause count"),
+                Err(_) => 1_000_000,
+            },
             cex_capacity: 256,
         }
     }
@@ -179,6 +221,15 @@ pub struct SolverStats {
     pub ctx_forks: u64,
     /// Contexts evicted from the tree (subtree-LRU, leaves only).
     pub ctx_evictions: u64,
+    /// Live clauses currently resident across the context tree (a gauge:
+    /// the last observed total, not a cumulative count; the parallel
+    /// reduction sums it into a fleet-wide residency figure).
+    pub ctx_clauses_resident: u64,
+    /// Cumulative live clauses freed by context eviction — the
+    /// clause-weighted counterpart of `ctx_evictions`, and the real cost
+    /// signal: evicting one giant context and one empty root both count
+    /// one eviction, but differ by orders of magnitude here.
+    pub ctx_clauses_evicted: u64,
     /// Queries that reached the SAT solver.
     pub sat_calls: u64,
     /// Cumulative time spent inside `check`.
@@ -211,6 +262,8 @@ impl SolverStats {
         self.ctx_rebuilds += other.ctx_rebuilds;
         self.ctx_forks += other.ctx_forks;
         self.ctx_evictions += other.ctx_evictions;
+        self.ctx_clauses_resident += other.ctx_clauses_resident;
+        self.ctx_clauses_evicted += other.ctx_clauses_evicted;
         self.sat_calls += other.sat_calls;
         self.time += other.time;
         self.sat_time += other.sat_time;
@@ -338,6 +391,25 @@ struct ContextTree {
     free: Vec<usize>,
     /// Total resident contexts.
     resident: usize,
+    /// Total live clauses charged across resident contexts (the sum of
+    /// the per-node `charged` snapshots; refreshed after in-place
+    /// context growth by [`ContextTree::refresh_charge`]).
+    resident_clauses: u64,
+    /// Resident contexts that are *leaves* of the resident-context tree
+    /// (`live == 1`) — the eviction candidates, maintained O(1) on every
+    /// place/take transition so the fork decision's "can some other
+    /// leaf make room?" check needs no scan.
+    leaf_ctxs: usize,
+    /// Lazy min-heap of eviction candidates `(last_used stamp, node)`.
+    /// Entries are pushed when a leaf context is touched and when a
+    /// node *becomes* a leaf (its last resident descendant left); a
+    /// popped entry is discarded unless its stamp still matches the
+    /// node's context and the node is still a leaf. Replaces the
+    /// previous full-tree victim scan — with frontier-tracking
+    /// capacity the tree grows to thousands of nodes, and an O(nodes)
+    /// scan per eviction was itself the kind of cost this policy exists
+    /// to remove.
+    evict_heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
 }
 
 #[derive(Debug, Default)]
@@ -348,11 +420,20 @@ struct CtxNode {
     ctx: Option<SolverContext>,
     /// Resident contexts in this node's subtree (including this node's).
     live: u32,
+    /// Live clauses this node's context was last charged for.
+    charged: u64,
 }
 
 impl ContextTree {
     fn new() -> ContextTree {
-        ContextTree { nodes: vec![CtxNode::default()], free: Vec::new(), resident: 0 }
+        ContextTree {
+            nodes: vec![CtxNode::default()],
+            free: Vec::new(),
+            resident: 0,
+            resident_clauses: 0,
+            leaf_ctxs: 0,
+            evict_heap: std::collections::BinaryHeap::new(),
+        }
     }
 
     fn ctx(&self, node: usize) -> &SolverContext {
@@ -410,29 +491,96 @@ impl ContextTree {
         }
     }
 
-    /// Installs `ctx` at `node` and bumps the `live` counts up the spine.
+    /// Installs `ctx` at `node` and bumps the `live` counts up the spine
+    /// (keeping the leaf-context count in step: an ancestor context
+    /// whose subtree gains its first resident descendant stops being a
+    /// leaf).
     fn place(&mut self, node: usize, ctx: SolverContext) {
         debug_assert!(self.nodes[node].ctx.is_none(), "double placement");
+        let charged = ctx.clause_count() as u64;
         self.nodes[node].ctx = Some(ctx);
+        self.nodes[node].charged = charged;
         self.resident += 1;
+        self.resident_clauses += charged;
         let mut n = Some(node);
         while let Some(i) = n {
             self.nodes[i].live += 1;
+            if i != node && self.nodes[i].live == 2 && self.nodes[i].ctx.is_some() {
+                self.leaf_ctxs -= 1; // was a leaf, now an interior ancestor
+            }
             n = self.nodes[i].parent;
+        }
+        if self.nodes[node].live == 1 {
+            self.leaf_ctxs += 1; // heap entry follows with the touch
         }
     }
 
     /// Removes and returns the context at `node` (the node itself stays,
-    /// as routing, until pruned).
+    /// as routing, until pruned). Ancestors whose last resident
+    /// descendant left become leaves — they re-enter the eviction
+    /// candidate heap here, with their current stamp.
     fn take(&mut self, node: usize) -> SolverContext {
+        if self.nodes[node].live == 1 {
+            self.leaf_ctxs -= 1;
+        }
         let ctx = self.nodes[node].ctx.take().expect("take on empty node");
         self.resident -= 1;
+        self.resident_clauses -= self.nodes[node].charged;
+        self.nodes[node].charged = 0;
         let mut n = Some(node);
         while let Some(i) = n {
             self.nodes[i].live -= 1;
+            if i != node && self.nodes[i].live == 1 {
+                if let Some(c) = &self.nodes[i].ctx {
+                    self.leaf_ctxs += 1;
+                    self.evict_heap.push(std::cmp::Reverse((c.last_used, i)));
+                }
+            }
             n = self.nodes[i].parent;
         }
         ctx
+    }
+
+    /// Stamps the context at `node` as just used and, if it is an
+    /// eviction candidate (a leaf), records the fresh stamp in the
+    /// candidate heap (older entries for the node go stale and are
+    /// discarded lazily on pop).
+    ///
+    /// Every touch of a leaf pushes an entry but only evictions pop, so
+    /// a run that never crosses its budgets would grow the heap by one
+    /// entry per query; once the garbage outweighs the live candidates
+    /// ~8× the heap is rebuilt from the actual leaves (geometric, so
+    /// the amortized cost stays O(log n) per touch).
+    fn touch(&mut self, node: usize, clock: u64) {
+        self.ctx_mut(node).last_used = clock;
+        if self.nodes[node].live == 1 {
+            self.evict_heap.push(std::cmp::Reverse((clock, node)));
+            if self.evict_heap.len() > 64.max(self.leaf_ctxs.saturating_mul(8)) {
+                self.rebuild_evict_heap();
+            }
+        }
+    }
+
+    /// Rebuilds the candidate heap from the current leaf contexts,
+    /// dropping all stale entries.
+    fn rebuild_evict_heap(&mut self) {
+        self.evict_heap.clear();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.live == 1 {
+                if let Some(c) = &n.ctx {
+                    self.evict_heap.push(std::cmp::Reverse((c.last_used, i)));
+                }
+            }
+        }
+    }
+
+    /// Re-snapshots the clause charge of a resident context after it may
+    /// have grown in place (solving learns clauses, blasting an extra
+    /// adds circuitry).
+    fn refresh_charge(&mut self, node: usize) {
+        let now = self.ctx(node).clause_count() as u64;
+        let prev = std::mem::replace(&mut self.nodes[node].charged, now);
+        self.resident_clauses = self.resident_clauses - prev + now;
     }
 
     /// Frees empty, childless nodes from `node` upward (never the root).
@@ -450,32 +598,57 @@ impl ContextTree {
         }
     }
 
-    /// Whether eviction could free a slot without touching `keep`.
+    /// Whether eviction could free a slot without touching `keep` —
+    /// O(1) from the maintained leaf-context count (the previous
+    /// full-tree scan was per fork decision and showed up once the tree
+    /// started tracking the frontier).
     fn has_evictable(&self, keep: usize) -> bool {
-        self.nodes.iter().enumerate().any(|(i, n)| n.ctx.is_some() && n.live == 1 && i != keep)
+        let keep_is_leaf = self.nodes[keep].ctx.is_some() && self.nodes[keep].live == 1;
+        self.leaf_ctxs > usize::from(keep_is_leaf)
     }
 
     /// Evicts the least-recently-used context that has no resident
-    /// descendant (skipping `keep`). Returns whether a victim was found
-    /// — ancestors of resident contexts are never candidates, so a warm
-    /// divergence point siblings still extend survives arbitrarily much
-    /// leaf churn below and beside it.
-    fn evict_leaf(&mut self, keep: Option<usize>) -> bool {
-        let victim = self
-            .nodes
-            .iter()
-            .enumerate()
-            .filter(|&(i, n)| n.ctx.is_some() && n.live == 1 && Some(i) != keep)
-            .min_by_key(|&(i, n)| (n.ctx.as_ref().expect("filtered").last_used, i))
-            .map(|(i, _)| i);
-        match victim {
-            Some(i) => {
-                let _ = self.take(i);
-                self.prune_up(i);
-                true
+    /// descendant (skipping `keep`). Returns the live clauses the victim
+    /// freed, or `None` when no victim exists — ancestors of resident
+    /// contexts are never candidates, so a warm divergence point
+    /// siblings still extend survives arbitrarily much leaf churn below
+    /// and beside it.
+    ///
+    /// Amortized O(log n) over the lazy candidate heap: popped entries
+    /// whose stamp no longer matches the node's context, or whose node
+    /// is no longer a leaf, are discarded (every eligible leaf always
+    /// has one entry carrying its current stamp — pushed by
+    /// [`ContextTree::touch`] or by [`ContextTree::take`] when the node
+    /// became a leaf). Stamps are unique, so the pop order equals the
+    /// `(last_used, node)` order the old full scan minimized.
+    fn evict_leaf(&mut self, keep: Option<usize>) -> Option<u64> {
+        let mut stashed_keep = None;
+        let victim = loop {
+            let Some(std::cmp::Reverse((stamp, node))) = self.evict_heap.pop() else {
+                break None;
+            };
+            let n = &self.nodes[node];
+            let valid = n.live == 1 && n.ctx.as_ref().is_some_and(|c| c.last_used == stamp);
+            if !valid {
+                continue; // stale entry (touched since, moved, or now interior)
             }
-            None => false,
+            if Some(node) == keep {
+                // Protected this round only: remember the entry so the
+                // node stays a candidate for future evictions.
+                stashed_keep = Some(std::cmp::Reverse((stamp, node)));
+                continue;
+            }
+            break Some(node);
+        };
+        if let Some(entry) = stashed_keep {
+            self.evict_heap.push(entry);
         }
+        victim.map(|i| {
+            let freed = self.nodes[i].charged;
+            let _ = self.take(i);
+            self.prune_up(i);
+            freed
+        })
     }
 }
 
@@ -512,6 +685,10 @@ pub struct Solver {
     tree: ContextTree,
     ctx_clock: u64,
     last_affinity: u64,
+    /// The engine's last-reported live worklist size; under
+    /// clause-weighted eviction the context-count capacity tracks it
+    /// (see [`SolverConfig::max_contexts`]).
+    frontier_hint: usize,
     stats: SolverStats,
 }
 
@@ -527,7 +704,56 @@ impl Solver {
             tree: ContextTree::new(),
             ctx_clock: 0,
             last_affinity: 0,
+            frontier_hint: 0,
             stats: SolverStats::default(),
+        }
+    }
+
+    /// Reports the caller's live exploration-frontier size. Under
+    /// clause-weighted eviction the context tree's count capacity tracks
+    /// this hint (never dropping below [`SolverConfig::max_contexts`]),
+    /// so residency follows the frontier instead of churning forked
+    /// contexts through a fixed-size pool; the clause budget
+    /// ([`SolverConfig::max_context_clauses`]) remains the memory bound.
+    /// Cheap (a field store) — callers may invoke it every step.
+    pub fn set_frontier_hint(&mut self, live_states: usize) {
+        self.frontier_hint = live_states;
+    }
+
+    /// The effective context-count capacity (see
+    /// [`SolverConfig::max_contexts`]): under clause-weighted eviction
+    /// it tracks **twice** the frontier hint — the tree usefully holds
+    /// up to one leaf context per live state *plus* the divergence
+    /// ancestors their pending siblings will come back for, and the
+    /// clause budget (not the count) is the real memory bound.
+    fn ctx_capacity(&self) -> usize {
+        if self.config.ctx_evict_by_clauses {
+            self.config.max_contexts.max(self.frontier_hint.saturating_mul(2))
+        } else {
+            self.config.max_contexts
+        }
+    }
+
+    /// Whether the tree currently needs an eviction before another
+    /// context can be placed.
+    fn ctx_over_budget(&self) -> bool {
+        self.tree.resident >= self.ctx_capacity()
+            || (self.config.ctx_evict_by_clauses
+                && self.tree.resident_clauses > self.config.max_context_clauses)
+    }
+
+    /// Evicts LRU leaves (sparing `keep`) until the tree is back under
+    /// both the count capacity and the clause budget, or no evictable
+    /// leaf remains.
+    fn ctx_make_room(&mut self, keep: Option<usize>) {
+        while self.ctx_over_budget() {
+            match self.tree.evict_leaf(keep) {
+                Some(freed) => {
+                    self.stats.ctx_evictions += 1;
+                    self.stats.ctx_clauses_evicted += freed;
+                }
+                None => break,
+            }
         }
     }
 
@@ -797,6 +1023,22 @@ impl Solver {
     /// proves the query unsat; extending it would blast circuitry for
     /// nothing). Only a complete miss pays a rebuild.
     fn context_node_for(&mut self, pool: &ExprPool, prefix: &[ExprId]) -> usize {
+        self.context_node_for_inner(pool, prefix, None)
+    }
+
+    /// [`Solver::context_node_for`] with an optional set of prefixes to
+    /// treat as fork points regardless of sibling evidence — the batch
+    /// prewarm path passes the divergence points of the migrated-state
+    /// batch, which carry no `sat_extras` (the evidence stayed on the
+    /// donor worker) but are known upfront to serve multiple children.
+    /// (Keyed by prefix, not node index: mid-batch eviction can prune a
+    /// node and recycle its index for an unrelated path.)
+    fn context_node_for_inner(
+        &mut self,
+        pool: &ExprPool,
+        prefix: &[ExprId],
+        force_fork: Option<&std::collections::HashSet<&[ExprId]>>,
+    ) -> usize {
         self.ctx_clock += 1;
         let clock = self.ctx_clock;
         let (found, matched) = self.tree.lookup(prefix);
@@ -808,22 +1050,17 @@ impl Solver {
             Some(n) => {
                 self.stats.ctx_hits += 1;
                 let first = prefix[matched];
-                let sibling_evidence = self.tree.ctx(n).sat_extras.iter().any(|&e| e != first);
+                let sibling_evidence = self.tree.ctx(n).sat_extras.iter().any(|&e| e != first)
+                    || force_fork.is_some_and(|s| s.contains(&prefix[..matched]));
                 // Forking adds a net context; only do it when a slot is
                 // free or some *other* leaf can make room (evicting the
                 // ancestor we fork to preserve would defeat the point).
                 let fork = self.config.ctx_fork
                     && sibling_evidence
-                    && (self.tree.resident < self.config.max_contexts
-                        || self.tree.has_evictable(n));
+                    && (self.tree.resident < self.ctx_capacity() || self.tree.has_evictable(n));
                 let mut ctx = if fork {
                     self.stats.ctx_forks += 1;
-                    while self.tree.resident >= self.config.max_contexts {
-                        if !self.tree.evict_leaf(Some(n)) {
-                            break;
-                        }
-                        self.stats.ctx_evictions += 1;
-                    }
+                    self.ctx_make_room(Some(n));
                     let parent = self.tree.ctx_mut(n);
                     parent.sat_extras.retain(|&e| e != first);
                     parent.fork()
@@ -839,12 +1076,7 @@ impl Solver {
             }
             None => {
                 self.stats.ctx_rebuilds += 1;
-                while self.tree.resident >= self.config.max_contexts {
-                    if !self.tree.evict_leaf(None) {
-                        break;
-                    }
-                    self.stats.ctx_evictions += 1;
-                }
+                self.ctx_make_room(None);
                 let mut ctx = SolverContext::new();
                 for &c in prefix {
                     ctx.assert_constraint(pool, c);
@@ -854,8 +1086,9 @@ impl Solver {
                 target
             }
         };
-        self.tree.ctx_mut(node).last_used = clock;
+        self.tree.touch(node, clock);
         self.last_affinity = clock;
+        self.stats.ctx_clauses_resident = self.tree.resident_clauses;
         node
     }
 
@@ -918,7 +1151,115 @@ impl Solver {
         self.stats.sat_time += sat_start.elapsed();
         self.stats.conflicts += after.conflicts - before.conflicts;
         self.stats.decisions += after.decisions - before.decisions;
+        // Solving may have grown the context in place (blasted extras,
+        // learnt clauses): re-snapshot its clause charge so the
+        // residency gauge and the next eviction decision see it.
+        self.tree.refresh_charge(node);
+        self.stats.ctx_clauses_resident = self.tree.resident_clauses;
         result
+    }
+
+    /// How many leading conjuncts of `prefix` are covered by a resident
+    /// incremental context — the donor-side half of warm-context
+    /// migration: a migrating state ships this length as its
+    /// *warm-prefix seed* so the receiving worker knows which part of
+    /// the path condition was warm where the state came from. Returns 0
+    /// when the incremental path is disabled or nothing matches.
+    pub fn resident_prefix_len(&self, prefix: &[ExprId]) -> usize {
+        if !self.config.use_incremental || self.config.max_contexts == 0 {
+            return 0;
+        }
+        self.tree.lookup(prefix).1
+    }
+
+    /// Pre-warms the context tree for a **batch** of path-condition
+    /// prefixes (the warm-prefix seeds of one migration round's inbox),
+    /// returning one affinity token per input prefix (0 for prefixes
+    /// left cold).
+    ///
+    /// Only the batch's **divergence points** are materialized — the
+    /// pairwise common prefixes, computed from adjacent pairs after
+    /// sorting (which covers all pairs), built shallow-first so deeper
+    /// trunks fork off shallower ones. Each shared trunk is therefore
+    /// bit-blasted **once**; the per-lineage tails are *not* built
+    /// eagerly (an early eager design did, and wasted a context clone
+    /// per migrated state on work that was often evicted unused — the
+    /// lineages that actually run extend the trunk lazily at their
+    /// first query). To make that lazy extension fork rather than move,
+    /// each trunk context is seeded with the batch's child conjuncts as
+    /// **sibling evidence** (`sat_extras`): migrated states carry none
+    /// (it stayed on the donor worker), and without it the first
+    /// lineage's extension would move the trunk context away and strand
+    /// its siblings cold — the 871-fleet-rebuild pathology the
+    /// `parallel_scaling` harness measured.
+    ///
+    /// Costs are charged to the ordinary counters (`ctx_rebuilds` /
+    /// `ctx_forks` / `ctx_evictions`), and eviction policy applies as
+    /// usual. Deterministic: the build order depends only on the prefix
+    /// sets. With `ctx_fork` off the seeded evidence is moot — the
+    /// ablated solver never clones contexts — and prewarming degrades
+    /// to building the shared trunks that straight-line extension then
+    /// consumes.
+    pub fn prewarm_contexts(
+        &mut self,
+        pool: &ExprPool,
+        seeds: &[(&[ExprId], Option<ExprId>)],
+    ) -> Vec<u64> {
+        if !self.config.use_incremental || self.config.max_contexts == 0 {
+            return vec![0; seeds.len()];
+        }
+        let mut targets: Vec<&[ExprId]> =
+            seeds.iter().map(|&(p, _)| p).filter(|p| !p.is_empty()).collect();
+        targets.sort_unstable();
+        // Divergence points: the LCP of every adjacent sorted pair (this
+        // covers all pairwise LCPs of the batch), built shallow-first —
+        // ties broken lexicographically — so each trunk is resident
+        // before deeper trunks fork off it. Duplicates are kept in
+        // `targets` on purpose: two states carrying the *same* seed make
+        // that seed itself a shared trunk (its adjacent LCP is the full
+        // prefix), which dedup-first would silently discard.
+        let mut trunks: Vec<&[ExprId]> = targets
+            .windows(2)
+            .map(|w| {
+                let n = w[0].iter().zip(w[1]).take_while(|(a, b)| a == b).count();
+                &w[0][..n]
+            })
+            .filter(|p| !p.is_empty())
+            .collect();
+        trunks.sort_unstable_by(|a, b| a.len().cmp(&b.len()).then(a.cmp(b)));
+        trunks.dedup();
+        let trunk_set: std::collections::HashSet<&[ExprId]> = trunks.iter().copied().collect();
+        for p in &trunks {
+            self.context_node_for_inner(pool, p, Some(&trunk_set));
+        }
+        // Seed sibling evidence: each state's first conjunct beyond its
+        // deepest resident ancestor is a child that will come back — the
+        // seed's own next conjunct when the trunk covers part of it, or
+        // the state's next *pc* conjunct when the whole seed is resident
+        // (two states sharing one seed diverge only beyond it).
+        for &(p, next) in seeds {
+            if p.is_empty() {
+                continue;
+            }
+            if let (Some(n), matched) = self.tree.lookup(p) {
+                let edge = if matched < p.len() { Some(p[matched]) } else { next };
+                if let Some(edge) = edge {
+                    let ctx = self.tree.ctx_mut(n);
+                    if !ctx.sat_extras.contains(&edge) {
+                        ctx.sat_extras.push(edge);
+                    }
+                }
+            }
+        }
+        // Token per input prefix: the stamp of the deepest resident
+        // context on its path (partial warmth is still warmth).
+        seeds
+            .iter()
+            .map(|(p, _)| match self.tree.lookup(p) {
+                (Some(n), matched) if matched > 0 => self.tree.ctx(n).last_used,
+                _ => 0,
+            })
+            .collect()
     }
 
     /// Donates a dead context's asserted prefix to the counterexample
@@ -1449,6 +1790,172 @@ mod tests {
         // without a rebuild.
         assert!(s.check_assuming(&p, &[a, not_c], t).is_sat());
         assert_eq!(s.stats().ctx_rebuilds, rebuilds, "protected ancestor must still be resident");
+    }
+
+    #[test]
+    fn clause_pressure_never_evicts_an_ancestor_from_under_its_descendant() {
+        // The size-weighted policy keeps the subtree-LRU invariant: when
+        // the clause budget forces eviction, only leaves of the
+        // resident-context tree are candidates — the shared divergence
+        // ancestor survives even though evicting it would free the most
+        // clauses at once.
+        let mut p = pool();
+        let x = p.input("x", 8);
+        let y = p.input("y", 8);
+        let hundred = p.bv_const(100, 8);
+        let fifty = p.bv_const(50, 8);
+        let ten = p.bv_const(10, 8);
+        let a = p.ult(x, hundred);
+        let c = p.ult(x, fifty);
+        let not_c = p.uge(x, fifty);
+        let b = p.ult(y, ten);
+        let t = p.true_();
+        // Probe: how many clauses does the [a] context alone hold after
+        // answering both branch polarities (the extras' circuitry is
+        // blasted into the context too)?
+        let probe_cfg = SolverConfig {
+            use_incremental: true,
+            ctx_fork: true,
+            ctx_evict_by_clauses: true,
+            ..bare()
+        };
+        let mut probe = Solver::new(probe_cfg.clone());
+        assert!(probe.check_assuming(&p, &[a], c).is_sat());
+        assert!(probe.check_assuming(&p, &[a], not_c).is_sat());
+        let a_clauses = probe.stats().ctx_clauses_resident;
+        assert!(a_clauses > 0, "the [a] context must hold clauses");
+        // Budget fits [a] alone: anything beyond it is clause pressure.
+        let mut s = Solver::new(SolverConfig { max_context_clauses: a_clauses, ..probe_cfg });
+        assert!(s.check_assuming(&p, &[a], c).is_sat());
+        assert!(s.check_assuming(&p, &[a], not_c).is_sat());
+        // Child 1 forks: [a] (ancestor) + [a, c] (leaf) resident, over
+        // budget — tolerated until the next placement needs room.
+        assert!(s.check_assuming(&p, &[a, c], t).is_sat());
+        assert_eq!(s.stats().ctx_forks, 1);
+        assert!(s.stats().ctx_clauses_resident > a_clauses, "over budget by the fork");
+        // An unrelated rebuild must make room: the only candidate is the
+        // leaf [a, c] — the ancestor is protected while it has a
+        // resident descendant, and once the leaf is gone the tree is
+        // back under budget, so exactly one eviction happens.
+        assert!(s.check_assuming(&p, &[b], t).is_sat());
+        assert_eq!(s.stats().ctx_evictions, 1, "leaf only; the ancestor must survive");
+        assert!(s.stats().ctx_clauses_evicted > 0, "evictions are clause-charged");
+        let rebuilds = s.stats().ctx_rebuilds;
+        // The divergence point is still warm.
+        assert!(s.check_assuming(&p, &[a, not_c], t).is_sat());
+        assert_eq!(s.stats().ctx_rebuilds, rebuilds, "protected ancestor must still be resident");
+    }
+
+    #[test]
+    fn adaptive_capacity_tracks_the_frontier_hint() {
+        // Three unrelated prefixes against a count floor of 2: the fixed
+        // count policy churns, the clause-weighted policy lets the
+        // capacity follow the reported frontier and keeps all three.
+        let mut p = pool();
+        let syms: Vec<_> = (0..3).map(|i| p.input(&format!("v{i}"), 8)).collect();
+        let ten = p.bv_const(10, 8);
+        let prefixes: Vec<ExprId> = syms.iter().map(|&v| p.ult(v, ten)).collect();
+        let t = p.true_();
+        let run = |by_clauses: bool| {
+            let mut s = Solver::new(SolverConfig {
+                use_incremental: true,
+                max_contexts: 2,
+                ctx_evict_by_clauses: by_clauses,
+                ..bare()
+            });
+            s.set_frontier_hint(10);
+            for &pre in &prefixes {
+                assert!(s.check_assuming(&p, &[pre], t).is_sat());
+            }
+            // Revisit the first prefix: resident iff nothing churned.
+            assert!(s.check_assuming(&p, &[prefixes[0]], t).is_sat());
+            *s.stats()
+        };
+        let adaptive = run(true);
+        let fixed = run(false);
+        assert_eq!(adaptive.ctx_evictions, 0, "capacity must follow the frontier hint");
+        assert_eq!(adaptive.ctx_rebuilds, 3, "each prefix built once, all stay resident");
+        assert!(fixed.ctx_evictions >= 1, "the fixed-count ablation must still churn");
+        assert!(fixed.ctx_rebuilds > adaptive.ctx_rebuilds, "churn re-blasts the first prefix");
+    }
+
+    #[test]
+    fn prewarm_batch_blasts_the_shared_prefix_once() {
+        // Two migrated lineages share [pre] and diverge: without sibling
+        // evidence (it stayed on the donor) each would rebuild its full
+        // prefix cold at first query. The batch prewarm materializes the
+        // divergence point once and forks it for both.
+        let mut p = pool();
+        let x = p.input("x", 8);
+        let y = p.input("y", 8);
+        let hundred = p.bv_const(100, 8);
+        let fifty = p.bv_const(50, 8);
+        let ten = p.bv_const(10, 8);
+        let pre = p.ult(x, hundred);
+        let c = p.ult(x, fifty);
+        let not_c = p.uge(x, fifty);
+        let d = p.ult(y, ten);
+        let mut s = Solver::new(SolverConfig { use_incremental: true, ctx_fork: true, ..bare() });
+        let p1 = [pre, c];
+        let p2 = [pre, not_c];
+        let tokens = s.prewarm_contexts(&p, &[(&p1, None), (&p2, None)]);
+        assert_eq!(tokens.len(), 2);
+        assert!(tokens.iter().all(|&t| t > 0), "the shared trunk warms both lineages");
+        assert_eq!(s.stats().ctx_rebuilds, 1, "the shared [pre] trunk is blasted exactly once");
+        assert_eq!(s.stats().ctx_forks, 0, "tails are extended lazily, not built eagerly");
+        // Prewarming the same batch again is free: the trunk exact-hits.
+        let again = s.prewarm_contexts(&p, &[(&p1, None), (&p2, None)]);
+        assert!(again.iter().all(|&t| t > 0));
+        assert_eq!(s.stats().ctx_rebuilds, 1);
+        // First queries: lineage 1 must FORK the trunk (the seeded
+        // sibling evidence says lineage 2 will come back for it), and
+        // lineage 2 then consumes the still-warm trunk — no rebuild.
+        assert!(s.check_assuming(&p, &p1, d).is_sat());
+        assert_eq!(s.stats().ctx_forks, 1, "seeded evidence must make the first tail fork");
+        assert!(s.check_assuming(&p, &p2, d).is_sat());
+        assert_eq!(s.stats().ctx_rebuilds, 1, "no lineage re-blasts the shared prefix");
+    }
+
+    #[test]
+    fn prewarm_is_a_no_op_when_incremental_is_off() {
+        let mut p = pool();
+        let x = p.input("x", 8);
+        let ten = p.bv_const(10, 8);
+        let pre = p.ult(x, ten);
+        let mut s = Solver::new(bare()); // use_incremental: false
+        let tokens = s.prewarm_contexts(&p, &[(&[pre], None)]);
+        assert_eq!(tokens, vec![0]);
+        assert_eq!(s.stats().ctx_rebuilds, 0);
+    }
+
+    #[test]
+    fn prewarm_duplicate_seeds_still_form_a_shared_trunk() {
+        // Two migrated siblings whose donor only had the shared trunk
+        // resident carry *identical* seeds. The trunk must still be
+        // built (a seed occurring twice is itself a divergence point)
+        // and seeded with each state's next pc conjunct as evidence, so
+        // the first lineage forks instead of moving the trunk away.
+        let mut p = pool();
+        let x = p.input("x", 8);
+        let y = p.input("y", 8);
+        let hundred = p.bv_const(100, 8);
+        let fifty = p.bv_const(50, 8);
+        let ten = p.bv_const(10, 8);
+        let pre = p.ult(x, hundred);
+        let c = p.ult(x, fifty);
+        let not_c = p.uge(x, fifty);
+        let d = p.ult(y, ten);
+        let mut s = Solver::new(SolverConfig { use_incremental: true, ctx_fork: true, ..bare() });
+        let seed = [pre];
+        let tokens = s.prewarm_contexts(&p, &[(&seed, Some(c)), (&seed, Some(not_c))]);
+        assert!(tokens.iter().all(|&t| t > 0), "the duplicated seed must materialize");
+        assert_eq!(s.stats().ctx_rebuilds, 1, "one trunk build for both seeds");
+        // Lineage 1 extends the trunk: the next-conjunct evidence must
+        // make it fork, leaving the trunk warm for lineage 2.
+        assert!(s.check_assuming(&p, &[pre, c], d).is_sat());
+        assert_eq!(s.stats().ctx_forks, 1, "evidence from the duplicate seed forces a fork");
+        assert!(s.check_assuming(&p, &[pre, not_c], d).is_sat());
+        assert_eq!(s.stats().ctx_rebuilds, 1, "lineage 2 must find the trunk warm");
     }
 
     #[test]
