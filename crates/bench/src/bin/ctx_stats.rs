@@ -46,13 +46,14 @@ fn main() {
         "ctx_stats",
         "tool,symbolic_bytes,strategy,tests,sat_calls,ctx_hits,ctx_rebuilds,ctx_forks,\
          ctx_evictions,clauses_resident,clauses_evicted,sched_picks,sched_heap_repairs,\
-         solver_ms,wall_ms",
+         solver_ms,sat_ms,cache_ms,wall_ms",
     );
     println!("# ctx_stats: solver-context pool behaviour (exhaustive runs, tests on)");
     println!("# clauses res/evict: clause-weighted residency (final gauge / cumulative evicted)");
     println!("# sched p/r: ranked scheduler picks / heap repairs (0 for O(1)-pick strategies)");
+    println!("# solver time splits as sat + cache (tier bookkeeping) + routing remainder");
     println!(
-        "{:6} {:>6} {:>10} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>17} {:>13} {:>10} {:>10}",
+        "{:6} {:>6} {:>10} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>17} {:>13} {:>10} {:>10} {:>10} {:>10}",
         "tool",
         "bytes",
         "strategy",
@@ -65,6 +66,8 @@ fn main() {
         "clauses res/evict",
         "sched p/r",
         "solver",
+        "sat",
+        "cache",
         "wall"
     );
     for (tool, cfg, strategy) in sweeps {
@@ -93,7 +96,7 @@ fn main() {
         let sched = format!("{}/{}", report.sched_picks, report.sched_heap_repairs);
         println!(
             "{tool:6} {:>6} {strat:>10} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {clauses:>17} \
-             {sched:>13} {:>10.2?} {:>10.2?}",
+             {sched:>13} {:>10.2?} {:>10.2?} {:>10.2?} {:>10.2?}",
             cfg.symbolic_bytes(),
             report.tests.len(),
             s.sat_calls,
@@ -102,10 +105,12 @@ fn main() {
             s.ctx_forks,
             s.ctx_evictions,
             s.time,
+            s.sat_time,
+            s.cache_time,
             report.wall_time,
         );
         csv.row(&format!(
-            "{tool},{},{strat},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3}",
+            "{tool},{},{strat},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.3}",
             cfg.symbolic_bytes(),
             report.tests.len(),
             s.sat_calls,
@@ -118,6 +123,8 @@ fn main() {
             report.sched_picks,
             report.sched_heap_repairs,
             s.time.as_secs_f64() * 1e3,
+            s.sat_time.as_secs_f64() * 1e3,
+            s.cache_time.as_secs_f64() * 1e3,
             report.wall_time.as_secs_f64() * 1e3,
         ));
     }

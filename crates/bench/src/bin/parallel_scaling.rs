@@ -42,17 +42,18 @@ fn main() {
     let mut csv = CsvOut::create(
         "parallel_scaling",
         "tool,symbolic_bytes,jobs,wall_ms,speedup,steps,completed_paths,sat_calls,sat_time_ms,\
-         ctx_hits,ctx_rebuilds,ctx_forks,ctx_evictions,clauses_resident,clauses_evicted,\
-         sched_picks,sched_heap_repairs",
+         cache_time_ms,ctx_hits,ctx_rebuilds,ctx_forks,ctx_evictions,clauses_resident,\
+         clauses_evicted,sched_picks,sched_heap_repairs",
     );
     println!("# parallel_scaling: exhaustive MergeMode::None exploration, sequential vs sharded");
     println!(
         "# sat_calls/sat_time: fleet totals — inflation vs jobs=1 is cache loss from sharding"
     );
+    println!("# cache_time: fleet cache-tier bookkeeping time (lookups + result recording)");
     println!("# ctx columns: fleet context-tree totals (hits/rebuilds/forks/evictions)");
     println!("# sched p/r: fleet ranked picks / heap repairs — the former O(n)-scan cost driver");
     println!(
-        "{:10} {:>6} {:>5} {:>12} {:>9} {:>10} {:>10} {:>10} {:>10} {:>22} {:>17}",
+        "{:10} {:>6} {:>5} {:>12} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10} {:>22} {:>17}",
         "tool",
         "bytes",
         "jobs",
@@ -62,6 +63,7 @@ fn main() {
         "paths",
         "sat_calls",
         "sat_time",
+        "cache_time",
         "ctx h/r/f/e",
         "sched p/r"
     );
@@ -109,17 +111,18 @@ fn main() {
                 format!("{}/{}/{}/{}", s.ctx_hits, s.ctx_rebuilds, s.ctx_forks, s.ctx_evictions);
             let sched = format!("{}/{}", report.sched_picks, report.sched_heap_repairs);
             println!(
-                "{tool:10} {:>6} {jobs:>5} {:>12.2?} {:>8.2}x {:>10} {:>10} {:>10} {:>10.2?} {ctx:>22} {sched:>17}",
+                "{tool:10} {:>6} {jobs:>5} {:>12.2?} {:>8.2}x {:>10} {:>10} {:>10} {:>10.2?} {:>10.2?} {ctx:>22} {sched:>17}",
                 cfg.symbolic_bytes(),
                 wall,
                 speedup,
                 report.steps,
                 report.completed_paths,
                 s.sat_calls,
-                s.sat_time
+                s.sat_time,
+                s.cache_time
             );
             csv.row(&format!(
-                "{tool},{},{jobs},{:.3},{:.3},{},{},{},{:.3},{},{},{},{},{},{},{},{}",
+                "{tool},{},{jobs},{:.3},{:.3},{},{},{},{:.3},{:.3},{},{},{},{},{},{},{},{}",
                 cfg.symbolic_bytes(),
                 wall.as_secs_f64() * 1e3,
                 speedup,
@@ -127,6 +130,7 @@ fn main() {
                 report.completed_paths,
                 s.sat_calls,
                 s.sat_time.as_secs_f64() * 1e3,
+                s.cache_time.as_secs_f64() * 1e3,
                 s.ctx_hits,
                 s.ctx_rebuilds,
                 s.ctx_forks,

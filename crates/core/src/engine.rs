@@ -269,7 +269,10 @@ pub struct RunReport {
     pub ff_merged: u64,
     /// DSM scheduling counters.
     pub dsm: DsmStats,
-    /// Solver counters.
+    /// Solver counters. `solver.time` splits into `sat_time` (SAT search
+    /// proper) and `cache_time` (cache-tier bookkeeping) plus a routing
+    /// remainder — use those, not `time` alone, when attributing wall
+    /// clock between solving and caching.
     pub solver: SolverStats,
     /// Wall-clock duration of the run.
     pub wall_time: Duration,

@@ -467,7 +467,7 @@ impl ParallelEngine {
             if std::env::var_os("SYMMERGE_PAR_DEBUG").is_some() {
                 for (w, part) in parts.iter().enumerate() {
                     eprintln!(
-                        "# shard {w}: steps={} paths={} queries={} sat_calls={} cache={} reuse={} cex={}/{} ctx={}/{}/{}/{} solver_time={:?} sat_time={:?} wall={:?}",
+                        "# shard {w}: steps={} paths={} queries={} sat_calls={} cache={} reuse={} cex={}/{} ctx={}/{}/{}/{} solver_time={:?} sat_time={:?} cache_time={:?} wall={:?}",
                         part.report.steps,
                         part.report.completed_paths,
                         part.report.solver.queries,
@@ -482,6 +482,7 @@ impl ParallelEngine {
                         part.report.solver.ctx_evictions,
                         part.report.solver.time,
                         part.report.solver.sat_time,
+                        part.report.solver.cache_time,
                         part.report.wall_time,
                     );
                 }

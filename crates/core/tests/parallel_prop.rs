@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use std::time::Duration;
 use symmerge_core::{
     reduce_reports, Engine, EngineConfig, MergeMode, ParallelConfig, ParallelEngine, QceConfig,
-    RunReport, ShardOutput, StrategyKind, TestCase, TestKind,
+    RunReport, ShardOutput, SolverStats, StrategyKind, TestCase, TestKind,
 };
 use symmerge_ir::minic;
 
@@ -28,6 +28,23 @@ fn arb_test() -> impl Strategy<Value = TestCase> {
         })
 }
 
+/// Arbitrary per-shard solver stats whose timing split upholds the
+/// `time >= sat_time + cache_time` contract — `sat_time` and
+/// `cache_time` are disjoint segments of `time`, with routing as the
+/// slack — so the reduction can be checked to preserve it.
+fn arb_solver_stats() -> impl Strategy<Value = SolverStats> {
+    (0u64..200, 0u64..500, 0u64..500, 0u64..500).prop_map(
+        |(queries, sat_us, cache_us, slack_us)| SolverStats {
+            queries,
+            sat_calls: queries / 2,
+            sat_time: Duration::from_micros(sat_us),
+            cache_time: Duration::from_micros(cache_us),
+            time: Duration::from_micros(sat_us + cache_us + slack_us),
+            ..Default::default()
+        },
+    )
+}
+
 /// An arbitrary shard output with integer-valued multiplicities (what
 /// real runs produce: sums of per-path multiplicities, exact in `f64`).
 fn arb_shard_output() -> impl Strategy<Value = ShardOutput> {
@@ -37,35 +54,38 @@ fn arb_shard_output() -> impl Strategy<Value = ShardOutput> {
         proptest::collection::vec(arb_test(), 0..5),
         proptest::collection::vec((0u32..3, 0u32..20), 0..6),
         (0u64..1000, 0u64..1000, 0u64..20, 0usize..30),
+        arb_solver_stats(),
     )
-        .prop_map(|(completed, mult, tests, covered, (picks, steps, merges, max_worklist))| {
-            ShardOutput {
-                report: RunReport {
-                    completed_paths: completed,
-                    completed_multiplicity: f64::from(mult),
-                    pruned_by_assume: completed / 3,
-                    assert_failures: Vec::new(),
-                    tests,
-                    tests_dropped_unknown: completed / 7,
-                    picks,
-                    sched_picks: picks / 2,
-                    sched_heap_repairs: picks / 3,
-                    steps,
-                    merges,
-                    merge_rejects: merges * 2,
-                    max_worklist,
-                    leftover_states: (steps % 5) as usize,
-                    covered_blocks: 0,
-                    total_blocks: 60,
-                    ff_merged: merges / 2,
-                    dsm: Default::default(),
-                    solver: Default::default(),
-                    wall_time: Duration::from_micros(steps),
-                    hit_budget: steps % 2 == 0,
-                },
-                covered,
-            }
-        })
+        .prop_map(
+            |(completed, mult, tests, covered, (picks, steps, merges, max_worklist), solver)| {
+                ShardOutput {
+                    report: RunReport {
+                        completed_paths: completed,
+                        completed_multiplicity: f64::from(mult),
+                        pruned_by_assume: completed / 3,
+                        assert_failures: Vec::new(),
+                        tests,
+                        tests_dropped_unknown: completed / 7,
+                        picks,
+                        sched_picks: picks / 2,
+                        sched_heap_repairs: picks / 3,
+                        steps,
+                        merges,
+                        merge_rejects: merges * 2,
+                        max_worklist,
+                        leftover_states: (steps % 5) as usize,
+                        covered_blocks: 0,
+                        total_blocks: 60,
+                        ff_merged: merges / 2,
+                        dsm: Default::default(),
+                        solver,
+                        wall_time: Duration::from_micros(steps),
+                        hit_budget: steps % 2 == 0,
+                    },
+                    covered,
+                }
+            },
+        )
 }
 
 fn observable(r: &RunReport) -> impl PartialEq + std::fmt::Debug {
@@ -90,7 +110,23 @@ fn observable(r: &RunReport) -> impl PartialEq + std::fmt::Debug {
             r.ff_merged,
             r.hit_budget,
         ),
+        // Counters only: the timing fields of two real runs legitimately
+        // differ, and their reduction is pinned by `assert_timing_split`.
+        (r.solver.queries, r.solver.sat_calls),
     )
+}
+
+/// Absorbing per-shard stats into a fleet total must preserve the
+/// per-shard timing contract: sums of `sat_time` and `cache_time` stay
+/// within the summed `time`.
+fn assert_timing_split(r: &RunReport) {
+    assert!(
+        r.solver.time >= r.solver.sat_time + r.solver.cache_time,
+        "reduced stats violate time >= sat_time + cache_time: {:?} < {:?} + {:?}",
+        r.solver.time,
+        r.solver.sat_time,
+        r.solver.cache_time
+    );
 }
 
 proptest! {
@@ -107,12 +143,17 @@ proptest! {
         rotation in 0usize..6,
     ) {
         let reference = reduce_reports(&parts, 60);
+        assert_timing_split(&reference);
         let k = rotation % parts.len();
         let mut rotated: Vec<ShardOutput> = parts[k..].to_vec();
         rotated.extend_from_slice(&parts[..k]);
         let from_rotated = reduce_reports(&rotated, 60);
         prop_assert_eq!(observable(&reference), observable(&from_rotated));
         prop_assert_eq!(reference.wall_time, from_rotated.wall_time);
+        // Synthetic (deterministic) timing fields reduce order-invariantly.
+        prop_assert_eq!(reference.solver.time, from_rotated.solver.time);
+        prop_assert_eq!(reference.solver.sat_time, from_rotated.solver.sat_time);
+        prop_assert_eq!(reference.solver.cache_time, from_rotated.solver.cache_time);
         let mut reversed = parts.clone();
         reversed.reverse();
         let from_reversed = reduce_reports(&reversed, 60);
@@ -126,6 +167,7 @@ proptest! {
     fn reduction_is_reproducible(parts in proptest::collection::vec(arb_shard_output(), 1..6)) {
         let a = reduce_reports(&parts, 60);
         let b = reduce_reports(&parts, 60);
+        assert_timing_split(&a);
         prop_assert_eq!(observable(&a), observable(&b));
     }
 }

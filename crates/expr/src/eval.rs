@@ -56,6 +56,31 @@ impl ExprPool {
     /// ```
     pub fn eval(&self, root: ExprId, env: &dyn Fn(SymbolId) -> u64) -> Value {
         let mut memo: HashMap<ExprId, Value> = HashMap::new();
+        self.eval_memo(&mut memo, root, env)
+    }
+
+    /// Whether every root in `roots` evaluates to `true` under `env`.
+    ///
+    /// Equivalent to `roots.iter().all(|&r| self.eval_bool(r, env))` but
+    /// shares one memo table across the whole conjunction, so subgraphs
+    /// shared between conjuncts (ubiquitous in path conditions, where
+    /// every conjunct reads the same inputs) are evaluated once instead
+    /// of once per conjunct. Short-circuits on the first false root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any evaluated root is bitvector-sorted.
+    pub fn all_true(&self, roots: &[ExprId], env: &dyn Fn(SymbolId) -> u64) -> bool {
+        let mut memo: HashMap<ExprId, Value> = HashMap::new();
+        roots.iter().all(|&r| self.eval_memo(&mut memo, r, env).as_bool())
+    }
+
+    fn eval_memo(
+        &self,
+        memo: &mut HashMap<ExprId, Value>,
+        root: ExprId,
+        env: &dyn Fn(SymbolId) -> u64,
+    ) -> Value {
         let mut stack = vec![(root, false)];
         while let Some((id, expanded)) = stack.pop() {
             if memo.contains_key(&id) {
@@ -164,6 +189,22 @@ mod tests {
         let x = p.input("x", 8);
         // env returns an over-wide value; it must be masked to 8 bits
         assert_eq!(p.eval(x, &|_| 0x1ff), Value::Bv(0xff));
+    }
+
+    #[test]
+    fn all_true_matches_per_root_eval_and_short_circuits() {
+        let mut p = ExprPool::new(8);
+        let x = p.input("x", 8);
+        let ten = p.bv_const(10, 8);
+        let five = p.bv_const(5, 8);
+        let c1 = p.ult(x, ten);
+        let c2 = p.ugt(x, five); // shares x with c1
+        let c3 = p.eq(x, five);
+        let env7 = |_: SymbolId| 7u64;
+        assert!(p.all_true(&[c1, c2], &env7));
+        assert!(!p.all_true(&[c1, c3], &env7));
+        assert!(!p.all_true(&[c3, c1], &env7), "order must not matter for the verdict");
+        assert!(p.all_true(&[], &env7), "empty conjunction is vacuously true");
     }
 
     #[test]

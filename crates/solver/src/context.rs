@@ -25,6 +25,7 @@ use crate::bitblast::BitBlaster;
 use crate::cnf::Lit;
 use crate::model::Model;
 use crate::sat::{SatSolver, SatStats, SolveOutcome};
+use crate::solve::elem_hash;
 use symmerge_expr::{ExprId, ExprPool, SymbolId};
 
 /// An incremental solving context for one path-condition prefix.
@@ -34,6 +35,20 @@ pub struct SolverContext {
     sat: SatSolver,
     clauses_fed: usize,
     prefix: Vec<ExprId>,
+    /// The *normalized* view of `prefix` — sorted, deduplicated, with
+    /// constant-`true` conjuncts dropped — maintained incrementally as
+    /// the prefix grows. A query on this context's exact prefix needs
+    /// the normalized set as its cache key; carrying it here turns the
+    /// per-query re-sort/re-hash of the full set into a binary insert
+    /// per *prefix extension* plus an O(1) hash update (the set hash is
+    /// a commutative per-element sum, see [`crate::solve::elem_hash`]).
+    pub(crate) norm_set: Vec<ExprId>,
+    /// Commutative hash of `norm_set` (sum of per-element hashes).
+    pub(crate) norm_hash: u64,
+    /// Whether a constant-`false` conjunct was ever asserted: the query
+    /// normalizer short-circuits such sets to unsat without counting a
+    /// query, and the carried-set fast path must mirror that.
+    pub(crate) norm_false: bool,
     /// LRU stamp managed by the owning [`Solver`](crate::Solver).
     pub(crate) last_used: u64,
     /// Extras answered sat (or unknown) *at the current prefix* since it
@@ -63,6 +78,9 @@ impl SolverContext {
             sat,
             clauses_fed,
             prefix: Vec::new(),
+            norm_set: Vec::new(),
+            norm_hash: 0,
+            norm_false: false,
             last_used: 0,
             sat_extras: Vec::new(),
         }
@@ -81,6 +99,9 @@ impl SolverContext {
             sat: self.sat.fork(),
             clauses_fed: self.clauses_fed,
             prefix: self.prefix.clone(),
+            norm_set: self.norm_set.clone(),
+            norm_hash: self.norm_hash,
+            norm_false: self.norm_false,
             last_used: 0,
             sat_extras: Vec::new(),
         }
@@ -121,6 +142,17 @@ impl SolverContext {
         self.sync();
         self.sat.add_clause(&[lit]);
         self.prefix.push(c);
+        // Keep the carried normalized view in step: O(log n) search plus
+        // an ordered insert per extension, instead of a full re-sort of
+        // the set on every later query.
+        if pool.is_false(c) {
+            self.norm_false = true;
+        } else if !pool.is_true(c) {
+            if let Err(i) = self.norm_set.binary_search(&c) {
+                self.norm_set.insert(i, c);
+                self.norm_hash = self.norm_hash.wrapping_add(elem_hash(c));
+            }
+        }
         self.sat_extras.clear();
     }
 

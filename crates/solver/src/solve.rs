@@ -10,7 +10,12 @@
 //!    new query (the cheap half of KLEE's counterexample cache);
 //! 3. **counterexample cache** — subset/superset reasoning: a stored
 //!    unsat set that is a *subset* of the query proves the query unsat; a
-//!    stored sat set that is a *superset* of the query donates its model;
+//!    stored sat set that is a *superset* of the query donates its model.
+//!    Subset scans are prefiltered by 64-bit membership signatures
+//!    ([`SolverConfig::cex_prefilter`]), and tiers 2–3 are skipped
+//!    entirely for small context-served queries, where the warm context
+//!    below is cheaper than the tiers themselves
+//!    ([`SolverConfig::tier_gate`]);
 //! 4. **incremental contexts** — for prefix-shaped queries
 //!    ([`Solver::check_assuming`]), a [`SolverContext`] from the
 //!    **fork-aware context tree** keeps the path-condition prefix
@@ -31,7 +36,6 @@ use crate::context::{minimize_model, SolverContext};
 use crate::model::Model;
 use crate::sat::{SatSolver, SolveOutcome};
 use std::collections::{HashMap, VecDeque};
-use std::hash::{Hash, Hasher};
 use std::time::{Duration, Instant};
 use symmerge_expr::{ExprId, ExprPool, SymbolId};
 
@@ -62,9 +66,10 @@ impl SatResult {
 ///
 /// [`SolverConfig::default`] reads the `SYMMERGE_SOLVER_*` environment
 /// variables (`CACHE`, `MODEL_REUSE`, `INDEPENDENCE`, `CEX_CACHE`,
-/// `INCREMENTAL`, `CTX_FORK`; value `0`/`false`/`off` disables), which is
-/// how the CI feature-matrix job runs the whole test suite under each
-/// ablation.
+/// `CEX_PREFILTER`, `INCREMENTAL`, `CTX_FORK`; value `0`/`false`/`off`
+/// disables — plus `TIER_GATE`, a conjunct count where `0` disables the
+/// gate), which is how the CI feature-matrix job runs the whole test
+/// suite under each ablation.
 /// Tests that assert the behaviour of a specific tier pin that field
 /// explicitly.
 #[derive(Debug, Clone)]
@@ -82,6 +87,37 @@ pub struct SolverConfig {
     /// cores answer superset queries, stored sat sets answer subset
     /// queries.
     pub use_cex_cache: bool,
+    /// Prefilter counterexample-cache subset scans with per-set 64-bit
+    /// membership signatures (the OR of each element's hash mapped to
+    /// one of 64 bits). `a ⊆ b` requires `sig(a) & !sig(b) == 0`, so one
+    /// AND/compare rejects most stored sets before the O(n·m) linear
+    /// merge runs — the scan over up to [`SolverConfig::cex_capacity`]
+    /// stored sets was a per-query cost charged even when the cache
+    /// never hit. `SYMMERGE_SOLVER_CEX_PREFILTER=0` restores the
+    /// unfiltered scans (the ablation leg; results are identical, only
+    /// the scan cost moves).
+    pub cex_prefilter: bool,
+    /// Query-size gate for the model-reuse and counterexample tiers on
+    /// **warm context-served** queries: a prefix-shaped query whose
+    /// normalized set has at most this many conjuncts, and whose
+    /// prefix a resident context covers up to at most one uncovered
+    /// conjunct, skips the model re-evaluation and cex subset scans —
+    /// for those queries a context hit (one incremental solve under
+    /// assumptions on an already-blasted prefix) is cheaper than the
+    /// tiers that were supposed to short-circuit it. The coverage
+    /// condition matters: the context's cost scales with the tail it
+    /// still has to blast — tail ≤ 1 is the steady-state branch query,
+    /// while a longer tail (a migrated state on a sharded worker whose
+    /// context holds only the trunk) pays a real blast-and-solve,
+    /// which the tiers *do* profitably shield (measured in
+    /// `parallel_scaling`: gating all context routes at `wc`@6
+    /// jobs = 2 doubled the wall). The exact-match cache (tier 1)
+    /// stays on for every query, and re-blast-path queries are never
+    /// gated (there a tier hit still saves a full CNF build). `0`
+    /// disables the gate (`SYMMERGE_SOLVER_TIER_GATE` overrides; the
+    /// ablation leg). Default measured on `wc`@6 Random (`tier_sweep`):
+    /// see [`SolverConfig::default`].
+    pub tier_gate: usize,
     /// Answer prefix-shaped queries ([`Solver::check_assuming`]) on
     /// persistent incremental [`SolverContext`]s instead of re-blasting.
     pub use_incremental: bool,
@@ -149,6 +185,19 @@ impl Default for SolverConfig {
             use_model_reuse: env_flag("SYMMERGE_SOLVER_MODEL_REUSE", true),
             use_independence: env_flag("SYMMERGE_SOLVER_INDEPENDENCE", true),
             use_cex_cache: env_flag("SYMMERGE_SOLVER_CEX_CACHE", true),
+            cex_prefilter: env_flag("SYMMERGE_SOLVER_CEX_PREFILTER", true),
+            // Swept on `wc`@6 Random (`ctx_stats`): query sizes there
+            // concentrate at 20–36 conjuncts and a context hit beats
+            // the skipped tiers across the whole range, so the default
+            // sits above the observed sizes; larger values were
+            // indistinguishable (the tiers only start winning on
+            // re-blast queries, which are never gated).
+            tier_gate: match std::env::var("SYMMERGE_SOLVER_TIER_GATE") {
+                Ok(v) => {
+                    v.trim().parse().expect("SYMMERGE_SOLVER_TIER_GATE takes a conjunct count")
+                }
+                Err(_) => 64,
+            },
             use_incremental: env_flag("SYMMERGE_SOLVER_INCREMENTAL", true),
             ctx_fork: env_flag("SYMMERGE_SOLVER_CTX_FORK", true),
             canonical_models: false,
@@ -236,11 +285,24 @@ pub struct SolverStats {
     pub time: Duration,
     /// Cumulative time spent inside the SAT solver proper.
     pub sat_time: Duration,
+    /// Cumulative time spent in cache-tier bookkeeping: the tier-1–3
+    /// lookups a query pays before routing to a solving path, plus
+    /// feeding the fresh result back into the caches. Disjoint from
+    /// `sat_time` and contained (with it) in `time`, so
+    /// `time >= sat_time + cache_time` always holds — the remainder is
+    /// normalization, context-tree routing and model extraction.
+    /// Previously this cost hid inside `time`, which made the
+    /// solver-vs-engine wall attribution double-count cache overhead
+    /// as "solving".
+    pub cache_time: Duration,
     /// Cumulative SAT conflicts.
     pub conflicts: u64,
     /// Cumulative SAT decisions.
     pub decisions: u64,
-    /// Total constraint-DAG nodes across all queries (query size proxy).
+    /// Total constraint-DAG nodes across all queries, summed per
+    /// conjunct (query size proxy; served from a per-conjunct memo —
+    /// prefix-shaped queries repeat the same conjuncts thousands of
+    /// times, and walking their DAGs per query was measurable overhead).
     pub query_nodes: u64,
 }
 
@@ -267,6 +329,7 @@ impl SolverStats {
         self.sat_calls += other.sat_calls;
         self.time += other.time;
         self.sat_time += other.sat_time;
+        self.cache_time += other.cache_time;
         self.conflicts += other.conflicts;
         self.decisions += other.decisions;
         self.query_nodes += other.query_nodes;
@@ -297,16 +360,8 @@ struct QueryCache {
 type CacheBucket = Vec<(Box<[ExprId]>, CachedResult)>;
 
 impl QueryCache {
-    fn get(&self, set: &[ExprId]) -> Option<&CachedResult> {
-        self.get_hashed(hash_query(set), set)
-    }
-
     fn get_hashed(&self, h: u64, set: &[ExprId]) -> Option<&CachedResult> {
         self.buckets.get(&h)?.iter().find(|(k, _)| &**k == set).map(|(_, r)| r)
-    }
-
-    fn insert(&mut self, set: &[ExprId], result: CachedResult) {
-        self.insert_hashed(hash_query(set), set, result);
     }
 
     fn insert_hashed(&mut self, h: u64, set: &[ExprId], result: CachedResult) {
@@ -327,50 +382,98 @@ impl QueryCache {
 /// inserting a new core drops stored supersets, and cores that come from
 /// independence slices or dead context prefixes are smaller than the
 /// queries that produced them.
+///
+/// Every stored set carries its membership [`signature`]; with the
+/// prefilter on ([`SolverConfig::cex_prefilter`]) a subset scan tests one
+/// AND/compare per stored set and runs the linear merge only on
+/// survivors. Both stores enforce `capacity` by FIFO eviction
+/// independently — overfilling one side can never evict the other's
+/// entries (they are separate queues by construction; the regression
+/// test `cex_capacity_is_enforced_per_store` pins that down).
+///
+/// The sorted-set invariant [`is_subset`] relies on is checked at this
+/// boundary — every public entry point asserts it — so an unsorted
+/// future caller fails a debug build's test run instead of silently
+/// missing (or worse, bogusly claiming) subset relations.
 #[derive(Debug)]
 struct CexCache {
-    unsat_sets: VecDeque<Box<[ExprId]>>,
-    sat_sets: VecDeque<(Box<[ExprId]>, Model)>,
+    unsat_sets: VecDeque<(u64, Box<[ExprId]>)>,
+    sat_sets: VecDeque<(u64, Box<[ExprId]>, Model)>,
     capacity: usize,
+    prefilter: bool,
+}
+
+/// Boundary assertion for the sorted, deduplicated set invariant.
+fn debug_assert_normalized(set: &[ExprId]) {
+    debug_assert!(
+        set.windows(2).all(|w| w[0] < w[1]),
+        "cex-cache sets must be sorted and deduplicated"
+    );
 }
 
 impl CexCache {
-    fn new(capacity: usize) -> Self {
-        CexCache { unsat_sets: VecDeque::new(), sat_sets: VecDeque::new(), capacity }
+    fn new(capacity: usize, prefilter: bool) -> Self {
+        CexCache { unsat_sets: VecDeque::new(), sat_sets: VecDeque::new(), capacity, prefilter }
     }
 
-    /// Does a stored unsat core prove `set` unsat?
-    fn implies_unsat(&self, set: &[ExprId]) -> bool {
-        self.unsat_sets.iter().any(|u| is_subset(u, set))
+    /// One-word refutation of `a ⊆ b` (true = the merge must run).
+    fn may_subset(prefilter: bool, sig_a: u64, sig_b: u64) -> bool {
+        !prefilter || sig_a & !sig_b == 0
+    }
+
+    /// Does a stored unsat core prove `set` (with signature `sig`) unsat?
+    fn implies_unsat(&self, sig: u64, set: &[ExprId]) -> bool {
+        debug_assert_normalized(set);
+        self.unsat_sets
+            .iter()
+            .any(|(s, u)| Self::may_subset(self.prefilter, *s, sig) && is_subset(u, set))
     }
 
     /// A model from a stored sat superset of `set`, if any.
-    fn model_for_subset(&self, set: &[ExprId]) -> Option<&Model> {
-        self.sat_sets.iter().find(|(s, _)| is_subset(set, s)).map(|(_, m)| m)
+    fn model_for_subset(&self, sig: u64, set: &[ExprId]) -> Option<&Model> {
+        debug_assert_normalized(set);
+        self.sat_sets
+            .iter()
+            .find(|(s, sup, _)| Self::may_subset(self.prefilter, sig, *s) && is_subset(set, sup))
+            .map(|(_, _, m)| m)
     }
 
     fn note_unsat(&mut self, set: &[ExprId]) {
-        debug_assert!(set.windows(2).all(|w| w[0] < w[1]), "cex sets must be sorted");
-        if self.capacity == 0 || self.unsat_sets.iter().any(|u| is_subset(u, set)) {
+        debug_assert_normalized(set);
+        let sig = signature(set);
+        let pf = self.prefilter;
+        if self.capacity == 0
+            || self
+                .unsat_sets
+                .iter()
+                .any(|(s, u)| Self::may_subset(pf, *s, sig) && is_subset(u, set))
+        {
             return; // already covered by a stored (smaller) core
         }
-        self.unsat_sets.retain(|u| !is_subset(set, u));
-        if self.unsat_sets.len() >= self.capacity {
+        self.unsat_sets.retain(|(s, u)| !(Self::may_subset(pf, sig, *s) && is_subset(set, u)));
+        while self.unsat_sets.len() >= self.capacity {
             self.unsat_sets.pop_front();
         }
-        self.unsat_sets.push_back(set.into());
+        self.unsat_sets.push_back((sig, set.into()));
     }
 
     fn note_sat(&mut self, set: &[ExprId], m: &Model) {
-        debug_assert!(set.windows(2).all(|w| w[0] < w[1]), "cex sets must be sorted");
-        if self.capacity == 0 || self.sat_sets.iter().any(|(s, _)| is_subset(set, s)) {
+        debug_assert_normalized(set);
+        let sig = signature(set);
+        let pf = self.prefilter;
+        if self.capacity == 0
+            || self
+                .sat_sets
+                .iter()
+                .any(|(s, sup, _)| Self::may_subset(pf, sig, *s) && is_subset(set, sup))
+        {
             return; // a stored superset already answers everything this would
         }
-        self.sat_sets.retain(|(s, _)| !is_subset(s, set));
-        if self.sat_sets.len() >= self.capacity {
+        self.sat_sets.retain(|(s, sub, _)| !(Self::may_subset(pf, *s, sig) && is_subset(sub, set)));
+        while self.sat_sets.len() >= self.capacity {
             self.sat_sets.pop_front();
         }
-        self.sat_sets.push_back((set.into(), m.clone()));
+        self.sat_sets.push_back((sig, set.into(), m.clone()));
     }
 }
 
@@ -652,6 +755,22 @@ impl ContextTree {
     }
 }
 
+/// The incremental-path routing data [`Solver::check_set`] threads from
+/// [`Solver::check_assuming`] down to the context tree: the raw
+/// `(prefix, extra)` split (`may_extend` is false for probe queries,
+/// which must not leave sibling evidence on the context) plus the
+/// already-performed tree lookup, so the walk happens once per query —
+/// the cache tiers in between never mutate the tree, which is what keeps
+/// the pre-walked result valid.
+struct CtxRoute<'a> {
+    prefix: &'a [ExprId],
+    extra: ExprId,
+    may_extend: bool,
+    /// `(deepest resident node, conjuncts matched)` as returned by
+    /// [`ContextTree::lookup`] for `prefix`.
+    prefound: (Option<usize>, usize),
+}
+
 /// `a ⊆ b` for sorted, deduplicated slices (linear merge walk).
 fn is_subset(a: &[ExprId], b: &[ExprId]) -> bool {
     let mut bi = b.iter();
@@ -689,13 +808,21 @@ pub struct Solver {
     /// clause-weighted eviction the context-count capacity tracks it
     /// (see [`SolverConfig::max_contexts`]).
     frontier_hint: usize,
+    /// Per-conjunct DAG sizes and input-symbol sets. Sound to memoize
+    /// because a solver serves one (append-only) pool — every cache in
+    /// here already keys on `ExprId` under that assumption — and
+    /// profitable because prefix-shaped queries repeat conjuncts across
+    /// thousands of queries, each of which used to pay a full DAG walk
+    /// for its statistics line and its model projection.
+    dag_sizes: HashMap<ExprId, u64>,
+    input_syms: HashMap<ExprId, Box<[SymbolId]>>,
     stats: SolverStats,
 }
 
 impl Solver {
     /// Creates a solver with the given configuration.
     pub fn new(config: SolverConfig) -> Self {
-        let cex = CexCache::new(config.cex_capacity);
+        let cex = CexCache::new(config.cex_capacity, config.cex_prefilter);
         Solver {
             config,
             cache: QueryCache::default(),
@@ -705,6 +832,8 @@ impl Solver {
             ctx_clock: 0,
             last_affinity: 0,
             frontier_hint: 0,
+            dag_sizes: HashMap::new(),
+            input_syms: HashMap::new(),
             stats: SolverStats::default(),
         }
     }
@@ -791,7 +920,7 @@ impl Solver {
             Ok(set) => set,
             Err(early) => return early,
         };
-        self.check_set(pool, None, &set)
+        self.check_set(pool, None, &set, None)
     }
 
     /// Decides `prefix ∧ extra`, where `prefix` is a path-condition the
@@ -839,15 +968,55 @@ impl Solver {
         extra: ExprId,
         may_extend: bool,
     ) -> SatResult {
-        let conjuncts = prefix.iter().copied().chain(std::iter::once(extra));
-        let set = match normalize_query(pool, conjuncts) {
-            Ok(set) => set,
-            Err(early) => return early,
-        };
         if self.config.use_incremental && self.config.max_contexts > 0 {
-            self.check_set(pool, Some((prefix, extra, may_extend)), &set)
+            // Fast path: when a resident context covers (part of) the
+            // prefix, start from its *carried* normalized set and hash
+            // and fold in only the uncovered tail plus `extra` — an
+            // O(log n) ordered insert and an O(1) hash update per new
+            // conjunct, instead of re-sorting and re-hashing the whole
+            // set on every query of the path. The walk result is handed
+            // down as `prefound` so the context routing below does not
+            // repeat it (sound: the cache tiers never mutate the tree).
+            let (found, matched) = self.tree.lookup(prefix);
+            let route = CtxRoute { prefix, extra, may_extend, prefound: (found, matched) };
+            if let Some(n) = found {
+                let ctx = self.tree.ctx(n);
+                if ctx.norm_false {
+                    return SatResult::Unsat;
+                }
+                let mut set = ctx.norm_set.clone();
+                let mut hash = ctx.norm_hash;
+                for c in prefix[matched..].iter().copied().chain(std::iter::once(extra)) {
+                    debug_assert!(pool.sort(c).is_bool(), "constraint must be boolean");
+                    if pool.is_false(c) {
+                        return SatResult::Unsat;
+                    }
+                    if !pool.is_true(c) {
+                        if let Err(i) = set.binary_search(&c) {
+                            set.insert(i, c);
+                            hash = hash.wrapping_add(elem_hash(c));
+                        }
+                    }
+                }
+                if set.is_empty() {
+                    return SatResult::Sat(Model::new());
+                }
+                debug_assert_eq!(hash, set_hash(&set), "carried hash out of step");
+                return self.check_set(pool, Some(route), &set, Some(hash));
+            }
+            let conjuncts = prefix.iter().copied().chain(std::iter::once(extra));
+            let set = match normalize_query(pool, conjuncts) {
+                Ok(set) => set,
+                Err(early) => return early,
+            };
+            self.check_set(pool, Some(route), &set, None)
         } else {
-            self.check_set(pool, None, &set)
+            let conjuncts = prefix.iter().copied().chain(std::iter::once(extra));
+            let set = match normalize_query(pool, conjuncts) {
+                Ok(set) => set,
+                Err(early) => return early,
+            };
+            self.check_set(pool, None, &set, None)
         }
     }
 
@@ -879,41 +1048,74 @@ impl Solver {
         !matches!(self.check_assuming_probe(pool, prefix, extra), SatResult::Unsat)
     }
 
-    /// The shared query pipeline over a normalized set. `via_context`
-    /// carries the raw `(prefix, extra, may_extend)` split for the
-    /// incremental path (`may_extend` is false for probe queries, which
-    /// must not leave sibling evidence on the context).
+    /// The shared query pipeline over a normalized set. `route` carries
+    /// the raw `(prefix, extra)` split plus the pre-walked tree lookup
+    /// for the incremental path; `hash` is the set's [`set_hash`] when
+    /// the caller already knows it (the incremental fast path carries it
+    /// on the context), computed here otherwise.
     fn check_set(
         &mut self,
         pool: &ExprPool,
-        via_context: Option<(&[ExprId], ExprId, bool)>,
+        route: Option<CtxRoute>,
         set: &[ExprId],
+        hash: Option<u64>,
     ) -> SatResult {
         let start = Instant::now();
         self.stats.queries += 1;
-        self.stats.query_nodes += set.iter().map(|&c| pool.dag_size(c) as u64).sum::<u64>();
+        for &c in set {
+            self.stats.query_nodes +=
+                *self.dag_sizes.entry(c).or_insert_with(|| pool.dag_size(c) as u64);
+        }
+        let h = hash.unwrap_or_else(|| set_hash(set));
+        // Tier gate: on warm context-served queries at or below the
+        // threshold, the context beats the model-reuse and cex tiers —
+        // skip straight past them (the exact cache stays on). "Warm"
+        // means a resident context covers the prefix up to at most one
+        // uncovered conjunct: the context's cost scales with the tail
+        // it still has to blast, and tail ≤ 1 is the steady-state
+        // branch query (the prefix grew by one conjunct since the
+        // context last moved). Longer tails — a migrated state on a
+        // sharded worker whose context holds only the trunk — pay a
+        // real blast-and-solve, which the tiers profitably shield; see
+        // `SolverConfig::tier_gate`.
+        let warm = route
+            .as_ref()
+            .is_some_and(|r| r.prefound.0.is_some() && r.prefix.len() - r.prefound.1 <= 1);
+        let gated = warm && self.config.tier_gate > 0 && set.len() <= self.config.tier_gate;
 
-        if let Some(hit) = self.lookup_caches(pool, set) {
+        let cache_start = Instant::now();
+        let hit = self.lookup_caches(pool, h, set, gated);
+        self.stats.cache_time += cache_start.elapsed();
+        if let Some(hit) = hit {
             self.stats.time += start.elapsed();
             return hit;
         }
 
-        let result = match via_context {
-            Some((prefix, extra, may_extend)) => {
-                self.check_in_context(pool, prefix, extra, may_extend, set)
-            }
+        let result = match route {
+            Some(r) => self.check_in_context(pool, &r, set),
             None if self.config.use_independence => self.check_sliced(pool, set),
             None => self.check_monolithic(pool, set),
         };
-        self.record_result(pool, set, &result);
+        let record_start = Instant::now();
+        self.record_result(pool, h, set, &result);
+        self.stats.cache_time += record_start.elapsed();
         self.stats.time += start.elapsed();
         result
     }
 
     /// Tiers 1–3: exact cache, model reuse, counterexample cache.
-    fn lookup_caches(&mut self, pool: &ExprPool, set: &[ExprId]) -> Option<SatResult> {
+    /// `gated` skips tiers 2–3 (the exact cache always runs); `h` is the
+    /// query's [`set_hash`], shared by every cache touch below so the
+    /// set is hashed once per query at most.
+    fn lookup_caches(
+        &mut self,
+        pool: &ExprPool,
+        h: u64,
+        set: &[ExprId],
+        gated: bool,
+    ) -> Option<SatResult> {
         if self.config.use_cache {
-            if let Some(cached) = self.cache.get(set) {
+            if let Some(cached) = self.cache.get_hashed(h, set) {
                 self.stats.cache_hits += 1;
                 return Some(match cached {
                     CachedResult::Sat(m) => {
@@ -927,6 +1129,9 @@ impl Solver {
                 });
             }
         }
+        if gated {
+            return None;
+        }
         // Model-based shortcuts return whatever model happens to fit, so
         // they are skipped in canonical mode (the answer must be *the*
         // minimal model).
@@ -936,28 +1141,29 @@ impl Solver {
                 self.stats.model_reuse_hits += 1;
                 self.stats.sat += 1;
                 if self.config.use_cache {
-                    self.cache.insert(set, CachedResult::Sat(model.clone()));
+                    self.cache.insert_hashed(h, set, CachedResult::Sat(model.clone()));
                 }
                 return Some(SatResult::Sat(model));
             }
         }
         if self.config.use_cex_cache {
-            if self.cex.implies_unsat(set) {
+            let sig = signature(set);
+            if self.cex.implies_unsat(sig, set) {
                 self.stats.cex_unsat_hits += 1;
                 self.stats.unsat += 1;
                 if self.config.use_cache {
-                    self.cache.insert(set, CachedResult::Unsat);
+                    self.cache.insert_hashed(h, set, CachedResult::Unsat);
                 }
                 return Some(SatResult::Unsat);
             }
             if !self.config.canonical_models {
-                if let Some(m) = self.cex.model_for_subset(set) {
+                if let Some(m) = self.cex.model_for_subset(sig, set) {
                     let model = m.clone();
                     debug_assert!(model.satisfies(pool, set), "cex superset model must satisfy");
                     self.stats.cex_sat_hits += 1;
                     self.stats.sat += 1;
                     if self.config.use_cache {
-                        self.cache.insert(set, CachedResult::Sat(model.clone()));
+                        self.cache.insert_hashed(h, set, CachedResult::Sat(model.clone()));
                     }
                     return Some(SatResult::Sat(model));
                 }
@@ -967,23 +1173,29 @@ impl Solver {
     }
 
     /// Feeds a freshly computed result into the stats and caches.
-    fn record_result(&mut self, pool: &ExprPool, set: &[ExprId], result: &SatResult) {
+    fn record_result(&mut self, pool: &ExprPool, h: u64, set: &[ExprId], result: &SatResult) {
         match result {
             SatResult::Sat(m) => {
                 debug_assert!(m.satisfies(pool, set), "solver returned a bogus model");
                 self.stats.sat += 1;
-                self.remember_model(m.clone());
-                if self.config.use_cache {
-                    self.cache.insert(set, CachedResult::Sat(m.clone()));
+                // The model-donating tiers (reuse, cex sat-superset) are
+                // disabled in canonical mode, so feeding them there is
+                // pure cost: a model clone and a subset scan per sat
+                // answer that nothing ever reads.
+                if !self.config.canonical_models {
+                    self.remember_model(m.clone());
                 }
-                if self.config.use_cex_cache {
+                if self.config.use_cache {
+                    self.cache.insert_hashed(h, set, CachedResult::Sat(m.clone()));
+                }
+                if self.config.use_cex_cache && !self.config.canonical_models {
                     self.cex.note_sat(set, m);
                 }
             }
             SatResult::Unsat => {
                 self.stats.unsat += 1;
                 if self.config.use_cache {
-                    self.cache.insert(set, CachedResult::Unsat);
+                    self.cache.insert_hashed(h, set, CachedResult::Unsat);
                 }
                 if self.config.use_cex_cache {
                     self.cex.note_unsat(set);
@@ -1022,8 +1234,19 @@ impl Solver {
     /// extension. A dead ancestor is returned as-is (its prefix already
     /// proves the query unsat; extending it would blast circuitry for
     /// nothing). Only a complete miss pays a rebuild.
-    fn context_node_for(&mut self, pool: &ExprPool, prefix: &[ExprId]) -> usize {
-        self.context_node_for_inner(pool, prefix, None)
+    ///
+    /// `prefound` is the caller's already-performed
+    /// [`ContextTree::lookup`] for `prefix`, if it has one (the query
+    /// fast path walks the tree to reach the carried normalized set
+    /// before the cache tiers run, and nothing in between mutates the
+    /// tree).
+    fn context_node_for(
+        &mut self,
+        pool: &ExprPool,
+        prefix: &[ExprId],
+        prefound: Option<(Option<usize>, usize)>,
+    ) -> usize {
+        self.context_node_for_inner(pool, prefix, None, prefound)
     }
 
     /// [`Solver::context_node_for`] with an optional set of prefixes to
@@ -1038,10 +1261,12 @@ impl Solver {
         pool: &ExprPool,
         prefix: &[ExprId],
         force_fork: Option<&std::collections::HashSet<&[ExprId]>>,
+        prefound: Option<(Option<usize>, usize)>,
     ) -> usize {
         self.ctx_clock += 1;
         let clock = self.ctx_clock;
-        let (found, matched) = self.tree.lookup(prefix);
+        let (found, matched) = prefound.unwrap_or_else(|| self.tree.lookup(prefix));
+        debug_assert_eq!((found, matched), self.tree.lookup(prefix), "stale prefound walk");
         let node = match found {
             Some(n) if matched == prefix.len() || self.tree.ctx(n).is_dead() => {
                 self.stats.ctx_hits += 1;
@@ -1093,17 +1318,11 @@ impl Solver {
     }
 
     /// Decides `prefix ∧ extra` on a tree incremental context.
-    /// `may_extend` tells the context whether `extra` can ever become a
-    /// prefix extension (and hence counts as sibling evidence).
-    fn check_in_context(
-        &mut self,
-        pool: &ExprPool,
-        prefix: &[ExprId],
-        extra: ExprId,
-        may_extend: bool,
-        set: &[ExprId],
-    ) -> SatResult {
-        let node = self.context_node_for(pool, prefix);
+    /// `route.may_extend` tells the context whether `extra` can ever
+    /// become a prefix extension (and hence counts as sibling evidence).
+    fn check_in_context(&mut self, pool: &ExprPool, route: &CtxRoute, set: &[ExprId]) -> SatResult {
+        let CtxRoute { prefix, extra, may_extend, prefound } = *route;
+        let node = self.context_node_for(pool, prefix, Some(prefound));
         if self.tree.ctx(node).is_dead() {
             // The context's asserted prefix — possibly a strict subset
             // of the query's, when a dead ancestor answered — is unsat
@@ -1124,7 +1343,7 @@ impl Solver {
         };
         let result = match &outcome {
             SolveOutcome::Sat(_) => {
-                let syms: Vec<SymbolId> = pool.collect_inputs_many(set);
+                let syms: Vec<SymbolId> = self.inputs_for_set(pool, set);
                 let model = if self.config.canonical_models {
                     // The minimization probes share whatever conflict
                     // budget the main solve left over.
@@ -1157,6 +1376,24 @@ impl Solver {
         self.tree.refresh_charge(node);
         self.stats.ctx_clauses_resident = self.tree.resident_clauses;
         result
+    }
+
+    /// The input symbols of `set`, unioned from per-conjunct memoized
+    /// lists — the model projection every sat context answer needs,
+    /// without re-walking DAGs that prefix-shaped queries share across
+    /// thousands of calls.
+    fn inputs_for_set(&mut self, pool: &ExprPool, set: &[ExprId]) -> Vec<SymbolId> {
+        let mut syms: Vec<SymbolId> = Vec::new();
+        for &c in set {
+            let per = self
+                .input_syms
+                .entry(c)
+                .or_insert_with(|| pool.collect_inputs(c).into_boxed_slice());
+            syms.extend_from_slice(per);
+        }
+        syms.sort_unstable();
+        syms.dedup();
+        syms
     }
 
     /// How many leading conjuncts of `prefix` are covered by a resident
@@ -1230,7 +1467,7 @@ impl Solver {
         trunks.dedup();
         let trunk_set: std::collections::HashSet<&[ExprId]> = trunks.iter().copied().collect();
         for p in &trunks {
-            self.context_node_for_inner(pool, p, Some(&trunk_set));
+            self.context_node_for_inner(pool, p, Some(&trunk_set), None);
         }
         // Seed sibling evidence: each state's first conjunct beyond its
         // deepest resident ancestor is a child that will come back — the
@@ -1374,10 +1611,35 @@ fn normalize_query(
     Ok(set)
 }
 
-fn hash_query(set: &[ExprId]) -> u64 {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    set.hash(&mut h);
-    h.finish()
+/// Per-element hash (the `splitmix64` finalizer over the id): the shared
+/// primitive under the commutative set hash and the membership
+/// signatures, and the increment a [`SolverContext`] adds when its
+/// carried normalized set grows by one conjunct.
+pub(crate) fn elem_hash(id: ExprId) -> u64 {
+    let mut z = (id.index() as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// 64-bit hash of a normalized constraint set: the **wrapping sum** of
+/// the per-element hashes. Commutative by construction, so it is
+/// order-independent (a normalized set is a set, not a sequence) and —
+/// the point — *incrementally maintainable*: extending a set by one
+/// element adds one [`elem_hash`] in O(1), which is how a
+/// [`SolverContext`] carries the hash of its normalized prefix across
+/// queries instead of re-hashing the full set each time. Collisions are
+/// harmless: the query cache stores and verifies full keys per bucket.
+fn set_hash(set: &[ExprId]) -> u64 {
+    set.iter().fold(0u64, |h, &c| h.wrapping_add(elem_hash(c)))
+}
+
+/// 64-bit membership signature of a set: each element ORs in one of 64
+/// bits (chosen by its hash). `a ⊆ b` implies
+/// `signature(a) & !signature(b) == 0`, so one AND/compare refutes most
+/// subset candidates before the linear merge of [`is_subset`] runs.
+fn signature(set: &[ExprId]) -> u64 {
+    set.iter().fold(0u64, |s, &c| s | 1u64 << (elem_hash(c) & 63))
 }
 
 /// Groups constraints into connected components by shared input symbols.
@@ -2107,5 +2369,177 @@ mod tests {
         assert_eq!(s.stats().queries, 1);
         assert!(s.stats().query_nodes > 0);
         assert!(s.stats().time > Duration::ZERO);
+    }
+
+    #[test]
+    fn cache_time_is_contained_in_time_beside_sat_time() {
+        let mut p = pool();
+        let x = p.input("x", 8);
+        let ten = p.bv_const(10, 8);
+        let five = p.bv_const(5, 8);
+        let pre = p.ult(x, ten);
+        let c = p.ugt(x, five);
+        let mut s = Solver::new(Default::default());
+        for _ in 0..3 {
+            assert!(s.check(&p, &[pre, c]).is_sat()); // repeats exercise the caches
+            assert!(s.check_assuming(&p, &[pre], c).is_sat());
+        }
+        let st = s.stats();
+        assert!(st.cache_hits > 0, "repeat queries must hit the exact cache");
+        assert!(
+            st.time >= st.sat_time + st.cache_time,
+            "cache_time ({:?}) and sat_time ({:?}) are disjoint slices of time ({:?})",
+            st.cache_time,
+            st.sat_time,
+            st.time
+        );
+    }
+
+    #[test]
+    fn tier_gate_skips_cex_scans_on_small_context_queries() {
+        let mut p = pool();
+        let x = p.input("x", 8);
+        let y = p.input("y", 8);
+        let five = p.bv_const(5, 8);
+        let ten = p.bv_const(10, 8);
+        let a = p.ult(x, five);
+        let b = p.ugt(x, ten);
+        let c = p.ult(y, five);
+        let run = |tier_gate: usize| {
+            let mut s = Solver::new(SolverConfig {
+                use_incremental: true,
+                use_cex_cache: true,
+                tier_gate,
+                ..bare()
+            });
+            // Warm a context covering the full prefix [a] (the first
+            // context-served query rebuilds; partial or cold coverage
+            // is never gated).
+            assert!(s.check_assuming(&p, &[a], c).is_sat());
+            // Seed a stored core via the (never gated) re-blast path.
+            assert!(s.check(&p, &[a, b]).is_unsat());
+            // A fully-warm context-served superset query of the core:
+            // with the gate at or above its size the cex scan is
+            // skipped and the verdict comes from the warm context;
+            // ungated it comes from the stored core.
+            assert!(s.check_assuming(&p, &[a], b).is_unsat());
+            s.stats().cex_unsat_hits
+        };
+        assert_eq!(run(0), 1, "ungated reference answers from the stored core");
+        assert_eq!(run(64), 0, "gated query must bypass the cex scan");
+    }
+
+    #[test]
+    fn cex_capacity_is_enforced_per_store() {
+        // Regression: each store enforces FIFO eviction at capacity
+        // independently — overfilling one side must not evict (or fail
+        // to bound) the other's entries.
+        let mut p = pool();
+        let x = p.input("x", 8);
+        let ids: Vec<ExprId> = (0..10u64)
+            .map(|i| {
+                let k = p.bv_const(i, 8);
+                p.ult(x, k)
+            })
+            .collect();
+        let mut m = Model::new();
+        m.set(p.intern_symbol("x"), 0);
+        let mut cache = CexCache::new(2, true);
+        cache.note_sat(&[ids[0]], &m);
+        for &id in &ids[1..] {
+            cache.note_unsat(&[id]);
+        }
+        assert_eq!(cache.unsat_sets.len(), 2, "unsat side must stop at capacity");
+        assert_eq!(cache.sat_sets.len(), 1, "unsat-side pressure must not touch sat entries");
+        assert!(cache.model_for_subset(signature(&[ids[0]]), &[ids[0]]).is_some());
+        for &id in &ids[1..] {
+            cache.note_sat(&[id], &m);
+        }
+        assert_eq!(cache.sat_sets.len(), 2, "sat side must stop at capacity");
+        assert_eq!(cache.unsat_sets.len(), 2, "sat-side pressure must not touch unsat entries");
+    }
+
+    #[test]
+    fn cex_prefilter_answers_identically_to_unfiltered_scans() {
+        let mut p = pool();
+        let x = p.input("x", 8);
+        let ids: Vec<ExprId> = (0..6u64)
+            .map(|i| {
+                let k = p.bv_const(i, 8);
+                p.ult(x, k)
+            })
+            .collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        let mut m = Model::new();
+        m.set(p.intern_symbol("x"), 0);
+        let mut filtered = CexCache::new(8, true);
+        let mut plain = CexCache::new(8, false);
+        for c in [&sorted[0..2], &sorted[2..5], &sorted[1..3]] {
+            filtered.note_unsat(c);
+            plain.note_unsat(c);
+            filtered.note_sat(c, &m);
+            plain.note_sat(c, &m);
+        }
+        // Probe every contiguous sub-range: subsets, supersets, misses.
+        for lo in 0..sorted.len() {
+            for hi in lo..sorted.len() {
+                let q = &sorted[lo..hi];
+                let sig = signature(q);
+                assert_eq!(
+                    filtered.implies_unsat(sig, q),
+                    plain.implies_unsat(sig, q),
+                    "prefilter changed an unsat-scan verdict for {q:?}"
+                );
+                assert_eq!(
+                    filtered.model_for_subset(sig, q).is_some(),
+                    plain.model_for_subset(sig, q).is_some(),
+                    "prefilter changed a sat-scan verdict for {q:?}"
+                );
+            }
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_cex_lookup_fails_the_boundary_assert() {
+        let ids: Vec<ExprId> = {
+            let mut p = pool();
+            let x = p.input("x", 8);
+            (0..2u64)
+                .map(|i| {
+                    let k = p.bv_const(i, 8);
+                    p.ult(x, k)
+                })
+                .collect()
+        };
+        let (lo, hi) = if ids[0] < ids[1] { (ids[0], ids[1]) } else { (ids[1], ids[0]) };
+        let cache = CexCache::new(4, true);
+        let _ = cache.implies_unsat(signature(&[hi, lo]), &[hi, lo]);
+    }
+
+    #[test]
+    fn carried_norm_set_fast_path_matches_full_normalization() {
+        // The second query walks the carried-set fast path (the [pre]
+        // context is resident) and must land on the exact-cache entry
+        // the first query stored under the full `set_hash` — which pins
+        // the incremental hash to the from-scratch hash.
+        let mut p = pool();
+        let x = p.input("x", 8);
+        let ten = p.bv_const(10, 8);
+        let five = p.bv_const(5, 8);
+        let pre = p.ult(x, ten);
+        let c = p.ugt(x, five);
+        let t = p.true_();
+        let mut s = Solver::new(SolverConfig { use_incremental: true, use_cache: true, ..bare() });
+        assert!(s.check_assuming(&p, &[pre], c).is_sat());
+        assert!(s.check_assuming(&p, &[pre], c).is_sat());
+        assert_eq!(s.stats().cache_hits, 1, "fast-path hash must match the stored key");
+        // Trivial queries keep their uncounted early exits on the fast
+        // path: constant-true extra over a resident empty-set prefix.
+        let queries = s.stats().queries;
+        assert!(s.check_assuming(&p, &[t], t).is_sat());
+        assert_eq!(s.stats().queries, queries, "trivial query must stay uncounted");
     }
 }

@@ -246,12 +246,15 @@ fn test_bytes(report: &RunReport) -> Vec<TestBytes> {
 /// *solver* configurations are observationally identical: same assertion
 /// verdicts, same coverage, same path counts — and, because both runs use
 /// canonical (minimal) models, the *exact same generated-test bytes*.
+/// `label` names the solver axis being varied (e.g. "incremental vs
+/// re-blast") for failure messages.
 pub fn assert_solver_config_invariant(
     workload: &str,
+    label: &str,
     incremental: &RunReport,
     reblast: &RunReport,
 ) {
-    let who = format!("{workload}: incremental vs re-blast solver");
+    let who = format!("{workload}: {label} solver");
     let msgs = |r: &RunReport| -> BTreeSet<String> {
         r.assert_failures.iter().map(|f| f.msg.clone()).collect()
     };

@@ -176,7 +176,7 @@ fn solver_differential_for(workloads: &[(&str, InputConfig)]) {
         {
             let a = run_with_solver(name, cfg, mode, strategy, incremental.clone());
             let b = run_with_solver(name, cfg, mode, strategy, reblast.clone());
-            assert_solver_config_invariant(name, &a, &b);
+            assert_solver_config_invariant(name, "incremental vs re-blast", &a, &b);
         }
     }
 }
@@ -194,6 +194,46 @@ fn solver_differential_args_workloads_second_half() {
 #[test]
 fn solver_differential_stdin_and_mixed_workloads() {
     solver_differential_for(&WORKLOADS[8..]);
+}
+
+/// The cache-tier differential: the tier gate (small context-served
+/// queries skip the cex scan and model re-evaluation) and the cex
+/// signature prefilter are pure shortcuts — they may change which tier
+/// answers a query, never the answer. Running the default (gated,
+/// prefiltered) pipeline against a reference with both shortcuts
+/// disabled, on both solver paths, must be byte-identical under
+/// canonical models.
+fn tier_pipeline_differential_for(workloads: &[(&str, InputConfig)]) {
+    for &(name, cfg) in workloads {
+        for use_incremental in [true, false] {
+            let gated = SolverConfig {
+                use_incremental,
+                canonical_models: true,
+                cex_prefilter: true,
+                tier_gate: 64,
+                ..SolverConfig::default()
+            };
+            let ungated = SolverConfig { cex_prefilter: false, tier_gate: 0, ..gated.clone() };
+            for (mode, strategy) in [
+                (MergeMode::None, StrategyKind::Bfs),
+                (MergeMode::Static, StrategyKind::Topological),
+            ] {
+                let a = run_with_solver(name, cfg, mode, strategy, gated.clone());
+                let b = run_with_solver(name, cfg, mode, strategy, ungated.clone());
+                assert_solver_config_invariant(name, "tier-gated vs ungated", &a, &b);
+            }
+        }
+    }
+}
+
+#[test]
+fn tier_pipeline_differential_args_workloads() {
+    tier_pipeline_differential_for(&WORKLOADS[0..8]);
+}
+
+#[test]
+fn tier_pipeline_differential_stdin_and_mixed_workloads() {
+    tier_pipeline_differential_for(&WORKLOADS[8..]);
 }
 
 /// The parallel differential: for every workload, the sharded engine at
