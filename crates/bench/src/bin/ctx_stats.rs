@@ -46,14 +46,15 @@ fn main() {
         "ctx_stats",
         "tool,symbolic_bytes,strategy,tests,sat_calls,ctx_hits,ctx_rebuilds,ctx_forks,\
          ctx_evictions,clauses_resident,clauses_evicted,sched_picks,sched_heap_repairs,\
-         solver_ms,sat_ms,cache_ms,wall_ms",
+         solver_ms,sat_ms,cache_ms,route_ms,wall_ms",
     );
     println!("# ctx_stats: solver-context pool behaviour (exhaustive runs, tests on)");
     println!("# clauses res/evict: clause-weighted residency (final gauge / cumulative evicted)");
     println!("# sched p/r: ranked scheduler picks / heap repairs (0 for O(1)-pick strategies)");
-    println!("# solver time splits as sat + cache (tier bookkeeping) + routing remainder");
+    println!("# solver time splits as sat + cache (tier bookkeeping) + route (context");
+    println!("#   routing / blast prep / normalization) + residual recording upkeep");
     println!(
-        "{:6} {:>6} {:>10} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>17} {:>13} {:>10} {:>10} {:>10} {:>10}",
+        "{:6} {:>6} {:>10} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>17} {:>13} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "tool",
         "bytes",
         "strategy",
@@ -68,6 +69,7 @@ fn main() {
         "solver",
         "sat",
         "cache",
+        "route",
         "wall"
     );
     for (tool, cfg, strategy) in sweeps {
@@ -96,7 +98,7 @@ fn main() {
         let sched = format!("{}/{}", report.sched_picks, report.sched_heap_repairs);
         println!(
             "{tool:6} {:>6} {strat:>10} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {clauses:>17} \
-             {sched:>13} {:>10.2?} {:>10.2?} {:>10.2?} {:>10.2?}",
+             {sched:>13} {:>10.2?} {:>10.2?} {:>10.2?} {:>10.2?} {:>10.2?}",
             cfg.symbolic_bytes(),
             report.tests.len(),
             s.sat_calls,
@@ -107,10 +109,11 @@ fn main() {
             s.time,
             s.sat_time,
             s.cache_time,
+            s.route_time,
             report.wall_time,
         );
         csv.row(&format!(
-            "{tool},{},{strat},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.3}",
+            "{tool},{},{strat},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3}",
             cfg.symbolic_bytes(),
             report.tests.len(),
             s.sat_calls,
@@ -125,6 +128,7 @@ fn main() {
             s.time.as_secs_f64() * 1e3,
             s.sat_time.as_secs_f64() * 1e3,
             s.cache_time.as_secs_f64() * 1e3,
+            s.route_time.as_secs_f64() * 1e3,
             report.wall_time.as_secs_f64() * 1e3,
         ));
     }

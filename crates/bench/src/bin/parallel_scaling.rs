@@ -4,20 +4,25 @@
 //! Runs a spread of workloads to exhaustion under `MergeMode::None` (the
 //! configuration whose results are provably schedule-invariant, so every
 //! worker count explores exactly the same paths) at 1, 2 and 4 workers,
-//! and reports the speedup over the sequential engine. The 1-worker
-//! column uses the legacy sequential loop — the parallel engine's
-//! `jobs = 1` fast path — so the baseline carries no round-machinery
-//! overhead.
+//! under **both** schedulers — the deterministic BSP rounds and the
+//! shared-pool work stealer — and reports the speedup over the
+//! sequential engine. The BSP 1-worker cell uses the legacy sequential
+//! loop (the parallel engine's `jobs = 1` fast path), so the baseline
+//! carries no round machinery; the steal 1-worker cell deliberately runs
+//! the full shared-pool machinery, making it the direct measurement of
+//! the shared pool's single-worker overhead.
 //!
 //! Sizes are chosen so the sequential run takes on the order of seconds
 //! in release mode: long enough for the per-round barriers to amortize,
 //! short enough for CI's `--quick` sweep. Every run's path counts are
-//! cross-checked across worker counts; a mismatch aborts the harness
-//! (scaling numbers for runs that disagree would be meaningless).
+//! cross-checked across worker counts and schedulers; a mismatch aborts
+//! the harness (scaling numbers for runs that disagree would be
+//! meaningless).
 
 use std::time::{Duration, Instant};
 use symmerge_bench::harness::{CsvOut, HarnessOpts};
 use symmerge_bench::{run_workload, RunOpts, Setup};
+use symmerge_core::SchedulerKind;
 use symmerge_workloads::{by_name, InputConfig};
 
 fn main() {
@@ -38,24 +43,28 @@ fn main() {
         ]
     };
     let jobs_axis: &[u32] = &[1, 2, 4];
+    let sched_axis: &[SchedulerKind] = &[SchedulerKind::Bsp, SchedulerKind::Steal];
 
     let mut csv = CsvOut::create(
         "parallel_scaling",
-        "tool,symbolic_bytes,jobs,wall_ms,speedup,steps,completed_paths,sat_calls,sat_time_ms,\
-         cache_time_ms,ctx_hits,ctx_rebuilds,ctx_forks,ctx_evictions,clauses_resident,\
-         clauses_evicted,sched_picks,sched_heap_repairs",
+        "tool,symbolic_bytes,scheduler,jobs,wall_ms,speedup,steps,completed_paths,sat_calls,\
+         sat_time_ms,cache_time_ms,route_time_ms,ctx_hits,ctx_rebuilds,ctx_forks,ctx_evictions,\
+         clauses_resident,clauses_evicted,sched_picks,sched_heap_repairs,steals,stolen_states,\
+         idle_waits,envelope_exports,envelope_nodes",
     );
-    println!("# parallel_scaling: exhaustive MergeMode::None exploration, sequential vs sharded");
+    println!("# parallel_scaling: exhaustive MergeMode::None exploration, bsp vs steal scheduler");
     println!(
         "# sat_calls/sat_time: fleet totals — inflation vs jobs=1 is cache loss from sharding"
     );
-    println!("# cache_time: fleet cache-tier bookkeeping time (lookups + result recording)");
+    println!("# cache_time: fleet cache-tier bookkeeping; route_time: query routing/blast prep");
     println!("# ctx columns: fleet context-tree totals (hits/rebuilds/forks/evictions)");
-    println!("# sched p/r: fleet ranked picks / heap repairs — the former O(n)-scan cost driver");
+    println!("# steals/idle: steal-scheduler traffic; envelopes: BSP serialization the steal");
+    println!("#   scheduler avoids (steal rows must read 0/0 — direct Send over the shared pool)");
     println!(
-        "{:10} {:>6} {:>5} {:>12} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10} {:>22} {:>17}",
+        "{:10} {:>6} {:>6} {:>5} {:>12} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>22} {:>14} {:>17} {:>13}",
         "tool",
         "bytes",
+        "sched",
         "jobs",
         "wall",
         "speedup",
@@ -64,82 +73,113 @@ fn main() {
         "sat_calls",
         "sat_time",
         "cache_time",
+        "route_time",
         "ctx h/r/f/e",
-        "sched p/r"
+        "steal s/w/i",
+        "sched p/r",
+        "env e/n"
     );
     for (tool, cfg) in sweeps {
         let w = by_name(tool).unwrap();
         let mut t1 = Duration::ZERO;
         let mut paths1 = 0u64;
-        for &jobs in jobs_axis {
-            let run_opts = RunOpts {
-                budget: Some(opts.budget),
-                seed: opts.seed,
-                alpha: opts.alpha,
-                jobs,
-                ..Default::default()
-            };
-            let t0 = Instant::now();
-            let report = run_workload(&w, &cfg, Setup::Baseline, &run_opts);
-            let wall = t0.elapsed();
-            if std::env::var_os("SYMMERGE_PAR_DEBUG").is_some() {
-                eprintln!(
-                    "# {tool} jobs={jobs}: solver.time={:?} ctx={}/{} cache={} reuse={}",
-                    report.solver.time,
-                    report.solver.ctx_hits,
-                    report.solver.ctx_rebuilds,
-                    report.solver.cache_hits,
-                    report.solver.model_reuse_hits
+        for &scheduler in sched_axis {
+            for &jobs in jobs_axis {
+                let run_opts = RunOpts {
+                    budget: Some(opts.budget),
+                    seed: opts.seed,
+                    alpha: opts.alpha,
+                    jobs,
+                    scheduler,
+                    ..Default::default()
+                };
+                let t0 = Instant::now();
+                let report = run_workload(&w, &cfg, Setup::Baseline, &run_opts);
+                let wall = t0.elapsed();
+                if std::env::var_os("SYMMERGE_PAR_DEBUG").is_some() {
+                    eprintln!(
+                        "# {tool} {scheduler:?} jobs={jobs}: solver.time={:?} ctx={}/{} cache={} reuse={}",
+                        report.solver.time,
+                        report.solver.ctx_hits,
+                        report.solver.ctx_rebuilds,
+                        report.solver.cache_hits,
+                        report.solver.model_reuse_hits
+                    );
+                }
+                assert!(
+                    !report.hit_budget,
+                    "{tool} {scheduler:?} jobs={jobs}: raise --budget-ms, scaling needs \
+                     exhaustive runs"
                 );
-            }
-            assert!(
-                !report.hit_budget,
-                "{tool} jobs={jobs}: raise --budget-ms, scaling needs exhaustive runs"
-            );
-            if jobs == 1 {
-                t1 = wall;
-                paths1 = report.completed_paths;
-            } else {
-                assert_eq!(
-                    report.completed_paths, paths1,
-                    "{tool} jobs={jobs}: explored a different path set than sequential"
+                if scheduler == SchedulerKind::Bsp && jobs == 1 {
+                    t1 = wall;
+                    paths1 = report.completed_paths;
+                } else {
+                    assert_eq!(
+                        report.completed_paths, paths1,
+                        "{tool} {scheduler:?} jobs={jobs}: explored a different path set than \
+                         sequential"
+                    );
+                }
+                if scheduler == SchedulerKind::Steal {
+                    assert_eq!(
+                        (report.envelope_exports, report.envelope_nodes),
+                        (0, 0),
+                        "{tool} jobs={jobs}: steal mode serialized a PortableState envelope"
+                    );
+                }
+                let speedup = t1.as_secs_f64() / wall.as_secs_f64().max(1e-9);
+                let s = &report.solver;
+                let sched_label = match scheduler {
+                    SchedulerKind::Bsp => "bsp",
+                    SchedulerKind::Steal => "steal",
+                };
+                let ctx = format!(
+                    "{}/{}/{}/{}",
+                    s.ctx_hits, s.ctx_rebuilds, s.ctx_forks, s.ctx_evictions
                 );
+                let stealing =
+                    format!("{}/{}/{}", report.steals, report.stolen_states, report.idle_waits);
+                let sched = format!("{}/{}", report.sched_picks, report.sched_heap_repairs);
+                let env = format!("{}/{}", report.envelope_exports, report.envelope_nodes);
+                println!(
+                    "{tool:10} {:>6} {sched_label:>6} {jobs:>5} {:>12.2?} {:>8.2}x {:>10} {:>10} {:>10} {:>10.2?} {:>10.2?} {:>10.2?} {ctx:>22} {stealing:>14} {sched:>17} {env:>13}",
+                    cfg.symbolic_bytes(),
+                    wall,
+                    speedup,
+                    report.steps,
+                    report.completed_paths,
+                    s.sat_calls,
+                    s.sat_time,
+                    s.cache_time,
+                    s.route_time
+                );
+                csv.row(&format!(
+                    "{tool},{},{sched_label},{jobs},{:.3},{:.3},{},{},{},{:.3},{:.3},{:.3},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    cfg.symbolic_bytes(),
+                    wall.as_secs_f64() * 1e3,
+                    speedup,
+                    report.steps,
+                    report.completed_paths,
+                    s.sat_calls,
+                    s.sat_time.as_secs_f64() * 1e3,
+                    s.cache_time.as_secs_f64() * 1e3,
+                    s.route_time.as_secs_f64() * 1e3,
+                    s.ctx_hits,
+                    s.ctx_rebuilds,
+                    s.ctx_forks,
+                    s.ctx_evictions,
+                    s.ctx_clauses_resident,
+                    s.ctx_clauses_evicted,
+                    report.sched_picks,
+                    report.sched_heap_repairs,
+                    report.steals,
+                    report.stolen_states,
+                    report.idle_waits,
+                    report.envelope_exports,
+                    report.envelope_nodes
+                ));
             }
-            let speedup = t1.as_secs_f64() / wall.as_secs_f64().max(1e-9);
-            let s = &report.solver;
-            let ctx =
-                format!("{}/{}/{}/{}", s.ctx_hits, s.ctx_rebuilds, s.ctx_forks, s.ctx_evictions);
-            let sched = format!("{}/{}", report.sched_picks, report.sched_heap_repairs);
-            println!(
-                "{tool:10} {:>6} {jobs:>5} {:>12.2?} {:>8.2}x {:>10} {:>10} {:>10} {:>10.2?} {:>10.2?} {ctx:>22} {sched:>17}",
-                cfg.symbolic_bytes(),
-                wall,
-                speedup,
-                report.steps,
-                report.completed_paths,
-                s.sat_calls,
-                s.sat_time,
-                s.cache_time
-            );
-            csv.row(&format!(
-                "{tool},{},{jobs},{:.3},{:.3},{},{},{},{:.3},{:.3},{},{},{},{},{},{},{},{}",
-                cfg.symbolic_bytes(),
-                wall.as_secs_f64() * 1e3,
-                speedup,
-                report.steps,
-                report.completed_paths,
-                s.sat_calls,
-                s.sat_time.as_secs_f64() * 1e3,
-                s.cache_time.as_secs_f64() * 1e3,
-                s.ctx_hits,
-                s.ctx_rebuilds,
-                s.ctx_forks,
-                s.ctx_evictions,
-                s.ctx_clauses_resident,
-                s.ctx_clauses_evicted,
-                report.sched_picks,
-                report.sched_heap_repairs
-            ));
         }
     }
     println!("# csv: {}", csv.path.display());

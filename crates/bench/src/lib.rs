@@ -8,7 +8,7 @@
 use std::time::Duration;
 use symmerge_core::{
     Budgets, Engine, EngineConfig, MergeMode, ParallelConfig, ParallelEngine, QceConfig, RunReport,
-    StrategyKind,
+    SchedulerKind, StrategyKind,
 };
 use symmerge_workloads::{InputConfig, Workload};
 
@@ -55,6 +55,10 @@ pub struct RunOpts {
     /// Worker threads for the exploration. `1` runs the legacy
     /// sequential engine; `> 1` runs the sharded [`ParallelEngine`].
     pub jobs: u32,
+    /// Which parallel scheduler to use (BSP rounds or work stealing).
+    /// Defaults from `SYMMERGE_SCHEDULER`; steal mode routes through the
+    /// [`ParallelEngine`] even at `jobs = 1`.
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for RunOpts {
@@ -68,6 +72,7 @@ impl Default for RunOpts {
             generate_tests: false,
             incremental: true,
             jobs: 1,
+            scheduler: SchedulerKind::from_env(),
         }
     }
 }
@@ -105,7 +110,10 @@ pub fn config_for(setup: Setup, opts: &RunOpts) -> EngineConfig {
 }
 
 /// Runs one workload under one setup and sizing. `opts.jobs > 1` runs
-/// the sharded parallel engine instead of the sequential loop.
+/// the sharded parallel engine instead of the sequential loop; so does
+/// `SYMMERGE_SCHEDULER=steal` at any job count (steal at `jobs = 1`
+/// still exercises the full shared-pool machinery, which is exactly the
+/// single-worker-overhead measurement the scaling sweeps want).
 pub fn run_workload(
     workload: &Workload,
     cfg: &InputConfig,
@@ -114,17 +122,19 @@ pub fn run_workload(
 ) -> RunReport {
     let program = workload.program(cfg);
     let config = config_for(setup, opts);
-    if opts.jobs > 1 {
+    if opts.jobs > 1 || opts.scheduler == SchedulerKind::Steal {
         // Experiment overrides for the scaling sweeps (see EXPERIMENTS.md):
         // SYMMERGE_PAR_QUOTA sets the per-round step quota,
-        // SYMMERGE_PAR_STEAL_NEWEST flips the steal direction, and
-        // SYMMERGE_WARM_MIGRATION=0 ablates warm-context migration
+        // SYMMERGE_PAR_STEAL_NEWEST flips the steal direction,
+        // SYMMERGE_SCHEDULER selects the BSP or work-stealing scheduler,
+        // and SYMMERGE_WARM_MIGRATION=0 ablates warm-context migration
         // (cold imports + unbiased steals — the pre-PR-5 behaviour).
         let mut config = config;
         if matches!(std::env::var("SYMMERGE_WARM_MIGRATION").as_deref(), Ok("0")) {
             config.warm_migration = false;
         }
-        let mut par = ParallelConfig { jobs: opts.jobs, ..ParallelConfig::default() };
+        let mut par =
+            ParallelConfig { jobs: opts.jobs, scheduler: opts.scheduler, ..Default::default() };
         if let Ok(q) = std::env::var("SYMMERGE_PAR_QUOTA") {
             par.steps_per_round = q.parse().expect("SYMMERGE_PAR_QUOTA takes a step count");
         }

@@ -7,7 +7,7 @@ use crate::dsm::{DsmConfig, DsmStats, DsmStrategy};
 use crate::exec::{AssertFailure, Completion, ExecCtx};
 use crate::merge::{classify_pair, merge_signature, merge_states, similar_qce, MergeConfig};
 use crate::qce::{HotSet, QceAnalysis, QceConfig};
-use crate::shard::{PortableState, RegionId, RegionMap};
+use crate::shard::{PortableState, RegionId, RegionMap, StolenState};
 use crate::state::{State, StateId};
 use crate::strategy::{make_strategy, Oracle, StateMeta, Strategy, StrategyKind};
 use crate::testgen::{TestCase, TestKind};
@@ -15,8 +15,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
-use symmerge_expr::ExprPool;
+use symmerge_expr::{ExprPool, SharedExprPool};
 use symmerge_ir::cfg::CfgInfo;
 use symmerge_ir::{BlockId, FuncId, Instr, Program, ValidateError};
 use symmerge_solver::{SatResult, Solver, SolverConfig, SolverStats};
@@ -115,6 +116,7 @@ pub struct EngineBuilder {
     program: Program,
     config: EngineConfig,
     strategy_set: bool,
+    shared_pool: Option<Arc<SharedExprPool>>,
 }
 
 impl EngineBuilder {
@@ -211,6 +213,17 @@ impl EngineBuilder {
         self
     }
 
+    /// Interns this engine's expressions into `pool` (a fleet-shared
+    /// concurrent pool) instead of a private per-engine table. `ExprId`s
+    /// then resolve identically on every engine built over the same
+    /// pool, so states cross worker threads directly — the
+    /// work-stealing scheduler's substrate (see
+    /// [`crate::parallel::SchedulerKind::Steal`]).
+    pub fn shared_pool(mut self, pool: Arc<SharedExprPool>) -> Self {
+        self.shared_pool = Some(pool);
+        self
+    }
+
     /// Validates the program, runs the QCE static analysis, and constructs
     /// the engine.
     ///
@@ -219,7 +232,7 @@ impl EngineBuilder {
     /// Returns the program's structural [`ValidateError`], if any.
     pub fn build(self) -> Result<Engine, ValidateError> {
         self.program.validate()?;
-        Ok(Engine::from_parts(self.program, self.config))
+        Ok(Engine::from_parts(self.program, self.config, self.shared_pool))
     }
 }
 
@@ -261,6 +274,23 @@ pub struct RunReport {
     pub max_worklist: usize,
     /// States remaining unexplored when the run stopped.
     pub leftover_states: usize,
+    /// States serialized into [`PortableState`] envelopes for
+    /// cross-worker migration (BSP rounds only). Structurally zero under
+    /// the steal scheduler, which ships states directly through the
+    /// shared expression pool.
+    pub envelope_exports: u64,
+    /// Total [`symmerge_expr::PortableDag`] nodes serialized into those
+    /// envelopes — the serialize-and-re-intern traffic the shared pool
+    /// eliminates.
+    pub envelope_nodes: u64,
+    /// Successful steal batches (steal scheduler only; zero elsewhere).
+    pub steals: u64,
+    /// States moved by those steal batches.
+    pub stolen_states: u64,
+    /// Times an idle worker found nothing to steal and had to back off
+    /// (steal scheduler only) — the residual idleness the scheduler
+    /// could not fill.
+    pub idle_waits: u64,
     /// Covered basic blocks.
     pub covered_blocks: usize,
     /// Total basic blocks in the program.
@@ -396,6 +426,8 @@ pub struct Engine {
     merge_rejects: u64,
     max_worklist: usize,
     ff_merged: u64,
+    envelope_exports: u64,
+    envelope_nodes: u64,
 }
 
 impl std::fmt::Debug for Engine {
@@ -486,10 +518,19 @@ fn compute_distances(
 impl Engine {
     /// Starts building an engine for a program.
     pub fn builder(program: Program) -> EngineBuilder {
-        EngineBuilder { program, config: EngineConfig::default(), strategy_set: false }
+        EngineBuilder {
+            program,
+            config: EngineConfig::default(),
+            strategy_set: false,
+            shared_pool: None,
+        }
     }
 
-    fn from_parts(program: Program, config: EngineConfig) -> Engine {
+    fn from_parts(
+        program: Program,
+        config: EngineConfig,
+        shared_pool: Option<Arc<SharedExprPool>>,
+    ) -> Engine {
         let qce = QceAnalysis::run(&program, config.qce);
         let cfgs: Vec<CfgInfo> = program.functions.iter().map(CfgInfo::analyze).collect();
         let scheduler = match config.merge_mode {
@@ -499,7 +540,17 @@ impl Engine {
             ))),
             _ => Scheduler::Plain(make_strategy(config.strategy)),
         };
-        let pool = ExprPool::new(program.width);
+        let pool = match shared_pool {
+            Some(shared) => {
+                debug_assert_eq!(
+                    shared.default_width(),
+                    program.width,
+                    "shared pool width must match the program"
+                );
+                shared.handle()
+            }
+            None => ExprPool::new(program.width),
+        };
         let solver = Solver::new(config.solver.clone());
         let rng = StdRng::seed_from_u64(config.seed);
         Engine {
@@ -533,6 +584,8 @@ impl Engine {
             merge_rejects: 0,
             max_worklist: 0,
             ff_merged: 0,
+            envelope_exports: 0,
+            envelope_nodes: 0,
             config,
         }
     }
@@ -627,6 +680,8 @@ impl Engine {
             let env =
                 PortableState::export(&self.pool, &state, &history, ff, region, ctl.me, ctl.seq)
                     .with_warm_len(warm);
+            self.envelope_exports += 1;
+            self.envelope_nodes += env.dag_nodes() as u64;
             ctl.outbox.push(env);
             return;
         }
@@ -937,6 +992,14 @@ impl Engine {
             merge_rejects: self.merge_rejects,
             max_worklist: self.max_worklist,
             leftover_states: self.states.len(),
+            envelope_exports: self.envelope_exports,
+            envelope_nodes: self.envelope_nodes,
+            // Fleet-level steal counters live in the scheduler's shared
+            // block, not in any one engine; `run_steal` fills them in
+            // after reduction.
+            steals: 0,
+            stolen_states: 0,
+            idle_waits: 0,
             covered_blocks: self.covered.len(),
             total_blocks: self.program.num_blocks(),
             ff_merged: self.ff_merged,
@@ -1008,25 +1071,38 @@ impl Engine {
         if excess == 0 {
             return Vec::new();
         }
+        let mut ids = self.steal_order(newest_first);
+        ids.truncate(excess as usize);
+        ids.into_iter().filter_map(|id| self.export_state(id)).collect()
+    }
+
+    /// The deterministic order steals serve states in — shared by the
+    /// BSP free-placement stealer ([`Engine::evict_excess`]) and the
+    /// steal-scheduler deques ([`Engine::shed_states`]), so
+    /// `steal_newest` means the same thing under both schedulers.
+    ///
+    /// Oldest-id first by default (the Cilk cold-end convention —
+    /// shallow subtree roots transfer the most work); with
+    /// `warm_migration` on, cold-affinity states go first among
+    /// non-newest orders: a state whose prefix context is long gone
+    /// pays a rebuild wherever it runs, so shipping it costs the fleet
+    /// nothing extra, while warm states keep exploiting the donor's
+    /// resident contexts. Among equal warmth, oldest id first, so the
+    /// work-transfer property is preserved. `newest_first` reverses to
+    /// the hot end (descending id), starving thieves but keeping the
+    /// victim's contexts warm. Deterministic: ids are per-engine
+    /// integration counters and affinity tokens derive from the
+    /// solver's counters.
+    fn steal_order(&self, newest_first: bool) -> Vec<StateId> {
         let mut ids: Vec<StateId> = self.states.keys().copied().collect();
         if newest_first {
             ids.sort_unstable_by(|a, b| b.cmp(a));
         } else if self.config.warm_migration {
-            // Bias steals toward *cold-affinity* states: a state whose
-            // prefix context is long gone (affinity 0 or stale) pays a
-            // rebuild wherever it runs, so shipping it costs the fleet
-            // nothing extra, while warm states keep exploiting the
-            // donor's resident contexts. Among equal warmth, oldest id
-            // first — cold states are typically the old shallow subtree
-            // roots anyway, so the Cilk work-transfer property (steals
-            // move big unexplored subtrees) is preserved. Deterministic:
-            // affinity tokens derive from the solver's counters.
             ids.sort_unstable_by_key(|id| (self.states[id].affinity, *id));
         } else {
             ids.sort_unstable();
         }
-        ids.truncate(excess as usize);
-        ids.into_iter().filter_map(|id| self.export_state(id)).collect()
+        ids
     }
 
     /// Removes `id` from the worklist (with its DSM history and
@@ -1040,10 +1116,11 @@ impl Engine {
         let warm = self.solver.resident_prefix_len(&state.pc) as u32;
         let ctl = self.shard.as_mut().expect("export_state outside shard mode");
         ctl.seq += 1;
-        Some(
-            PortableState::export(&self.pool, &state, &history, ff, region, ctl.me, ctl.seq)
-                .with_warm_len(warm),
-        )
+        let env = PortableState::export(&self.pool, &state, &history, ff, region, ctl.me, ctl.seq)
+            .with_warm_len(warm);
+        self.envelope_exports += 1;
+        self.envelope_nodes += env.dag_nodes() as u64;
+        Some(env)
     }
 
     /// Installs a new region assignment and evicts every held state whose
@@ -1083,6 +1160,14 @@ impl Engine {
             let (state, history, ff) = env.import(&mut self.pool, id);
             imported.push((state, history, ff, env.warm_len()));
         }
+        self.prewarm_and_integrate(imported);
+    }
+
+    /// The shared tail of both migration paths ([`Engine::inject_all`]
+    /// for envelopes, [`Engine::inject_direct`] for shared-pool steals):
+    /// batch-prewarm the solver's context tree from the warm-prefix
+    /// seeds, stamp materialized affinity tokens, and integrate.
+    fn prewarm_and_integrate(&mut self, mut imported: Vec<(State, VecDeque<u64>, bool, usize)>) {
         if self.config.warm_migration && !imported.is_empty() {
             // The frontier is about to grow by the whole inbox; let the
             // adaptive capacity see it before the batch builds.
@@ -1106,6 +1191,64 @@ impl Engine {
         for (state, history, ff, _) in imported {
             self.integrate(state, history, ff);
         }
+    }
+
+    // ----- steal-mode plumbing (work-stealing scheduler) ----------------
+
+    /// Number of states currently in the worklist.
+    pub(crate) fn worklist_len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Removes up to `n` states for direct (same-pool) transfer to
+    /// another worker — the steal-scheduler counterpart of
+    /// [`Engine::evict_excess`], serving states in the identical
+    /// [`Engine::steal_order`] but skipping the envelope entirely: with
+    /// a shared expression pool the state's `ExprId`s are valid on every
+    /// worker, so nothing is serialized or re-interned.
+    pub(crate) fn shed_states(&mut self, n: usize, newest_first: bool) -> Vec<StolenState> {
+        debug_assert!(self.pool.is_shared(), "direct state transfer needs the shared pool");
+        let mut ids = self.steal_order(newest_first);
+        ids.truncate(n);
+        ids.into_iter()
+            .filter_map(|id| {
+                let history = self.histories.get(&id).cloned().unwrap_or_default();
+                let ff = self.ff_active.contains(&id);
+                let state = self.remove_from_worklist(id)?;
+                let warm_len = self.solver.resident_prefix_len(&state.pc) as u32;
+                Some(StolenState { state, history, ff, warm_len })
+            })
+            .collect()
+    }
+
+    /// Integrates states stolen from another worker's deque — the
+    /// direct counterpart of [`Engine::inject_all`]. No import step:
+    /// the shared pool is synced once so every shipped `ExprId`
+    /// resolves locally, each state gets a fresh local id (preserving
+    /// the oldest-first steal-order semantics of per-engine ids), and
+    /// the batch's warm-prefix seeds pre-warm the local context tree
+    /// together, exactly as envelope migration does.
+    pub(crate) fn inject_direct(&mut self, batch: Vec<StolenState>) {
+        if batch.is_empty() {
+            return;
+        }
+        // Donor workers may have interned nodes this handle has not yet
+        // mirrored; make every shipped ExprId resolvable first.
+        self.pool.sync();
+        let imported: Vec<(State, VecDeque<u64>, bool, usize)> = batch
+            .into_iter()
+            .map(|stolen| {
+                let StolenState { mut state, history, ff, warm_len } = stolen;
+                state.id = self.fresh_id();
+                // Affinity tokens index the donor's solver clock; the
+                // prefix context is cold here by definition. The prewarm
+                // below re-stamps whatever materializes locally.
+                state.affinity = 0;
+                let warm = (warm_len as usize).min(state.pc.len());
+                (state, history, ff, warm)
+            })
+            .collect();
+        self.prewarm_and_integrate(imported);
     }
 
     /// Drains the outbox of states that crossed into foreign regions.
@@ -1431,6 +1574,77 @@ mod tests {
             adaptive.solver.ctx_forks,
             adaptive.solver.ctx_evictions
         );
+    }
+
+    #[test]
+    fn steal_newest_order_is_pinned_and_shared_across_schedulers() {
+        // `steal_newest` must mean the same thing to the BSP
+        // free-placement stealer (envelope eviction) and the
+        // steal-scheduler deques (direct shedding): oldest id first by
+        // default, descending id when set. Pinned here against the one
+        // shared ordering both paths serve states in.
+        const SRC: &str = r#"
+            fn main() {
+                let a = sym_int("a");
+                let b = sym_int("b");
+                if (a > 10) { putchar(1); } else { putchar(2); }
+                if (b > 10) { putchar(3); } else { putchar(4); }
+            }
+        "#;
+        let prep = |shared: Option<std::sync::Arc<SharedExprPool>>| {
+            let program = minic::compile_with_width(SRC, 8).unwrap();
+            let mut b = Engine::builder(program)
+                .merging(MergeMode::None)
+                .strategy(crate::strategy::StrategyKind::Bfs)
+                .warm_migration(false)
+                .seed(3);
+            if let Some(p) = shared {
+                b = b.shared_pool(p);
+            }
+            let mut e = b.build().unwrap();
+            e.seed_initial();
+            while e.worklist_len() < 3 {
+                assert_eq!(e.explore_step(), ExploreStep::Progressed, "ran out before 3 states");
+            }
+            e
+        };
+        for newest in [false, true] {
+            // Steal-scheduler path: direct shed out of the shared pool.
+            let mut direct = prep(Some(SharedExprPool::new(8)));
+            let n = direct.worklist_len();
+            let shed = direct.shed_states(n, newest);
+            assert_eq!(shed.len(), n);
+            let shed_ids: Vec<u64> = shed.iter().map(|s| s.state.id.0).collect();
+            let mut expect = shed_ids.clone();
+            expect.sort_unstable();
+            if newest {
+                expect.reverse();
+            }
+            assert_eq!(
+                shed_ids, expect,
+                "newest={newest}: deque order must follow the pinned id order"
+            );
+            // BSP free-placement path: envelope eviction, same order.
+            let mut bsp = prep(None);
+            bsp.enable_shard(0, RegionMap::all_to_zero(2), true);
+            let envs = bsp.evict_excess(0, newest);
+            assert_eq!(envs.len(), n);
+            let mut dst = ExprPool::new(8);
+            let bsp_keys: Vec<(u64, usize)> = envs
+                .iter()
+                .enumerate()
+                .map(|(i, env)| {
+                    let (s, _, _) = env.import(&mut dst, StateId(i as u64));
+                    (s.steps, s.pc.len())
+                })
+                .collect();
+            let direct_keys: Vec<(u64, usize)> =
+                shed.iter().map(|s| (s.state.steps, s.state.pc.len())).collect();
+            assert_eq!(
+                direct_keys, bsp_keys,
+                "newest={newest}: both stealers must serve states in the same order"
+            );
+        }
     }
 
     #[test]

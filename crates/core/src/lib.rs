@@ -62,9 +62,9 @@ pub use dsm::{DsmConfig, DsmStats};
 pub use engine::{Budgets, Engine, EngineBuilder, EngineConfig, ExploreStep, MergeMode, RunReport};
 pub use exec::{AssertFailure, Completion};
 pub use merge::MergeConfig;
-pub use parallel::{reduce_reports, ParallelConfig, ParallelEngine, ShardOutput};
+pub use parallel::{reduce_reports, ParallelConfig, ParallelEngine, SchedulerKind, ShardOutput};
 pub use qce::{QceAnalysis, QceConfig, VarKey};
-pub use shard::{PortableState, RegionId, RegionMap};
+pub use shard::{PortableState, RegionId, RegionMap, StolenState};
 pub use state::{State, StateId};
 pub use strategy::{Strategy, StrategyKind};
 pub use symmerge_solver::{SolverConfig, SolverStats};

@@ -1,12 +1,24 @@
 //! The sharded, work-stealing parallel exploration engine.
 //!
 //! [`ParallelEngine`] runs the same exploration [`Engine::run`] performs,
-//! split across `jobs` worker threads. Each worker owns a full engine —
-//! its own [`symmerge_expr::ExprPool`], its own
-//! [`symmerge_solver::Solver`] with its own incremental-context LRU pool,
-//! its own scheduler and RNG stream — so workers share *nothing* on the
-//! hot path; states cross worker boundaries only as pool-independent
-//! [`PortableState`] envelopes.
+//! split across `jobs` worker threads, under one of two scheduling
+//! disciplines ([`SchedulerKind`]):
+//!
+//! * **BSP** (the default, and the deterministic reference oracle):
+//!   each worker owns a full engine — its own
+//!   [`symmerge_expr::ExprPool`], its own [`symmerge_solver::Solver`]
+//!   with its own incremental-context LRU pool, its own scheduler and
+//!   RNG stream — so workers share *nothing* on the hot path; states
+//!   cross worker boundaries only as pool-independent
+//!   [`PortableState`] envelopes, at round barriers.
+//! * **Steal** ([`MergeMode::None`] only): all workers build their
+//!   engines over one fleet-shared [`symmerge_expr::SharedExprPool`],
+//!   so `ExprId`s are globally stable and states cross threads
+//!   *directly* — zero envelopes, zero re-interning — through
+//!   per-worker deques ([`StolenState`]); idle workers steal instead of
+//!   waiting at a barrier. Results are set-identical to BSP
+//!   (schedule-invariant path set + canonical models); only
+//!   per-`(seed, jobs)` trace reproducibility relaxes.
 //!
 //! Placement follows the merge mode:
 //!
@@ -15,7 +27,7 @@
 //!   that QCE/DSM could ever merge have equal control keys, hence equal
 //!   regions, hence always meet on the same worker, and regions move
 //!   between workers only whole.
-//! * **[`MergeMode::None`](crate::engine::MergeMode::None)** has no
+//! * **[`MergeMode::None`]** has no
 //!   merges, so placement is *free*: states stay on the worker where
 //!   they forked (every integration is local) and load balances by
 //!   count, which spreads far better when the frontier clusters in a
@@ -50,7 +62,7 @@
 //!
 //! * `jobs = 1` takes the exact legacy sequential path (same code, same
 //!   report, byte for byte).
-//! * Any `jobs`, [`MergeMode::None`](crate::engine::MergeMode::None):
+//! * Any `jobs`, [`MergeMode::None`]:
 //!   the set of explored paths is
 //!   schedule-invariant, so — with
 //!   [`SolverConfig::canonical_models`](symmerge_solver::SolverConfig)
@@ -62,6 +74,14 @@
 //!   round structure can schedule merge partners apart, so the *merge
 //!   count* — and therefore which representative test a merged disjunction
 //!   samples — may differ from the sequential schedule.
+//! * [`SchedulerKind::Steal`] (any `jobs`, [`MergeMode::None`] enforced):
+//!   the explored path set — and with canonical models, every generated
+//!   test byte — is schedule-invariant, so results are *set-identical*
+//!   to BSP and the sequential engine (the differential harness asserts
+//!   this at `jobs ∈ {1, 2, 4}`). What is **not** promised is trace
+//!   reproducibility: thread interleaving decides shared-pool id
+//!   allocation order and which worker explores which subtree, so
+//!   per-worker counters and steal telemetry vary run to run.
 //!
 //! Budgets are enforced at round granularity: the coordinator stops
 //! issuing rounds once the fleet's summed steps/picks/completions (or the
@@ -96,36 +116,81 @@
 //! # }
 //! ```
 
-use crate::engine::{Budgets, Engine, EngineConfig, ExploreStep, RunReport};
-use crate::shard::{PortableState, RegionId, RegionMap};
-use std::collections::BTreeMap;
+use crate::engine::{Budgets, Engine, EngineConfig, ExploreStep, MergeMode, RunReport};
+use crate::shard::{PortableState, RegionId, RegionMap, StolenState};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use symmerge_expr::SharedExprPool;
 use symmerge_ir::{Program, ValidateError};
+
+/// Which scheduling discipline [`ParallelEngine`] drives the fleet with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Deterministic bulk-synchronous rounds over per-worker pools — the
+    /// reference oracle. States cross workers as [`PortableState`]
+    /// envelopes; results are a pure function of `(program, config,
+    /// jobs)`.
+    Bsp,
+    /// Work stealing over a fleet-shared
+    /// [`symmerge_expr::SharedExprPool`]: per-worker deques, no barrier,
+    /// no envelopes — idle workers steal directly. Only active under
+    /// [`MergeMode::None`] (merging modes silently fall back to BSP,
+    /// whose region placement they need for merge-candidate
+    /// co-location); promises *set-identical* results vs BSP, not
+    /// per-`(seed, jobs)` trace reproducibility.
+    Steal,
+}
+
+impl SchedulerKind {
+    /// Reads the `SYMMERGE_SCHEDULER` environment knob (`bsp` or
+    /// `steal`); anything else — including unset — is BSP.
+    pub fn from_env() -> SchedulerKind {
+        match std::env::var("SYMMERGE_SCHEDULER").as_deref() {
+            Ok("steal") => SchedulerKind::Steal,
+            _ => SchedulerKind::Bsp,
+        }
+    }
+}
 
 /// Parallelism knobs for [`ParallelEngine`].
 #[derive(Debug, Clone, Copy)]
 pub struct ParallelConfig {
-    /// Number of worker threads. `1` (the default) bypasses the round
-    /// machinery entirely and runs the legacy sequential engine.
+    /// Number of worker threads. Under [`SchedulerKind::Bsp`], `1` (the
+    /// default) bypasses the round machinery entirely and runs the
+    /// legacy sequential engine; under [`SchedulerKind::Steal`] even
+    /// `jobs = 1` runs the shared-pool machinery (so its overhead is
+    /// honestly measurable).
     pub jobs: u32,
-    /// Per-worker scheduler-step quota per round. Smaller quotas
-    /// rebalance (steal) more often at the cost of more barriers; the
-    /// quota is counted in steps, not time, to keep runs deterministic.
-    /// Clamped to at least 1 (a zero quota could never finish a round).
+    /// Per-worker scheduler-step quota per round (BSP only). Smaller
+    /// quotas rebalance (steal) more often at the cost of more barriers;
+    /// the quota is counted in steps, not time, to keep runs
+    /// deterministic. Clamped to at least 1 (a zero quota could never
+    /// finish a round).
     pub steps_per_round: u64,
-    /// Free-placement steal direction. `false` (default) steals the
+    /// Steal direction, honored identically by the BSP free-placement
+    /// stealer and the steal-mode deques. `false` (default) steals the
     /// *oldest* states — shallow subtree roots, the Cilk convention,
     /// which measured within a few percent of uniform per-worker load.
     /// `true` steals the *newest* states, which starves thieves but
     /// keeps the victim's incremental solver contexts warm — worth it
     /// only when workers outnumber usable cores.
     pub steal_newest: bool,
+    /// The scheduling discipline. Defaults from the `SYMMERGE_SCHEDULER`
+    /// environment knob ([`SchedulerKind::from_env`]), BSP when unset.
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for ParallelConfig {
     fn default() -> Self {
-        ParallelConfig { jobs: 1, steps_per_round: 512, steal_newest: false }
+        ParallelConfig {
+            jobs: 1,
+            steps_per_round: 512,
+            steal_newest: false,
+            scheduler: SchedulerKind::from_env(),
+        }
     }
 }
 
@@ -166,6 +231,11 @@ pub fn reduce_reports(parts: &[ShardOutput], total_blocks: usize) -> RunReport {
         merge_rejects: 0,
         max_worklist: 0,
         leftover_states: 0,
+        envelope_exports: 0,
+        envelope_nodes: 0,
+        steals: 0,
+        stolen_states: 0,
+        idle_waits: 0,
         covered_blocks: 0,
         total_blocks,
         ff_merged: 0,
@@ -191,6 +261,11 @@ pub fn reduce_reports(parts: &[ShardOutput], total_blocks: usize) -> RunReport {
         out.merge_rejects += r.merge_rejects;
         out.max_worklist = out.max_worklist.max(r.max_worklist);
         out.leftover_states += r.leftover_states;
+        out.envelope_exports += r.envelope_exports;
+        out.envelope_nodes += r.envelope_nodes;
+        out.steals += r.steals;
+        out.stolen_states += r.stolen_states;
+        out.idle_waits += r.idle_waits;
         out.ff_merged += r.ff_merged;
         out.dsm.absorb(&r.dsm);
         out.solver.absorb(&r.solver);
@@ -282,6 +357,12 @@ impl ParallelEngine {
     /// Runs the exploration across the configured workers and reduces
     /// the per-worker reports deterministically.
     pub fn run(&mut self) -> RunReport {
+        // The steal scheduler only applies where results are
+        // schedule-invariant; merging modes need BSP's region placement
+        // to co-locate merge candidates and fall back to it.
+        if self.par.scheduler == SchedulerKind::Steal && self.config.merge_mode == MergeMode::None {
+            return self.run_steal();
+        }
         if self.par.jobs <= 1 {
             // The legacy sequential path, bit for bit.
             return Engine::builder(self.program.clone())
@@ -494,6 +575,225 @@ impl ParallelEngine {
             report
         })
     }
+}
+
+/// Shared coordination block of a work-stealing run: the per-worker
+/// steal deques plus the fleet-global atomics that replace the BSP
+/// barrier (termination detection, budget counters, steal telemetry).
+struct Fleet {
+    /// Per-worker steal deques. Only the owner pushes (sheds); any
+    /// worker pops. Oldest states sit at the front.
+    queues: Vec<Mutex<VecDeque<StolenState>>>,
+    /// Live states anywhere in the fleet — worklists, deques, or in
+    /// flight between them. Exploration is over exactly when this
+    /// reaches zero: a state being stepped stays counted until its
+    /// successor delta is published, so the count never dips to zero
+    /// spuriously while work is in flight.
+    outstanding: AtomicI64,
+    /// Workers currently starved for work — the shed signal loaded
+    /// workers answer by moving half their worklist into their deque.
+    hungry: AtomicU32,
+    /// Set when a budget trips; workers drain out cooperatively.
+    stop: AtomicBool,
+    /// Fleet-total progress counters (budget enforcement).
+    steps: AtomicU64,
+    picks: AtomicU64,
+    completed: AtomicU64,
+    /// Successful steal batches / states they moved / futile idle waits.
+    steals: AtomicU64,
+    stolen_states: AtomicU64,
+    idle_waits: AtomicU64,
+}
+
+/// Whether any configured budget has tripped fleet-wide.
+fn steal_budget_tripped(b: &Budgets, start: Instant, fleet: &Fleet) -> bool {
+    b.max_time.is_some_and(|t| start.elapsed() >= t)
+        || b.max_steps.is_some_and(|s| fleet.steps.load(Ordering::Relaxed) >= s)
+        || b.max_picks.is_some_and(|p| fleet.picks.load(Ordering::Relaxed) >= p)
+        || b.max_completed.is_some_and(|c| fleet.completed.load(Ordering::Relaxed) >= c)
+}
+
+impl ParallelEngine {
+    /// The work-stealing run ([`SchedulerKind::Steal`]): every worker
+    /// builds its engine over one fleet-shared [`SharedExprPool`], so
+    /// states cross threads directly (zero [`PortableState`] envelopes —
+    /// asserted by the differential suite) and idle workers steal from
+    /// per-worker deques instead of waiting at a round barrier.
+    ///
+    /// Runs the full multi-worker machinery even at `jobs = 1`, so the
+    /// shared pool's single-thread overhead is honestly measurable
+    /// against the BSP/sequential baseline.
+    fn run_steal(&self) -> RunReport {
+        let jobs = self.par.jobs.max(1);
+        let start = Instant::now();
+        let budgets = self.config.budgets;
+        let pool = SharedExprPool::new(self.program.width);
+
+        // Worker engines run with budgets cleared; the fleet enforces
+        // the real budgets through the shared counters.
+        let mut worker_config = self.config.clone();
+        worker_config.budgets = Budgets::default();
+
+        let fleet = Fleet {
+            queues: (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect(),
+            // Worker 0 seeds the initial state before its first step;
+            // pre-count it so an early-starting peer cannot observe a
+            // spuriously empty fleet and exit.
+            outstanding: AtomicI64::new(1),
+            hungry: AtomicU32::new(0),
+            stop: AtomicBool::new(false),
+            steps: AtomicU64::new(0),
+            picks: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            stolen_states: AtomicU64::new(0),
+            idle_waits: AtomicU64::new(0),
+        };
+
+        let parts: Vec<ShardOutput> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|shard| {
+                    let program = self.program.clone();
+                    let mut config = worker_config.clone();
+                    config.seed = shard_seed(self.config.seed, shard);
+                    let pool = Arc::clone(&pool);
+                    let par = self.par;
+                    let fleet = &fleet;
+                    scope.spawn(move || {
+                        steal_worker(shard, par, budgets, start, program, config, pool, fleet)
+                    })
+                })
+                .collect();
+            // Joining in spawn (shard) order keeps the reduction's input
+            // order — and its float summation — deterministic.
+            handles.into_iter().map(|h| h.join().expect("steal worker panicked")).collect()
+        });
+
+        // States stranded in deques by a budget stop are unexplored work.
+        let stranded: usize =
+            fleet.queues.iter().map(|q| q.lock().expect("steal deque poisoned").len()).sum();
+        let mut report = reduce_reports(&parts, self.program.num_blocks());
+        report.leftover_states += stranded;
+        report.steals = fleet.steals.load(Ordering::Relaxed);
+        report.stolen_states = fleet.stolen_states.load(Ordering::Relaxed);
+        report.idle_waits = fleet.idle_waits.load(Ordering::Relaxed);
+        report.wall_time = start.elapsed();
+        report.hit_budget = fleet.stop.load(Ordering::Relaxed) && report.leftover_states > 0;
+        report
+    }
+}
+
+/// A work-stealing worker: owns one shared-pool [`Engine`] and loops
+/// "work locally, shed when peers starve, steal when empty" until the
+/// fleet's outstanding-state count hits zero or a budget trips.
+#[allow(clippy::too_many_arguments)] // one-shot thread entry point
+fn steal_worker(
+    shard: u32,
+    par: ParallelConfig,
+    budgets: Budgets,
+    start: Instant,
+    program: Program,
+    config: EngineConfig,
+    pool: Arc<SharedExprPool>,
+    fleet: &Fleet,
+) -> ShardOutput {
+    let jobs = fleet.queues.len() as u32;
+    let mut engine = Engine::builder(program)
+        .config(config)
+        .shared_pool(pool)
+        .build()
+        .expect("program validated in ParallelEngine::new");
+    if shard == 0 {
+        // The matching +1 is pre-counted in `Fleet::outstanding`.
+        engine.seed_initial();
+    }
+    // Mirrors of the engine's cumulative counters, for publishing deltas
+    // to the fleet totals after each step.
+    let (mut pub_steps, mut pub_picks, mut pub_completed) = (0u64, 0u64, 0u64);
+    loop {
+        if fleet.stop.load(Ordering::Acquire) {
+            break;
+        }
+        if steal_budget_tripped(&budgets, start, fleet) {
+            fleet.stop.store(true, Ordering::Release);
+            break;
+        }
+        if engine.worklist_len() == 0 {
+            // Reclaim the own deque first: those states were shed for
+            // starving peers, but none took them.
+            let own: Vec<StolenState> = {
+                let mut q = fleet.queues[shard as usize].lock().expect("steal deque poisoned");
+                q.drain(..).collect()
+            };
+            if !own.is_empty() {
+                engine.inject_direct(own);
+                continue;
+            }
+            // Steal: round-robin over the peers, taking half a victim's
+            // deque from the configured end (`steal_newest` means the
+            // same thing here as in the BSP free-placement stealer).
+            let mut stolen: Vec<StolenState> = Vec::new();
+            for step in 1..jobs {
+                let victim = ((shard + step) % jobs) as usize;
+                let mut q = fleet.queues[victim].lock().expect("steal deque poisoned");
+                for _ in 0..q.len().div_ceil(2) {
+                    let s = if par.steal_newest { q.pop_back() } else { q.pop_front() };
+                    stolen.extend(s);
+                }
+                if !stolen.is_empty() {
+                    break;
+                }
+            }
+            if !stolen.is_empty() {
+                fleet.steals.fetch_add(1, Ordering::Relaxed);
+                fleet.stolen_states.fetch_add(stolen.len() as u64, Ordering::Relaxed);
+                engine.inject_direct(stolen);
+                continue;
+            }
+            if fleet.outstanding.load(Ordering::Acquire) == 0 {
+                break; // fleet-wide exhaustion: nothing live anywhere
+            }
+            // Work exists but is in flight on other workers: signal
+            // hunger so they shed, and back off briefly.
+            fleet.hungry.fetch_add(1, Ordering::AcqRel);
+            fleet.idle_waits.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_micros(20));
+            fleet.hungry.fetch_sub(1, Ordering::AcqRel);
+            continue;
+        }
+        // Feed starving peers: when someone is hungry and the own deque
+        // is empty, move half the worklist into it (a deque-to-worklist
+        // move is outstanding-neutral — the states stay live).
+        if fleet.hungry.load(Ordering::Acquire) > 0 && engine.worklist_len() > 1 {
+            let deque_empty =
+                fleet.queues[shard as usize].lock().expect("steal deque poisoned").is_empty();
+            if deque_empty {
+                let batch = engine.shed_states(engine.worklist_len() / 2, par.steal_newest);
+                fleet.queues[shard as usize].lock().expect("steal deque poisoned").extend(batch);
+            }
+        }
+        let before = engine.worklist_len() as i64;
+        match engine.explore_step() {
+            ExploreStep::Progressed => {}
+            // The worklist was non-empty, so neither arm should be
+            // reachable; re-entering the loop is safe regardless.
+            ExploreStep::Exhausted | ExploreStep::BudgetExhausted => continue,
+        }
+        // Publish the step's worklist delta (successors minus the
+        // consumed state): completions drive `outstanding` toward zero,
+        // forks away from it. The stepped state stayed counted for the
+        // step's whole duration, so no peer saw a false zero.
+        let delta = engine.worklist_len() as i64 - before;
+        if delta != 0 {
+            fleet.outstanding.fetch_add(delta, Ordering::AcqRel);
+        }
+        let (s, p, c) = engine.progress_counters();
+        fleet.steps.fetch_add(s - pub_steps, Ordering::Relaxed);
+        fleet.picks.fetch_add(p - pub_picks, Ordering::Relaxed);
+        fleet.completed.fetch_add(c - pub_completed, Ordering::Relaxed);
+        (pub_steps, pub_picks, pub_completed) = (s, p, c);
+    }
+    ShardOutput { report: engine.report(false), covered: engine.covered_pairs() }
 }
 
 /// Everything a worker thread needs to know about its place in the
@@ -751,6 +1051,93 @@ mod tests {
             backward.tests.iter().map(|t| t.sort_key()).collect::<Vec<_>>(),
             "reduced test order itself must be canonical"
         );
+    }
+
+    fn run_steal_jobs(src: &str, cfg: EngineConfig, jobs: u32) -> RunReport {
+        let program = minic::compile_with_width(src, 8).unwrap();
+        ParallelEngine::new(
+            program,
+            cfg,
+            ParallelConfig { jobs, scheduler: SchedulerKind::Steal, ..Default::default() },
+        )
+        .unwrap()
+        .run()
+    }
+
+    #[test]
+    fn steal_scheduler_is_set_identical_to_bsp_with_zero_envelopes() {
+        let cfg = config(MergeMode::None, StrategyKind::Bfs);
+        let seq = run_jobs(BRANCHY, cfg.clone(), 1, 512);
+        // BSP with real migration traffic serializes envelopes...
+        let bsp = run_jobs(BRANCHY, cfg.clone(), 4, 2);
+        assert!(bsp.envelope_exports > 0, "tiny-quota BSP must migrate through envelopes");
+        assert!(bsp.envelope_nodes > 0);
+        // ...the steal path never does, and still lands on the same
+        // path set, coverage and test bytes.
+        for jobs in [1, 2, 4] {
+            let par = run_steal_jobs(BRANCHY, cfg.clone(), jobs);
+            assert_eq!(par.completed_paths, seq.completed_paths, "jobs={jobs}");
+            assert_eq!(par.completed_multiplicity, seq.completed_multiplicity);
+            assert_eq!(par.steps, seq.steps, "jobs={jobs}");
+            assert_eq!(par.picks, seq.picks, "jobs={jobs}");
+            assert_eq!(par.covered_blocks, seq.covered_blocks);
+            assert_eq!(par.assert_failures.len(), seq.assert_failures.len());
+            assert_eq!(test_bytes(&par), test_bytes(&seq), "jobs={jobs}");
+            assert_eq!(par.merges, 0);
+            assert_eq!(par.leftover_states, 0);
+            assert!(!par.hit_budget);
+            assert_eq!(
+                par.envelope_exports, 0,
+                "jobs={jobs}: the steal path must never serialize a PortableDag"
+            );
+            assert_eq!(par.envelope_nodes, 0, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn steal_scheduler_enforces_budgets() {
+        let src = r#"
+            fn main() {
+                let n = sym_int("n");
+                let s = 0;
+                for (let i = 0; i < n; i = i + 1) { s = s + i; }
+                putchar(s);
+            }
+        "#;
+        let mut cfg = config(MergeMode::None, StrategyKind::Bfs);
+        cfg.budgets.max_steps = Some(40);
+        let par = run_steal_jobs(src, cfg, 2);
+        assert!(par.hit_budget, "budget must trip");
+        // Each worker re-checks the fleet counters before every step and
+        // publishes right after it, so the overshoot is at most one
+        // unpublished step per worker.
+        assert!(par.steps <= 40 + 2, "steps {} overshot the budget too far", par.steps);
+        assert!(par.leftover_states > 0);
+    }
+
+    #[test]
+    fn steal_scheduler_falls_back_to_bsp_for_merging_modes() {
+        // Merging modes need BSP's region placement; requesting steal
+        // must transparently produce the BSP result (deterministic per
+        // (seed, jobs) — so two runs agree byte for byte).
+        let program = minic::compile_with_width(BRANCHY, 8).unwrap();
+        let cfg = config(MergeMode::Static, StrategyKind::Topological);
+        let run = |scheduler: SchedulerKind| {
+            ParallelEngine::new(
+                program.clone(),
+                cfg.clone(),
+                ParallelConfig { jobs: 3, steps_per_round: 2, scheduler, ..Default::default() },
+            )
+            .unwrap()
+            .run()
+        };
+        let bsp = run(SchedulerKind::Bsp);
+        let steal = run(SchedulerKind::Steal);
+        assert_eq!(steal.completed_paths, bsp.completed_paths);
+        assert_eq!(steal.merges, bsp.merges);
+        assert_eq!(steal.steps, bsp.steps);
+        assert_eq!(test_bytes(&steal), test_bytes(&bsp));
+        assert_eq!(steal.steals, 0, "fallback must not run the steal machinery");
     }
 
     #[test]

@@ -275,6 +275,32 @@ impl PortableState {
     pub fn order_key(&self) -> (u32, u64) {
         (self.origin_shard, self.origin_seq)
     }
+
+    /// Number of DAG nodes serialized into this envelope — the
+    /// re-interning cost the importer pays, and the traffic the
+    /// shared-pool steal scheduler eliminates.
+    pub fn dag_nodes(&self) -> usize {
+        self.dag.len()
+    }
+}
+
+/// A state crossing worker threads *directly* under the work-stealing
+/// scheduler: plain `Send` data whose `ExprId`s resolve in the
+/// fleet-shared [`symmerge_expr::SharedExprPool`] — no [`PortableDag`]
+/// serialization, no re-interning. Carries the same engine-side
+/// bookkeeping an envelope does (DSM history, fast-forward flag) plus
+/// the warm-prefix seed (see [`PortableState::warm_len`]).
+#[derive(Debug)]
+pub struct StolenState {
+    /// The state itself, ids intact (the receiver re-ids it locally).
+    pub state: State,
+    /// The state's DSM signature history.
+    pub history: VecDeque<u64>,
+    /// Whether the state was being fast-forwarded (paper §5.5).
+    pub ff: bool,
+    /// How many leading `pc` conjuncts were resident in the donor's
+    /// solver-context tree, for batch prewarming on the thief.
+    pub warm_len: u32,
 }
 
 #[cfg(test)]

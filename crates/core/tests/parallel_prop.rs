@@ -29,17 +29,18 @@ fn arb_test() -> impl Strategy<Value = TestCase> {
 }
 
 /// Arbitrary per-shard solver stats whose timing split upholds the
-/// `time >= sat_time + cache_time` contract — `sat_time` and
-/// `cache_time` are disjoint segments of `time`, with routing as the
-/// slack — so the reduction can be checked to preserve it.
+/// `time >= sat_time + cache_time + route_time` contract — the three
+/// counters are disjoint segments of `time`, with recording upkeep as
+/// the slack — so the reduction can be checked to preserve it.
 fn arb_solver_stats() -> impl Strategy<Value = SolverStats> {
-    (0u64..200, 0u64..500, 0u64..500, 0u64..500).prop_map(
-        |(queries, sat_us, cache_us, slack_us)| SolverStats {
+    (0u64..200, 0u64..500, 0u64..500, 0u64..500, 0u64..500).prop_map(
+        |(queries, sat_us, cache_us, route_us, slack_us)| SolverStats {
             queries,
             sat_calls: queries / 2,
             sat_time: Duration::from_micros(sat_us),
             cache_time: Duration::from_micros(cache_us),
-            time: Duration::from_micros(sat_us + cache_us + slack_us),
+            route_time: Duration::from_micros(route_us),
+            time: Duration::from_micros(sat_us + cache_us + route_us + slack_us),
             ..Default::default()
         },
     )
@@ -74,6 +75,11 @@ fn arb_shard_output() -> impl Strategy<Value = ShardOutput> {
                         merge_rejects: merges * 2,
                         max_worklist,
                         leftover_states: (steps % 5) as usize,
+                        envelope_exports: steps / 4,
+                        envelope_nodes: steps * 3,
+                        steals: picks / 5,
+                        stolen_states: picks / 4,
+                        idle_waits: picks / 6,
                         covered_blocks: 0,
                         total_blocks: 60,
                         ff_merged: merges / 2,
@@ -110,22 +116,29 @@ fn observable(r: &RunReport) -> impl PartialEq + std::fmt::Debug {
             r.ff_merged,
             r.hit_budget,
         ),
-        // Counters only: the timing fields of two real runs legitimately
-        // differ, and their reduction is pinned by `assert_timing_split`.
-        (r.solver.queries, r.solver.sat_calls),
+        (
+            (r.envelope_exports, r.envelope_nodes),
+            (r.steals, r.stolen_states, r.idle_waits),
+            // Counters only: the timing fields of two real runs
+            // legitimately differ, and their reduction is pinned by
+            // `assert_timing_split`.
+            (r.solver.queries, r.solver.sat_calls),
+        ),
     )
 }
 
 /// Absorbing per-shard stats into a fleet total must preserve the
-/// per-shard timing contract: sums of `sat_time` and `cache_time` stay
-/// within the summed `time`.
+/// per-shard timing contract: sums of `sat_time`, `cache_time` and
+/// `route_time` stay within the summed `time`.
 fn assert_timing_split(r: &RunReport) {
     assert!(
-        r.solver.time >= r.solver.sat_time + r.solver.cache_time,
-        "reduced stats violate time >= sat_time + cache_time: {:?} < {:?} + {:?}",
+        r.solver.time >= r.solver.sat_time + r.solver.cache_time + r.solver.route_time,
+        "reduced stats violate time >= sat_time + cache_time + route_time: \
+         {:?} < {:?} + {:?} + {:?}",
         r.solver.time,
         r.solver.sat_time,
-        r.solver.cache_time
+        r.solver.cache_time,
+        r.solver.route_time
     );
 }
 
@@ -154,6 +167,7 @@ proptest! {
         prop_assert_eq!(reference.solver.time, from_rotated.solver.time);
         prop_assert_eq!(reference.solver.sat_time, from_rotated.solver.sat_time);
         prop_assert_eq!(reference.solver.cache_time, from_rotated.solver.cache_time);
+        prop_assert_eq!(reference.solver.route_time, from_rotated.solver.route_time);
         let mut reversed = parts.clone();
         reversed.reverse();
         let from_reversed = reduce_reports(&reversed, 60);

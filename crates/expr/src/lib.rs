@@ -46,7 +46,7 @@ mod visit;
 
 pub use eval::Value;
 pub use kind::{BoolBinOp, BvBinOp, CmpOp, ExprKind};
-pub use pool::{ExprId, ExprPool, SymbolId};
+pub use pool::{ExprId, ExprPool, SharedExprPool, SymbolId};
 pub use portable::{DagExporter, PortableDag, PortableNode, PortableRef};
 pub use sort::Sort;
 pub use visit::Postorder;

@@ -4,6 +4,7 @@ use crate::kind::{BoolBinOp, BvBinOp, CmpOp, ExprKind};
 use crate::sort::{mask, to_signed, Sort};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::{Arc, RwLock};
 
 /// A handle to an expression node inside an [`ExprPool`].
 ///
@@ -30,11 +31,156 @@ impl SymbolId {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 struct Node {
     kind: ExprKind,
     sort: Sort,
     has_input: bool,
+}
+
+/// Number of consing shards in a [`SharedExprPool`]: first-time interns of
+/// two distinct kinds contend only when the kinds hash to the same shard.
+const CONSING_SHARDS: usize = 16;
+
+const POISONED: &str = "shared expression pool lock poisoned";
+
+#[derive(Debug, Default)]
+struct SymbolTable {
+    names: Vec<String>,
+    ids: HashMap<String, SymbolId>,
+}
+
+/// A concurrent, append-only hash-consing table shared by every worker of
+/// a work-stealing exploration.
+///
+/// The shared pool is the allocation authority: it assigns globally stable
+/// [`ExprId`]s / [`SymbolId`]s, so expressions built by one worker are
+/// directly meaningful to every other worker — states cross threads as
+/// plain values, with no serialization and no re-interning. Workers never
+/// touch the shared table directly; each owns an [`ExprPool`] handle
+/// (see [`SharedExprPool::handle`]) whose private mirror of the node table
+/// makes *every read and every consing hit of an already-interned node
+/// completely lock-free*. Locks are taken only on the first intern of a
+/// node anywhere in the fleet (a sharded write lock) and when a handle
+/// catches its mirror up after such a miss.
+///
+/// Concurrency note: under concurrent interning the *allocation order* of
+/// ids depends on thread interleaving. Everything semantic is unaffected —
+/// hash-consing still guarantees one node per kind, and the id-order
+/// canonicalization of commutative operands picks *an* orientation
+/// consistently for all workers within a run (ids are global) — but ids
+/// must not be used as cross-run-stable values. The deterministic BSP
+/// engine therefore keeps per-worker local pools; the shared pool is the
+/// substrate of the work-stealing scheduler, whose contract is
+/// set-identical results rather than trace reproducibility.
+#[derive(Debug)]
+pub struct SharedExprPool {
+    shards: Vec<RwLock<HashMap<ExprKind, ExprId>>>,
+    nodes: RwLock<Vec<Node>>,
+    symbols: RwLock<SymbolTable>,
+    default_width: u32,
+}
+
+impl SharedExprPool {
+    /// Creates a shared pool (see [`ExprPool::new`] for `default_width`).
+    /// `true` and `false` are pre-interned as the first two nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `default_width` is not in `1..=64`.
+    pub fn new(default_width: u32) -> Arc<SharedExprPool> {
+        assert!(
+            (1..=64).contains(&default_width),
+            "default width {default_width} out of range 1..=64"
+        );
+        let pool = SharedExprPool {
+            shards: (0..CONSING_SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            nodes: RwLock::new(Vec::new()),
+            symbols: RwLock::new(SymbolTable::default()),
+            default_width,
+        };
+        let t = pool.intern(ExprKind::BoolConst(true), Sort::Bool, false);
+        let f = pool.intern(ExprKind::BoolConst(false), Sort::Bool, false);
+        assert_eq!((t, f), (ExprId(0), ExprId(1)));
+        Arc::new(pool)
+    }
+
+    /// A new worker handle onto this pool. Handles are cheap; their mirror
+    /// lazily catches up with nodes other handles intern.
+    pub fn handle(self: &Arc<Self>) -> ExprPool {
+        let mut pool = ExprPool {
+            nodes: Vec::new(),
+            consing: HashMap::new(),
+            symbols: Vec::new(),
+            symbol_ids: HashMap::new(),
+            default_width: self.default_width,
+            true_id: ExprId(0),
+            false_id: ExprId(1),
+            shared: Some(Arc::clone(self)),
+        };
+        pool.sync();
+        pool
+    }
+
+    /// The pool's default bitvector width.
+    pub fn default_width(&self) -> u32 {
+        self.default_width
+    }
+
+    /// Total number of nodes interned fleet-wide so far.
+    pub fn len(&self) -> usize {
+        self.nodes.read().expect(POISONED).len()
+    }
+
+    /// Whether the pool contains no nodes (never true in practice: `true`
+    /// and `false` are pre-interned).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn shard_of(kind: &ExprKind) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        kind.hash(&mut h);
+        (h.finish() as usize) % CONSING_SHARDS
+    }
+
+    /// Interns (or retrieves) a node. All interns of one kind serialize
+    /// through that kind's consing shard; the node vector is locked only
+    /// for the push itself.
+    fn intern(&self, kind: ExprKind, sort: Sort, has_input: bool) -> ExprId {
+        let shard = &self.shards[Self::shard_of(&kind)];
+        if let Some(&id) = shard.read().expect(POISONED).get(&kind) {
+            return id;
+        }
+        let mut map = shard.write().expect(POISONED);
+        if let Some(&id) = map.get(&kind) {
+            return id; // lost the race to another first-interner
+        }
+        let mut nodes = self.nodes.write().expect(POISONED);
+        let id = ExprId(u32::try_from(nodes.len()).expect("shared pool overflow"));
+        nodes.push(Node { kind, sort, has_input });
+        drop(nodes);
+        map.insert(kind, id);
+        id
+    }
+
+    /// Interns (or retrieves) a symbol by name.
+    fn intern_symbol(&self, name: &str) -> SymbolId {
+        {
+            let table = self.symbols.read().expect(POISONED);
+            if let Some(&id) = table.ids.get(name) {
+                return id;
+            }
+        }
+        let mut table = self.symbols.write().expect(POISONED);
+        if let Some(&id) = table.ids.get(name) {
+            return id;
+        }
+        let id = SymbolId(u32::try_from(table.names.len()).expect("symbol overflow"));
+        table.names.push(name.to_owned());
+        table.ids.insert(name.to_owned(), id);
+        id
+    }
 }
 
 /// The hash-consed expression DAG.
@@ -42,6 +188,17 @@ struct Node {
 /// All expressions live inside a pool; [`ExprId`]s are only meaningful
 /// relative to the pool that created them. The pool is append-only, so ids
 /// remain valid for the pool's lifetime.
+///
+/// A pool is either *local* (created by [`ExprPool::new`]: a plain private
+/// table, the default everywhere) or a *handle* onto a fleet-wide
+/// [`SharedExprPool`] (created by [`SharedExprPool::handle`]). A handle
+/// keeps a private mirror of the shared node table so all `&self` reads
+/// and repeat interns stay lock-free; it only reaches for the shared
+/// table on a first-time intern, and catches the mirror up at explicit
+/// [`ExprPool::sync`] points (the work-stealing engine syncs when a
+/// stolen state is injected). `&self` accessors on a handle index the
+/// mirror, so they panic on an id the handle has never seen — which
+/// cannot happen for ids reachable from states synced at injection.
 ///
 /// # Panics
 ///
@@ -58,6 +215,7 @@ pub struct ExprPool {
     default_width: u32,
     true_id: ExprId,
     false_id: ExprId,
+    shared: Option<Arc<SharedExprPool>>,
 }
 
 impl ExprPool {
@@ -80,10 +238,43 @@ impl ExprPool {
             default_width,
             true_id: ExprId(0),
             false_id: ExprId(0),
+            shared: None,
         };
         pool.true_id = pool.intern(ExprKind::BoolConst(true), Sort::Bool, false);
         pool.false_id = pool.intern(ExprKind::BoolConst(false), Sort::Bool, false);
         pool
+    }
+
+    /// The shared pool this handle mirrors, if any.
+    pub fn shared_pool(&self) -> Option<&Arc<SharedExprPool>> {
+        self.shared.as_ref()
+    }
+
+    /// Whether this pool is a handle onto a [`SharedExprPool`].
+    pub fn is_shared(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Catches the private mirror up with everything interned fleet-wide.
+    /// No-op on a local pool. The work-stealing engine calls this before
+    /// integrating stolen states, which makes every id reachable from
+    /// them resolvable through `&self` accessors.
+    pub fn sync(&mut self) {
+        let Some(shared) = self.shared.clone() else { return };
+        {
+            let nodes = shared.nodes.read().expect(POISONED);
+            for i in self.nodes.len()..nodes.len() {
+                let node = nodes[i];
+                self.consing.insert(node.kind, ExprId(i as u32));
+                self.nodes.push(node);
+            }
+        }
+        let table = shared.symbols.read().expect(POISONED);
+        for i in self.symbols.len()..table.names.len() {
+            let name = table.names[i].clone();
+            self.symbol_ids.insert(name.clone(), SymbolId(i as u32));
+            self.symbols.push(name);
+        }
     }
 
     /// The pool's default bitvector width.
@@ -117,6 +308,11 @@ impl ExprPool {
         if let Some(&id) = self.symbol_ids.get(name) {
             return id;
         }
+        if let Some(shared) = &self.shared {
+            let id = Arc::clone(shared).intern_symbol(name);
+            self.sync();
+            return id;
+        }
         let id = SymbolId(self.symbols.len() as u32);
         self.symbols.push(name.to_owned());
         self.symbol_ids.insert(name.to_owned(), id);
@@ -125,6 +321,16 @@ impl ExprPool {
 
     fn intern(&mut self, kind: ExprKind, sort: Sort, has_input: bool) -> ExprId {
         if let Some(&id) = self.consing.get(&kind) {
+            return id;
+        }
+        if let Some(shared) = &self.shared {
+            // First miss in the mirror: intern through the shared table
+            // (which may find another worker already made the node), then
+            // catch the mirror up — we are paying for a lock round-trip
+            // anyway, and catching up turns other workers' nodes into
+            // future lock-free consing hits.
+            let id = Arc::clone(shared).intern(kind, sort, has_input);
+            self.sync();
             return id;
         }
         let id = ExprId(self.nodes.len() as u32);

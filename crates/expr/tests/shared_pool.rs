@@ -1,0 +1,140 @@
+//! Concurrent-interning properties of [`SharedExprPool`].
+//!
+//! N threads racing to intern the same expression structure through
+//! independent handles must converge on a single node per kind with
+//! globally stable `ExprId`s, and the semantic fingerprint of every
+//! expression must be indistinguishable from a single-threaded build.
+//! These are the invariants the work-stealing scheduler leans on when
+//! it transfers `State`s between workers without any DAG translation.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use symmerge_expr::{BvBinOp, ExprId, ExprPool, SharedExprPool};
+
+const WIDTH: u32 = 16;
+const THREADS: usize = 4;
+
+/// One step of a deterministic expression chain: an opcode selector, a
+/// constant operand and an input selector. Chains built from the same
+/// step list are structurally identical no matter which pool or thread
+/// builds them.
+type Step = (u8, u64, u8);
+
+fn build_chain(pool: &mut ExprPool, steps: &[Step]) -> ExprId {
+    let mut acc = pool.bv_const(1, WIDTH);
+    for &(op, k, i) in steps {
+        let inp = pool.input(&format!("in{}", i % 4), WIDTH);
+        let kc = pool.bv_const(k & 0xffff, WIDTH);
+        acc = match op % 6 {
+            0 => pool.add(acc, inp),
+            1 => pool.bv(BvBinOp::Xor, acc, kc),
+            2 => pool.mul(acc, inp),
+            3 => {
+                let c = pool.ult(acc, kc);
+                pool.ite(c, inp, acc)
+            }
+            4 => pool.sub(acc, kc),
+            _ => {
+                let c = pool.eq(inp, kc);
+                pool.ite(c, acc, inp)
+            }
+        };
+    }
+    acc
+}
+
+/// Races `THREADS` handle-owning threads building the same chain and
+/// returns the per-thread root ids plus the shared pool.
+fn race(steps: &[Step]) -> (Vec<ExprId>, Arc<SharedExprPool>) {
+    let shared = SharedExprPool::new(WIDTH);
+    let roots: Vec<ExprId> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                scope.spawn(move || {
+                    let mut pool = shared.handle();
+                    build_chain(&mut pool, steps)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("builder thread panicked")).collect()
+    });
+    (roots, shared)
+}
+
+proptest! {
+    // Cases and seed are pinned so CI runs are exactly reproducible.
+    #![proptest_config(ProptestConfig::with_cases(48).seed(0x51AB_9001))]
+
+    /// Racing threads interning the same structure agree on one root id,
+    /// and the shared pool holds exactly as many nodes as a
+    /// single-threaded build of the same chain — no duplicate interning
+    /// under contention.
+    #[test]
+    fn concurrent_interning_is_duplicate_free(
+        steps in proptest::collection::vec((0u8..6, 0u64..=0xffff, 0u8..4), 1..24),
+    ) {
+        let (roots, shared) = race(&steps);
+        for &r in &roots[1..] {
+            prop_assert_eq!(r, roots[0], "threads disagree on the interned root id");
+        }
+        let mut reference = ExprPool::new(WIDTH);
+        build_chain(&mut reference, &steps);
+        prop_assert_eq!(shared.len(), reference.len(),
+            "shared pool interned a different node count than a single-threaded build");
+    }
+
+    /// Ids handed out by the shared pool are stable: a fresh handle
+    /// re-building the chain after the race gets the same root id and
+    /// interns nothing new.
+    #[test]
+    fn shared_ids_are_stable_across_handles(
+        steps in proptest::collection::vec((0u8..6, 0u64..=0xffff, 0u8..4), 1..24),
+    ) {
+        let (roots, shared) = race(&steps);
+        let len_after_race = shared.len();
+        let mut late = shared.handle();
+        prop_assert_eq!(late.len(), len_after_race, "a fresh handle must see every node");
+        let replay = build_chain(&mut late, &steps);
+        prop_assert_eq!(replay, roots[0], "replay through a fresh handle moved the root id");
+        prop_assert_eq!(shared.len(), len_after_race, "replay must not grow the pool");
+    }
+
+    /// Fingerprint tokens are a semantic property: the root's token from
+    /// a raced shared-pool build matches the single-threaded pool's,
+    /// regardless of how the interleaving ordered id allocation.
+    #[test]
+    fn fingerprints_are_interleaving_invariant(
+        steps in proptest::collection::vec((0u8..6, 0u64..=0xffff, 0u8..4), 1..24),
+    ) {
+        let (roots, shared) = race(&steps);
+        let handle = shared.handle();
+        let mut reference = ExprPool::new(WIDTH);
+        let ref_root = build_chain(&mut reference, &steps);
+        prop_assert_eq!(
+            handle.fingerprint_token(roots[0]),
+            reference.fingerprint_token(ref_root),
+            "fingerprint token differs between shared and single-threaded builds"
+        );
+        prop_assert_eq!(
+            handle.depends_on_input(roots[0]),
+            reference.depends_on_input(ref_root)
+        );
+    }
+}
+
+/// The true/false sentinels are pre-interned by the shared pool so every
+/// handle — and every `State` migrated between workers — agrees on them
+/// without synchronization.
+#[test]
+fn boolean_sentinels_are_pinned() {
+    let shared = SharedExprPool::new(WIDTH);
+    let handles: Vec<ExprPool> = (0..3).map(|_| shared.handle()).collect();
+    for h in handles {
+        let t = h.true_();
+        let f = h.false_();
+        assert!(h.is_true(t) && h.is_false(f));
+        assert_eq!(t.index(), 0);
+        assert_eq!(f.index(), 1);
+    }
+}

@@ -288,13 +288,22 @@ pub struct SolverStats {
     /// Cumulative time spent in cache-tier bookkeeping: the tier-1–3
     /// lookups a query pays before routing to a solving path, plus
     /// feeding the fresh result back into the caches. Disjoint from
-    /// `sat_time` and contained (with it) in `time`, so
-    /// `time >= sat_time + cache_time` always holds — the remainder is
-    /// normalization, context-tree routing and model extraction.
+    /// `sat_time` and `route_time` and contained (with them) in `time`.
     /// Previously this cost hid inside `time`, which made the
     /// solver-vs-engine wall attribution double-count cache overhead
     /// as "solving".
     pub cache_time: Duration,
+    /// Cumulative time spent routing a query to its solving path and
+    /// preparing that path: per-query normalization bookkeeping (size
+    /// accounting, set hashing), context-tree lookup / fork / rebuild —
+    /// including bit-blasting prefix conjuncts into a context — and the
+    /// re-blast path's CNF construction. Disjoint from `sat_time` and
+    /// `cache_time` and contained (with them) in `time`, so
+    /// `time >= sat_time + cache_time + route_time` always holds; the
+    /// (small) remainder is result recording and counter upkeep.
+    /// Splitting this out closes the PR 6 attribution gap where the
+    /// routing remainder could only be inferred by subtraction.
+    pub route_time: Duration,
     /// Cumulative SAT conflicts.
     pub conflicts: u64,
     /// Cumulative SAT decisions.
@@ -330,6 +339,7 @@ impl SolverStats {
         self.time += other.time;
         self.sat_time += other.sat_time;
         self.cache_time += other.cache_time;
+        self.route_time += other.route_time;
         self.conflicts += other.conflicts;
         self.decisions += other.decisions;
         self.query_nodes += other.query_nodes;
@@ -1067,6 +1077,11 @@ impl Solver {
                 *self.dag_sizes.entry(c).or_insert_with(|| pool.dag_size(c) as u64);
         }
         let h = hash.unwrap_or_else(|| set_hash(set));
+        // Per-query normalization bookkeeping (size accounting + set
+        // hashing) is the first `route_time` slice; the cache and sat
+        // windows below are measured separately, keeping the three
+        // counters disjoint inside `time`.
+        self.stats.route_time += start.elapsed();
         // Tier gate: on warm context-served queries at or below the
         // threshold, the context beats the model-reuse and cex tiers —
         // skip straight past them (the exact cache stays on). "Warm"
@@ -1321,6 +1336,7 @@ impl Solver {
     /// `route.may_extend` tells the context whether `extra` can ever
     /// become a prefix extension (and hence counts as sibling evidence).
     fn check_in_context(&mut self, pool: &ExprPool, route: &CtxRoute, set: &[ExprId]) -> SatResult {
+        let route_start = Instant::now();
         let CtxRoute { prefix, extra, may_extend, prefound } = *route;
         let node = self.context_node_for(pool, prefix, Some(prefound));
         if self.tree.ctx(node).is_dead() {
@@ -1328,11 +1344,17 @@ impl Solver {
             // of the query's, when a dead ancestor answered — is unsat
             // on its own: donate it as a core and skip solving.
             self.note_dead_prefix(pool, node);
+            self.stats.route_time += route_start.elapsed();
             return SatResult::Unsat;
         }
         self.stats.sat_calls += 1;
         let extras: Vec<ExprId> = if pool.is_true(extra) { Vec::new() } else { vec![extra] };
         let before = self.tree.ctx(node).sat_stats();
+        // Context lookup / fork / rebuild — including blasting the
+        // uncovered prefix tail into the solver — is routing work, not
+        // SAT search: charge it to `route_time` and open the sat window
+        // only now.
+        self.stats.route_time += route_start.elapsed();
         let sat_start = Instant::now();
         let budget = self.config.max_conflicts;
         let ctx = self.tree.ctx_mut(node);
@@ -1556,10 +1578,14 @@ impl Solver {
 
     fn solve_slice(&mut self, pool: &ExprPool, slice: &[ExprId], budget: Option<u64>) -> SatResult {
         self.stats.sat_calls += 1;
+        // Re-blast CNF construction is routing/preparation work, kept
+        // out of the sat window (which opens below at solver start).
+        let route_start = Instant::now();
         let mut bb = BitBlaster::new();
         for &c in slice {
             bb.assert_true(pool, c);
         }
+        self.stats.route_time += route_start.elapsed();
         let sat_start = Instant::now();
         let mut sat = SatSolver::from_cnf(bb.cnf());
         sat.set_conflict_budget(budget);
@@ -2387,11 +2413,17 @@ mod tests {
         let st = s.stats();
         assert!(st.cache_hits > 0, "repeat queries must hit the exact cache");
         assert!(
-            st.time >= st.sat_time + st.cache_time,
-            "cache_time ({:?}) and sat_time ({:?}) are disjoint slices of time ({:?})",
+            st.time >= st.sat_time + st.cache_time + st.route_time,
+            "cache_time ({:?}), sat_time ({:?}) and route_time ({:?}) are disjoint slices \
+             of time ({:?})",
             st.cache_time,
             st.sat_time,
+            st.route_time,
             st.time
+        );
+        assert!(
+            st.route_time > std::time::Duration::ZERO,
+            "queries that reached a solving path must have accrued routing time"
         );
     }
 

@@ -439,13 +439,14 @@ proptest! {
                 prop_assert!(m.satisfies(&p, &set), "bogus gated model");
             }
         }
-        // The timing split holds on both pipelines: cache bookkeeping and
-        // sat solving are disjoint segments of total solver time.
+        // The timing split holds on both pipelines: cache bookkeeping,
+        // query routing and sat solving are disjoint segments of total
+        // solver time.
         for s in [&gated, &ungated] {
             let st = s.stats();
             prop_assert!(
-                st.time >= st.sat_time + st.cache_time,
-                "sat_time + cache_time exceed total solver time"
+                st.time >= st.sat_time + st.cache_time + st.route_time,
+                "sat_time + cache_time + route_time exceed total solver time"
             );
         }
     }

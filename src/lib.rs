@@ -49,7 +49,8 @@ pub use symmerge_workloads as workloads;
 pub mod prelude {
     pub use symmerge_core::{
         Budgets, DsmConfig, Engine, EngineBuilder, EngineConfig, MergeConfig, MergeMode,
-        ParallelConfig, ParallelEngine, QceConfig, RunReport, StrategyKind, TestCase, TestKind,
+        ParallelConfig, ParallelEngine, QceConfig, RunReport, SchedulerKind, StrategyKind,
+        TestCase, TestKind,
     };
     pub use symmerge_ir::interp::{ExecOutcome, InputMap, Interp};
     pub use symmerge_ir::{minic, Program};

@@ -324,6 +324,28 @@ fn run_parallel_program(
     solver: SolverConfig,
     jobs: u32,
 ) -> RunReport {
+    run_parallel_program_with(
+        program,
+        workload,
+        mode,
+        strategy,
+        solver,
+        ParallelConfig { jobs, steps_per_round: 48, ..Default::default() },
+    )
+}
+
+/// [`run_parallel_program`] with an explicit [`ParallelConfig`], for the
+/// scheduler-differential legs that pin the scheduler regardless of the
+/// `SYMMERGE_SCHEDULER` environment.
+fn run_parallel_program_with(
+    program: Program,
+    workload: &str,
+    mode: MergeMode,
+    strategy: StrategyKind,
+    solver: SolverConfig,
+    par: ParallelConfig,
+) -> RunReport {
+    let jobs = par.jobs;
     let config = EngineConfig {
         merge_mode: mode,
         strategy,
@@ -332,13 +354,8 @@ fn run_parallel_program(
         seed: 11,
         ..EngineConfig::default()
     };
-    let report = ParallelEngine::new(
-        program,
-        config,
-        ParallelConfig { jobs, steps_per_round: 48, ..Default::default() },
-    )
-    .expect("workload programs validate")
-    .run();
+    let report =
+        ParallelEngine::new(program, config, par).expect("workload programs validate").run();
     assert!(
         !report.hit_budget,
         "{workload} {mode:?}/{strategy:?} jobs={jobs}: differential requires exhaustive runs"
@@ -346,6 +363,43 @@ fn run_parallel_program(
     assert_eq!(
         report.tests_dropped_unknown, 0,
         "{workload} {mode:?}/{strategy:?} jobs={jobs}: no solver budget is set, nothing may drop"
+    );
+    report
+}
+
+/// Runs a workload on the work-stealing scheduler with `jobs` workers,
+/// pinning `SchedulerKind::Steal` regardless of the environment. Steal
+/// mode migrates states by direct `Send` over the shared expression
+/// pool, so the run must complete with **zero** `PortableState` envelope
+/// serializations — asserted here for every steal-differential leg.
+pub fn run_parallel_steal(
+    workload: &str,
+    cfg: InputConfig,
+    mode: MergeMode,
+    strategy: StrategyKind,
+    solver: SolverConfig,
+    jobs: u32,
+) -> RunReport {
+    let program =
+        by_name(workload).unwrap_or_else(|| panic!("unknown workload {workload}")).program(&cfg);
+    let report = run_parallel_program_with(
+        program,
+        workload,
+        mode,
+        strategy,
+        solver,
+        ParallelConfig {
+            jobs,
+            steps_per_round: 48,
+            scheduler: SchedulerKind::Steal,
+            ..Default::default()
+        },
+    );
+    assert_eq!(
+        (report.envelope_exports, report.envelope_nodes),
+        (0, 0),
+        "{workload} {mode:?}/{strategy:?} jobs={jobs}: steal mode must never \
+         serialize a PortableState envelope"
     );
     report
 }

@@ -23,7 +23,8 @@ mod common;
 
 use common::{
     assert_exact_baseline, assert_mode_invariant, assert_parallel_matches_sequential,
-    assert_solver_config_invariant, observe, observe_parallel, run_parallel, run_with_solver,
+    assert_solver_config_invariant, observe, observe_parallel, run_parallel, run_parallel_steal,
+    run_with_solver,
 };
 use symmerge::prelude::*;
 
@@ -271,6 +272,49 @@ fn parallel_differential_args_workloads_second_half() {
 #[test]
 fn parallel_differential_stdin_and_mixed_workloads() {
     parallel_differential_for(&WORKLOADS[8..]);
+}
+
+/// The scheduler differential: the work-stealing scheduler shares one
+/// hash-consed expression pool and migrates states by direct `Send`, so
+/// under `MergeMode::None` with canonical models it must reproduce the
+/// sequential engine's result set exactly — same counters, verdicts,
+/// coverage and generated-test bytes — at every worker count, while
+/// serializing **zero** `PortableState` envelopes (`run_parallel_steal`
+/// asserts the envelope counters). Unlike the BSP rounds, steal-mode
+/// scheduling is timing-dependent; `MergeMode::None`'s schedule-invariant
+/// path set is what keeps the *results* byte-comparable anyway.
+fn steal_differential_for(workloads: &[(&str, InputConfig)]) {
+    let solver = SolverConfig { canonical_models: true, ..SolverConfig::default() };
+    for &(name, cfg) in workloads {
+        let sequential =
+            run_with_solver(name, cfg, MergeMode::None, StrategyKind::Bfs, solver.clone());
+        for jobs in [1, 2, 4] {
+            let steal = run_parallel_steal(
+                name,
+                cfg,
+                MergeMode::None,
+                StrategyKind::Bfs,
+                solver.clone(),
+                jobs,
+            );
+            assert_parallel_matches_sequential(name, jobs, &sequential, &steal);
+        }
+    }
+}
+
+#[test]
+fn steal_differential_args_workloads_first_half() {
+    steal_differential_for(&WORKLOADS[0..4]);
+}
+
+#[test]
+fn steal_differential_args_workloads_second_half() {
+    steal_differential_for(&WORKLOADS[4..8]);
+}
+
+#[test]
+fn steal_differential_stdin_and_mixed_workloads() {
+    steal_differential_for(&WORKLOADS[8..]);
 }
 
 /// Merged-mode sharded runs: region sharding keeps merge candidates
