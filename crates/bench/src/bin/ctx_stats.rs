@@ -45,16 +45,19 @@ fn main() {
     let mut csv = CsvOut::create(
         "ctx_stats",
         "tool,symbolic_bytes,strategy,tests,sat_calls,ctx_hits,ctx_rebuilds,ctx_forks,\
-         ctx_evictions,clauses_resident,clauses_evicted,sched_picks,sched_heap_repairs,\
+         ctx_evictions,clauses_resident,clauses_evicted,clauses_compacted,learnt_lits,\
+         gates_reused,sched_picks,sched_heap_repairs,\
          solver_ms,sat_ms,cache_ms,route_ms,wall_ms",
     );
     println!("# ctx_stats: solver-context pool behaviour (exhaustive runs, tests on)");
     println!("# clauses res/evict: clause-weighted residency (final gauge / cumulative evicted)");
+    println!("# shrink ll/gr/cc: learnt lits stored (post-ccmin) / blaster gates reused /");
+    println!("#   clauses compacted at fork (the query-shrinking observables)");
     println!("# sched p/r: ranked scheduler picks / heap repairs (0 for O(1)-pick strategies)");
     println!("# solver time splits as sat + cache (tier bookkeeping) + route (context");
     println!("#   routing / blast prep / normalization) + residual recording upkeep");
     println!(
-        "{:6} {:>6} {:>10} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>17} {:>13} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "{:6} {:>6} {:>10} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>17} {:>20} {:>13} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "tool",
         "bytes",
         "strategy",
@@ -65,6 +68,7 @@ fn main() {
         "forks",
         "evicts",
         "clauses res/evict",
+        "shrink ll/gr/cc",
         "sched p/r",
         "solver",
         "sat",
@@ -95,10 +99,11 @@ fn main() {
         let s = &report.solver;
         let strat = format!("{strategy:?}");
         let clauses = format!("{}/{}", s.ctx_clauses_resident, s.ctx_clauses_evicted);
+        let shrink = format!("{}/{}/{}", s.learnt_lits, s.gates_reused, s.ctx_clauses_compacted);
         let sched = format!("{}/{}", report.sched_picks, report.sched_heap_repairs);
         println!(
             "{tool:6} {:>6} {strat:>10} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {clauses:>17} \
-             {sched:>13} {:>10.2?} {:>10.2?} {:>10.2?} {:>10.2?} {:>10.2?}",
+             {shrink:>20} {sched:>13} {:>10.2?} {:>10.2?} {:>10.2?} {:>10.2?} {:>10.2?}",
             cfg.symbolic_bytes(),
             report.tests.len(),
             s.sat_calls,
@@ -113,7 +118,7 @@ fn main() {
             report.wall_time,
         );
         csv.row(&format!(
-            "{tool},{},{strat},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3}",
+            "{tool},{},{strat},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3}",
             cfg.symbolic_bytes(),
             report.tests.len(),
             s.sat_calls,
@@ -123,6 +128,9 @@ fn main() {
             s.ctx_evictions,
             s.ctx_clauses_resident,
             s.ctx_clauses_evicted,
+            s.ctx_clauses_compacted,
+            s.learnt_lits,
+            s.gates_reused,
             report.sched_picks,
             report.sched_heap_repairs,
             s.time.as_secs_f64() * 1e3,

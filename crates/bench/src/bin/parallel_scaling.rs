@@ -49,8 +49,8 @@ fn main() {
         "parallel_scaling",
         "tool,symbolic_bytes,scheduler,jobs,wall_ms,speedup,steps,completed_paths,sat_calls,\
          sat_time_ms,cache_time_ms,route_time_ms,ctx_hits,ctx_rebuilds,ctx_forks,ctx_evictions,\
-         clauses_resident,clauses_evicted,sched_picks,sched_heap_repairs,steals,stolen_states,\
-         idle_waits,envelope_exports,envelope_nodes",
+         clauses_resident,clauses_evicted,clauses_compacted,sched_picks,sched_heap_repairs,\
+         steals,stolen_states,idle_waits,envelope_exports,envelope_nodes",
     );
     println!("# parallel_scaling: exhaustive MergeMode::None exploration, bsp vs steal scheduler");
     println!(
@@ -155,7 +155,7 @@ fn main() {
                     s.route_time
                 );
                 csv.row(&format!(
-                    "{tool},{},{sched_label},{jobs},{:.3},{:.3},{},{},{},{:.3},{:.3},{:.3},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    "{tool},{},{sched_label},{jobs},{:.3},{:.3},{},{},{},{:.3},{:.3},{:.3},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                     cfg.symbolic_bytes(),
                     wall.as_secs_f64() * 1e3,
                     speedup,
@@ -171,6 +171,7 @@ fn main() {
                     s.ctx_evictions,
                     s.ctx_clauses_resident,
                     s.ctx_clauses_evicted,
+                    s.ctx_clauses_compacted,
                     report.sched_picks,
                     report.sched_heap_repairs,
                     report.steals,

@@ -33,17 +33,39 @@ fn arb_test() -> impl Strategy<Value = TestCase> {
 /// counters are disjoint segments of `time`, with recording upkeep as
 /// the slack — so the reduction can be checked to preserve it.
 fn arb_solver_stats() -> impl Strategy<Value = SolverStats> {
-    (0u64..200, 0u64..500, 0u64..500, 0u64..500, 0u64..500).prop_map(
-        |(queries, sat_us, cache_us, route_us, slack_us)| SolverStats {
-            queries,
-            sat_calls: queries / 2,
-            sat_time: Duration::from_micros(sat_us),
-            cache_time: Duration::from_micros(cache_us),
-            route_time: Duration::from_micros(route_us),
-            time: Duration::from_micros(sat_us + cache_us + route_us + slack_us),
-            ..Default::default()
-        },
+    (
+        0u64..200,
+        0u64..500,
+        0u64..500,
+        0u64..500,
+        0u64..500,
+        (0u64..5000, 0u64..80, 0u64..400),
+        (0u64..300, 0u64..60),
     )
+        .prop_map(
+            |(
+                queries,
+                sat_us,
+                cache_us,
+                route_us,
+                slack_us,
+                (propagations, learnt, learnt_lits),
+                (gates_reused, ctx_clauses_compacted),
+            )| SolverStats {
+                queries,
+                sat_calls: queries / 2,
+                sat_time: Duration::from_micros(sat_us),
+                cache_time: Duration::from_micros(cache_us),
+                route_time: Duration::from_micros(route_us),
+                time: Duration::from_micros(sat_us + cache_us + route_us + slack_us),
+                propagations,
+                learnt,
+                learnt_lits,
+                gates_reused,
+                ctx_clauses_compacted,
+                ..Default::default()
+            },
+        )
 }
 
 /// An arbitrary shard output with integer-valued multiplicities (what
@@ -123,6 +145,8 @@ fn observable(r: &RunReport) -> impl PartialEq + std::fmt::Debug {
             // legitimately differ, and their reduction is pinned by
             // `assert_timing_split`.
             (r.solver.queries, r.solver.sat_calls),
+            (r.solver.propagations, r.solver.learnt, r.solver.learnt_lits),
+            (r.solver.gates_reused, r.solver.ctx_clauses_compacted),
         ),
     )
 }
@@ -183,6 +207,31 @@ proptest! {
         let b = reduce_reports(&parts, 60);
         assert_timing_split(&a);
         prop_assert_eq!(observable(&a), observable(&b));
+    }
+
+    /// Every SAT-side work counter folds through the reduction as a plain
+    /// per-shard sum — no counter may be dropped, double-counted, or
+    /// folded asymmetrically (a `propagations`/`learnt` regression once
+    /// hid here: they were accumulated on one solving path but not the
+    /// other, so the fleet total depended on which path a shard took).
+    #[test]
+    fn solver_counters_reduce_to_the_shard_sum(
+        parts in proptest::collection::vec(arb_shard_output(), 1..6),
+    ) {
+        let reduced = reduce_reports(&parts, 60);
+        let sum = |f: fn(&SolverStats) -> u64| -> u64 {
+            parts.iter().map(|p| f(&p.report.solver)).sum()
+        };
+        prop_assert_eq!(reduced.solver.queries, sum(|s| s.queries));
+        prop_assert_eq!(reduced.solver.sat_calls, sum(|s| s.sat_calls));
+        prop_assert_eq!(reduced.solver.propagations, sum(|s| s.propagations));
+        prop_assert_eq!(reduced.solver.learnt, sum(|s| s.learnt));
+        prop_assert_eq!(reduced.solver.learnt_lits, sum(|s| s.learnt_lits));
+        prop_assert_eq!(reduced.solver.gates_reused, sum(|s| s.gates_reused));
+        prop_assert_eq!(
+            reduced.solver.ctx_clauses_compacted,
+            sum(|s| s.ctx_clauses_compacted)
+        );
     }
 }
 

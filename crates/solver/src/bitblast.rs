@@ -35,17 +35,50 @@ enum Bits {
 /// [`SolverContext`](crate::SolverContext) forkable — the clone keeps
 /// translating from where the original stood, without re-blasting any
 /// shared circuitry.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct BitBlaster {
     cnf: Cnf,
     cache: HashMap<ExprId, Bits>,
     inputs: HashMap<SymbolId, Vec<Lit>>,
+    factor: bool,
+}
+
+/// Longest ite-chain the factored encoding collects in one pass; longer
+/// chains simply continue with a nested chain at the tail.
+const ITE_CHAIN_MAX: usize = 64;
+
+impl Default for BitBlaster {
+    fn default() -> Self {
+        BitBlaster {
+            cnf: Cnf::new(),
+            cache: HashMap::new(),
+            inputs: HashMap::new(),
+            factor: crate::solve::env_flag("SYMMERGE_ITE_FACTOR", true),
+        }
+    }
 }
 
 impl BitBlaster {
-    /// Creates an empty blaster.
+    /// Creates an empty blaster. Ite-chain factoring and gate sharing
+    /// default to the `SYMMERGE_ITE_FACTOR` environment flag (on).
     pub fn new() -> Self {
         BitBlaster::default()
+    }
+
+    /// Creates an empty blaster with ite-chain factoring (and the
+    /// underlying hash-consed gate reuse) explicitly on or off,
+    /// independent of the environment. Both encodings compute the same
+    /// functions; only CNF size differs.
+    pub fn with_ite_factor(on: bool) -> Self {
+        let mut bb = BitBlaster { factor: on, ..BitBlaster::default() };
+        bb.cnf.set_gate_sharing(on);
+        bb
+    }
+
+    /// Number of gates answered from the CNF's structural memo instead
+    /// of freshly encoded (see [`Cnf::gates_reused`]).
+    pub fn gates_reused(&self) -> u64 {
+        self.cnf.gates_reused()
     }
 
     /// The CNF built so far.
@@ -136,16 +169,104 @@ impl BitBlaster {
                 })
             }
             ExprKind::Ite { cond, then, els } => {
-                let c = self.blast_bool(pool, cond);
-                match (self.blast(pool, then), self.blast(pool, els)) {
-                    (Bits::Bool(t), Bits::Bool(f)) => Bits::Bool(self.cnf.mux_gate(c, t, f)),
-                    (Bits::Bv(t), Bits::Bv(f)) => Bits::Bv(self.mux_bv(c, &t, &f)),
-                    _ => unreachable!("ite branches have mismatched sorts"),
+                let mut conds = vec![cond];
+                let mut leaves = vec![then];
+                let mut tail = els;
+                if self.factor {
+                    // Collect the merge-produced chain `if c₁ then v₁
+                    // elif c₂ …`, stopping at already-blasted suffixes
+                    // (their circuitry is shared through the cache, so
+                    // re-encoding them would add clauses, not save any).
+                    while conds.len() < ITE_CHAIN_MAX && !self.cache.contains_key(&tail) {
+                        match pool.kind(tail) {
+                            ExprKind::Ite { cond: c, then: t, els: e } => {
+                                conds.push(c);
+                                leaves.push(t);
+                                tail = e;
+                            }
+                            _ => break,
+                        }
+                    }
+                }
+                if conds.len() >= 2 {
+                    self.blast_ite_chain(pool, &conds, &leaves, tail)
+                } else {
+                    let c = self.blast_bool(pool, cond);
+                    match (self.blast(pool, then), self.blast(pool, els)) {
+                        (Bits::Bool(t), Bits::Bool(f)) => Bits::Bool(self.cnf.mux_gate(c, t, f)),
+                        (Bits::Bv(t), Bits::Bv(f)) => Bits::Bv(self.mux_bv(c, &t, &f)),
+                        _ => unreachable!("ite branches have mismatched sorts"),
+                    }
                 }
             }
         };
         self.cache.insert(e, bits.clone());
         bits
+    }
+
+    /// Factored encoding for a merge-produced ite-chain
+    /// `if c₁ then v₁ elif c₂ then v₂ … else tail`.
+    ///
+    /// The per-link encoding emits ~5 mux clauses per link *per output
+    /// bit*, duplicating the selector logic across the whole width. Here
+    /// the selectors are factored out once: a one-hot arm vector (arm
+    /// *j* fires iff `cⱼ` is the first true condition) built from shared
+    /// `and` gates, then each output bit is one n-way
+    /// [`Cnf::select_gate`] at 2 clauses per arm. Sibling chains from
+    /// the same merge point reuse the selector gates through the CNF's
+    /// structural memo.
+    fn blast_ite_chain(
+        &mut self,
+        pool: &ExprPool,
+        conds: &[ExprId],
+        leaves: &[ExprId],
+        tail: ExprId,
+    ) -> Bits {
+        let cs: Vec<Lit> = conds.iter().map(|&c| self.blast_bool(pool, c)).collect();
+        let mut sels = Vec::with_capacity(cs.len() + 1);
+        let mut none_before = self.cnf.lit_true();
+        for &c in &cs {
+            sels.push(self.cnf.and_gate(none_before, c));
+            none_before = self.cnf.and_gate(none_before, !c);
+        }
+        // The default arm: no condition fired. Together the selectors
+        // are exhaustive and mutually exclusive, which is exactly the
+        // `select_gate` contract.
+        sels.push(none_before);
+        let mut vals: Vec<Bits> = leaves.iter().map(|&l| self.blast(pool, l)).collect();
+        vals.push(self.blast(pool, tail));
+        match &vals[0] {
+            Bits::Bool(_) => {
+                let arms: Vec<(Lit, Lit)> = sels
+                    .iter()
+                    .zip(&vals)
+                    .map(|(&s, v)| match v {
+                        Bits::Bool(l) => (s, *l),
+                        Bits::Bv(_) => unreachable!("ite branches have mismatched sorts"),
+                    })
+                    .collect();
+                Bits::Bool(self.cnf.select_gate(&arms))
+            }
+            Bits::Bv(first) => {
+                let width = first.len();
+                let out = (0..width)
+                    .map(|i| {
+                        let arms: Vec<(Lit, Lit)> = sels
+                            .iter()
+                            .zip(&vals)
+                            .map(|(&s, v)| match v {
+                                Bits::Bv(bits) => (s, bits[i]),
+                                Bits::Bool(_) => {
+                                    unreachable!("ite branches have mismatched sorts")
+                                }
+                            })
+                            .collect();
+                        self.cnf.select_gate(&arms)
+                    })
+                    .collect();
+                Bits::Bv(out)
+            }
+        }
     }
 
     // ----- bitvector circuits ------------------------------------------

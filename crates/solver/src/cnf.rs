@@ -1,5 +1,6 @@
 //! CNF representation and Tseitin gate constructors.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::ops::Not;
 
@@ -72,15 +73,39 @@ impl fmt::Display for Lit {
     }
 }
 
+/// Structural key of an emitted gate: tag plus canonicalized operands.
+/// Binary gates leave the third slot as [`GATE_KEY_FILL`]; constant
+/// operands never reach the memo (they are folded first), so the filler
+/// cannot collide with a real literal.
+type GateKey = (u8, Lit, Lit, Lit);
+
+const GATE_AND: u8 = 0;
+const GATE_XOR: u8 = 1;
+const GATE_MUX: u8 = 2;
+const GATE_KEY_FILL: Lit = Lit(u32::MAX);
+
 /// A CNF formula under construction, with Tseitin gate helpers.
 ///
 /// Variable 0 is reserved as the constant-`true` variable: a unit clause
 /// asserting it is added at construction, so [`Cnf::lit_true`] /
 /// [`Cnf::lit_false`] can be used to represent constants uniformly.
+///
+/// With gate sharing on (the default, see [`Cnf::set_gate_sharing`]),
+/// gates are hash-consed: a structurally identical gate over the same
+/// operands returns the literal already constrained to that function
+/// instead of emitting a fresh variable and clauses. Merge-produced
+/// ite-chains are the motivating workload — sibling chains repeat the
+/// same selector circuitry per output bit, and consing collapses the
+/// duplicates. Operands are canonicalized first (commutative gates by
+/// operand order, xor/mux additionally by polarity), so e.g.
+/// `xor(a, b)`, `xor(b, a)` and `¬xor(¬a, b)` all share one gate.
 #[derive(Debug, Clone)]
 pub struct Cnf {
     num_vars: u32,
     clauses: Vec<Vec<Lit>>,
+    share: bool,
+    gate_memo: HashMap<GateKey, Lit>,
+    gates_reused: u64,
 }
 
 impl Default for Cnf {
@@ -91,10 +116,35 @@ impl Default for Cnf {
 
 impl Cnf {
     /// Creates an empty formula with the constant-`true` variable asserted.
+    /// Gate sharing defaults to the `SYMMERGE_ITE_FACTOR` environment
+    /// flag (on).
     pub fn new() -> Self {
-        let mut cnf = Cnf { num_vars: 1, clauses: Vec::new() };
+        let mut cnf = Cnf {
+            num_vars: 1,
+            clauses: Vec::new(),
+            share: crate::solve::env_flag("SYMMERGE_ITE_FACTOR", true),
+            gate_memo: HashMap::new(),
+            gates_reused: 0,
+        };
         cnf.add_clause(&[cnf.lit_true()]);
         cnf
+    }
+
+    /// Enables or disables hash-consed gate reuse. Sharing never changes
+    /// the functions the gates compute, only how many variables and
+    /// clauses encode them, so solve verdicts (and canonical models) are
+    /// identical either way.
+    pub fn set_gate_sharing(&mut self, on: bool) {
+        self.share = on;
+        if !on {
+            self.gate_memo.clear();
+        }
+    }
+
+    /// Number of gate constructions answered from the memo instead of
+    /// emitting fresh clauses.
+    pub fn gates_reused(&self) -> u64 {
+        self.gates_reused
     }
 
     /// The literal that is always true.
@@ -175,10 +225,20 @@ impl Cnf {
             _ if a == b => a,
             _ if a == !b => self.lit_false(),
             _ => {
+                let key = (GATE_AND, a.min(b), a.max(b), GATE_KEY_FILL);
+                if self.share {
+                    if let Some(&out) = self.gate_memo.get(&key) {
+                        self.gates_reused += 1;
+                        return out;
+                    }
+                }
                 let out = self.new_lit();
                 self.add_clause(&[!out, a]);
                 self.add_clause(&[!out, b]);
                 self.add_clause(&[out, !a, !b]);
+                if self.share {
+                    self.gate_memo.insert(key, out);
+                }
                 out
             }
         }
@@ -198,6 +258,37 @@ impl Cnf {
             (_, Some(true)) => !a,
             _ if a == b => self.lit_false(),
             _ if a == !b => self.lit_true(),
+            _ if self.share => {
+                // xor(a, b) = ¬xor(¬a, b): normalize to positive operands
+                // and carry the polarity on the output, so all four
+                // polarity variants share one gate.
+                let parity = a.is_negative() ^ b.is_negative();
+                let (a0, b0) = {
+                    let (pa, pb) = (Lit::new(a.var(), false), Lit::new(b.var(), false));
+                    (pa.min(pb), pa.max(pb))
+                };
+                let key = (GATE_XOR, a0, b0, GATE_KEY_FILL);
+                let out = match self.gate_memo.get(&key) {
+                    Some(&o) => {
+                        self.gates_reused += 1;
+                        o
+                    }
+                    None => {
+                        let o = self.new_lit();
+                        self.add_clause(&[!o, a0, b0]);
+                        self.add_clause(&[!o, !a0, !b0]);
+                        self.add_clause(&[o, !a0, b0]);
+                        self.add_clause(&[o, a0, !b0]);
+                        self.gate_memo.insert(key, o);
+                        o
+                    }
+                };
+                if parity {
+                    !out
+                } else {
+                    out
+                }
+            }
             _ => {
                 let out = self.new_lit();
                 self.add_clause(&[!out, a, b]);
@@ -239,6 +330,40 @@ impl Cnf {
             (None, Some(false)) => return self.and_gate(c, a),
             _ => {}
         }
+        if self.share {
+            // mux(¬c, a, b) = mux(c, b, a) and mux(c, ¬a, ¬b) = ¬mux(c, a, b):
+            // normalize to a positive selector and a positive then-branch.
+            let (mut c, mut a, mut b) = (c, a, b);
+            if c.is_negative() {
+                c = !c;
+                std::mem::swap(&mut a, &mut b);
+            }
+            let mut neg_out = false;
+            if a.is_negative() {
+                a = !a;
+                b = !b;
+                neg_out = true;
+            }
+            let key = (GATE_MUX, c, a, b);
+            let out = match self.gate_memo.get(&key) {
+                Some(&o) => {
+                    self.gates_reused += 1;
+                    o
+                }
+                None => {
+                    let o = self.new_lit();
+                    self.add_clause(&[!o, !c, a]);
+                    self.add_clause(&[!o, c, b]);
+                    self.add_clause(&[o, !c, !a]);
+                    self.add_clause(&[o, c, !b]);
+                    // Redundant but propagation-strengthening clause.
+                    self.add_clause(&[o, !a, !b]);
+                    self.gate_memo.insert(key, o);
+                    o
+                }
+            };
+            return if neg_out { !out } else { out };
+        }
         let out = self.new_lit();
         self.add_clause(&[!out, !c, a]);
         self.add_clause(&[!out, c, b]);
@@ -247,6 +372,47 @@ impl Cnf {
         // Redundant but propagation-strengthening clause.
         self.add_clause(&[out, !a, !b]);
         out
+    }
+
+    /// N-way one-hot selector: `sᵢ → (out ↔ vᵢ)` for each `(sᵢ, vᵢ)` arm.
+    ///
+    /// The factored ite-chain encoding's workhorse. The caller must
+    /// guarantee the selectors are *exhaustive and mutually exclusive*
+    /// (exactly one true in every total assignment) — the one-hot
+    /// construction in the blaster provides this — which makes `out`
+    /// fully defined at 2 clauses per arm, versus ~5 per link of a
+    /// nested mux chain.
+    pub fn select_gate(&mut self, arms: &[(Lit, Lit)]) -> Lit {
+        let mut live: Vec<(Lit, Lit)> = Vec::with_capacity(arms.len());
+        for &(s, v) in arms {
+            match self.is_const(s) {
+                Some(false) => {}
+                // A constant-true selector excludes every other arm.
+                Some(true) => return v,
+                None => live.push((s, v)),
+            }
+        }
+        match live.as_slice() {
+            // Unreachable under the exhaustiveness contract.
+            [] => self.lit_false(),
+            // A lone live selector must be the one that fired.
+            [(_, v)] => *v,
+            _ if live.iter().all(|&(_, v)| v == live[0].1) => live[0].1,
+            _ => {
+                let out = self.new_lit();
+                for &(s, v) in &live {
+                    match self.is_const(v) {
+                        Some(true) => self.add_clause(&[!s, out]),
+                        Some(false) => self.add_clause(&[!s, !out]),
+                        None => {
+                            self.add_clause(&[!s, !v, out]);
+                            self.add_clause(&[!s, v, !out]);
+                        }
+                    }
+                }
+                out
+            }
+        }
     }
 
     /// Full adder: returns `(sum, carry_out)` for `a + b + cin`.

@@ -59,6 +59,9 @@ pub struct SolverContext {
     /// `e ≠ c` knows another child will come back for this prefix: that
     /// is the fork-vs-move signal (see `Solver::context_node_for`).
     pub(crate) sat_extras: Vec<ExprId>,
+    /// Cumulative fork-time compaction work (see
+    /// [`SolverContext::clauses_compacted`]).
+    compacted: u64,
 }
 
 impl Default for SolverContext {
@@ -68,7 +71,10 @@ impl Default for SolverContext {
 }
 
 impl SolverContext {
-    /// Creates a context with an empty prefix.
+    /// Creates a context with an empty prefix. The SAT-level ccmin and
+    /// blaster ite-factoring knobs take their environment defaults
+    /// (`SYMMERGE_SAT_CCMIN` / `SYMMERGE_ITE_FACTOR`, both on); see
+    /// [`SolverContext::with_options`] for explicit control.
     pub fn new() -> Self {
         let blaster = BitBlaster::new();
         let sat = SatSolver::from_cnf(blaster.cnf());
@@ -83,6 +89,30 @@ impl SolverContext {
             norm_false: false,
             last_used: 0,
             sat_extras: Vec::new(),
+            compacted: 0,
+        }
+    }
+
+    /// Creates a context with conflict-clause minimization and ite-chain
+    /// factoring explicitly on or off, independent of the environment.
+    /// Both knobs are pure query-shrinking levers: verdicts and canonical
+    /// models are identical either way.
+    pub fn with_options(sat_ccmin: bool, ite_factor: bool) -> Self {
+        let blaster = BitBlaster::with_ite_factor(ite_factor);
+        let mut sat = SatSolver::from_cnf(blaster.cnf());
+        sat.set_ccmin(sat_ccmin);
+        let clauses_fed = blaster.cnf().num_clauses();
+        SolverContext {
+            blaster,
+            sat,
+            clauses_fed,
+            prefix: Vec::new(),
+            norm_set: Vec::new(),
+            norm_hash: 0,
+            norm_false: false,
+            last_used: 0,
+            sat_extras: Vec::new(),
+            compacted: 0,
         }
     }
 
@@ -93,7 +123,16 @@ impl SolverContext {
     /// alone), variable activities and saved phases. Extending the fork
     /// costs only the *new* conjuncts; the shared prefix is never
     /// re-blasted.
-    pub fn fork(&self) -> SolverContext {
+    ///
+    /// Before snapshotting, the clause database is compacted
+    /// ([`SatSolver::compact_learnts`]: a level-0 satisfied-clause sweep
+    /// over the *whole* DB — original Tseitin clauses included — plus
+    /// self-subsumption over the learnt store), so parent and fork both
+    /// carry the smaller DB — the clause-weighted residency a warm fork
+    /// charges drops with it. The work is observable through
+    /// [`SolverContext::clauses_compacted`].
+    pub fn fork(&mut self) -> SolverContext {
+        self.compacted += self.sat.compact_learnts();
         SolverContext {
             blaster: self.blaster.clone(),
             sat: self.sat.fork(),
@@ -104,7 +143,14 @@ impl SolverContext {
             norm_false: self.norm_false,
             last_used: 0,
             sat_extras: Vec::new(),
+            compacted: 0,
         }
+    }
+
+    /// Cumulative clauses removed or strengthened by fork-time
+    /// compaction on *this* context (forks start at zero).
+    pub fn clauses_compacted(&self) -> u64 {
+        self.compacted
     }
 
     /// The constraints permanently asserted so far, in assertion order.
@@ -122,6 +168,26 @@ impl SolverContext {
     /// snapshots around a query to attribute work).
     pub fn sat_stats(&self) -> SatStats {
         self.sat.stats()
+    }
+
+    /// Cumulative gate-memo hits of this context's blaster (callers diff
+    /// snapshots around a query, like [`SolverContext::sat_stats`]).
+    pub fn gates_reused(&self) -> u64 {
+        self.blaster.gates_reused()
+    }
+
+    /// Compacts the clause database in place (level-0 satisfied-clause
+    /// sweep + learnt-store self-subsumption; see
+    /// [`SatSolver::compact_learnts`]), returning the number of clauses
+    /// removed or strengthened. [`fork`] does this automatically; the
+    /// explicit entry point exists for tests ablating compaction against
+    /// a pristine clone.
+    ///
+    /// [`fork`]: SolverContext::fork
+    pub fn compact_learnts(&mut self) -> u64 {
+        let n = self.sat.compact_learnts();
+        self.compacted += n;
+        n
     }
 
     /// Live clauses held by this context's SAT solver (original CNF +

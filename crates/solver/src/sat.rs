@@ -37,6 +37,10 @@ pub struct SatStats {
     pub restarts: u64,
     /// Number of clauses learnt.
     pub learnt: u64,
+    /// Total literals across stored learnt clauses, counted *after*
+    /// conflict-clause minimization — `learnt_lits / learnt` is the mean
+    /// learnt-clause width, the observable that ccmin shrinks.
+    pub learnt_lits: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -76,6 +80,12 @@ pub struct SatSolver {
     live_clauses: usize,
     conflict_budget: Option<u64>,
     failed_assumptions: Vec<Lit>,
+    ccmin: bool,
+    /// Level-0 trail length at the last [`SatSolver::compact_learnts`]
+    /// full-DB sweep — the original-clause pass is skipped until new
+    /// level-0 facts arrive, so repeated forks of the same parent only
+    /// re-scan the (small) learnt store.
+    compacted_trail: usize,
     stats: SatStats,
 }
 
@@ -104,6 +114,8 @@ impl SatSolver {
             live_clauses: 0,
             conflict_budget: None,
             failed_assumptions: Vec::new(),
+            ccmin: crate::solve::env_flag("SYMMERGE_SAT_CCMIN", true),
+            compacted_trail: 0,
             stats: SatStats::default(),
         };
         for v in 0..n as u32 {
@@ -149,6 +161,22 @@ impl SatSolver {
     /// [`SatSolver::solve_under_assumptions`].
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
         self.conflict_budget = budget;
+    }
+
+    /// Enables or disables recursive conflict-clause minimization
+    /// (MiniSat-style ccmin). Defaults to the `SYMMERGE_SAT_CCMIN`
+    /// environment flag (on). Minimization only shrinks learnt clauses —
+    /// every dropped literal is implied by the remaining ones — so the
+    /// setting never changes verdicts, only clause widths.
+    pub fn set_ccmin(&mut self, on: bool) {
+        self.ccmin = on;
+    }
+
+    /// Snapshots the live learnt clauses. Every returned clause is implied
+    /// by the original clause database (test hook: re-asserting its
+    /// negation must be unsat even after minimization).
+    pub fn learnt_clauses(&self) -> Vec<Vec<Lit>> {
+        self.clauses.iter().filter(|c| c.learnt && !c.deleted).map(|c| c.lits.clone()).collect()
     }
 
     /// Work counters.
@@ -367,6 +395,33 @@ impl SatSolver {
             p = Some(pl);
             confl = self.reason[pl.var().index()].expect("non-decision literal must have a reason");
         }
+        // Recursive clause minimization (MiniSat ccmin): a non-asserting
+        // literal is redundant when every antecedent chain from its reason
+        // bottoms out in level-0 facts or literals already in the clause —
+        // the clause without it is still implied, and shorter learnt
+        // clauses propagate earlier and cost less to carry in forked
+        // context DBs. At this point `seen` is true exactly for the vars
+        // of `learnt[1..]`, which is what the domination walk tests
+        // against; extra vars marked during probes are recorded in
+        // `to_clear` so the final unmark loop can undo them.
+        let mut to_clear: Vec<usize> = learnt.iter().map(|l| l.var().index()).collect();
+        if self.ccmin && learnt.len() > 1 {
+            let mut abstract_levels = 0u32;
+            for &l in &learnt[1..] {
+                abstract_levels |= 1 << (self.level[l.var().index()] & 31);
+            }
+            let mut j = 1;
+            for i in 1..learnt.len() {
+                let l = learnt[i];
+                if self.reason[l.var().index()].is_none()
+                    || !self.lit_redundant(l, abstract_levels, &mut to_clear)
+                {
+                    learnt[j] = l;
+                    j += 1;
+                }
+            }
+            learnt.truncate(j);
+        }
         // Compute the backtrack level and position its literal at index 1.
         let back_level = if learnt.len() == 1 {
             0
@@ -380,10 +435,45 @@ impl SatSolver {
             learnt.swap(1, max_i);
             self.level[learnt[1].var().index()]
         };
-        for &l in &learnt {
-            self.seen[l.var().index()] = false;
+        for v in to_clear {
+            self.seen[v] = false;
         }
         (learnt, back_level)
+    }
+
+    /// The ccmin domination walk: true iff `p`'s reason antecedents all
+    /// bottom out in level-0 facts or clause literals (`seen`), possibly
+    /// through further implied literals. Vars marked along a *successful*
+    /// walk stay marked (they are themselves redundant-or-in-clause, so
+    /// later probes can reuse the work) and are pushed onto `to_clear`;
+    /// a failed walk unmarks everything it added.
+    fn lit_redundant(&mut self, p: Lit, abstract_levels: u32, to_clear: &mut Vec<usize>) -> bool {
+        let top = to_clear.len();
+        let mut stack = vec![p];
+        while let Some(l) = stack.pop() {
+            let cref = self.reason[l.var().index()].expect("redundancy probe requires a reason");
+            // Reason clauses keep their implied literal at position 0
+            // (see `propagate`), so the antecedents are `lits[1..]`.
+            let lits = self.clauses[cref as usize].lits.clone();
+            for &q in &lits[1..] {
+                let v = q.var().index();
+                if self.seen[v] || self.level[v] == 0 {
+                    continue;
+                }
+                if self.reason[v].is_none() || (1u32 << (self.level[v] & 31)) & abstract_levels == 0
+                {
+                    for &u in &to_clear[top..] {
+                        self.seen[u] = false;
+                    }
+                    to_clear.truncate(top);
+                    return false;
+                }
+                self.seen[v] = true;
+                to_clear.push(v);
+                stack.push(q);
+            }
+        }
+        true
     }
 
     fn backtrack_to(&mut self, level: u32) {
@@ -546,6 +636,202 @@ impl SatSolver {
         }
     }
 
+    /// Fork-time clause-DB compaction: a level-0 satisfied-clause sweep
+    /// over the whole clause database plus bounded self-subsumption over
+    /// the learnt store. Returns the number of clauses removed or
+    /// strengthened.
+    ///
+    /// Forked contexts clone the whole clause database, so every clause
+    /// the parent carries is paid again in each child (the PR 5 "bigger
+    /// warm DB" tax). Compacting just before the snapshot drops clauses
+    /// already satisfied by level-0 facts, strips falsified literals,
+    /// and applies self-subsumption (`C` strengthens `D` when
+    /// `C ⊆ D ∪ {¬l}` for exactly one flipped literal `l` — `D` minus
+    /// `¬l` is still implied). Level-0 facts are permanent (the prefix
+    /// is append-only and level 0 is never backtracked), so the sweep is
+    /// sound for original Tseitin clauses too, not just learnt ones —
+    /// and a merged prefix's satisfied clauses overwhelmingly live in
+    /// the original CNF. Everything removed is redundant with the
+    /// remaining database plus the trail, so verdicts are unchanged for
+    /// parent and fork alike. Must be called between queries (decision
+    /// level 0).
+    pub fn compact_learnts(&mut self) -> u64 {
+        debug_assert_eq!(self.decision_level(), 0, "compact mid-query");
+        if !self.ok {
+            return 0;
+        }
+        let locked = |s: &Self, i: usize| {
+            let l0 = s.clauses[i].lits[0];
+            s.value(l0) == Some(true) && s.reason[l0.var().index()] == Some(i as u32)
+        };
+        let mut compacted = 0u64;
+        let mut units: Vec<Lit> = Vec::new();
+        // Pass 1: sweep against the level-0 trail — delete satisfied
+        // clauses, strip falsified literals. Locked clauses (reasons for
+        // level-0 implied literals) are left untouched. The full-DB part
+        // is gated on the trail having grown since the last sweep;
+        // without new level-0 facts only the (small) learnt store can
+        // have changed, so repeated forks of one parent stay cheap.
+        let sweep_originals = self.trail.len() > self.compacted_trail;
+        for i in 0..self.clauses.len() {
+            let c = &self.clauses[i];
+            if c.deleted || (!c.learnt && !sweep_originals) || locked(self, i) {
+                continue;
+            }
+            let mut satisfied = false;
+            let mut kept: Vec<Lit> = Vec::with_capacity(self.clauses[i].lits.len());
+            for &l in &self.clauses[i].lits {
+                match self.value(l) {
+                    Some(true) => {
+                        satisfied = true;
+                        break;
+                    }
+                    Some(false) => {}
+                    None => kept.push(l),
+                }
+            }
+            if satisfied {
+                self.delete_clause(i);
+                compacted += 1;
+            } else if kept.len() < self.clauses[i].lits.len() {
+                compacted += 1;
+                match kept.len() {
+                    0 => self.ok = false,
+                    1 => {
+                        units.push(kept[0]);
+                        self.delete_clause(i);
+                    }
+                    _ => self.clauses[i].lits = kept,
+                }
+            }
+        }
+        self.compacted_trail = self.trail.len();
+        // Pass 2: bounded self-subsumption among the surviving learnt
+        // clauses, shortest subsumers first. Variable signatures reject
+        // most pairs in O(1); the exact check tolerates one flipped
+        // literal (self-subsumption) or zero (plain subsumption).
+        const SUBSUMER_MAX_LITS: usize = 8;
+        let mut check_budget: usize = 200_000;
+        let var_sig =
+            |lits: &[Lit]| lits.iter().fold(0u64, |s, l| s | 1u64 << (l.var().index() % 64));
+        let mut refs: Vec<u32> = (0..self.clauses.len() as u32)
+            .filter(|&i| {
+                let c = &self.clauses[i as usize];
+                c.learnt && !c.deleted && !locked(self, i as usize)
+            })
+            .collect();
+        refs.sort_by_key(|&r| self.clauses[r as usize].lits.len());
+        let mut occ: std::collections::HashMap<usize, Vec<u32>> = std::collections::HashMap::new();
+        for &r in &refs {
+            for &l in &self.clauses[r as usize].lits {
+                occ.entry(l.var().index()).or_default().push(r);
+            }
+        }
+        for &cref in &refs {
+            if check_budget == 0 {
+                break;
+            }
+            let c = self.clauses[cref as usize].clone();
+            if c.deleted || c.lits.len() > SUBSUMER_MAX_LITS {
+                continue;
+            }
+            let csig = var_sig(&c.lits);
+            // Probe via the clause's rarest variable.
+            let probe = c
+                .lits
+                .iter()
+                .min_by_key(|l| occ.get(&l.var().index()).map_or(0, Vec::len))
+                .expect("stored clauses are non-empty")
+                .var()
+                .index();
+            let cands = occ.get(&probe).cloned().unwrap_or_default();
+            for dref in cands {
+                if dref == cref || check_budget == 0 {
+                    continue;
+                }
+                check_budget -= 1;
+                let d = &self.clauses[dref as usize];
+                if d.deleted || d.lits.len() < c.lits.len() || csig & !var_sig(&d.lits) != 0 {
+                    continue;
+                }
+                // C subsumes D if every C literal occurs in D; one
+                // polarity flip means D can drop the flipped literal.
+                let mut flipped: Option<Lit> = None;
+                let mut ok = true;
+                for &l in &c.lits {
+                    if d.lits.contains(&l) {
+                        continue;
+                    }
+                    if d.lits.contains(&!l) && flipped.is_none() {
+                        flipped = Some(!l);
+                    } else {
+                        ok = false;
+                        break;
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                match flipped {
+                    None => {
+                        self.delete_clause(dref as usize);
+                        compacted += 1;
+                    }
+                    Some(drop) => {
+                        let d = &mut self.clauses[dref as usize];
+                        d.lits.retain(|&l| l != drop);
+                        compacted += 1;
+                        if self.clauses[dref as usize].lits.len() == 1 {
+                            units.push(self.clauses[dref as usize].lits[0]);
+                            self.delete_clause(dref as usize);
+                        }
+                    }
+                }
+            }
+        }
+        if compacted > 0 {
+            // Strengthened clauses may have lost a watched literal:
+            // rebuild the watch lists wholesale, as `reduce_db` does,
+            // before any propagation touches them.
+            for w in &mut self.watches {
+                w.clear();
+            }
+            for (i, c) in self.clauses.iter().enumerate() {
+                if !c.deleted && c.lits.len() >= 2 {
+                    self.watches[c.lits[0].code()].push(i as u32);
+                    self.watches[c.lits[1].code()].push(i as u32);
+                }
+            }
+            for l in units {
+                match self.value(l) {
+                    Some(true) => {}
+                    Some(false) => self.ok = false,
+                    None => {
+                        self.enqueue(l, None);
+                        if self.propagate().is_some() {
+                            self.ok = false;
+                        }
+                    }
+                }
+            }
+        }
+        compacted
+    }
+
+    /// Marks clause `i` deleted and frees its literal storage — forks
+    /// clone the clause vector, so a deleted clause that kept its
+    /// literals would keep paying for them in every descendant.
+    fn delete_clause(&mut self, i: usize) {
+        debug_assert!(!self.clauses[i].deleted);
+        if self.clauses[i].learnt {
+            self.num_learnt -= 1;
+        }
+        self.live_clauses -= 1;
+        let c = &mut self.clauses[i];
+        c.deleted = true;
+        c.lits = Vec::new();
+    }
+
     // ----- main loop -------------------------------------------------------
 
     /// Decides the formula (no assumptions).
@@ -601,6 +887,7 @@ impl SatSolver {
                     let cref = self.clauses.len() as u32;
                     self.watches[learnt[0].code()].push(cref);
                     self.watches[learnt[1].code()].push(cref);
+                    self.stats.learnt_lits += learnt.len() as u64;
                     self.clauses.push(Clause {
                         lits: learnt,
                         learnt: true,

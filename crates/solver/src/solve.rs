@@ -127,6 +127,19 @@ pub struct SolverConfig {
     /// context and its sibling re-blasting the prefix from scratch.
     /// `false` restores the move-only (re-blast fallback) behaviour.
     pub ctx_fork: bool,
+    /// Recursive conflict-clause minimization (MiniSat-style ccmin) in
+    /// the CDCL solver's first-UIP analysis: drop learnt literals whose
+    /// reason antecedents are dominated by the clause. Shrinks learnt
+    /// clauses — observable as `learnt_lits` — without changing any
+    /// verdict. `SYMMERGE_SAT_CCMIN=0` is the ablation leg.
+    pub sat_ccmin: bool,
+    /// Ite-aware blasting for merge-produced ite-chains: factor the
+    /// shared selector conditions into a one-hot arm vector encoded once
+    /// per chain instead of per output bit, and hash-cons gates at the
+    /// CNF level (`gates_reused`) so sibling chains share circuitry.
+    /// Pure CNF-size lever; verdicts and canonical models are
+    /// unchanged. `SYMMERGE_ITE_FACTOR=0` is the ablation leg.
+    pub ite_factor: bool,
     /// Return the *canonical minimal model* for every sat query (the
     /// lexicographically least model by symbol **name**, each value
     /// minimized MSB first). Makes models — and therefore generated
@@ -200,6 +213,8 @@ impl Default for SolverConfig {
             },
             use_incremental: env_flag("SYMMERGE_SOLVER_INCREMENTAL", true),
             ctx_fork: env_flag("SYMMERGE_SOLVER_CTX_FORK", true),
+            sat_ccmin: env_flag("SYMMERGE_SAT_CCMIN", true),
+            ite_factor: env_flag("SYMMERGE_ITE_FACTOR", true),
             canonical_models: false,
             max_conflicts: None,
             model_history: 32,
@@ -233,7 +248,7 @@ impl Default for SolverConfig {
 }
 
 /// Reads a boolean ablation flag from the environment.
-fn env_flag(name: &str, default: bool) -> bool {
+pub(crate) fn env_flag(name: &str, default: bool) -> bool {
     match std::env::var(name) {
         Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
         Err(_) => default,
@@ -308,6 +323,21 @@ pub struct SolverStats {
     pub conflicts: u64,
     /// Cumulative SAT decisions.
     pub decisions: u64,
+    /// Cumulative SAT propagations.
+    pub propagations: u64,
+    /// Cumulative clauses learnt by the SAT solver.
+    pub learnt: u64,
+    /// Total literals across stored learnt clauses, counted after
+    /// conflict-clause minimization — `learnt_lits / learnt` is the mean
+    /// learnt-clause width, the observable ccmin shrinks.
+    pub learnt_lits: u64,
+    /// CNF gates answered from the blaster's structural memo instead of
+    /// freshly encoded — the ite-factoring / gate-sharing observable.
+    pub gates_reused: u64,
+    /// Clauses removed or strengthened by fork-time clause-DB
+    /// compaction (level-0 satisfied-clause sweep over the whole DB +
+    /// learnt-store self-subsumption on `SolverContext::fork`).
+    pub ctx_clauses_compacted: u64,
     /// Total constraint-DAG nodes across all queries, summed per
     /// conjunct (query size proxy; served from a per-conjunct memo —
     /// prefix-shaped queries repeat the same conjuncts thousands of
@@ -342,6 +372,11 @@ impl SolverStats {
         self.route_time += other.route_time;
         self.conflicts += other.conflicts;
         self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.learnt += other.learnt;
+        self.learnt_lits += other.learnt_lits;
+        self.gates_reused += other.gates_reused;
+        self.ctx_clauses_compacted += other.ctx_clauses_compacted;
         self.query_nodes += other.query_nodes;
     }
 }
@@ -1303,13 +1338,19 @@ impl Solver {
                     self.ctx_make_room(Some(n));
                     let parent = self.tree.ctx_mut(n);
                     parent.sat_extras.retain(|&e| e != first);
-                    parent.fork()
+                    let compacted_before = parent.clauses_compacted();
+                    let child = parent.fork();
+                    self.stats.ctx_clauses_compacted +=
+                        parent.clauses_compacted() - compacted_before;
+                    child
                 } else {
                     self.tree.take(n)
                 };
+                let gates_before = ctx.gates_reused();
                 for &c in &prefix[matched..] {
                     ctx.assert_constraint(pool, c);
                 }
+                self.stats.gates_reused += ctx.gates_reused() - gates_before;
                 let target = self.tree.ensure_path(prefix);
                 self.tree.place(target, ctx);
                 target
@@ -1317,10 +1358,12 @@ impl Solver {
             None => {
                 self.stats.ctx_rebuilds += 1;
                 self.ctx_make_room(None);
-                let mut ctx = SolverContext::new();
+                let mut ctx =
+                    SolverContext::with_options(self.config.sat_ccmin, self.config.ite_factor);
                 for &c in prefix {
                     ctx.assert_constraint(pool, c);
                 }
+                self.stats.gates_reused += ctx.gates_reused();
                 let target = self.tree.ensure_path(prefix);
                 self.tree.place(target, ctx);
                 target
@@ -1350,6 +1393,7 @@ impl Solver {
         self.stats.sat_calls += 1;
         let extras: Vec<ExprId> = if pool.is_true(extra) { Vec::new() } else { vec![extra] };
         let before = self.tree.ctx(node).sat_stats();
+        let gates_before = self.tree.ctx(node).gates_reused();
         // Context lookup / fork / rebuild — including blasting the
         // uncovered prefix tail into the solver — is routing work, not
         // SAT search: charge it to `route_time` and open the sat window
@@ -1392,6 +1436,10 @@ impl Solver {
         self.stats.sat_time += sat_start.elapsed();
         self.stats.conflicts += after.conflicts - before.conflicts;
         self.stats.decisions += after.decisions - before.decisions;
+        self.stats.propagations += after.propagations - before.propagations;
+        self.stats.learnt += after.learnt - before.learnt;
+        self.stats.learnt_lits += after.learnt_lits - before.learnt_lits;
+        self.stats.gates_reused += self.tree.ctx(node).gates_reused() - gates_before;
         // Solving may have grown the context in place (blasted extras,
         // learnt clauses): re-snapshot its clause charge so the
         // residency gauge and the next eviction decision see it.
@@ -1581,13 +1629,15 @@ impl Solver {
         // Re-blast CNF construction is routing/preparation work, kept
         // out of the sat window (which opens below at solver start).
         let route_start = Instant::now();
-        let mut bb = BitBlaster::new();
+        let mut bb = BitBlaster::with_ite_factor(self.config.ite_factor);
         for &c in slice {
             bb.assert_true(pool, c);
         }
+        self.stats.gates_reused += bb.gates_reused();
         self.stats.route_time += route_start.elapsed();
         let sat_start = Instant::now();
         let mut sat = SatSolver::from_cnf(bb.cnf());
+        sat.set_ccmin(self.config.sat_ccmin);
         sat.set_conflict_budget(budget);
         let outcome = sat.solve();
         let result = match &outcome {
@@ -1608,6 +1658,9 @@ impl Solver {
         self.stats.sat_time += sat_start.elapsed();
         self.stats.conflicts += sat.stats().conflicts;
         self.stats.decisions += sat.stats().decisions;
+        self.stats.propagations += sat.stats().propagations;
+        self.stats.learnt += sat.stats().learnt;
+        self.stats.learnt_lits += sat.stats().learnt_lits;
         result
     }
 }

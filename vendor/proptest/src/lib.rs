@@ -15,9 +15,13 @@
 //!   environment- or time-dependent entropy, so CI runs are exactly
 //!   reproducible. Failures print the case index, derived seed and the
 //!   `Debug` form of the generated inputs.
-//! * **No shrinking.** A failing case is reported as generated. At the
-//!   input sizes this workspace tests with, raw cases are small enough
-//!   to debug directly.
+//! * **Damped shrinking.** On failure the runner re-runs the property
+//!   with progressively less-damped RNGs derived from the same case
+//!   seed (every draw right-shifted, pulling ranges toward their low
+//!   end, shortening collections, and selecting earlier `prop_oneof!`
+//!   arms) and reports the simplest still-failing input alongside the
+//!   original. Unlike real proptest there is no value tree: shrinking
+//!   is a fixed ladder of whole-input re-generations, not a search.
 
 pub mod strategy;
 pub mod test_runner;

@@ -60,21 +60,33 @@ impl std::fmt::Display for TestCaseError {
 #[derive(Debug, Clone)]
 pub struct TestRng {
     state: u64,
+    shift: u32,
 }
 
 impl TestRng {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> Self {
-        TestRng { state: seed }
+        TestRng { state: seed, shift: 0 }
     }
 
-    /// Returns the next 64 random bits.
+    /// Creates a damped generator: every draw is shifted right by
+    /// `shift` bits. Large shifts pull range draws toward their low
+    /// end, shorten generated collections, and select earlier
+    /// `prop_oneof!` arms, so the same strategy yields a structurally
+    /// simpler value from the same seed. The runner uses this to
+    /// shrink failing inputs.
+    pub fn with_shift(seed: u64, shift: u32) -> Self {
+        assert!(shift < 64, "damping shift must be < 64");
+        TestRng { state: seed, shift }
+    }
+
+    /// Returns the next 64 random bits (damped by the shift, if any).
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
+        (z ^ (z >> 31)) >> self.shift
     }
 }
 
@@ -87,9 +99,66 @@ fn fnv1a(s: &str) -> u64 {
     h
 }
 
+/// Damping shifts tried while shrinking, most aggressive first. Shift 63
+/// makes every draw 0 or 1 (near-trivial inputs); later entries damp less
+/// and less. The first still-failing entry is reported as the minimal
+/// failing case.
+const SHRINK_SHIFTS: &[u32] = &[63, 60, 56, 48, 40, 32, 24, 16, 8];
+
+/// Re-runs a failing property with progressively less-damped RNGs derived
+/// from the same case seed and returns the simplest (most damped)
+/// still-failing input, as `(shift, inputs, failure message)`. Returns
+/// `None` when every simplified input passes (or reproduces the original
+/// input verbatim). The default panic hook is silenced for the duration so
+/// shrink probes that panic do not spam the test log.
+fn shrink<S, F>(
+    strategy: &S,
+    test: &mut F,
+    case_seed: u64,
+    original: &str,
+) -> Option<(u32, String, String)>
+where
+    S: Strategy,
+    S::Value: std::fmt::Debug,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut found = None;
+    for &shift in SHRINK_SHIFTS {
+        let mut rng = TestRng::with_shift(case_seed, shift);
+        let value = strategy.generate(&mut rng);
+        let described = format!("{value:?}");
+        match catch_unwind(AssertUnwindSafe(|| test(value))) {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                if described != original {
+                    found = Some((shift, described, e.to_string()));
+                }
+                break;
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "panicked".to_string());
+                if described != original {
+                    found = Some((shift, described, msg));
+                }
+                break;
+            }
+        }
+    }
+    std::panic::set_hook(prev_hook);
+    found
+}
+
 /// Runs `test` over `config.cases` generated inputs. Panics (failing the
 /// surrounding `#[test]`) on the first failing case, reporting the case
-/// index, the derived seed, and the generated inputs.
+/// index, the derived seed, and the generated inputs — plus, when a
+/// damped re-run still fails, the minimal failing case found by
+/// [`shrink`].
 pub fn run<S, F>(config: Config, name: &str, strategy: &S, mut test: F)
 where
     S: Strategy,
@@ -105,16 +174,123 @@ where
         let outcome = catch_unwind(AssertUnwindSafe(|| test(value)));
         match outcome {
             Ok(Ok(())) => {}
-            Ok(Err(e)) => panic!(
-                "proptest '{name}' failed at case {case}/{} (seed {case_seed:#x}):\n{e}\ninputs: {described}",
-                config.cases
-            ),
+            Ok(Err(e)) => {
+                let note = match shrink(strategy, &mut test, case_seed, &described) {
+                    Some((shift, d, msg)) => {
+                        format!("\nminimal failing case (damping shift {shift}): {d}\n{msg}")
+                    }
+                    None => "\nshrink: no simpler failing input found".to_string(),
+                };
+                panic!(
+                    "proptest '{name}' failed at case {case}/{} (seed {case_seed:#x}):\n{e}\ninputs: {described}{note}",
+                    config.cases
+                )
+            }
             Err(payload) => {
+                let note = match shrink(strategy, &mut test, case_seed, &described) {
+                    Some((shift, d, msg)) => {
+                        format!("\nminimal failing case (damping shift {shift}): {d}\n{msg}")
+                    }
+                    None => "\nshrink: no simpler failing input found".to_string(),
+                };
                 eprintln!(
-                    "proptest '{name}' panicked at case {case}/{} (seed {case_seed:#x})\ninputs: {described}",
+                    "proptest '{name}' panicked at case {case}/{} (seed {case_seed:#x})\ninputs: {described}{note}",
                     config.cases
                 );
                 resume_unwind(payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+        payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .expect("panic payload should be a string")
+    }
+
+    #[test]
+    fn shrinking_reports_simpler_failing_input() {
+        // An always-failing property: the shift-63 probe (draws in {0, 1})
+        // fails too, so the reported minimal case is near-trivial.
+        let strategy = 0u64..=u64::MAX;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run(Config::with_cases(1), "shrink_always", &strategy, |_| {
+                Err(TestCaseError::fail("always fails"))
+            })
+        }));
+        let msg = panic_message(result.unwrap_err());
+        assert!(
+            msg.contains("minimal failing case (damping shift 63)"),
+            "missing shrink report: {msg}"
+        );
+    }
+
+    #[test]
+    fn shrinking_finds_smaller_value_above_threshold() {
+        // Fails only for large values: the most-damped probes pass, and
+        // the first failing probe yields a value far below the original.
+        let strategy = 0u64..=u64::MAX;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run(Config::with_cases(1), "shrink_threshold", &strategy, |v| {
+                if v >= 100 {
+                    Err(TestCaseError::fail(format!("too big: {v}")))
+                } else {
+                    Ok(())
+                }
+            })
+        }));
+        let msg = panic_message(result.unwrap_err());
+        let shrunk: u64 = msg
+            .split("minimal failing case (damping shift ")
+            .nth(1)
+            .expect("shrink report present")
+            .split("): ")
+            .nth(1)
+            .unwrap()
+            .lines()
+            .next()
+            .unwrap()
+            .trim()
+            .parse()
+            .expect("shrunk input parses as u64");
+        assert!((100..1_000_000).contains(&shrunk), "not shrunk: {shrunk}");
+    }
+
+    #[test]
+    fn shrinking_reports_nothing_when_probes_pass() {
+        // Fails only on the very first invocation (the original input):
+        // every damped probe passes, so no minimal case is claimed.
+        let strategy = 0u64..=u64::MAX;
+        let mut first = true;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run(Config::with_cases(1), "shrink_none", &strategy, |_| {
+                if std::mem::take(&mut first) {
+                    Err(TestCaseError::fail("only the original fails"))
+                } else {
+                    Ok(())
+                }
+            })
+        }));
+        let msg = panic_message(result.unwrap_err());
+        assert!(
+            msg.contains("shrink: no simpler failing input found"),
+            "unexpected shrink report: {msg}"
+        );
+    }
+
+    #[test]
+    fn damped_rng_draws_are_bounded() {
+        for shift in [8u32, 32, 56, 63] {
+            let mut rng = TestRng::with_shift(0xdead_beef, shift);
+            for _ in 0..64 {
+                assert!(rng.next_u64() <= u64::MAX >> shift);
             }
         }
     }
