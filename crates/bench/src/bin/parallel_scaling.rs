@@ -12,6 +12,13 @@
 //! the full shared-pool machinery, making it the direct measurement of
 //! the shared pool's single-worker overhead.
 //!
+//! Each `(scheduler, jobs)` cell is additionally swept with the
+//! cross-worker shared solver-cache fabric off and on
+//! (`SolverConfig::shared_cache`); runs generate canonical-model tests
+//! and every point is asserted byte-identical to the sequential
+//! reference cell, the same contract `tier_sweep` pins for the
+//! cache-tier axis.
+//!
 //! Sizes are chosen so the sequential run takes on the order of seconds
 //! in release mode: long enough for the per-round barriers to amortize,
 //! short enough for CI's `--quick` sweep. Every run's path counts are
@@ -20,6 +27,10 @@
 //! meaningless).
 
 use std::time::{Duration, Instant};
+
+/// A generated test collapsed to comparable bytes: termination class,
+/// input assignments, predicted outputs.
+type TestBytes = (String, Vec<(String, u64)>, Vec<u64>);
 use symmerge_bench::harness::{CsvOut, HarnessOpts};
 use symmerge_bench::{run_workload, RunOpts, Setup};
 use symmerge_core::SchedulerKind;
@@ -44,13 +55,15 @@ fn main() {
     };
     let jobs_axis: &[u32] = &[1, 2, 4];
     let sched_axis: &[SchedulerKind] = &[SchedulerKind::Bsp, SchedulerKind::Steal];
+    let shared_axis: &[bool] = &[false, true];
 
     let mut csv = CsvOut::create(
         "parallel_scaling",
-        "tool,symbolic_bytes,scheduler,jobs,wall_ms,speedup,steps,completed_paths,sat_calls,\
+        "tool,symbolic_bytes,scheduler,jobs,shared,wall_ms,speedup,steps,completed_paths,sat_calls,\
          sat_time_ms,cache_time_ms,route_time_ms,ctx_hits,ctx_rebuilds,ctx_forks,ctx_evictions,\
          clauses_resident,clauses_evicted,clauses_compacted,sched_picks,sched_heap_repairs,\
-         steals,stolen_states,idle_waits,envelope_exports,envelope_nodes",
+         steals,stolen_states,idle_waits,envelope_exports,envelope_nodes,\
+         shared_query_hits,shared_cex_hits,shared_publishes",
     );
     println!("# parallel_scaling: exhaustive MergeMode::None exploration, bsp vs steal scheduler");
     println!(
@@ -60,12 +73,16 @@ fn main() {
     println!("# ctx columns: fleet context-tree totals (hits/rebuilds/forks/evictions)");
     println!("# steals/idle: steal-scheduler traffic; envelopes: BSP serialization the steal");
     println!("#   scheduler avoids (steal rows must read 0/0 — direct Send over the shared pool)");
+    println!("# shared axis: cross-worker solver-cache fabric off/on; shr q/c/p =");
+    println!("#   shared_query_hits/shared_cex_hits/shared_publishes (fleet totals); every");
+    println!("#   point's canonical tests are asserted byte-identical to the off/bsp/jobs=1 cell");
     println!(
-        "{:10} {:>6} {:>6} {:>5} {:>12} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>22} {:>14} {:>17} {:>13}",
+        "{:10} {:>6} {:>6} {:>5} {:>4} {:>12} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>22} {:>14} {:>17} {:>13} {:>15}",
         "tool",
         "bytes",
         "sched",
         "jobs",
+        "shr",
         "wall",
         "speedup",
         "steps",
@@ -77,73 +94,100 @@ fn main() {
         "ctx h/r/f/e",
         "steal s/w/i",
         "sched p/r",
-        "env e/n"
+        "env e/n",
+        "shr q/c/p"
     );
     for (tool, cfg) in sweeps {
         let w = by_name(tool).unwrap();
         let mut t1 = Duration::ZERO;
         let mut paths1 = 0u64;
+        let mut bytes1: Vec<TestBytes> = Vec::new();
         for &scheduler in sched_axis {
             for &jobs in jobs_axis {
-                let run_opts = RunOpts {
-                    budget: Some(opts.budget),
-                    seed: opts.seed,
-                    alpha: opts.alpha,
-                    jobs,
-                    scheduler,
-                    ..Default::default()
-                };
-                let t0 = Instant::now();
-                let report = run_workload(&w, &cfg, Setup::Baseline, &run_opts);
-                let wall = t0.elapsed();
-                if std::env::var_os("SYMMERGE_PAR_DEBUG").is_some() {
-                    eprintln!(
-                        "# {tool} {scheduler:?} jobs={jobs}: solver.time={:?} ctx={}/{} cache={} reuse={}",
+                for &shared in shared_axis {
+                    let run_opts = RunOpts {
+                        budget: Some(opts.budget),
+                        seed: opts.seed,
+                        alpha: opts.alpha,
+                        jobs,
+                        scheduler,
+                        generate_tests: true,
+                        canonical: true,
+                        shared_cache: Some(shared),
+                        ..Default::default()
+                    };
+                    let t0 = Instant::now();
+                    let report = run_workload(&w, &cfg, Setup::Baseline, &run_opts);
+                    let wall = t0.elapsed();
+                    if std::env::var_os("SYMMERGE_PAR_DEBUG").is_some() {
+                        eprintln!(
+                        "# {tool} {scheduler:?} jobs={jobs} shared={shared}: solver.time={:?} ctx={}/{} cache={} reuse={}",
                         report.solver.time,
                         report.solver.ctx_hits,
                         report.solver.ctx_rebuilds,
                         report.solver.cache_hits,
                         report.solver.model_reuse_hits
                     );
-                }
-                assert!(
-                    !report.hit_budget,
-                    "{tool} {scheduler:?} jobs={jobs}: raise --budget-ms, scaling needs \
+                    }
+                    assert!(
+                        !report.hit_budget,
+                        "{tool} {scheduler:?} jobs={jobs}: raise --budget-ms, scaling needs \
                      exhaustive runs"
-                );
-                if scheduler == SchedulerKind::Bsp && jobs == 1 {
-                    t1 = wall;
-                    paths1 = report.completed_paths;
-                } else {
-                    assert_eq!(
+                    );
+                    // Generated tests collapsed to comparable bytes (sorted:
+                    // worker interleavings legitimately reorder completion).
+                    let mut bytes: Vec<_> = report
+                        .tests
+                        .iter()
+                        .map(|t| {
+                            (format!("{:?}", t.kind), t.inputs.clone(), t.predicted_outputs.clone())
+                        })
+                        .collect();
+                    bytes.sort();
+                    if scheduler == SchedulerKind::Bsp && jobs == 1 && !shared {
+                        t1 = wall;
+                        paths1 = report.completed_paths;
+                        bytes1 = bytes;
+                    } else {
+                        assert_eq!(
                         report.completed_paths, paths1,
-                        "{tool} {scheduler:?} jobs={jobs}: explored a different path set than \
-                         sequential"
+                        "{tool} {scheduler:?} jobs={jobs} shared={shared}: explored a different \
+                         path set than sequential"
                     );
-                }
-                if scheduler == SchedulerKind::Steal {
-                    assert_eq!(
-                        (report.envelope_exports, report.envelope_nodes),
-                        (0, 0),
-                        "{tool} jobs={jobs}: steal mode serialized a PortableState envelope"
+                        assert_eq!(
+                            bytes, bytes1,
+                            "{tool} {scheduler:?} jobs={jobs} shared={shared}: canonical tests \
+                         diverged from the sequential reference"
+                        );
+                    }
+                    if scheduler == SchedulerKind::Steal {
+                        assert_eq!(
+                            (report.envelope_exports, report.envelope_nodes),
+                            (0, 0),
+                            "{tool} jobs={jobs}: steal mode serialized a PortableState envelope"
+                        );
+                    }
+                    let speedup = t1.as_secs_f64() / wall.as_secs_f64().max(1e-9);
+                    let s = &report.solver;
+                    let sched_label = match scheduler {
+                        SchedulerKind::Bsp => "bsp",
+                        SchedulerKind::Steal => "steal",
+                    };
+                    let ctx = format!(
+                        "{}/{}/{}/{}",
+                        s.ctx_hits, s.ctx_rebuilds, s.ctx_forks, s.ctx_evictions
                     );
-                }
-                let speedup = t1.as_secs_f64() / wall.as_secs_f64().max(1e-9);
-                let s = &report.solver;
-                let sched_label = match scheduler {
-                    SchedulerKind::Bsp => "bsp",
-                    SchedulerKind::Steal => "steal",
-                };
-                let ctx = format!(
-                    "{}/{}/{}/{}",
-                    s.ctx_hits, s.ctx_rebuilds, s.ctx_forks, s.ctx_evictions
-                );
-                let stealing =
-                    format!("{}/{}/{}", report.steals, report.stolen_states, report.idle_waits);
-                let sched = format!("{}/{}", report.sched_picks, report.sched_heap_repairs);
-                let env = format!("{}/{}", report.envelope_exports, report.envelope_nodes);
-                println!(
-                    "{tool:10} {:>6} {sched_label:>6} {jobs:>5} {:>12.2?} {:>8.2}x {:>10} {:>10} {:>10} {:>10.2?} {:>10.2?} {:>10.2?} {ctx:>22} {stealing:>14} {sched:>17} {env:>13}",
+                    let stealing =
+                        format!("{}/{}/{}", report.steals, report.stolen_states, report.idle_waits);
+                    let sched = format!("{}/{}", report.sched_picks, report.sched_heap_repairs);
+                    let env = format!("{}/{}", report.envelope_exports, report.envelope_nodes);
+                    let shr = format!(
+                        "{}/{}/{}",
+                        s.shared_query_hits, s.shared_cex_hits, s.shared_publishes
+                    );
+                    let shared_label = if shared { "on" } else { "off" };
+                    println!(
+                    "{tool:10} {:>6} {sched_label:>6} {jobs:>5} {shared_label:>4} {:>12.2?} {:>8.2}x {:>10} {:>10} {:>10} {:>10.2?} {:>10.2?} {:>10.2?} {ctx:>22} {stealing:>14} {sched:>17} {env:>13} {shr:>15}",
                     cfg.symbolic_bytes(),
                     wall,
                     speedup,
@@ -154,8 +198,8 @@ fn main() {
                     s.cache_time,
                     s.route_time
                 );
-                csv.row(&format!(
-                    "{tool},{},{sched_label},{jobs},{:.3},{:.3},{},{},{},{:.3},{:.3},{:.3},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    csv.row(&format!(
+                    "{tool},{},{sched_label},{jobs},{shared_label},{:.3},{:.3},{},{},{},{:.3},{:.3},{:.3},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                     cfg.symbolic_bytes(),
                     wall.as_secs_f64() * 1e3,
                     speedup,
@@ -178,8 +222,12 @@ fn main() {
                     report.stolen_states,
                     report.idle_waits,
                     report.envelope_exports,
-                    report.envelope_nodes
+                    report.envelope_nodes,
+                    s.shared_query_hits,
+                    s.shared_cex_hits,
+                    s.shared_publishes
                 ));
+                }
             }
         }
     }

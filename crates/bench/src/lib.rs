@@ -59,6 +59,13 @@ pub struct RunOpts {
     /// Defaults from `SYMMERGE_SCHEDULER`; steal mode routes through the
     /// [`ParallelEngine`] even at `jobs = 1`.
     pub scheduler: SchedulerKind,
+    /// Force canonical minimal models — the byte-identity reference
+    /// mode the differential sweeps compare generated tests under.
+    pub canonical: bool,
+    /// Cross-worker shared solver-cache override: `Some(on)` pins the
+    /// fabric for an ablation axis, `None` keeps the
+    /// `SYMMERGE_SHARED_CACHE` default.
+    pub shared_cache: Option<bool>,
 }
 
 impl Default for RunOpts {
@@ -73,6 +80,8 @@ impl Default for RunOpts {
             incremental: true,
             jobs: 1,
             scheduler: SchedulerKind::from_env(),
+            canonical: false,
+            shared_cache: None,
         }
     }
 }
@@ -92,9 +101,18 @@ pub fn config_for(setup: Setup, opts: &RunOpts) -> EngineConfig {
         },
         qce: QceConfig { alpha: opts.alpha, zeta: opts.zeta, ..QceConfig::default() },
         budgets: Budgets { max_time: opts.budget, max_steps: opts.max_steps, ..Budgets::default() },
-        solver: symmerge_core::SolverConfig {
-            use_incremental: opts.incremental,
-            ..symmerge_core::SolverConfig::default()
+        solver: {
+            let mut solver = symmerge_core::SolverConfig {
+                use_incremental: opts.incremental,
+                ..symmerge_core::SolverConfig::default()
+            };
+            if opts.canonical {
+                solver.canonical_models = true;
+            }
+            if let Some(on) = opts.shared_cache {
+                solver.shared_cache = on;
+            }
+            solver
         },
         generate_tests: opts.generate_tests,
         seed: opts.seed,

@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 use symmerge_expr::{ExprPool, SharedExprPool};
 use symmerge_ir::cfg::CfgInfo;
 use symmerge_ir::{BlockId, FuncId, Instr, Program, ValidateError};
-use symmerge_solver::{SatResult, Solver, SolverConfig, SolverStats};
+use symmerge_solver::{SatResult, SharedSolverCache, Solver, SolverConfig, SolverStats};
 
 /// When and whether to merge states.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,6 +117,7 @@ pub struct EngineBuilder {
     config: EngineConfig,
     strategy_set: bool,
     shared_pool: Option<Arc<SharedExprPool>>,
+    shared_cache: Option<Arc<SharedSolverCache>>,
 }
 
 impl EngineBuilder {
@@ -224,6 +225,19 @@ impl EngineBuilder {
         self
     }
 
+    /// Joins a fleet-shared [`SharedSolverCache`]: the engine's solver
+    /// publishes fresh verdicts to it and consults a private read
+    /// mirror (synced once per exploration step) after its own caches
+    /// miss. Requires globally stable `ExprId`s — i.e. every engine
+    /// over the store must be built over the same
+    /// [`EngineBuilder::shared_pool`] — since cache keys are `ExprId`
+    /// sets. A no-op when [`SolverConfig::shared_cache`] is off, which
+    /// is how `SYMMERGE_SHARED_CACHE=0` ablates the fabric.
+    pub fn shared_solver_cache(mut self, cache: Arc<SharedSolverCache>) -> Self {
+        self.shared_cache = Some(cache);
+        self
+    }
+
     /// Validates the program, runs the QCE static analysis, and constructs
     /// the engine.
     ///
@@ -232,7 +246,7 @@ impl EngineBuilder {
     /// Returns the program's structural [`ValidateError`], if any.
     pub fn build(self) -> Result<Engine, ValidateError> {
         self.program.validate()?;
-        Ok(Engine::from_parts(self.program, self.config, self.shared_pool))
+        Ok(Engine::from_parts(self.program, self.config, self.shared_pool, self.shared_cache))
     }
 }
 
@@ -523,6 +537,7 @@ impl Engine {
             config: EngineConfig::default(),
             strategy_set: false,
             shared_pool: None,
+            shared_cache: None,
         }
     }
 
@@ -530,6 +545,7 @@ impl Engine {
         program: Program,
         config: EngineConfig,
         shared_pool: Option<Arc<SharedExprPool>>,
+        shared_cache: Option<Arc<SharedSolverCache>>,
     ) -> Engine {
         let qce = QceAnalysis::run(&program, config.qce);
         let cfgs: Vec<CfgInfo> = program.functions.iter().map(CfgInfo::analyze).collect();
@@ -551,7 +567,15 @@ impl Engine {
             }
             None => ExprPool::new(program.width),
         };
-        let solver = Solver::new(config.solver.clone());
+        let mut solver = Solver::new(config.solver.clone());
+        if let Some(cache) = shared_cache {
+            debug_assert!(
+                pool.is_shared(),
+                "a shared solver cache requires the shared expression pool \
+                 (cache keys are ExprId sets, which must be globally stable)"
+            );
+            solver.attach_shared_cache(cache);
+        }
         let rng = StdRng::seed_from_u64(config.seed);
         Engine {
             program,
@@ -889,6 +913,10 @@ impl Engine {
         // Let the solver's adaptive context capacity track the live
         // frontier (a field store — free at this frequency).
         self.solver.set_frontier_hint(self.states.len());
+        // Step boundary: pull in whatever the other workers published
+        // to the shared solver cache since the last step (one atomic
+        // load when nothing changed; a no-op without a fleet).
+        self.solver.sync_shared_cache();
         let picked = {
             let mut oracle = OracleImpl {
                 program: &self.program,
@@ -1233,8 +1261,12 @@ impl Engine {
             return;
         }
         // Donor workers may have interned nodes this handle has not yet
-        // mirrored; make every shipped ExprId resolvable first.
+        // mirrored; make every shipped ExprId resolvable first. The
+        // shared-cache mirror catches up too: the donor likely solved
+        // along these states' prefixes, so its published verdicts are
+        // exactly the entries the prewarm and next steps will ask for.
         self.pool.sync();
+        self.solver.sync_shared_cache();
         let imported: Vec<(State, VecDeque<u64>, bool, usize)> = batch
             .into_iter()
             .map(|stolen| {

@@ -67,5 +67,5 @@ pub use qce::{QceAnalysis, QceConfig, VarKey};
 pub use shard::{PortableState, RegionId, RegionMap, StolenState};
 pub use state::{State, StateId};
 pub use strategy::{Strategy, StrategyKind};
-pub use symmerge_solver::{SolverConfig, SolverStats};
+pub use symmerge_solver::{SharedSolverCache, SolverConfig, SolverStats};
 pub use testgen::{TestCase, TestKind};

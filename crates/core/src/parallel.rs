@@ -125,6 +125,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use symmerge_expr::SharedExprPool;
 use symmerge_ir::{Program, ValidateError};
+use symmerge_solver::{SharedSolverCache, SolverConfig};
 
 /// Which scheduling discipline [`ParallelEngine`] drives the fleet with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -331,6 +332,15 @@ fn shard_seed(seed: u64, shard: u32) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Builds the fleet's [`SharedSolverCache`]. The counterexample logs
+/// are append-only (no eviction — mirrors must never lose entries), so
+/// they get 4× the private per-worker capacity: the store serves the
+/// whole fleet, and refusing publications early would waste its best
+/// tier (the private caches FIFO-churn instead).
+fn shared_cache_for(solver: &SolverConfig) -> Arc<SharedSolverCache> {
+    SharedSolverCache::new(solver.cex_capacity.saturating_mul(4))
+}
+
 /// The sharded parallel exploration engine. See the [module docs](self).
 #[derive(Debug)]
 pub struct ParallelEngine {
@@ -390,6 +400,20 @@ impl ParallelEngine {
         let mut worker_config = self.config.clone();
         worker_config.budgets = Budgets::default();
 
+        // Shared solver-cache fabric: build the workers over one shared
+        // expression pool — the cache keys are `ExprId` sets, so ids
+        // must be globally stable — plus one shared verdict store.
+        // Merging modes ride too: their merged path conditions are
+        // where prefix-death and superset-refutation structure actually
+        // lives, every engine decision that could see interning order
+        // goes through id-invariant fingerprints, and envelope imports
+        // re-intern into the shared pool so migrated sets keep their
+        // global ids. `jobs = 1` never reaches this path, so the
+        // sequential engine keeps the private caches bit for bit.
+        let shared = self.config.solver.shared_cache.then(|| {
+            (SharedExprPool::new(self.program.width), shared_cache_for(&self.config.solver))
+        });
+
         let (to_coord, from_workers): (Sender<FromWorker>, Receiver<FromWorker>) = channel();
         let mut to_workers: Vec<Sender<ToWorker>> = Vec::with_capacity(jobs as usize);
 
@@ -402,7 +426,8 @@ impl ParallelEngine {
                 config.seed = shard_seed(self.config.seed, shard);
                 let reply = to_coord.clone();
                 let spec = WorkerSpec { shard, jobs, free, par: self.par };
-                scope.spawn(move || worker_main(spec, program, config, rx, reply));
+                let shared = shared.clone();
+                scope.spawn(move || worker_main(spec, program, config, shared, rx, reply));
             }
             drop(to_coord);
 
@@ -548,7 +573,7 @@ impl ParallelEngine {
             if std::env::var_os("SYMMERGE_PAR_DEBUG").is_some() {
                 for (w, part) in parts.iter().enumerate() {
                     eprintln!(
-                        "# shard {w}: steps={} paths={} queries={} sat_calls={} cache={} reuse={} cex={}/{} ctx={}/{}/{}/{} solver_time={:?} sat_time={:?} cache_time={:?} wall={:?}",
+                        "# shard {w}: steps={} paths={} queries={} sat_calls={} cache={} reuse={} cex={}/{} shared={}/{}/{} ctx={}/{}/{}/{} solver_time={:?} sat_time={:?} cache_time={:?} wall={:?}",
                         part.report.steps,
                         part.report.completed_paths,
                         part.report.solver.queries,
@@ -557,6 +582,9 @@ impl ParallelEngine {
                         part.report.solver.model_reuse_hits,
                         part.report.solver.cex_sat_hits,
                         part.report.solver.cex_unsat_hits,
+                        part.report.solver.shared_query_hits,
+                        part.report.solver.shared_cex_hits,
+                        part.report.solver.shared_publishes,
                         part.report.solver.ctx_hits,
                         part.report.solver.ctx_rebuilds,
                         part.report.solver.ctx_forks,
@@ -628,6 +656,11 @@ impl ParallelEngine {
         let start = Instant::now();
         let budgets = self.config.budgets;
         let pool = SharedExprPool::new(self.program.width);
+        // The steal fleet already shares the expression pool, so the
+        // verdict store rides along whenever the knob is on (even at
+        // jobs = 1, where — like the pool — its overhead is then
+        // honestly measurable against the BSP/sequential baseline).
+        let cache = self.config.solver.shared_cache.then(|| shared_cache_for(&self.config.solver));
 
         // Worker engines run with budgets cleared; the fleet enforces
         // the real budgets through the shared counters.
@@ -657,10 +690,13 @@ impl ParallelEngine {
                     let mut config = worker_config.clone();
                     config.seed = shard_seed(self.config.seed, shard);
                     let pool = Arc::clone(&pool);
+                    let cache = cache.clone();
                     let par = self.par;
                     let fleet = &fleet;
                     scope.spawn(move || {
-                        steal_worker(shard, par, budgets, start, program, config, pool, fleet)
+                        steal_worker(
+                            shard, par, budgets, start, program, config, pool, cache, fleet,
+                        )
                     })
                 })
                 .collect();
@@ -695,14 +731,15 @@ fn steal_worker(
     program: Program,
     config: EngineConfig,
     pool: Arc<SharedExprPool>,
+    cache: Option<Arc<SharedSolverCache>>,
     fleet: &Fleet,
 ) -> ShardOutput {
     let jobs = fleet.queues.len() as u32;
-    let mut engine = Engine::builder(program)
-        .config(config)
-        .shared_pool(pool)
-        .build()
-        .expect("program validated in ParallelEngine::new");
+    let mut builder = Engine::builder(program).config(config).shared_pool(pool);
+    if let Some(cache) = cache {
+        builder = builder.shared_solver_cache(cache);
+    }
+    let mut engine = builder.build().expect("program validated in ParallelEngine::new");
     if shard == 0 {
         // The matching +1 is pre-counted in `Fleet::outstanding`.
         engine.seed_initial();
@@ -806,19 +843,23 @@ struct WorkerSpec {
 }
 
 /// A worker thread: owns one shard-mode [`Engine`] and serves rounds
-/// until told to finish.
+/// until told to finish. With the shared cache fabric on (`shared`),
+/// the engine is built over the fleet's expression pool and verdict
+/// store; states still travel as [`PortableState`] envelopes.
 fn worker_main(
     spec: WorkerSpec,
     program: Program,
     config: EngineConfig,
+    shared: Option<(Arc<SharedExprPool>, Arc<SharedSolverCache>)>,
     rx: Receiver<ToWorker>,
     reply: Sender<FromWorker>,
 ) {
     let WorkerSpec { shard, jobs, free, par } = spec;
-    let mut engine = Engine::builder(program)
-        .config(config)
-        .build()
-        .expect("program validated in ParallelEngine::new");
+    let mut builder = Engine::builder(program).config(config);
+    if let Some((pool, cache)) = shared {
+        builder = builder.shared_pool(pool).shared_solver_cache(cache);
+    }
+    let mut engine = builder.build().expect("program validated in ParallelEngine::new");
     engine.enable_shard(shard, RegionMap::all_to_zero(jobs), free);
 
     while let Ok(msg) = rx.recv() {

@@ -70,10 +70,12 @@ pub mod context;
 pub mod sat;
 
 mod model;
+mod shared;
 mod solve;
 
 pub use cnf::{Cnf, Lit, Var};
 pub use context::SolverContext;
 pub use model::Model;
 pub use sat::{SatSolver, SatStats, SolveOutcome};
+pub use shared::SharedSolverCache;
 pub use solve::{SatResult, Solver, SolverConfig, SolverStats};

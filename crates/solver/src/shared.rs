@@ -1,0 +1,397 @@
+//! Cross-worker shared solver-verdict store ([`SharedSolverCache`]).
+//!
+//! PR 7's [`symmerge_expr::SharedExprPool`] made `ExprId`s globally
+//! stable across the workers of a parallel run, but each worker still
+//! warmed its *own* query cache and counterexample cache from scratch —
+//! the fleet paid for every verdict up to `jobs` times. This module is
+//! the cache-side counterpart of the shared pool, and it copies the same
+//! design:
+//!
+//! * a **shared, append-only store** behind sharded locks — the exact
+//!   verdict tier is sharded 16 ways by the query's commutative
+//!   [`set hash`](crate::solve) (writes take one shard's write lock, and
+//!   only on first publication; duplicates are detected under a read
+//!   lock first), while the two counterexample tiers are append-only
+//!   logs with their 64-bit membership signatures;
+//! * **per-worker read mirrors** ([`SharedCacheMirror`]) that a
+//!   [`crate::Solver`] consults lock-free on the query path: `sync()`
+//!   copies any entries published since the last sync into the mirror's
+//!   private index (cursor per shard — append-only storage is what makes
+//!   a cursor sufficient), so the hot read path costs exactly what the
+//!   private caches cost. A one-atomic-load version check makes the
+//!   steady-state sync (nothing new) effectively free.
+//!
+//! Entries are **never evicted**: mirrors index into their own copies,
+//! so the store only grows (the counterexample logs stop accepting
+//! publications at a capacity bound instead of evicting — a mirror can
+//! never lose an entry, which `shared_cache_prop.rs` pins as the sync
+//! monotonicity property). Exact entries are full-key verified on every
+//! hit, exactly like the private [`QueryCache`](crate::solve): two
+//! distinct sets colliding on the 64-bit prehash share a bucket but can
+//! never alias each other's verdict, even across workers.
+//!
+//! **Result invariance.** Under canonical minimal models
+//! ([`crate::SolverConfig::canonical_models`]) every verdict — including
+//! the model — is a path-independent function of the constraint set, so
+//! consuming a foreign worker's entry returns byte-for-byte what the
+//! local solver would have computed; shared-on and shared-off runs are
+//! byte-identical. Without canonical models, verdicts (sat/unsat) are
+//! still invariant but *which* satisfying model a query returns may
+//! depend on cross-worker timing, the same caveat model reuse already
+//! carries across configurations.
+
+use crate::model::Model;
+use crate::solve::{is_subset, signature};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+use symmerge_expr::ExprId;
+
+/// Number of exact-tier shards (a power of two; the shard is the low
+/// bits of the set hash). Matches the shared expression pool's consing
+/// shard count — enough to keep publication writes from serializing at
+/// the job counts this workspace targets.
+const EXACT_SHARDS: usize = 16;
+
+/// Lock-poisoning message: a worker panicking mid-publication aborts the
+/// run anyway, so unwrapping here only converts one panic into another.
+const POISONED: &str = "shared solver cache lock poisoned";
+
+/// One exact-tier shard: the published `(hash, set, verdict)` entries in
+/// publication order (append-only — mirrors cursor into it) plus a
+/// hash→entries index for duplicate detection and direct reads.
+#[derive(Debug, Default)]
+struct ExactShard {
+    entries: Vec<ExactEntry>,
+    index: HashMap<u64, Vec<u32>>,
+}
+
+/// A published exact verdict: `model` is `Some` for sat, `None` for
+/// unsat (unknown verdicts are never published — a retry may have a
+/// bigger budget).
+#[derive(Debug, Clone)]
+struct ExactEntry {
+    hash: u64,
+    set: Box<[ExprId]>,
+    model: Option<Model>,
+}
+
+/// An append-only counterexample log: `(signature, set, payload)`
+/// entries, capacity-bounded by refusing publications (never by
+/// eviction, which would break mirror monotonicity).
+#[derive(Debug)]
+struct CexLog<T> {
+    entries: Vec<(u64, Box<[ExprId]>, T)>,
+    capacity: usize,
+}
+
+impl<T> CexLog<T> {
+    fn new(capacity: usize) -> Self {
+        CexLog { entries: Vec::new(), capacity }
+    }
+
+    /// Appends unless the set is already present or the log is full.
+    fn publish(&mut self, sig: u64, set: &[ExprId], payload: T) -> bool {
+        if self.entries.len() >= self.capacity {
+            return false;
+        }
+        if self.entries.iter().any(|(s, k, _)| *s == sig && **k == *set) {
+            return false;
+        }
+        self.entries.push((sig, set.into(), payload));
+        true
+    }
+}
+
+/// The cross-worker shared verdict store: an append-only exact-verdict
+/// tier behind sharded locks (full-key verified on every hit, so a
+/// colliding prehash can never alias two distinct sets — not even
+/// across workers) plus append-only subset/superset counterexample
+/// logs with 64-bit membership signatures. Workers read it through
+/// private lock-free mirrors that catch up at step boundaries.
+///
+/// Construct one with [`SharedSolverCache::new`], hand the `Arc` to
+/// every worker's engine, and attach it to each worker's solver
+/// ([`crate::Solver::attach_shared_cache`]), which builds the worker's
+/// private read mirror. Under canonical minimal models
+/// ([`crate::SolverConfig::canonical_models`]) every published verdict
+/// — including the model — is a path-independent function of the
+/// constraint set, so consuming a foreign entry is byte-for-byte what
+/// the local solver would have computed.
+#[derive(Debug)]
+pub struct SharedSolverCache {
+    exact: Vec<RwLock<ExactShard>>,
+    cex_unsat: RwLock<CexLog<()>>,
+    cex_sat: RwLock<CexLog<Model>>,
+    /// Bumped on every successful publication; mirrors compare it to
+    /// skip the per-shard walk when nothing changed.
+    version: AtomicUsize,
+}
+
+impl SharedSolverCache {
+    /// Creates an empty store. `cex_capacity` bounds *each*
+    /// counterexample log (unsat cores and sat sets separately); the
+    /// exact tier is unbounded, like the private query cache.
+    pub fn new(cex_capacity: usize) -> Arc<SharedSolverCache> {
+        Arc::new(SharedSolverCache {
+            exact: (0..EXACT_SHARDS).map(|_| RwLock::new(ExactShard::default())).collect(),
+            cex_unsat: RwLock::new(CexLog::new(cex_capacity)),
+            cex_sat: RwLock::new(CexLog::new(cex_capacity)),
+            version: AtomicUsize::new(0),
+        })
+    }
+
+    fn shard(&self, h: u64) -> &RwLock<ExactShard> {
+        &self.exact[(h as usize) & (EXACT_SHARDS - 1)]
+    }
+
+    /// Publishes an exact verdict for the normalized set with prehash
+    /// `h` (`model` is `Some` for sat, `None` for unsat). Returns
+    /// whether the entry was newly inserted — a duplicate (some worker
+    /// published the same set first) is a no-op, checked under a read
+    /// lock before the write lock is taken.
+    pub fn publish_verdict(&self, h: u64, set: &[ExprId], model: Option<&Model>) -> bool {
+        let shard = self.shard(h);
+        {
+            let s = shard.read().expect(POISONED);
+            if lookup(&s, h, set).is_some() {
+                return false;
+            }
+        }
+        let mut s = shard.write().expect(POISONED);
+        // Double-check under the write lock: another worker may have
+        // published between our read unlock and write lock.
+        if lookup(&s, h, set).is_some() {
+            return false;
+        }
+        let at = s.entries.len() as u32;
+        s.entries.push(ExactEntry { hash: h, set: set.into(), model: model.cloned() });
+        s.index.entry(h).or_default().push(at);
+        self.version.fetch_add(1, Ordering::Release);
+        true
+    }
+
+    /// Direct full-key-verified read of an exact verdict (`Some(None)`
+    /// is a published unsat). Mirrors serve the hot path; this exists
+    /// for the verification suite and debugging.
+    pub fn verdict_for(&self, h: u64, set: &[ExprId]) -> Option<Option<Model>> {
+        let s = self.shard(h).read().expect(POISONED);
+        lookup(&s, h, set).map(|e| e.model.clone())
+    }
+
+    /// Publishes an unsat core (a sorted, deduplicated set). Returns
+    /// whether it was newly inserted (the log may be full or already
+    /// hold the set).
+    pub fn publish_unsat_core(&self, set: &[ExprId]) -> bool {
+        let inserted = self.cex_unsat.write().expect(POISONED).publish(signature(set), set, ());
+        if inserted {
+            self.version.fetch_add(1, Ordering::Release);
+        }
+        inserted
+    }
+
+    /// Publishes a satisfiable set with its model (superset donation
+    /// tier). Returns whether it was newly inserted.
+    pub fn publish_sat_set(&self, set: &[ExprId], m: &Model) -> bool {
+        let inserted =
+            self.cex_sat.write().expect(POISONED).publish(signature(set), set, m.clone());
+        if inserted {
+            self.version.fetch_add(1, Ordering::Release);
+        }
+        inserted
+    }
+
+    /// Total published entries across all tiers (observability; the
+    /// monotonicity property compares mirror sizes against this).
+    pub fn published(&self) -> usize {
+        let exact: usize = self.exact.iter().map(|s| s.read().expect(POISONED).entries.len()).sum();
+        exact
+            + self.cex_unsat.read().expect(POISONED).entries.len()
+            + self.cex_sat.read().expect(POISONED).entries.len()
+    }
+}
+
+/// Full-key-verified bucket scan inside one shard.
+fn lookup<'a>(shard: &'a ExactShard, h: u64, set: &[ExprId]) -> Option<&'a ExactEntry> {
+    shard
+        .index
+        .get(&h)?
+        .iter()
+        .map(|&i| &shard.entries[i as usize])
+        .find(|e| e.hash == h && *e.set == *set)
+}
+
+/// A worker-private, lock-free read mirror of a [`SharedSolverCache`].
+///
+/// Owned by one [`crate::Solver`]; `sync()` copies entries published
+/// since the last sync (per-shard cursors over the append-only logs)
+/// into private indexes, after which lookups cost the same as the
+/// private caches. Monotone by construction: cursors only advance and
+/// mirrored entries are never dropped.
+/// One mirrored exact-tier bucket: full constraint-set keys with their
+/// verdicts (`None` = unsat, `Some` = sat with the published model).
+type MirrorBucket = Vec<(Box<[ExprId]>, Option<Model>)>;
+
+#[derive(Debug)]
+pub(crate) struct SharedCacheMirror {
+    shared: Arc<SharedSolverCache>,
+    seen_version: usize,
+    exact_cursors: [usize; EXACT_SHARDS],
+    /// Mirrored exact tier, hash-bucketed with full keys like the
+    /// private query cache.
+    exact: HashMap<u64, MirrorBucket>,
+    unsat_cursor: usize,
+    unsat_sets: Vec<(u64, Box<[ExprId]>)>,
+    sat_cursor: usize,
+    sat_sets: Vec<(u64, Box<[ExprId]>, Model)>,
+}
+
+impl SharedCacheMirror {
+    pub(crate) fn new(shared: Arc<SharedSolverCache>) -> Self {
+        SharedCacheMirror {
+            shared,
+            seen_version: 0,
+            exact_cursors: [0; EXACT_SHARDS],
+            exact: HashMap::new(),
+            unsat_cursor: 0,
+            unsat_sets: Vec::new(),
+            sat_cursor: 0,
+            sat_sets: Vec::new(),
+        }
+    }
+
+    pub(crate) fn shared(&self) -> &SharedSolverCache {
+        &self.shared
+    }
+
+    /// Catches the mirror up with everything published since the last
+    /// sync. One atomic load when nothing changed.
+    pub(crate) fn sync(&mut self) {
+        let version = self.shared.version.load(Ordering::Acquire);
+        if version == self.seen_version {
+            return;
+        }
+        self.seen_version = version;
+        for (i, cursor) in self.exact_cursors.iter_mut().enumerate() {
+            let shard = self.shared.exact[i].read().expect(POISONED);
+            for e in &shard.entries[*cursor..] {
+                self.exact.entry(e.hash).or_default().push((e.set.clone(), e.model.clone()));
+            }
+            *cursor = shard.entries.len();
+        }
+        {
+            let log = self.shared.cex_unsat.read().expect(POISONED);
+            for (sig, set, ()) in &log.entries[self.unsat_cursor..] {
+                self.unsat_sets.push((*sig, set.clone()));
+            }
+            self.unsat_cursor = log.entries.len();
+        }
+        {
+            let log = self.shared.cex_sat.read().expect(POISONED);
+            for (sig, set, m) in &log.entries[self.sat_cursor..] {
+                self.sat_sets.push((*sig, set.clone(), m.clone()));
+            }
+            self.sat_cursor = log.entries.len();
+        }
+    }
+
+    /// Mirrored exact verdict for `(h, set)`, full-key verified.
+    pub(crate) fn verdict_for(&self, h: u64, set: &[ExprId]) -> Option<Option<&Model>> {
+        self.exact.get(&h)?.iter().find(|(k, _)| **k == *set).map(|(_, m)| m.as_ref())
+    }
+
+    /// Does a mirrored unsat core prove `set` (signature `sig`) unsat?
+    /// Signature-prefiltered: one AND/compare rejects most entries
+    /// before the linear subset merge runs.
+    pub(crate) fn implies_unsat(&self, sig: u64, set: &[ExprId]) -> bool {
+        self.unsat_sets.iter().any(|(s, u)| *s & !sig == 0 && is_subset(u, set))
+    }
+
+    /// A model from a mirrored sat superset of `set`, if any.
+    pub(crate) fn model_for_subset(&self, sig: u64, set: &[ExprId]) -> Option<&Model> {
+        self.sat_sets
+            .iter()
+            .find(|(s, sup, _)| sig & !*s == 0 && is_subset(set, sup))
+            .map(|(_, _, m)| m)
+    }
+
+    /// Total mirrored entries across all tiers (the sync monotonicity
+    /// observable).
+    pub(crate) fn entries(&self) -> usize {
+        self.exact.values().map(Vec::len).sum::<usize>()
+            + self.unsat_sets.len()
+            + self.sat_sets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::set_hash;
+    use symmerge_expr::ExprPool;
+
+    fn ids(pool: &mut ExprPool, names: &[&str]) -> Vec<ExprId> {
+        let mut v: Vec<ExprId> = names
+            .iter()
+            .map(|n| {
+                let x = pool.input(n, 8);
+                let z = pool.bv_const(0, 8);
+                pool.ne(x, z)
+            })
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// A colliding prehash published by one worker must not alias
+    /// another worker's distinct set — the cross-worker shape of PR 2's
+    /// query-cache collision fix. The forced shared prehash lands both
+    /// sets in the same shard and bucket; full-key verification must
+    /// separate them.
+    #[test]
+    fn colliding_hashes_cannot_alias_distinct_sets() {
+        let mut pool = ExprPool::new(8);
+        let a = ids(&mut pool, &["a", "b"]);
+        let b = ids(&mut pool, &["c", "d"]);
+        assert_ne!(a, b);
+        let cache = SharedSolverCache::new(16);
+        let h = 0xDEAD_BEEF;
+        assert!(cache.publish_verdict(h, &a, None));
+        // Worker B's lookup of its own distinct set under the same hash.
+        assert_eq!(cache.verdict_for(h, &b), None);
+        assert_eq!(cache.verdict_for(h, &a), Some(None));
+        // And through a mirror, which serves the real read path.
+        let mut mirror = SharedCacheMirror::new(Arc::clone(&cache));
+        mirror.sync();
+        assert!(mirror.verdict_for(h, &b).is_none());
+        assert_eq!(mirror.verdict_for(h, &a), Some(None));
+    }
+
+    #[test]
+    fn duplicate_publication_is_a_no_op() {
+        let mut pool = ExprPool::new(8);
+        let a = ids(&mut pool, &["a", "b"]);
+        let cache = SharedSolverCache::new(16);
+        let h = set_hash(&a);
+        assert!(cache.publish_verdict(h, &a, None));
+        assert!(!cache.publish_verdict(h, &a, None));
+        assert!(cache.publish_unsat_core(&a));
+        assert!(!cache.publish_unsat_core(&a));
+        assert_eq!(cache.published(), 2);
+    }
+
+    #[test]
+    fn cex_log_refuses_publications_beyond_capacity() {
+        let mut pool = ExprPool::new(8);
+        let cache = SharedSolverCache::new(1);
+        let a = ids(&mut pool, &["a"]);
+        let b = ids(&mut pool, &["b"]);
+        assert!(cache.publish_unsat_core(&a));
+        assert!(!cache.publish_unsat_core(&b)); // full: refused, not evicted
+        let mut mirror = SharedCacheMirror::new(Arc::clone(&cache));
+        mirror.sync();
+        assert!(mirror.implies_unsat(signature(&a), &a));
+        assert!(!mirror.implies_unsat(signature(&b), &b));
+    }
+}

@@ -35,7 +35,9 @@ use crate::bitblast::BitBlaster;
 use crate::context::{minimize_model, SolverContext};
 use crate::model::Model;
 use crate::sat::{SatSolver, SolveOutcome};
+use crate::shared::{SharedCacheMirror, SharedSolverCache};
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use symmerge_expr::{ExprId, ExprPool, SymbolId};
 
@@ -189,6 +191,16 @@ pub struct SolverConfig {
     /// How many unsat cores / sat sets the counterexample cache retains
     /// (each, FIFO-evicted).
     pub cex_capacity: usize,
+    /// Participate in a cross-worker [`SharedSolverCache`] when the
+    /// engine attaches one ([`Solver::attach_shared_cache`]): consult
+    /// the worker's read mirror after the private tiers miss, and
+    /// publish fresh verdicts and unsat cores for the other workers.
+    /// Only parallel runs ever attach a store — a sequential engine
+    /// (`jobs = 1`) keeps the private path bit-for-bit regardless of
+    /// this flag — and the shared cex tiers sit behind the same
+    /// warm-route [`SolverConfig::tier_gate`] as the private ones.
+    /// `SYMMERGE_SHARED_CACHE=0` is the ablation leg.
+    pub shared_cache: bool,
 }
 
 impl Default for SolverConfig {
@@ -243,6 +255,7 @@ impl Default for SolverConfig {
                 Err(_) => 1_000_000,
             },
             cex_capacity: 256,
+            shared_cache: env_flag("SYMMERGE_SHARED_CACHE", true),
         }
     }
 }
@@ -343,6 +356,23 @@ pub struct SolverStats {
     /// prefix-shaped queries repeat the same conjuncts thousands of
     /// times, and walking their DAGs per query was measurable overhead).
     pub query_nodes: u64,
+    /// Queries answered from the shared cache's mirrored exact tier —
+    /// a verdict some *other* worker published (entries this worker
+    /// published itself are found in its private cache first).
+    pub shared_query_hits: u64,
+    /// Queries answered by the shared cache's mirrored counterexample
+    /// tiers (a foreign unsat core proving the query unsat, or a
+    /// foreign sat superset donating its model).
+    pub shared_cex_hits: u64,
+    /// Entries this solver newly published to the shared cache (a
+    /// verdict another worker already published counts nowhere).
+    pub shared_publishes: u64,
+    /// Cumulative time spent syncing the shared-cache mirror at step
+    /// boundaries. Folded into `cache_time` (and `time`) — it is cache
+    /// bookkeeping — so the `time >= sat_time + cache_time +
+    /// route_time` split is unchanged; this counter just makes the
+    /// sync share visible on its own.
+    pub shared_sync_time: Duration,
 }
 
 impl SolverStats {
@@ -378,6 +408,10 @@ impl SolverStats {
         self.gates_reused += other.gates_reused;
         self.ctx_clauses_compacted += other.ctx_clauses_compacted;
         self.query_nodes += other.query_nodes;
+        self.shared_query_hits += other.shared_query_hits;
+        self.shared_cex_hits += other.shared_cex_hits;
+        self.shared_publishes += other.shared_publishes;
+        self.shared_sync_time += other.shared_sync_time;
     }
 }
 
@@ -817,7 +851,7 @@ struct CtxRoute<'a> {
 }
 
 /// `a ⊆ b` for sorted, deduplicated slices (linear merge walk).
-fn is_subset(a: &[ExprId], b: &[ExprId]) -> bool {
+pub(crate) fn is_subset(a: &[ExprId], b: &[ExprId]) -> bool {
     let mut bi = b.iter();
     'outer: for x in a {
         for y in bi.by_ref() {
@@ -861,6 +895,10 @@ pub struct Solver {
     /// for its statistics line and its model projection.
     dag_sizes: HashMap<ExprId, u64>,
     input_syms: HashMap<ExprId, Box<[SymbolId]>>,
+    /// The worker's read mirror of the fleet's [`SharedSolverCache`],
+    /// when the engine attached one (parallel runs only; see
+    /// [`Solver::attach_shared_cache`]).
+    shared: Option<SharedCacheMirror>,
     stats: SolverStats,
 }
 
@@ -879,8 +917,43 @@ impl Solver {
             frontier_hint: 0,
             dag_sizes: HashMap::new(),
             input_syms: HashMap::new(),
+            shared: None,
             stats: SolverStats::default(),
         }
+    }
+
+    /// Joins a cross-worker [`SharedSolverCache`]: builds this solver's
+    /// private read mirror and enables verdict publication. A no-op
+    /// when [`SolverConfig::shared_cache`] is off, so the env ablation
+    /// (`SYMMERGE_SHARED_CACHE=0`) reaches through engines that attach
+    /// unconditionally. Call [`Solver::sync_shared_cache`] at step
+    /// boundaries to pull in what other workers published.
+    pub fn attach_shared_cache(&mut self, cache: Arc<SharedSolverCache>) {
+        if self.config.shared_cache {
+            self.shared = Some(SharedCacheMirror::new(cache));
+        }
+    }
+
+    /// Catches the shared-cache mirror up with entries other workers
+    /// published since the last sync. Cheap when nothing changed (one
+    /// atomic load); a no-op without an attached store. The elapsed
+    /// time lands in `shared_sync_time` *and* `cache_time`/`time`, so
+    /// the timing split invariant is preserved.
+    pub fn sync_shared_cache(&mut self) {
+        let Some(mirror) = self.shared.as_mut() else { return };
+        let start = Instant::now();
+        mirror.sync();
+        let elapsed = start.elapsed();
+        self.stats.shared_sync_time += elapsed;
+        self.stats.cache_time += elapsed;
+        self.stats.time += elapsed;
+    }
+
+    /// Entries currently visible in this solver's shared-cache mirror
+    /// (0 without one). Observability for the sync monotonicity
+    /// property: the count never decreases.
+    pub fn shared_mirror_entries(&self) -> usize {
+        self.shared.as_ref().map_or(0, SharedCacheMirror::entries)
     }
 
     /// Reports the caller's live exploration-frontier size. Under
@@ -1178,6 +1251,30 @@ impl Solver {
                     }
                 });
             }
+            // Shared exact tier: a verdict another worker published.
+            // Like the private exact cache it is never gated — a hit
+            // here replaces a full solve, full-key verified so a
+            // colliding foreign set can never alias this query. The
+            // hit is copied into the private cache so repeats of the
+            // query stay on the private path.
+            if let Some(verdict) =
+                self.shared.as_ref().and_then(|mi| mi.verdict_for(h, set)).map(|v| v.cloned())
+            {
+                self.stats.shared_query_hits += 1;
+                return Some(match verdict {
+                    Some(m) => {
+                        debug_assert!(m.satisfies(pool, set), "shared model must satisfy");
+                        self.stats.sat += 1;
+                        self.cache.insert_hashed(h, set, CachedResult::Sat(m.clone()));
+                        SatResult::Sat(m)
+                    }
+                    None => {
+                        self.stats.unsat += 1;
+                        self.cache.insert_hashed(h, set, CachedResult::Unsat);
+                        SatResult::Unsat
+                    }
+                });
+            }
         }
         if gated {
             return None;
@@ -1206,6 +1303,18 @@ impl Solver {
                 }
                 return Some(SatResult::Unsat);
             }
+            // Shared cex tiers: foreign unsat cores and sat supersets,
+            // behind the same tier gate as the private scans (the
+            // `gated` early-return above) so the shared fabric cannot
+            // reintroduce per-query scan cost on warm context routes.
+            if self.shared.as_ref().is_some_and(|mi| mi.implies_unsat(sig, set)) {
+                self.stats.shared_cex_hits += 1;
+                self.stats.unsat += 1;
+                if self.config.use_cache {
+                    self.cache.insert_hashed(h, set, CachedResult::Unsat);
+                }
+                return Some(SatResult::Unsat);
+            }
             if !self.config.canonical_models {
                 if let Some(m) = self.cex.model_for_subset(sig, set) {
                     let model = m.clone();
@@ -1217,12 +1326,28 @@ impl Solver {
                     }
                     return Some(SatResult::Sat(model));
                 }
+                if let Some(model) =
+                    self.shared.as_ref().and_then(|mi| mi.model_for_subset(sig, set)).cloned()
+                {
+                    debug_assert!(model.satisfies(pool, set), "shared superset model must satisfy");
+                    self.stats.shared_cex_hits += 1;
+                    self.stats.sat += 1;
+                    if self.config.use_cache {
+                        self.cache.insert_hashed(h, set, CachedResult::Sat(model.clone()));
+                    }
+                    return Some(SatResult::Sat(model));
+                }
             }
         }
         None
     }
 
-    /// Feeds a freshly computed result into the stats and caches.
+    /// Feeds a freshly computed result into the stats and caches —
+    /// including the shared cache, when one is attached: every worker
+    /// publishes what it solves, so the fleet's verdict store grows
+    /// with work done rather than per worker. Publication of an entry
+    /// some other worker already published is a no-op and counts
+    /// nowhere.
     fn record_result(&mut self, pool: &ExprPool, h: u64, set: &[ExprId], result: &SatResult) {
         match result {
             SatResult::Sat(m) => {
@@ -1237,18 +1362,44 @@ impl Solver {
                 }
                 if self.config.use_cache {
                     self.cache.insert_hashed(h, set, CachedResult::Sat(m.clone()));
+                    if let Some(mi) = &self.shared {
+                        if mi.shared().publish_verdict(h, set, Some(m)) {
+                            self.stats.shared_publishes += 1;
+                        }
+                    }
                 }
                 if self.config.use_cex_cache && !self.config.canonical_models {
                     self.cex.note_sat(set, m);
+                    if let Some(mi) = &self.shared {
+                        if mi.shared().publish_sat_set(set, m) {
+                            self.stats.shared_publishes += 1;
+                        }
+                    }
                 }
             }
             SatResult::Unsat => {
                 self.stats.unsat += 1;
                 if self.config.use_cache {
                     self.cache.insert_hashed(h, set, CachedResult::Unsat);
+                    if let Some(mi) = &self.shared {
+                        if mi.shared().publish_verdict(h, set, None) {
+                            self.stats.shared_publishes += 1;
+                        }
+                    }
                 }
                 if self.config.use_cex_cache {
                     self.cex.note_unsat(set);
+                    // Mirror the private policy: the full unsat set is a
+                    // core too, and cross-worker superset refutation only
+                    // fires if foreign whole-query cores are published —
+                    // fine cores (dead prefixes, unsat slices) alone are
+                    // too subtree-specific to refute a sibling worker's
+                    // queries. The log's capacity bounds the cost.
+                    if let Some(mi) = &self.shared {
+                        if mi.shared().publish_unsat_core(set) {
+                            self.stats.shared_publishes += 1;
+                        }
+                    }
                 }
             }
             SatResult::Unknown => {
@@ -1570,7 +1721,10 @@ impl Solver {
     }
 
     /// Donates a dead context's asserted prefix to the counterexample
-    /// cache as an unsat core.
+    /// cache as an unsat core — and to the shared cache: dead-prefix
+    /// cores are the finest cores the incremental path produces, and
+    /// a foreign worker whose states extend a sibling of the dead
+    /// prefix refutes them by subset without ever building a context.
     fn note_dead_prefix(&mut self, pool: &ExprPool, node: usize) {
         if !self.config.use_cex_cache {
             return;
@@ -1580,6 +1734,11 @@ impl Solver {
         p.sort_unstable();
         p.dedup();
         self.cex.note_unsat(&p);
+        if let Some(mi) = &self.shared {
+            if mi.shared().publish_unsat_core(&p) {
+                self.stats.shared_publishes += 1;
+            }
+        }
     }
 
     // ----- re-blast path ------------------------------------------------
@@ -1597,12 +1756,45 @@ impl Solver {
     /// burn more than `max_conflicts` in total (it used to apply the full
     /// budget per slice).
     fn check_sliced(&mut self, pool: &ExprPool, set: &[ExprId]) -> SatResult {
-        let slices = partition_by_inputs(pool, set);
+        // Partitioning is routing work (it decides the solving path's
+        // shape), priced as such; the input-symbol walks are served
+        // from the per-solver `input_syms` memo — prefix-shaped
+        // queries repeat conjuncts across thousands of queries, and
+        // re-walking each conjunct's DAG per query was measurable.
+        let route_start = Instant::now();
+        let slices = partition_by_inputs(pool, set, &mut self.input_syms);
+        self.stats.route_time += route_start.elapsed();
         let mut combined = Model::new();
         let mut remaining = self.config.max_conflicts;
         for slice in &slices {
             if remaining == Some(0) {
                 return SatResult::Unknown; // shared budget exhausted
+            }
+            // Slice-level refutation: a stored unsat core inside one
+            // slice kills the whole conjunction before any CNF is
+            // built. Only multi-slice queries are checked — a single
+            // slice is the full set, which `lookup_caches` already
+            // screened — and the scan cost is charged to the cache
+            // window like every other tier. The shared mirror makes
+            // this *cross-worker*: slices are published as fine cores,
+            // so one worker's dead slice refutes every fleet query
+            // that contains it.
+            if slices.len() > 1 && self.config.use_cex_cache {
+                let cex_start = Instant::now();
+                let sig = signature(slice);
+                let hit = if self.cex.implies_unsat(sig, slice) {
+                    self.stats.cex_unsat_hits += 1;
+                    true
+                } else if self.shared.as_ref().is_some_and(|mi| mi.implies_unsat(sig, slice)) {
+                    self.stats.shared_cex_hits += 1;
+                    true
+                } else {
+                    false
+                };
+                self.stats.cache_time += cex_start.elapsed();
+                if hit {
+                    return SatResult::Unsat;
+                }
             }
             let before = self.stats.conflicts;
             let result = self.solve_slice(pool, slice, remaining);
@@ -1615,6 +1807,11 @@ impl Solver {
                     if slices.len() > 1 && self.config.use_cex_cache {
                         // The slice is a finer unsat core than the query.
                         self.cex.note_unsat(slice);
+                        if let Some(mi) = &self.shared {
+                            if mi.shared().publish_unsat_core(slice) {
+                                self.stats.shared_publishes += 1;
+                            }
+                        }
                     }
                     return SatResult::Unsat;
                 }
@@ -1709,7 +1906,7 @@ pub(crate) fn elem_hash(id: ExprId) -> u64 {
 /// [`SolverContext`] carries the hash of its normalized prefix across
 /// queries instead of re-hashing the full set each time. Collisions are
 /// harmless: the query cache stores and verifies full keys per bucket.
-fn set_hash(set: &[ExprId]) -> u64 {
+pub(crate) fn set_hash(set: &[ExprId]) -> u64 {
     set.iter().fold(0u64, |h, &c| h.wrapping_add(elem_hash(c)))
 }
 
@@ -1717,12 +1914,22 @@ fn set_hash(set: &[ExprId]) -> u64 {
 /// bits (chosen by its hash). `a ⊆ b` implies
 /// `signature(a) & !signature(b) == 0`, so one AND/compare refutes most
 /// subset candidates before the linear merge of [`is_subset`] runs.
-fn signature(set: &[ExprId]) -> u64 {
+pub(crate) fn signature(set: &[ExprId]) -> u64 {
     set.iter().fold(0u64, |s, &c| s | 1u64 << (elem_hash(c) & 63))
 }
 
 /// Groups constraints into connected components by shared input symbols.
-fn partition_by_inputs(pool: &ExprPool, set: &[ExprId]) -> Vec<Vec<ExprId>> {
+///
+/// `input_syms` memoizes each conjunct's input-symbol set (sound for the
+/// same reason as every other `ExprId`-keyed memo in this module: a
+/// solver serves one append-only pool), so repeated partitioning of
+/// prefix-shaped sets walks each conjunct's DAG once, not once per
+/// query.
+fn partition_by_inputs(
+    pool: &ExprPool,
+    set: &[ExprId],
+    input_syms: &mut HashMap<ExprId, Box<[SymbolId]>>,
+) -> Vec<Vec<ExprId>> {
     let n = set.len();
     let mut parent: Vec<usize> = (0..n).collect();
     fn find(parent: &mut [usize], mut x: usize) -> usize {
@@ -1734,7 +1941,8 @@ fn partition_by_inputs(pool: &ExprPool, set: &[ExprId]) -> Vec<Vec<ExprId>> {
     }
     let mut owner: HashMap<SymbolId, usize> = HashMap::new();
     for (i, &c) in set.iter().enumerate() {
-        for sym in pool.collect_inputs(c) {
+        let syms = input_syms.entry(c).or_insert_with(|| pool.collect_inputs(c).into_boxed_slice());
+        for &sym in syms.iter() {
             match owner.get(&sym) {
                 Some(&j) => {
                     let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
@@ -2395,10 +2603,15 @@ mod tests {
         let cx = p.ult(x, one);
         let cxy = p.ult(x, y);
         let cz = p.ult(z, one);
-        let groups = partition_by_inputs(&p, &[cx, cxy, cz]);
+        let mut memo = HashMap::new();
+        let groups = partition_by_inputs(&p, &[cx, cxy, cz], &mut memo);
         assert_eq!(groups.len(), 2);
         let sizes: Vec<usize> = groups.iter().map(|g| g.len()).collect();
         assert!(sizes.contains(&2) && sizes.contains(&1));
+        // The memo now covers every conjunct; a second partition serves
+        // the symbol walks from it and must agree.
+        assert_eq!(memo.len(), 3);
+        assert_eq!(partition_by_inputs(&p, &[cx, cxy, cz], &mut memo), groups);
     }
 
     #[test]
