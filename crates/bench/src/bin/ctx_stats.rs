@@ -71,7 +71,7 @@ fn main() {
          ctx_evictions,clauses_resident,clauses_evicted,clauses_compacted,learnt_lits,\
          gates_reused,sched_picks,sched_heap_repairs,\
          shared_query_hits,shared_cex_hits,shared_publishes,\
-         solver_ms,sat_ms,cache_ms,route_ms,wall_ms",
+         solver_ms,sat_ms,cache_ms,route_ms,wall_ms,dropped_unknown",
     );
     println!("# ctx_stats: solver-context pool behaviour (exhaustive runs, tests on)");
     println!("# clauses res/evict: clause-weighted residency (final gauge / cumulative evicted)");
@@ -109,6 +109,7 @@ fn main() {
         "route",
         "wall"
     );
+    let mut dropped_total = 0u64;
     for (tool, cfg, mode, strategy, jobs, shared, incremental) in sweeps {
         let w = by_name(tool).unwrap();
         let mut config = EngineConfig {
@@ -164,7 +165,7 @@ fn main() {
             report.wall_time,
         );
         csv.row(&format!(
-            "{tool},{},{mode_label},{strat},{jobs},{shared_label},{incr_label},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3}",
+            "{tool},{},{mode_label},{strat},{jobs},{shared_label},{incr_label},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{}",
             cfg.symbolic_bytes(),
             report.tests.len(),
             s.sat_calls,
@@ -187,7 +188,15 @@ fn main() {
             s.cache_time.as_secs_f64() * 1e3,
             s.route_time.as_secs_f64() * 1e3,
             report.wall_time.as_secs_f64() * 1e3,
+            report.tests_dropped_unknown,
         ));
+        dropped_total += report.tests_dropped_unknown;
+    }
+    if dropped_total > 0 {
+        eprintln!(
+            "# WARNING: {dropped_total} completed path(s) dropped on solver Unknown across \
+             the sweep — path counts undercount; see the dropped_unknown column"
+        );
     }
     println!("# csv: {}", csv.path.display());
 }

@@ -63,7 +63,7 @@ fn main() {
          sat_time_ms,cache_time_ms,route_time_ms,ctx_hits,ctx_rebuilds,ctx_forks,ctx_evictions,\
          clauses_resident,clauses_evicted,clauses_compacted,sched_picks,sched_heap_repairs,\
          steals,stolen_states,idle_waits,envelope_exports,envelope_nodes,\
-         shared_query_hits,shared_cex_hits,shared_publishes",
+         shared_query_hits,shared_cex_hits,shared_publishes,dropped_unknown",
     );
     println!("# parallel_scaling: exhaustive MergeMode::None exploration, bsp vs steal scheduler");
     println!(
@@ -97,6 +97,7 @@ fn main() {
         "env e/n",
         "shr q/c/p"
     );
+    let mut dropped_total = 0u64;
     for (tool, cfg) in sweeps {
         let w = by_name(tool).unwrap();
         let mut t1 = Duration::ZERO;
@@ -199,7 +200,7 @@ fn main() {
                     s.route_time
                 );
                     csv.row(&format!(
-                    "{tool},{},{sched_label},{jobs},{shared_label},{:.3},{:.3},{},{},{},{:.3},{:.3},{:.3},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    "{tool},{},{sched_label},{jobs},{shared_label},{:.3},{:.3},{},{},{},{:.3},{:.3},{:.3},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                     cfg.symbolic_bytes(),
                     wall.as_secs_f64() * 1e3,
                     speedup,
@@ -225,11 +226,19 @@ fn main() {
                     report.envelope_nodes,
                     s.shared_query_hits,
                     s.shared_cex_hits,
-                    s.shared_publishes
+                    s.shared_publishes,
+                    report.tests_dropped_unknown
                 ));
+                    dropped_total += report.tests_dropped_unknown;
                 }
             }
         }
+    }
+    if dropped_total > 0 {
+        eprintln!(
+            "# WARNING: {dropped_total} completed path(s) dropped on solver Unknown across \
+             the sweep — path counts undercount; see the dropped_unknown column"
+        );
     }
     println!("# csv: {}", csv.path.display());
 }

@@ -87,6 +87,29 @@ pub struct EngineConfig {
     /// Purely a solver-residency (and affinity-stamp) effect — results
     /// are unchanged, only rebuild counts and wall time move.
     pub warm_migration: bool,
+    /// Seeded fault-injection plan ([`crate::fault`]): deterministic
+    /// worker panics and forced solver `Unknown`s, for exercising the
+    /// fault-tolerance layer. `None` (the default when
+    /// `SYMMERGE_FAULT_PLAN` is unset) injects nothing. Injected faults
+    /// never change results — see the [`crate::fault`] module docs.
+    pub fault_plan: Option<Arc<crate::fault::FaultPlan>>,
+    /// Panic isolation: snapshot each picked state *before* executing
+    /// it, so a panic caught anywhere in the step can quarantine and
+    /// re-queue the state (`Engine::recover_from_panic`) instead of
+    /// losing it. The snapshot clones the state every step, so it is
+    /// armed only when asked for: this flag (`SYMMERGE_PANIC_ISOLATION`
+    /// sets it), or a [`EngineConfig::fault_plan`] that schedules
+    /// panics.
+    pub panic_isolation: bool,
+    /// Periodic checkpointing ([`crate::checkpoint`]): snapshot the
+    /// run's results and frontier to a file every
+    /// [`CheckpointConfig::every`] picks, so a killed run can resume
+    /// and still produce the uninterrupted run's final results. `None`
+    /// (the default when `SYMMERGE_CHECKPOINT_PATH` is unset) writes
+    /// nothing.
+    ///
+    /// [`CheckpointConfig::every`]: crate::checkpoint::CheckpointConfig
+    pub checkpoint: Option<crate::checkpoint::CheckpointConfig>,
     /// RNG seed (strategies, tie-breaking) — runs are deterministic per
     /// seed.
     pub seed: u64,
@@ -105,6 +128,9 @@ impl Default for EngineConfig {
             generate_tests: true,
             affinity_scheduling: true,
             warm_migration: true,
+            fault_plan: crate::fault::FaultPlan::from_env(),
+            panic_isolation: std::env::var("SYMMERGE_PANIC_ISOLATION").is_ok_and(|v| v == "1"),
+            checkpoint: crate::checkpoint::CheckpointConfig::from_env(),
             seed: 0,
         }
     }
@@ -305,6 +331,12 @@ pub struct RunReport {
     /// (steal scheduler only) — the residual idleness the scheduler
     /// could not fill.
     pub idle_waits: u64,
+    /// States quarantined out of panicking workers and re-queued for
+    /// the surviving fleet to finish (the fault-tolerance layer's
+    /// `Engine::recover_from_panic`; zero without worker panics).
+    /// Quarantine changes *which* worker finishes a state, never the
+    /// result set.
+    pub quarantined_states: u64,
     /// Covered basic blocks.
     pub covered_blocks: usize,
     /// Total basic blocks in the program.
@@ -427,6 +459,18 @@ pub struct Engine {
     /// Present iff this engine runs as one shard of a
     /// [`crate::parallel::ParallelEngine`].
     shard: Option<ShardCtl>,
+    /// This engine's worker index in the fault plan's coordinate system
+    /// (0 for a sequential run; [`Engine::set_fault_worker`] re-aims it
+    /// for fleet workers).
+    fault_worker: u32,
+    /// Panic-isolation snapshot of the state currently being stepped:
+    /// `(state, child history, fast-forward flag)`, exactly what
+    /// [`Engine::integrate`] needs to re-queue it after a caught panic.
+    in_flight: Option<(State, VecDeque<u64>, bool)>,
+    /// Set by [`Engine::restore_checkpoint`]; [`Engine::run`] then skips
+    /// seeding the initial state (the restored frontier already holds
+    /// the live work).
+    resumed: bool,
     // Run accumulators.
     completed_paths: u64,
     completed_multiplicity: f64,
@@ -442,6 +486,7 @@ pub struct Engine {
     ff_merged: u64,
     envelope_exports: u64,
     envelope_nodes: u64,
+    quarantined_states: u64,
 }
 
 impl std::fmt::Debug for Engine {
@@ -576,6 +621,12 @@ impl Engine {
             );
             solver.attach_shared_cache(cache);
         }
+        // Worker 0 is the construction-time default coordinate, which a
+        // sequential run keeps; fleet workers re-aim via
+        // `set_fault_worker`, which re-derives this stream per worker.
+        if let Some((num, den, seed)) = config.fault_plan.as_ref().and_then(|p| p.unknown_spec(0)) {
+            solver.set_forced_unknowns(num, den, seed);
+        }
         let rng = StdRng::seed_from_u64(config.seed);
         Engine {
             program,
@@ -596,6 +647,9 @@ impl Engine {
             next_id: 0,
             started: None,
             shard: None,
+            fault_worker: 0,
+            in_flight: None,
+            resumed: false,
             completed_paths: 0,
             completed_multiplicity: 0.0,
             pruned_by_assume: 0,
@@ -610,6 +664,7 @@ impl Engine {
             ff_merged: 0,
             envelope_exports: 0,
             envelope_nodes: 0,
+            quarantined_states: 0,
             config,
         }
     }
@@ -875,7 +930,13 @@ impl Engine {
 
     /// Runs the exploration to exhaustion or until a budget trips.
     pub fn run(&mut self) -> RunReport {
-        self.seed_initial();
+        if self.resumed {
+            // The restored frontier is the live work; re-seeding would
+            // explore the program a second time.
+            self.started.get_or_insert_with(Instant::now);
+        } else {
+            self.seed_initial();
+        }
         let mut hit_budget = false;
         loop {
             match self.explore_step() {
@@ -886,8 +947,26 @@ impl Engine {
                     break;
                 }
             }
+            self.maybe_checkpoint();
         }
         self.report(hit_budget)
+    }
+
+    /// Writes a periodic checkpoint when one is due (sequential runs;
+    /// fleet runs checkpoint through their coordinator instead). A
+    /// write failure is reported loudly on stderr but does not abort
+    /// the run: losing resumability is strictly better than losing the
+    /// run.
+    fn maybe_checkpoint(&mut self) {
+        let Some(ck) = &self.config.checkpoint else { return };
+        if ck.every == 0 || self.picks == 0 || self.picks % ck.every != 0 {
+            return;
+        }
+        let path = ck.path.clone();
+        let snap = self.snapshot();
+        if let Err(e) = crate::checkpoint::write_checkpoint(&path, &snap) {
+            eprintln!("symmerge: checkpoint write to {} failed: {e}", path.display());
+        }
     }
 
     /// Advances the exploration by one scheduling step: checks budgets,
@@ -962,6 +1041,25 @@ impl Engine {
             None => parent_hist,
         };
 
+        // Fault-tolerance layer. While armed, snapshot the in-flight
+        // state so a panic caught anywhere in the rest of the step can
+        // re-queue it ([`Engine::recover_from_panic`]); then fire any
+        // injected panic scheduled for this exact pick. The injection
+        // point — after the pick, before execution — is exactly where
+        // quarantine is lossless: nothing about the state has been
+        // recorded yet, so re-running it elsewhere neither loses nor
+        // duplicates work.
+        if self.isolation_armed() {
+            self.in_flight = Some((state.clone(), child_hist.clone(), parent_ff));
+        }
+        if let Some(plan) = &self.config.fault_plan {
+            // 0-based local pick index (picks was just incremented).
+            let pick = self.picks - 1;
+            if plan.panics_at(self.fault_worker, pick) {
+                panic!("injected fault: worker {} panics at pick {pick}", self.fault_worker);
+            }
+        }
+
         let affinity_before = self.solver.last_affinity();
         let result = {
             let mut ctx = ExecCtx {
@@ -996,7 +1094,61 @@ impl Engine {
             }
             self.integrate(succ, child_hist.clone(), parent_ff);
         }
+        // The step committed; the quarantine snapshot is dead weight now
+        // (and re-queueing it after this point would duplicate work).
+        self.in_flight = None;
         ExploreStep::Progressed
+    }
+
+    /// Whether the panic-isolation snapshot is armed (see
+    /// [`EngineConfig::panic_isolation`]): explicitly, or implicitly by
+    /// a fault plan that schedules panics.
+    pub(crate) fn isolation_armed(&self) -> bool {
+        self.config.panic_isolation
+            || self.config.fault_plan.as_ref().is_some_and(|p| p.has_panics())
+    }
+
+    /// Re-aims the engine at worker `worker`'s coordinates in the fault
+    /// plan: panic schedules match against it, and the forced-`Unknown`
+    /// stream is re-derived from the plan's per-worker seed
+    /// decorrelation ([`crate::fault::FaultPlan::unknown_spec`]).
+    pub(crate) fn set_fault_worker(&mut self, worker: u32) {
+        self.fault_worker = worker;
+        if let Some((num, den, seed)) =
+            self.config.fault_plan.as_ref().and_then(|p| p.unknown_spec(worker))
+        {
+            self.solver.set_forced_unknowns(num, den, seed);
+        }
+    }
+
+    /// Quarantine recovery after a caught worker panic: re-queues the
+    /// in-flight snapshot (the state that was picked but whose step
+    /// never committed), so the state is neither lost nor
+    /// half-recorded. Returns how many states were quarantined (0 or
+    /// 1 — 0 when the panic struck outside a step, where every live
+    /// state is still safely in the worklist).
+    ///
+    /// Soundness: the snapshot is taken before execution and cleared
+    /// after the step's results are recorded, so re-running the state —
+    /// here or, after re-envelopment, on another worker — repeats no
+    /// completed work. Under [`MergeMode::None`] with canonical models
+    /// the final test set is therefore byte-identical to the fault-free
+    /// run's; quarantine changes *which* worker finishes a state, never
+    /// the result set.
+    pub(crate) fn recover_from_panic(&mut self) -> u64 {
+        let Some((state, history, ff)) = self.in_flight.take() else { return 0 };
+        self.quarantined_states += 1;
+        self.integrate(state, history, ff);
+        1
+    }
+
+    /// Serializes the *entire* worklist into envelopes in deterministic
+    /// (id) order, emptying it — the crash path's hand-off of a dead
+    /// worker's remaining work to the coordinator for redistribution.
+    pub(crate) fn drain_to_envelopes(&mut self) -> Vec<PortableState> {
+        let mut ids: Vec<StateId> = self.states.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter().filter_map(|id| self.export_state(id)).collect()
     }
 
     /// Snapshots the run accumulators into a [`RunReport`]. Called by
@@ -1028,6 +1180,7 @@ impl Engine {
             steals: 0,
             stolen_states: 0,
             idle_waits: 0,
+            quarantined_states: self.quarantined_states,
             covered_blocks: self.covered.len(),
             total_blocks: self.program.num_blocks(),
             ff_merged: self.ff_merged,
@@ -1314,6 +1467,106 @@ impl Engine {
         v.sort_unstable();
         v
     }
+
+    // ----- checkpoint/resume (see `crate::checkpoint`) ------------------
+
+    /// Snapshots the run into a [`crate::checkpoint::Checkpoint`]:
+    /// result accumulators, coverage, the RNG stream, and the whole
+    /// frontier as [`PortableState`] envelopes (in deterministic id
+    /// order). Read-only — exploration continues unchanged afterwards,
+    /// and none of the envelope counters move (these envelopes are not
+    /// migration traffic).
+    pub(crate) fn snapshot(&self) -> crate::checkpoint::Checkpoint {
+        let mut ids: Vec<StateId> = self.states.keys().copied().collect();
+        ids.sort_unstable();
+        let frontier: Vec<PortableState> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, id)| {
+                let state = &self.states[id];
+                let history = self.histories.get(id).cloned().unwrap_or_default();
+                let ff = self.ff_active.contains(id);
+                let region = self.region_of(state);
+                PortableState::export(
+                    &self.pool,
+                    state,
+                    &history,
+                    ff,
+                    region,
+                    self.fault_worker,
+                    i as u64 + 1,
+                )
+            })
+            .collect();
+        crate::checkpoint::Checkpoint {
+            seed: self.config.seed,
+            next_id: self.next_id,
+            rng: self.rng.state(),
+            completed_paths: self.completed_paths,
+            completed_multiplicity: self.completed_multiplicity,
+            pruned_by_assume: self.pruned_by_assume,
+            tests_dropped_unknown: self.tests_dropped_unknown,
+            picks: self.picks,
+            steps: self.steps,
+            merges: self.merges,
+            merge_rejects: self.merge_rejects,
+            max_worklist: self.max_worklist as u64,
+            ff_merged: self.ff_merged,
+            quarantined_states: self.quarantined_states,
+            covered: self.covered_pairs(),
+            tests: self.tests.clone(),
+            failures: self.assert_failures.iter().map(|f| (f.msg.clone(), f.loc)).collect(),
+            frontier,
+        }
+    }
+
+    /// Restores a checkpoint into a freshly built engine: result
+    /// accumulators, coverage, tests and failures, the RNG stream, and
+    /// the frontier (re-imported through `Engine::inject_all`, so
+    /// warm-prefix prewarming applies as for any migration batch). The
+    /// next [`Engine::run`] then *continues* the interrupted
+    /// exploration instead of starting over.
+    ///
+    /// Restored assertion failures carry an empty path condition —
+    /// their test cases were already generated before the checkpoint,
+    /// and `ExprId`s do not survive the pool boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has already explored anything (restoring
+    /// over live work would double-count it).
+    pub fn restore_checkpoint(&mut self, ck: &crate::checkpoint::Checkpoint) {
+        assert!(
+            self.states.is_empty() && self.picks == 0 && self.next_id == 0,
+            "restore_checkpoint needs a freshly built engine"
+        );
+        self.next_id = ck.next_id;
+        self.rng = StdRng::from_state(ck.rng);
+        self.completed_paths = ck.completed_paths;
+        self.completed_multiplicity = ck.completed_multiplicity;
+        self.pruned_by_assume = ck.pruned_by_assume;
+        self.tests_dropped_unknown = ck.tests_dropped_unknown;
+        self.picks = ck.picks;
+        self.steps = ck.steps;
+        self.merges = ck.merges;
+        self.merge_rejects = ck.merge_rejects;
+        self.max_worklist = ck.max_worklist as usize;
+        self.ff_merged = ck.ff_merged;
+        self.quarantined_states = ck.quarantined_states;
+        // Coverage first: integrating the frontier below re-marks its
+        // own locations, which must not look newly covered.
+        self.covered = ck.covered.iter().map(|&(f, b)| (FuncId(f), BlockId(b))).collect();
+        self.tests = ck.tests.clone();
+        self.assert_failures = ck
+            .failures
+            .iter()
+            .map(|(msg, loc)| AssertFailure { msg: msg.clone(), loc: *loc, pc: Vec::new() })
+            .collect();
+        let mut frontier = ck.frontier.clone();
+        frontier.sort_by_key(|env| env.order_key());
+        self.inject_all(&frontier);
+        self.resumed = true;
+    }
 }
 
 #[cfg(test)]
@@ -1531,7 +1784,13 @@ mod tests {
         let program = minic::compile_with_width(src, 16).unwrap();
         let mut e = Engine::builder(program)
             .merging(MergeMode::None)
-            .solver(symmerge_solver::SolverConfig { max_conflicts: Some(1), ..Default::default() })
+            .solver(symmerge_solver::SolverConfig {
+                max_conflicts: Some(1),
+                // Pin the retry ladder off: this test is about the drop
+                // accounting that fires only once every retry fails.
+                retry_ladder: Vec::new(),
+                ..Default::default()
+            })
             .build()
             .unwrap();
         let report = e.run();

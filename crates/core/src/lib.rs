@@ -47,9 +47,11 @@
 //! # }
 //! ```
 
+pub mod checkpoint;
 pub mod dsm;
 pub mod engine;
 pub mod exec;
+pub mod fault;
 pub mod merge;
 pub mod parallel;
 pub mod qce;
@@ -58,9 +60,11 @@ pub mod state;
 pub mod strategy;
 pub mod testgen;
 
+pub use checkpoint::{read_checkpoint, write_checkpoint, Checkpoint, CheckpointConfig};
 pub use dsm::{DsmConfig, DsmStats};
 pub use engine::{Budgets, Engine, EngineBuilder, EngineConfig, ExploreStep, MergeMode, RunReport};
 pub use exec::{AssertFailure, Completion};
+pub use fault::FaultPlan;
 pub use merge::MergeConfig;
 pub use parallel::{reduce_reports, ParallelConfig, ParallelEngine, SchedulerKind, ShardOutput};
 pub use qce::{QceAnalysis, QceConfig, VarKey};

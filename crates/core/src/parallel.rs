@@ -116,12 +116,17 @@
 //! # }
 //! ```
 
+use crate::checkpoint::{merge_parts, write_checkpoint, Checkpoint};
 use crate::engine::{Budgets, Engine, EngineConfig, ExploreStep, MergeMode, RunReport};
+use crate::exec::AssertFailure;
 use crate::shard::{PortableState, RegionId, RegionMap, StolenState};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 use symmerge_expr::SharedExprPool;
 use symmerge_ir::{Program, ValidateError};
@@ -237,6 +242,7 @@ pub fn reduce_reports(parts: &[ShardOutput], total_blocks: usize) -> RunReport {
         steals: 0,
         stolen_states: 0,
         idle_waits: 0,
+        quarantined_states: 0,
         covered_blocks: 0,
         total_blocks,
         ff_merged: 0,
@@ -267,6 +273,7 @@ pub fn reduce_reports(parts: &[ShardOutput], total_blocks: usize) -> RunReport {
         out.steals += r.steals;
         out.stolen_states += r.stolen_states;
         out.idle_waits += r.idle_waits;
+        out.quarantined_states += r.quarantined_states;
         out.ff_merged += r.ff_merged;
         out.dsm.absorb(&r.dsm);
         out.solver.absorb(&r.solver);
@@ -280,6 +287,81 @@ pub fn reduce_reports(parts: &[ShardOutput], total_blocks: usize) -> RunReport {
     out.tests.sort_by_cached_key(|t| t.sort_key());
     out.assert_failures.sort_by(|a, b| (&a.msg, a.loc, &a.pc).cmp(&(&b.msg, b.loc, &b.pc)));
     out
+}
+
+/// Wraps a resumed-from [`Checkpoint`]'s accumulated results as one
+/// more [`ShardOutput`] for [`reduce_reports`] — the pre-interruption
+/// half of the run, reduced exactly like a worker's. Restored
+/// assertion failures carry an empty path condition (their tests were
+/// generated before the checkpoint; `ExprId`s do not survive it).
+fn base_output(ck: &Checkpoint) -> ShardOutput {
+    ShardOutput {
+        report: RunReport {
+            completed_paths: ck.completed_paths,
+            completed_multiplicity: ck.completed_multiplicity,
+            pruned_by_assume: ck.pruned_by_assume,
+            assert_failures: ck
+                .failures
+                .iter()
+                .map(|(msg, loc)| AssertFailure { msg: msg.clone(), loc: *loc, pc: Vec::new() })
+                .collect(),
+            tests: ck.tests.clone(),
+            tests_dropped_unknown: ck.tests_dropped_unknown,
+            picks: ck.picks,
+            sched_picks: 0,
+            sched_heap_repairs: 0,
+            steps: ck.steps,
+            merges: ck.merges,
+            merge_rejects: ck.merge_rejects,
+            max_worklist: ck.max_worklist as usize,
+            leftover_states: 0,
+            envelope_exports: 0,
+            envelope_nodes: 0,
+            steals: 0,
+            stolen_states: 0,
+            idle_waits: 0,
+            quarantined_states: ck.quarantined_states,
+            covered_blocks: 0,
+            total_blocks: 0,
+            ff_merged: ck.ff_merged,
+            dsm: Default::default(),
+            solver: Default::default(),
+            wall_time: Default::default(),
+            hit_budget: false,
+        },
+        covered: ck.covered.clone(),
+    }
+}
+
+/// The inverse wrapping: a crashed worker's final [`ShardOutput`] as a
+/// [`Checkpoint`] part (no frontier — its states were re-enveloped at
+/// crash time and live on inside the surviving workers), so fleet
+/// checkpoints written after a crash still carry its results. The RNG
+/// field is a fresh seed-derived stream: it is only consumed if this
+/// part ends up first in a merge *and* the merged checkpoint is
+/// resumed sequentially with a random-choice strategy — any fixed
+/// value keeps that resume deterministic.
+fn output_as_part(seed: u64, out: &ShardOutput) -> Checkpoint {
+    Checkpoint {
+        seed,
+        next_id: 0,
+        rng: StdRng::seed_from_u64(seed).state(),
+        completed_paths: out.report.completed_paths,
+        completed_multiplicity: out.report.completed_multiplicity,
+        pruned_by_assume: out.report.pruned_by_assume,
+        tests_dropped_unknown: out.report.tests_dropped_unknown,
+        picks: out.report.picks,
+        steps: out.report.steps,
+        merges: out.report.merges,
+        merge_rejects: out.report.merge_rejects,
+        max_worklist: out.report.max_worklist as u64,
+        ff_merged: out.report.ff_merged,
+        quarantined_states: out.report.quarantined_states,
+        covered: out.covered.clone(),
+        tests: out.report.tests.clone(),
+        failures: out.report.assert_failures.iter().map(|f| (f.msg.clone(), f.loc)).collect(),
+        frontier: Vec::new(),
+    }
 }
 
 /// Messages from the coordinator to a worker.
@@ -297,6 +379,9 @@ enum ToWorker {
         /// (`None` = no eviction requested this round).
         keep: Option<u64>,
     },
+    /// Snapshot request (quiescent, between rounds): reply with a
+    /// [`Checkpoint`] part covering this worker's results + frontier.
+    Checkpoint,
     Finish,
 }
 
@@ -315,7 +400,25 @@ struct RoundDone {
 
 enum FromWorker {
     Done(RoundDone),
-    Report { shard: u32, output: Box<ShardOutput> },
+    /// The worker panicked mid-round (with panic isolation armed). Its
+    /// quarantined in-flight state and remaining worklist travel out as
+    /// envelopes for the surviving workers; its final report comes
+    /// along so its pre-crash results are not lost. The worker thread
+    /// exits after sending this — the fleet degrades from N to N−1.
+    Crashed {
+        shard: u32,
+        envelopes: Vec<PortableState>,
+        output: Box<ShardOutput>,
+    },
+    /// Reply to [`ToWorker::Checkpoint`].
+    CheckpointPart {
+        shard: u32,
+        part: Box<Checkpoint>,
+    },
+    Report {
+        shard: u32,
+        output: Box<ShardOutput>,
+    },
 }
 
 /// Derives worker `shard`'s RNG stream from the run seed (splitmix64 of
@@ -367,24 +470,42 @@ impl ParallelEngine {
     /// Runs the exploration across the configured workers and reduces
     /// the per-worker reports deterministically.
     pub fn run(&mut self) -> RunReport {
+        self.run_with(None)
+    }
+
+    /// Resumes a checkpointed exploration (see [`crate::checkpoint`]):
+    /// the checkpoint's frontier is re-injected as the initial
+    /// worklist, its accumulated results fold into the final report,
+    /// and — under [`MergeMode::None`] with canonical models — the
+    /// combined report's result fields match the uninterrupted run's
+    /// byte for byte, regardless of which scheduler or job count wrote
+    /// the checkpoint.
+    pub fn resume(&mut self, ck: &Checkpoint) -> RunReport {
+        self.run_with(Some(ck))
+    }
+
+    fn run_with(&mut self, resume: Option<&Checkpoint>) -> RunReport {
         // The steal scheduler only applies where results are
         // schedule-invariant; merging modes need BSP's region placement
         // to co-locate merge candidates and fall back to it.
         if self.par.scheduler == SchedulerKind::Steal && self.config.merge_mode == MergeMode::None {
-            return self.run_steal();
+            return self.run_steal(resume);
         }
         if self.par.jobs <= 1 {
             // The legacy sequential path, bit for bit.
-            return Engine::builder(self.program.clone())
+            let mut engine = Engine::builder(self.program.clone())
                 .config(self.config.clone())
                 .build()
-                .expect("program validated in ParallelEngine::new")
-                .run();
+                .expect("program validated in ParallelEngine::new");
+            if let Some(ck) = resume {
+                engine.restore_checkpoint(ck);
+            }
+            return engine.run();
         }
-        self.run_sharded()
+        self.run_sharded(resume)
     }
 
-    fn run_sharded(&self) -> RunReport {
+    fn run_sharded(&self, resume: Option<&Checkpoint>) -> RunReport {
         let jobs = self.par.jobs;
         let start = Instant::now();
         let budgets = self.config.budgets;
@@ -396,9 +517,13 @@ impl ParallelEngine {
         let free = self.config.merge_mode == crate::engine::MergeMode::None;
 
         // Worker engines run with budgets cleared; the coordinator
-        // enforces the real budgets at round granularity.
+        // enforces the real budgets at round granularity. Likewise
+        // checkpointing: the coordinator snapshots the whole fleet at
+        // round barriers, so workers must not self-write.
         let mut worker_config = self.config.clone();
         worker_config.budgets = Budgets::default();
+        worker_config.checkpoint = None;
+        let ck_cfg = self.config.checkpoint.as_ref().filter(|c| c.every > 0);
 
         // Shared solver-cache fabric: build the workers over one shared
         // expression pool — the cache keys are `ExprId` sets, so ids
@@ -432,17 +557,33 @@ impl ParallelEngine {
             drop(to_coord);
 
             let mut map = RegionMap::all_to_zero(jobs);
-            let mut pending: Vec<PortableState> = Vec::new();
+            // Resume: the checkpointed frontier replaces the seed state;
+            // the checkpoint's accumulated results fold in at reduction.
+            let mut pending: Vec<PortableState> =
+                resume.map(|ck| ck.frontier.clone()).unwrap_or_default();
             let mut held: Vec<Vec<(RegionId, u64)>> = vec![Vec::new(); jobs as usize];
-            let mut totals = (0u64, 0u64, 0u64); // (steps, picks, completed)
+            // Counters carried by workers no longer in the round loop:
+            // the resumed-from checkpoint and crashed workers' final
+            // totals, so budget enforcement stays truthful.
+            let mut carry =
+                resume.map_or((0u64, 0u64, 0u64), |ck| (ck.steps, ck.picks, ck.completed_paths));
+            let mut totals = carry; // (steps, picks, completed)
             let mut first = true;
             let mut hit_budget = false;
+            // Panic isolation: which workers are still serving rounds.
+            let mut live = vec![true; jobs as usize];
+            let mut crashed: Vec<Option<ShardOutput>> = vec![None; jobs as usize];
+            let mut last_ck_mark = match (ck_cfg, resume) {
+                (Some(c), Some(ck)) => ck.picks / c.every,
+                _ => 0,
+            };
 
             loop {
+                let n_live = live.iter().filter(|&&l| l).count() as u64;
                 // Coordinator-side budget enforcement.
                 let work_remains =
                     first || !pending.is_empty() || held.iter().any(|h| !h.is_empty());
-                if !first && !work_remains {
+                if (!first && !work_remains) || n_live == 0 {
                     break;
                 }
                 // A zero quota would make every round a no-op and spin
@@ -461,7 +602,7 @@ impl ParallelEngine {
                         hit_budget = work_remains;
                         break;
                     }
-                    quota = quota.min(remaining.div_ceil(u64::from(jobs)));
+                    quota = quota.min(remaining.div_ceil(n_live));
                 }
                 if let Some(limit) = budgets.max_picks {
                     let remaining = limit.saturating_sub(totals.1);
@@ -469,7 +610,7 @@ impl ParallelEngine {
                         hit_budget = work_remains;
                         break;
                     }
-                    quota = quota.min(remaining.div_ceil(u64::from(jobs)));
+                    quota = quota.min(remaining.div_ceil(n_live));
                 }
                 if budgets.max_completed.is_some_and(|c| totals.2 >= c) {
                     hit_budget = work_remains;
@@ -485,22 +626,25 @@ impl ParallelEngine {
                     let counts: Vec<u64> =
                         held.iter().map(|h| h.iter().map(|&(_, n)| n).sum()).collect();
                     let total: u64 = counts.iter().sum::<u64>() + pending.len() as u64;
-                    let desired = total.div_ceil(u64::from(jobs)).max(1);
+                    let desired = total.div_ceil(n_live).max(1);
                     pending.sort_by_key(|env| env.order_key());
                     let mut fill: Vec<u64> = counts.clone();
                     for env in pending.drain(..) {
-                        let target =
-                            (0..jobs as usize).min_by_key(|&w| (fill[w], w)).expect("jobs > 0");
+                        let target = (0..jobs as usize)
+                            .filter(|&w| live[w])
+                            .min_by_key(|&w| (fill[w], w))
+                            .expect("a live worker");
                         fill[target] += 1;
                         inboxes[target].push(env);
                     }
                     for w in 0..jobs as usize {
-                        if counts[w] * 2 > desired * 3 {
+                        if live[w] && counts[w] * 2 > desired * 3 {
                             keeps[w] = Some(desired);
                         }
                     }
                 } else {
-                    // Region policy: steal by reassigning whole regions.
+                    // Region policy: steal by reassigning whole regions
+                    // (dead workers get empty region ranges).
                     if !first {
                         let mut loads: BTreeMap<RegionId, u64> = BTreeMap::new();
                         for h in &held {
@@ -512,20 +656,29 @@ impl ParallelEngine {
                             *loads.entry(env.region).or_default() += 1;
                         }
                         let loads: Vec<(RegionId, u64)> = loads.into_iter().collect();
-                        map = RegionMap::balance(&loads, jobs);
+                        map = RegionMap::balance_live(&loads, jobs, &live);
                     }
                     for env in pending.drain(..) {
                         inboxes[map.owner_of(env.region) as usize].push(env);
                     }
                 }
 
+                let mut round_sent = 0u64;
                 for (shard, (inbox, keep)) in inboxes.into_iter().zip(keeps).enumerate() {
+                    if !live[shard] {
+                        // Only reachable transiently (round 0's
+                        // all-to-zero map before the first rebalance):
+                        // re-queue rather than lose the states.
+                        pending.extend(inbox);
+                        continue;
+                    }
+                    round_sent += 1;
                     to_workers[shard]
                         .send(ToWorker::Round {
                             map: map.clone(),
                             inbox,
                             quota,
-                            seed: first && shard == 0,
+                            seed: first && shard == 0 && resume.is_none(),
                             keep,
                         })
                         .expect("worker alive");
@@ -535,7 +688,7 @@ impl ParallelEngine {
                 let mut steps = 0;
                 let mut picks = 0;
                 let mut completed = 0;
-                for _ in 0..jobs {
+                for _ in 0..round_sent {
                     match from_workers.recv().expect("worker alive") {
                         FromWorker::Done(done) => {
                             pending.extend(done.envelopes);
@@ -544,32 +697,102 @@ impl ParallelEngine {
                             picks += done.picks;
                             completed += done.completed;
                         }
+                        FromWorker::Crashed { shard, envelopes, output } => {
+                            // Quarantined + drained states come back as
+                            // envelopes; the fleet degrades to N−1 and
+                            // the worker's results fold in at reduction.
+                            live[shard as usize] = false;
+                            held[shard as usize] = Vec::new();
+                            pending.extend(envelopes);
+                            carry.0 += output.report.steps;
+                            carry.1 += output.report.picks;
+                            carry.2 += output.report.completed_paths;
+                            crashed[shard as usize] = Some(*output);
+                        }
+                        FromWorker::CheckpointPart { .. } => {
+                            unreachable!("no checkpoint requested this round")
+                        }
                         FromWorker::Report { .. } => unreachable!("no report before Finish"),
                     }
                 }
-                totals = (steps, picks, completed);
+                totals = (steps + carry.0, picks + carry.1, completed + carry.2);
+
+                // Fleet checkpoint at the (quiescent) round barrier:
+                // per-worker snapshots merged with the coordinator's
+                // pending envelopes and, when resumed, the base
+                // checkpoint's accumulated results.
+                if let Some(ckc) = ck_cfg {
+                    let mark = totals.1 / ckc.every;
+                    if mark > last_ck_mark {
+                        last_ck_mark = mark;
+                        let mut n_parts = 0;
+                        for (w, tx) in to_workers.iter().enumerate() {
+                            if live[w] {
+                                tx.send(ToWorker::Checkpoint).expect("worker alive");
+                                n_parts += 1;
+                            }
+                        }
+                        let mut parts: Vec<Option<Checkpoint>> = vec![None; jobs as usize];
+                        for _ in 0..n_parts {
+                            match from_workers.recv().expect("worker alive") {
+                                FromWorker::CheckpointPart { shard, part } => {
+                                    parts[shard as usize] = Some(*part);
+                                }
+                                _ => unreachable!("fleet is quiescent during checkpoint"),
+                            }
+                        }
+                        // Crashed workers' results still belong in the
+                        // checkpoint; shard order keeps the merge (and
+                        // its worker-0 RNG pick) deterministic.
+                        let parts: Vec<Checkpoint> = parts
+                            .into_iter()
+                            .zip(&crashed)
+                            .filter_map(|(p, c)| {
+                                p.or_else(|| {
+                                    c.as_ref().map(|out| output_as_part(self.config.seed, out))
+                                })
+                            })
+                            .collect();
+                        let merged = merge_parts(&parts, pending.clone(), resume);
+                        if let Err(e) = write_checkpoint(&ckc.path, &merged) {
+                            eprintln!(
+                                "symmerge: checkpoint write to {} failed: {e}",
+                                ckc.path.display()
+                            );
+                        }
+                    }
+                }
             }
 
-            // Envelopes stranded by a budget stop are unexplored work.
+            // Envelopes stranded by a budget stop (or by every worker
+            // crashing) are unexplored work.
             let stranded = pending.len();
 
-            for tx in &to_workers {
-                tx.send(ToWorker::Finish).expect("worker alive");
+            let mut n_live = 0;
+            for (w, tx) in to_workers.iter().enumerate() {
+                if live[w] {
+                    tx.send(ToWorker::Finish).expect("worker alive");
+                    n_live += 1;
+                }
             }
             // Collect reports into shard order so the reduction (and in
             // particular its float summation order) is independent of
-            // which worker replied first.
-            let mut parts: Vec<Option<ShardOutput>> = vec![None; jobs as usize];
-            for _ in 0..jobs {
+            // which worker replied first. Crashed workers already
+            // reported through their `Crashed` message.
+            let mut parts: Vec<Option<ShardOutput>> = crashed;
+            for _ in 0..n_live {
                 match from_workers.recv().expect("worker alive") {
                     FromWorker::Report { shard, output } => {
                         parts[shard as usize] = Some(*output);
                     }
-                    FromWorker::Done(_) => unreachable!("no rounds after Finish"),
+                    _ => unreachable!("no rounds after Finish"),
                 }
             }
-            let parts: Vec<ShardOutput> =
+            let mut parts: Vec<ShardOutput> =
                 parts.into_iter().map(|p| p.expect("all reported")).collect();
+            if let Some(ck) = resume {
+                parts.push(base_output(ck));
+            }
             if std::env::var_os("SYMMERGE_PAR_DEBUG").is_some() {
                 for (w, part) in parts.iter().enumerate() {
                     eprintln!(
@@ -651,7 +874,7 @@ impl ParallelEngine {
     /// Runs the full multi-worker machinery even at `jobs = 1`, so the
     /// shared pool's single-thread overhead is honestly measurable
     /// against the BSP/sequential baseline.
-    fn run_steal(&self) -> RunReport {
+    fn run_steal(&self, resume: Option<&Checkpoint>) -> RunReport {
         let jobs = self.par.jobs.max(1);
         let start = Instant::now();
         let budgets = self.config.budgets;
@@ -663,16 +886,29 @@ impl ParallelEngine {
         let cache = self.config.solver.shared_cache.then(|| shared_cache_for(&self.config.solver));
 
         // Worker engines run with budgets cleared; the fleet enforces
-        // the real budgets through the shared counters.
+        // the real budgets through the shared counters. The steal
+        // fleet has no quiescent point to snapshot at, so it never
+        // writes checkpoints — it can *resume* one (below), but
+        // periodic checkpointing needs the BSP or sequential path.
         let mut worker_config = self.config.clone();
         worker_config.budgets = Budgets::default();
+        worker_config.checkpoint = None;
+
+        // Resume: worker 0 injects the checkpointed frontier instead of
+        // seeding; sorted so injection order is checkpoint-determined.
+        let resume_frontier: Option<Vec<PortableState>> = resume.map(|ck| {
+            let mut front = ck.frontier.clone();
+            front.sort_by_key(|env| env.order_key());
+            front
+        });
 
         let fleet = Fleet {
             queues: (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect(),
-            // Worker 0 seeds the initial state before its first step;
-            // pre-count it so an early-starting peer cannot observe a
-            // spuriously empty fleet and exit.
-            outstanding: AtomicI64::new(1),
+            // Worker 0 seeds the initial state (or the resumed
+            // frontier) before its first step; pre-count it so an
+            // early-starting peer cannot observe a spuriously empty
+            // fleet and exit.
+            outstanding: AtomicI64::new(resume_frontier.as_ref().map_or(1, |f| f.len() as i64)),
             hungry: AtomicU32::new(0),
             stop: AtomicBool::new(false),
             steps: AtomicU64::new(0),
@@ -693,9 +929,19 @@ impl ParallelEngine {
                     let cache = cache.clone();
                     let par = self.par;
                     let fleet = &fleet;
+                    let seed_frontier = if shard == 0 { resume_frontier.as_deref() } else { None };
                     scope.spawn(move || {
                         steal_worker(
-                            shard, par, budgets, start, program, config, pool, cache, fleet,
+                            shard,
+                            par,
+                            budgets,
+                            start,
+                            program,
+                            config,
+                            pool,
+                            cache,
+                            fleet,
+                            seed_frontier,
                         )
                     })
                 })
@@ -705,9 +951,14 @@ impl ParallelEngine {
             handles.into_iter().map(|h| h.join().expect("steal worker panicked")).collect()
         });
 
-        // States stranded in deques by a budget stop are unexplored work.
-        let stranded: usize =
-            fleet.queues.iter().map(|q| q.lock().expect("steal deque poisoned").len()).sum();
+        // States stranded in deques by a budget stop (or abandoned by
+        // crashed-and-retired workers nobody could steal from, e.g. at
+        // jobs = 1) are unexplored work.
+        let stranded: usize = fleet.queues.iter().map(|q| lock_deque(q).len()).sum();
+        let mut parts = parts;
+        if let Some(ck) = resume {
+            parts.push(base_output(ck));
+        }
         let mut report = reduce_reports(&parts, self.program.num_blocks());
         report.leftover_states += stranded;
         report.steals = fleet.steals.load(Ordering::Relaxed);
@@ -719,9 +970,21 @@ impl ParallelEngine {
     }
 }
 
+/// Locks a steal deque, recovering from a poisoned mutex: every push
+/// and drain leaves the deque structurally consistent before the guard
+/// drops, so after a peer's panic the deque still holds exactly the
+/// live states it held — refusing to serve them would strand work that
+/// the panic-isolation layer just went to the trouble of preserving.
+fn lock_deque<'q>(q: &'q Mutex<VecDeque<StolenState>>) -> MutexGuard<'q, VecDeque<StolenState>> {
+    q.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// A work-stealing worker: owns one shared-pool [`Engine`] and loops
 /// "work locally, shed when peers starve, steal when empty" until the
 /// fleet's outstanding-state count hits zero or a budget trips.
+///
+/// `seed_frontier` is worker 0's resume payload: a checkpointed
+/// frontier to inject instead of seeding the initial state.
 #[allow(clippy::too_many_arguments)] // one-shot thread entry point
 fn steal_worker(
     shard: u32,
@@ -733,6 +996,7 @@ fn steal_worker(
     pool: Arc<SharedExprPool>,
     cache: Option<Arc<SharedSolverCache>>,
     fleet: &Fleet,
+    seed_frontier: Option<&[PortableState]>,
 ) -> ShardOutput {
     let jobs = fleet.queues.len() as u32;
     let mut builder = Engine::builder(program).config(config).shared_pool(pool);
@@ -740,9 +1004,13 @@ fn steal_worker(
         builder = builder.shared_solver_cache(cache);
     }
     let mut engine = builder.build().expect("program validated in ParallelEngine::new");
+    engine.set_fault_worker(shard);
     if shard == 0 {
-        // The matching +1 is pre-counted in `Fleet::outstanding`.
-        engine.seed_initial();
+        // The matching pre-count is in `Fleet::outstanding`.
+        match seed_frontier {
+            Some(front) => engine.inject_all(front),
+            None => engine.seed_initial(),
+        }
     }
     // Mirrors of the engine's cumulative counters, for publishing deltas
     // to the fleet totals after each step.
@@ -759,7 +1027,7 @@ fn steal_worker(
             // Reclaim the own deque first: those states were shed for
             // starving peers, but none took them.
             let own: Vec<StolenState> = {
-                let mut q = fleet.queues[shard as usize].lock().expect("steal deque poisoned");
+                let mut q = lock_deque(&fleet.queues[shard as usize]);
                 q.drain(..).collect()
             };
             if !own.is_empty() {
@@ -772,7 +1040,7 @@ fn steal_worker(
             let mut stolen: Vec<StolenState> = Vec::new();
             for step in 1..jobs {
                 let victim = ((shard + step) % jobs) as usize;
-                let mut q = fleet.queues[victim].lock().expect("steal deque poisoned");
+                let mut q = lock_deque(&fleet.queues[victim]);
                 for _ in 0..q.len().div_ceil(2) {
                     let s = if par.steal_newest { q.pop_back() } else { q.pop_front() };
                     stolen.extend(s);
@@ -802,15 +1070,43 @@ fn steal_worker(
         // is empty, move half the worklist into it (a deque-to-worklist
         // move is outstanding-neutral — the states stay live).
         if fleet.hungry.load(Ordering::Acquire) > 0 && engine.worklist_len() > 1 {
-            let deque_empty =
-                fleet.queues[shard as usize].lock().expect("steal deque poisoned").is_empty();
+            let deque_empty = lock_deque(&fleet.queues[shard as usize]).is_empty();
             if deque_empty {
                 let batch = engine.shed_states(engine.worklist_len() / 2, par.steal_newest);
-                fleet.queues[shard as usize].lock().expect("steal deque poisoned").extend(batch);
+                lock_deque(&fleet.queues[shard as usize]).extend(batch);
             }
         }
         let before = engine.worklist_len() as i64;
-        match engine.explore_step() {
+        let stepped = catch_unwind(AssertUnwindSafe(|| engine.explore_step()));
+        let step = match stepped {
+            Ok(step) => step,
+            Err(payload) => {
+                if !engine.isolation_armed() {
+                    resume_unwind(payload);
+                }
+                // Quarantine the in-flight state, then retire: the
+                // whole worklist moves into the own deque — an
+                // outstanding-neutral move, like any shed — where the
+                // surviving workers steal it. Publish the exact
+                // worklist delta first so `outstanding` stays truthful
+                // even for a panic that landed mid-integration.
+                engine.recover_from_panic();
+                let delta = engine.worklist_len() as i64 - before;
+                if delta != 0 {
+                    fleet.outstanding.fetch_add(delta, Ordering::AcqRel);
+                }
+                let batch = engine.shed_states(engine.worklist_len(), par.steal_newest);
+                if !batch.is_empty() {
+                    lock_deque(&fleet.queues[shard as usize]).extend(batch);
+                }
+                let (s, p, c) = engine.progress_counters();
+                fleet.steps.fetch_add(s - pub_steps, Ordering::Relaxed);
+                fleet.picks.fetch_add(p - pub_picks, Ordering::Relaxed);
+                fleet.completed.fetch_add(c - pub_completed, Ordering::Relaxed);
+                break;
+            }
+        };
+        match step {
             ExploreStep::Progressed => {}
             // The worklist was non-empty, so neither arm should be
             // reachable; re-entering the loop is safe regardless.
@@ -861,48 +1157,89 @@ fn worker_main(
     }
     let mut engine = builder.build().expect("program validated in ParallelEngine::new");
     engine.enable_shard(shard, RegionMap::all_to_zero(jobs), free);
+    engine.set_fault_worker(shard);
 
     while let Ok(msg) = rx.recv() {
         match msg {
             ToWorker::Round { map, mut inbox, quota, seed, keep } => {
-                let mut envelopes = match keep {
-                    // Free placement: steal by count, regions ignored.
-                    Some(keep) => engine.evict_excess(keep, par.steal_newest),
-                    // Region policy: install the new map, evict lost regions.
-                    None if free => Vec::new(),
-                    None => engine.set_region_map(map),
-                };
-                if seed {
-                    engine.seed_initial();
-                }
-                // Deterministic integration order regardless of the
-                // timing-dependent order replies reached the coordinator.
-                // The batch integrates through `inject_all` so the
-                // round's warm-prefix seeds pre-warm the local context
-                // tree together (shared prefixes blasted once).
-                inbox.sort_by_key(|env| env.order_key());
-                engine.inject_all(&inbox);
-                let mut steps = 0u64;
-                while steps < quota {
-                    match engine.explore_step() {
-                        ExploreStep::Progressed => steps += 1,
-                        ExploreStep::Exhausted => break,
-                        // Worker budgets are cleared; unreachable, but
-                        // stopping is the right response regardless.
-                        ExploreStep::BudgetExhausted => break,
+                // The whole round body runs under `catch_unwind` so a
+                // panicking worker (injected or organic) degrades the
+                // fleet instead of tearing down the run — but only
+                // while panic isolation is armed; otherwise the panic
+                // propagates exactly as before.
+                let round = catch_unwind(AssertUnwindSafe(|| {
+                    let mut envelopes = match keep {
+                        // Free placement: steal by count, regions ignored.
+                        Some(keep) => engine.evict_excess(keep, par.steal_newest),
+                        // Region policy: install the new map, evict lost regions.
+                        None if free => Vec::new(),
+                        None => engine.set_region_map(map),
+                    };
+                    if seed {
+                        engine.seed_initial();
+                    }
+                    // Deterministic integration order regardless of the
+                    // timing-dependent order replies reached the coordinator.
+                    // The batch integrates through `inject_all` so the
+                    // round's warm-prefix seeds pre-warm the local context
+                    // tree together (shared prefixes blasted once).
+                    inbox.sort_by_key(|env| env.order_key());
+                    engine.inject_all(&inbox);
+                    let mut steps = 0u64;
+                    while steps < quota {
+                        match engine.explore_step() {
+                            ExploreStep::Progressed => steps += 1,
+                            ExploreStep::Exhausted => break,
+                            // Worker budgets are cleared; unreachable, but
+                            // stopping is the right response regardless.
+                            ExploreStep::BudgetExhausted => break,
+                        }
+                    }
+                    envelopes.extend(engine.take_outbox());
+                    let (steps, picks, completed) = engine.progress_counters();
+                    RoundDone {
+                        shard,
+                        envelopes,
+                        held: engine.held_counts(),
+                        steps,
+                        picks,
+                        completed,
+                    }
+                }));
+                match round {
+                    Ok(done) => {
+                        if reply.send(FromWorker::Done(done)).is_err() {
+                            return;
+                        }
+                    }
+                    Err(payload) => {
+                        if !engine.isolation_armed() {
+                            resume_unwind(payload);
+                        }
+                        // Crash protocol: quarantine the in-flight
+                        // state, re-envelope everything this worker
+                        // still holds (worklist and outbox), and send
+                        // it all out with the final report. The thread
+                        // then retires — the fleet runs on at N−1.
+                        engine.recover_from_panic();
+                        let mut envelopes = engine.drain_to_envelopes();
+                        envelopes.extend(engine.take_outbox());
+                        let output = ShardOutput {
+                            report: engine.report(false),
+                            covered: engine.covered_pairs(),
+                        };
+                        let _ = reply.send(FromWorker::Crashed {
+                            shard,
+                            envelopes,
+                            output: Box::new(output),
+                        });
+                        return;
                     }
                 }
-                envelopes.extend(engine.take_outbox());
-                let (steps, picks, completed) = engine.progress_counters();
-                let done = RoundDone {
-                    shard,
-                    envelopes,
-                    held: engine.held_counts(),
-                    steps,
-                    picks,
-                    completed,
-                };
-                if reply.send(FromWorker::Done(done)).is_err() {
+            }
+            ToWorker::Checkpoint => {
+                let part = Box::new(engine.snapshot());
+                if reply.send(FromWorker::CheckpointPart { shard, part }).is_err() {
                     return;
                 }
             }

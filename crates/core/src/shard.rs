@@ -104,23 +104,59 @@ impl RegionMap {
         }
         RegionMap { splits }
     }
+
+    /// Like [`RegionMap::balance`], but over a degraded fleet: workers
+    /// whose `live` flag is false are assigned *empty* region ranges
+    /// (via duplicate split points), so no state ever routes to a dead
+    /// worker while the map keeps the full `jobs`-rank coordinate
+    /// system the coordinator's channels are indexed by.
+    pub fn balance_live(loads: &[(RegionId, u64)], jobs: u32, live: &[bool]) -> RegionMap {
+        debug_assert_eq!(live.len(), jobs as usize);
+        let n_live = live.iter().filter(|&&l| l).count() as u32;
+        if n_live == 0 || n_live == jobs {
+            return RegionMap::balance(loads, jobs);
+        }
+        // Balance across the live workers only, then expand back to the
+        // full rank space: worker w's upper bound duplicates its lower
+        // bound when dead (an empty range), and consumes the next live
+        // range's bound when alive.
+        let inner = RegionMap::balance(loads, n_live).splits;
+        let mut bounds: Vec<RegionId> = Vec::with_capacity(jobs as usize);
+        let mut next_live = 0usize;
+        for &alive in live.iter().take(jobs as usize) {
+            let hi = if alive {
+                let hi = inner.get(next_live).copied().unwrap_or(RegionId::MAX);
+                next_live += 1;
+                hi
+            } else {
+                // Empty range: hi = lo = the previous worker's hi
+                // (region ids start at 0, so a leading dead worker
+                // gets the empty range [0, 0)).
+                bounds.last().copied().unwrap_or(0)
+            };
+            bounds.push(hi);
+        }
+        bounds.pop(); // the last worker's range is unbounded
+        RegionMap { splits: bounds }
+    }
 }
 
-/// One local slot of a [`PortableState`].
+/// One local slot of a [`PortableState`]. Crate-visible so the
+/// checkpoint codec ([`crate::checkpoint`]) can serialize envelopes.
 #[derive(Debug, Clone)]
-enum PortableSlot {
+pub(crate) enum PortableSlot {
     Int(PortableRef),
     Array(Vec<PortableRef>),
 }
 
 /// One call-stack frame of a [`PortableState`].
 #[derive(Debug, Clone)]
-struct PortableFrame {
-    func: u32,
-    block: u32,
-    instr: u32,
-    ret_dest: Option<u32>,
-    locals: Vec<PortableSlot>,
+pub(crate) struct PortableFrame {
+    pub(crate) func: u32,
+    pub(crate) block: u32,
+    pub(crate) instr: u32,
+    pub(crate) ret_dest: Option<u32>,
+    pub(crate) locals: Vec<PortableSlot>,
 }
 
 /// A [`State`] (plus its engine-side DSM bookkeeping) serialized into a
@@ -135,16 +171,16 @@ pub struct PortableState {
     /// origin_seq)` totally orders a round's envelopes, which is what
     /// makes the receiving worker's integration order deterministic.
     pub origin_seq: u64,
-    dag: PortableDag,
-    frames: Vec<PortableFrame>,
-    globals: Vec<PortableSlot>,
-    pc: Vec<PortableRef>,
-    outputs: Vec<PortableRef>,
-    multiplicity: f64,
-    steps: u64,
-    sym_counters: Vec<(String, u32)>,
-    history: Vec<u64>,
-    ff: bool,
+    pub(crate) dag: PortableDag,
+    pub(crate) frames: Vec<PortableFrame>,
+    pub(crate) globals: Vec<PortableSlot>,
+    pub(crate) pc: Vec<PortableRef>,
+    pub(crate) outputs: Vec<PortableRef>,
+    pub(crate) multiplicity: f64,
+    pub(crate) steps: u64,
+    pub(crate) sym_counters: Vec<(String, u32)>,
+    pub(crate) history: Vec<u64>,
+    pub(crate) ff: bool,
     /// The **warm-prefix seed**: how many leading `pc` conjuncts were
     /// resident in the *donor's* solver-context tree at export time
     /// (`Solver::resident_prefix_len`). A prefix of an
@@ -154,7 +190,7 @@ pub struct PortableState {
     /// (shared conjuncts blasted once, divergences forked), instead of
     /// every migrated lineage re-blasting its prefix cold at first
     /// query. Purely a residency hint: results never depend on it.
-    warm_len: u32,
+    pub(crate) warm_len: u32,
 }
 
 impl PortableState {
@@ -335,6 +371,32 @@ mod tests {
         for r in [0u32, 5, 1000] {
             assert_eq!(map.owner_of(r), 0);
         }
+    }
+
+    #[test]
+    fn balance_live_routes_nothing_to_dead_workers() {
+        let loads: Vec<(RegionId, u64)> = (0..8).map(|r| (r, 1)).collect();
+        for dead in 0..4usize {
+            let mut live = [true; 4];
+            live[dead] = false;
+            let map = RegionMap::balance_live(&loads, 4, &live);
+            for &(r, _) in &loads {
+                assert_ne!(map.owner_of(r) as usize, dead, "region {r} routed to dead {dead}");
+            }
+            // Contiguity survives degradation.
+            let owners: Vec<u32> = loads.iter().map(|&(r, _)| map.owner_of(r)).collect();
+            assert!(owners.windows(2).all(|w| w[0] <= w[1]));
+            // Every live worker still gets work on a uniform axis.
+            let assigned: std::collections::BTreeSet<u32> = owners.iter().copied().collect();
+            assert_eq!(assigned.len(), 3, "dead={dead}: {owners:?}");
+        }
+    }
+
+    #[test]
+    fn balance_live_with_all_live_matches_balance() {
+        let loads: Vec<(RegionId, u64)> = vec![(1, 3), (2, 9), (5, 1), (8, 4)];
+        let live = [true; 3];
+        assert_eq!(RegionMap::balance_live(&loads, 3, &live), RegionMap::balance(&loads, 3));
     }
 
     #[test]

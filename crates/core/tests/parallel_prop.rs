@@ -44,7 +44,9 @@ fn arb_solver_stats() -> impl Strategy<Value = SolverStats> {
         // Shared-cache fabric: the sync share is a *segment of*
         // `cache_time` (not a fourth disjoint term), exactly how a real
         // solver charges it.
-        (0u64..50, 0u64..50, 0u64..80, 0u64..500),
+        // ... paired with the unknown-retry ladder counters (nested to
+        // stay under proptest's tuple-arity ceiling).
+        ((0u64..50, 0u64..50, 0u64..80, 0u64..500), (0u64..40, 0u64..10, 0u64..30, 0u64..40)),
     )
         .prop_map(
             |(
@@ -55,7 +57,10 @@ fn arb_solver_stats() -> impl Strategy<Value = SolverStats> {
                 slack_us,
                 (propagations, learnt, learnt_lits),
                 (gates_reused, ctx_clauses_compacted),
-                (shared_query_hits, shared_cex_hits, shared_publishes, sync_us),
+                (
+                    (shared_query_hits, shared_cex_hits, shared_publishes, sync_us),
+                    (retry_attempts, retry_reblasts, retry_recovered, forced_unknowns),
+                ),
             )| SolverStats {
                 queries,
                 sat_calls: queries / 2,
@@ -72,6 +77,10 @@ fn arb_solver_stats() -> impl Strategy<Value = SolverStats> {
                 shared_cex_hits,
                 shared_publishes,
                 shared_sync_time: Duration::from_micros(sync_us),
+                retry_attempts,
+                retry_reblasts,
+                retry_recovered,
+                forced_unknowns,
                 ..Default::default()
             },
         )
@@ -111,6 +120,7 @@ fn arb_shard_output() -> impl Strategy<Value = ShardOutput> {
                         steals: picks / 5,
                         stolen_states: picks / 4,
                         idle_waits: picks / 6,
+                        quarantined_states: picks / 9,
                         covered_blocks: 0,
                         total_blocks: 60,
                         ff_merged: merges / 2,
@@ -149,7 +159,7 @@ fn observable(r: &RunReport) -> impl PartialEq + std::fmt::Debug {
         ),
         (
             (r.envelope_exports, r.envelope_nodes),
-            (r.steals, r.stolen_states, r.idle_waits),
+            (r.steals, r.stolen_states, r.idle_waits, r.quarantined_states),
             // Counters only: the timing fields of two real runs
             // legitimately differ, and their reduction is pinned by
             // `assert_timing_split`.
@@ -253,6 +263,16 @@ proptest! {
         prop_assert_eq!(reduced.solver.shared_query_hits, sum(|s| s.shared_query_hits));
         prop_assert_eq!(reduced.solver.shared_cex_hits, sum(|s| s.shared_cex_hits));
         prop_assert_eq!(reduced.solver.shared_publishes, sum(|s| s.shared_publishes));
+        prop_assert_eq!(reduced.solver.retry_attempts, sum(|s| s.retry_attempts));
+        prop_assert_eq!(reduced.solver.retry_reblasts, sum(|s| s.retry_reblasts));
+        prop_assert_eq!(reduced.solver.retry_recovered, sum(|s| s.retry_recovered));
+        prop_assert_eq!(reduced.solver.forced_unknowns, sum(|s| s.forced_unknowns));
+        // Quarantine accounting folds as a plain shard sum too: a
+        // crashed worker's quarantined count must survive reduction.
+        prop_assert_eq!(
+            reduced.quarantined_states,
+            parts.iter().map(|p| p.report.quarantined_states).sum::<u64>()
+        );
         let sync_sum: Duration =
             parts.iter().map(|p| p.report.solver.shared_sync_time).sum();
         prop_assert_eq!(reduced.solver.shared_sync_time, sync_sum);

@@ -78,4 +78,4 @@ pub use context::SolverContext;
 pub use model::Model;
 pub use sat::{SatSolver, SatStats, SolveOutcome};
 pub use shared::SharedSolverCache;
-pub use solve::{SatResult, Solver, SolverConfig, SolverStats};
+pub use solve::{ladder_budget, SatResult, Solver, SolverConfig, SolverStats, RETRY_BUDGET_CAP};

@@ -44,7 +44,7 @@ use crate::model::Model;
 use crate::solve::{is_subset, signature};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, LockResult, PoisonError, RwLock};
 use symmerge_expr::ExprId;
 
 /// Number of exact-tier shards (a power of two; the shard is the low
@@ -53,9 +53,18 @@ use symmerge_expr::ExprId;
 /// the job counts this workspace targets.
 const EXACT_SHARDS: usize = 16;
 
-/// Lock-poisoning message: a worker panicking mid-publication aborts the
-/// run anyway, so unwrapping here only converts one panic into another.
-const POISONED: &str = "shared solver cache lock poisoned";
+/// Recovers a (possibly poisoned) lock acquisition. A worker panicking
+/// while holding a shard lock used to poison it and cascade the panic
+/// into every other worker touching the shard — precisely the
+/// all-or-nothing failure the panic-isolation layer exists to remove.
+/// Recovery is sound here because the store is **append-only with
+/// full-key-verified reads**: every publication pushes one fully
+/// constructed record, so the worst a mid-publication panic can leave
+/// behind is a pushed-but-unindexed exact entry, which readers simply
+/// miss (a cache miss, never a wrong verdict).
+fn recover<G>(r: LockResult<G>) -> G {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
 
 /// One exact-tier shard: the published `(hash, set, verdict)` entries in
 /// publication order (append-only — mirrors cursor into it) plus a
@@ -153,12 +162,12 @@ impl SharedSolverCache {
     pub fn publish_verdict(&self, h: u64, set: &[ExprId], model: Option<&Model>) -> bool {
         let shard = self.shard(h);
         {
-            let s = shard.read().expect(POISONED);
+            let s = recover(shard.read());
             if lookup(&s, h, set).is_some() {
                 return false;
             }
         }
-        let mut s = shard.write().expect(POISONED);
+        let mut s = recover(shard.write());
         // Double-check under the write lock: another worker may have
         // published between our read unlock and write lock.
         if lookup(&s, h, set).is_some() {
@@ -175,7 +184,7 @@ impl SharedSolverCache {
     /// is a published unsat). Mirrors serve the hot path; this exists
     /// for the verification suite and debugging.
     pub fn verdict_for(&self, h: u64, set: &[ExprId]) -> Option<Option<Model>> {
-        let s = self.shard(h).read().expect(POISONED);
+        let s = recover(self.shard(h).read());
         lookup(&s, h, set).map(|e| e.model.clone())
     }
 
@@ -183,7 +192,7 @@ impl SharedSolverCache {
     /// whether it was newly inserted (the log may be full or already
     /// hold the set).
     pub fn publish_unsat_core(&self, set: &[ExprId]) -> bool {
-        let inserted = self.cex_unsat.write().expect(POISONED).publish(signature(set), set, ());
+        let inserted = recover(self.cex_unsat.write()).publish(signature(set), set, ());
         if inserted {
             self.version.fetch_add(1, Ordering::Release);
         }
@@ -193,8 +202,7 @@ impl SharedSolverCache {
     /// Publishes a satisfiable set with its model (superset donation
     /// tier). Returns whether it was newly inserted.
     pub fn publish_sat_set(&self, set: &[ExprId], m: &Model) -> bool {
-        let inserted =
-            self.cex_sat.write().expect(POISONED).publish(signature(set), set, m.clone());
+        let inserted = recover(self.cex_sat.write()).publish(signature(set), set, m.clone());
         if inserted {
             self.version.fetch_add(1, Ordering::Release);
         }
@@ -204,10 +212,10 @@ impl SharedSolverCache {
     /// Total published entries across all tiers (observability; the
     /// monotonicity property compares mirror sizes against this).
     pub fn published(&self) -> usize {
-        let exact: usize = self.exact.iter().map(|s| s.read().expect(POISONED).entries.len()).sum();
+        let exact: usize = self.exact.iter().map(|s| recover(s.read()).entries.len()).sum();
         exact
-            + self.cex_unsat.read().expect(POISONED).entries.len()
-            + self.cex_sat.read().expect(POISONED).entries.len()
+            + recover(self.cex_unsat.read()).entries.len()
+            + recover(self.cex_sat.read()).entries.len()
     }
 }
 
@@ -273,21 +281,21 @@ impl SharedCacheMirror {
         }
         self.seen_version = version;
         for (i, cursor) in self.exact_cursors.iter_mut().enumerate() {
-            let shard = self.shared.exact[i].read().expect(POISONED);
+            let shard = recover(self.shared.exact[i].read());
             for e in &shard.entries[*cursor..] {
                 self.exact.entry(e.hash).or_default().push((e.set.clone(), e.model.clone()));
             }
             *cursor = shard.entries.len();
         }
         {
-            let log = self.shared.cex_unsat.read().expect(POISONED);
+            let log = recover(self.shared.cex_unsat.read());
             for (sig, set, ()) in &log.entries[self.unsat_cursor..] {
                 self.unsat_sets.push((*sig, set.clone()));
             }
             self.unsat_cursor = log.entries.len();
         }
         {
-            let log = self.shared.cex_sat.read().expect(POISONED);
+            let log = recover(self.shared.cex_sat.read());
             for (sig, set, m) in &log.entries[self.sat_cursor..] {
                 self.sat_sets.push((*sig, set.clone(), m.clone()));
             }
@@ -393,5 +401,44 @@ mod tests {
         mirror.sync();
         assert!(mirror.implies_unsat(signature(&a), &a));
         assert!(!mirror.implies_unsat(signature(&b), &b));
+    }
+
+    /// A worker dying while holding shard locks must not take the rest
+    /// of the fleet with it: publications and reads on the poisoned
+    /// shards keep working (the append-only store has no torn states to
+    /// observe). This pins the `PoisonError::into_inner` recovery — with
+    /// plain `.unwrap()`/`.expect()` every call below would panic.
+    #[test]
+    fn poisoned_shard_does_not_cascade() {
+        let mut pool = ExprPool::new(8);
+        let a = ids(&mut pool, &["a", "b"]);
+        let b = ids(&mut pool, &["c", "d"]);
+        let cache = SharedSolverCache::new(16);
+        let h = set_hash(&a);
+        assert!(cache.publish_verdict(h, &a, None));
+        assert!(cache.publish_unsat_core(&a));
+        // Poison every exact shard and both cex logs: a thread panics
+        // while holding each write lock.
+        let poisoner = Arc::clone(&cache);
+        let t = std::thread::spawn(move || {
+            let _guards: Vec<_> = poisoner.exact.iter().map(|s| s.write().unwrap()).collect();
+            let _unsat = poisoner.cex_unsat.write().unwrap();
+            let _sat = poisoner.cex_sat.write().unwrap();
+            panic!("worker dies holding the shard locks");
+        });
+        assert!(t.join().is_err(), "the poisoner must have panicked");
+        assert!(cache.exact.iter().all(|s| s.is_poisoned()), "locks must actually be poisoned");
+        // Reads survive and still see the pre-panic entries...
+        assert_eq!(cache.verdict_for(h, &a), Some(None));
+        assert_eq!(cache.published(), 2);
+        // ...publication still works...
+        assert!(cache.publish_verdict(set_hash(&b), &b, None));
+        assert!(cache.publish_unsat_core(&b));
+        // ...and mirrors sync through the poisoned locks.
+        let mut mirror = SharedCacheMirror::new(Arc::clone(&cache));
+        mirror.sync();
+        assert_eq!(mirror.verdict_for(h, &a), Some(None));
+        assert_eq!(mirror.verdict_for(set_hash(&b), &b), Some(None));
+        assert!(mirror.implies_unsat(signature(&b), &b));
     }
 }

@@ -155,6 +155,18 @@ pub struct SolverConfig {
     /// Conflict budget *per query* (shared across independence slices and
     /// canonicalization probes); `None` means unbounded.
     pub max_conflicts: Option<u64>,
+    /// Budget multipliers for the `Unknown`-retry ladder. When a query
+    /// exhausts [`SolverConfig::max_conflicts`], it is retried once per
+    /// rung with the base budget scaled by that rung's multiplier
+    /// ([`ladder_budget`] — saturating, capped), and a warm-context
+    /// query that is still `Unknown` after the last rung falls back to
+    /// one fresh re-blast (escaping a degenerate incremental context,
+    /// the warm-DB pathology). Retry fuel is *conflicts*, never
+    /// wall-clock, so retries are deterministic. Empty disables the
+    /// ladder (`SYMMERGE_SOLVER_RETRY_LADDER=off`, the ablation leg;
+    /// `4,16` is the default). Unbounded-budget solvers never return
+    /// budget `Unknown`s, so the ladder is inert for them.
+    pub retry_ladder: Vec<u64>,
     /// How many recent models to retain for model reuse.
     pub model_history: usize,
     /// The context-count *floor* of the fork-aware tree's residency
@@ -229,6 +241,10 @@ impl Default for SolverConfig {
             ite_factor: env_flag("SYMMERGE_ITE_FACTOR", true),
             canonical_models: false,
             max_conflicts: None,
+            retry_ladder: match std::env::var("SYMMERGE_SOLVER_RETRY_LADDER") {
+                Ok(v) => parse_retry_ladder(&v),
+                Err(_) => vec![4, 16],
+            },
             model_history: 32,
             // 4 → 16 in PR 3 (measured rebuild thrash under interleaving
             // strategies); 16 → 64 with the fork-aware tree: forked
@@ -266,6 +282,32 @@ pub(crate) fn env_flag(name: &str, default: bool) -> bool {
         Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
         Err(_) => default,
     }
+}
+
+/// Parses a `SYMMERGE_SOLVER_RETRY_LADDER` value: comma-separated budget
+/// multipliers, or `0`/`off`/`false`/`no`/empty to disable the ladder.
+fn parse_retry_ladder(v: &str) -> Vec<u64> {
+    let v = v.trim();
+    if matches!(v, "" | "0" | "false" | "off" | "no") {
+        return Vec::new();
+    }
+    v.split(',')
+        .map(|m| {
+            m.trim()
+                .parse()
+                .expect("SYMMERGE_SOLVER_RETRY_LADDER takes comma-separated multipliers")
+        })
+        .collect()
+}
+
+/// Hard ceiling on any retry rung's conflict budget — the ladder
+/// escalates, it never becomes effectively unbounded.
+pub const RETRY_BUDGET_CAP: u64 = 1 << 30;
+
+/// The conflict budget of one retry rung: the base budget scaled by the
+/// rung's multiplier, saturating, capped at [`RETRY_BUDGET_CAP`].
+pub fn ladder_budget(base: u64, multiplier: u64) -> u64 {
+    base.saturating_mul(multiplier).min(RETRY_BUDGET_CAP)
 }
 
 /// Counters describing the queries a [`Solver`] answered.
@@ -373,6 +415,23 @@ pub struct SolverStats {
     /// route_time` split is unchanged; this counter just makes the
     /// sync share visible on its own.
     pub shared_sync_time: Duration,
+    /// Retry-ladder re-dispatches: one per rung actually run after a
+    /// query came back `Unknown` (including the injection-free recovery
+    /// rung a forced `Unknown` always gets).
+    pub retry_attempts: u64,
+    /// Warm-context queries that exhausted every ladder rung and fell
+    /// back to a fresh re-blast (the escape hatch from a degenerate
+    /// incremental context).
+    pub retry_reblasts: u64,
+    /// Queries whose initial answer was `Unknown` but whose retry
+    /// ladder (or re-blast fallback) produced a definite verdict — work
+    /// that used to be silently dropped.
+    pub retry_recovered: u64,
+    /// `Unknown`s injected by the fault harness
+    /// ([`Solver::set_forced_unknowns`]) rather than earned by budget
+    /// exhaustion. Each is followed by at least one injection-free
+    /// retry at the base budget, so forcing never changes results.
+    pub forced_unknowns: u64,
 }
 
 impl SolverStats {
@@ -412,6 +471,10 @@ impl SolverStats {
         self.shared_cex_hits += other.shared_cex_hits;
         self.shared_publishes += other.shared_publishes;
         self.shared_sync_time += other.shared_sync_time;
+        self.retry_attempts += other.retry_attempts;
+        self.retry_reblasts += other.retry_reblasts;
+        self.retry_recovered += other.retry_recovered;
+        self.forced_unknowns += other.forced_unknowns;
     }
 }
 
@@ -899,7 +962,24 @@ pub struct Solver {
     /// when the engine attached one (parallel runs only; see
     /// [`Solver::attach_shared_cache`]).
     shared: Option<SharedCacheMirror>,
+    /// Active retry-rung budget, overriding
+    /// [`SolverConfig::max_conflicts`] while a ladder re-dispatch runs
+    /// (see [`Solver::effective_budget`]).
+    budget_override: Option<Option<u64>>,
+    /// Deterministic forced-`Unknown` stream, when the fault harness
+    /// installed one ([`Solver::set_forced_unknowns`]).
+    forced: Option<ForcedUnknowns>,
     stats: SolverStats,
+}
+
+/// The fault harness's forced-`Unknown` stream: a splitmix64 sequence
+/// drawn once per query reaching the solving dispatch; a draw below
+/// `num/den` forces that query's first answer to `Unknown`.
+#[derive(Debug)]
+struct ForcedUnknowns {
+    num: u64,
+    den: u64,
+    state: u64,
 }
 
 impl Solver {
@@ -918,8 +998,39 @@ impl Solver {
             dag_sizes: HashMap::new(),
             input_syms: HashMap::new(),
             shared: None,
+            budget_override: None,
+            forced: None,
             stats: SolverStats::default(),
         }
+    }
+
+    /// Installs a deterministic forced-`Unknown` stream: roughly
+    /// `num/den` of the queries reaching the solving dispatch have their
+    /// first answer forced to `Unknown`, selected by a splitmix64
+    /// sequence seeded with `seed`. Every forced `Unknown` is followed
+    /// by at least one injection-free retry at the base budget — before
+    /// any ladder rung — so installing a stream never changes verdicts
+    /// or models, only exercises the retry path. `num = 0` uninstalls.
+    pub fn set_forced_unknowns(&mut self, num: u64, den: u64, seed: u64) {
+        self.forced = (num > 0 && den > 0).then_some(ForcedUnknowns { num, den, state: seed });
+    }
+
+    /// Draws the next forced-`Unknown` decision (false without a stream).
+    fn forced_unknown_hit(&mut self) -> bool {
+        let Some(f) = self.forced.as_mut() else { return false };
+        f.state = f.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = f.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        z % f.den < f.num
+    }
+
+    /// The conflict budget the current dispatch runs under: the active
+    /// retry rung's override when one is set, the configured base
+    /// budget otherwise.
+    fn effective_budget(&self) -> Option<u64> {
+        self.budget_override.unwrap_or(self.config.max_conflicts)
     }
 
     /// Joins a cross-worker [`SharedSolverCache`]: builds this solver's
@@ -1214,15 +1325,106 @@ impl Solver {
             return hit;
         }
 
-        let result = match route {
-            Some(r) => self.check_in_context(pool, &r, set),
-            None if self.config.use_independence => self.check_sliced(pool, set),
-            None => self.check_monolithic(pool, set),
+        let forced = self.forced_unknown_hit();
+        let mut result = if forced {
+            self.stats.forced_unknowns += 1;
+            SatResult::Unknown
+        } else {
+            self.dispatch(pool, route.as_ref(), set)
         };
+        if matches!(result, SatResult::Unknown) {
+            result = self.retry_unknown(pool, route.as_ref(), set, forced);
+        }
         let record_start = Instant::now();
         self.record_result(pool, h, set, &result);
         self.stats.cache_time += record_start.elapsed();
         self.stats.time += start.elapsed();
+        result
+    }
+
+    /// Routes one (re-)dispatch of a normalized set to its solving path.
+    fn dispatch(&mut self, pool: &ExprPool, route: Option<&CtxRoute>, set: &[ExprId]) -> SatResult {
+        match route {
+            Some(r) => self.check_in_context(pool, r, set),
+            None if self.config.use_independence => self.check_sliced(pool, set),
+            None => self.check_monolithic(pool, set),
+        }
+    }
+
+    /// The `Unknown`-retry ladder: re-dispatches a query whose first
+    /// answer was `Unknown` under escalating conflict budgets, then —
+    /// for warm-context routes still `Unknown` after the last rung —
+    /// once more on the fresh re-blast path (an incremental context can
+    /// accumulate a clause database pathologically bad for *this* query;
+    /// a cold CNF of just the set often decides it within the same
+    /// fuel). A *forced* `Unknown` (fault injection) always gets one
+    /// injection-free rung at the base budget first, which restores the
+    /// uninjected answer exactly: nothing ran before it, so the solver
+    /// state the retry sees is the state the original dispatch saw.
+    ///
+    /// All fuel is conflicts, never wall-clock, so the ladder is
+    /// deterministic. Contextual retries re-walk the tree
+    /// ([`ContextTree::lookup`]) because the failed dispatch may have
+    /// moved, forked or evicted contexts since the caller's walk.
+    fn retry_unknown(
+        &mut self,
+        pool: &ExprPool,
+        route: Option<&CtxRoute>,
+        set: &[ExprId],
+        forced: bool,
+    ) -> SatResult {
+        // A retried contextual dispatch must not reuse the caller's
+        // (now stale) tree walk.
+        let fresh_route = |solver: &Self| {
+            route.map(|r| {
+                let prefound = solver.tree.lookup(r.prefix);
+                CtxRoute { prefix: r.prefix, extra: r.extra, may_extend: r.may_extend, prefound }
+            })
+        };
+        let mut result = SatResult::Unknown;
+        if forced {
+            // Injection-free recovery rung at the base budget.
+            self.stats.retry_attempts += 1;
+            let r = fresh_route(self);
+            result = self.dispatch(pool, r.as_ref(), set);
+        }
+        let mut last_budget = self.config.max_conflicts;
+        if let Some(base) = self.config.max_conflicts {
+            let ladder = std::mem::take(&mut self.config.retry_ladder);
+            for &m in &ladder {
+                if !matches!(result, SatResult::Unknown) {
+                    break;
+                }
+                let budget = ladder_budget(base, m);
+                last_budget = Some(budget);
+                self.stats.retry_attempts += 1;
+                self.budget_override = Some(Some(budget));
+                let r = fresh_route(self);
+                result = self.dispatch(pool, r.as_ref(), set);
+                self.budget_override = None;
+            }
+            self.config.retry_ladder = ladder;
+            // Re-blast fallback: only for warm-context routes (the
+            // re-blast paths already solved a cold CNF), and only when
+            // the ladder is enabled at all.
+            if matches!(result, SatResult::Unknown)
+                && route.is_some()
+                && !self.config.retry_ladder.is_empty()
+            {
+                self.stats.retry_attempts += 1;
+                self.stats.retry_reblasts += 1;
+                self.budget_override = Some(last_budget);
+                result = if self.config.use_independence {
+                    self.check_sliced(pool, set)
+                } else {
+                    self.check_monolithic(pool, set)
+                };
+                self.budget_override = None;
+            }
+        }
+        if !matches!(result, SatResult::Unknown) {
+            self.stats.retry_recovered += 1;
+        }
         result
     }
 
@@ -1551,7 +1753,7 @@ impl Solver {
         // only now.
         self.stats.route_time += route_start.elapsed();
         let sat_start = Instant::now();
-        let budget = self.config.max_conflicts;
+        let budget = self.effective_budget();
         let ctx = self.tree.ctx_mut(node);
         let outcome = if may_extend {
             ctx.solve_assuming(pool, &extras, budget)
@@ -1565,7 +1767,7 @@ impl Solver {
                     // The minimization probes share whatever conflict
                     // budget the main solve left over.
                     let consumed = self.tree.ctx(node).sat_stats().conflicts - before.conflicts;
-                    let remaining = self.config.max_conflicts.map(|b| b.saturating_sub(consumed));
+                    let remaining = self.effective_budget().map(|b| b.saturating_sub(consumed));
                     self.tree.ctx_mut(node).minimize(pool, &extras, &syms, &outcome, remaining)
                 } else {
                     self.tree.ctx(node).extract_model_for(&outcome, &syms)
@@ -1744,7 +1946,7 @@ impl Solver {
     // ----- re-blast path ------------------------------------------------
 
     fn check_monolithic(&mut self, pool: &ExprPool, set: &[ExprId]) -> SatResult {
-        self.solve_slice(pool, set, self.config.max_conflicts)
+        self.solve_slice(pool, set, self.effective_budget())
     }
 
     /// Partitions `set` into connected components under "shares an input
@@ -1765,7 +1967,7 @@ impl Solver {
         let slices = partition_by_inputs(pool, set, &mut self.input_syms);
         self.stats.route_time += route_start.elapsed();
         let mut combined = Model::new();
-        let mut remaining = self.config.max_conflicts;
+        let mut remaining = self.effective_budget();
         for slice in &slices {
             if remaining == Some(0) {
                 return SatResult::Unknown; // shared budget exhausted
@@ -2145,6 +2347,7 @@ mod tests {
         let mut s = Solver::new(SolverConfig {
             use_independence: true,
             max_conflicts: Some(budget),
+            retry_ladder: Vec::new(), // pin the ladder off: the trip itself is under test
             ..bare()
         });
         let result = s.check(&p, &slices);
@@ -2839,5 +3042,100 @@ mod tests {
         let queries = s.stats().queries;
         assert!(s.check_assuming(&p, &[t], t).is_sat());
         assert_eq!(s.stats().queries, queries, "trivial query must stay uncounted");
+    }
+
+    #[test]
+    fn ladder_budgets_multiply_and_cap() {
+        assert_eq!(ladder_budget(100, 4), 400);
+        assert_eq!(ladder_budget(100, 16), 1600);
+        assert_eq!(ladder_budget(0, 16), 0);
+        assert_eq!(ladder_budget(1, 1), 1);
+        // The cap clamps both plain overshoot and saturating overflow.
+        assert_eq!(ladder_budget(RETRY_BUDGET_CAP, 2), RETRY_BUDGET_CAP);
+        assert_eq!(ladder_budget(u64::MAX, u64::MAX), RETRY_BUDGET_CAP);
+        assert_eq!(ladder_budget((1 << 30) - 1, 1), (1 << 30) - 1);
+    }
+
+    #[test]
+    fn retry_ladder_parse_accepts_lists_and_off_values() {
+        assert_eq!(parse_retry_ladder("4,16"), vec![4, 16]);
+        assert_eq!(parse_retry_ladder(" 2 , 8 , 32 "), vec![2, 8, 32]);
+        assert_eq!(parse_retry_ladder("off"), Vec::<u64>::new());
+        assert_eq!(parse_retry_ladder("0"), Vec::<u64>::new());
+        assert_eq!(parse_retry_ladder(""), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn retry_ladder_recovers_a_budget_unknown() {
+        // x * y == 143 ∧ x < y needs real CDCL search (measured by an
+        // unbudgeted probe); a base budget below its conflict cost
+        // returns Unknown, and the ladder's escalated rung decides it.
+        let mut p = pool();
+        let x = p.input("x", 8);
+        let y = p.input("y", 8);
+        let prod = p.mul(x, y);
+        let target = p.bv_const(143, 8);
+        let query = [p.eq(prod, target), p.ult(x, y)];
+        let mut probe = Solver::new(bare());
+        assert!(probe.check(&p, &query).is_sat());
+        let cost = probe.stats().conflicts;
+        assert!(cost >= 4, "instance too easy to exercise the ladder ({cost} conflicts)");
+        let mut s = Solver::new(SolverConfig {
+            max_conflicts: Some(1),
+            retry_ladder: vec![1 << 20],
+            ..bare()
+        });
+        let result = s.check(&p, &query);
+        assert!(result.is_sat(), "the escalated rung must decide the query");
+        assert!(s.stats().retry_attempts >= 1);
+        assert_eq!(s.stats().retry_recovered, 1);
+        assert_eq!(s.stats().unknown, 0, "a recovered query is not an Unknown");
+    }
+
+    #[test]
+    fn forced_unknowns_are_result_transparent() {
+        // Forcing every query's first answer to Unknown must not change
+        // any verdict or model: each forced Unknown gets an
+        // injection-free recovery rung at the base budget — even with
+        // the ladder disabled.
+        let mut p = pool();
+        let x = p.input("x", 8);
+        let y = p.input("y", 8);
+        let ten = p.bv_const(10, 8);
+        let five = p.bv_const(5, 8);
+        let queries: Vec<Vec<ExprId>> = vec![
+            vec![p.ult(x, ten)],
+            vec![p.ult(x, five), p.ugt(x, ten)],
+            vec![p.ugt(y, five), p.ult(y, ten)],
+        ];
+        let cfg = SolverConfig {
+            canonical_models: true,
+            retry_ladder: Vec::new(),
+            use_cache: false,
+            ..bare()
+        };
+        let mut plain = Solver::new(cfg.clone());
+        let mut faulty = Solver::new(cfg);
+        faulty.set_forced_unknowns(1, 1, 0xFEED);
+        for q in &queries {
+            assert_eq!(plain.check(&p, q), faulty.check(&p, q), "forcing changed a verdict");
+        }
+        assert_eq!(faulty.stats().forced_unknowns, queries.len() as u64);
+        assert_eq!(faulty.stats().retry_recovered, queries.len() as u64);
+        assert_eq!(faulty.stats().unknown, 0);
+        assert_eq!(plain.stats().forced_unknowns, 0);
+    }
+
+    #[test]
+    fn forced_unknown_stream_is_seed_deterministic() {
+        let draws = |seed: u64| {
+            let mut s = Solver::new(bare());
+            s.set_forced_unknowns(1, 4, seed);
+            (0..64).map(|_| s.forced_unknown_hit()).collect::<Vec<bool>>()
+        };
+        assert_eq!(draws(7), draws(7), "same seed, same stream");
+        assert_ne!(draws(7), draws(8), "distinct seeds must decorrelate");
+        assert!(draws(7).iter().any(|&b| b), "1/4 rate must fire within 64 draws");
+        assert!(!draws(7).iter().all(|&b| b), "1/4 rate must also miss");
     }
 }

@@ -48,9 +48,9 @@ pub use symmerge_workloads as workloads;
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
     pub use symmerge_core::{
-        Budgets, DsmConfig, Engine, EngineBuilder, EngineConfig, MergeConfig, MergeMode,
-        ParallelConfig, ParallelEngine, QceConfig, RunReport, SchedulerKind, StrategyKind,
-        TestCase, TestKind,
+        read_checkpoint, write_checkpoint, Budgets, Checkpoint, CheckpointConfig, DsmConfig,
+        Engine, EngineBuilder, EngineConfig, FaultPlan, MergeConfig, MergeMode, ParallelConfig,
+        ParallelEngine, QceConfig, RunReport, SchedulerKind, StrategyKind, TestCase, TestKind,
     };
     pub use symmerge_ir::interp::{ExecOutcome, InputMap, Interp};
     pub use symmerge_ir::{minic, Program};

@@ -104,6 +104,23 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl StdRng {
+        /// The raw xoshiro256** state words, for checkpointing. A
+        /// generator rebuilt via [`StdRng::from_state`] continues the
+        /// exact stream this one would have produced. (Shim-only
+        /// extension: real `rand` exposes no state accessors — swap in
+        /// a serde-enabled generator when returning to the registry
+        /// crate.)
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from [`StdRng::state`] words.
+        pub fn from_state(s: [u64; 4]) -> StdRng {
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             let mut sm = seed;
@@ -149,6 +166,18 @@ mod tests {
         let sa: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..u64::MAX)).collect();
         let sc: Vec<u64> = (0..8).map(|_| c.gen_range(0u64..u64::MAX)).collect();
         assert_ne!(sa, sc, "different seeds should diverge");
+    }
+
+    #[test]
+    fn state_round_trip_continues_the_stream() {
+        let mut a = StdRng::seed_from_u64(123);
+        for _ in 0..17 {
+            let _ = a.gen_range(0u64..u64::MAX);
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..64 {
+            assert_eq!(a.gen_range(0u64..u64::MAX), b.gen_range(0u64..u64::MAX));
+        }
     }
 
     #[test]
